@@ -1,0 +1,77 @@
+//! Process image descriptions.
+
+/// Describes the initial memory image of a program, in application terms.
+///
+/// Each backend translates this into its own layout: μFork lays the image
+/// out in a contiguous μprocess region (paper §3.7, Figure 1: code +
+/// read-only data, GOT, stack, TLS/heap); the monolithic baseline adds its
+/// shared-library and dynamic-allocator overhead; the VM-cloning baseline
+/// adds the whole guest OS image.
+#[derive(Clone, Debug)]
+pub struct ImageSpec {
+    /// Program name (diagnostics only).
+    pub name: String,
+    /// Code + read-only data, in bytes.
+    pub text_bytes: u64,
+    /// Initialized writable data, in bytes.
+    pub data_bytes: u64,
+    /// μprocess heap size (build-time-configurable static heap in the
+    /// μFork prototype, paper §4.2).
+    pub heap_bytes: u64,
+    /// Stack size in bytes.
+    pub stack_bytes: u64,
+    /// Number of GOT slots (one capability per global object/function).
+    pub got_slots: u64,
+}
+
+impl ImageSpec {
+    /// A minimal hello-world-sized image (paper §5.2 microbenchmarks:
+    /// a forked minimal process occupies ~0.13 MB on μFork).
+    pub fn hello_world() -> ImageSpec {
+        ImageSpec {
+            name: "hello".into(),
+            text_bytes: 48 * 1024,
+            data_bytes: 16 * 1024,
+            heap_bytes: 128 * 1024,
+            stack_bytes: 64 * 1024,
+            got_slots: 64,
+        }
+    }
+
+    /// An image with a heap sized for a given working set, as the μFork
+    /// prototype's build-time heap configuration would be.
+    pub fn with_heap(name: &str, heap_bytes: u64) -> ImageSpec {
+        ImageSpec {
+            name: name.into(),
+            text_bytes: 512 * 1024,
+            data_bytes: 128 * 1024,
+            heap_bytes,
+            stack_bytes: 128 * 1024,
+            got_slots: 256,
+        }
+    }
+
+    /// Total bytes of the image.
+    pub fn total_bytes(&self) -> u64 {
+        self.text_bytes + self.data_bytes + self.heap_bytes + self.stack_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_world_is_small() {
+        let img = ImageSpec::hello_world();
+        assert!(img.total_bytes() <= 512 * 1024);
+        assert!(img.got_slots > 0);
+    }
+
+    #[test]
+    fn with_heap_sizes_heap() {
+        let img = ImageSpec::with_heap("redis", 64 << 20);
+        assert_eq!(img.heap_bytes, 64 << 20);
+        assert!(img.total_bytes() > 64 << 20);
+    }
+}

@@ -1,0 +1,194 @@
+//! The OS-neutral workload ABI.
+//!
+//! Every workload in this reproduction (Redis, FaaS Zygote, Nginx,
+//! Unixbench, hello-world) is written once against the [`Env`] and
+//! [`Program`] traits defined here, and runs unmodified on the μFork
+//! kernel and on both baselines — the reproduction's analogue of the
+//! paper's "applications which run on Unikraft do not require porting to
+//! work with μFork" (§4).
+//!
+//! # Execution model
+//!
+//! A [`Program`] is a cloneable state machine. The executive resumes it;
+//! the program performs *user-level work* — memory accesses through
+//! capabilities, compute, and non-blocking system calls — inline through
+//! [`Env`], then returns a [`StepOutcome`]: exit, fork, or a blocking
+//! call.
+//!
+//! `fork` is modelled exactly as POSIX semantics require: when a program
+//! returns [`StepOutcome::Fork`], the kernel duplicates its μprocess
+//! (memory, registers, file descriptors) **and clones the program state**;
+//! the parent is resumed with [`ForkResult::Parent`] and the clone with
+//! [`ForkResult::Child`].
+//!
+//! # The register-file contract
+//!
+//! All long-lived pointers (capabilities) must be kept either in simulated
+//! memory or in the per-thread **register file** ([`Env::reg`] /
+//! [`Env::set_reg`]) — never in host-side program state across a
+//! [`StepOutcome`]. This mirrors real hardware: at fork, μFork relocates
+//! capabilities held in registers and in memory (paper §3.5, step 2), but
+//! it cannot see pointers squirrelled away anywhere else. A program that
+//! violates the contract holds a stale capability into the *parent's*
+//! region after fork — and the isolation machinery will refuse it, which
+//! is itself a property the test suite exercises.
+
+use std::fmt;
+
+pub use ufork_cheri::Capability;
+
+mod env;
+mod image;
+mod program;
+
+pub use env::{Env, SysResult};
+pub use image::ImageSpec;
+pub use program::{BlockingCall, Program, ProgramBox, Resume, StepOutcome};
+
+/// A μprocess / process identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pid({})", self.0)
+    }
+}
+
+/// A file descriptor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub i32);
+
+impl fmt::Debug for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fd({})", self.0)
+    }
+}
+
+/// Outcome of `fork`, delivered via [`Resume::Forked`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForkResult {
+    /// Resumed in the parent; carries the child's PID.
+    Parent(Pid),
+    /// Resumed in the (newly created) child.
+    Child,
+}
+
+/// POSIX-flavoured error numbers surfaced to programs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Errno {
+    /// Memory fault: capability or page-permission violation.
+    Fault,
+    /// Out of memory (frames, region space, or heap).
+    NoMem,
+    /// Bad file descriptor.
+    BadFd,
+    /// Invalid argument.
+    Inval,
+    /// No child processes (wait).
+    Child,
+    /// No such file.
+    NoEnt,
+    /// Operation not permitted (isolation refusal).
+    Perm,
+    /// Too many processes / resource exhaustion.
+    Again,
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Errno::Fault => "EFAULT",
+            Errno::NoMem => "ENOMEM",
+            Errno::BadFd => "EBADF",
+            Errno::Inval => "EINVAL",
+            Errno::Child => "ECHILD",
+            Errno::NoEnt => "ENOENT",
+            Errno::Perm => "EPERM",
+            Errno::Again => "EAGAIN",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// Isolation level of a deployment (paper §3.6, requirement R4).
+///
+/// μFork parameterizes isolation because "not all use-cases have the same
+/// needs": privilege separation needs the adversarial model, a concurrent
+/// web server may settle for fault isolation, and a trusted snapshot child
+/// may disable protection entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IsolationLevel {
+    /// No isolation: the whole system is trusted to be correct (e.g.
+    /// Redis snapshot children). Checks are skipped.
+    None,
+    /// Non-adversarial fault isolation: memory isolation and cheap kernel
+    /// checks, but no TOCTTOU protection (e.g. Nginx workers).
+    Fault,
+    /// Full adversarial isolation: memory isolation, syscall argument
+    /// validation, and TOCTTOU copy-in/copy-out (e.g. qmail-style
+    /// privilege separation).
+    #[default]
+    Full,
+}
+
+impl IsolationLevel {
+    /// Whether memory accesses are checked against capabilities/regions.
+    pub const fn checks_memory(self) -> bool {
+        !matches!(self, IsolationLevel::None)
+    }
+
+    /// Whether syscall arguments are validated.
+    pub const fn validates_syscalls(self) -> bool {
+        matches!(self, IsolationLevel::Full)
+    }
+
+    /// Whether user buffers are copied to defeat TOCTTOU races.
+    pub const fn tocttou_protection(self) -> bool {
+        matches!(self, IsolationLevel::Full)
+    }
+}
+
+/// Memory duplication strategy used by μFork's fork (paper §3.8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CopyStrategy {
+    /// Synchronous upfront copy of the whole parent image.
+    Full,
+    /// Copy-on-access: shared pages are inaccessible to the child; any
+    /// access (and any parent write) triggers copy + relocation.
+    CoA,
+    /// Copy-on-pointer-access: pages are shared read-only; writes by
+    /// either side, or a *capability load by the child*, trigger copy +
+    /// relocation. Plain reads stay shared.
+    #[default]
+    CoPA,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolation_level_feature_matrix() {
+        assert!(!IsolationLevel::None.checks_memory());
+        assert!(IsolationLevel::Fault.checks_memory());
+        assert!(!IsolationLevel::Fault.validates_syscalls());
+        assert!(!IsolationLevel::Fault.tocttou_protection());
+        assert!(IsolationLevel::Full.validates_syscalls());
+        assert!(IsolationLevel::Full.tocttou_protection());
+    }
+
+    #[test]
+    fn errno_displays_posix_names() {
+        assert_eq!(Errno::Fault.to_string(), "EFAULT");
+        assert_eq!(Errno::Child.to_string(), "ECHILD");
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(IsolationLevel::default(), IsolationLevel::Full);
+        assert_eq!(CopyStrategy::default(), CopyStrategy::CoPA);
+    }
+}

@@ -1,0 +1,168 @@
+//! The [`Program`] trait and its step protocol.
+
+use ufork_cheri::Capability;
+
+use crate::env::Env;
+use crate::{Errno, Fd, ForkResult};
+
+/// A forkable user program.
+///
+/// Implementations are state machines: each [`Program::resume`] call runs
+/// until the program exits, forks, or needs a blocking call. Host-side
+/// state must be plain data (counters, offsets, fds, phase enums) — all
+/// capabilities live in registers or simulated memory (see the
+/// crate-level contract).
+pub trait Program {
+    /// Resumes execution.
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome;
+
+    /// Clones the program state (used by `fork` to create the child's
+    /// continuation, as fork duplicates the calling thread).
+    fn clone_box(&self) -> Box<dyn Program>;
+
+    /// Downcast hook so harnesses can read results out of a finished
+    /// program (e.g. request counters).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+impl Clone for Box<dyn Program> {
+    fn clone(&self) -> Box<dyn Program> {
+        self.clone_box()
+    }
+}
+
+/// Why the program is being resumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resume {
+    /// First entry.
+    Start,
+    /// Returning from `fork`.
+    Forked(ForkResult),
+    /// Returning from a blocking call with its result (`u64` payload:
+    /// bytes read, reaped PID, or 0).
+    Ret(Result<u64, Errno>),
+}
+
+/// A cloneable, opaquely-debuggable boxed program (for [`StepOutcome::Exec`]).
+pub struct ProgramBox(pub Box<dyn Program>);
+
+impl Clone for ProgramBox {
+    fn clone(&self) -> ProgramBox {
+        ProgramBox(self.0.clone_box())
+    }
+}
+
+impl std::fmt::Debug for ProgramBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProgramBox(..)")
+    }
+}
+
+/// What the program wants from the kernel.
+#[derive(Clone, Debug)]
+pub enum StepOutcome {
+    /// Terminate with an exit code.
+    Exit(i32),
+    /// Fork this μprocess. The parent and the cloned child are resumed
+    /// with [`Resume::Forked`].
+    Fork,
+    /// Replace this process image and program (`execve`): the old memory
+    /// is torn down, a fresh image is loaded, and `program` starts from
+    /// [`Resume::Start`]. File descriptors are preserved, as POSIX
+    /// requires. Never returns to the old program.
+    Exec {
+        /// The new process image.
+        image: crate::ImageSpec,
+        /// The new program.
+        program: ProgramBox,
+    },
+    /// Perform a potentially blocking call; resumed with [`Resume::Ret`].
+    Block(BlockingCall),
+}
+
+/// Kernel calls that may block the calling thread.
+#[derive(Clone, Debug)]
+pub enum BlockingCall {
+    /// Read up to `len` bytes into `buf` from a pipe/socket/file,
+    /// blocking until data (or EOF) is available.
+    Read {
+        /// Source descriptor.
+        fd: Fd,
+        /// Destination buffer (cursor = start).
+        buf: Capability,
+        /// Maximum bytes.
+        len: u64,
+    },
+    /// Accept the next connection on a listening descriptor; returns the
+    /// connection's descriptor.
+    Accept {
+        /// Listening descriptor.
+        fd: Fd,
+    },
+    /// Wait for any child to exit; returns the reaped child's PID.
+    Wait,
+    /// Sleep for `ns` simulated nanoseconds.
+    Sleep {
+        /// Duration in nanoseconds.
+        ns: f64,
+    },
+    /// Yield the CPU to another runnable thread.
+    Yield,
+    /// Create a new thread in this process, running `program` from
+    /// [`Resume::Start`]. Threads share memory, file descriptors, and the
+    /// register file; `fork` copies only the calling thread (paper §3.4:
+    /// "each μprocess may have many threads ... fork ... copies a single
+    /// thread"). Returns the new thread's id.
+    SpawnThread {
+        /// The thread body.
+        program: ProgramBox,
+    },
+    /// Wait for thread `tid` of this process to exit; returns its exit
+    /// code.
+    JoinThread {
+        /// Thread id from [`BlockingCall::SpawnThread`].
+        tid: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pid;
+
+    #[derive(Clone)]
+    struct Counter(u32);
+
+    impl Program for Counter {
+        fn resume(&mut self, _env: &mut dyn Env, _input: Resume) -> StepOutcome {
+            self.0 += 1;
+            if self.0 >= 2 {
+                StepOutcome::Exit(0)
+            } else {
+                StepOutcome::Block(BlockingCall::Yield)
+            }
+        }
+
+        fn clone_box(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn boxed_programs_clone() {
+        let p: Box<dyn Program> = Box::new(Counter(1));
+        let _q = p.clone();
+    }
+
+    #[test]
+    fn resume_variants_carry_payloads() {
+        let r = Resume::Forked(ForkResult::Parent(Pid(3)));
+        assert!(matches!(r, Resume::Forked(ForkResult::Parent(Pid(3)))));
+        let r = Resume::Ret(Ok(7));
+        assert!(matches!(r, Resume::Ret(Ok(7))));
+    }
+}

@@ -1,0 +1,197 @@
+//! `repro` — regenerates every table and figure of the μFork evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [table1|fig3|...|fig9|ablations|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks iteration counts / windows (CI-friendly); the default
+//! runs the paper's parameters. All times are *simulated* (see DESIGN.md).
+
+use std::env;
+
+use ufork_bench::report::{num, render_table, size_label};
+use ufork_bench::{
+    ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep, fig6,
+    fig7, fig8, fig9, redis_sweep, table1, AblationRow, RedisRow,
+};
+
+fn print_ablation(title: &str, rows: &[AblationRow]) {
+    println!("== Ablation: {title} ==");
+    for r in rows {
+        let metrics: Vec<String> = r
+            .metrics
+            .iter()
+            .map(|(n, v, u)| format!("{n}: {}{u}", num(*v)))
+            .collect();
+        println!("  {:<42} {}", r.label, metrics.join("  |  "));
+    }
+    println!();
+}
+
+fn print_table1() {
+    println!("== Table 1: SASOS fork systems comparison ==");
+    let rows = table1();
+    let headers: Vec<&str> = rows[0].to_vec();
+    let body: Vec<Vec<String>> = rows[1..]
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    println!("{}", render_table(&headers, &body));
+}
+
+fn redis_rows(quick: bool) -> Vec<RedisRow> {
+    if quick {
+        ufork_bench::redis_sizes()
+            .into_iter()
+            .take(2)
+            .flat_map(|(e, v)| {
+                ufork_bench::redis_systems()
+                    .into_iter()
+                    .map(move |s| ufork_bench::redis_run(s, e, v))
+            })
+            .collect()
+    } else {
+        redis_sweep()
+    }
+}
+
+fn print_redis(rows: &[RedisRow], metric: &str) {
+    let mut sizes: Vec<u64> = rows.iter().map(|r| r.db_bytes).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut systems: Vec<String> = Vec::new();
+    for r in rows {
+        if !systems.contains(&r.system) {
+            systems.push(r.system.clone());
+        }
+    }
+    let mut headers = vec!["DB size".to_string()];
+    headers.extend(systems.iter().cloned());
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let body: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|sz| {
+            let mut cells = vec![size_label(*sz)];
+            for sysname in &systems {
+                let cell = rows
+                    .iter()
+                    .find(|r| r.db_bytes == *sz && &r.system == sysname)
+                    .map(|r| match metric {
+                        "save_ms" => num(r.save_ms),
+                        "fork_us" => num(r.fork_us),
+                        _ => num(r.mem_mb),
+                    })
+                    .unwrap_or_else(|| "-".to_string());
+                cells.push(cell);
+            }
+            cells
+        })
+        .collect();
+    println!("{}", render_table(&headers_ref, &body));
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let mut redis_cache: Option<Vec<RedisRow>> = None;
+    let mut redis = |quick: bool| -> Vec<RedisRow> {
+        if redis_cache.is_none() {
+            redis_cache = Some(redis_rows(quick));
+        }
+        redis_cache.clone().unwrap()
+    };
+
+    let all = what == "all";
+    if all || what == "table1" {
+        print_table1();
+    }
+    if all || what == "fig3" || what == "fig4" || what == "fig5" {
+        let rows = redis(quick);
+        if all || what == "fig3" {
+            println!("== Figure 3: Redis DB overall save times (ms) ==");
+            print_redis(&rows, "save_ms");
+        }
+        if all || what == "fig4" {
+            println!("== Figure 4: Redis fork latency (µs) ==");
+            print_redis(&rows, "fork_us");
+        }
+        if all || what == "fig5" {
+            println!("== Figure 5: Redis forked-process memory consumption (MB) ==");
+            print_redis(&rows, "mem_mb");
+        }
+    }
+    if all || what == "fig6" {
+        println!("== Figure 6: FaaS function throughput (functions/s) ==");
+        let window = if quick { 0.2e9 } else { 1.0e9 };
+        let rows = fig6(window);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| vec![r.system.clone(), r.cores.to_string(), num(r.throughput)])
+            .collect();
+        println!(
+            "{}",
+            render_table(&["System", "Worker cores", "Functions/s"], &body)
+        );
+    }
+    if all || what == "fig7" {
+        println!("== Figure 7: Nginx throughput (requests/s) ==");
+        let window = if quick { 0.1e9 } else { 0.5e9 };
+        let rows = fig7(window);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.system.clone(),
+                    r.cores.to_string(),
+                    r.workers.to_string(),
+                    num(r.throughput),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["System", "Cores", "Workers", "Requests/s"], &body)
+        );
+    }
+    if all || what == "fig8" {
+        println!("== Figure 8: hello-world fork latency and memory ==");
+        let rows = fig8();
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| vec![r.system.clone(), num(r.fork_us), format!("{:.2}", r.mem_mb)])
+            .collect();
+        println!(
+            "{}",
+            render_table(&["System", "fork latency (µs)", "child memory (MB)"], &body)
+        );
+    }
+    if all || what == "ablations" {
+        print_ablation("fork vs fork+exec (U1)", &ablation_fork_vs_exec());
+        print_ablation("isolation levels (R4)", &ablation_isolation_sweep());
+        print_ablation(
+            "eager vs lazy GOT/metadata copy (paper §3.5)",
+            &ablation_eager_vs_lazy(),
+        );
+        print_ablation("region ASLR (paper §3.7)", &ablation_aslr());
+    }
+    if all || what == "fig9" {
+        println!("== Figure 9: Unixbench Spawn and Context1 ==");
+        let (iters, limit) = if quick { (100, 5_000) } else { (1000, 100_000) };
+        let rows = fig9(iters, limit);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| vec![r.system.clone(), num(r.spawn_ms), num(r.context1_ms)])
+            .collect();
+        let spawn_hdr = format!("Spawn x{iters} (ms)");
+        let ctx_hdr = format!("Context1 to {limit} (ms)");
+        println!("{}", render_table(&["System", &spawn_hdr, &ctx_hdr], &body));
+    }
+}

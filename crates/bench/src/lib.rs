@@ -1,0 +1,13 @@
+//! Experiment harness regenerating every table and figure of the μFork
+//! evaluation (paper §5).
+//!
+//! Each `figN` function runs the corresponding experiment in simulated
+//! time and returns structured rows; the `repro` binary renders them as
+//! the paper's tables/series. `EXPERIMENTS.md` records paper-vs-measured.
+
+pub mod ablations;
+pub mod experiments;
+pub mod report;
+
+pub use ablations::*;
+pub use experiments::*;

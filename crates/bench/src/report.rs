@@ -1,0 +1,90 @@
+//! Plain-text table rendering for the `repro` binary.
+
+/// Renders rows of cells as an aligned table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<w$}", c, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a f64 with sensible precision for the magnitude.
+pub fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Human-readable size label for a DB size in bytes.
+pub fn size_label(bytes: u64) -> String {
+    if bytes >= 1_000_000 {
+        format!("{}MB", bytes / 1_000_000)
+    } else {
+        format!("{}KB", bytes / 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a     long-header"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(1234.6), "1235");
+        assert_eq!(num(56.78), "56.8");
+        assert_eq!(num(1.234), "1.23");
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(100_000), "100KB");
+        assert_eq!(size_label(1_000_000), "1MB");
+        assert_eq!(size_label(100_000_000), "100MB");
+    }
+}

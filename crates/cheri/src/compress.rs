@@ -1,0 +1,158 @@
+//! CHERI Concentrate bounds compression (informative model).
+//!
+//! Real 128-bit capabilities cannot store full 64-bit base/top values;
+//! Morello encodes bounds with a floating-point-style scheme (CHERI
+//! Concentrate [Woodruff et al.]): a mantissa of `MW` bits and a shared
+//! exponent. Small objects get exact bounds; large objects' bounds are
+//! rounded outward to a multiple of 2^e — which is why CHERI allocators
+//! must pad large allocations to representable sizes, and why the μFork
+//! prototype's tinyalloc port aligns to 16 bytes and beyond.
+//!
+//! The kernel in this reproduction keeps exact bounds (see the crate-level
+//! rationale); this module exists to (a) document the hardware constraint,
+//! (b) let tests check that every bound the kernel actually mints *is*
+//! representable, so the model never relies on precision real hardware
+//! lacks.
+
+/// Mantissa width of the Morello bounds encoding.
+pub const MANTISSA_BITS: u32 = 14;
+
+/// A representable-bounds computation result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepresentableBounds {
+    /// Rounded-down base.
+    pub base: u64,
+    /// Rounded-up top (saturating at `u64::MAX`).
+    pub top: u64,
+    /// The exponent used (0 = exact).
+    pub exponent: u32,
+}
+
+impl RepresentableBounds {
+    /// Length of the representable range.
+    pub fn len(&self) -> u64 {
+        self.top - self.base
+    }
+
+    /// True if the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.top == self.base
+    }
+}
+
+/// Computes the smallest representable range containing `[base, base+len)`.
+///
+/// Lengths below `2^MANTISSA_BITS` are always exact; larger ones round
+/// base down and top up to `2^e` with `e = bits(len) - MANTISSA_BITS`.
+pub fn representable(base: u64, len: u64) -> RepresentableBounds {
+    if len < (1 << MANTISSA_BITS) {
+        return RepresentableBounds {
+            base,
+            top: base.saturating_add(len),
+            exponent: 0,
+        };
+    }
+    let e = 64 - MANTISSA_BITS - (len.leading_zeros().min(64 - MANTISSA_BITS));
+    let align = 1u64 << e;
+    let rbase = base & !(align - 1);
+    let top = base.saturating_add(len);
+    let rtop = match top.checked_add(align - 1) {
+        Some(t) => t & !(align - 1),
+        None => u64::MAX,
+    };
+    RepresentableBounds {
+        base: rbase,
+        top: rtop,
+        exponent: e,
+    }
+}
+
+/// True if `[base, base+len)` is exactly representable.
+pub fn is_representable(base: u64, len: u64) -> bool {
+    let r = representable(base, len);
+    r.base == base && r.top == base.saturating_add(len)
+}
+
+/// Pads an allocation request so that, placed at any `align(e)`-aligned
+/// base, its bounds are exactly representable — what a CHERI-aware
+/// allocator does for large objects.
+pub fn representable_len(len: u64) -> u64 {
+    if len < (1 << MANTISSA_BITS) {
+        return len;
+    }
+    let r = representable(0, len);
+    r.top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_lengths_are_exact() {
+        for len in [0u64, 1, 16, 4096, (1 << MANTISSA_BITS) - 1] {
+            assert!(is_representable(0x1234_5677, len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn large_unaligned_bounds_round_outward() {
+        let base = 0x1_0001;
+        let len = 1 << 20; // 1 MiB needs e = 21 - 14 = 7 (128 B align)
+        let r = representable(base, len);
+        assert!(r.exponent > 0);
+        assert!(r.base <= base);
+        assert!(r.top >= base + len);
+        assert_eq!(r.base % (1 << r.exponent), 0);
+        assert_eq!(r.top % (1 << r.exponent), 0);
+        // The rounding is tight: less than one alignment unit each side.
+        assert!(base - r.base < (1 << r.exponent));
+        assert!(r.top - (base + len) < (1 << r.exponent));
+    }
+
+    #[test]
+    fn aligned_large_bounds_are_exact() {
+        // A 1 MiB object at a 1 MiB-aligned base is representable.
+        assert!(is_representable(0x10_0000, 1 << 20));
+        // Page-aligned object of page-multiple size below the exponent
+        // threshold for 4 KiB granularity: e for 16 MiB = 25-14 = 11
+        // (2 KiB), so page alignment suffices.
+        assert!(is_representable(0x40_0000, 16 << 20));
+    }
+
+    #[test]
+    fn representable_len_padding() {
+        assert_eq!(representable_len(100), 100);
+        let padded = representable_len((1 << 20) + 3);
+        assert!(padded >= (1 << 20) + 3);
+        assert!(is_representable(0, padded));
+    }
+
+    #[test]
+    fn kernel_minted_bounds_are_representable() {
+        // The shapes the μFork kernel actually mints: page-aligned
+        // segments and 16-byte-aligned heap blocks — all representable.
+        for (base, len) in [
+            (0x10_0000u64, 0x1000u64), // a page
+            (0x10_0000, 0x40_0000),    // a 4 MiB segment
+            (0x12_3450, 0x90),         // a small heap block
+            (0x1000_0000, 0x800_0000), // a 128 MiB static heap (aligned)
+        ] {
+            assert!(
+                is_representable(base, len),
+                "kernel shape ({base:#x}, {len:#x}) must be representable"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_len() {
+        // Growing the request never shrinks the representable range.
+        let mut prev_top = 0;
+        for len in (0..64).map(|i| 1u64 << i) {
+            let r = representable(0x7777_0000, len.saturating_sub(1));
+            assert!(r.top >= prev_top);
+            prev_top = r.top;
+        }
+    }
+}

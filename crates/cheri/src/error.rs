@@ -1,0 +1,77 @@
+//! Capability operation errors.
+
+use core::fmt;
+
+use crate::{OType, Perms};
+
+/// Errors raised by capability derivation and access checks.
+///
+/// On real hardware most of these clear the validity tag of the result (for
+/// derivations) or raise a capability fault (for accesses). The simulator
+/// surfaces them as values so kernels and tests can react precisely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapError {
+    /// Attempt to widen bounds beyond the parent capability.
+    BoundsWiden,
+    /// Attempt to add a permission the parent lacks.
+    PermsWiden,
+    /// Access outside `[base, base+len)`.
+    OutOfBounds {
+        /// Address at which the access started.
+        addr: u64,
+        /// Access length in bytes.
+        len: u64,
+    },
+    /// Access without the required permission.
+    PermissionDenied {
+        /// The missing permission(s).
+        missing: Perms,
+    },
+    /// Operation on a sealed capability that requires an unsealed one.
+    Sealed(OType),
+    /// Unseal with the wrong otype or without unseal authority.
+    BadUnseal,
+    /// Seal with an otype the sealing authority does not cover.
+    BadSeal,
+    /// Operation on an untagged (invalid) capability.
+    TagCleared,
+    /// Arithmetic overflowed the 64-bit address space.
+    AddressOverflow,
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::BoundsWiden => write!(f, "capability bounds cannot be widened"),
+            CapError::PermsWiden => write!(f, "capability permissions cannot be widened"),
+            CapError::OutOfBounds { addr, len } => {
+                write!(f, "access of {len} bytes at {addr:#x} is out of bounds")
+            }
+            CapError::PermissionDenied { missing } => {
+                write!(f, "capability lacks required permission {missing:?}")
+            }
+            CapError::Sealed(ot) => write!(f, "capability is sealed with {ot:?}"),
+            CapError::BadUnseal => write!(f, "unseal authority does not match"),
+            CapError::BadSeal => write!(f, "seal authority does not cover otype"),
+            CapError::TagCleared => write!(f, "capability tag is cleared"),
+            CapError::AddressOverflow => write!(f, "capability address arithmetic overflowed"),
+        }
+    }
+}
+
+impl std::error::Error for CapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = CapError::OutOfBounds {
+            addr: 0x1000,
+            len: 16,
+        };
+        assert!(e.to_string().contains("0x1000"));
+        assert!(CapError::TagCleared.to_string().contains("tag"));
+    }
+}

@@ -1,0 +1,49 @@
+//! A software model of the CHERI capability architecture.
+//!
+//! This crate reproduces the parts of CHERI that the μFork design depends
+//! on (paper §2.4 and §4):
+//!
+//! * **Capabilities** ([`Capability`]) — bounded, permissioned fat pointers.
+//!   Every memory reference a μprocess holds is a capability; dereferences
+//!   are checked against bounds and permissions.
+//! * **Monotonicity** — bounds and permissions can only ever be *narrowed*
+//!   by derivation; any attempt to widen them fails (and, on real hardware,
+//!   clears the validity tag). This is the invariant cross-μprocess
+//!   isolation is built on (paper §4.3).
+//! * **Sealing** ([`Capability::seal`]) — a sealed capability is immutable
+//!   and non-dereferenceable until unsealed with a matching authority; μFork
+//!   uses sealed entry capabilities for trap-less system calls (paper §4.4).
+//! * **Tags** — a 1-bit validity tag per capability, stored out of band.
+//!   Tag storage itself lives with the memory model (`ufork-mem`); this
+//!   crate defines the capability values the tags protect.
+//!
+//! The model is *uncompressed*: a real Morello capability packs bounds into
+//! 128 bits with the CHERI Concentrate encoding, losing precision for large
+//! objects. We keep exact bounds — the μFork relocation logic never relies
+//! on compression artifacts, and exact bounds make the isolation proofs in
+//! the test suite sharper.
+//!
+//! # Examples
+//!
+//! ```
+//! use ufork_cheri::{Capability, Perms};
+//!
+//! // A root capability over 1 MiB of address space.
+//! let root = Capability::new_root(0x1000, 0x10_0000, Perms::data());
+//! // Derive a narrower capability over one page; monotonic, so OK.
+//! let page = root.with_bounds(0x2000, 0x1000).unwrap();
+//! assert!(page.check_access(0x2000, 16, Perms::LOAD).is_ok());
+//! // Widening back out is refused.
+//! assert!(page.with_bounds(0x1000, 0x10_0000).is_err());
+//! ```
+
+mod capability;
+pub mod compress;
+mod error;
+mod otype;
+mod perms;
+
+pub use capability::{Capability, CAP_ALIGN, CAP_SIZE};
+pub use error::CapError;
+pub use otype::OType;
+pub use perms::Perms;

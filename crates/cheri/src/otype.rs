@@ -1,0 +1,75 @@
+//! Object types for capability sealing.
+
+use core::fmt;
+
+/// An object type ("otype") used to seal capabilities.
+///
+/// Sealing a capability with an otype freezes it: sealed capabilities
+/// cannot be dereferenced or modified, only invoked (for sealed entry
+/// capabilities) or unsealed by a capability whose bounds cover the otype
+/// and which carries [`crate::Perms::UNSEAL`].
+///
+/// μFork reserves a small set of well-known otypes for its trap-less
+/// system-call entry capabilities.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OType(u32);
+
+impl OType {
+    /// Maximum representable otype (Morello dedicates 15 bits; we keep 18
+    /// like CHERI-RISC-V to leave headroom for per-μprocess otypes).
+    pub const MAX: u32 = (1 << 18) - 1;
+
+    /// The otype μFork seals its system-call entry capability with.
+    pub const SYSCALL_ENTRY: OType = OType(1);
+
+    /// Otype sealing the per-thread kernel context switchers.
+    pub const KERNEL_CONTEXT: OType = OType(2);
+
+    /// First otype available for dynamic allocation by the kernel.
+    pub const FIRST_DYNAMIC: OType = OType(16);
+
+    /// Creates an otype from a raw value.
+    ///
+    /// Returns `None` if the value exceeds [`OType::MAX`].
+    pub const fn new(raw: u32) -> Option<OType> {
+        if raw <= OType::MAX {
+            Some(OType(raw))
+        } else {
+            None
+        }
+    }
+
+    /// The raw otype value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for OType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            OType::SYSCALL_ENTRY => write!(f, "OType(SYSCALL_ENTRY)"),
+            OType::KERNEL_CONTEXT => write!(f, "OType(KERNEL_CONTEXT)"),
+            OType(v) => write!(f, "OType({v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_respects_max() {
+        assert!(OType::new(0).is_some());
+        assert!(OType::new(OType::MAX).is_some());
+        assert!(OType::new(OType::MAX + 1).is_none());
+    }
+
+    #[test]
+    fn well_known_otypes_are_distinct() {
+        assert_ne!(OType::SYSCALL_ENTRY, OType::KERNEL_CONTEXT);
+        assert!(OType::SYSCALL_ENTRY.raw() < OType::FIRST_DYNAMIC.raw());
+        assert!(OType::KERNEL_CONTEXT.raw() < OType::FIRST_DYNAMIC.raw());
+    }
+}

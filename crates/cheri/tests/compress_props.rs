@@ -1,0 +1,65 @@
+//! Property tests for the Morello bounds-compression model.
+
+use proptest::prelude::*;
+use ufork_cheri::compress::{is_representable, representable, representable_len, MANTISSA_BITS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The representable range always contains the requested range.
+    #[test]
+    fn representable_contains_request(base in any::<u64>(), len in 0u64..(1 << 40)) {
+        let r = representable(base, len);
+        prop_assert!(r.base <= base);
+        prop_assert!(r.top >= base.saturating_add(len));
+    }
+
+    /// The rounding is tight: at most one alignment unit each side.
+    #[test]
+    fn rounding_is_tight(base in any::<u64>(), len in 1u64..(1 << 40)) {
+        let r = representable(base, len);
+        let unit = 1u64 << r.exponent;
+        prop_assert!(base - r.base < unit);
+        if r.top != u64::MAX {
+            prop_assert!(r.top - base.saturating_add(len) < unit);
+        }
+    }
+
+    /// Small lengths are always exact, regardless of the base.
+    #[test]
+    fn small_lengths_exact(base in any::<u64>(), len in 0u64..(1 << MANTISSA_BITS)) {
+        prop_assert!(is_representable(base, len));
+    }
+
+    /// Padded lengths are exactly representable at any base aligned to
+    /// the padded length's exponent.
+    #[test]
+    fn padded_lengths_representable(len in 1u64..(1 << 40)) {
+        let padded = representable_len(len);
+        prop_assert!(padded >= len);
+        prop_assert!(is_representable(0, padded));
+        // Idempotent.
+        prop_assert_eq!(representable_len(padded), padded);
+    }
+
+    /// Representable-ness is preserved under shifting by the alignment
+    /// unit — the property μFork's relocation relies on: regions share a
+    /// layout, so a representable bound stays representable after the
+    /// rebase as long as region bases are aligned at least as strongly.
+    #[test]
+    fn shift_by_unit_preserves_representability(
+        base in (0u64..(1 << 40)),
+        len in 1u64..(1 << 32),
+        k in 1u64..1024,
+    ) {
+        let r = representable(base, len);
+        if r.base == base && r.top == base + len {
+            let unit = 1u64 << r.exponent;
+            let shifted = base + k * unit;
+            prop_assert!(
+                is_representable(shifted, len),
+                "shift by {k}x{unit:#x} broke representability"
+            );
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! User memory access and transparent fault resolution (CoW / CoA / CoPA).
+
+use ufork_abi::{Errno, Pid, SysResult};
+use ufork_cheri::{Capability, Perms};
+use ufork_exec::Ctx;
+use ufork_mem::{GRANULE_SIZE, PAGE_SIZE};
+use ufork_vmem::{AccessKind, Fault, VirtAddr};
+
+use crate::kernel::UforkOs;
+use crate::reloc::{reloc_cost, relocate_frame};
+
+impl UforkOs {
+    /// Checks a capability for an access, enforcing the μprocess
+    /// confinement invariant (paper §4.2: all capabilities available to a
+    /// μprocess only grant access within its region).
+    fn check_cap(
+        &self,
+        ctx: &mut Ctx,
+        pid: Pid,
+        cap: &Capability,
+        addr: u64,
+        len: u64,
+        perms: Perms,
+    ) -> SysResult<()> {
+        if !self.isolation.checks_memory() {
+            return Ok(());
+        }
+        let p = self.proc(pid)?;
+        if !cap.confined_to(p.region.base.0, p.region.len) {
+            // A capability escaping the region (stale parent pointer,
+            // forgery, leaked kernel cap) — the hardware would never have
+            // produced it; the kernel refuses and records the violation.
+            ctx.counters.isolation_violations += 1;
+            return Err(Errno::Fault);
+        }
+        cap.check_access(addr, len, perms).map_err(|_| {
+            // A bounds/permission refusal by the capability hardware is
+            // the isolation mechanism firing.
+            ctx.counters.isolation_violations += 1;
+            Errno::Fault
+        })
+    }
+
+    /// Translates one page-confined access, resolving transparent faults.
+    fn translate_user(
+        &mut self,
+        ctx: &mut Ctx,
+        pid: Pid,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> SysResult<ufork_vmem::Pte> {
+        // At most: one strategy fault + one residual CoW fault.
+        for _ in 0..4 {
+            let Some(pte) = self.pt.lookup(va.vpn()) else {
+                return Err(Errno::Fault);
+            };
+            // Peek the tag for capability loads: LC_FAULT only fires when
+            // the loaded granule is actually tagged (paper §4.2).
+            let tagged = kind == AccessKind::CapLoad
+                && self
+                    .pm
+                    .load_cap(pte.pfn, va.granule_align_down().page_offset())
+                    .ok()
+                    .flatten()
+                    .is_some();
+            match self.pt.translate(va, kind, tagged) {
+                Ok(pte) => return Ok(pte),
+                Err(f) if f.is_transparent() => self.resolve_fault(ctx, pid, f)?,
+                Err(_) => return Err(Errno::Fault),
+            }
+        }
+        Err(Errno::Fault)
+    }
+
+    /// Resolves a CoW / CoA / capability-load fault by copying (or
+    /// reclaiming) the page and relocating its capabilities (paper §4.2,
+    /// "the copy follows three steps").
+    pub(crate) fn resolve_fault(&mut self, ctx: &mut Ctx, pid: Pid, fault: Fault) -> SysResult<()> {
+        match fault {
+            Fault::Cow { .. } => ctx.counters.cow_faults += 1,
+            Fault::CoAccess { .. } => ctx.counters.coa_faults += 1,
+            Fault::CapLoad { .. } => ctx.counters.cap_load_faults += 1,
+            _ => return Err(Errno::Fault),
+        }
+        ctx.kernel(self.cost.fault_entry);
+        let va = fault.va();
+        let vpn = va.vpn();
+        let pte = self.pt.lookup(vpn).ok_or(Errno::Fault)?;
+        let (region, layout_off, final_flags) = {
+            let p = self.proc(pid)?;
+            let off = vpn.base().0 - p.region.base.0;
+            (p.region, off, Self::seg_flags(p.layout.segment_of(off)))
+        };
+        let refcount = self.pm.refcount(pte.pfn).map_err(|_| Errno::Fault)?;
+        let pfn = if refcount > 1 {
+            // Step 1+2: point the child PTE at a fresh frame and copy.
+            let new = self.pm.alloc_frame().map_err(|_| Errno::NoMem)?;
+            self.pm.copy_frame(pte.pfn, new).map_err(|_| Errno::Fault)?;
+            self.pm.dec_ref(pte.pfn).map_err(|_| Errno::Fault)?;
+            ctx.kernel(self.cost.page_alloc + self.cost.page_copy);
+            ctx.counters.pages_copied += 1;
+            new
+        } else {
+            // Last sharer: reclaim in place (no copy needed).
+            pte.pfn
+        };
+        self.pt.map(vpn, pfn, final_flags);
+        ctx.kernel(self.cost.pte_write);
+        ctx.counters.ptes_written += 1;
+
+        // Step 3: scan and relocate (paper §4.2). The scan runs on every
+        // resolved copy; for parent-side CoW faults it finds nothing.
+        let root = self.proc(pid)?.root;
+        let sources = self.source_regions();
+        let stats = relocate_frame(&mut self.pm, pfn, region, &root, &|addr| {
+            sources
+                .iter()
+                .find(|r| addr >= r.base.0 && addr < r.base.0 + r.len)
+                .copied()
+        });
+        let _ = layout_off;
+        ctx.kernel(reloc_cost(&self.cost, &stats));
+        ctx.counters.granules_scanned += stats.granules_scanned;
+        ctx.counters.caps_relocated += stats.relocated + stats.cleared;
+        Ok(())
+    }
+
+    /// User data load (multi-page capable).
+    pub(crate) fn user_load(
+        &mut self,
+        ctx: &mut Ctx,
+        pid: Pid,
+        cap: &Capability,
+        buf: &mut [u8],
+    ) -> SysResult<()> {
+        self.check_cap(ctx, pid, cap, cap.addr(), buf.len() as u64, Perms::LOAD)?;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let va = VirtAddr(cap.addr() + done as u64);
+            let in_page = ((PAGE_SIZE - va.page_offset()) as usize).min(buf.len() - done);
+            let pte = self.translate_user(ctx, pid, va, AccessKind::Load)?;
+            self.pm
+                .read(pte.pfn, va.page_offset(), &mut buf[done..done + in_page])
+                .map_err(|_| Errno::Fault)?;
+            done += in_page;
+        }
+        Ok(())
+    }
+
+    /// User data store (multi-page capable).
+    pub(crate) fn user_store(
+        &mut self,
+        ctx: &mut Ctx,
+        pid: Pid,
+        cap: &Capability,
+        data: &[u8],
+    ) -> SysResult<()> {
+        self.check_cap(ctx, pid, cap, cap.addr(), data.len() as u64, Perms::STORE)?;
+        let mut done = 0usize;
+        while done < data.len() {
+            let va = VirtAddr(cap.addr() + done as u64);
+            let in_page = ((PAGE_SIZE - va.page_offset()) as usize).min(data.len() - done);
+            let pte = self.translate_user(ctx, pid, va, AccessKind::Store)?;
+            self.pm
+                .write(pte.pfn, va.page_offset(), &data[done..done + in_page])
+                .map_err(|_| Errno::Fault)?;
+            done += in_page;
+        }
+        Ok(())
+    }
+
+    /// User capability load: may raise a CoPA fault first.
+    pub(crate) fn user_load_cap(
+        &mut self,
+        ctx: &mut Ctx,
+        pid: Pid,
+        cap: &Capability,
+    ) -> SysResult<Option<Capability>> {
+        let va = VirtAddr(cap.addr());
+        if !va.is_granule_aligned() {
+            return Err(Errno::Fault);
+        }
+        self.check_cap(
+            ctx,
+            pid,
+            cap,
+            cap.addr(),
+            GRANULE_SIZE,
+            Perms::LOAD | Perms::LOAD_CAP,
+        )?;
+        let pte = self.translate_user(ctx, pid, va, AccessKind::CapLoad)?;
+        self.pm
+            .load_cap(pte.pfn, va.page_offset())
+            .map_err(|_| Errno::Fault)
+    }
+
+    /// User capability store.
+    pub(crate) fn user_store_cap(
+        &mut self,
+        ctx: &mut Ctx,
+        pid: Pid,
+        cap: &Capability,
+        value: &Capability,
+    ) -> SysResult<()> {
+        let va = VirtAddr(cap.addr());
+        if !va.is_granule_aligned() {
+            return Err(Errno::Fault);
+        }
+        self.check_cap(
+            ctx,
+            pid,
+            cap,
+            cap.addr(),
+            GRANULE_SIZE,
+            Perms::STORE | Perms::STORE_CAP,
+        )?;
+        // Storing a capability that escapes the region would plant a
+        // landmine for a future sharer; the hardware's monotonicity makes
+        // this impossible (the μprocess cannot *have* such a cap), and the
+        // kernel enforces the same.
+        if self.isolation.checks_memory() {
+            let p = self.proc(pid)?;
+            if !value.confined_to(p.region.base.0, p.region.len) {
+                ctx.counters.isolation_violations += 1;
+                return Err(Errno::Fault);
+            }
+        }
+        let pte = self.translate_user(ctx, pid, va, AccessKind::CapStore)?;
+        self.pm
+            .store_cap(pte.pfn, va.page_offset(), value)
+            .map_err(|_| Errno::Fault)
+    }
+}

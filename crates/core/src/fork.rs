@@ -1,0 +1,215 @@
+//! The μFork fork walk (paper §3.5).
+//!
+//! 1. **Parent state duplication** — reserve a contiguous child region,
+//!    copy the parent's PTEs so the child maps the same physical pages,
+//!    proactively copy + relocate the GOT and the in-use allocator
+//!    metadata, and arm the configured copy strategy on everything else.
+//! 2. **Post-copy phase** — mint the child's root capability, relocate
+//!    the register file, and hand the child to the scheduler (done by the
+//!    executive).
+
+use ufork_abi::{CopyStrategy, Errno, Pid, SysResult};
+use ufork_cheri::{Capability, Perms};
+use ufork_exec::Ctx;
+use ufork_mem::{Pfn, PAGE_SIZE};
+use ufork_vmem::{Pte, PteFlags, Region, VirtAddr, Vpn};
+
+use crate::kernel::{UProc, UforkOs};
+use crate::layout::Segment;
+use crate::reloc::{reloc_cost, relocate_frame};
+
+impl UforkOs {
+    /// Reads a `u64` from a μprocess' memory, kernel-side (no faults: the
+    /// parent's own pages are always readable by the kernel).
+    fn kread_u64(&self, va: u64) -> SysResult<u64> {
+        let v = VirtAddr(va);
+        let pte = self.pt.lookup(v.vpn()).ok_or(Errno::Fault)?;
+        let mut b = [0u8; 8];
+        self.pm
+            .read(pte.pfn, v.page_offset(), &mut b)
+            .map_err(|_| Errno::Fault)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    pub(crate) fn fork_uproc(&mut self, ctx: &mut Ctx, parent: Pid, child: Pid) -> SysResult<()> {
+        // Fixed path: task struct, PID allocation, fd duplication hooks,
+        // thread creation, scheduler insertion (paper §3.5 step 2).
+        ctx.kernel(self.cost.fork_fixed_ufork);
+
+        let (p_region, layout, p_regs, p_shm_next, p_mmap_next) = {
+            let p = self.proc(parent)?;
+            (
+                p.region,
+                p.layout.clone(),
+                p.regs.clone(),
+                p.shm_next,
+                p.mmap_next,
+            )
+        };
+
+        // Reserve the child's contiguous region.
+        let c_region = self
+            .regions
+            .alloc(layout.region_len())
+            .map_err(|_| Errno::NoMem)?;
+        let c_root = Capability::new_root(c_region.base.0, layout.region_len(), Perms::data());
+        debug_assert!(!c_root.perms().contains(Perms::SYSTEM));
+
+        // How much allocator metadata is live (eagerly copied, §3.5).
+        let meta_header = p_region.base.0 + layout.heap_meta.0;
+        let blocks_used = self.kread_u64(meta_header + 16)?;
+        let meta_used_bytes = 64 + blocks_used * crate::layout::BLOCK_DESC_BYTES;
+
+        let sources = self.source_regions();
+        let source_of = |addr: u64| -> Option<Region> {
+            sources
+                .iter()
+                .find(|r| addr >= r.base.0 && addr < r.base.0 + r.len)
+                .copied()
+        };
+
+        let start = p_region.base.vpn();
+        let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
+        let mapped: Vec<(Vpn, Pte)> = self.pt.range(start, end).collect();
+
+        for (vpn, pte) in mapped {
+            let off = vpn.base().0 - p_region.base.0;
+            let seg = layout.segment_of(off);
+            let c_vpn = VirtAddr(c_region.base.0 + off).vpn();
+            let final_flags = Self::seg_flags(seg);
+
+            if seg == Segment::Shm {
+                // Shared mappings stay shared: same frames, full perms.
+                self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
+                self.pt.map(c_vpn, pte.pfn, PteFlags::rw());
+                ctx.kernel(self.cost.pte_copy);
+                ctx.counters.ptes_written += 1;
+                continue;
+            }
+
+            let eager = self.strategy == CopyStrategy::Full
+                || (self.eager_fork_copies
+                    && match seg {
+                        Segment::Got => true,
+                        Segment::HeapMeta => off - layout.heap_meta.0 < meta_used_bytes,
+                        _ => false,
+                    });
+
+            if eager {
+                let new = self.copy_page_for_child(ctx, pte.pfn, c_region, &c_root, &source_of)?;
+                self.pt.map(c_vpn, new, final_flags);
+                ctx.kernel(self.cost.pte_write);
+                if self.isolation.validates_syscalls() {
+                    // Adversarial deployments re-verify every relocated
+                    // capability against the child's bounds before the
+                    // page becomes visible (the fork-latency component of
+                    // TOCTTOU/validation, ~2.6% in the paper).
+                    ctx.kernel(self.cost.page_scan() + self.cost.tocttou_fixed);
+                }
+                ctx.counters.ptes_written += 1;
+                ctx.counters.pages_copied_eager += 1;
+                continue;
+            }
+
+            // Lazy strategies: share the frame and arm faults.
+            self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
+            match self.strategy {
+                CopyStrategy::Full => unreachable!("full copy is always eager"),
+                CopyStrategy::CoA => {
+                    // Fully inaccessible to the child: any access faults.
+                    self.pt
+                        .map(c_vpn, pte.pfn, PteFlags::empty().with(PteFlags::COA));
+                    ctx.kernel(self.cost.pte_copy + self.cost.coa_pte_extra);
+                }
+                CopyStrategy::CoPA => {
+                    // Readable; writes and tagged loads fault.
+                    let mut f = PteFlags::READ.with(PteFlags::LC_FAULT).with(PteFlags::COW);
+                    if final_flags.contains(PteFlags::EXEC) {
+                        f = f.with(PteFlags::EXEC);
+                    }
+                    if final_flags.contains(PteFlags::WRITE) {
+                        f = f.with(PteFlags::WRITE); // COW checked first
+                    }
+                    self.pt.map(c_vpn, pte.pfn, f);
+                    ctx.kernel(self.cost.pte_copy);
+                }
+            }
+            ctx.counters.ptes_written += 1;
+
+            // Writable parent pages become copy-on-write.
+            if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
+                if let Some(ppte) = self.pt.lookup_mut(vpn) {
+                    ppte.flags = ppte.flags.with(PteFlags::COW);
+                }
+                ctx.kernel(self.cost.pte_protect);
+            }
+        }
+
+        // Relocate the register file (paper §3.5 step 2: "any absolute
+        // memory references contained in registers are relocated").
+        let mut c_regs = p_regs;
+        for slot in c_regs.iter_mut() {
+            if let Some(cap) = slot {
+                if cap.confined_to(c_region.base.0, c_region.len) {
+                    continue;
+                }
+                if let Some(src) = source_of(cap.base()) {
+                    let delta = c_region.base.0 as i64 - src.base.0 as i64;
+                    match cap.rebase(delta, &c_root) {
+                        Ok(new_cap) => {
+                            *slot = Some(new_cap);
+                            ctx.counters.caps_relocated += 1;
+                        }
+                        Err(_) => *slot = None,
+                    }
+                } else if cap.perms().contains(Perms::EXECUTE) {
+                    // PCC-style register: rebase code caps by region offset.
+                    let delta = c_region.base.0 as i64 - p_region.base.0 as i64;
+                    if let Ok(addr) = cap.addr().checked_add_signed(delta).ok_or(()) {
+                        let code_root =
+                            Capability::new_root(c_region.base.0, layout.text.1, Perms::code());
+                        *slot = code_root.with_addr(addr).ok();
+                    }
+                }
+                ctx.kernel(self.cost.cap_relocate);
+            }
+        }
+
+        self.procs.insert(
+            child,
+            UProc {
+                region: c_region,
+                layout,
+                root: c_root,
+                regs: c_regs,
+                shm_next: p_shm_next,
+                mmap_next: p_mmap_next,
+                had_children: false,
+            },
+        );
+        if let Some(p) = self.procs.get_mut(&parent) {
+            p.had_children = true;
+        }
+        Ok(())
+    }
+
+    /// Eagerly copies one frame for a child and relocates it.
+    fn copy_page_for_child(
+        &mut self,
+        ctx: &mut Ctx,
+        src: Pfn,
+        c_region: Region,
+        c_root: &Capability,
+        source_of: &dyn Fn(u64) -> Option<Region>,
+    ) -> SysResult<Pfn> {
+        let new = self.pm.alloc_frame().map_err(|_| Errno::NoMem)?;
+        self.pm.copy_frame(src, new).map_err(|_| Errno::Fault)?;
+        ctx.kernel(self.cost.page_alloc + self.cost.page_copy);
+        ctx.counters.pages_copied += 1;
+        let stats = relocate_frame(&mut self.pm, new, c_region, c_root, source_of);
+        ctx.kernel(reloc_cost(&self.cost, &stats));
+        ctx.counters.granules_scanned += stats.granules_scanned;
+        ctx.counters.caps_relocated += stats.relocated + stats.cleared;
+        Ok(new)
+    }
+}

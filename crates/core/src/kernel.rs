@@ -1,0 +1,565 @@
+//! The μFork kernel: μprocesses in a single address space.
+
+use std::collections::BTreeMap;
+
+use ufork_abi::{CopyStrategy, Errno, ImageSpec, IsolationLevel, Pid, SysResult};
+use ufork_cheri::{Capability, Perms};
+use ufork_exec::{Ctx, MemOs};
+use ufork_mem::{MemStats, Pfn, PhysMem, GRANULE_SIZE, PAGE_SIZE};
+use ufork_sim::CostModel;
+use ufork_vmem::{AccessKind, PageTable, PteFlags, Region, RegionAllocator, VirtAddr, Vpn};
+
+use crate::gate::SyscallGate;
+use crate::layout::{ProcLayout, Segment};
+use crate::talloc::{TAlloc, UserMem};
+
+/// μFork kernel configuration.
+#[derive(Clone, Debug)]
+pub struct UforkConfig {
+    /// Physical memory size in MiB.
+    pub phys_mib: u32,
+    /// Memory duplication strategy for fork (paper §3.8).
+    pub strategy: CopyStrategy,
+    /// Isolation level (paper §3.6).
+    pub isolation: IsolationLevel,
+    /// Hardware cost model.
+    pub cost: CostModel,
+    /// Seed for μprocess region ASLR (`None` disables it).
+    pub aslr_seed: Option<u64>,
+    /// Span of the μprocess area in bytes (shrink to provoke region
+    /// exhaustion in tests).
+    pub uproc_area_len: u64,
+    /// Proactively copy GOT + allocator-metadata pages at fork (paper
+    /// §3.5). Disable to ablate: under CoPA the pages are then copied
+    /// lazily on the child's first capability load instead.
+    pub eager_fork_copies: bool,
+}
+
+impl Default for UforkConfig {
+    fn default() -> UforkConfig {
+        UforkConfig {
+            phys_mib: 1024,
+            strategy: CopyStrategy::CoPA,
+            isolation: IsolationLevel::Full,
+            cost: CostModel::morello(),
+            aslr_seed: None,
+            uproc_area_len: UPROC_AREA_LEN,
+            eager_fork_copies: true,
+        }
+    }
+}
+
+/// Kernel-side state of one μprocess.
+pub(crate) struct UProc {
+    pub(crate) region: Region,
+    pub(crate) layout: ProcLayout,
+    /// Kernel-held root capability over the whole region.
+    pub(crate) root: Capability,
+    /// Capability register file (relocated at fork, paper §3.5 step 2).
+    pub(crate) regs: Vec<Option<Capability>>,
+    /// Bump offset for the next shm mapping in the shm window.
+    pub(crate) shm_next: u64,
+    /// Bump offset for the next anonymous mmap in the mmap window.
+    pub(crate) mmap_next: u64,
+    /// True once the μprocess has forked (its region is then retired, not
+    /// reused, so relocation lookups on shared frames stay unambiguous).
+    pub(crate) had_children: bool,
+}
+
+/// Number of capability registers per μprocess.
+pub const NUM_REGS: usize = 32;
+
+/// Base of the μprocess area in the single address space (the kernel
+/// occupies high memory).
+const UPROC_AREA_BASE: u64 = 0x0000_0010_0000;
+/// Span of the μprocess area.
+const UPROC_AREA_LEN: u64 = 1 << 44;
+/// Kernel text location (for the syscall gate).
+const KERNEL_TEXT_BASE: u64 = 0xffff_0000_0000;
+
+/// The μFork single-address-space kernel.
+///
+/// Implements [`MemOs`]; see the crate docs for the design summary.
+pub struct UforkOs {
+    pub(crate) cost: CostModel,
+    pub(crate) strategy: CopyStrategy,
+    pub(crate) eager_fork_copies: bool,
+    pub(crate) isolation: IsolationLevel,
+    pub(crate) pm: PhysMem,
+    /// THE page table — a single address space has exactly one.
+    pub(crate) pt: PageTable,
+    pub(crate) regions: RegionAllocator,
+    pub(crate) procs: BTreeMap<Pid, UProc>,
+    /// Regions of exited μprocesses that forked (kept for relocation
+    /// source lookups; never reused).
+    pub(crate) retired: Vec<Region>,
+    shm_objs: BTreeMap<String, Vec<Pfn>>,
+    gate: SyscallGate,
+}
+
+impl UforkOs {
+    /// Boots the kernel: physical memory, region allocator, syscall gate.
+    pub fn new(cfg: UforkConfig) -> UforkOs {
+        let mut regions =
+            RegionAllocator::new(VirtAddr(UPROC_AREA_BASE), cfg.uproc_area_len, PAGE_SIZE);
+        if let Some(seed) = cfg.aslr_seed {
+            regions.set_aslr_seed(seed);
+        }
+        let kernel_text = Capability::new_root(KERNEL_TEXT_BASE, 0x100_0000, Perms::kernel());
+        let gate = SyscallGate::new(&kernel_text, KERNEL_TEXT_BASE + 0x1000)
+            .expect("gate construction is infallible at boot");
+        UforkOs {
+            cost: cfg.cost,
+            strategy: cfg.strategy,
+            eager_fork_copies: cfg.eager_fork_copies,
+            isolation: cfg.isolation,
+            pm: PhysMem::with_mib(cfg.phys_mib),
+            pt: PageTable::new(),
+            regions,
+            procs: BTreeMap::new(),
+            retired: Vec::new(),
+            shm_objs: BTreeMap::new(),
+            gate,
+        }
+    }
+
+    /// The trap-less syscall gate (sealed entry capability).
+    pub fn gate(&self) -> &SyscallGate {
+        &self.gate
+    }
+
+    /// The copy strategy in effect.
+    pub fn strategy(&self) -> CopyStrategy {
+        self.strategy
+    }
+
+    /// Page-table flags for a segment when fully owned (not shared).
+    pub(crate) fn seg_flags(seg: Segment) -> PteFlags {
+        match seg {
+            Segment::Text => PteFlags::rx(),
+            Segment::Got => PteFlags::ro(),
+            Segment::Data
+            | Segment::Stack
+            | Segment::HeapMeta
+            | Segment::HeapArena
+            | Segment::Shm
+            | Segment::Mmap => PteFlags::rw(),
+        }
+    }
+
+    pub(crate) fn proc(&self, pid: Pid) -> SysResult<&UProc> {
+        self.procs.get(&pid).ok_or(Errno::Inval)
+    }
+
+    /// Region lookup for relocation: live μprocesses first, then retired
+    /// regions (most recent first). All that matters for rebasing is the
+    /// base/length of the region the address falls in.
+    pub(crate) fn source_regions(&self) -> Vec<Region> {
+        let mut v: Vec<Region> = self.procs.values().map(|p| p.region).collect();
+        v.extend(self.retired.iter().rev().copied());
+        v
+    }
+
+    /// The allocator view over a μprocess heap.
+    pub(crate) fn talloc_of(&self, pid: Pid) -> SysResult<TAlloc> {
+        let p = self.proc(pid)?;
+        Ok(TAlloc {
+            meta_base: p.region.base.0 + p.layout.heap_meta.0,
+            max_blocks: p.layout.max_blocks(),
+            arena_base: p.region.base.0 + p.layout.heap_arena.0,
+            arena_len: p.layout.heap_arena.1,
+        })
+    }
+
+    /// Reads allocator statistics for a μprocess (through the checked
+    /// user path, like the allocator itself).
+    pub fn talloc_stats(&mut self, pid: Pid) -> SysResult<crate::talloc::TAllocStats> {
+        let ta = self.talloc_of(pid)?;
+        let mut ctx = Ctx::new();
+        let mut um = KUserMem {
+            os: self,
+            ctx: &mut ctx,
+            pid,
+        };
+        ta.stats(&mut um)
+    }
+
+    /// Maps fresh zeroed frames for `[base, base+len)` with `flags`.
+    fn map_fresh(
+        &mut self,
+        ctx: &mut Ctx,
+        base: VirtAddr,
+        len: u64,
+        flags: PteFlags,
+    ) -> SysResult<()> {
+        for vpn in ufork_vmem::pages_covering(base, len) {
+            let pfn = self.pm.alloc_frame().map_err(|_| Errno::NoMem)?;
+            self.pt.map(vpn, pfn, flags);
+            ctx.kernel(self.cost.page_alloc + self.cost.pte_write);
+            ctx.counters.ptes_written += 1;
+        }
+        Ok(())
+    }
+}
+
+impl MemOs for UforkOs {
+    fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn spawn(&mut self, ctx: &mut Ctx, pid: Pid, image: &ImageSpec) -> SysResult<()> {
+        let layout = ProcLayout::for_image(image);
+        let region = self
+            .regions
+            .alloc(layout.region_len())
+            .map_err(|_| Errno::NoMem)?;
+        let base = region.base;
+
+        // Map every segment except the shm window (mapped on demand).
+        let segs = [
+            (layout.text, Segment::Text),
+            (layout.got, Segment::Got),
+            (layout.data, Segment::Data),
+            (layout.stack, Segment::Stack),
+            (layout.heap_meta, Segment::HeapMeta),
+            (layout.heap_arena, Segment::HeapArena),
+        ];
+        for ((off, len), seg) in segs {
+            self.map_fresh(ctx, VirtAddr(base.0 + off), len, Self::seg_flags(seg))?;
+        }
+
+        // The μprocess root: confined to the region, no SYSTEM permission
+        // (paper §4.4 principle 2: user code cannot execute privileged
+        // instructions).
+        let root = Capability::new_root(base.0, layout.region_len(), Perms::data());
+        debug_assert!(!root.perms().contains(Perms::SYSTEM));
+
+        // Populate the GOT: one capability per global symbol, pointing
+        // into the image's segments (PIC global addressing, paper §3.7).
+        let got_base = base.0 + layout.got.0;
+        for slot in 0..layout.got_slots {
+            let target_off = match slot % 3 {
+                0 => layout.text.0 + (slot * 64) % layout.text.1,
+                1 => layout.data.0 + (slot * 128) % layout.data.1,
+                _ => layout.heap_arena.0 + (slot * 256) % layout.heap_arena.1,
+            };
+            let target = root
+                .with_bounds(
+                    base.0 + target_off,
+                    64.min(layout.region_len() - target_off),
+                )
+                .map_err(|_| Errno::Fault)?;
+            let va = VirtAddr(got_base + slot * GRANULE_SIZE);
+            let pte = self.pt.lookup(va.vpn()).ok_or(Errno::Fault)?;
+            self.pm
+                .store_cap(pte.pfn, va.page_offset(), &target)
+                .map_err(|_| Errno::Fault)?;
+        }
+
+        // Plant a small frame-pointer chain in the stack so fork has
+        // register- and stack-resident capabilities to relocate.
+        let stack_base = base.0 + layout.stack.0;
+        for i in 0..4u64 {
+            let va = VirtAddr(stack_base + i * 512);
+            let target = root
+                .with_bounds(stack_base + (i + 1) * 512, 256)
+                .map_err(|_| Errno::Fault)?;
+            let pte = self.pt.lookup(va.vpn()).ok_or(Errno::Fault)?;
+            self.pm
+                .store_cap(pte.pfn, va.page_offset(), &target)
+                .map_err(|_| Errno::Fault)?;
+        }
+
+        let mut regs = vec![None; NUM_REGS];
+        regs[0] = Some(root); // data root
+        regs[1] = Some(
+            root.with_bounds(stack_base, layout.stack.1)
+                .map_err(|_| Errno::Fault)?,
+        ); // stack pointer
+        regs[2] = Some(Capability::new_root(base.0, layout.text.1, Perms::code())); // PCC
+
+        self.procs.insert(
+            pid,
+            UProc {
+                region,
+                layout,
+                root,
+                regs,
+                shm_next: 0,
+                mmap_next: 0,
+                had_children: false,
+            },
+        );
+
+        // Initialize the in-memory allocator through the user path.
+        let ta = self.talloc_of(pid)?;
+        let mut um = KUserMem { os: self, ctx, pid };
+        ta.init(&mut um)?;
+        Ok(())
+    }
+
+    fn fork(&mut self, ctx: &mut Ctx, parent: Pid, child: Pid) -> SysResult<()> {
+        self.fork_uproc(ctx, parent, child)
+    }
+
+    fn destroy(&mut self, ctx: &mut Ctx, pid: Pid) {
+        let Some(p) = self.procs.remove(&pid) else {
+            return;
+        };
+        let start = p.region.base.vpn();
+        let end = Vpn(p.region.top().0.div_ceil(PAGE_SIZE));
+        let mapped: Vec<(Vpn, Pfn)> = self
+            .pt
+            .range(start, end)
+            .map(|(v, pte)| (v, pte.pfn))
+            .collect();
+        for (vpn, pfn) in mapped {
+            self.pt.unmap(vpn);
+            let _ = self.pm.dec_ref(pfn);
+            ctx.kernel(self.cost.pte_write * 0.5);
+        }
+        if p.had_children {
+            self.retired.push(p.region);
+        } else {
+            let _ = self.regions.free(p.region);
+        }
+    }
+
+    fn load(&mut self, ctx: &mut Ctx, pid: Pid, cap: &Capability, buf: &mut [u8]) -> SysResult<()> {
+        self.user_load(ctx, pid, cap, buf)
+    }
+
+    fn store(&mut self, ctx: &mut Ctx, pid: Pid, cap: &Capability, data: &[u8]) -> SysResult<()> {
+        self.user_store(ctx, pid, cap, data)
+    }
+
+    fn load_cap(
+        &mut self,
+        ctx: &mut Ctx,
+        pid: Pid,
+        cap: &Capability,
+    ) -> SysResult<Option<Capability>> {
+        self.user_load_cap(ctx, pid, cap)
+    }
+
+    fn store_cap(
+        &mut self,
+        ctx: &mut Ctx,
+        pid: Pid,
+        cap: &Capability,
+        value: &Capability,
+    ) -> SysResult<()> {
+        self.user_store_cap(ctx, pid, cap, value)
+    }
+
+    fn malloc(&mut self, ctx: &mut Ctx, pid: Pid, len: u64) -> SysResult<Capability> {
+        let ta = self.talloc_of(pid)?;
+        let mut um = KUserMem { os: self, ctx, pid };
+        ta.malloc(&mut um, len)
+    }
+
+    fn mfree(&mut self, ctx: &mut Ctx, pid: Pid, cap: &Capability) -> SysResult<()> {
+        let ta = self.talloc_of(pid)?;
+        let mut um = KUserMem { os: self, ctx, pid };
+        ta.free(&mut um, cap)
+    }
+
+    fn reg(&self, pid: Pid, idx: usize) -> SysResult<Capability> {
+        self.proc(pid)?
+            .regs
+            .get(idx)
+            .copied()
+            .flatten()
+            .ok_or(Errno::Inval)
+    }
+
+    fn set_reg(&mut self, pid: Pid, idx: usize, cap: Capability) -> SysResult<()> {
+        let p = self.procs.get_mut(&pid).ok_or(Errno::Inval)?;
+        let slot = p.regs.get_mut(idx).ok_or(Errno::Inval)?;
+        *slot = Some(cap);
+        Ok(())
+    }
+
+    fn shm_open(&mut self, ctx: &mut Ctx, pid: Pid, name: &str, len: u64) -> SysResult<Capability> {
+        let pages = len.div_ceil(PAGE_SIZE);
+        if !self.shm_objs.contains_key(name) {
+            let mut frames = Vec::new();
+            for _ in 0..pages {
+                frames.push(self.pm.alloc_frame().map_err(|_| Errno::NoMem)?);
+            }
+            self.shm_objs.insert(name.to_string(), frames);
+        }
+        let frames = self.shm_objs[name].clone();
+        if frames.len() < pages as usize {
+            return Err(Errno::Inval);
+        }
+        let p = self.procs.get_mut(&pid).ok_or(Errno::Inval)?;
+        let (shm_off, shm_len) = p.layout.shm;
+        if p.shm_next + pages * PAGE_SIZE > shm_len {
+            return Err(Errno::NoMem);
+        }
+        let map_base = p.region.base.0 + shm_off + p.shm_next;
+        p.shm_next += pages * PAGE_SIZE;
+        let root = p.root;
+        for (i, pfn) in frames.iter().take(pages as usize).enumerate() {
+            self.pm.inc_ref(*pfn).map_err(|_| Errno::Fault)?;
+            let vpn = VirtAddr(map_base + i as u64 * PAGE_SIZE).vpn();
+            self.pt.map(vpn, *pfn, PteFlags::rw());
+            ctx.kernel(self.cost.pte_write);
+            ctx.counters.ptes_written += 1;
+        }
+        // Data-only sharing: no capability load/store permission, so
+        // capabilities cannot leak across μprocesses through shm
+        // (paper §4.3, "capabilities do not leak across μprocesses").
+        root.with_bounds(map_base, len)
+            .and_then(|c| c.with_perms(Perms::LOAD | Perms::STORE | Perms::GLOBAL))
+            .map_err(|_| Errno::Fault)
+    }
+
+    fn mmap_anon(&mut self, ctx: &mut Ctx, pid: Pid, len: u64) -> SysResult<Capability> {
+        let pages = len.div_ceil(PAGE_SIZE).max(1);
+        let (base, root) = {
+            let p = self.procs.get_mut(&pid).ok_or(Errno::Inval)?;
+            let (mmap_off, mmap_len) = p.layout.mmap;
+            if p.mmap_next + pages * PAGE_SIZE > mmap_len {
+                return Err(Errno::NoMem);
+            }
+            let base = p.region.base.0 + mmap_off + p.mmap_next;
+            p.mmap_next += pages * PAGE_SIZE;
+            (base, p.root)
+        };
+        self.map_fresh(ctx, VirtAddr(base), pages * PAGE_SIZE, PteFlags::rw())?;
+        root.with_bounds(base, len.max(1)).map_err(|_| Errno::Fault)
+    }
+
+    fn syscall_entry_cost(&self) -> f64 {
+        self.cost.sealed_syscall
+    }
+
+    fn syscall_is_trap(&self) -> bool {
+        false
+    }
+
+    fn ctx_switch_cost(&self, _from: Pid, _to: Pid) -> f64 {
+        // Same address space: no page-table switch, no TLB flush.
+        self.cost.ctx_switch
+    }
+
+    fn big_kernel_lock(&self) -> bool {
+        true // Unikraft SMP model (paper §4.5)
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    fn copyio_cost_per_byte(&self) -> f64 {
+        // Single address space: the kernel reads user buffers in place.
+        // (TOCTTOU copies, when enabled, are charged by `charge_syscall`.)
+        0.0
+    }
+
+    fn mem_stats(&self, pid: Pid) -> MemStats {
+        let Ok(p) = self.proc(pid) else {
+            return MemStats::default();
+        };
+        let start = p.region.base.vpn();
+        let end = Vpn(p.region.top().0.div_ceil(PAGE_SIZE));
+        let frames: Vec<Pfn> = self.pt.range(start, end).map(|(_, pte)| pte.pfn).collect();
+        MemStats::for_frames(&self.pm, frames)
+    }
+
+    fn allocated_frames(&self) -> u32 {
+        self.pm.allocated_frames()
+    }
+
+    fn peak_frames(&self) -> u32 {
+        self.pm.peak_allocated_frames()
+    }
+
+    fn audit_isolation(&self, pid: Pid) -> usize {
+        let Ok(p) = self.proc(pid) else { return 0 };
+        let mut violations = 0;
+        for cap in p.regs.iter().flatten() {
+            if !cap.confined_to(p.region.base.0, p.region.len) {
+                violations += 1;
+            }
+        }
+        let start = p.region.base.vpn();
+        let end = Vpn(p.region.top().0.div_ceil(PAGE_SIZE));
+        for (vpn, pte) in self.pt.range(start, end) {
+            // Pages the μprocess cannot load capabilities from do not
+            // expose their (possibly stale) contents.
+            if !pte.flags.contains(PteFlags::READ)
+                || pte.flags.contains(PteFlags::LC_FAULT)
+                || pte.flags.contains(PteFlags::COA)
+            {
+                continue;
+            }
+            let off = vpn.base().0 - p.region.base.0;
+            if p.layout.segment_of(off) == Segment::Shm {
+                continue; // shm caps are forbidden by missing perms
+            }
+            let Ok(frame) = self.pm.frame(pte.pfn) else {
+                continue;
+            };
+            for (_, cap) in frame.tagged_granules() {
+                if !cap.confined_to(p.region.base.0, p.region.len) {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// [`UserMem`] adapter: runs allocator metadata accesses through the
+/// kernel's checked user path on behalf of `pid`.
+pub(crate) struct KUserMem<'a> {
+    pub(crate) os: &'a mut UforkOs,
+    pub(crate) ctx: &'a mut Ctx,
+    pub(crate) pid: Pid,
+}
+
+impl KUserMem<'_> {
+    fn cap_at(&self, va: u64, len: u64) -> SysResult<Capability> {
+        let p = self.os.proc(self.pid)?;
+        p.root.with_bounds(va, len).map_err(|_| Errno::Fault)
+    }
+}
+
+impl UserMem for KUserMem<'_> {
+    fn load(&mut self, va: u64, buf: &mut [u8]) -> SysResult<()> {
+        let cap = self.cap_at(va, buf.len() as u64)?;
+        self.os.user_load(self.ctx, self.pid, &cap, buf)
+    }
+
+    fn store(&mut self, va: u64, data: &[u8]) -> SysResult<()> {
+        let cap = self.cap_at(va, data.len() as u64)?;
+        self.os.user_store(self.ctx, self.pid, &cap, data)
+    }
+
+    fn load_cap(&mut self, va: u64) -> SysResult<Option<Capability>> {
+        let cap = self.cap_at(va, GRANULE_SIZE)?;
+        self.os.user_load_cap(self.ctx, self.pid, &cap)
+    }
+
+    fn store_cap(&mut self, va: u64, value: &Capability) -> SysResult<()> {
+        let cap = self.cap_at(va, GRANULE_SIZE)?;
+        self.os.user_store_cap(self.ctx, self.pid, &cap, value)
+    }
+
+    fn derive(&self, base: u64, len: u64) -> SysResult<Capability> {
+        self.cap_at(base, len)
+    }
+
+    fn charge(&mut self, n: u64) {
+        self.ctx.user(self.os.cost.cpu_op * n as f64);
+    }
+}
+
+// AccessKind is used by fault.rs; re-import check to keep the compiler
+// honest about the module split.
+const _: fn() = || {
+    let _ = AccessKind::Load;
+};

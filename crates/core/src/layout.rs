@@ -1,0 +1,217 @@
+//! μprocess region layout (paper §3.7, Figure 1).
+//!
+//! Each μprocess occupies one contiguous region of the single address
+//! space, so isolation mechanisms relying on contiguous bounds can confine
+//! it cheaply. Within the region the layout is fixed:
+//!
+//! ```text
+//! +--------------------+  region base
+//! | text + rodata (RX) |
+//! +--------------------+
+//! | GOT (R, caps)      |  copied + relocated eagerly at fork
+//! +--------------------+
+//! | data (RW)          |
+//! +--------------------+
+//! | stack (RW)         |
+//! +--------------------+
+//! | heap metadata (RW) |  allocator block descriptors; eager at fork
+//! | heap arena (RW)    |  static heap, build-time sized (paper §4.2)
+//! +--------------------+
+//! | shm window         |  shared mappings (same frames in every proc)
+//! +--------------------+  region top
+//! ```
+//!
+//! Because every μprocess of a program uses the *same* layout, relocation
+//! reduces to rebasing by `child_base - source_base`.
+
+use ufork_abi::ImageSpec;
+use ufork_mem::PAGE_SIZE;
+
+/// Segments of a μprocess region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Segment {
+    /// Code and read-only data.
+    Text,
+    /// Global offset table.
+    Got,
+    /// Initialized writable data.
+    Data,
+    /// Stack.
+    Stack,
+    /// Allocator metadata (block descriptors).
+    HeapMeta,
+    /// Heap arena.
+    HeapArena,
+    /// Shared-memory window.
+    Shm,
+    /// Anonymous-mmap window (dynamic memory beyond the static heap).
+    Mmap,
+}
+
+/// Byte offsets (relative to the region base) of each segment.
+#[derive(Clone, Debug)]
+pub struct ProcLayout {
+    /// Text segment offset (always 0) and length.
+    pub text: (u64, u64),
+    /// GOT offset and length.
+    pub got: (u64, u64),
+    /// Data segment offset and length.
+    pub data: (u64, u64),
+    /// Stack offset and length.
+    pub stack: (u64, u64),
+    /// Allocator-metadata offset and length.
+    pub heap_meta: (u64, u64),
+    /// Heap-arena offset and length.
+    pub heap_arena: (u64, u64),
+    /// Shared-memory window offset and length.
+    pub shm: (u64, u64),
+    /// Anonymous-mmap window offset and length.
+    pub mmap: (u64, u64),
+    /// Number of GOT capability slots.
+    pub got_slots: u64,
+}
+
+/// Size of one allocator block descriptor in bytes (two granules: the
+/// block capability, then size + next-index).
+pub const BLOCK_DESC_BYTES: u64 = 32;
+
+/// Default shared-memory window size.
+pub const SHM_WINDOW_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Default anonymous-mmap window size.
+pub const MMAP_WINDOW_BYTES: u64 = 16 * 1024 * 1024;
+
+fn page_up(x: u64) -> u64 {
+    x.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}
+
+impl ProcLayout {
+    /// Computes the layout for an image.
+    ///
+    /// The allocator metadata area is sized at one descriptor per 2 KiB of
+    /// arena (clamped), mirroring tinyalloc's fixed block-descriptor array
+    /// (paper §4.1).
+    pub fn for_image(image: &ImageSpec) -> ProcLayout {
+        let text_len = page_up(image.text_bytes.max(PAGE_SIZE));
+        let got_len = page_up((image.got_slots * 16).max(1));
+        let data_len = page_up(image.data_bytes.max(PAGE_SIZE));
+        let stack_len = page_up(image.stack_bytes.max(PAGE_SIZE));
+        let arena_len = page_up(image.heap_bytes.max(PAGE_SIZE));
+        let max_blocks = (arena_len / 2048).clamp(128, 262_144);
+        let meta_len = page_up(64 + max_blocks * BLOCK_DESC_BYTES);
+
+        let text = (0, text_len);
+        let got = (text_len, got_len);
+        let data = (got.0 + got_len, data_len);
+        let stack = (data.0 + data_len, stack_len);
+        let heap_meta = (stack.0 + stack_len, meta_len);
+        let heap_arena = (heap_meta.0 + meta_len, arena_len);
+        let shm = (heap_arena.0 + arena_len, SHM_WINDOW_BYTES);
+        let mmap = (shm.0 + shm.1, MMAP_WINDOW_BYTES);
+        ProcLayout {
+            text,
+            got,
+            data,
+            stack,
+            heap_meta,
+            heap_arena,
+            shm,
+            mmap,
+            got_slots: image.got_slots,
+        }
+    }
+
+    /// Total region length in bytes.
+    pub fn region_len(&self) -> u64 {
+        self.mmap.0 + self.mmap.1
+    }
+
+    /// Bytes that are *mapped* at spawn (everything but the shm window).
+    pub fn mapped_len(&self) -> u64 {
+        self.shm.0
+    }
+
+    /// Maximum number of allocator block descriptors.
+    pub fn max_blocks(&self) -> u64 {
+        ((self.heap_meta.1 - 64) / BLOCK_DESC_BYTES).min(262_144)
+    }
+
+    /// The segment containing the region-relative byte offset.
+    pub fn segment_of(&self, off: u64) -> Segment {
+        let in_seg = |s: (u64, u64)| off >= s.0 && off < s.0 + s.1;
+        if in_seg(self.text) {
+            Segment::Text
+        } else if in_seg(self.got) {
+            Segment::Got
+        } else if in_seg(self.data) {
+            Segment::Data
+        } else if in_seg(self.stack) {
+            Segment::Stack
+        } else if in_seg(self.heap_meta) {
+            Segment::HeapMeta
+        } else if in_seg(self.heap_arena) {
+            Segment::HeapArena
+        } else if in_seg(self.shm) {
+            Segment::Shm
+        } else {
+            Segment::Mmap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_are_contiguous_and_page_aligned() {
+        let l = ProcLayout::for_image(&ImageSpec::hello_world());
+        let segs = [
+            l.text,
+            l.got,
+            l.data,
+            l.stack,
+            l.heap_meta,
+            l.heap_arena,
+            l.shm,
+            l.mmap,
+        ];
+        let mut expect = 0;
+        for (off, len) in segs {
+            assert_eq!(off, expect, "segments must be contiguous");
+            assert_eq!(off % PAGE_SIZE, 0);
+            assert_eq!(len % PAGE_SIZE, 0);
+            assert!(len > 0);
+            expect = off + len;
+        }
+        assert_eq!(l.region_len(), expect);
+    }
+
+    #[test]
+    fn segment_lookup() {
+        let l = ProcLayout::for_image(&ImageSpec::hello_world());
+        assert_eq!(l.segment_of(0), Segment::Text);
+        assert_eq!(l.segment_of(l.got.0), Segment::Got);
+        assert_eq!(l.segment_of(l.heap_arena.0), Segment::HeapArena);
+        assert_eq!(l.segment_of(l.shm.0), Segment::Shm);
+        assert_eq!(l.segment_of(l.region_len() - 1), Segment::Mmap);
+    }
+
+    #[test]
+    fn metadata_scales_with_arena_but_is_clamped() {
+        let small = ProcLayout::for_image(&ImageSpec::hello_world());
+        assert!(small.max_blocks() >= 128);
+        let big = ProcLayout::for_image(&ImageSpec::with_heap("big", 512 << 20));
+        assert!(big.max_blocks() <= 262_144);
+        assert!(big.max_blocks() > small.max_blocks());
+    }
+
+    #[test]
+    fn mapped_len_excludes_shm_and_mmap_windows() {
+        let l = ProcLayout::for_image(&ImageSpec::hello_world());
+        assert_eq!(
+            l.mapped_len() + SHM_WINDOW_BYTES + MMAP_WINDOW_BYTES,
+            l.region_len()
+        );
+    }
+}

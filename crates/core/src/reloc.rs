@@ -1,0 +1,188 @@
+//! The relocation engine (paper §4.2).
+//!
+//! After a page is copied for a child μprocess, it is scanned in 16-byte
+//! increments for valid capability tags. Each tagged capability whose
+//! target or bounds escape the child's region is *relocated*: rebased by
+//! the distance between the region it points into and the child's region,
+//! with bounds clamped to the child's region. Capabilities pointing to no
+//! known μprocess region (e.g. leaked kernel pointers) have their tag
+//! cleared — strictly safer than leaving a stale reference.
+
+use ufork_cheri::Capability;
+use ufork_mem::{Pfn, PhysMem};
+use ufork_sim::CostModel;
+use ufork_vmem::Region;
+
+use crate::Segment;
+
+/// Outcome of relocating one frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelocStats {
+    /// Granules inspected (always 256 for a full page).
+    pub granules_scanned: u64,
+    /// Capabilities rebased into the child region.
+    pub relocated: u64,
+    /// Capabilities whose tag was cleared (target unknown).
+    pub cleared: u64,
+}
+
+/// Relocates every out-of-region capability in `frame` into `child`.
+///
+/// `source_of` maps an address to the region it belongs to (the parent's
+/// region in the common case; an older ancestor's for pages shared across
+/// multiple forks; `None` for addresses outside any μprocess region).
+///
+/// Returns statistics; the caller charges simulated time from them.
+pub fn relocate_frame(
+    pm: &mut PhysMem,
+    frame: Pfn,
+    child: Region,
+    child_root: &Capability,
+    source_of: &dyn Fn(u64) -> Option<Region>,
+) -> RelocStats {
+    let mut stats = RelocStats {
+        granules_scanned: 256,
+        ..RelocStats::default()
+    };
+    // Collect first to keep the borrow simple; pages hold at most 256.
+    let caps: Vec<(u64, Capability)> = pm
+        .frame(frame)
+        .expect("relocating an allocated frame")
+        .tagged_granules()
+        .collect();
+    for (off, cap) in caps {
+        if cap.confined_to(child.base.0, child.len) {
+            continue; // already points into the child
+        }
+        let Some(src) = source_of(cap.base()) else {
+            // Unknown target (kernel or dead region): clear the tag.
+            pm.frame_mut(frame)
+                .expect("frame still allocated")
+                .clear_tag(off);
+            stats.cleared += 1;
+            continue;
+        };
+        let delta = child.base.0 as i64 - src.base.0 as i64;
+        match cap.rebase(delta, child_root) {
+            Ok(new_cap) => {
+                pm.frame_mut(frame)
+                    .expect("frame still allocated")
+                    .replace_cap(off, &new_cap);
+                stats.relocated += 1;
+            }
+            Err(_) => {
+                pm.frame_mut(frame)
+                    .expect("frame still allocated")
+                    .clear_tag(off);
+                stats.cleared += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Simulated cost of a relocation pass with the given statistics.
+pub fn reloc_cost(cost: &CostModel, stats: &RelocStats) -> f64 {
+    cost.granule_check * stats.granules_scanned as f64
+        + cost.cap_relocate * (stats.relocated + stats.cleared) as f64
+}
+
+/// Whether fork must copy this segment *eagerly* (paper §3.5: allocator
+/// metadata and GOT pages are proactively copied and updated during fork).
+pub fn eager_at_fork(seg: Segment) -> bool {
+    matches!(seg, Segment::Got | Segment::HeapMeta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufork_cheri::Perms;
+    use ufork_vmem::VirtAddr;
+
+    fn region(base: u64, len: u64) -> Region {
+        Region {
+            base: VirtAddr(base),
+            len,
+        }
+    }
+
+    #[test]
+    fn relocates_parent_caps_and_keeps_child_caps() {
+        let mut pm = PhysMem::new(4);
+        let f = pm.alloc_frame().unwrap();
+        let parent = region(0x10_0000, 0x1_0000);
+        let child = region(0x90_0000, 0x1_0000);
+        let child_root = Capability::new_root(child.base.0, child.len, Perms::data());
+
+        let stale = Capability::new_root(0x10_4000, 0x100, Perms::data());
+        let fine = Capability::new_root(0x90_2000, 0x40, Perms::data());
+        pm.store_cap(f, 0, &stale).unwrap();
+        pm.store_cap(f, 16, &fine).unwrap();
+
+        let stats = relocate_frame(&mut pm, f, child, &child_root, &|a| {
+            if a >= parent.base.0 && a < parent.base.0 + parent.len {
+                Some(parent)
+            } else {
+                None
+            }
+        });
+        assert_eq!(stats.relocated, 1);
+        assert_eq!(stats.cleared, 0);
+        assert_eq!(stats.granules_scanned, 256);
+
+        let moved = pm.load_cap(f, 0).unwrap().unwrap();
+        assert_eq!(moved.base(), 0x90_4000);
+        assert!(moved.confined_to(child.base.0, child.len));
+        assert_eq!(pm.load_cap(f, 16).unwrap().unwrap(), fine);
+    }
+
+    #[test]
+    fn unknown_targets_get_cleared() {
+        let mut pm = PhysMem::new(2);
+        let f = pm.alloc_frame().unwrap();
+        let child = region(0x90_0000, 0x1_0000);
+        let child_root = Capability::new_root(child.base.0, child.len, Perms::data());
+        let kernel_ptr = Capability::new_root(0xffff_0000_0000, 0x1000, Perms::kernel());
+        pm.store_cap(f, 32, &kernel_ptr).unwrap();
+        let stats = relocate_frame(&mut pm, f, child, &child_root, &|_| None);
+        assert_eq!(stats.cleared, 1);
+        assert_eq!(pm.load_cap(f, 32).unwrap(), None);
+    }
+
+    #[test]
+    fn bounds_clamped_to_child_region() {
+        let mut pm = PhysMem::new(2);
+        let f = pm.alloc_frame().unwrap();
+        let parent = region(0x10_0000, 0x1_0000);
+        let child = region(0x90_0000, 0x8000); // smaller child region
+        let child_root = Capability::new_root(child.base.0, child.len, Perms::data());
+        // Cap spanning the whole parent region.
+        let wide = Capability::new_root(parent.base.0, parent.len, Perms::data());
+        pm.store_cap(f, 0, &wide).unwrap();
+        relocate_frame(&mut pm, f, child, &child_root, &|_| Some(parent));
+        let moved = pm.load_cap(f, 0).unwrap().unwrap();
+        assert!(moved.confined_to(child.base.0, child.len));
+        assert_eq!(moved.top(), child.base.0 + child.len);
+    }
+
+    #[test]
+    fn cost_accounts_scan_and_fixups() {
+        let cost = CostModel::morello();
+        let stats = RelocStats {
+            granules_scanned: 256,
+            relocated: 3,
+            cleared: 1,
+        };
+        let c = reloc_cost(&cost, &stats);
+        assert!((c - (256.0 * cost.granule_check + 4.0 * cost.cap_relocate)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eager_segments() {
+        assert!(eager_at_fork(Segment::Got));
+        assert!(eager_at_fork(Segment::HeapMeta));
+        assert!(!eager_at_fork(Segment::HeapArena));
+        assert!(!eager_at_fork(Segment::Text));
+        assert!(!eager_at_fork(Segment::Stack));
+    }
+}

@@ -1,0 +1,368 @@
+//! The in-μprocess memory allocator ("talloc", after Unikraft's tinyalloc).
+//!
+//! The paper ports tinyalloc to CHERI (§4.1: 16-byte alignment, bounded
+//! allocations) and μFork proactively copies "pages containing
+//! memory-allocator metadata" at fork (§3.5). For that to be meaningful,
+//! the allocator's metadata must genuinely live **inside μprocess
+//! memory**: block descriptors here hold *capabilities* to their blocks,
+//! stored through the same user-level memory path programs use. Fork must
+//! therefore copy and relocate them like any other user data — there is no
+//! host-side shadow state.
+//!
+//! Layout (within the `HeapMeta` segment):
+//!
+//! ```text
+//! +0   magic            u64
+//! +8   free_head        u64   (index+1 into descriptors; 0 = none)
+//! +16  blocks_used      u64   (descriptors ever created)
+//! +24  arena_top        u64   (bump offset into the arena)
+//! +64  desc[0] ...             32 bytes each:
+//!        +0  block capability (tagged granule)
+//!        +16 size  u64  (bit 63 = in-use)
+//!        +24 next  u64  (free-list link, index+1)
+//! ```
+
+use ufork_abi::{Errno, SysResult};
+use ufork_cheri::Capability;
+
+/// Magic value marking an initialized heap.
+const MAGIC: u64 = 0x7441_6c6c_6f63_2121; // "tAlloc!!"
+const USED_BIT: u64 = 1 << 63;
+const HDR_FREE: u64 = 8;
+const HDR_USED: u64 = 16;
+const HDR_TOP: u64 = 24;
+const DESCS: u64 = 64;
+const DESC_SIZE: u64 = 32;
+
+/// User-level memory access path the allocator runs on.
+///
+/// Implemented by each kernel around its MMU: every access checks
+/// capabilities and page permissions and resolves transparent faults, so a
+/// *child's* allocator operations after fork exercise exactly the CoW /
+/// CoA / CoPA machinery the paper describes.
+pub trait UserMem {
+    /// Loads bytes at a region-absolute virtual address.
+    fn load(&mut self, va: u64, buf: &mut [u8]) -> SysResult<()>;
+    /// Stores bytes.
+    fn store(&mut self, va: u64, data: &[u8]) -> SysResult<()>;
+    /// Loads a (possibly tagged) capability.
+    fn load_cap(&mut self, va: u64) -> SysResult<Option<Capability>>;
+    /// Stores a capability, setting its tag.
+    fn store_cap(&mut self, va: u64, cap: &Capability) -> SysResult<()>;
+    /// Derives a tightly bounded data capability over `[base, base+len)`
+    /// from the μprocess root.
+    fn derive(&self, base: u64, len: u64) -> SysResult<Capability>;
+    /// Charges `n` generic operations of user CPU time.
+    fn charge(&mut self, n: u64);
+}
+
+/// Allocator view over one μprocess heap.
+///
+/// Stateless apart from the addresses: all state is in simulated memory.
+pub struct TAlloc {
+    /// Base VA of the metadata segment.
+    pub meta_base: u64,
+    /// Maximum number of block descriptors.
+    pub max_blocks: u64,
+    /// Base VA of the arena.
+    pub arena_base: u64,
+    /// Arena length in bytes.
+    pub arena_len: u64,
+}
+
+/// Aggregate allocator statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TAllocStats {
+    /// Descriptors ever created.
+    pub blocks_used: u64,
+    /// Descriptors currently on the free list.
+    pub free_blocks: u64,
+    /// Bytes bump-allocated from the arena.
+    pub arena_top: u64,
+}
+
+fn load_u64(mem: &mut dyn UserMem, va: u64) -> SysResult<u64> {
+    let mut b = [0u8; 8];
+    mem.load(va, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn store_u64(mem: &mut dyn UserMem, va: u64, v: u64) -> SysResult<()> {
+    mem.store(va, &v.to_le_bytes())
+}
+
+impl TAlloc {
+    fn desc(&self, idx: u64) -> u64 {
+        self.meta_base + DESCS + idx * DESC_SIZE
+    }
+
+    /// Initializes the heap header (called once at spawn).
+    pub fn init(&self, mem: &mut dyn UserMem) -> SysResult<()> {
+        store_u64(mem, self.meta_base, MAGIC)?;
+        store_u64(mem, self.meta_base + HDR_FREE, 0)?;
+        store_u64(mem, self.meta_base + HDR_USED, 0)?;
+        store_u64(mem, self.meta_base + HDR_TOP, 0)?;
+        Ok(())
+    }
+
+    /// Allocates `len` bytes (16-byte aligned, CHERI requirement §4.1).
+    pub fn malloc(&self, mem: &mut dyn UserMem, len: u64) -> SysResult<Capability> {
+        if len == 0 {
+            return Err(Errno::Inval);
+        }
+        let len = len.div_ceil(16) * 16;
+        if load_u64(mem, self.meta_base)? != MAGIC {
+            return Err(Errno::Fault);
+        }
+        mem.charge(8);
+
+        // First fit over the free list.
+        let mut prev: Option<u64> = None;
+        let mut cur = load_u64(mem, self.meta_base + HDR_FREE)?;
+        while cur != 0 {
+            let idx = cur - 1;
+            let d = self.desc(idx);
+            let size = load_u64(mem, d + 16)?;
+            let next = load_u64(mem, d + 24)?;
+            mem.charge(6);
+            debug_assert_eq!(size & USED_BIT, 0, "free-list block marked used");
+            if size >= len {
+                // Unlink and mark used.
+                match prev {
+                    None => store_u64(mem, self.meta_base + HDR_FREE, next)?,
+                    Some(p) => store_u64(mem, self.desc(p) + 24, next)?,
+                }
+                store_u64(mem, d + 16, size | USED_BIT)?;
+                store_u64(mem, d + 24, 0)?;
+                let cap = mem.load_cap(d)?.ok_or(Errno::Fault)?;
+                return Ok(cap);
+            }
+            prev = Some(idx);
+            cur = next;
+        }
+
+        // Carve from the arena.
+        let top = load_u64(mem, self.meta_base + HDR_TOP)?;
+        if top + len > self.arena_len {
+            return Err(Errno::NoMem);
+        }
+        let used = load_u64(mem, self.meta_base + HDR_USED)?;
+        if used >= self.max_blocks {
+            return Err(Errno::NoMem);
+        }
+        let base = self.arena_base + top;
+        let cap = mem.derive(base, len)?;
+        let d = self.desc(used);
+        mem.store_cap(d, &cap)?;
+        store_u64(mem, d + 16, len | USED_BIT)?;
+        store_u64(mem, d + 24, 0)?;
+        store_u64(mem, self.meta_base + HDR_USED, used + 1)?;
+        store_u64(mem, self.meta_base + HDR_TOP, top + len)?;
+        mem.charge(12);
+        Ok(cap)
+    }
+
+    /// Frees an allocation by its capability.
+    pub fn free(&self, mem: &mut dyn UserMem, cap: &Capability) -> SysResult<()> {
+        let used = load_u64(mem, self.meta_base + HDR_USED)?;
+        for idx in 0..used {
+            let d = self.desc(idx);
+            let Some(c) = mem.load_cap(d)? else { continue };
+            mem.charge(4);
+            if c.base() != cap.base() {
+                continue;
+            }
+            let size = load_u64(mem, d + 16)?;
+            if size & USED_BIT == 0 {
+                return Err(Errno::Inval); // double free
+            }
+            store_u64(mem, d + 16, size & !USED_BIT)?;
+            let head = load_u64(mem, self.meta_base + HDR_FREE)?;
+            store_u64(mem, d + 24, head)?;
+            store_u64(mem, self.meta_base + HDR_FREE, idx + 1)?;
+            return Ok(());
+        }
+        Err(Errno::Inval)
+    }
+
+    /// Reads aggregate statistics.
+    pub fn stats(&self, mem: &mut dyn UserMem) -> SysResult<TAllocStats> {
+        let blocks_used = load_u64(mem, self.meta_base + HDR_USED)?;
+        let arena_top = load_u64(mem, self.meta_base + HDR_TOP)?;
+        let mut free_blocks = 0;
+        let mut cur = load_u64(mem, self.meta_base + HDR_FREE)?;
+        while cur != 0 {
+            free_blocks += 1;
+            cur = load_u64(mem, self.desc(cur - 1) + 24)?;
+        }
+        Ok(TAllocStats {
+            blocks_used,
+            free_blocks,
+            arena_top,
+        })
+    }
+
+    /// Number of metadata bytes currently in use (header + descriptors),
+    /// for the eager-copy sizing at fork.
+    pub fn meta_bytes_in_use(&self, mem: &mut dyn UserMem) -> SysResult<u64> {
+        let used = load_u64(mem, self.meta_base + HDR_USED)?;
+        Ok(DESCS + used * DESC_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use ufork_cheri::Perms;
+
+    /// Flat test memory: one big byte array + sparse capability map.
+    struct FlatMem {
+        base: u64,
+        data: Vec<u8>,
+        caps: BTreeMap<u64, Capability>,
+        root: Capability,
+    }
+
+    impl FlatMem {
+        fn new(base: u64, len: u64) -> FlatMem {
+            FlatMem {
+                base,
+                data: vec![0; len as usize],
+                caps: BTreeMap::new(),
+                root: Capability::new_root(base, len, Perms::data()),
+            }
+        }
+    }
+
+    impl UserMem for FlatMem {
+        fn load(&mut self, va: u64, buf: &mut [u8]) -> SysResult<()> {
+            let o = (va - self.base) as usize;
+            buf.copy_from_slice(&self.data[o..o + buf.len()]);
+            Ok(())
+        }
+        fn store(&mut self, va: u64, data: &[u8]) -> SysResult<()> {
+            let o = (va - self.base) as usize;
+            self.data[o..o + data.len()].copy_from_slice(data);
+            for g in (va / 16)..=((va + data.len() as u64 - 1) / 16) {
+                self.caps.remove(&(g * 16));
+            }
+            Ok(())
+        }
+        fn load_cap(&mut self, va: u64) -> SysResult<Option<Capability>> {
+            Ok(self.caps.get(&va).copied())
+        }
+        fn store_cap(&mut self, va: u64, cap: &Capability) -> SysResult<()> {
+            self.caps.insert(va, *cap);
+            Ok(())
+        }
+        fn derive(&self, base: u64, len: u64) -> SysResult<Capability> {
+            self.root.with_bounds(base, len).map_err(|_| Errno::Fault)
+        }
+        fn charge(&mut self, _n: u64) {}
+    }
+
+    fn setup() -> (TAlloc, FlatMem) {
+        let ta = TAlloc {
+            meta_base: 0x10_0000,
+            max_blocks: 64,
+            arena_base: 0x10_4000,
+            arena_len: 0x4000,
+        };
+        let mut mem = FlatMem::new(0x10_0000, 0x10_0000);
+        ta.init(&mut mem).unwrap();
+        (ta, mem)
+    }
+
+    #[test]
+    fn malloc_returns_bounded_caps() {
+        let (ta, mut mem) = setup();
+        let a = ta.malloc(&mut mem, 100).unwrap();
+        let b = ta.malloc(&mut mem, 50).unwrap();
+        assert_eq!(a.len(), 112); // rounded to 16
+        assert_eq!(b.len(), 64);
+        assert_eq!(a.base() % 16, 0);
+        assert!(b.base() >= a.top());
+        // Bounds are tight: cannot access past the allocation.
+        assert!(a.check_access(a.base(), 112, Perms::LOAD).is_ok());
+        assert!(a.check_access(a.base(), 113, Perms::LOAD).is_err());
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let (ta, mut mem) = setup();
+        let a = ta.malloc(&mut mem, 256).unwrap();
+        let a_base = a.base();
+        ta.free(&mut mem, &a).unwrap();
+        let s = ta.stats(&mut mem).unwrap();
+        assert_eq!(s.free_blocks, 1);
+        // A smaller allocation reuses the freed block (first fit).
+        let b = ta.malloc(&mut mem, 64).unwrap();
+        assert_eq!(b.base(), a_base);
+        assert_eq!(ta.stats(&mut mem).unwrap().free_blocks, 0);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (ta, mut mem) = setup();
+        let a = ta.malloc(&mut mem, 32).unwrap();
+        ta.free(&mut mem, &a).unwrap();
+        assert_eq!(ta.free(&mut mem, &a).unwrap_err(), Errno::Inval);
+    }
+
+    #[test]
+    fn free_of_unknown_cap_rejected() {
+        let (ta, mut mem) = setup();
+        let bogus = Capability::new_root(0x10_5000, 16, Perms::data());
+        assert_eq!(ta.free(&mut mem, &bogus).unwrap_err(), Errno::Inval);
+    }
+
+    #[test]
+    fn arena_exhaustion() {
+        let (ta, mut mem) = setup();
+        assert!(ta.malloc(&mut mem, 0x4000).is_ok());
+        assert_eq!(ta.malloc(&mut mem, 16).unwrap_err(), Errno::NoMem);
+    }
+
+    #[test]
+    fn descriptor_exhaustion() {
+        let ta = TAlloc {
+            meta_base: 0x10_0000,
+            max_blocks: 2,
+            arena_base: 0x10_4000,
+            arena_len: 0x4000,
+        };
+        let mut mem = FlatMem::new(0x10_0000, 0x10_0000);
+        ta.init(&mut mem).unwrap();
+        ta.malloc(&mut mem, 16).unwrap();
+        ta.malloc(&mut mem, 16).unwrap();
+        assert_eq!(ta.malloc(&mut mem, 16).unwrap_err(), Errno::NoMem);
+    }
+
+    #[test]
+    fn zero_len_rejected() {
+        let (ta, mut mem) = setup();
+        assert_eq!(ta.malloc(&mut mem, 0).unwrap_err(), Errno::Inval);
+    }
+
+    #[test]
+    fn uninitialized_heap_detected() {
+        let ta = TAlloc {
+            meta_base: 0x10_0000,
+            max_blocks: 4,
+            arena_base: 0x10_4000,
+            arena_len: 0x1000,
+        };
+        let mut mem = FlatMem::new(0x10_0000, 0x10_0000);
+        assert_eq!(ta.malloc(&mut mem, 16).unwrap_err(), Errno::Fault);
+    }
+
+    #[test]
+    fn meta_bytes_tracks_descriptors() {
+        let (ta, mut mem) = setup();
+        assert_eq!(ta.meta_bytes_in_use(&mut mem).unwrap(), 64);
+        ta.malloc(&mut mem, 16).unwrap();
+        ta.malloc(&mut mem, 16).unwrap();
+        assert_eq!(ta.meta_bytes_in_use(&mut mem).unwrap(), 64 + 2 * 32);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests of fork semantics: arbitrary parent/child write
+//! interleavings never leak across the fork boundary, under any strategy.
+
+use proptest::prelude::*;
+use ufork::{UforkConfig, UforkOs};
+use ufork_abi::{CopyStrategy, ImageSpec, Pid};
+use ufork_cheri::Capability;
+use ufork_exec::{Ctx, MemOs};
+
+const PARENT: Pid = Pid(1);
+const CHILD: Pid = Pid(2);
+const CELLS: u64 = 24;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    ParentWrite(u8, u64),
+    ChildWrite(u8, u64),
+    ParentRead(u8),
+    ChildRead(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(i, v)| Op::ParentWrite(i, v)),
+        (any::<u8>(), any::<u64>()).prop_map(|(i, v)| Op::ChildWrite(i, v)),
+        any::<u8>().prop_map(Op::ParentRead),
+        any::<u8>().prop_map(Op::ChildRead),
+    ]
+}
+
+fn strategy_of(ix: u8) -> CopyStrategy {
+    match ix % 3 {
+        0 => CopyStrategy::Full,
+        1 => CopyStrategy::CoA,
+        _ => CopyStrategy::CoPA,
+    }
+}
+
+/// The cells live in one shared array in the parent; each cell is a u64
+/// at a distinct offset. Pointers to the array hop through a capability
+/// cell so relocation is exercised too.
+fn cell_addr(arr: &Capability, i: u8) -> Capability {
+    let idx = u64::from(i) % CELLS;
+    // Spread cells across pages (512 B apart) so strategies differ.
+    arr.with_addr(arr.base() + idx * 512).expect("in bounds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn interleaved_writes_never_leak(strategy_ix in 0u8..3, ops in proptest::collection::vec(op(), 1..48)) {
+        let strategy = strategy_of(strategy_ix);
+        let mut os = UforkOs::new(UforkConfig {
+            phys_mib: 64,
+            strategy,
+            ..UforkConfig::default()
+        });
+        let mut ctx = Ctx::new();
+        os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world()).unwrap();
+        let arr = os.malloc(&mut ctx, PARENT, CELLS * 512).unwrap();
+        // Initialize cells to i.
+        for i in 0..CELLS {
+            os.store(
+                &mut ctx,
+                PARENT,
+                &arr.with_addr(arr.base() + i * 512).unwrap(),
+                &i.to_le_bytes(),
+            )
+            .unwrap();
+        }
+        // A pointer to the array stored in memory (forces relocation) and
+        // in a register.
+        let slot = os.malloc(&mut ctx, PARENT, 16).unwrap();
+        os.store_cap(&mut ctx, PARENT, &slot, &arr).unwrap();
+        os.set_reg(PARENT, 4, slot).unwrap();
+
+        os.fork(&mut ctx, PARENT, CHILD).unwrap();
+
+        // Shadow models.
+        let mut shadow_p: Vec<u64> = (0..CELLS).collect();
+        let mut shadow_c = shadow_p.clone();
+
+        // Resolve each side's array pointer through its own memory.
+        let p_slot = os.reg(PARENT, 4).unwrap();
+        let p_arr = os.load_cap(&mut ctx, PARENT, &p_slot.with_addr(p_slot.base()).unwrap())
+            .unwrap().expect("parent array ptr");
+        let c_slot = os.reg(CHILD, 4).unwrap();
+        let c_arr = os.load_cap(&mut ctx, CHILD, &c_slot.with_addr(c_slot.base()).unwrap())
+            .unwrap().expect("child array ptr");
+        prop_assert_ne!(p_arr.base(), c_arr.base(), "child pointer must be relocated");
+
+        for o in ops {
+            match o {
+                Op::ParentWrite(i, v) => {
+                    os.store(&mut ctx, PARENT, &cell_addr(&p_arr, i), &v.to_le_bytes()).unwrap();
+                    shadow_p[(u64::from(i) % CELLS) as usize] = v;
+                }
+                Op::ChildWrite(i, v) => {
+                    os.store(&mut ctx, CHILD, &cell_addr(&c_arr, i), &v.to_le_bytes()).unwrap();
+                    shadow_c[(u64::from(i) % CELLS) as usize] = v;
+                }
+                Op::ParentRead(i) => {
+                    let mut b = [0u8; 8];
+                    os.load(&mut ctx, PARENT, &cell_addr(&p_arr, i), &mut b).unwrap();
+                    prop_assert_eq!(u64::from_le_bytes(b), shadow_p[(u64::from(i) % CELLS) as usize],
+                        "{:?}: parent read diverged", strategy);
+                }
+                Op::ChildRead(i) => {
+                    let mut b = [0u8; 8];
+                    os.load(&mut ctx, CHILD, &cell_addr(&c_arr, i), &mut b).unwrap();
+                    prop_assert_eq!(u64::from_le_bytes(b), shadow_c[(u64::from(i) % CELLS) as usize],
+                        "{:?}: child read diverged", strategy);
+                }
+            }
+        }
+        // Final sweep: both views must equal their shadows, and isolation
+        // must audit clean.
+        for i in 0..CELLS {
+            let mut b = [0u8; 8];
+            os.load(&mut ctx, PARENT, &p_arr.with_addr(p_arr.base() + i * 512).unwrap(), &mut b).unwrap();
+            prop_assert_eq!(u64::from_le_bytes(b), shadow_p[i as usize]);
+            os.load(&mut ctx, CHILD, &c_arr.with_addr(c_arr.base() + i * 512).unwrap(), &mut b).unwrap();
+            prop_assert_eq!(u64::from_le_bytes(b), shadow_c[i as usize]);
+        }
+        prop_assert_eq!(os.audit_isolation(PARENT), 0);
+        prop_assert_eq!(os.audit_isolation(CHILD), 0);
+        prop_assert_eq!(ctx.counters.isolation_violations, 0);
+    }
+
+    /// Observational equivalence: after fork, the child's full view of
+    /// the array equals the parent's at-fork view under EVERY strategy —
+    /// byte for byte — no matter which cells the parent dirtied first.
+    #[test]
+    fn strategies_observationally_equivalent(
+        strategy_ix in 0u8..3,
+        parent_dirty in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..16),
+    ) {
+        let strategy = strategy_of(strategy_ix);
+        let mut os = UforkOs::new(UforkConfig {
+            phys_mib: 64,
+            strategy,
+            ..UforkConfig::default()
+        });
+        let mut ctx = Ctx::new();
+        os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world()).unwrap();
+        let arr = os.malloc(&mut ctx, PARENT, CELLS * 512).unwrap();
+        for i in 0..CELLS {
+            os.store(&mut ctx, PARENT, &arr.with_addr(arr.base() + i * 512).unwrap(),
+                &(0xAB00 + i).to_le_bytes()).unwrap();
+        }
+        os.set_reg(PARENT, 4, arr).unwrap();
+        os.fork(&mut ctx, PARENT, CHILD).unwrap();
+        // Parent dirties some cells AFTER the fork.
+        for (i, v) in parent_dirty {
+            os.store(&mut ctx, PARENT, &cell_addr(&arr, i), &v.to_le_bytes()).unwrap();
+        }
+        // The child still sees the at-fork snapshot.
+        let c_arr = os.reg(CHILD, 4).unwrap();
+        for i in 0..CELLS {
+            let mut b = [0u8; 8];
+            os.load(&mut ctx, CHILD, &c_arr.with_addr(c_arr.base() + i * 512).unwrap(), &mut b).unwrap();
+            prop_assert_eq!(u64::from_le_bytes(b), 0xAB00 + i, "{:?} cell {}", strategy, i);
+        }
+    }
+}

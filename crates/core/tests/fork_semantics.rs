@@ -1,0 +1,382 @@
+//! Integration tests of the μFork kernel's fork semantics: equivalence of
+//! parent/child views, relocation correctness, isolation, and the three
+//! copy strategies.
+
+use ufork::{UforkConfig, UforkOs};
+use ufork_abi::{CopyStrategy, Errno, ImageSpec, IsolationLevel, Pid};
+use ufork_cheri::{Capability, Perms};
+use ufork_exec::{Ctx, MemOs};
+
+const PARENT: Pid = Pid(1);
+const CHILD: Pid = Pid(2);
+
+fn os_with(strategy: CopyStrategy) -> (UforkOs, Ctx) {
+    let mut cfg = UforkConfig::default();
+    cfg.strategy = strategy;
+    cfg.phys_mib = 64;
+    (UforkOs::new(cfg), Ctx::new())
+}
+
+fn spawn_parent(os: &mut UforkOs, ctx: &mut Ctx) {
+    os.spawn(ctx, PARENT, &ImageSpec::hello_world()).unwrap();
+}
+
+/// Writes a linked list of three nodes into parent memory:
+/// reg[4] -> node0 { value u64, next cap } -> node1 -> node2.
+fn build_list(os: &mut UforkOs, ctx: &mut Ctx, pid: Pid) -> Vec<u64> {
+    let mut nodes = Vec::new();
+    let mut caps = Vec::new();
+    for i in 0..3u64 {
+        let n = os.malloc(ctx, pid, 32).unwrap();
+        os.store(ctx, pid, &n, &(100 + i).to_le_bytes()).unwrap();
+        caps.push(n);
+        nodes.push(n.base());
+    }
+    // Link i -> i+1 at offset 16.
+    for i in 0..2 {
+        let slot = caps[i].with_addr(caps[i].base() + 16).unwrap();
+        os.store_cap(ctx, pid, &slot, &caps[i + 1]).unwrap();
+    }
+    os.set_reg(pid, 4, caps[0]).unwrap();
+    nodes
+}
+
+/// Walks the list through pid's registers/memory, returning the values.
+fn walk_list(os: &mut UforkOs, ctx: &mut Ctx, pid: Pid) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut cur = Some(os.reg(pid, 4).unwrap());
+    while let Some(c) = cur {
+        let mut b = [0u8; 8];
+        os.load(ctx, pid, &c.with_addr(c.base()).unwrap(), &mut b)
+            .unwrap();
+        out.push(u64::from_le_bytes(b));
+        cur = os
+            .load_cap(ctx, pid, &c.with_addr(c.base() + 16).unwrap())
+            .unwrap();
+    }
+    out
+}
+
+#[test]
+fn child_sees_identical_data_under_all_strategies() {
+    for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
+        let (mut os, mut ctx) = os_with(strategy);
+        spawn_parent(&mut os, &mut ctx);
+        build_list(&mut os, &mut ctx, PARENT);
+        os.fork(&mut ctx, PARENT, CHILD).unwrap();
+        assert_eq!(
+            walk_list(&mut os, &mut ctx, CHILD),
+            vec![100, 101, 102],
+            "strategy {strategy:?}"
+        );
+        assert_eq!(walk_list(&mut os, &mut ctx, PARENT), vec![100, 101, 102]);
+    }
+}
+
+#[test]
+fn child_registers_are_relocated() {
+    let (mut os, mut ctx) = os_with(CopyStrategy::CoPA);
+    spawn_parent(&mut os, &mut ctx);
+    build_list(&mut os, &mut ctx, PARENT);
+    os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    let p = os.reg(PARENT, 4).unwrap();
+    let c = os.reg(CHILD, 4).unwrap();
+    assert_ne!(p.base(), c.base(), "child head pointer must be relocated");
+    // Same offset within the respective regions.
+    let pr = os.reg(PARENT, 0).unwrap();
+    let cr = os.reg(CHILD, 0).unwrap();
+    assert_eq!(p.base() - pr.base(), c.base() - cr.base());
+}
+
+#[test]
+fn writes_are_isolated_after_fork() {
+    for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
+        let (mut os, mut ctx) = os_with(strategy);
+        spawn_parent(&mut os, &mut ctx);
+        build_list(&mut os, &mut ctx, PARENT);
+        os.fork(&mut ctx, PARENT, CHILD).unwrap();
+
+        // Child overwrites node0's value.
+        let c_head = os.reg(CHILD, 4).unwrap();
+        os.store(
+            &mut ctx,
+            CHILD,
+            &c_head.with_addr(c_head.base()).unwrap(),
+            &999u64.to_le_bytes(),
+        )
+        .unwrap();
+        // Parent overwrites node1's value.
+        let p_head = os.reg(PARENT, 4).unwrap();
+        let p_n1 = os
+            .load_cap(
+                &mut ctx,
+                PARENT,
+                &p_head.with_addr(p_head.base() + 16).unwrap(),
+            )
+            .unwrap()
+            .unwrap();
+        os.store(
+            &mut ctx,
+            PARENT,
+            &p_n1.with_addr(p_n1.base()).unwrap(),
+            &777u64.to_le_bytes(),
+        )
+        .unwrap();
+
+        assert_eq!(
+            walk_list(&mut os, &mut ctx, CHILD),
+            vec![999, 101, 102],
+            "{strategy:?}: child must not see parent's post-fork write"
+        );
+        assert_eq!(
+            walk_list(&mut os, &mut ctx, PARENT),
+            vec![100, 777, 102],
+            "{strategy:?}: parent must not see child's write"
+        );
+    }
+}
+
+#[test]
+fn copa_copies_fewer_pages_than_coa() {
+    // The child reads every node; CoA must copy every touched page, CoPA
+    // only pages it loads capabilities from / writes to.
+    let mut results = Vec::new();
+    for strategy in [CopyStrategy::CoA, CopyStrategy::CoPA] {
+        let (mut os, mut ctx) = os_with(strategy);
+        spawn_parent(&mut os, &mut ctx);
+        build_list(&mut os, &mut ctx, PARENT);
+        os.fork(&mut ctx, PARENT, CHILD).unwrap();
+        let before = ctx.counters.pages_copied;
+        walk_list(&mut os, &mut ctx, CHILD);
+        results.push((strategy, ctx.counters.pages_copied - before));
+    }
+    let coa = results[0].1;
+    let copa = results[1].1;
+    assert!(
+        copa <= coa,
+        "CoPA ({copa}) must copy no more pages than CoA ({coa})"
+    );
+}
+
+#[test]
+fn full_strategy_copies_everything_at_fork() {
+    let (mut os, mut ctx) = os_with(CopyStrategy::Full);
+    spawn_parent(&mut os, &mut ctx);
+    build_list(&mut os, &mut ctx, PARENT);
+    let frames_before = os.allocated_frames();
+    os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    let frames_after = os.allocated_frames();
+    // Every mapped page was duplicated (no sharing).
+    assert!(frames_after >= 2 * frames_before - 2);
+    // And the child faults on nothing afterwards.
+    let before = ctx.counters.cow_faults + ctx.counters.cap_load_faults + ctx.counters.coa_faults;
+    walk_list(&mut os, &mut ctx, CHILD);
+    let after = ctx.counters.cow_faults + ctx.counters.cap_load_faults + ctx.counters.coa_faults;
+    assert_eq!(before, after);
+}
+
+#[test]
+fn stale_parent_capability_is_refused() {
+    let (mut os, mut ctx) = os_with(CopyStrategy::CoPA);
+    spawn_parent(&mut os, &mut ctx);
+    build_list(&mut os, &mut ctx, PARENT);
+    os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    // Simulate a program that squirrelled a parent pointer outside the
+    // register file: the child presents the PARENT's head capability.
+    let stale = os.reg(PARENT, 4).unwrap();
+    let mut b = [0u8; 8];
+    let err = os.load(
+        &mut ctx,
+        CHILD,
+        &stale.with_addr(stale.base()).unwrap(),
+        &mut b,
+    );
+    assert_eq!(err.unwrap_err(), Errno::Fault);
+    assert!(ctx.counters.isolation_violations > 0);
+}
+
+#[test]
+fn forged_capability_is_refused() {
+    let (mut os, mut ctx) = os_with(CopyStrategy::CoPA);
+    spawn_parent(&mut os, &mut ctx);
+    // A forged capability into the kernel's address range.
+    let forged = Capability::new_root(0xffff_0000_0000, 0x1000, Perms::data());
+    let err = os.store(&mut ctx, PARENT, &forged, &[1, 2, 3]);
+    assert_eq!(err.unwrap_err(), Errno::Fault);
+    assert_eq!(ctx.counters.isolation_violations, 1);
+}
+
+#[test]
+fn isolation_audit_passes_after_fork_and_accesses() {
+    let (mut os, mut ctx) = os_with(CopyStrategy::CoPA);
+    spawn_parent(&mut os, &mut ctx);
+    build_list(&mut os, &mut ctx, PARENT);
+    os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    assert_eq!(os.audit_isolation(PARENT), 0);
+    assert_eq!(os.audit_isolation(CHILD), 0);
+    walk_list(&mut os, &mut ctx, CHILD);
+    assert_eq!(os.audit_isolation(CHILD), 0);
+    // Child writes; audit still clean.
+    let head = os.reg(CHILD, 4).unwrap();
+    os.store(
+        &mut ctx,
+        CHILD,
+        &head.with_addr(head.base()).unwrap(),
+        &1u64.to_le_bytes(),
+    )
+    .unwrap();
+    assert_eq!(os.audit_isolation(CHILD), 0);
+}
+
+#[test]
+fn grandchild_relocation_across_two_forks() {
+    let (mut os, mut ctx) = os_with(CopyStrategy::CoPA);
+    spawn_parent(&mut os, &mut ctx);
+    build_list(&mut os, &mut ctx, PARENT);
+    os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    // Child forks again WITHOUT touching the list first: grandchild pages
+    // still hold capabilities pointing at the ORIGINAL parent's region.
+    let gc = Pid(3);
+    os.fork(&mut ctx, CHILD, gc).unwrap();
+    assert_eq!(walk_list(&mut os, &mut ctx, gc), vec![100, 101, 102]);
+    assert_eq!(os.audit_isolation(gc), 0);
+}
+
+#[test]
+fn fork_after_parent_exit_keeps_child_working() {
+    let (mut os, mut ctx) = os_with(CopyStrategy::CoPA);
+    spawn_parent(&mut os, &mut ctx);
+    build_list(&mut os, &mut ctx, PARENT);
+    os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    os.destroy(&mut ctx, PARENT);
+    // The child's shared frames survive (refcounted) and relocation still
+    // finds the parent's (retired) region.
+    assert_eq!(walk_list(&mut os, &mut ctx, CHILD), vec![100, 101, 102]);
+    assert_eq!(os.audit_isolation(CHILD), 0);
+}
+
+#[test]
+fn malloc_works_in_child_after_fork() {
+    let (mut os, mut ctx) = os_with(CopyStrategy::CoPA);
+    spawn_parent(&mut os, &mut ctx);
+    build_list(&mut os, &mut ctx, PARENT);
+    os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    // Child allocates: exercises the eagerly copied allocator metadata.
+    let c = os.malloc(&mut ctx, CHILD, 64).unwrap();
+    let cr = os.reg(CHILD, 0).unwrap();
+    assert!(c.confined_to(cr.base(), cr.len()));
+    os.store(&mut ctx, CHILD, &c, b"child allocation").unwrap();
+    // Parent allocator is unaffected: next parent alloc lands in ITS arena.
+    let p = os.malloc(&mut ctx, PARENT, 64).unwrap();
+    let pr = os.reg(PARENT, 0).unwrap();
+    assert!(p.confined_to(pr.base(), pr.len()));
+}
+
+#[test]
+fn shm_is_shared_across_fork_and_carries_no_caps() {
+    let (mut os, mut ctx) = os_with(CopyStrategy::CoPA);
+    spawn_parent(&mut os, &mut ctx);
+    let shm = os.shm_open(&mut ctx, PARENT, "seg", 8192).unwrap();
+    os.set_reg(PARENT, 5, shm).unwrap();
+    os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    // Parent writes, child reads THROUGH ITS OWN (relocated) mapping.
+    os.store(
+        &mut ctx,
+        PARENT,
+        &shm.with_addr(shm.base()).unwrap(),
+        b"hello-shm",
+    )
+    .unwrap();
+    let c_shm = os.reg(CHILD, 5).unwrap();
+    assert_ne!(c_shm.base(), shm.base());
+    let mut b = [0u8; 9];
+    os.load(
+        &mut ctx,
+        CHILD,
+        &c_shm.with_addr(c_shm.base()).unwrap(),
+        &mut b,
+    )
+    .unwrap();
+    assert_eq!(&b, b"hello-shm");
+    // Capability stores into shm are forbidden (no STORE_CAP permission).
+    let cap = os.malloc(&mut ctx, CHILD, 16).unwrap();
+    let err = os.store_cap(
+        &mut ctx,
+        CHILD,
+        &c_shm.with_addr(c_shm.base()).unwrap(),
+        &cap,
+    );
+    assert_eq!(err.unwrap_err(), Errno::Fault);
+}
+
+#[test]
+fn fork_counters_match_strategy() {
+    // CoPA fork must not copy the arena; Full must copy everything.
+    let (mut os, mut ctx) = os_with(CopyStrategy::CoPA);
+    spawn_parent(&mut os, &mut ctx);
+    os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    let copa_eager = ctx.counters.pages_copied_eager;
+
+    let (mut os2, mut ctx2) = os_with(CopyStrategy::Full);
+    spawn_parent(&mut os2, &mut ctx2);
+    os2.fork(&mut ctx2, PARENT, CHILD).unwrap();
+    let full_eager = ctx2.counters.pages_copied_eager;
+
+    assert!(copa_eager < full_eager);
+    assert!(copa_eager >= 2, "GOT + allocator metadata are eager");
+}
+
+#[test]
+fn isolation_none_skips_checks() {
+    let mut cfg = UforkConfig::default();
+    cfg.isolation = IsolationLevel::None;
+    cfg.phys_mib = 64;
+    let mut os = UforkOs::new(cfg);
+    let mut ctx = Ctx::new();
+    os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world())
+        .unwrap();
+    // With isolation disabled, even an out-of-region capability is let
+    // through to translation (and fails only if unmapped).
+    let root = os.reg(PARENT, 0).unwrap();
+    let wild = Capability::new_root(root.base() - 4096, 8192, Perms::data());
+    let mut b = [0u8; 4];
+    let r = os.load(
+        &mut ctx,
+        PARENT,
+        &wild.with_addr(root.base()).unwrap(),
+        &mut b,
+    );
+    assert!(r.is_ok(), "checks disabled: in-region part accessible");
+    assert_eq!(ctx.counters.isolation_violations, 0);
+}
+
+#[test]
+fn fork_latency_scales_with_mapped_pages() {
+    // Fork cost must grow with the image size (PTE copies): the mechanism
+    // behind Figure 4's growth with database size.
+    let mut cfg = UforkConfig::default();
+    cfg.phys_mib = 256;
+    let mut os = UforkOs::new(cfg);
+    let mut ctx_small = Ctx::new();
+    os.spawn(&mut ctx_small, Pid(10), &ImageSpec::hello_world())
+        .unwrap();
+    let mut c1 = Ctx::new();
+    os.fork(&mut c1, Pid(10), Pid(11)).unwrap();
+
+    let mut ctx_big = Ctx::new();
+    os.spawn(
+        &mut ctx_big,
+        Pid(20),
+        &ImageSpec::with_heap("big", 64 << 20),
+    )
+    .unwrap();
+    let mut c2 = Ctx::new();
+    os.fork(&mut c2, Pid(20), Pid(21)).unwrap();
+
+    assert!(
+        c2.kernel_ns > c1.kernel_ns,
+        "bigger image must fork slower ({} vs {})",
+        c2.kernel_ns,
+        c1.kernel_ns
+    );
+}

@@ -1,0 +1,58 @@
+//! Per-step accounting context.
+
+use ufork_sim::OpCounters;
+
+/// Accounting context threaded through every backend operation during one
+/// program step.
+///
+/// Time is split into user and kernel nanoseconds so the machine can apply
+/// the big-kernel-lock serialization model (paper §4.5: Unikraft "lets
+/// application code run concurrently but serializes kernel code
+/// execution") to the kernel portion only.
+#[derive(Debug, Default)]
+pub struct Ctx {
+    /// User-mode simulated time accumulated this step.
+    pub user_ns: f64,
+    /// Kernel-mode simulated time accumulated this step.
+    pub kernel_ns: f64,
+    /// Operation counters (shared with the machine).
+    pub counters: OpCounters,
+}
+
+impl Ctx {
+    /// A fresh context.
+    pub fn new() -> Ctx {
+        Ctx::default()
+    }
+
+    /// Charges user time.
+    pub fn user(&mut self, ns: f64) {
+        self.user_ns += ns;
+    }
+
+    /// Charges kernel time.
+    pub fn kernel(&mut self, ns: f64) {
+        self.kernel_ns += ns;
+    }
+
+    /// Total time this step.
+    pub fn total(&self) -> f64 {
+        self.user_ns + self.kernel_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_split_time() {
+        let mut c = Ctx::new();
+        c.user(10.0);
+        c.kernel(5.0);
+        c.user(2.5);
+        assert_eq!(c.user_ns, 12.5);
+        assert_eq!(c.kernel_ns, 5.0);
+        assert_eq!(c.total(), 17.5);
+    }
+}

@@ -1,0 +1,1142 @@
+//! The discrete-event machine: scheduler, processes, threads, and the
+//! [`Env`] glue.
+//!
+//! Processes contain one or more **threads** (paper §3.4: "each μprocess
+//! may have many threads"); threads share the process's memory, file
+//! descriptors, and register file, and are scheduled independently.
+//! `fork` duplicates only the calling thread, as POSIX specifies.
+
+use std::collections::BTreeMap;
+
+use ufork_abi::{
+    BlockingCall, Capability, Env, Errno, Fd, ForkResult, ImageSpec, Pid, Program, Resume,
+    StepOutcome, SysResult,
+};
+use ufork_sim::OpCounters;
+
+use crate::ctx::Ctx;
+use crate::memos::{charge_syscall, MemOs};
+use crate::vfs::{ConnRead, ConnTemplate, FdKind, FdTable, PipeRead, Vfs, WakeEvent};
+
+/// Machine-wide configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Cores newly forked children may run on (`None` = inherit the
+    /// parent's affinity). The FaaS experiment pins the coordinator to
+    /// core 0 and fans children out to the remaining cores (paper §5.1).
+    pub child_affinity: Option<Vec<usize>>,
+    /// Stop scheduling steps that would start at or after this simulated
+    /// time (ns).
+    pub time_limit: Option<f64>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            cores: 1,
+            child_affinity: None,
+            time_limit: None,
+        }
+    }
+}
+
+/// A completed fork, with its measured latency.
+#[derive(Clone, Copy, Debug)]
+pub struct ForkEvent {
+    /// Forking process.
+    pub parent: Pid,
+    /// New process.
+    pub child: Pid,
+    /// Simulated time at which the fork call completed.
+    pub at: f64,
+    /// Latency of the fork call itself (ns).
+    pub latency_ns: f64,
+}
+
+/// A process exit.
+#[derive(Clone, Copy, Debug)]
+pub struct ExitEvent {
+    /// Exiting process.
+    pub pid: Pid,
+    /// Simulated exit time.
+    pub at: f64,
+    /// Exit code.
+    pub code: i32,
+}
+
+/// The main thread's id in every process.
+pub const MAIN_TID: u32 = 0;
+
+#[derive(Debug)]
+enum ThreadState {
+    /// Runnable no earlier than `at`.
+    Ready { at: f64 },
+    /// Blocked with no known wake time; woken by events.
+    Blocked,
+    /// Finished.
+    Dead,
+}
+
+struct Thread {
+    program: Option<Box<dyn Program>>,
+    state: ThreadState,
+    resume_with: Resume,
+    /// A blocking call to (re)try when next scheduled.
+    pending: Option<BlockingCall>,
+    /// Exit code + time, for `JoinThread`.
+    exited: Option<(i32, f64)>,
+}
+
+impl Thread {
+    fn new(program: Box<dyn Program>, resume_with: Resume, at: f64) -> Thread {
+        Thread {
+            program: Some(program),
+            state: ThreadState::Ready { at },
+            resume_with,
+            pending: None,
+            exited: None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProcLife {
+    Alive,
+    /// Exited; retained for `wait`.
+    Zombie,
+    /// Fully reaped.
+    Dead,
+}
+
+struct Proc {
+    parent: Option<Pid>,
+    life: ProcLife,
+    threads: BTreeMap<u32, Thread>,
+    next_tid: u32,
+    fds: FdTable,
+    children: Vec<Pid>,
+    zombies: Vec<(Pid, i32, f64)>,
+    affinity: Option<Vec<usize>>,
+    exit_code: Option<i32>,
+}
+
+impl Proc {
+    fn main_thread(
+        program: Box<dyn Program>,
+        parent: Option<Pid>,
+        fds: FdTable,
+        at: f64,
+        resume_with: Resume,
+        affinity: Option<Vec<usize>>,
+    ) -> Proc {
+        let mut threads = BTreeMap::new();
+        threads.insert(MAIN_TID, Thread::new(program, resume_with, at));
+        Proc {
+            parent,
+            life: ProcLife::Alive,
+            threads,
+            next_tid: MAIN_TID + 1,
+            fds,
+            children: Vec::new(),
+            zombies: Vec::new(),
+            affinity,
+            exit_code: None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Core {
+    now: f64,
+    last: Option<(Pid, u32)>,
+}
+
+/// The simulated machine: one [`MemOs`] backend plus the shared executive.
+pub struct Machine<O: MemOs> {
+    /// The OS memory/process backend under test.
+    pub os: O,
+    vfs: Vfs,
+    procs: BTreeMap<Pid, Proc>,
+    cores: Vec<Core>,
+    /// Busy intervals of the big kernel lock (start, end), kept pruned.
+    lock_busy: Vec<(f64, f64)>,
+    next_pid: u32,
+    counters: OpCounters,
+    config: MachineConfig,
+    fork_log: Vec<ForkEvent>,
+    exit_log: Vec<ExitEvent>,
+}
+
+impl<O: MemOs> Machine<O> {
+    /// Creates a machine over the given backend.
+    pub fn new(os: O, config: MachineConfig) -> Machine<O> {
+        let cores = vec![
+            Core {
+                now: 0.0,
+                last: None
+            };
+            config.cores.max(1)
+        ];
+        Machine {
+            os,
+            vfs: Vfs::new(),
+            procs: BTreeMap::new(),
+            cores,
+            lock_busy: Vec::new(),
+            next_pid: 1,
+            counters: OpCounters::default(),
+            config,
+            fork_log: Vec::new(),
+            exit_log: Vec::new(),
+        }
+    }
+
+    // ---- setup -----------------------------------------------------------
+
+    /// Spawns an initial process from an image and program.
+    pub fn spawn(&mut self, image: &ImageSpec, program: Box<dyn Program>) -> SysResult<Pid> {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let mut ctx = Ctx::new();
+        self.os.spawn(&mut ctx, pid, image)?;
+        self.counters.merge(&ctx.counters);
+        self.procs.insert(
+            pid,
+            Proc::main_thread(program, None, FdTable::new(), 0.0, Resume::Start, None),
+        );
+        Ok(pid)
+    }
+
+    /// Pins a process (all its threads) to a set of cores.
+    pub fn set_affinity(&mut self, pid: Pid, cores: Vec<usize>) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.affinity = Some(cores);
+        }
+    }
+
+    /// Installs a listening descriptor fed by a synthetic traffic source.
+    pub fn install_listener(
+        &mut self,
+        pid: Pid,
+        template: ConnTemplate,
+        conns: u64,
+    ) -> SysResult<Fd> {
+        let id = self.vfs.create_listener(template, conns);
+        let p = self.procs.get_mut(&pid).ok_or(Errno::Inval)?;
+        Ok(p.fds.insert(FdKind::Listener(id)))
+    }
+
+    // ---- inspection --------------------------------------------------------
+
+    /// The VFS (harness-side verification of files, served counts, …).
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Completed forks.
+    pub fn fork_log(&self) -> &[ForkEvent] {
+        &self.fork_log
+    }
+
+    /// Process exits.
+    pub fn exit_log(&self) -> &[ExitEvent] {
+        &self.exit_log
+    }
+
+    /// Merged operation counters.
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Latest simulated time across cores.
+    pub fn now(&self) -> f64 {
+        self.cores.iter().map(|c| c.now).fold(0.0, f64::max)
+    }
+
+    /// Exit code of a finished process.
+    pub fn exit_code(&self, pid: Pid) -> Option<i32> {
+        self.procs.get(&pid).and_then(|p| p.exit_code)
+    }
+
+    /// Downcasts the main thread's program state for result extraction.
+    pub fn program<T: 'static>(&self, pid: Pid) -> Option<&T> {
+        self.thread_program(pid, MAIN_TID)
+    }
+
+    /// Downcasts a specific thread's program state.
+    pub fn thread_program<T: 'static>(&self, pid: Pid, tid: u32) -> Option<&T> {
+        self.procs
+            .get(&pid)
+            .and_then(|p| p.threads.get(&tid))
+            .and_then(|t| t.program.as_ref())
+            .and_then(|b| b.as_any().downcast_ref::<T>())
+    }
+
+    /// True if the process has fully exited.
+    pub fn is_finished(&self, pid: Pid) -> bool {
+        self.procs
+            .get(&pid)
+            .map_or(true, |p| p.life != ProcLife::Alive)
+    }
+
+    /// Number of live threads in a process.
+    pub fn thread_count(&self, pid: Pid) -> usize {
+        self.procs.get(&pid).map_or(0, |p| {
+            p.threads
+                .values()
+                .filter(|t| !matches!(t.state, ThreadState::Dead))
+                .count()
+        })
+    }
+
+    // ---- the scheduler loop ---------------------------------------------
+
+    /// Runs until nothing is runnable or the time limit is reached.
+    pub fn run(&mut self) {
+        loop {
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Executes one scheduling step. Returns false when idle/finished.
+    pub fn step(&mut self) -> bool {
+        // Pick the runnable thread with the earliest ready time.
+        let Some((pid, tid, ready_at)) = self
+            .procs
+            .iter()
+            .filter(|(_, p)| p.life == ProcLife::Alive)
+            .flat_map(|(pid, p)| {
+                p.threads.iter().filter_map(|(tid, t)| match t.state {
+                    ThreadState::Ready { at } => Some((*pid, *tid, at)),
+                    _ => None,
+                })
+            })
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+        else {
+            return false;
+        };
+        if let Some(limit) = self.config.time_limit {
+            if ready_at >= limit {
+                return false;
+            }
+        }
+        // Pick the allowed core with the earliest time.
+        let affinity = self.procs[&pid].affinity.clone();
+        let core_idx = (0..self.cores.len())
+            .filter(|i| affinity.as_ref().map_or(true, |a| a.contains(i)))
+            .min_by(|a, b| self.cores[*a].now.total_cmp(&self.cores[*b].now))
+            .expect("affinity excludes every core");
+        let core = self.cores[core_idx];
+        let start = core.now.max(ready_at);
+        if let Some(limit) = self.config.time_limit {
+            if start >= limit {
+                // Ready, but no core can run it before the window closes.
+                return false;
+            }
+        }
+
+        let mut ctx = Ctx::new();
+        // Context switch when the core last ran a different thread.
+        if let Some(last) = core.last {
+            if last != (pid, tid) {
+                ctx.kernel(self.os.ctx_switch_cost(last.0, pid));
+                ctx.counters.ctx_switches += 1;
+            }
+        }
+
+        // Retry any pending blocking call first.
+        let thread = self
+            .procs
+            .get_mut(&pid)
+            .and_then(|p| p.threads.get_mut(&tid))
+            .expect("picked thread exists");
+        let mut resume_with = thread.resume_with;
+        if let Some(call) = thread.pending.take() {
+            match self.service_blocking(pid, tid, call, start, &mut ctx) {
+                ServiceOutcome::Done(r) => resume_with = Resume::Ret(r),
+                ServiceOutcome::BlockIndefinite(call) => {
+                    let t = self.thread_mut(pid, tid);
+                    t.pending = Some(call);
+                    t.state = ThreadState::Blocked;
+                    self.finish_step(core_idx, pid, tid, start, ctx);
+                    return true;
+                }
+                ServiceOutcome::RetryAt(call, t_at) => {
+                    let t = self.thread_mut(pid, tid);
+                    t.pending = Some(call);
+                    t.state = ThreadState::Ready { at: t_at };
+                    self.finish_step(core_idx, pid, tid, start, ctx);
+                    return true;
+                }
+            }
+        }
+
+        // Run the program.
+        let mut program = self
+            .thread_mut(pid, tid)
+            .program
+            .take()
+            .expect("ready thread has a program");
+        let mut events = Vec::new();
+        let outcome = {
+            let mut env = StepEnv {
+                os: &mut self.os,
+                vfs: &mut self.vfs,
+                fds: &mut self.procs.get_mut(&pid).unwrap().fds,
+                pid,
+                start,
+                ctx: &mut ctx,
+                events: &mut events,
+            };
+            program.resume(&mut env, resume_with)
+        };
+        self.thread_mut(pid, tid).program = Some(program);
+
+        // Handle the outcome.
+        match outcome {
+            StepOutcome::Exit(code) => {
+                let end_hint = start + ctx.total();
+                if tid == MAIN_TID {
+                    self.handle_exit(pid, code, end_hint, &mut ctx);
+                } else {
+                    self.handle_thread_exit(pid, tid, code, end_hint);
+                }
+            }
+            StepOutcome::Fork => {
+                self.handle_fork(pid, tid, start, &mut ctx);
+            }
+            StepOutcome::Exec { image, program } => {
+                // execve: tear down the old image, load the new one. File
+                // descriptors and parent/children links are preserved; all
+                // other threads die (POSIX execve semantics).
+                ctx.kernel(self.os.cost().exec_fixed);
+                ctx.counters.syscalls += 1;
+                ctx.counters.execs += 1;
+                self.os.destroy(&mut ctx, pid);
+                match self.os.spawn(&mut ctx, pid, &image) {
+                    Ok(()) => {
+                        let end = start + ctx.total();
+                        let p = self.procs.get_mut(&pid).unwrap();
+                        p.threads.clear();
+                        p.threads
+                            .insert(MAIN_TID, Thread::new(program.0, Resume::Start, end));
+                        p.next_tid = MAIN_TID + 1;
+                    }
+                    Err(_) => {
+                        // Past the point of no return: the process dies.
+                        let end = start + ctx.total();
+                        self.handle_exit(pid, 127, end, &mut ctx);
+                    }
+                }
+            }
+            StepOutcome::Block(call) => {
+                let now = start + ctx.total();
+                match self.service_blocking(pid, tid, call, now, &mut ctx) {
+                    ServiceOutcome::Done(r) => {
+                        let t = self.thread_mut(pid, tid);
+                        t.resume_with = Resume::Ret(r);
+                        t.state = ThreadState::Ready { at: now };
+                    }
+                    ServiceOutcome::BlockIndefinite(call) => {
+                        let t = self.thread_mut(pid, tid);
+                        t.pending = Some(call);
+                        t.state = ThreadState::Blocked;
+                    }
+                    ServiceOutcome::RetryAt(call, t_at) => {
+                        let t = self.thread_mut(pid, tid);
+                        t.pending = Some(call);
+                        t.state = ThreadState::Ready { at: t_at };
+                    }
+                }
+            }
+        }
+
+        let end = self.finish_step(core_idx, pid, tid, start, ctx);
+        self.deliver_events(events, end);
+        true
+    }
+
+    fn thread_mut(&mut self, pid: Pid, tid: u32) -> &mut Thread {
+        self.procs
+            .get_mut(&pid)
+            .and_then(|p| p.threads.get_mut(&tid))
+            .expect("thread exists")
+    }
+
+    /// Reserves the big kernel lock for `dur` ns no earlier than
+    /// `want_start`, returning the actual acquisition time (first gap in
+    /// the busy schedule — kernel windows of concurrent steps must not
+    /// overlap, but a window entirely in the past or future of another
+    /// does not conflict with it).
+    fn lock_acquire(&mut self, want_start: f64, dur: f64) -> f64 {
+        let min_now = self
+            .cores
+            .iter()
+            .map(|c| c.now)
+            .fold(f64::INFINITY, f64::min);
+        self.lock_busy.retain(|&(_, e)| e > min_now - 1.0);
+        self.lock_busy.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut t = want_start;
+        for &(s, e) in &self.lock_busy {
+            if t + dur <= s {
+                break; // fits in the gap before this interval
+            }
+            if t < e {
+                t = e; // overlaps: start after it
+            }
+        }
+        self.lock_busy.push((t, t + dur));
+        t
+    }
+
+    /// Applies step time to the core (with big-kernel-lock serialization)
+    /// and merges counters. Returns the step's end time.
+    fn finish_step(&mut self, core_idx: usize, pid: Pid, tid: u32, start: f64, ctx: Ctx) -> f64 {
+        let end = if self.os.big_kernel_lock() && self.cores.len() > 1 && ctx.kernel_ns > 0.0 {
+            let kstart = self.lock_acquire(start + ctx.user_ns, ctx.kernel_ns);
+            kstart + ctx.kernel_ns
+        } else {
+            start + ctx.total()
+        };
+        let core = &mut self.cores[core_idx];
+        core.now = end;
+        core.last = Some((pid, tid));
+        self.counters.merge(&ctx.counters);
+        // The thread that just ran can never resume before this step ends.
+        if let Some(t) = self
+            .procs
+            .get_mut(&pid)
+            .and_then(|p| p.threads.get_mut(&tid))
+        {
+            if let ThreadState::Ready { at } = &mut t.state {
+                if *at < end {
+                    *at = end;
+                }
+            }
+        }
+        end
+    }
+
+    /// Services a blocking call by thread (`pid`, `tid`) at simulated time
+    /// `now`.
+    fn service_blocking(
+        &mut self,
+        pid: Pid,
+        tid: u32,
+        call: BlockingCall,
+        now: f64,
+        ctx: &mut Ctx,
+    ) -> ServiceOutcome {
+        match call {
+            BlockingCall::Yield => {
+                charge_syscall(&self.os, ctx, 0);
+                ServiceOutcome::Done(Ok(0))
+            }
+            BlockingCall::Sleep { ns } => ServiceOutcome::RetryAt(BlockingCall::Yield, now + ns),
+            BlockingCall::SpawnThread { program } => {
+                charge_syscall(&self.os, ctx, 0);
+                ctx.kernel(self.os.cost().proc_exit); // thread-create ≈ teardown cost class
+                let p = self.procs.get_mut(&pid).expect("caller exists");
+                let new_tid = p.next_tid;
+                p.next_tid += 1;
+                p.threads
+                    .insert(new_tid, Thread::new(program.0, Resume::Start, now));
+                ServiceOutcome::Done(Ok(u64::from(new_tid)))
+            }
+            BlockingCall::JoinThread { tid: target } => {
+                charge_syscall(&self.os, ctx, 0);
+                #[allow(clippy::cast_possible_truncation)]
+                let target = target as u32;
+                if target == tid {
+                    return ServiceOutcome::Done(Err(Errno::Inval));
+                }
+                let Some(t) = self.procs.get(&pid).and_then(|p| p.threads.get(&target)) else {
+                    return ServiceOutcome::Done(Err(Errno::Inval));
+                };
+                match t.exited {
+                    Some((code, at)) if at <= now + 1e-9 => {
+                        ServiceOutcome::Done(Ok(code as u32 as u64))
+                    }
+                    Some((_, at)) => ServiceOutcome::RetryAt(
+                        BlockingCall::JoinThread {
+                            tid: u64::from(target),
+                        },
+                        at,
+                    ),
+                    None => ServiceOutcome::BlockIndefinite(BlockingCall::JoinThread {
+                        tid: u64::from(target),
+                    }),
+                }
+            }
+            BlockingCall::Wait => {
+                charge_syscall(&self.os, ctx, 0);
+                let p = self.procs.get_mut(&pid).expect("caller exists");
+                // Reap only children that have exited by simulated `now`:
+                // a zombie created later in simulated time (by a step that
+                // happened to execute earlier in host order) is not yet
+                // visible.
+                let ready_idx = p
+                    .zombies
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, z)| z.2 <= now + 1e-9)
+                    .min_by(|a, b| a.1 .2.total_cmp(&b.1 .2))
+                    .map(|(i, _)| i);
+                if let Some(i) = ready_idx {
+                    let (child, code, _) = p.zombies.remove(i);
+                    p.children.retain(|c| *c != child);
+                    ctx.kernel(self.os.cost().proc_wait);
+                    if let Some(cp) = self.procs.get_mut(&child) {
+                        cp.life = ProcLife::Dead;
+                    }
+                    // POSIX-style status: low 32 bits the PID, high 32 the
+                    // child's exit code.
+                    ServiceOutcome::Done(Ok(u64::from(child.0) | (u64::from(code as u32) << 32)))
+                } else if let Some(t) = self.procs[&pid]
+                    .zombies
+                    .iter()
+                    .map(|z| z.2)
+                    .min_by(f64::total_cmp)
+                {
+                    // A child has exited, but only at a later simulated
+                    // time: wait until then.
+                    ServiceOutcome::RetryAt(BlockingCall::Wait, t)
+                } else if self.procs[&pid].children.is_empty() {
+                    ServiceOutcome::Done(Err(Errno::Child))
+                } else {
+                    ServiceOutcome::BlockIndefinite(BlockingCall::Wait)
+                }
+            }
+            BlockingCall::Accept { fd } => {
+                charge_syscall(&self.os, ctx, 0);
+                let kind = match self.procs[&pid].fds.get(fd) {
+                    Ok(k) => k.clone(),
+                    Err(e) => return ServiceOutcome::Done(Err(e)),
+                };
+                let FdKind::Listener(lid) = kind else {
+                    return ServiceOutcome::Done(Err(Errno::BadFd));
+                };
+                match self.vfs.accept(lid, now) {
+                    Ok(Some(conn)) => {
+                        let p = self.procs.get_mut(&pid).unwrap();
+                        let cfd = p.fds.insert(FdKind::Conn(conn));
+                        ServiceOutcome::Done(Ok(cfd.0 as u64))
+                    }
+                    Ok(None) => ServiceOutcome::Done(Err(Errno::Again)),
+                    Err(e) => ServiceOutcome::Done(Err(e)),
+                }
+            }
+            BlockingCall::Read { fd, buf, len } => {
+                let kind = match self.procs[&pid].fds.get(fd) {
+                    Ok(k) => k.clone(),
+                    Err(e) => return ServiceOutcome::Done(Err(e)),
+                };
+                match kind {
+                    FdKind::PipeRead(id) => match self.vfs.pipe_read(id, len, now) {
+                        Ok(PipeRead::Data(data)) => {
+                            charge_syscall(&self.os, ctx, data.len() as u64);
+                            let n = data.len() as u64;
+                            ctx.kernel(
+                                self.os.copyio_cost_per_byte() * n as f64
+                                    + self.os.cost().pipe_per_byte * n as f64,
+                            );
+                            if n > 0 {
+                                if let Err(e) = self.os.store(ctx, pid, &buf, &data) {
+                                    return ServiceOutcome::Done(Err(e));
+                                }
+                            }
+                            ServiceOutcome::Done(Ok(n))
+                        }
+                        Ok(PipeRead::Eof) => {
+                            charge_syscall(&self.os, ctx, 0);
+                            ServiceOutcome::Done(Ok(0))
+                        }
+                        Ok(PipeRead::NotUntil(t)) => {
+                            ServiceOutcome::RetryAt(BlockingCall::Read { fd, buf, len }, t)
+                        }
+                        Ok(PipeRead::Empty) => {
+                            ServiceOutcome::BlockIndefinite(BlockingCall::Read { fd, buf, len })
+                        }
+                        Err(e) => ServiceOutcome::Done(Err(e)),
+                    },
+                    FdKind::Conn(id) => match self.vfs.conn_read(id, now) {
+                        Ok(ConnRead::Ready(req_bytes)) => {
+                            let n = req_bytes.min(len);
+                            charge_syscall(&self.os, ctx, n);
+                            ctx.kernel(self.os.copyio_cost_per_byte() * n as f64);
+                            let data = vec![0x47u8; n as usize]; // 'G' for GET
+                            if let Err(e) = self.os.store(ctx, pid, &buf, &data) {
+                                return ServiceOutcome::Done(Err(e));
+                            }
+                            ServiceOutcome::Done(Ok(n))
+                        }
+                        Ok(ConnRead::Eof) => {
+                            charge_syscall(&self.os, ctx, 0);
+                            ServiceOutcome::Done(Ok(0))
+                        }
+                        Ok(ConnRead::NotUntil(t)) => {
+                            ServiceOutcome::RetryAt(BlockingCall::Read { fd, buf, len }, t)
+                        }
+                        Err(e) => ServiceOutcome::Done(Err(e)),
+                    },
+                    FdKind::File { path, offset } => match self.vfs.read_file(&path, offset, len) {
+                        Ok(data) => {
+                            charge_syscall(&self.os, ctx, data.len() as u64);
+                            let n = data.len() as u64;
+                            ctx.kernel(
+                                self.os.cost().fs_op
+                                    + self.os.cost().ramdisk_per_byte * n as f64
+                                    + self.os.copyio_cost_per_byte() * n as f64,
+                            );
+                            if n > 0 {
+                                if let Err(e) = self.os.store(ctx, pid, &buf, &data) {
+                                    return ServiceOutcome::Done(Err(e));
+                                }
+                                if let Ok(FdKind::File { offset, .. }) =
+                                    self.procs.get_mut(&pid).unwrap().fds.get_mut(fd)
+                                {
+                                    *offset += n;
+                                }
+                            }
+                            ServiceOutcome::Done(Ok(n))
+                        }
+                        Err(e) => ServiceOutcome::Done(Err(e)),
+                    },
+                    _ => ServiceOutcome::Done(Err(Errno::BadFd)),
+                }
+            }
+        }
+    }
+
+    fn handle_fork(&mut self, parent: Pid, tid: u32, start: f64, ctx: &mut Ctx) {
+        charge_syscall(&self.os, ctx, 0);
+        let k_before = ctx.kernel_ns;
+        let child = Pid(self.next_pid);
+        self.next_pid += 1;
+        match self.os.fork(ctx, parent, child) {
+            Ok(()) => {}
+            Err(e) => {
+                let t = self.thread_mut(parent, tid);
+                t.resume_with = Resume::Ret(Err(e));
+                t.state = ThreadState::Ready {
+                    at: start + ctx.total(),
+                };
+                return;
+            }
+        }
+        ctx.counters.forks += 1;
+        let latency = ctx.kernel_ns - k_before + self.os.syscall_entry_cost();
+
+        // Duplicate the fd table, adding sharers on pipe ends.
+        let fds = self.procs[&parent].fds.clone();
+        for (_, kind) in fds.iter() {
+            match kind {
+                FdKind::PipeRead(id) => self.vfs.pipe_add_end(*id, false),
+                FdKind::PipeWrite(id) => self.vfs.pipe_add_end(*id, true),
+                _ => {}
+            }
+        }
+
+        // fork copies ONLY the calling thread (paper §3.4).
+        let program = self.procs[&parent]
+            .threads
+            .get(&tid)
+            .and_then(|t| t.program.as_ref())
+            .expect("forking thread has a program")
+            .clone_box();
+        let affinity = match &self.config.child_affinity {
+            Some(a) => Some(a.clone()),
+            None => self.procs[&parent].affinity.clone(),
+        };
+        let end = start + ctx.total();
+        self.procs.insert(
+            child,
+            Proc::main_thread(
+                program,
+                Some(parent),
+                fds,
+                end,
+                Resume::Forked(ForkResult::Child),
+                affinity,
+            ),
+        );
+        let p = self.procs.get_mut(&parent).unwrap();
+        p.children.push(child);
+        let t = p.threads.get_mut(&tid).expect("forking thread");
+        t.resume_with = Resume::Forked(ForkResult::Parent(child));
+        t.state = ThreadState::Ready { at: end };
+        self.fork_log.push(ForkEvent {
+            parent,
+            child,
+            at: end,
+            latency_ns: latency,
+        });
+    }
+
+    /// A non-main thread exited: record it and wake joiners.
+    fn handle_thread_exit(&mut self, pid: Pid, tid: u32, code: i32, at: f64) {
+        let p = self.procs.get_mut(&pid).expect("process exists");
+        if let Some(t) = p.threads.get_mut(&tid) {
+            t.state = ThreadState::Dead;
+            t.exited = Some((code, at));
+        }
+        // Wake siblings joined on this thread.
+        for t in p.threads.values_mut() {
+            if matches!(t.state, ThreadState::Blocked)
+                && matches!(t.pending, Some(BlockingCall::JoinThread { tid: jt }) if jt == u64::from(tid))
+            {
+                t.state = ThreadState::Ready { at };
+            }
+        }
+    }
+
+    fn handle_exit(&mut self, pid: Pid, code: i32, at: f64, ctx: &mut Ctx) {
+        ctx.kernel(self.os.cost().proc_exit);
+        // All threads die with the process.
+        for t in self.procs.get_mut(&pid).unwrap().threads.values_mut() {
+            t.state = ThreadState::Dead;
+            if t.exited.is_none() {
+                t.exited = Some((code, at));
+            }
+        }
+        // Close all fds.
+        let fds = std::mem::take(&mut self.procs.get_mut(&pid).unwrap().fds);
+        let mut events = Vec::new();
+        for (_, kind) in fds.iter() {
+            match kind {
+                FdKind::PipeRead(id) => {
+                    self.vfs.pipe_drop_end(*id, false);
+                }
+                FdKind::PipeWrite(id) => {
+                    if let Some(ev) = self.vfs.pipe_drop_end(*id, true) {
+                        events.push(ev);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.os.destroy(ctx, pid);
+
+        // Orphan children.
+        let children = std::mem::take(&mut self.procs.get_mut(&pid).unwrap().children);
+        for c in children {
+            if let Some(cp) = self.procs.get_mut(&c) {
+                cp.parent = None;
+                if cp.life == ProcLife::Zombie {
+                    cp.life = ProcLife::Dead;
+                }
+            }
+        }
+
+        let parent = self.procs[&pid].parent;
+        {
+            let p = self.procs.get_mut(&pid).unwrap();
+            p.exit_code = Some(code);
+            p.life = if parent.is_some() {
+                ProcLife::Zombie
+            } else {
+                ProcLife::Dead
+            };
+        }
+        self.exit_log.push(ExitEvent { pid, at, code });
+
+        // Notify the parent (any thread blocked in wait()).
+        if let Some(pp) = parent {
+            if let Some(par) = self.procs.get_mut(&pp) {
+                par.zombies.push((pid, code, at));
+                for t in par.threads.values_mut() {
+                    if matches!(t.state, ThreadState::Blocked)
+                        && matches!(t.pending, Some(BlockingCall::Wait))
+                    {
+                        t.state = ThreadState::Ready { at };
+                        break; // one waiter reaps one child
+                    }
+                }
+            }
+        }
+        self.deliver_events(events, at);
+    }
+
+    /// Wakes threads blocked on the given events, and delivers kills.
+    fn deliver_events(&mut self, events: Vec<WakeEvent>, at: f64) {
+        if events.is_empty() {
+            return;
+        }
+        for ev in &events {
+            if let WakeEvent::Kill(target) = ev {
+                let killable = self
+                    .procs
+                    .get(target)
+                    .is_some_and(|p| p.life == ProcLife::Alive);
+                if killable {
+                    let mut ctx = Ctx::new();
+                    self.handle_exit(*target, 137, at, &mut ctx);
+                    self.counters.merge(&ctx.counters);
+                }
+            }
+        }
+        for (_, p) in self.procs.iter_mut() {
+            if p.life != ProcLife::Alive {
+                continue;
+            }
+            for t in p.threads.values_mut() {
+                if !matches!(t.state, ThreadState::Blocked) {
+                    continue;
+                }
+                let Some(BlockingCall::Read { fd, .. }) = &t.pending else {
+                    continue;
+                };
+                let Ok(kind) = p.fds.get(*fd) else { continue };
+                let woken = events.iter().any(|ev| match (ev, kind) {
+                    (
+                        WakeEvent::PipeWritten(id) | WakeEvent::PipeHangup(id),
+                        FdKind::PipeRead(pid2),
+                    ) => id == pid2,
+                    (WakeEvent::ConnAdvanced(id), FdKind::Conn(cid)) => id == cid,
+                    _ => false,
+                });
+                if woken {
+                    t.state = ThreadState::Ready { at };
+                }
+            }
+        }
+    }
+}
+
+enum ServiceOutcome {
+    /// The call completed with this result.
+    Done(Result<u64, Errno>),
+    /// Block until an event wakes the thread.
+    BlockIndefinite(BlockingCall),
+    /// Re-try the call at the given simulated time.
+    RetryAt(BlockingCall, f64),
+}
+
+// ---------------------------------------------------------------------------
+// Env implementation
+// ---------------------------------------------------------------------------
+
+struct StepEnv<'a, O: MemOs> {
+    os: &'a mut O,
+    vfs: &'a mut Vfs,
+    fds: &'a mut FdTable,
+    pid: Pid,
+    start: f64,
+    ctx: &'a mut Ctx,
+    events: &'a mut Vec<WakeEvent>,
+}
+
+impl<O: MemOs> StepEnv<'_, O> {
+    fn now_inner(&self) -> f64 {
+        self.start + self.ctx.total()
+    }
+
+    /// Reads `len` user bytes for an outgoing I/O operation.
+    fn read_user(&mut self, buf: &Capability, len: u64) -> SysResult<Vec<u8>> {
+        let mut data = vec![0u8; len as usize];
+        self.os.load(self.ctx, self.pid, buf, &mut data)?;
+        Ok(data)
+    }
+}
+
+impl<O: MemOs> Env for StepEnv<'_, O> {
+    fn load(&mut self, cap: &Capability, buf: &mut [u8]) -> SysResult<()> {
+        self.os.load(self.ctx, self.pid, cap, buf)
+    }
+
+    fn store(&mut self, cap: &Capability, data: &[u8]) -> SysResult<()> {
+        self.os.store(self.ctx, self.pid, cap, data)
+    }
+
+    fn load_cap(&mut self, cap: &Capability) -> SysResult<Option<Capability>> {
+        self.os.load_cap(self.ctx, self.pid, cap)
+    }
+
+    fn store_cap(&mut self, cap: &Capability, value: &Capability) -> SysResult<()> {
+        self.os.store_cap(self.ctx, self.pid, cap, value)
+    }
+
+    fn reg(&self, idx: usize) -> SysResult<Capability> {
+        self.os.reg(self.pid, idx)
+    }
+
+    fn set_reg(&mut self, idx: usize, cap: Capability) -> SysResult<()> {
+        self.os.set_reg(self.pid, idx, cap)
+    }
+
+    fn malloc(&mut self, len: u64) -> SysResult<Capability> {
+        self.os.malloc(self.ctx, self.pid, len)
+    }
+
+    fn mfree(&mut self, cap: &Capability) -> SysResult<()> {
+        self.os.mfree(self.ctx, self.pid, cap)
+    }
+
+    fn cpu_ops(&mut self, n: u64) {
+        self.ctx.user(self.os.cost().cpu_op * n as f64);
+    }
+
+    fn cpu_flops(&mut self, n: u64) {
+        self.ctx.user(self.os.cost().flop * n as f64);
+    }
+
+    fn sys_write(&mut self, fd: Fd, buf: &Capability, len: u64) -> SysResult<u64> {
+        charge_syscall(self.os, self.ctx, len);
+        let kind = self.fds.get(fd)?.clone();
+        match kind {
+            FdKind::File { path, offset } => {
+                let data = self.read_user(buf, len)?;
+                let cost = self.os.cost();
+                self.ctx.kernel(
+                    cost.fs_op
+                        + cost.ramdisk_per_byte * len as f64
+                        + self.os.copyio_cost_per_byte() * len as f64,
+                );
+                let n = self.vfs.write_file(&path, offset, &data)?;
+                if let Ok(FdKind::File { offset, .. }) = self.fds.get_mut(fd) {
+                    *offset += n;
+                }
+                Ok(n)
+            }
+            FdKind::PipeWrite(id) => {
+                let data = self.read_user(buf, len)?;
+                let cost = self.os.cost();
+                self.ctx.kernel(
+                    cost.pipe_per_byte * len as f64 + self.os.copyio_cost_per_byte() * len as f64,
+                );
+                let now = self.now_inner();
+                let n = self.vfs.pipe_write(id, &data, now)?;
+                self.events.push(WakeEvent::PipeWritten(id));
+                Ok(n)
+            }
+            FdKind::Conn(id) => {
+                // Response bytes: charge copy but content is synthetic.
+                let cost = self.os.cost();
+                self.ctx.kernel(
+                    self.os.copyio_cost_per_byte() * len as f64 + cost.pipe_per_byte * len as f64,
+                );
+                let now = self.now_inner();
+                self.vfs.conn_write(id, now)?;
+                self.events.push(WakeEvent::ConnAdvanced(id));
+                Ok(len)
+            }
+            _ => Err(Errno::BadFd),
+        }
+    }
+
+    fn sys_read_nonblock(&mut self, fd: Fd, buf: &Capability, len: u64) -> SysResult<u64> {
+        charge_syscall(self.os, self.ctx, len);
+        let kind = self.fds.get(fd)?.clone();
+        match kind {
+            FdKind::PipeRead(id) => match self.vfs.pipe_read(id, len, self.now_inner())? {
+                PipeRead::Data(data) => {
+                    let n = data.len() as u64;
+                    let cost = self.os.cost();
+                    self.ctx.kernel(
+                        cost.pipe_per_byte * n as f64 + self.os.copyio_cost_per_byte() * n as f64,
+                    );
+                    if n > 0 {
+                        self.os.store(self.ctx, self.pid, buf, &data)?;
+                    }
+                    Ok(n)
+                }
+                PipeRead::Eof => Ok(0),
+                PipeRead::Empty | PipeRead::NotUntil(_) => Err(Errno::Again),
+            },
+            FdKind::File { path, offset } => {
+                let data = self.vfs.read_file(&path, offset, len)?;
+                let n = data.len() as u64;
+                let cost = self.os.cost();
+                self.ctx.kernel(
+                    cost.fs_op
+                        + cost.ramdisk_per_byte * n as f64
+                        + self.os.copyio_cost_per_byte() * n as f64,
+                );
+                if n > 0 {
+                    self.os.store(self.ctx, self.pid, buf, &data)?;
+                    if let Ok(FdKind::File { offset, .. }) = self.fds.get_mut(fd) {
+                        *offset += n;
+                    }
+                }
+                Ok(n)
+            }
+            _ => Err(Errno::BadFd),
+        }
+    }
+
+    fn sys_open(&mut self, path: &str, create: bool) -> SysResult<Fd> {
+        charge_syscall(self.os, self.ctx, 0);
+        self.ctx.kernel(self.os.cost().fs_op);
+        self.vfs.open_file(path, create)?;
+        Ok(self.fds.insert(FdKind::File {
+            path: path.to_string(),
+            offset: 0,
+        }))
+    }
+
+    fn sys_close(&mut self, fd: Fd) -> SysResult<()> {
+        charge_syscall(self.os, self.ctx, 0);
+        let kind = self.fds.remove(fd)?;
+        match kind {
+            FdKind::PipeRead(id) => {
+                if let Some(ev) = self.vfs.pipe_drop_end(id, false) {
+                    self.events.push(ev);
+                }
+            }
+            FdKind::PipeWrite(id) => {
+                if let Some(ev) = self.vfs.pipe_drop_end(id, true) {
+                    self.events.push(ev);
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn sys_rename(&mut self, from: &str, to: &str) -> SysResult<()> {
+        charge_syscall(self.os, self.ctx, 0);
+        self.ctx.kernel(self.os.cost().fs_op);
+        self.vfs.rename(from, to)
+    }
+
+    fn sys_pipe(&mut self) -> SysResult<(Fd, Fd)> {
+        charge_syscall(self.os, self.ctx, 0);
+        let id = self.vfs.create_pipe();
+        let r = self.fds.insert(FdKind::PipeRead(id));
+        let w = self.fds.insert(FdKind::PipeWrite(id));
+        Ok((r, w))
+    }
+
+    fn sys_shm_open(&mut self, name: &str, len: u64) -> SysResult<Capability> {
+        charge_syscall(self.os, self.ctx, 0);
+        self.os.shm_open(self.ctx, self.pid, name, len)
+    }
+
+    fn sys_mmap_anon(&mut self, len: u64) -> SysResult<Capability> {
+        charge_syscall(self.os, self.ctx, 0);
+        self.os.mmap_anon(self.ctx, self.pid, len)
+    }
+
+    fn sys_kill(&mut self, pid: Pid) -> SysResult<()> {
+        charge_syscall(self.os, self.ctx, 0);
+        if pid == self.pid {
+            return Err(Errno::Inval);
+        }
+        // Delivered by the machine after this step completes.
+        self.events.push(WakeEvent::Kill(pid));
+        Ok(())
+    }
+
+    fn sys_getpid(&mut self) -> Pid {
+        charge_syscall(self.os, self.ctx, 0);
+        self.pid
+    }
+
+    fn now(&self) -> f64 {
+        self.now_inner()
+    }
+}

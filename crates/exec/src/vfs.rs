@@ -1,0 +1,537 @@
+//! Ram-disk files, pipes, synthetic network connections, and fd tables.
+
+use std::collections::BTreeMap;
+
+use ufork_abi::{Errno, Fd, SysResult};
+
+/// What a file descriptor refers to.
+#[derive(Clone, Debug)]
+pub enum FdKind {
+    /// A ram-disk file with a private offset.
+    File {
+        /// Path in the ram-disk namespace.
+        path: String,
+        /// Current read/write offset.
+        offset: u64,
+    },
+    /// Read end of a pipe.
+    PipeRead(usize),
+    /// Write end of a pipe.
+    PipeWrite(usize),
+    /// A listening socket fed by a synthetic traffic source.
+    Listener(usize),
+    /// An accepted connection.
+    Conn(usize),
+}
+
+/// A per-process file-descriptor table.
+///
+/// Duplicated on fork, as POSIX requires ("relevant system resources are
+/// also duplicated ... e.g., open file and message queue descriptors",
+/// paper §3.5).
+#[derive(Clone, Debug, Default)]
+pub struct FdTable {
+    entries: BTreeMap<i32, FdKind>,
+    next: i32,
+}
+
+impl FdTable {
+    /// An empty table (fd numbering starts at 3, as 0–2 are std streams).
+    pub fn new() -> FdTable {
+        FdTable {
+            entries: BTreeMap::new(),
+            next: 3,
+        }
+    }
+
+    /// Inserts a new descriptor.
+    pub fn insert(&mut self, kind: FdKind) -> Fd {
+        let fd = self.next;
+        self.next += 1;
+        self.entries.insert(fd, kind);
+        Fd(fd)
+    }
+
+    /// Looks up a descriptor.
+    pub fn get(&self, fd: Fd) -> SysResult<&FdKind> {
+        self.entries.get(&fd.0).ok_or(Errno::BadFd)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, fd: Fd) -> SysResult<&mut FdKind> {
+        self.entries.get_mut(&fd.0).ok_or(Errno::BadFd)
+    }
+
+    /// Removes a descriptor, returning its kind.
+    pub fn remove(&mut self, fd: Fd) -> SysResult<FdKind> {
+        self.entries.remove(&fd.0).ok_or(Errno::BadFd)
+    }
+
+    /// Iterates all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, &FdKind)> {
+        self.entries.iter().map(|(k, v)| (Fd(*k), v))
+    }
+
+    /// Number of open descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no descriptors are open.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A side effect of an I/O operation that may wake blocked threads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WakeEvent {
+    /// Data written to pipe `id` at the given simulated time.
+    PipeWritten(usize),
+    /// All write ends of pipe `id` closed (readers see EOF).
+    PipeHangup(usize),
+    /// A response was written on connection `id` (its next request is now
+    /// scheduled).
+    ConnAdvanced(usize),
+    /// A SIGKILL-style signal was sent to the process.
+    Kill(ufork_abi::Pid),
+}
+
+#[derive(Debug, Default)]
+struct FileNode {
+    data: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Pipe {
+    /// Buffered chunks with the simulated time they became available.
+    chunks: std::collections::VecDeque<(Vec<u8>, f64)>,
+    read_ends: u32,
+    write_ends: u32,
+}
+
+/// Parameters of the synthetic connections a [`Vfs`] listener produces —
+/// the wrk-style closed-loop traffic of the Nginx experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnTemplate {
+    /// Requests sent per connection before it closes.
+    pub requests_per_conn: u32,
+    /// Request size in bytes.
+    pub req_bytes: u32,
+    /// Think/network gap between a response and the next request (ns).
+    pub think_ns: f64,
+}
+
+#[derive(Debug)]
+struct Listener {
+    template: ConnTemplate,
+    /// Connections still to be offered (effectively infinite for
+    /// saturation benchmarks).
+    remaining_conns: u64,
+}
+
+#[derive(Debug)]
+struct Conn {
+    template: ConnTemplate,
+    /// Requests left to serve on this connection.
+    remaining: u32,
+    /// When the next request is available to read.
+    next_req_at: f64,
+    /// A request has been read and awaits its response.
+    in_flight: bool,
+    /// Requests fully served on this connection.
+    pub served: u64,
+}
+
+/// The shared file system / network namespace.
+#[derive(Debug, Default)]
+pub struct Vfs {
+    files: BTreeMap<String, FileNode>,
+    pipes: Vec<Option<Pipe>>,
+    listeners: Vec<Listener>,
+    conns: Vec<Conn>,
+    /// Total requests served across all connections (throughput metric).
+    pub total_served: u64,
+}
+
+impl Vfs {
+    /// An empty namespace.
+    pub fn new() -> Vfs {
+        Vfs::default()
+    }
+
+    // ---- files ---------------------------------------------------------
+
+    /// Opens a file, creating it when `create` is set.
+    pub fn open_file(&mut self, path: &str, create: bool) -> SysResult<()> {
+        if !self.files.contains_key(path) {
+            if !create {
+                return Err(Errno::NoEnt);
+            }
+            self.files.insert(path.to_string(), FileNode::default());
+        }
+        Ok(())
+    }
+
+    /// Writes at `offset`, extending the file as needed. Returns bytes
+    /// written.
+    pub fn write_file(&mut self, path: &str, offset: u64, data: &[u8]) -> SysResult<u64> {
+        let node = self.files.get_mut(path).ok_or(Errno::NoEnt)?;
+        let end = offset as usize + data.len();
+        if node.data.len() < end {
+            node.data.resize(end, 0);
+        }
+        node.data[offset as usize..end].copy_from_slice(data);
+        Ok(data.len() as u64)
+    }
+
+    /// Reads up to `len` bytes at `offset`. Returns the bytes (possibly
+    /// fewer than `len` at end of file).
+    pub fn read_file(&self, path: &str, offset: u64, len: u64) -> SysResult<Vec<u8>> {
+        let node = self.files.get(path).ok_or(Errno::NoEnt)?;
+        let start = (offset as usize).min(node.data.len());
+        let end = (start + len as usize).min(node.data.len());
+        Ok(node.data[start..end].to_vec())
+    }
+
+    /// Atomically renames a file.
+    pub fn rename(&mut self, from: &str, to: &str) -> SysResult<()> {
+        let node = self.files.remove(from).ok_or(Errno::NoEnt)?;
+        self.files.insert(to.to_string(), node);
+        Ok(())
+    }
+
+    /// Full contents of a file (harness-side verification).
+    pub fn file_contents(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|n| n.data.as_slice())
+    }
+
+    /// File size in bytes.
+    pub fn file_len(&self, path: &str) -> Option<u64> {
+        self.files.get(path).map(|n| n.data.len() as u64)
+    }
+
+    // ---- pipes -----------------------------------------------------------
+
+    /// Creates a pipe, returning its id (one read end + one write end
+    /// outstanding).
+    pub fn create_pipe(&mut self) -> usize {
+        let pipe = Pipe {
+            chunks: std::collections::VecDeque::new(),
+            read_ends: 1,
+            write_ends: 1,
+        };
+        if let Some(idx) = self.pipes.iter().position(Option::is_none) {
+            self.pipes[idx] = Some(pipe);
+            idx
+        } else {
+            self.pipes.push(Some(pipe));
+            self.pipes.len() - 1
+        }
+    }
+
+    fn pipe_mut(&mut self, id: usize) -> SysResult<&mut Pipe> {
+        self.pipes
+            .get_mut(id)
+            .and_then(Option::as_mut)
+            .ok_or(Errno::BadFd)
+    }
+
+    /// Adds a sharer to one end (fd duplication on fork).
+    pub fn pipe_add_end(&mut self, id: usize, write_end: bool) {
+        if let Ok(p) = self.pipe_mut(id) {
+            if write_end {
+                p.write_ends += 1;
+            } else {
+                p.read_ends += 1;
+            }
+        }
+    }
+
+    /// Drops one end; returns a hangup event when the last write end
+    /// closes. The pipe is freed when all ends are gone.
+    pub fn pipe_drop_end(&mut self, id: usize, write_end: bool) -> Option<WakeEvent> {
+        let Ok(p) = self.pipe_mut(id) else {
+            return None;
+        };
+        let mut event = None;
+        if write_end {
+            p.write_ends -= 1;
+            if p.write_ends == 0 {
+                event = Some(WakeEvent::PipeHangup(id));
+            }
+        } else {
+            p.read_ends -= 1;
+        }
+        if p.read_ends == 0 && p.write_ends == 0 {
+            self.pipes[id] = None;
+        }
+        event
+    }
+
+    /// Appends to a pipe at simulated time `now`.
+    pub fn pipe_write(&mut self, id: usize, data: &[u8], now: f64) -> SysResult<u64> {
+        let p = self.pipe_mut(id)?;
+        if p.read_ends == 0 {
+            return Err(Errno::BadFd); // EPIPE, near enough
+        }
+        p.chunks.push_back((data.to_vec(), now));
+        Ok(data.len() as u64)
+    }
+
+    /// Attempts to read at simulated time `now`.
+    ///
+    /// Data written at a later simulated time (by a step that executed
+    /// earlier in host order) is not yet visible.
+    pub fn pipe_read(&mut self, id: usize, len: u64, now: f64) -> SysResult<PipeRead> {
+        let p = self.pipe_mut(id)?;
+        match p.chunks.front() {
+            None => {
+                if p.write_ends == 0 {
+                    Ok(PipeRead::Eof)
+                } else {
+                    Ok(PipeRead::Empty)
+                }
+            }
+            Some((_, t)) if *t > now + 1e-9 => Ok(PipeRead::NotUntil(*t)),
+            Some(_) => {
+                let mut out = Vec::new();
+                while out.len() < len as usize {
+                    let Some((chunk, t)) = p.chunks.front_mut() else {
+                        break;
+                    };
+                    if *t > now + 1e-9 {
+                        break;
+                    }
+                    let take = (len as usize - out.len()).min(chunk.len());
+                    out.extend(chunk.drain(..take));
+                    if chunk.is_empty() {
+                        p.chunks.pop_front();
+                    }
+                }
+                Ok(PipeRead::Data(out))
+            }
+        }
+    }
+
+    // ---- listeners & connections -------------------------------------------
+
+    /// Installs a listener producing `conns` connections from `template`.
+    /// Returns the listener id.
+    pub fn create_listener(&mut self, template: ConnTemplate, conns: u64) -> usize {
+        self.listeners.push(Listener {
+            template,
+            remaining_conns: conns,
+        });
+        self.listeners.len() - 1
+    }
+
+    /// Accepts a connection from listener `id` at time `now`.
+    ///
+    /// Returns the new connection id, or `None` when the source is
+    /// exhausted.
+    pub fn accept(&mut self, id: usize, now: f64) -> SysResult<Option<usize>> {
+        let l = self.listeners.get_mut(id).ok_or(Errno::BadFd)?;
+        if l.remaining_conns == 0 {
+            return Ok(None);
+        }
+        l.remaining_conns -= 1;
+        let template = l.template;
+        self.conns.push(Conn {
+            template,
+            remaining: template.requests_per_conn,
+            next_req_at: now,
+            in_flight: false,
+            served: 0,
+        });
+        Ok(Some(self.conns.len() - 1))
+    }
+
+    /// Attempts to read the next request from connection `id` at `now`.
+    ///
+    /// * `Ok(Ready(bytes))` — a request is available;
+    /// * `Ok(Eof)` — the connection is done;
+    /// * `Ok(NotUntil(t))` — block until simulated time `t`.
+    pub fn conn_read(&mut self, id: usize, now: f64) -> SysResult<ConnRead> {
+        let c = self.conns.get_mut(id).ok_or(Errno::BadFd)?;
+        if c.remaining == 0 {
+            return Ok(ConnRead::Eof);
+        }
+        if c.in_flight {
+            // Protocol misuse: a second read before responding.
+            return Err(Errno::Inval);
+        }
+        if now + 1e-9 < c.next_req_at {
+            return Ok(ConnRead::NotUntil(c.next_req_at));
+        }
+        c.in_flight = true;
+        Ok(ConnRead::Ready(c.template.req_bytes as u64))
+    }
+
+    /// Writes the response for the in-flight request at `now`.
+    pub fn conn_write(&mut self, id: usize, now: f64) -> SysResult<u64> {
+        let c = self.conns.get_mut(id).ok_or(Errno::BadFd)?;
+        if !c.in_flight {
+            return Err(Errno::Inval);
+        }
+        c.in_flight = false;
+        c.remaining -= 1;
+        c.served += 1;
+        self.total_served += 1;
+        c.next_req_at = now + c.template.think_ns;
+        Ok(0)
+    }
+
+    /// Requests served on one connection.
+    pub fn conn_served(&self, id: usize) -> u64 {
+        self.conns.get(id).map_or(0, |c| c.served)
+    }
+}
+
+/// Result of [`Vfs::pipe_read`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipeRead {
+    /// Bytes available now.
+    Data(Vec<u8>),
+    /// Writers remain but nothing is readable yet.
+    Empty,
+    /// Data exists but only from simulated time `t` onwards.
+    NotUntil(f64),
+    /// All writers closed and the buffer is drained.
+    Eof,
+}
+
+/// Result of [`Vfs::conn_read`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConnRead {
+    /// A request of this many bytes is ready.
+    Ready(u64),
+    /// No more requests on this connection.
+    Eof,
+    /// Block until the given simulated time.
+    NotUntil(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_table_insert_get_remove() {
+        let mut t = FdTable::new();
+        let fd = t.insert(FdKind::PipeRead(0));
+        assert_eq!(fd, Fd(3));
+        assert!(matches!(t.get(fd), Ok(FdKind::PipeRead(0))));
+        assert!(matches!(t.remove(fd), Ok(FdKind::PipeRead(0))));
+        assert_eq!(t.get(fd).unwrap_err(), Errno::BadFd);
+    }
+
+    #[test]
+    fn file_write_read_rename() {
+        let mut v = Vfs::new();
+        assert_eq!(v.open_file("a", false).unwrap_err(), Errno::NoEnt);
+        v.open_file("a", true).unwrap();
+        v.write_file("a", 0, b"hello").unwrap();
+        v.write_file("a", 5, b" world").unwrap();
+        assert_eq!(v.read_file("a", 0, 100).unwrap(), b"hello world");
+        v.rename("a", "b").unwrap();
+        assert!(v.file_contents("a").is_none());
+        assert_eq!(v.file_len("b"), Some(11));
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let mut v = Vfs::new();
+        v.open_file("f", true).unwrap();
+        v.write_file("f", 4, b"x").unwrap();
+        assert_eq!(v.read_file("f", 0, 5).unwrap(), vec![0, 0, 0, 0, b'x']);
+    }
+
+    #[test]
+    fn pipe_basic_flow() {
+        let mut v = Vfs::new();
+        let p = v.create_pipe();
+        assert_eq!(v.pipe_read(p, 10, 0.0).unwrap(), PipeRead::Empty);
+        v.pipe_write(p, b"abc", 5.0).unwrap();
+        // Reading "before" the write sees nothing yet.
+        assert_eq!(v.pipe_read(p, 2, 1.0).unwrap(), PipeRead::NotUntil(5.0));
+        assert_eq!(
+            v.pipe_read(p, 2, 5.0).unwrap(),
+            PipeRead::Data(b"ab".to_vec())
+        );
+        assert_eq!(
+            v.pipe_read(p, 2, 5.0).unwrap(),
+            PipeRead::Data(b"c".to_vec())
+        );
+        assert_eq!(v.pipe_read(p, 2, 5.0).unwrap(), PipeRead::Empty);
+    }
+
+    #[test]
+    fn pipe_read_stops_at_future_chunk() {
+        let mut v = Vfs::new();
+        let p = v.create_pipe();
+        v.pipe_write(p, b"ab", 1.0).unwrap();
+        v.pipe_write(p, b"cd", 9.0).unwrap();
+        // At t=2 only the first chunk is visible.
+        assert_eq!(
+            v.pipe_read(p, 10, 2.0).unwrap(),
+            PipeRead::Data(b"ab".to_vec())
+        );
+        assert_eq!(v.pipe_read(p, 10, 2.0).unwrap(), PipeRead::NotUntil(9.0));
+        assert_eq!(
+            v.pipe_read(p, 10, 9.0).unwrap(),
+            PipeRead::Data(b"cd".to_vec())
+        );
+    }
+
+    #[test]
+    fn pipe_eof_and_free() {
+        let mut v = Vfs::new();
+        let p = v.create_pipe();
+        v.pipe_write(p, b"z", 1.0).unwrap();
+        let ev = v.pipe_drop_end(p, true);
+        assert_eq!(ev, Some(WakeEvent::PipeHangup(p)));
+        // Buffered data still readable, then EOF.
+        assert_eq!(
+            v.pipe_read(p, 4, 2.0).unwrap(),
+            PipeRead::Data(b"z".to_vec())
+        );
+        assert_eq!(v.pipe_read(p, 4, 2.0).unwrap(), PipeRead::Eof);
+        // Dropping the read end frees the slot for reuse.
+        assert_eq!(v.pipe_drop_end(p, false), None);
+        let q = v.create_pipe();
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn write_to_readerless_pipe_fails() {
+        let mut v = Vfs::new();
+        let p = v.create_pipe();
+        v.pipe_drop_end(p, false);
+        assert_eq!(v.pipe_write(p, b"x", 0.0).unwrap_err(), Errno::BadFd);
+    }
+
+    #[test]
+    fn conn_request_cycle() {
+        let mut v = Vfs::new();
+        let t = ConnTemplate {
+            requests_per_conn: 2,
+            req_bytes: 100,
+            think_ns: 50.0,
+        };
+        let l = v.create_listener(t, 1);
+        let c = v.accept(l, 10.0).unwrap().unwrap();
+        assert_eq!(v.accept(l, 10.0).unwrap(), None); // exhausted
+        assert_eq!(v.conn_read(c, 10.0).unwrap(), ConnRead::Ready(100));
+        // Double read before response is a protocol error.
+        assert_eq!(v.conn_read(c, 10.0).unwrap_err(), Errno::Inval);
+        v.conn_write(c, 20.0).unwrap();
+        // Next request arrives after the think gap.
+        assert_eq!(v.conn_read(c, 21.0).unwrap(), ConnRead::NotUntil(70.0));
+        assert_eq!(v.conn_read(c, 70.0).unwrap(), ConnRead::Ready(100));
+        v.conn_write(c, 75.0).unwrap();
+        assert_eq!(v.conn_read(c, 200.0).unwrap(), ConnRead::Eof);
+        assert_eq!(v.conn_served(c), 2);
+        assert_eq!(v.total_served, 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Physical frames with per-granule capability tags.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ufork_cheri::Capability;
+
+/// Page / frame size in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Capability granule size in bytes (one tag bit covers this much memory).
+pub const GRANULE_SIZE: u64 = 16;
+
+/// Number of tag granules per page.
+pub const GRANULES_PER_PAGE: u64 = PAGE_SIZE / GRANULE_SIZE;
+
+/// A physical frame number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pfn(pub u32);
+
+impl Pfn {
+    /// The physical byte address of the start of this frame.
+    pub const fn phys_addr(self) -> u64 {
+        self.0 as u64 * PAGE_SIZE
+    }
+}
+
+impl fmt::Debug for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pfn({:#x})", self.0)
+    }
+}
+
+/// A 4 KiB physical frame: data bytes plus out-of-band capability granules.
+///
+/// The sparse `caps` map plays the role of the hardware tag storage: a
+/// granule index present in the map *is* a set tag, and the stored
+/// [`Capability`] is the value the tag protects. Absent index ⇒ tag clear ⇒
+/// the 16 bytes are plain data.
+pub struct Frame {
+    data: Box<[u8]>,
+    caps: BTreeMap<u16, Capability>,
+}
+
+impl Frame {
+    /// Allocates a zeroed frame with all tags clear.
+    pub fn zeroed() -> Frame {
+        Frame {
+            data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+            caps: BTreeMap::new(),
+        }
+    }
+
+    /// Read-only view of the frame's data bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the page; callers (the physical memory
+    /// layer) validate ranges first.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        let o = offset as usize;
+        buf.copy_from_slice(&self.data[o..o + buf.len()]);
+    }
+
+    /// Writes `buf` at `offset`, clearing the tags of every granule the
+    /// write overlaps.
+    pub fn write(&mut self, offset: u64, buf: &[u8]) {
+        let o = offset as usize;
+        self.data[o..o + buf.len()].copy_from_slice(buf);
+        if buf.is_empty() {
+            return;
+        }
+        let first = offset / GRANULE_SIZE;
+        let last = (offset + buf.len() as u64 - 1) / GRANULE_SIZE;
+        for g in first..=last {
+            self.caps.remove(&(g as u16));
+        }
+    }
+
+    /// Stores a capability at a granule-aligned `offset`, setting its tag.
+    ///
+    /// The granule's data bytes are set to the capability's data view so
+    /// that subsequent untagged reads see the cursor value.
+    pub fn store_cap(&mut self, offset: u64, cap: &Capability) {
+        debug_assert_eq!(offset % GRANULE_SIZE, 0);
+        let o = offset as usize;
+        self.data[o..o + GRANULE_SIZE as usize].copy_from_slice(&cap.to_bytes());
+        self.caps.insert((offset / GRANULE_SIZE) as u16, *cap);
+    }
+
+    /// Loads the capability at granule-aligned `offset`.
+    ///
+    /// Returns `None` when the granule's tag is clear — the 16 bytes are
+    /// then plain data and must be read with [`Frame::read`].
+    pub fn load_cap(&self, offset: u64) -> Option<Capability> {
+        debug_assert_eq!(offset % GRANULE_SIZE, 0);
+        self.caps.get(&((offset / GRANULE_SIZE) as u16)).copied()
+    }
+
+    /// Clears the tag (if any) of the granule at `offset`.
+    pub fn clear_tag(&mut self, offset: u64) {
+        self.caps.remove(&((offset / GRANULE_SIZE) as u16));
+    }
+
+    /// Returns true if any granule in the frame holds a valid capability.
+    pub fn has_caps(&self) -> bool {
+        !self.caps.is_empty()
+    }
+
+    /// Number of tagged granules in the frame.
+    pub fn cap_count(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Iterates `(byte_offset, capability)` over every tagged granule.
+    ///
+    /// μFork's relocation pass uses this as its "scan in 16-byte
+    /// increments" (paper §4.2); the iteration visits granules in address
+    /// order, exactly like the sequential hardware scan.
+    pub fn tagged_granules(&self) -> impl Iterator<Item = (u64, Capability)> + '_ {
+        self.caps
+            .iter()
+            .map(|(g, c)| (u64::from(*g) * GRANULE_SIZE, *c))
+    }
+
+    /// Replaces the capability at an already-tagged granule.
+    ///
+    /// Used by relocation to swap a stale parent capability for the rebased
+    /// child one without touching neighbouring data.
+    pub fn replace_cap(&mut self, offset: u64, cap: &Capability) {
+        self.store_cap(offset, cap);
+    }
+
+    /// Deep-copies another frame's data and tags into this one.
+    pub fn copy_from(&mut self, other: &Frame) {
+        self.data.copy_from_slice(&other.data);
+        self.caps = other.caps.clone();
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Frame({} tagged granules)", self.caps.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufork_cheri::Perms;
+
+    fn cap(addr: u64) -> Capability {
+        Capability::new_root(addr, 64, Perms::data())
+    }
+
+    #[test]
+    fn zeroed_frame_has_no_tags() {
+        let f = Frame::zeroed();
+        assert!(!f.has_caps());
+        assert_eq!(f.load_cap(0), None);
+        assert!(f.data().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn data_write_read_round_trip() {
+        let mut f = Frame::zeroed();
+        f.write(100, &[1, 2, 3, 4]);
+        let mut out = [0u8; 4];
+        f.read(100, &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cap_store_load_round_trip() {
+        let mut f = Frame::zeroed();
+        let c = cap(0x9000);
+        f.store_cap(32, &c);
+        assert_eq!(f.load_cap(32), Some(c));
+        assert_eq!(f.cap_count(), 1);
+    }
+
+    #[test]
+    fn data_write_clears_overlapping_tags() {
+        let mut f = Frame::zeroed();
+        f.store_cap(16, &cap(0x9000));
+        f.store_cap(48, &cap(0x9100));
+        // Write spans the tail of granule 1 and head of granule 2 (offsets
+        // 30..34): clears granule 1's tag, granule 3 (offset 48) untouched.
+        f.write(30, &[0xaa; 4]);
+        assert_eq!(f.load_cap(16), None);
+        assert_eq!(f.load_cap(48), Some(cap(0x9100)));
+    }
+
+    #[test]
+    fn zero_length_write_clears_nothing() {
+        let mut f = Frame::zeroed();
+        f.store_cap(0, &cap(0x9000));
+        f.write(0, &[]);
+        assert_eq!(f.load_cap(0), Some(cap(0x9000)));
+    }
+
+    #[test]
+    fn cap_bytes_visible_as_data() {
+        let mut f = Frame::zeroed();
+        f.store_cap(0, &cap(0x1234_5678));
+        let mut out = [0u8; 8];
+        f.read(0, &mut out);
+        assert_eq!(u64::from_le_bytes(out), 0x1234_5678);
+    }
+
+    #[test]
+    fn tagged_granules_in_order() {
+        let mut f = Frame::zeroed();
+        f.store_cap(64, &cap(0xa000));
+        f.store_cap(16, &cap(0xb000));
+        let offs: Vec<u64> = f.tagged_granules().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![16, 64]);
+    }
+
+    #[test]
+    fn copy_from_carries_tags() {
+        let mut a = Frame::zeroed();
+        a.write(0, &[7; 16]);
+        a.store_cap(16, &cap(0xc000));
+        let mut b = Frame::zeroed();
+        b.copy_from(&a);
+        assert_eq!(b.load_cap(16), Some(cap(0xc000)));
+        assert_eq!(b.data()[..16], [7; 16]);
+    }
+
+    #[test]
+    fn pfn_phys_addr() {
+        assert_eq!(Pfn(0).phys_addr(), 0);
+        assert_eq!(Pfn(2).phys_addr(), 2 * PAGE_SIZE);
+    }
+}

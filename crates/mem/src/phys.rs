@@ -1,0 +1,355 @@
+//! Physical memory: frame allocation, refcounting, and checked access.
+
+use std::fmt;
+
+use ufork_cheri::Capability;
+
+use crate::frame::{Frame, Pfn, GRANULE_SIZE, PAGE_SIZE};
+
+/// Errors raised by the physical memory layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// No free frames left.
+    OutOfFrames,
+    /// Frame number out of range or not allocated.
+    BadFrame(Pfn),
+    /// Access crosses the end of a frame.
+    OutOfRange {
+        /// Offset within the frame.
+        offset: u64,
+        /// Access length.
+        len: u64,
+    },
+    /// Capability access at a non-granule-aligned offset.
+    Unaligned(u64),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfFrames => write!(f, "out of physical frames"),
+            MemError::BadFrame(p) => write!(f, "bad or unallocated frame {p:?}"),
+            MemError::OutOfRange { offset, len } => {
+                write!(
+                    f,
+                    "{len}-byte access at frame offset {offset:#x} out of range"
+                )
+            }
+            MemError::Unaligned(o) => write!(f, "capability access at unaligned offset {o:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+struct Slot {
+    frame: Frame,
+    refcount: u32,
+}
+
+/// Simulated physical memory: a bounded pool of refcounted, tagged frames.
+///
+/// Frames are lazily materialized — a `PhysMem` sized for a large machine
+/// costs host memory only for frames actually allocated. Reference counts
+/// support CoW-style sharing: a frame shared between N μprocesses has
+/// `refcount == N` and contributes `1/N` to each one's proportional
+/// resident set.
+pub struct PhysMem {
+    slots: Vec<Option<Slot>>,
+    free: Vec<Pfn>,
+    next_fresh: u32,
+    total_frames: u32,
+    allocated: u32,
+    peak_allocated: u32,
+}
+
+impl PhysMem {
+    /// Creates a physical memory of `total_frames` 4 KiB frames.
+    pub fn new(total_frames: u32) -> PhysMem {
+        PhysMem {
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_fresh: 0,
+            total_frames,
+            allocated: 0,
+            peak_allocated: 0,
+        }
+    }
+
+    /// Creates a physical memory of `mib` MiB.
+    pub fn with_mib(mib: u32) -> PhysMem {
+        PhysMem::new(mib * (1024 * 1024 / PAGE_SIZE as u32))
+    }
+
+    /// Total capacity in frames.
+    pub fn total_frames(&self) -> u32 {
+        self.total_frames
+    }
+
+    /// Currently allocated frames.
+    pub fn allocated_frames(&self) -> u32 {
+        self.allocated
+    }
+
+    /// High-water mark of allocated frames.
+    pub fn peak_allocated_frames(&self) -> u32 {
+        self.peak_allocated
+    }
+
+    /// Allocates a zeroed frame with refcount 1.
+    pub fn alloc_frame(&mut self) -> Result<Pfn, MemError> {
+        let pfn = if let Some(p) = self.free.pop() {
+            p
+        } else if self.next_fresh < self.total_frames {
+            let p = Pfn(self.next_fresh);
+            self.next_fresh += 1;
+            p
+        } else {
+            return Err(MemError::OutOfFrames);
+        };
+        let idx = pfn.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        self.slots[idx] = Some(Slot {
+            frame: Frame::zeroed(),
+            refcount: 1,
+        });
+        self.allocated += 1;
+        self.peak_allocated = self.peak_allocated.max(self.allocated);
+        Ok(pfn)
+    }
+
+    /// Increments a frame's refcount (a new sharer, e.g. a CoW mapping).
+    pub fn inc_ref(&mut self, pfn: Pfn) -> Result<u32, MemError> {
+        let slot = self.slot_mut(pfn)?;
+        slot.refcount += 1;
+        Ok(slot.refcount)
+    }
+
+    /// Decrements a frame's refcount, freeing the frame when it hits zero.
+    ///
+    /// Returns the remaining refcount.
+    pub fn dec_ref(&mut self, pfn: Pfn) -> Result<u32, MemError> {
+        let slot = self.slot_mut(pfn)?;
+        slot.refcount -= 1;
+        let remaining = slot.refcount;
+        if remaining == 0 {
+            self.slots[pfn.0 as usize] = None;
+            self.free.push(pfn);
+            self.allocated -= 1;
+        }
+        Ok(remaining)
+    }
+
+    /// Current refcount of a frame.
+    pub fn refcount(&self, pfn: Pfn) -> Result<u32, MemError> {
+        Ok(self.slot(pfn)?.refcount)
+    }
+
+    /// Reads `buf.len()` bytes from `pfn` at `offset`.
+    pub fn read(&self, pfn: Pfn, offset: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        check_range(offset, buf.len() as u64)?;
+        self.slot(pfn)?.frame.read(offset, buf);
+        Ok(())
+    }
+
+    /// Writes `buf` to `pfn` at `offset`, clearing overlapped tags.
+    pub fn write(&mut self, pfn: Pfn, offset: u64, buf: &[u8]) -> Result<(), MemError> {
+        check_range(offset, buf.len() as u64)?;
+        self.slot_mut(pfn)?.frame.write(offset, buf);
+        Ok(())
+    }
+
+    /// Loads the capability (if tagged) at granule-aligned `offset`.
+    pub fn load_cap(&self, pfn: Pfn, offset: u64) -> Result<Option<Capability>, MemError> {
+        check_cap_offset(offset)?;
+        Ok(self.slot(pfn)?.frame.load_cap(offset))
+    }
+
+    /// Stores a capability at granule-aligned `offset`, setting its tag.
+    pub fn store_cap(&mut self, pfn: Pfn, offset: u64, cap: &Capability) -> Result<(), MemError> {
+        check_cap_offset(offset)?;
+        self.slot_mut(pfn)?.frame.store_cap(offset, cap);
+        Ok(())
+    }
+
+    /// Borrows a frame immutably (for scans and bulk copies).
+    pub fn frame(&self, pfn: Pfn) -> Result<&Frame, MemError> {
+        Ok(&self.slot(pfn)?.frame)
+    }
+
+    /// Borrows a frame mutably.
+    pub fn frame_mut(&mut self, pfn: Pfn) -> Result<&mut Frame, MemError> {
+        Ok(&mut self.slot_mut(pfn)?.frame)
+    }
+
+    /// Copies `src`'s data and tags into `dst` (both must be allocated).
+    pub fn copy_frame(&mut self, src: Pfn, dst: Pfn) -> Result<(), MemError> {
+        if src == dst {
+            return Ok(());
+        }
+        self.slot(src)?;
+        self.slot(dst)?;
+        let (a, b) = (src.0 as usize, dst.0 as usize);
+        // Split-borrow the two slots.
+        let (lo, hi) = if a < b {
+            let (l, h) = self.slots.split_at_mut(b);
+            (&l[a], &mut h[0])
+        } else {
+            let (l, h) = self.slots.split_at_mut(a);
+            (&h[0], &mut l[b])
+        };
+        let src_frame = &lo.as_ref().expect("checked above").frame;
+        let dst_slot = hi.as_mut().expect("checked above");
+        dst_slot.frame.copy_from(src_frame);
+        Ok(())
+    }
+
+    fn slot(&self, pfn: Pfn) -> Result<&Slot, MemError> {
+        self.slots
+            .get(pfn.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(MemError::BadFrame(pfn))
+    }
+
+    fn slot_mut(&mut self, pfn: Pfn) -> Result<&mut Slot, MemError> {
+        self.slots
+            .get_mut(pfn.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(MemError::BadFrame(pfn))
+    }
+}
+
+fn check_range(offset: u64, len: u64) -> Result<(), MemError> {
+    if offset + len > PAGE_SIZE {
+        return Err(MemError::OutOfRange { offset, len });
+    }
+    Ok(())
+}
+
+fn check_cap_offset(offset: u64) -> Result<(), MemError> {
+    if offset % GRANULE_SIZE != 0 {
+        return Err(MemError::Unaligned(offset));
+    }
+    if offset + GRANULE_SIZE > PAGE_SIZE {
+        return Err(MemError::OutOfRange {
+            offset,
+            len: GRANULE_SIZE,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufork_cheri::Perms;
+
+    fn cap() -> Capability {
+        Capability::new_root(0x8000, 32, Perms::data())
+    }
+
+    #[test]
+    fn alloc_until_exhaustion() {
+        let mut pm = PhysMem::new(3);
+        let a = pm.alloc_frame().unwrap();
+        let b = pm.alloc_frame().unwrap();
+        let c = pm.alloc_frame().unwrap();
+        assert_eq!(pm.alloc_frame().unwrap_err(), MemError::OutOfFrames);
+        assert_eq!(pm.allocated_frames(), 3);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn free_recycles_frames() {
+        let mut pm = PhysMem::new(1);
+        let a = pm.alloc_frame().unwrap();
+        pm.write(a, 0, &[9]).unwrap();
+        assert_eq!(pm.dec_ref(a), Ok(0));
+        assert_eq!(pm.allocated_frames(), 0);
+        let b = pm.alloc_frame().unwrap();
+        assert_eq!(a, b);
+        // Recycled frame is zeroed.
+        let mut out = [1u8];
+        pm.read(b, 0, &mut out).unwrap();
+        assert_eq!(out, [0]);
+    }
+
+    #[test]
+    fn refcounting_shares_frames() {
+        let mut pm = PhysMem::new(2);
+        let a = pm.alloc_frame().unwrap();
+        assert_eq!(pm.inc_ref(a), Ok(2));
+        assert_eq!(pm.dec_ref(a), Ok(1));
+        assert_eq!(pm.refcount(a), Ok(1));
+        assert_eq!(pm.dec_ref(a), Ok(0));
+        assert_eq!(pm.refcount(a), Err(MemError::BadFrame(a)));
+    }
+
+    #[test]
+    fn access_to_freed_frame_fails() {
+        let mut pm = PhysMem::new(1);
+        let a = pm.alloc_frame().unwrap();
+        pm.dec_ref(a).unwrap();
+        assert_eq!(pm.read(a, 0, &mut [0]).unwrap_err(), MemError::BadFrame(a));
+        assert_eq!(pm.write(a, 0, &[0]).unwrap_err(), MemError::BadFrame(a));
+    }
+
+    #[test]
+    fn cross_page_access_rejected() {
+        let mut pm = PhysMem::new(1);
+        let a = pm.alloc_frame().unwrap();
+        assert!(matches!(
+            pm.read(a, PAGE_SIZE - 2, &mut [0u8; 4]),
+            Err(MemError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unaligned_cap_access_rejected() {
+        let mut pm = PhysMem::new(1);
+        let a = pm.alloc_frame().unwrap();
+        assert_eq!(
+            pm.store_cap(a, 8, &cap()).unwrap_err(),
+            MemError::Unaligned(8)
+        );
+        assert_eq!(pm.load_cap(a, 8).unwrap_err(), MemError::Unaligned(8));
+    }
+
+    #[test]
+    fn copy_frame_duplicates_data_and_tags() {
+        let mut pm = PhysMem::new(2);
+        let a = pm.alloc_frame().unwrap();
+        let b = pm.alloc_frame().unwrap();
+        pm.write(a, 0, b"hello").unwrap();
+        pm.store_cap(a, 32, &cap()).unwrap();
+        pm.copy_frame(a, b).unwrap();
+        let mut out = [0u8; 5];
+        pm.read(b, 0, &mut out).unwrap();
+        assert_eq!(&out, b"hello");
+        assert_eq!(pm.load_cap(b, 32).unwrap(), Some(cap()));
+        // Copy in the other direction also works (exercises both borrow arms).
+        pm.write(b, 0, b"world").unwrap();
+        pm.copy_frame(b, a).unwrap();
+        pm.read(a, 0, &mut out).unwrap();
+        assert_eq!(&out, b"world");
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut pm = PhysMem::new(4);
+        let a = pm.alloc_frame().unwrap();
+        let _b = pm.alloc_frame().unwrap();
+        pm.dec_ref(a).unwrap();
+        assert_eq!(pm.allocated_frames(), 1);
+        assert_eq!(pm.peak_allocated_frames(), 2);
+    }
+
+    #[test]
+    fn with_mib_capacity() {
+        let pm = PhysMem::with_mib(1);
+        assert_eq!(pm.total_frames(), 256);
+    }
+}

@@ -1,0 +1,167 @@
+//! Operation counters for mechanism-level assertions.
+
+use std::fmt;
+
+/// Counts of primitive operations performed by a simulated kernel.
+///
+/// Where the paper argues about *mechanism* ("CoPA copies only pages the
+/// child loads capabilities from"), tests assert on these counters rather
+/// than on simulated time, which makes them robust to cost-model
+/// recalibration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Pages copied (for any reason).
+    pub pages_copied: u64,
+    /// Pages copied eagerly during fork (GOT, allocator metadata, full-copy
+    /// strategy).
+    pub pages_copied_eager: u64,
+    /// Copy-on-write faults resolved.
+    pub cow_faults: u64,
+    /// Copy-on-access faults resolved.
+    pub coa_faults: u64,
+    /// Capability-load (CoPA) faults resolved.
+    pub cap_load_faults: u64,
+    /// Capabilities relocated into a child region.
+    pub caps_relocated: u64,
+    /// Granules scanned for tags.
+    pub granules_scanned: u64,
+    /// PTEs copied or created.
+    pub ptes_written: u64,
+    /// System calls executed.
+    pub syscalls: u64,
+    /// Trap-based kernel entries (monolithic baseline).
+    pub traps: u64,
+    /// Sealed-capability kernel entries (μFork).
+    pub sealed_entries: u64,
+    /// Context switches performed.
+    pub ctx_switches: u64,
+    /// forks completed.
+    pub forks: u64,
+    /// execs completed.
+    pub execs: u64,
+    /// Isolation violations detected (and refused).
+    pub isolation_violations: u64,
+    /// Bytes copied for TOCTTOU protection.
+    pub tocttou_bytes: u64,
+}
+
+impl OpCounters {
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = OpCounters::default();
+    }
+
+    /// Adds `other` into `self` field-wise (merging a step's counters into
+    /// the machine totals).
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.pages_copied += other.pages_copied;
+        self.pages_copied_eager += other.pages_copied_eager;
+        self.cow_faults += other.cow_faults;
+        self.coa_faults += other.coa_faults;
+        self.cap_load_faults += other.cap_load_faults;
+        self.caps_relocated += other.caps_relocated;
+        self.granules_scanned += other.granules_scanned;
+        self.ptes_written += other.ptes_written;
+        self.syscalls += other.syscalls;
+        self.traps += other.traps;
+        self.sealed_entries += other.sealed_entries;
+        self.ctx_switches += other.ctx_switches;
+        self.forks += other.forks;
+        self.execs += other.execs;
+        self.isolation_violations += other.isolation_violations;
+        self.tocttou_bytes += other.tocttou_bytes;
+    }
+
+    /// Difference `self - earlier`, for measuring a window of activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` exceeds `self` anywhere
+    /// (counters are monotonic).
+    pub fn since(&self, earlier: &OpCounters) -> OpCounters {
+        OpCounters {
+            pages_copied: self.pages_copied - earlier.pages_copied,
+            pages_copied_eager: self.pages_copied_eager - earlier.pages_copied_eager,
+            cow_faults: self.cow_faults - earlier.cow_faults,
+            coa_faults: self.coa_faults - earlier.coa_faults,
+            cap_load_faults: self.cap_load_faults - earlier.cap_load_faults,
+            caps_relocated: self.caps_relocated - earlier.caps_relocated,
+            granules_scanned: self.granules_scanned - earlier.granules_scanned,
+            ptes_written: self.ptes_written - earlier.ptes_written,
+            syscalls: self.syscalls - earlier.syscalls,
+            traps: self.traps - earlier.traps,
+            sealed_entries: self.sealed_entries - earlier.sealed_entries,
+            ctx_switches: self.ctx_switches - earlier.ctx_switches,
+            forks: self.forks - earlier.forks,
+            execs: self.execs - earlier.execs,
+            isolation_violations: self.isolation_violations - earlier.isolation_violations,
+            tocttou_bytes: self.tocttou_bytes - earlier.tocttou_bytes,
+        }
+    }
+}
+
+impl fmt::Display for OpCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pages copied: {} (eager {}), faults: cow {} / coa {} / capload {}",
+            self.pages_copied,
+            self.pages_copied_eager,
+            self.cow_faults,
+            self.coa_faults,
+            self.cap_load_faults
+        )?;
+        writeln!(
+            f,
+            "caps relocated: {}, granules scanned: {}, ptes written: {}",
+            self.caps_relocated, self.granules_scanned, self.ptes_written
+        )?;
+        write!(
+            f,
+            "syscalls: {} (traps {}, sealed {}), ctx switches: {}, forks: {}, violations: {}",
+            self.syscalls,
+            self.traps,
+            self.sealed_entries,
+            self.ctx_switches,
+            self.forks,
+            self.isolation_violations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let mut a = OpCounters::default();
+        a.pages_copied = 10;
+        a.syscalls = 5;
+        let mut b = a;
+        b.pages_copied = 25;
+        b.syscalls = 9;
+        b.forks = 1;
+        let d = b.since(&a);
+        assert_eq!(d.pages_copied, 15);
+        assert_eq!(d.syscalls, 4);
+        assert_eq!(d.forks, 1);
+        assert_eq!(d.cow_faults, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut a = OpCounters::default();
+        a.traps = 3;
+        a.reset();
+        assert_eq!(a, OpCounters::default());
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let mut a = OpCounters::default();
+        a.caps_relocated = 42;
+        let s = a.to_string();
+        assert!(s.contains("caps relocated: 42"));
+    }
+}

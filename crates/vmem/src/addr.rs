@@ -1,0 +1,141 @@
+//! Virtual address arithmetic.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use ufork_mem::{GRANULE_SIZE, PAGE_SIZE};
+
+/// A virtual address in the single 64-bit address space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VirtAddr(pub u64);
+
+/// A virtual page number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vpn(pub u64);
+
+impl VirtAddr {
+    /// The containing virtual page.
+    pub const fn vpn(self) -> Vpn {
+        Vpn(self.0 / PAGE_SIZE)
+    }
+
+    /// Byte offset within the page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// Rounds down to the page boundary.
+    pub const fn page_align_down(self) -> VirtAddr {
+        VirtAddr(self.0 - self.0 % PAGE_SIZE)
+    }
+
+    /// Rounds up to the next page boundary (saturating).
+    pub const fn page_align_up(self) -> VirtAddr {
+        let rem = self.0 % PAGE_SIZE;
+        if rem == 0 {
+            self
+        } else {
+            VirtAddr(self.0.saturating_add(PAGE_SIZE - rem))
+        }
+    }
+
+    /// True if aligned to a capability granule.
+    pub const fn is_granule_aligned(self) -> bool {
+        self.0 % GRANULE_SIZE == 0
+    }
+
+    /// Rounds down to the granule boundary.
+    pub const fn granule_align_down(self) -> VirtAddr {
+        VirtAddr(self.0 - self.0 % GRANULE_SIZE)
+    }
+}
+
+impl Vpn {
+    /// First byte of the page.
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr(self.0 * PAGE_SIZE)
+    }
+
+    /// The next page number.
+    pub const fn next(self) -> Vpn {
+        Vpn(self.0 + 1)
+    }
+}
+
+impl Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<VirtAddr> for VirtAddr {
+    type Output = u64;
+    fn sub(self, rhs: VirtAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA({:#x})", self.0)
+    }
+}
+
+impl fmt::Debug for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vpn({:#x})", self.0)
+    }
+}
+
+/// Iterates the page numbers covering the byte range `[start, start+len)`.
+pub fn pages_covering(start: VirtAddr, len: u64) -> impl Iterator<Item = Vpn> {
+    let first = start.vpn().0;
+    let last = if len == 0 {
+        first
+    } else {
+        VirtAddr(start.0 + len - 1).vpn().0 + 1
+    };
+    (first..last).map(Vpn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_and_offset() {
+        let a = VirtAddr(0x1234);
+        assert_eq!(a.vpn(), Vpn(1));
+        assert_eq!(a.page_offset(), 0x234);
+        assert_eq!(a.vpn().base(), VirtAddr(0x1000));
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(VirtAddr(0x1001).page_align_down(), VirtAddr(0x1000));
+        assert_eq!(VirtAddr(0x1001).page_align_up(), VirtAddr(0x2000));
+        assert_eq!(VirtAddr(0x2000).page_align_up(), VirtAddr(0x2000));
+        assert!(VirtAddr(0x30).is_granule_aligned());
+        assert!(!VirtAddr(0x31).is_granule_aligned());
+        assert_eq!(VirtAddr(0x3f).granule_align_down(), VirtAddr(0x30));
+    }
+
+    #[test]
+    fn pages_covering_ranges() {
+        let pages: Vec<Vpn> = pages_covering(VirtAddr(0x1ff0), 0x20).collect();
+        assert_eq!(pages, vec![Vpn(1), Vpn(2)]);
+        let single: Vec<Vpn> = pages_covering(VirtAddr(0x1000), 1).collect();
+        assert_eq!(single, vec![Vpn(1)]);
+        let empty: Vec<Vpn> = pages_covering(VirtAddr(0x1000), 0).collect();
+        assert!(empty.is_empty());
+        let exact: Vec<Vpn> = pages_covering(VirtAddr(0x1000), PAGE_SIZE).collect();
+        assert_eq!(exact, vec![Vpn(1)]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!(VirtAddr(0x1000) + 0x10, VirtAddr(0x1010));
+        assert_eq!(VirtAddr(0x1010) - VirtAddr(0x1000), 0x10);
+    }
+}

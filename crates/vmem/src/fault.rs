@@ -1,0 +1,124 @@
+//! Memory-access fault taxonomy.
+
+use std::fmt;
+
+use crate::addr::VirtAddr;
+
+/// The kind of memory access being attempted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Plain data load.
+    Load,
+    /// Plain data store.
+    Store,
+    /// Instruction fetch.
+    Fetch,
+    /// Capability (tagged) load — may trigger a CoPA fault.
+    CapLoad,
+    /// Capability (tagged) store — a store that sets a tag.
+    CapStore,
+}
+
+impl AccessKind {
+    /// True for the store-shaped accesses.
+    pub const fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store | AccessKind::CapStore)
+    }
+}
+
+/// A fault raised during address translation or permission checking.
+///
+/// The first three variants are *transparent*: the kernel's fault handler
+/// resolves them by copying (and, for μFork, relocating) the page and
+/// retrying. The rest are genuine errors delivered to the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Store hit a copy-on-write page.
+    Cow { va: VirtAddr },
+    /// Any access hit a copy-on-access page (μFork's CoA strategy).
+    CoAccess { va: VirtAddr, kind: AccessKind },
+    /// A capability load hit a page with the load-capability fault bit set
+    /// (μFork's CoPA strategy, paper §4.2).
+    CapLoad { va: VirtAddr },
+    /// No mapping for the page.
+    NotMapped { va: VirtAddr },
+    /// The mapping exists but forbids this access.
+    Protection { va: VirtAddr, kind: AccessKind },
+}
+
+impl Fault {
+    /// True if the kernel can transparently resolve this fault by copying.
+    pub const fn is_transparent(self) -> bool {
+        matches!(
+            self,
+            Fault::Cow { .. } | Fault::CoAccess { .. } | Fault::CapLoad { .. }
+        )
+    }
+
+    /// The faulting virtual address.
+    pub const fn va(self) -> VirtAddr {
+        match self {
+            Fault::Cow { va }
+            | Fault::CoAccess { va, .. }
+            | Fault::CapLoad { va }
+            | Fault::NotMapped { va }
+            | Fault::Protection { va, .. } => va,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Cow { va } => write!(f, "copy-on-write fault at {va:?}"),
+            Fault::CoAccess { va, kind } => {
+                write!(f, "copy-on-access fault at {va:?} ({kind:?})")
+            }
+            Fault::CapLoad { va } => write!(f, "capability-load fault at {va:?}"),
+            Fault::NotMapped { va } => write!(f, "page not mapped at {va:?}"),
+            Fault::Protection { va, kind } => {
+                write!(f, "protection fault at {va:?} ({kind:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparency_classification() {
+        let va = VirtAddr(0x1000);
+        assert!(Fault::Cow { va }.is_transparent());
+        assert!(Fault::CoAccess {
+            va,
+            kind: AccessKind::Load
+        }
+        .is_transparent());
+        assert!(Fault::CapLoad { va }.is_transparent());
+        assert!(!Fault::NotMapped { va }.is_transparent());
+        assert!(!Fault::Protection {
+            va,
+            kind: AccessKind::Store
+        }
+        .is_transparent());
+    }
+
+    #[test]
+    fn faulting_address_extraction() {
+        let va = VirtAddr(0x2345);
+        assert_eq!(Fault::NotMapped { va }.va(), va);
+        assert_eq!(Fault::CapLoad { va }.va(), va);
+    }
+
+    #[test]
+    fn store_classification() {
+        assert!(AccessKind::Store.is_store());
+        assert!(AccessKind::CapStore.is_store());
+        assert!(!AccessKind::CapLoad.is_store());
+        assert!(!AccessKind::Fetch.is_store());
+    }
+}

@@ -1,0 +1,335 @@
+//! Page tables and PTE flags.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ufork_mem::Pfn;
+
+use crate::addr::{VirtAddr, Vpn};
+use crate::fault::{AccessKind, Fault};
+
+/// Page-table entry flags.
+///
+/// `READ`/`WRITE`/`EXEC` are the usual permissions. The remaining bits
+/// drive the μFork copy strategies:
+///
+/// * `LC_FAULT` — the CHERI *fault on capability load* page-permission bit
+///   (paper §4.2). Plain loads succeed; loading a **tagged** granule
+///   faults, so the kernel can copy + relocate before a stale parent
+///   capability reaches the child (CoPA).
+/// * `COW` — software bit: page is shared, copy on first store.
+/// * `COA` — software bit: page is shared and *inaccessible*; copy on any
+///   access (CoA strategy).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PteFlags(u8);
+
+impl PteFlags {
+    /// Loads permitted.
+    pub const READ: PteFlags = PteFlags(1 << 0);
+    /// Stores permitted.
+    pub const WRITE: PteFlags = PteFlags(1 << 1);
+    /// Instruction fetch permitted.
+    pub const EXEC: PteFlags = PteFlags(1 << 2);
+    /// Fault on loading a tagged (capability) granule.
+    pub const LC_FAULT: PteFlags = PteFlags(1 << 3);
+    /// Copy-on-write (software).
+    pub const COW: PteFlags = PteFlags(1 << 4);
+    /// Copy-on-access (software): all accesses fault.
+    pub const COA: PteFlags = PteFlags(1 << 5);
+
+    /// No flags.
+    pub const fn empty() -> PteFlags {
+        PteFlags(0)
+    }
+
+    /// Read + write.
+    pub const fn rw() -> PteFlags {
+        PteFlags(PteFlags::READ.0 | PteFlags::WRITE.0)
+    }
+
+    /// Read + exec.
+    pub const fn rx() -> PteFlags {
+        PteFlags(PteFlags::READ.0 | PteFlags::EXEC.0)
+    }
+
+    /// Read only.
+    pub const fn ro() -> PteFlags {
+        PteFlags::READ
+    }
+
+    /// True if every bit of `other` is set.
+    pub const fn contains(self, other: PteFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union.
+    pub const fn with(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 | other.0)
+    }
+
+    /// Difference (clears `other`'s bits).
+    pub const fn without(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 & !other.0)
+    }
+}
+
+impl fmt::Debug for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (PteFlags::READ, "R"),
+            (PteFlags::WRITE, "W"),
+            (PteFlags::EXEC, "X"),
+            (PteFlags::LC_FAULT, "LC"),
+            (PteFlags::COW, "CoW"),
+            (PteFlags::COA, "CoA"),
+        ];
+        write!(f, "[")?;
+        let mut first = true;
+        for (bit, name) in names {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A page-table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pte {
+    /// Backing physical frame.
+    pub pfn: Pfn,
+    /// Permission and strategy flags.
+    pub flags: PteFlags,
+}
+
+/// A page table: virtual page → [`Pte`].
+///
+/// μFork keeps exactly one (the single address space); the monolithic
+/// baseline keeps one per process. The representation is a sorted map
+/// rather than a radix tree — translation cost is charged by the
+/// simulation cost model, not by host data-structure choice.
+#[derive(Default)]
+pub struct PageTable {
+    entries: BTreeMap<Vpn, Pte>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Maps `vpn` to `pfn` with `flags`, replacing any existing mapping.
+    ///
+    /// Returns the previous entry if one existed.
+    pub fn map(&mut self, vpn: Vpn, pfn: Pfn, flags: PteFlags) -> Option<Pte> {
+        self.entries.insert(vpn, Pte { pfn, flags })
+    }
+
+    /// Removes the mapping for `vpn`.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Looks up the entry for `vpn`.
+    pub fn lookup(&self, vpn: Vpn) -> Option<Pte> {
+        self.entries.get(&vpn).copied()
+    }
+
+    /// Mutable access to the entry for `vpn`.
+    pub fn lookup_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
+        self.entries.get_mut(&vpn)
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates mappings with page numbers in `[start, end)`.
+    pub fn range(&self, start: Vpn, end: Vpn) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        self.entries.range(start..end).map(|(v, p)| (*v, *p))
+    }
+
+    /// Iterates all mappings in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        self.entries.iter().map(|(v, p)| (*v, *p))
+    }
+
+    /// Translates an access, enforcing PTE flags and copy-strategy bits.
+    ///
+    /// On success returns the backing frame; the byte offset within it is
+    /// `va.page_offset()`. Transparent faults ([`Fault::is_transparent`])
+    /// must be resolved by the kernel's fault handler, after which the
+    /// access is retried.
+    ///
+    /// `tagged` reports whether a `CapLoad` access would actually read a
+    /// tagged granule; the hardware only raises an `LC_FAULT` fault when
+    /// the loaded granule's tag is set. Callers that don't know yet may
+    /// pass `true` conservatively.
+    pub fn translate(&self, va: VirtAddr, kind: AccessKind, tagged: bool) -> Result<Pte, Fault> {
+        let pte = self.lookup(va.vpn()).ok_or(Fault::NotMapped { va })?;
+        let f = pte.flags;
+        if f.contains(PteFlags::COA) {
+            return Err(Fault::CoAccess { va, kind });
+        }
+        match kind {
+            AccessKind::Load => {
+                if !f.contains(PteFlags::READ) {
+                    return Err(Fault::Protection { va, kind });
+                }
+            }
+            AccessKind::CapLoad => {
+                if !f.contains(PteFlags::READ) {
+                    return Err(Fault::Protection { va, kind });
+                }
+                if f.contains(PteFlags::LC_FAULT) && tagged {
+                    return Err(Fault::CapLoad { va });
+                }
+            }
+            AccessKind::Store | AccessKind::CapStore => {
+                if f.contains(PteFlags::COW) {
+                    return Err(Fault::Cow { va });
+                }
+                if !f.contains(PteFlags::WRITE) {
+                    return Err(Fault::Protection { va, kind });
+                }
+            }
+            AccessKind::Fetch => {
+                if !f.contains(PteFlags::EXEC) {
+                    return Err(Fault::Protection { va, kind });
+                }
+            }
+        }
+        Ok(pte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va(x: u64) -> VirtAddr {
+        VirtAddr(x)
+    }
+
+    #[test]
+    fn map_lookup_unmap() {
+        let mut pt = PageTable::new();
+        assert!(pt.is_empty());
+        assert_eq!(pt.map(Vpn(1), Pfn(7), PteFlags::rw()), None);
+        assert_eq!(pt.lookup(Vpn(1)).unwrap().pfn, Pfn(7));
+        assert_eq!(pt.len(), 1);
+        let old = pt.map(Vpn(1), Pfn(8), PteFlags::ro()).unwrap();
+        assert_eq!(old.pfn, Pfn(7));
+        assert_eq!(pt.unmap(Vpn(1)).unwrap().pfn, Pfn(8));
+        assert!(pt.lookup(Vpn(1)).is_none());
+    }
+
+    #[test]
+    fn translate_basic_permissions() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pfn(1), PteFlags::ro());
+        assert!(pt.translate(va(0x1000), AccessKind::Load, false).is_ok());
+        assert_eq!(
+            pt.translate(va(0x1000), AccessKind::Store, false)
+                .unwrap_err(),
+            Fault::Protection {
+                va: va(0x1000),
+                kind: AccessKind::Store
+            }
+        );
+        assert_eq!(
+            pt.translate(va(0x1000), AccessKind::Fetch, false)
+                .unwrap_err(),
+            Fault::Protection {
+                va: va(0x1000),
+                kind: AccessKind::Fetch
+            }
+        );
+        assert_eq!(
+            pt.translate(va(0x5000), AccessKind::Load, false)
+                .unwrap_err(),
+            Fault::NotMapped { va: va(0x5000) }
+        );
+    }
+
+    #[test]
+    fn cow_faults_only_on_store() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pfn(1), PteFlags::ro().with(PteFlags::COW));
+        assert!(pt.translate(va(0x1000), AccessKind::Load, false).is_ok());
+        assert_eq!(
+            pt.translate(va(0x1008), AccessKind::Store, false)
+                .unwrap_err(),
+            Fault::Cow { va: va(0x1008) }
+        );
+        assert_eq!(
+            pt.translate(va(0x1008), AccessKind::CapStore, false)
+                .unwrap_err(),
+            Fault::Cow { va: va(0x1008) }
+        );
+    }
+
+    #[test]
+    fn coa_faults_on_everything() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(2), Pfn(2), PteFlags::empty().with(PteFlags::COA));
+        for kind in [AccessKind::Load, AccessKind::Store, AccessKind::CapLoad] {
+            assert_eq!(
+                pt.translate(va(0x2000), kind, false).unwrap_err(),
+                Fault::CoAccess {
+                    va: va(0x2000),
+                    kind
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn lc_fault_only_for_tagged_cap_loads() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(3), Pfn(3), PteFlags::ro().with(PteFlags::LC_FAULT));
+        // Plain data load: fine.
+        assert!(pt.translate(va(0x3000), AccessKind::Load, false).is_ok());
+        // Capability load of an untagged granule: fine (reads data bytes).
+        assert!(pt.translate(va(0x3000), AccessKind::CapLoad, false).is_ok());
+        // Capability load of a tagged granule: faults.
+        assert_eq!(
+            pt.translate(va(0x3000), AccessKind::CapLoad, true)
+                .unwrap_err(),
+            Fault::CapLoad { va: va(0x3000) }
+        );
+    }
+
+    #[test]
+    fn range_iteration() {
+        let mut pt = PageTable::new();
+        for i in 0..10 {
+            pt.map(Vpn(i), Pfn(i as u32), PteFlags::rw());
+        }
+        let got: Vec<u64> = pt.range(Vpn(3), Vpn(6)).map(|(v, _)| v.0).collect();
+        assert_eq!(got, vec![3, 4, 5]);
+        assert_eq!(pt.iter().count(), 10);
+    }
+
+    #[test]
+    fn flags_set_operations() {
+        let f = PteFlags::rw().with(PteFlags::COW);
+        assert!(f.contains(PteFlags::COW));
+        let g = f.without(PteFlags::COW);
+        assert!(!g.contains(PteFlags::COW));
+        assert!(g.contains(PteFlags::WRITE));
+        assert_eq!(format!("{:?}", PteFlags::rx()), "[R,X]");
+    }
+}

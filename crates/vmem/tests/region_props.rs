@@ -1,0 +1,84 @@
+//! Property tests for the SAS region allocator: no two live regions ever
+//! overlap, frees coalesce, and accounting stays consistent under
+//! arbitrary alloc/free churn.
+
+use proptest::prelude::*;
+use ufork_vmem::{Region, RegionAllocator, VirtAddr};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc(u64),
+    Free(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..0x8000).prop_map(Op::Alloc),
+            (0usize..32).prop_map(Op::Free),
+        ],
+        1..64,
+    )
+}
+
+fn overlapping(a: &Region, b: &Region) -> bool {
+    a.base.0 < b.top().0 && b.base.0 < a.top().0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn live_regions_never_overlap(ops in ops(), aslr in any::<Option<u64>>()) {
+        let span = 0x40_0000;
+        let mut a = RegionAllocator::new(VirtAddr(0x1000), span, 0x1000);
+        if let Some(seed) = aslr {
+            a.set_aslr_seed(seed);
+        }
+        let mut live: Vec<Region> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(len) => {
+                    if let Ok(r) = a.alloc(len) {
+                        // Within the span.
+                        prop_assert!(r.base.0 >= 0x1000);
+                        prop_assert!(r.top().0 <= 0x1000 + span);
+                        // Aligned.
+                        prop_assert_eq!(r.base.0 % 0x1000, 0);
+                        // Disjoint from every live region.
+                        for other in &live {
+                            prop_assert!(!overlapping(&r, other), "{r:?} vs {other:?}");
+                        }
+                        live.push(r);
+                    }
+                }
+                Op::Free(idx) => {
+                    if !live.is_empty() {
+                        let r = live.remove(idx % live.len());
+                        prop_assert!(a.free(r).is_ok());
+                    }
+                }
+            }
+            // Accounting: free bytes + live bytes == span.
+            let live_bytes: u64 = live.iter().map(|r| r.len).sum();
+            prop_assert_eq!(a.free_bytes() + live_bytes, span);
+            // Fragmentation is a valid ratio.
+            let f = a.fragmentation();
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+        // Freeing everything restores a single hole.
+        for r in live.drain(..) {
+            prop_assert!(a.free(r).is_ok());
+        }
+        prop_assert_eq!(a.free_bytes(), span);
+        prop_assert_eq!(a.largest_hole(), span);
+    }
+
+    #[test]
+    fn double_free_always_rejected(len in 1u64..0x4000) {
+        let mut a = RegionAllocator::new(VirtAddr(0), 0x10_0000, 0x1000);
+        let r = a.alloc(len).unwrap();
+        a.free(r).unwrap();
+        prop_assert!(a.free(r).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Zygote-style FaaS worker pre-warming (paper §5.1, Figure 6).
+//!
+//! A coordinator process initializes the language runtime once, then
+//! serves each request by forking itself into a fresh worker that runs
+//! the function and exits — the Android-Zygote / SOCK pattern (U2+U5).
+//! The function is FunctionBench's `float_operation`: a pure
+//! floating-point loop, so throughput is dominated by fork latency and
+//! scheduling, not I/O.
+
+use std::any::Any;
+
+use ufork_abi::{BlockingCall, Env, ForkResult, Program, Resume, StepOutcome};
+
+/// FaaS workload configuration.
+#[derive(Clone, Debug)]
+pub struct FaasConfig {
+    /// Benchmark window in simulated nanoseconds (the paper uses 10 s).
+    pub window_ns: f64,
+    /// `float_operation` iterations per function invocation.
+    pub flops: u64,
+    /// Maximum in-flight workers (the worker-core count: the coordinator
+    /// keeps every worker core busy but no more).
+    pub max_outstanding: u32,
+}
+
+impl FaasConfig {
+    /// A standard configuration for `worker_cores` cores.
+    pub fn for_cores(worker_cores: u32) -> FaasConfig {
+        FaasConfig {
+            window_ns: 10e9,
+            flops: 450_000,
+            max_outstanding: worker_cores,
+        }
+    }
+}
+
+/// The Zygote coordinator program (children become workers).
+#[derive(Clone, Debug)]
+pub struct Zygote {
+    /// Configuration.
+    pub cfg: FaasConfig,
+    outstanding: u32,
+    /// Functions this coordinator has launched.
+    pub launched: u64,
+    /// Functions completed (reaped) within the window.
+    pub completed: u64,
+    draining: bool,
+}
+
+impl Zygote {
+    /// Creates the coordinator.
+    pub fn new(cfg: FaasConfig) -> Zygote {
+        Zygote {
+            cfg,
+            outstanding: 0,
+            launched: 0,
+            completed: 0,
+            draining: false,
+        }
+    }
+
+    fn next(&mut self, env: &mut dyn Env) -> StepOutcome {
+        let in_window = env.now() < self.cfg.window_ns;
+        if in_window && !self.draining && self.outstanding < self.cfg.max_outstanding {
+            self.outstanding += 1;
+            self.launched += 1;
+            return StepOutcome::Fork;
+        }
+        if !in_window {
+            self.draining = true;
+        }
+        if self.outstanding > 0 {
+            return StepOutcome::Block(BlockingCall::Wait);
+        }
+        StepOutcome::Exit(0)
+    }
+}
+
+impl Program for Zygote {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => {
+                // Runtime warm-up: import loading etc., once (that is the
+                // whole point of the Zygote pattern).
+                env.cpu_ops(2_000_000);
+                self.next(env)
+            }
+            Resume::Forked(ForkResult::Child) => {
+                // The worker: run float_operation and exit.
+                env.cpu_flops(self.cfg.flops);
+                StepOutcome::Exit(0)
+            }
+            Resume::Forked(ForkResult::Parent(_)) => self.next(env),
+            Resume::Ret(Ok(_)) => {
+                self.outstanding -= 1;
+                if env.now() < self.cfg.window_ns {
+                    self.completed += 1;
+                }
+                self.next(env)
+            }
+            Resume::Ret(Err(_)) => StepOutcome::Exit(1),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

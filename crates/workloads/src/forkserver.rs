@@ -1,0 +1,150 @@
+//! AFL-style fork server (paper pattern U5: "testing frameworks such as
+//! fuzzers use fork to avoid the cost of setup for each exploration").
+//!
+//! The server initializes the target once (expensive), then runs each
+//! test case in a forked child that inherits the warmed-up state. Crashes
+//! (non-zero exits) are contained by process isolation and tallied by the
+//! parent — the whole point of forking per execution.
+
+use std::any::Any;
+
+use ufork_abi::{BlockingCall, Env, Errno, ForkResult, Program, Resume, StepOutcome};
+
+/// Fork-server configuration.
+#[derive(Clone, Debug)]
+pub struct ForkServerConfig {
+    /// Test cases to run.
+    pub executions: u32,
+    /// One-time target setup cost (generic ops).
+    pub setup_ops: u64,
+    /// Per-execution work in the child.
+    pub exec_ops: u64,
+    /// Every n-th input "crashes" the target (0 = never).
+    pub crash_every: u32,
+}
+
+impl Default for ForkServerConfig {
+    fn default() -> ForkServerConfig {
+        ForkServerConfig {
+            executions: 100,
+            setup_ops: 5_000_000,
+            exec_ops: 20_000,
+            crash_every: 7,
+        }
+    }
+}
+
+/// The fork server program.
+#[derive(Clone, Debug)]
+pub struct ForkServer {
+    /// Configuration.
+    pub cfg: ForkServerConfig,
+    case: u32,
+    is_child: bool,
+    /// Executions completed.
+    pub completed: u32,
+    /// Crashes observed (contained in children).
+    pub crashes: u32,
+}
+
+impl ForkServer {
+    /// Creates the server.
+    pub fn new(cfg: ForkServerConfig) -> ForkServer {
+        ForkServer {
+            cfg,
+            case: 0,
+            is_child: false,
+            completed: 0,
+            crashes: 0,
+        }
+    }
+
+    /// Scribbles on the shared corpus state, then "runs" the input. A
+    /// crashing input corrupts memory first — the damage must stay in the
+    /// child.
+    fn run_case(&self, env: &mut dyn Env) -> i32 {
+        env.cpu_ops(self.cfg.exec_ops);
+        let crash = self.cfg.crash_every != 0
+            && self.case % self.cfg.crash_every == self.cfg.crash_every - 1;
+        let work = (|| -> Result<(), Errno> {
+            let state = env.reg(8)?;
+            // Mutate the inherited target state (CoW-copied for us).
+            env.store_u64(
+                &state.with_addr(state.base()).map_err(|_| Errno::Fault)?,
+                u64::from(self.case) | 0xdead_0000,
+            )?;
+            if crash {
+                // Wild access past the state buffer's bounds: the
+                // capability check turns it into a contained fault.
+                let wild = state
+                    .with_addr(state.base() + state.len())
+                    .map_err(|_| Errno::Fault)?;
+                env.store(&wild, &[0u8; 64])?;
+            }
+            Ok(())
+        })();
+        match (crash, work) {
+            (true, Err(_)) => 139, // SIGSEGV-style: contained crash
+            (false, Ok(())) => 0,
+            // A crash that was NOT caught, or a spurious failure: both are
+            // reported distinctly so tests can detect containment bugs.
+            _ => 1,
+        }
+    }
+}
+
+impl Program for ForkServer {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => {
+                // One-time target setup: warmed state inherited by every
+                // child through fork.
+                env.cpu_ops(self.cfg.setup_ops);
+                let state = env.malloc(4096).expect("target state");
+                env.store_u64(&state.with_addr(state.base()).expect("cursor"), 0x5eed_5eed)
+                    .expect("seed");
+                env.set_reg(8, state).expect("register");
+                if self.cfg.executions == 0 {
+                    return StepOutcome::Exit(0);
+                }
+                StepOutcome::Fork
+            }
+            Resume::Forked(ForkResult::Child) => {
+                self.is_child = true;
+                StepOutcome::Exit(self.run_case(env))
+            }
+            Resume::Forked(ForkResult::Parent(_)) => StepOutcome::Block(BlockingCall::Wait),
+            Resume::Ret(Ok(status)) => {
+                let code = (status >> 32) as i32;
+                self.completed += 1;
+                if code != 0 {
+                    self.crashes += 1;
+                }
+                // The parent's pristine state must be intact: crashes died
+                // with their children.
+                let state = env.reg(8).expect("register");
+                let seed = env
+                    .load_u64(&state.with_addr(state.base()).expect("cursor"))
+                    .expect("readable");
+                if seed != 0x5eed_5eed {
+                    return StepOutcome::Exit(42); // containment failure
+                }
+                self.case += 1;
+                if self.case < self.cfg.executions {
+                    StepOutcome::Fork
+                } else {
+                    StepOutcome::Exit(0)
+                }
+            }
+            Resume::Ret(Err(_)) => StepOutcome::Exit(1),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,82 @@
+//! The minimal "hello world" process of the paper's microbenchmarks.
+
+use std::any::Any;
+
+use ufork_abi::{Env, ForkResult, Program, Resume, StepOutcome};
+
+/// A minimal program: a little compute, optionally one fork, then exit.
+///
+/// With `forks == 1` this is the paper's Figure 8 microbenchmark: fork a
+/// minimal process and measure latency and per-process memory.
+#[derive(Clone, Debug)]
+pub struct HelloWorld {
+    /// Generic ops of "work" to perform before exiting.
+    pub ops: u64,
+    /// Forks the parent performs (children just exit).
+    pub forks: u32,
+    done: u32,
+}
+
+impl HelloWorld {
+    /// A hello-world that forks once.
+    pub fn forking() -> HelloWorld {
+        HelloWorld {
+            ops: 1000,
+            forks: 1,
+            done: 0,
+        }
+    }
+
+    /// A hello-world that only exits.
+    pub fn plain() -> HelloWorld {
+        HelloWorld {
+            ops: 1000,
+            forks: 0,
+            done: 0,
+        }
+    }
+}
+
+impl Program for HelloWorld {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => {
+                env.cpu_ops(self.ops);
+                if self.forks > 0 {
+                    StepOutcome::Fork
+                } else {
+                    StepOutcome::Exit(0)
+                }
+            }
+            Resume::Forked(ForkResult::Child) => {
+                env.cpu_ops(self.ops);
+                StepOutcome::Exit(0)
+            }
+            Resume::Forked(ForkResult::Parent(_)) => {
+                self.done += 1;
+                if self.done < self.forks {
+                    StepOutcome::Fork
+                } else {
+                    StepOutcome::Block(ufork_abi::BlockingCall::Wait)
+                }
+            }
+            Resume::Ret(_) => {
+                // Reaped a child; wait for the rest.
+                if self.done > 1 {
+                    self.done -= 1;
+                    StepOutcome::Block(ufork_abi::BlockingCall::Wait)
+                } else {
+                    StepOutcome::Exit(0)
+                }
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,34 @@
+//! The fork-based workloads of the μFork evaluation (paper §5).
+//!
+//! Every workload is written once against [`ufork_abi::Env`] /
+//! [`ufork_abi::Program`] and runs unmodified on μFork and both baselines
+//! — mirroring the paper's unmodified-application claim. All application
+//! data structures live in *simulated memory* behind capabilities, so the
+//! experiments genuinely exercise relocation, CoW/CoA/CoPA, and isolation:
+//!
+//! * [`hello::HelloWorld`] — the minimal process of the §5.2
+//!   microbenchmarks (fork latency / memory, Figure 8);
+//! * [`ubench::SpawnBench`] / [`ubench::Context1`] — Unixbench Spawn and
+//!   Context1 ports (Figure 9);
+//! * [`redis`] — a Redis-like in-memory KV store with hash-table +
+//!   string objects in simulated memory and a fork-based background save
+//!   (Figures 3–5, U2+U4);
+//! * [`faas::Zygote`] — Zygote-style FaaS worker pre-warming running
+//!   FunctionBench's `float_operation` (Figure 6, U2+U5);
+//! * [`nginx`] — a master forking request-serving workers fed by a
+//!   wrk-style closed-loop generator (Figure 7, U5);
+//! * [`shell::Shell`] — fork + exec command running (U1);
+//! * [`forkserver::ForkServer`] — AFL-style fork server with contained
+//!   crashes (U5);
+//! * [`privsep::Privsep`] — qmail-style privilege separation with breach
+//!   containment (U3).
+
+pub mod faas;
+pub mod forkserver;
+pub mod hello;
+pub mod mtkv;
+pub mod nginx;
+pub mod privsep;
+pub mod redis;
+pub mod shell;
+pub mod ubench;

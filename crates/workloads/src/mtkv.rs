@@ -1,0 +1,234 @@
+//! A multi-threaded KV store that snapshots itself with fork — the
+//! combination real systems find hardest: POSIX fork of a multi-threaded
+//! process captures *only the calling thread*, and the child must still
+//! see a consistent heap.
+//!
+//! The main thread spawns worker threads that apply increments to
+//! counters in shared memory; at snapshot time the main thread joins the
+//! workers (a stop-the-world point, as Redis does before `fork`), forks,
+//! and the single-threaded child serializes the counters while the parent
+//! spawns fresh workers and keeps mutating.
+
+use std::any::Any;
+
+use ufork_abi::{
+    BlockingCall, Env, Errno, ForkResult, Program, ProgramBox, Resume, StepOutcome, SysResult,
+};
+
+/// Register slot holding the counter-array capability.
+const ARR_REG: usize = 11;
+
+/// A worker thread: applies `rounds` increments to its counter slice.
+#[derive(Clone, Debug)]
+struct Worker {
+    index: u64,
+    rounds: u32,
+    done: u32,
+}
+
+impl Program for Worker {
+    fn resume(&mut self, env: &mut dyn Env, _input: Resume) -> StepOutcome {
+        let arr = env.reg(ARR_REG).expect("counter array");
+        while self.done < self.rounds {
+            self.done += 1;
+            env.cpu_ops(200);
+            let cell = arr
+                .with_addr(arr.base() + self.index * 64)
+                .expect("in bounds");
+            let v = env.load_u64(&cell).expect("readable");
+            env.store_u64(&cell, v + 1).expect("writable");
+            // Yield between rounds so workers genuinely interleave.
+            if self.done < self.rounds {
+                return StepOutcome::Block(BlockingCall::Yield);
+            }
+        }
+        StepOutcome::Exit(0)
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Configuration for the multi-threaded KV snapshot workload.
+#[derive(Clone, Debug)]
+pub struct MtKvConfig {
+    /// Worker threads per generation.
+    pub workers: u64,
+    /// Increment rounds each worker applies per generation.
+    pub rounds: u32,
+    /// Snapshot output path.
+    pub dump_path: String,
+}
+
+impl Default for MtKvConfig {
+    fn default() -> MtKvConfig {
+        MtKvConfig {
+            workers: 4,
+            rounds: 8,
+            dump_path: "mtkv.snap".to_string(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Init,
+    Spawning,
+    Joining,
+    Snapshot,
+    Reaping,
+    SecondGen,
+}
+
+/// The main thread of the multi-threaded KV store.
+#[derive(Clone, Debug)]
+pub struct MtKv {
+    /// Configuration.
+    pub cfg: MtKvConfig,
+    phase: Phase,
+    spawned: u64,
+    tids: Vec<u64>,
+    joined: u64,
+    generation: u32,
+    /// Set in the child after the snapshot is written.
+    pub snapshot_written: bool,
+}
+
+impl MtKv {
+    /// Creates the program.
+    pub fn new(cfg: MtKvConfig) -> MtKv {
+        MtKv {
+            cfg,
+            phase: Phase::Init,
+            spawned: 0,
+            tids: Vec::new(),
+            joined: 0,
+            generation: 0,
+            snapshot_written: false,
+        }
+    }
+
+    fn spawn_worker(&mut self) -> StepOutcome {
+        let w = Worker {
+            index: self.spawned % self.cfg.workers,
+            rounds: self.cfg.rounds,
+            done: 0,
+        };
+        self.spawned += 1;
+        StepOutcome::Block(BlockingCall::SpawnThread {
+            program: ProgramBox(Box::new(w)),
+        })
+    }
+
+    fn serialize(&self, env: &mut dyn Env) -> SysResult<()> {
+        let arr = env.reg(ARR_REG)?;
+        let fd = env.sys_open(&self.cfg.dump_path, true)?;
+        let buf = env.malloc(64)?;
+        for i in 0..self.cfg.workers {
+            let cell = arr
+                .with_addr(arr.base() + i * 64)
+                .map_err(|_| Errno::Fault)?;
+            let v = env.load_u64(&cell)?;
+            let line = format!("counter[{i}]={v}\n");
+            env.store(
+                &buf.with_addr(buf.base()).map_err(|_| Errno::Fault)?,
+                line.as_bytes(),
+            )?;
+            env.sys_write(fd, &buf, line.len() as u64)?;
+        }
+        env.sys_close(fd)?;
+        Ok(())
+    }
+}
+
+impl Program for MtKv {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match (self.phase, input) {
+            (Phase::Init, Resume::Start) => {
+                let arr = env.malloc(self.cfg.workers * 64).expect("counters");
+                for i in 0..self.cfg.workers {
+                    env.store_u64(
+                        &arr.with_addr(arr.base() + i * 64).expect("in bounds"),
+                        0,
+                    )
+                    .expect("init");
+                }
+                env.set_reg(ARR_REG, arr).expect("register");
+                self.phase = Phase::Spawning;
+                self.spawn_worker()
+            }
+            (Phase::Spawning, Resume::Ret(Ok(tid))) => {
+                self.tids.push(tid);
+                if self.spawned < self.cfg.workers {
+                    self.spawn_worker()
+                } else {
+                    // Stop-the-world: join all workers before the fork.
+                    self.phase = Phase::Joining;
+                    StepOutcome::Block(BlockingCall::JoinThread { tid: self.tids[0] })
+                }
+            }
+            (Phase::Joining, Resume::Ret(Ok(_))) => {
+                self.joined += 1;
+                if (self.joined as usize) < self.tids.len() {
+                    StepOutcome::Block(BlockingCall::JoinThread {
+                        tid: self.tids[self.joined as usize],
+                    })
+                } else {
+                    self.phase = Phase::Snapshot;
+                    StepOutcome::Fork
+                }
+            }
+            (Phase::Snapshot, Resume::Forked(ForkResult::Child)) => {
+                // Single-threaded child: serialize and exit.
+                let ok = self.serialize(env).is_ok();
+                self.snapshot_written = ok;
+                StepOutcome::Exit(if ok { 0 } else { 1 })
+            }
+            (Phase::Snapshot, Resume::Forked(ForkResult::Parent(_))) => {
+                // Parent immediately starts a second generation of
+                // mutation while the child snapshots.
+                self.generation += 1;
+                self.phase = Phase::SecondGen;
+                self.spawned = 0;
+                self.tids.clear();
+                self.joined = 0;
+                self.spawn_worker()
+            }
+            (Phase::SecondGen, Resume::Ret(Ok(v))) => {
+                if self.tids.len() < self.cfg.workers as usize {
+                    self.tids.push(v);
+                    if self.spawned < self.cfg.workers {
+                        return self.spawn_worker();
+                    }
+                    return StepOutcome::Block(BlockingCall::JoinThread { tid: self.tids[0] });
+                }
+                self.joined += 1;
+                if (self.joined as usize) < self.tids.len() {
+                    return StepOutcome::Block(BlockingCall::JoinThread {
+                        tid: self.tids[self.joined as usize],
+                    });
+                }
+                self.phase = Phase::Reaping;
+                StepOutcome::Block(BlockingCall::Wait)
+            }
+            (Phase::Reaping, Resume::Ret(Ok(status))) => {
+                StepOutcome::Exit(((status >> 32) & 0xff) as i32)
+            }
+            (_, Resume::Ret(Err(_))) => StepOutcome::Exit(1),
+            (p, i) => unreachable!("bad mtkv transition: {p:?} / {i:?}"),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,221 @@
+//! qmail-style privilege separation (paper pattern U3, §3.6: "processes
+//! are used to isolate components such as the SMTP server").
+//!
+//! A trusted broker forks an unprivileged parser per message and talks to
+//! it only through pipes. A hostile message makes the parser attempt to
+//! escape its μprocess; the breach attempt dies with the child and the
+//! broker records it — exactly the adversarial fault-isolation scenario
+//! μFork's Full isolation level exists for.
+
+use std::any::Any;
+
+use ufork_abi::{BlockingCall, Env, Errno, Fd, ForkResult, Program, Resume, StepOutcome};
+
+/// The messages the broker processes: well-formed or hostile.
+#[derive(Clone, Debug)]
+pub struct PrivsepConfig {
+    /// Messages to process.
+    pub messages: u32,
+    /// Every n-th message is hostile (0 = never).
+    pub hostile_every: u32,
+    /// Parse work per message (generic ops).
+    pub parse_ops: u64,
+}
+
+impl Default for PrivsepConfig {
+    fn default() -> PrivsepConfig {
+        PrivsepConfig {
+            messages: 20,
+            hostile_every: 5,
+            parse_ops: 10_000,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    Broker,
+    Parser,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BrokerState {
+    Forking,
+    AwaitingReply,
+    Reaping,
+}
+
+/// The privilege-separated message broker.
+#[derive(Clone, Debug)]
+pub struct Privsep {
+    /// Configuration.
+    pub cfg: PrivsepConfig,
+    role: Role,
+    state: BrokerState,
+    msg: u32,
+    to_parser: Option<(Fd, Fd)>,
+    from_parser: Option<(Fd, Fd)>,
+    /// Messages parsed successfully.
+    pub parsed: u64,
+    /// Hostile messages contained (parser died, broker unharmed).
+    pub contained: u64,
+}
+
+const BUF_REG: usize = 9;
+
+impl Privsep {
+    /// Creates the broker.
+    pub fn new(cfg: PrivsepConfig) -> Privsep {
+        Privsep {
+            cfg,
+            role: Role::Broker,
+            state: BrokerState::Forking,
+            msg: 0,
+            to_parser: None,
+            from_parser: None,
+            parsed: 0,
+            contained: 0,
+        }
+    }
+
+    fn hostile(&self, msg: u32) -> bool {
+        self.cfg.hostile_every != 0 && msg % self.cfg.hostile_every == self.cfg.hostile_every - 1
+    }
+
+    fn send(&self, env: &mut dyn Env, fd: Fd, value: u64) -> Result<(), Errno> {
+        let buf = env.reg(BUF_REG)?;
+        env.store_u64(&buf.with_addr(buf.base()).map_err(|_| Errno::Fault)?, value)?;
+        env.sys_write(fd, &buf, 8)?;
+        Ok(())
+    }
+}
+
+impl Program for Privsep {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match (self.role, input) {
+            (Role::Broker, Resume::Start) => {
+                let buf = env.malloc(64).expect("message buffer");
+                env.set_reg(BUF_REG, buf).expect("register");
+                if self.cfg.messages == 0 {
+                    return StepOutcome::Exit(0);
+                }
+                self.to_parser = Some(env.sys_pipe().expect("pipe"));
+                self.from_parser = Some(env.sys_pipe().expect("pipe"));
+                StepOutcome::Fork
+            }
+            (Role::Broker, Resume::Forked(ForkResult::Child)) => {
+                self.role = Role::Parser;
+                // Close the ends the parser does not use, so the broker
+                // sees EOF if we die (the privilege-separation idiom).
+                let _ = env.sys_close(self.to_parser.expect("pipes").1);
+                let _ = env.sys_close(self.from_parser.expect("pipes").0);
+                let buf = env.reg(BUF_REG).expect("buffer");
+                StepOutcome::Block(BlockingCall::Read {
+                    fd: self.to_parser.expect("pipes").0,
+                    buf,
+                    len: 8,
+                })
+            }
+            (Role::Broker, Resume::Forked(ForkResult::Parent(_))) => {
+                // Close the ends the broker does not use.
+                let _ = env.sys_close(self.to_parser.expect("pipes").0);
+                let _ = env.sys_close(self.from_parser.expect("pipes").1);
+                // Send the first message.
+                if self
+                    .send(env, self.to_parser.expect("pipes").1, u64::from(self.msg))
+                    .is_err()
+                {
+                    return StepOutcome::Exit(1);
+                }
+                self.state = BrokerState::AwaitingReply;
+                let buf = env.reg(BUF_REG).expect("buffer");
+                StepOutcome::Block(BlockingCall::Read {
+                    fd: self.from_parser.expect("pipes").0,
+                    buf,
+                    len: 8,
+                })
+            }
+            (Role::Broker, Resume::Ret(r)) => match self.state {
+                BrokerState::AwaitingReply => {
+                    match r {
+                        Ok(n) if n > 0 => {
+                            // Parser replied: message handled.
+                            self.parsed += 1;
+                        }
+                        _ => {
+                            // EOF or error: the parser died mid-message —
+                            // a contained breach attempt.
+                            self.contained += 1;
+                        }
+                    }
+                    self.state = BrokerState::Reaping;
+                    StepOutcome::Block(BlockingCall::Wait)
+                }
+                BrokerState::Reaping => {
+                    self.msg += 1;
+                    // Drop the previous message's pipe ends.
+                    let _ = env.sys_close(self.to_parser.expect("pipes").1);
+                    let _ = env.sys_close(self.from_parser.expect("pipes").0);
+                    if self.msg >= self.cfg.messages {
+                        return StepOutcome::Exit(0);
+                    }
+                    // Fresh pipes + parser for the next message (one
+                    // parser per message, qmail-style).
+                    self.to_parser = Some(env.sys_pipe().expect("pipe"));
+                    self.from_parser = Some(env.sys_pipe().expect("pipe"));
+                    self.state = BrokerState::Forking;
+                    StepOutcome::Fork
+                }
+                BrokerState::Forking => StepOutcome::Exit(1),
+            },
+            (Role::Parser, Resume::Ret(r)) => {
+                // Received a message to parse.
+                let Ok(n) = r else {
+                    return StepOutcome::Exit(1);
+                };
+                if n == 0 {
+                    return StepOutcome::Exit(0);
+                }
+                env.cpu_ops(self.cfg.parse_ops);
+                let buf = env.reg(BUF_REG).expect("buffer");
+                let msg = env
+                    .load_u64(&buf.with_addr(buf.base()).expect("cursor"))
+                    .expect("readable") as u32;
+                if self.hostile(msg) {
+                    // The hostile payload tries to read outside the
+                    // parser's region — μFork refuses; the parser dies
+                    // without replying.
+                    let breach = env.reg(0).expect("root");
+                    let outside = breach.with_addr(breach.base().wrapping_sub(4096));
+                    if let Ok(c) = outside {
+                        if env.load(&c, &mut [0u8; 8]).is_ok() {
+                            // Escaped! (Isolation off.) Report loudly.
+                            return StepOutcome::Exit(66);
+                        }
+                    }
+                    return StepOutcome::Exit(139);
+                }
+                if self
+                    .send(
+                        env,
+                        self.from_parser.expect("pipes").1,
+                        u64::from(msg) + 1000,
+                    )
+                    .is_err()
+                {
+                    return StepOutcome::Exit(1);
+                }
+                StepOutcome::Exit(0)
+            }
+            (r, i) => unreachable!("bad privsep transition: {r:?} / {i:?}"),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,182 @@
+//! The Redis hash table, living entirely in simulated μprocess memory.
+//!
+//! Layout:
+//!
+//! ```text
+//! dict handle (32 B):   [0] buckets cap   [16] capacity u64  [24] size u64
+//! bucket array:         capacity × 16 B capability slots (chain heads)
+//! entry (64 B):         [0] key cap  [16] val cap  [32] next cap
+//!                       [48] key_len u32  [52] val_len u32
+//! key / value objects:  raw byte blocks (sds-style)
+//! ```
+//!
+//! Every link is a real capability in simulated memory: after a fork, the
+//! serializer's walk performs exactly the capability loads that CoPA
+//! turns into page copies + relocations.
+
+use ufork_abi::{Capability, Env, Errno, SysResult};
+
+/// FNV-1a (host-side hash; the CPU cost is charged to the program).
+fn hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// A handle to an in-memory dict.
+#[derive(Clone, Copy, Debug)]
+pub struct Dict {
+    handle: Capability,
+}
+
+const E_KEY: u64 = 0;
+const E_VAL: u64 = 16;
+const E_NEXT: u64 = 32;
+const E_KLEN: u64 = 48;
+
+impl Dict {
+    /// Allocates an empty dict with `buckets` chain heads.
+    pub fn create(env: &mut dyn Env, buckets: u64) -> SysResult<Dict> {
+        let handle = env.malloc(32)?;
+        let bucket_arr = env.malloc(buckets * 16)?;
+        env.store_cap_at(&handle, 0, &bucket_arr)?;
+        env.store_u64(&at(&handle, 16)?, buckets)?;
+        env.store_u64(&at(&handle, 24)?, 0)?;
+        Ok(Dict { handle })
+    }
+
+    /// Rebuilds the handle from a register value.
+    pub fn from_handle(handle: Capability) -> Dict {
+        Dict { handle }
+    }
+
+    /// The handle capability (to park in a register across forks).
+    pub fn handle(&self) -> Capability {
+        self.handle
+    }
+
+    fn buckets(&self, env: &mut dyn Env) -> SysResult<(Capability, u64)> {
+        let arr = env.load_cap_at(&self.handle, 0)?.ok_or(Errno::Fault)?;
+        let cap = env.load_u64(&at(&self.handle, 16)?)?;
+        Ok((arr, cap))
+    }
+
+    /// Number of entries.
+    pub fn len(&self, env: &mut dyn Env) -> SysResult<u64> {
+        env.load_u64(&at(&self.handle, 24)?)
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self, env: &mut dyn Env) -> SysResult<bool> {
+        Ok(self.len(env)? == 0)
+    }
+
+    /// Inserts a key/value pair (no duplicate check: the workload uses
+    /// unique keys, as Redis' keyspace does).
+    pub fn insert(&self, env: &mut dyn Env, key: &[u8], val: &[u8]) -> SysResult<()> {
+        env.cpu_ops(key.len() as u64 + 20); // hash + bucket chase
+        let (arr, nbuckets) = self.buckets(env)?;
+        let idx = hash(key) % nbuckets;
+
+        let kcap = env.malloc(key.len().max(1) as u64)?;
+        env.store(&kcap.with_addr(kcap.base()).map_err(|_| Errno::Fault)?, key)?;
+        let vcap = env.malloc(val.len().max(1) as u64)?;
+        env.store(&vcap.with_addr(vcap.base()).map_err(|_| Errno::Fault)?, val)?;
+        let entry = env.malloc(64)?;
+        env.store_cap_at(&entry, E_KEY, &kcap)?;
+        env.store_cap_at(&entry, E_VAL, &vcap)?;
+        let mut lens = [0u8; 8];
+        lens[..4].copy_from_slice(&(key.len() as u32).to_le_bytes());
+        lens[4..].copy_from_slice(&(val.len() as u32).to_le_bytes());
+        env.store(&at(&entry, E_KLEN)?, &lens)?;
+
+        // Chain onto the bucket head.
+        if let Some(head) = env.load_cap_at(&arr, idx * 16)? {
+            env.store_cap_at(&entry, E_NEXT, &head)?;
+        }
+        env.store_cap_at(&arr, idx * 16, &entry)?;
+        let n = self.len(env)?;
+        env.store_u64(&at(&self.handle, 24)?, n + 1)?;
+        Ok(())
+    }
+
+    /// Looks a key up, returning `(value cap, value length)`.
+    pub fn get(&self, env: &mut dyn Env, key: &[u8]) -> SysResult<Option<(Capability, u32)>> {
+        env.cpu_ops(key.len() as u64 + 20);
+        let (arr, nbuckets) = self.buckets(env)?;
+        let idx = hash(key) % nbuckets;
+        let mut cur = env.load_cap_at(&arr, idx * 16)?;
+        while let Some(entry) = cur {
+            let kcap = env.load_cap_at(&entry, E_KEY)?.ok_or(Errno::Fault)?;
+            let mut lens = [0u8; 8];
+            env.load(&at(&entry, E_KLEN)?, &mut lens)?;
+            let klen = u32::from_le_bytes(lens[..4].try_into().expect("4 bytes"));
+            let vlen = u32::from_le_bytes(lens[4..].try_into().expect("4 bytes"));
+            if klen as usize == key.len() {
+                let mut kb = vec![0u8; klen as usize];
+                env.load(
+                    &kcap.with_addr(kcap.base()).map_err(|_| Errno::Fault)?,
+                    &mut kb,
+                )?;
+                env.cpu_ops(klen as u64);
+                if kb == key {
+                    let vcap = env.load_cap_at(&entry, E_VAL)?.ok_or(Errno::Fault)?;
+                    return Ok(Some((vcap, vlen)));
+                }
+            }
+            cur = env.load_cap_at(&entry, E_NEXT)?;
+        }
+        Ok(None)
+    }
+
+    /// Overwrites the beginning of a value in place (dirties its pages:
+    /// the parent-side CoW workload during a background save).
+    pub fn update_in_place(&self, env: &mut dyn Env, key: &[u8], val: &[u8]) -> SysResult<()> {
+        let Some((vcap, vlen)) = self.get(env, key)? else {
+            return Err(Errno::NoEnt);
+        };
+        let n = (vlen as usize).min(val.len());
+        env.store(
+            &vcap.with_addr(vcap.base()).map_err(|_| Errno::Fault)?,
+            &val[..n],
+        )?;
+        Ok(())
+    }
+
+    /// Visits every entry in bucket order: `f(key_bytes, val_cap, val_len)`.
+    pub fn for_each_entry(
+        &self,
+        env: &mut dyn Env,
+        f: &mut dyn FnMut(&mut dyn Env, &[u8], Capability, u32) -> SysResult<()>,
+    ) -> SysResult<()> {
+        let (arr, nbuckets) = self.buckets(env)?;
+        for b in 0..nbuckets {
+            env.cpu_ops(2);
+            let mut cur = env.load_cap_at(&arr, b * 16)?;
+            while let Some(entry) = cur {
+                let kcap = env.load_cap_at(&entry, E_KEY)?.ok_or(Errno::Fault)?;
+                let vcap = env.load_cap_at(&entry, E_VAL)?.ok_or(Errno::Fault)?;
+                let mut lens = [0u8; 8];
+                env.load(&at(&entry, E_KLEN)?, &mut lens)?;
+                let klen = u32::from_le_bytes(lens[..4].try_into().expect("4 bytes"));
+                let vlen = u32::from_le_bytes(lens[4..].try_into().expect("4 bytes"));
+                let mut kb = vec![0u8; klen as usize];
+                env.load(
+                    &kcap.with_addr(kcap.base()).map_err(|_| Errno::Fault)?,
+                    &mut kb,
+                )?;
+                f(env, &kb, vcap, vlen)?;
+                cur = env.load_cap_at(&entry, E_NEXT)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Derives a cursor at `base + off` of a capability.
+pub(crate) fn at(cap: &Capability, off: u64) -> SysResult<Capability> {
+    cap.with_addr(cap.base() + off).map_err(|_| Errno::Fault)
+}

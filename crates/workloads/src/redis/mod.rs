@@ -1,0 +1,212 @@
+//! A Redis-like in-memory key-value store with fork-based snapshots.
+//!
+//! Reproduces the structure the paper's Redis experiments exercise
+//! (Figures 3–5): an in-memory database whose hash table, entries, and
+//! string objects live in simulated μprocess memory behind capabilities,
+//! and a `BGSAVE` that forks and serializes the database to a ram-disk
+//! file in the child while sharing memory copy-on-*.
+//!
+//! The pointer graph is what the experiments measure: walking it in the
+//! child triggers CoPA capability-load faults on the pages holding
+//! buckets and entries, while the (pointer-free) value payload pages stay
+//! shared — the mechanism behind the paper's CoPA memory savings.
+
+mod dict;
+mod rdb;
+
+pub use dict::Dict;
+pub use rdb::{rdb_parse, rdb_save, RDB_MAGIC};
+
+use std::any::Any;
+
+use ufork_abi::{BlockingCall, Env, ForkResult, Program, Resume, StepOutcome};
+
+/// Redis workload configuration.
+#[derive(Clone, Debug)]
+pub struct RedisConfig {
+    /// Number of entries.
+    pub entries: u64,
+    /// Value size in bytes (the paper uses 100 KB).
+    pub val_bytes: u64,
+    /// Hash-table bucket count (power of two).
+    pub buckets: u64,
+    /// Dump file path.
+    pub dump_path: String,
+    /// Scratch memory the *child* dirties during the save, as a fraction
+    /// of the database size. Models CheriBSD's observed allocator
+    /// behaviour (paper §5.1: 56 MB forked-Redis consumption attributed
+    /// to allocator memory consumption; ~0 on μFork's static heap).
+    pub child_scratch_fraction: f64,
+    /// Keys the parent overwrites while the save runs (exercises
+    /// parent-side CoW).
+    pub parent_writes_during_save: u64,
+}
+
+impl RedisConfig {
+    /// A database of `entries` × `val_bytes`, defaults elsewhere.
+    pub fn sized(entries: u64, val_bytes: u64) -> RedisConfig {
+        RedisConfig {
+            entries,
+            val_bytes,
+            buckets: (entries * 2).next_power_of_two().max(16),
+            dump_path: "dump.rdb".to_string(),
+            child_scratch_fraction: 0.0,
+            parent_writes_during_save: 0,
+        }
+    }
+
+    /// Total payload bytes.
+    pub fn db_bytes(&self) -> u64 {
+        self.entries * self.val_bytes
+    }
+
+    /// Heap size to build the image with (the μFork prototype's
+    /// build-time static heap, sized ~1.37× the database like the paper's
+    /// 136.7 MB heap for the 100 MB experiment).
+    pub fn heap_bytes(&self) -> u64 {
+        let need = self.db_bytes() + self.entries * 4096 + (4 << 20);
+        (need as f64 * 1.3) as u64
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Boot,
+    Populated,
+    Saving,
+}
+
+/// The Redis server program: populate, BGSAVE via fork, wait, exit.
+///
+/// Timing is read from the machine's fork/exit logs by the harness; the
+/// program also records its own phase timestamps.
+#[derive(Clone, Debug)]
+pub struct RedisServer {
+    /// Configuration.
+    pub cfg: RedisConfig,
+    phase: Phase,
+    /// Simulated time when BGSAVE was initiated (just before fork).
+    pub bgsave_started: f64,
+    /// Simulated time when the save completed (child reaped).
+    pub bgsave_finished: f64,
+}
+
+/// Register slot for the dict handle.
+pub const DICT_REG: usize = 4;
+/// Register slot for the child's I/O scratch buffer.
+const SCRATCH_REG: usize = 5;
+
+impl RedisServer {
+    /// Creates the server program.
+    pub fn new(cfg: RedisConfig) -> RedisServer {
+        RedisServer {
+            cfg,
+            phase: Phase::Boot,
+            bgsave_started: 0.0,
+            bgsave_finished: 0.0,
+        }
+    }
+
+    fn populate(&self, env: &mut dyn Env) -> Result<(), ufork_abi::Errno> {
+        let dict = Dict::create(env, self.cfg.buckets)?;
+        env.set_reg(DICT_REG, dict.handle())?;
+        let mut val = vec![0u8; self.cfg.val_bytes as usize];
+        for i in 0..self.cfg.entries {
+            let key = format!("key:{i:012}");
+            // Deterministic, entry-specific payload (verified by tests
+            // against the dump).
+            let b = (i as u8).wrapping_mul(31).wrapping_add(7);
+            val.iter_mut().enumerate().for_each(|(j, v)| {
+                *v = b.wrapping_add((j % 251) as u8);
+            });
+            dict.insert(env, key.as_bytes(), &val)?;
+        }
+        Ok(())
+    }
+
+    fn serialize(&self, env: &mut dyn Env) -> Result<(), ufork_abi::Errno> {
+        let dict = Dict::from_handle(env.reg(DICT_REG)?);
+        // Optional scratch churn modelling the baseline's allocator
+        // behaviour during the save.
+        let scratch = (self.cfg.db_bytes() as f64 * self.cfg.child_scratch_fraction) as u64;
+        if scratch > 0 {
+            let chunk = 1 << 20;
+            let mut left = scratch;
+            while left > 0 {
+                let n = chunk.min(left);
+                let c = env.malloc(n)?;
+                // Touch every page of the scratch allocation.
+                let zeros = vec![0u8; 4096];
+                let mut off = 0;
+                while off < n {
+                    env.store(
+                        &c.with_addr(c.base() + off)
+                            .map_err(|_| ufork_abi::Errno::Fault)?,
+                        &zeros[..(4096).min((n - off) as usize)],
+                    )?;
+                    off += 4096;
+                }
+                left -= n;
+            }
+        }
+        let tmp = format!("{}.tmp", self.cfg.dump_path);
+        rdb::rdb_save(env, &dict, &tmp)?;
+        env.sys_rename(&tmp, &self.cfg.dump_path)?;
+        Ok(())
+    }
+}
+
+impl Program for RedisServer {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match (self.phase, input) {
+            (Phase::Boot, Resume::Start) => {
+                if self.populate(env).is_err() {
+                    return StepOutcome::Exit(1);
+                }
+                let scratch = env.malloc(64 * 1024).expect("scratch buffer");
+                env.set_reg(SCRATCH_REG, scratch).expect("register");
+                self.phase = Phase::Populated;
+                // Yield once so BGSAVE starts on a fresh scheduling step
+                // (the harness samples memory between populate and fork).
+                StepOutcome::Block(BlockingCall::Yield)
+            }
+            (Phase::Populated, Resume::Ret(_)) => {
+                self.bgsave_started = env.now();
+                self.phase = Phase::Saving;
+                StepOutcome::Fork
+            }
+            (Phase::Saving, Resume::Forked(ForkResult::Child)) => {
+                let code = if self.serialize(env).is_ok() { 0 } else { 1 };
+                StepOutcome::Exit(code)
+            }
+            (Phase::Saving, Resume::Forked(ForkResult::Parent(_))) => {
+                // Handle a few writes while the child saves (CoW).
+                if self.cfg.parent_writes_during_save > 0 {
+                    let dict = Dict::from_handle(env.reg(DICT_REG).expect("dict"));
+                    let val = vec![0xEEu8; self.cfg.val_bytes.min(4096) as usize];
+                    for i in 0..self.cfg.parent_writes_during_save {
+                        let key = format!("key:{:012}", i % self.cfg.entries.max(1));
+                        let _ = dict.update_in_place(env, key.as_bytes(), &val);
+                    }
+                }
+                StepOutcome::Block(BlockingCall::Wait)
+            }
+            (Phase::Saving, Resume::Ret(r)) => {
+                self.bgsave_finished = env.now();
+                match r {
+                    Ok(status) if (status >> 32) == 0 => StepOutcome::Exit(0),
+                    _ => StepOutcome::Exit(1),
+                }
+            }
+            (p, i) => unreachable!("bad redis transition: {p:?} / {i:?}"),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

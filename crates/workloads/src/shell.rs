@@ -1,0 +1,132 @@
+//! Shell-style `fork + exec` (paper pattern U1: "running an executable
+//! via Bash").
+//!
+//! The shell forks itself, the child `exec`s a fresh command image — the
+//! pattern modern SASOSes support even without full fork (paper §2.3) and
+//! the one μFork supports *in addition to* everything else.
+
+use std::any::Any;
+
+use ufork_abi::{
+    BlockingCall, Env, ForkResult, ImageSpec, Program, ProgramBox, Resume, StepOutcome,
+};
+
+/// A command the shell runs: compute then write its result to a file.
+#[derive(Clone, Debug)]
+pub struct Command {
+    /// Output path in the ram disk.
+    pub output: String,
+    /// Work (generic ops).
+    pub ops: u64,
+    /// Exit code to finish with.
+    pub code: i32,
+}
+
+impl Program for Command {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => {
+                env.cpu_ops(self.ops);
+                let run = (|| -> Result<(), ufork_abi::Errno> {
+                    let buf = env.malloc(64)?;
+                    let pid = env.sys_getpid();
+                    let msg = format!("done by pid {}", pid.0);
+                    env.store(
+                        &buf.with_addr(buf.base())
+                            .map_err(|_| ufork_abi::Errno::Fault)?,
+                        msg.as_bytes(),
+                    )?;
+                    let fd = env.sys_open(&self.output, true)?;
+                    env.sys_write(fd, &buf, msg.len() as u64)?;
+                    env.sys_close(fd)?;
+                    Ok(())
+                })();
+                StepOutcome::Exit(if run.is_ok() { self.code } else { 1 })
+            }
+            _ => StepOutcome::Exit(1),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A minimal shell: runs each command via fork + exec + wait.
+#[derive(Clone, Debug)]
+pub struct Shell {
+    /// Commands left to run.
+    pub commands: Vec<Command>,
+    next: usize,
+    /// Exit statuses collected from children (`code` of each command).
+    pub statuses: Vec<i32>,
+}
+
+impl Shell {
+    /// A shell that will run the given commands in order.
+    pub fn new(commands: Vec<Command>) -> Shell {
+        Shell {
+            commands,
+            next: 0,
+            statuses: Vec::new(),
+        }
+    }
+
+    fn command_image(cmd: &Command) -> ImageSpec {
+        ImageSpec {
+            name: format!("cmd-{}", cmd.output),
+            text_bytes: 32 * 1024,
+            data_bytes: 8 * 1024,
+            heap_bytes: 64 * 1024,
+            stack_bytes: 32 * 1024,
+            got_slots: 32,
+        }
+    }
+}
+
+impl Program for Shell {
+    fn resume(&mut self, _env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => {
+                if self.commands.is_empty() {
+                    StepOutcome::Exit(0)
+                } else {
+                    StepOutcome::Fork
+                }
+            }
+            Resume::Forked(ForkResult::Child) => {
+                // The child becomes the command: execve replaces the image
+                // (and this very program) entirely.
+                let cmd = self.commands[self.next].clone();
+                let image = Shell::command_image(&cmd);
+                StepOutcome::Exec {
+                    image,
+                    program: ProgramBox(Box::new(cmd)),
+                }
+            }
+            Resume::Forked(ForkResult::Parent(_)) => StepOutcome::Block(BlockingCall::Wait),
+            Resume::Ret(Ok(status)) => {
+                self.statuses.push((status >> 32) as i32);
+                self.next += 1;
+                if self.next < self.commands.len() {
+                    StepOutcome::Fork
+                } else {
+                    StepOutcome::Exit(0)
+                }
+            }
+            Resume::Ret(Err(_)) => StepOutcome::Exit(1),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

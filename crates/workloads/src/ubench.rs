@@ -1,0 +1,191 @@
+//! Unixbench ports: Spawn (fork latency) and Context1 (pipe IPC).
+
+use std::any::Any;
+
+use ufork_abi::{BlockingCall, Env, Errno, Fd, ForkResult, Program, Resume, StepOutcome};
+
+/// Unixbench *Spawn*: fork + exit + wait, `iterations` times, as fast as
+/// possible (paper Figure 9, left).
+#[derive(Clone, Debug)]
+pub struct SpawnBench {
+    /// Forks remaining.
+    pub remaining: u32,
+}
+
+impl SpawnBench {
+    /// A spawn benchmark of `n` iterations (the paper uses 1000).
+    pub fn new(n: u32) -> SpawnBench {
+        SpawnBench { remaining: n }
+    }
+}
+
+impl Program for SpawnBench {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => {
+                if self.remaining == 0 {
+                    StepOutcome::Exit(0)
+                } else {
+                    StepOutcome::Fork
+                }
+            }
+            Resume::Forked(ForkResult::Child) => {
+                env.cpu_ops(50); // execve-less child: just exit
+                StepOutcome::Exit(0)
+            }
+            Resume::Forked(ForkResult::Parent(_)) => StepOutcome::Block(BlockingCall::Wait),
+            Resume::Ret(Ok(_)) => {
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    StepOutcome::Exit(0)
+                } else {
+                    StepOutcome::Fork
+                }
+            }
+            Resume::Ret(Err(_)) => StepOutcome::Exit(1),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum C1State {
+    Setup,
+    /// Waiting for the counter on our inbound pipe.
+    Pumping,
+}
+
+/// Unixbench *Context1*: two processes bounce an incrementing counter
+/// through a pair of pipes until it reaches `limit` (paper Figure 9,
+/// right: 100 k iterations — each one costs two context switches and four
+/// kernel entries).
+#[derive(Clone, Debug)]
+pub struct Context1 {
+    /// Final counter value.
+    pub limit: u64,
+    state: C1State,
+    is_child: bool,
+    // fds (plain data; valid across fork by POSIX fd inheritance)
+    p2c: Option<(Fd, Fd)>,
+    c2p: Option<(Fd, Fd)>,
+    /// Iterations this side completed (for the harness).
+    pub seen: u64,
+}
+
+/// Register slot holding the 16-byte message buffer.
+const BUF_REG: usize = 6;
+
+impl Context1 {
+    /// A context-switch benchmark running to `limit`.
+    pub fn new(limit: u64) -> Context1 {
+        Context1 {
+            limit,
+            state: C1State::Setup,
+            is_child: false,
+            p2c: None,
+            c2p: None,
+            seen: 0,
+        }
+    }
+
+    fn in_fd(&self) -> Fd {
+        if self.is_child {
+            self.p2c.expect("pipes created").0
+        } else {
+            self.c2p.expect("pipes created").0
+        }
+    }
+
+    fn out_fd(&self) -> Fd {
+        if self.is_child {
+            self.c2p.expect("pipes created").1
+        } else {
+            self.p2c.expect("pipes created").1
+        }
+    }
+
+    fn block_read(&self, env: &mut dyn Env) -> StepOutcome {
+        let buf = env.reg(BUF_REG).expect("buffer allocated");
+        StepOutcome::Block(BlockingCall::Read {
+            fd: self.in_fd(),
+            buf,
+            len: 8,
+        })
+    }
+
+    fn send(&self, env: &mut dyn Env, value: u64) -> Result<(), Errno> {
+        let buf = env.reg(BUF_REG)?;
+        env.store_u64(&buf.with_addr(buf.base()).map_err(|_| Errno::Fault)?, value)?;
+        env.sys_write(self.out_fd(), &buf, 8)?;
+        Ok(())
+    }
+
+    fn recv(&self, env: &mut dyn Env) -> Result<u64, Errno> {
+        let buf = env.reg(BUF_REG)?;
+        env.load_u64(&buf.with_addr(buf.base()).map_err(|_| Errno::Fault)?)
+    }
+}
+
+impl Program for Context1 {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match (self.state, input) {
+            (C1State::Setup, Resume::Start) => {
+                let p2c = env.sys_pipe().expect("pipe");
+                let c2p = env.sys_pipe().expect("pipe");
+                self.p2c = Some(p2c);
+                self.c2p = Some(c2p);
+                let buf = env.malloc(16).expect("message buffer");
+                env.set_reg(BUF_REG, buf).expect("register");
+                StepOutcome::Fork
+            }
+            (C1State::Setup, Resume::Forked(fr)) => {
+                self.is_child = matches!(fr, ForkResult::Child);
+                self.state = C1State::Pumping;
+                if self.is_child {
+                    // Child kicks off the exchange.
+                    if self.send(env, 1).is_err() {
+                        return StepOutcome::Exit(1);
+                    }
+                }
+                self.block_read(env)
+            }
+            (C1State::Pumping, Resume::Ret(Ok(n))) => {
+                if n == 0 {
+                    // Peer exited (EOF): we are done too.
+                    return StepOutcome::Exit(0);
+                }
+                let v = match self.recv(env) {
+                    Ok(v) => v,
+                    Err(_) => return StepOutcome::Exit(1),
+                };
+                self.seen = v;
+                if v >= self.limit {
+                    // Propagate the final value once, then stop.
+                    let _ = self.send(env, v + 1);
+                    return StepOutcome::Exit(0);
+                }
+                if self.send(env, v + 1).is_err() {
+                    return StepOutcome::Exit(1);
+                }
+                self.block_read(env)
+            }
+            (_, Resume::Ret(Err(_))) => StepOutcome::Exit(1),
+            (s, i) => unreachable!("bad context1 transition: {s:?} / {i:?}"),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,88 @@
+//! Isolation demo: every attack the μFork threat model (paper §3.3,
+//! §4.3–4.4) defends against, attempted and refused.
+//!
+//! ```text
+//! cargo run --example isolation_demo
+//! ```
+
+use ufork_repro::abi::{Errno, ImageSpec, Pid};
+use ufork_repro::cheri::{Capability, OType, Perms};
+use ufork_repro::exec::{Ctx, MemOs};
+use ufork_repro::ufork::{UforkConfig, UforkOs};
+
+fn main() {
+    let mut os = UforkOs::new(UforkConfig::default());
+    let mut ctx = Ctx::new();
+    os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+        .unwrap();
+    os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
+    println!("booted μFork; parent Pid(1) forked child Pid(2)\n");
+
+    // Attack 1: the child uses a stale capability into the parent region
+    // (a pointer smuggled around the relocation machinery).
+    let parent_root = os.reg(Pid(1), 0).unwrap();
+    let r = os.load(&mut ctx, Pid(2), &parent_root, &mut [0u8; 8]);
+    println!("1. child dereferences parent capability      -> {r:?}");
+    assert_eq!(r.unwrap_err(), Errno::Fault);
+
+    // Attack 2: forging a capability to kernel memory. (In Rust we can
+    // construct the value, as an attacker with an arbitrary-write gadget
+    // might try; the kernel's confinement check is what stops it — on
+    // hardware the tag would never be set in the first place.)
+    let forged = Capability::new_root(0xffff_0000_0000, 4096, Perms::kernel());
+    let r = os.store(&mut ctx, Pid(2), &forged, b"pwn");
+    println!("2. child dereferences forged kernel pointer  -> {r:?}");
+    assert_eq!(r.unwrap_err(), Errno::Fault);
+
+    // Attack 3: widening a legitimate capability (monotonicity).
+    let child_root = os.reg(Pid(2), 0).unwrap();
+    let widened = child_root.with_bounds(child_root.base() - 4096, child_root.len() + 8192);
+    println!("3. child widens its own root capability      -> {widened:?}");
+    assert!(widened.is_err());
+
+    // Attack 4: jumping into the kernel anywhere but the syscall gate.
+    let gate = os.gate().clone();
+    let entry = gate.user_entry();
+    println!(
+        "4a. legitimate sealed syscall entry           -> {:?}",
+        gate.enter(&entry)
+    );
+    let retarget = entry.with_addr(0xffff_0000_2000);
+    println!("4b. retargeting the sealed entry capability   -> {retarget:?}");
+    assert!(retarget.is_err());
+
+    // Attack 5: privileged instructions — user capabilities never carry
+    // the SYSTEM permission.
+    println!(
+        "5. child root has SYSTEM permission?          -> {}",
+        child_root.perms().contains(Perms::SYSTEM)
+    );
+    assert!(!child_root.perms().contains(Perms::SYSTEM));
+
+    // Attack 6: leaking a capability through shared memory — shm mappings
+    // carry no capability-store permission.
+    let shm = os.shm_open(&mut ctx, Pid(1), "leak", 4096).unwrap();
+    let secret = os.malloc(&mut ctx, Pid(1), 64).unwrap();
+    let r = os.store_cap(&mut ctx, Pid(1), &shm, &secret);
+    println!("6. storing a capability into shared memory   -> {r:?}");
+    assert_eq!(r.unwrap_err(), Errno::Fault);
+
+    // Attack 7: sealing mischief — unsealing with an authority whose
+    // otype range does not cover the gate's otype. (An authority that
+    // *does* cover it can only be minted by `new_root`, which is the
+    // kernel's boot-time privilege: on hardware no μprocess can ever hold
+    // one, as capabilities are unforgeable.)
+    let wrong_range =
+        Capability::new_root(u64::from(OType::SYSCALL_ENTRY.raw()) + 1, 64, Perms::UNSEAL);
+    let r = entry.unseal(&wrong_range);
+    println!("7. unsealing the gate with wrong authority    -> {r:?}");
+    assert!(r.is_err());
+
+    println!(
+        "\n{} isolation violations recorded by the kernel; audits: parent {} / child {}",
+        ctx.counters.isolation_violations,
+        os.audit_isolation(Pid(1)),
+        os.audit_isolation(Pid(2)),
+    );
+    println!("All attacks refused.");
+}

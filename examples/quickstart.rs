@@ -1,0 +1,59 @@
+//! Quickstart: boot a μFork machine, run a program that forks, and watch
+//! what the kernel did.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ufork_repro::abi::{ImageSpec, Pid};
+use ufork_repro::exec::{Machine, MachineConfig, MemOs};
+use ufork_repro::ufork::{UforkConfig, UforkOs};
+use ufork_repro::workloads::hello::HelloWorld;
+
+fn main() {
+    // 1. Boot a μFork kernel: one address space, CoPA fork, full
+    //    (adversarial) isolation — all defaults.
+    let os = UforkOs::new(UforkConfig::default());
+    let mut machine = Machine::new(os, MachineConfig::default());
+
+    // 2. Spawn a minimal μprocess that forks once.
+    let pid = machine
+        .spawn(&ImageSpec::hello_world(), Box::new(HelloWorld::forking()))
+        .expect("spawn");
+
+    // 3. Step until the fork completes so we can observe the child while
+    //    it is alive, then run to completion.
+    while machine.fork_log().is_empty() && machine.step() {}
+    let fork = machine.fork_log()[0];
+    let child_mem = machine.os.mem_stats(fork.child);
+    // The isolation invariant holds right after fork...
+    assert_eq!(machine.os.audit_isolation(pid), 0);
+    assert_eq!(machine.os.audit_isolation(fork.child), 0);
+    machine.run();
+
+    // 4. Inspect.
+    assert_eq!(machine.exit_code(pid), Some(0));
+    println!(
+        "μFork machine finished at t = {:.1} µs",
+        machine.now() / 1e3
+    );
+    println!(
+        "fork(2): parent {:?} -> child {:?} in {:.1} µs",
+        fork.parent,
+        fork.child,
+        fork.latency_ns / 1e3
+    );
+    println!(
+        "child memory right after fork: {:.3} MB (proportional resident set, \
+         {} private / {} shared frames)",
+        child_mem.prs_mib(),
+        child_mem.private_frames,
+        child_mem.shared_frames
+    );
+    println!("\nkernel operation counters:\n{}", machine.counters());
+    println!(
+        "\nisolation audit: clean for {:?} and {:?}",
+        Pid(1),
+        fork.child
+    );
+}

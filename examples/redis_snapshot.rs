@@ -1,0 +1,71 @@
+//! Redis background snapshot (paper §5.1, U2+U4): fork, serialize in the
+//! child while the parent keeps writing, and verify the dump is an exact
+//! point-in-time snapshot.
+//!
+//! Runs the same workload under all three copy strategies and prints what
+//! each one actually copied.
+//!
+//! ```text
+//! cargo run --example redis_snapshot
+//! ```
+
+use ufork_repro::abi::{CopyStrategy, ImageSpec};
+use ufork_repro::exec::{Machine, MachineConfig, MemOs};
+use ufork_repro::ufork::{UforkConfig, UforkOs};
+use ufork_repro::workloads::redis::{rdb_parse, RedisConfig, RedisServer};
+
+fn main() {
+    for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
+        let mut rcfg = RedisConfig::sized(100, 8 * 1024); // 100 × 8 KB
+        rcfg.parent_writes_during_save = 25; // parent dirties 25 keys mid-save
+
+        let os = UforkOs::new(UforkConfig {
+            strategy,
+            phys_mib: 512,
+            ..UforkConfig::default()
+        });
+        let mut machine = Machine::new(os, MachineConfig::default());
+        let img = ImageSpec::with_heap("redis", rcfg.heap_bytes());
+        let pid = machine
+            .spawn(&img, Box::new(RedisServer::new(rcfg)))
+            .expect("spawn redis");
+        machine.run();
+        assert_eq!(machine.exit_code(pid), Some(0));
+
+        let server = machine.program::<RedisServer>(pid).expect("state");
+        let dump = machine.vfs().file_contents("dump.rdb").expect("dump.rdb");
+        let (entries, checksum_ok) = rdb_parse(dump).expect("valid dump");
+        assert!(checksum_ok);
+        assert_eq!(entries.len(), 100);
+        // The snapshot must show at-fork values even though the parent
+        // overwrote 25 of them with 0xEE during the save.
+        for (k, v) in &entries {
+            let i: u64 = String::from_utf8_lossy(&k[4..]).parse().expect("key id");
+            let b = (i as u8).wrapping_mul(31).wrapping_add(7);
+            assert!(
+                v.iter()
+                    .enumerate()
+                    .all(|(j, x)| *x == b.wrapping_add((j % 251) as u8)),
+                "entry {i} must hold its at-fork payload"
+            );
+        }
+
+        let c = machine.counters();
+        println!("strategy {strategy:?}:");
+        println!(
+            "  BGSAVE took {:.2} ms (dump: {} entries, {} bytes, checksum ok)",
+            (server.bgsave_finished - server.bgsave_started) / 1e6,
+            entries.len(),
+            dump.len()
+        );
+        println!(
+            "  pages copied: {} ({} eagerly at fork) | faults: {} CoW, {} CoA, {} cap-load",
+            c.pages_copied, c.pages_copied_eager, c.cow_faults, c.coa_faults, c.cap_load_faults
+        );
+        println!(
+            "  capabilities relocated: {} | granules scanned: {}\n",
+            c.caps_relocated, c.granules_scanned
+        );
+    }
+    println!("All three strategies produced byte-identical point-in-time snapshots.");
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the μFork reproduction.
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! use a single dependency. See `README.md` for an overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use ufork;
+pub use ufork_abi as abi;
+pub use ufork_baselines as baselines;
+pub use ufork_cheri as cheri;
+pub use ufork_exec as exec;
+pub use ufork_mem as mem;
+pub use ufork_sim as sim;
+pub use ufork_vmem as vmem;
+pub use ufork_workloads as workloads;

@@ -1,0 +1,287 @@
+//! End-to-end tests: full workloads on the full machine, on all three
+//! operating systems.
+
+use ufork_repro::abi::{ImageSpec, IsolationLevel, Pid};
+use ufork_repro::baselines::{mono, nephele, BaselineConfig};
+use ufork_repro::exec::{Machine, MachineConfig};
+use ufork_repro::ufork::{UforkConfig, UforkOs};
+use ufork_repro::workloads::hello::HelloWorld;
+use ufork_repro::workloads::redis::{rdb_parse, RedisConfig, RedisServer};
+use ufork_repro::workloads::ubench::{Context1, SpawnBench};
+
+fn ufork_machine(cores: usize) -> Machine<UforkOs> {
+    let mut cfg = UforkConfig::default();
+    cfg.phys_mib = 256;
+    Machine::new(
+        UforkOs::new(cfg),
+        MachineConfig {
+            cores,
+            ..MachineConfig::default()
+        },
+    )
+}
+
+#[test]
+fn hello_world_forks_on_ufork() {
+    let mut m = ufork_machine(1);
+    let pid = m
+        .spawn(&ImageSpec::hello_world(), Box::new(HelloWorld::forking()))
+        .unwrap();
+    m.run();
+    assert_eq!(m.exit_code(pid), Some(0));
+    assert_eq!(m.fork_log().len(), 1);
+    assert_eq!(m.exit_log().len(), 2);
+    let f = m.fork_log()[0];
+    assert!(f.latency_ns > 0.0);
+    // The paper's anchor: ~54 μs for a minimal μFork fork.
+    assert!(
+        f.latency_ns > 30_000.0 && f.latency_ns < 90_000.0,
+        "μFork hello fork latency {}ns should be in the tens of µs",
+        f.latency_ns
+    );
+}
+
+#[test]
+fn hello_world_forks_on_all_oses() {
+    // μFork.
+    let mut mu = ufork_machine(1);
+    let p1 = mu
+        .spawn(&ImageSpec::hello_world(), Box::new(HelloWorld::forking()))
+        .unwrap();
+    mu.run();
+    assert_eq!(mu.exit_code(p1), Some(0));
+    let lat_ufork = mu.fork_log()[0].latency_ns;
+
+    // CheriBSD-like.
+    let mut mc = Machine::new(mono(BaselineConfig::default()), MachineConfig::default());
+    let p2 = mc
+        .spawn(&ImageSpec::hello_world(), Box::new(HelloWorld::forking()))
+        .unwrap();
+    mc.run();
+    assert_eq!(mc.exit_code(p2), Some(0));
+    let lat_mono = mc.fork_log()[0].latency_ns;
+
+    // Nephele-like.
+    let mut mn = Machine::new(nephele(BaselineConfig::default()), MachineConfig::default());
+    let p3 = mn
+        .spawn(&ImageSpec::hello_world(), Box::new(HelloWorld::forking()))
+        .unwrap();
+    mn.run();
+    assert_eq!(mn.exit_code(p3), Some(0));
+    let lat_neph = mn.fork_log()[0].latency_ns;
+
+    // Paper ordering: μFork ≪ CheriBSD ≪ Nephele.
+    assert!(lat_ufork < lat_mono, "{lat_ufork} !< {lat_mono}");
+    assert!(lat_mono < lat_neph, "{lat_mono} !< {lat_neph}");
+    assert!(
+        lat_neph / lat_ufork > 50.0,
+        "Nephele should be orders of magnitude slower"
+    );
+}
+
+#[test]
+fn spawn_bench_runs_to_completion() {
+    let mut m = ufork_machine(1);
+    let pid = m
+        .spawn(&ImageSpec::hello_world(), Box::new(SpawnBench::new(50)))
+        .unwrap();
+    m.run();
+    assert_eq!(m.exit_code(pid), Some(0));
+    assert_eq!(m.fork_log().len(), 50);
+    assert_eq!(m.exit_log().len(), 51);
+    assert!(m.now() > 0.0);
+}
+
+#[test]
+fn context1_bounces_the_counter() {
+    let mut m = ufork_machine(1);
+    let pid = m
+        .spawn(&ImageSpec::hello_world(), Box::new(Context1::new(200)))
+        .unwrap();
+    m.run();
+    assert_eq!(m.exit_code(pid), Some(0), "parent must exit cleanly");
+    assert_eq!(m.exit_log().len(), 2);
+    // Parent sees even values, child odd: one of the two observed ≥ limit.
+    let parent_seen = m.program::<Context1>(pid).unwrap().seen;
+    assert!(
+        parent_seen >= 199,
+        "counter must have reached the limit: {parent_seen}"
+    );
+    // Each round trip context-switches.
+    assert!(m.counters().ctx_switches >= 100);
+}
+
+#[test]
+fn redis_snapshot_dump_is_exact_under_all_strategies() {
+    use ufork_repro::abi::CopyStrategy;
+    for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
+        let rcfg = RedisConfig::sized(40, 2048);
+        let mut ucfg = UforkConfig::default();
+        ucfg.strategy = strategy;
+        ucfg.phys_mib = 256;
+        let mut m = Machine::new(UforkOs::new(ucfg), MachineConfig::default());
+        let img = ImageSpec::with_heap("redis", rcfg.heap_bytes());
+        let pid = m
+            .spawn(&img, Box::new(RedisServer::new(rcfg.clone())))
+            .unwrap();
+        m.run();
+        assert_eq!(m.exit_code(pid), Some(0), "{strategy:?}");
+        let dump = m
+            .vfs()
+            .file_contents("dump.rdb")
+            .unwrap_or_else(|| panic!("{strategy:?}: dump.rdb missing"));
+        let (entries, checksum_ok) = rdb_parse(dump).expect("parseable dump");
+        assert!(checksum_ok, "{strategy:?}: checksum");
+        assert_eq!(entries.len(), 40, "{strategy:?}");
+        // Every key present with the expected deterministic payload.
+        let mut keys: Vec<_> = entries.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(k, format!("key:{i:012}").as_bytes());
+        }
+        for (k, v) in &entries {
+            let i: u64 = String::from_utf8_lossy(&k[4..]).parse().unwrap();
+            let b = (i as u8).wrapping_mul(31).wrapping_add(7);
+            assert_eq!(v.len(), 2048);
+            assert!(v
+                .iter()
+                .enumerate()
+                .all(|(j, x)| *x == b.wrapping_add((j % 251) as u8)));
+        }
+    }
+}
+
+#[test]
+fn redis_snapshot_is_consistent_despite_parent_writes() {
+    // The parent dirties values WHILE the child saves; the dump must
+    // reflect the at-fork state (CoW semantics), i.e. still parse with a
+    // valid checksum and original payloads.
+    let mut rcfg = RedisConfig::sized(20, 4096);
+    rcfg.parent_writes_during_save = 10;
+    let mut ucfg = UforkConfig::default();
+    ucfg.phys_mib = 256;
+    let mut m = Machine::new(UforkOs::new(ucfg), MachineConfig::default());
+    let img = ImageSpec::with_heap("redis", rcfg.heap_bytes());
+    let pid = m.spawn(&img, Box::new(RedisServer::new(rcfg))).unwrap();
+    m.run();
+    assert_eq!(m.exit_code(pid), Some(0));
+    let dump = m.vfs().file_contents("dump.rdb").expect("dump exists");
+    let (entries, checksum_ok) = rdb_parse(dump).expect("parseable");
+    assert!(checksum_ok);
+    assert_eq!(entries.len(), 20);
+    for (k, v) in &entries {
+        let i: u64 = String::from_utf8_lossy(&k[4..]).parse().unwrap();
+        let b = (i as u8).wrapping_mul(31).wrapping_add(7);
+        assert!(
+            v.iter()
+                .enumerate()
+                .all(|(j, x)| *x == b.wrapping_add((j % 251) as u8)),
+            "value of {} must be the at-fork snapshot, not the parent's 0xEE overwrite",
+            String::from_utf8_lossy(k)
+        );
+    }
+}
+
+#[test]
+fn redis_dump_identical_across_oses() {
+    let rcfg = RedisConfig::sized(25, 1024);
+    let img = ImageSpec::with_heap("redis", rcfg.heap_bytes());
+
+    let mut mu = ufork_machine(1);
+    let p1 = mu
+        .spawn(&img, Box::new(RedisServer::new(rcfg.clone())))
+        .unwrap();
+    mu.run();
+    assert_eq!(mu.exit_code(p1), Some(0));
+    let d1 = mu.vfs().file_contents("dump.rdb").unwrap().to_vec();
+
+    let mut bc = BaselineConfig::default();
+    bc.phys_mib = 256;
+    let mut mc = Machine::new(mono(bc), MachineConfig::default());
+    let p2 = mc.spawn(&img, Box::new(RedisServer::new(rcfg))).unwrap();
+    mc.run();
+    assert_eq!(mc.exit_code(p2), Some(0));
+    let d2 = mc.vfs().file_contents("dump.rdb").unwrap().to_vec();
+
+    assert_eq!(d1, d2, "identical workload must produce identical dumps");
+}
+
+#[test]
+fn isolation_violations_never_occur_in_normal_runs() {
+    let mut m = ufork_machine(2);
+    let pid = m
+        .spawn(&ImageSpec::hello_world(), Box::new(SpawnBench::new(20)))
+        .unwrap();
+    m.run();
+    assert_eq!(m.exit_code(pid), Some(0));
+    assert_eq!(m.counters().isolation_violations, 0);
+}
+
+#[test]
+fn tocttou_protection_costs_show_up() {
+    // Same Redis run, Full vs Fault isolation: Full must be slower and
+    // must have copied TOCTTOU bytes.
+    let rcfg = RedisConfig::sized(20, 4096);
+    let img = ImageSpec::with_heap("redis", rcfg.heap_bytes());
+    let mut times = Vec::new();
+    let mut toct = Vec::new();
+    for iso in [IsolationLevel::Full, IsolationLevel::Fault] {
+        let mut ucfg = UforkConfig::default();
+        ucfg.isolation = iso;
+        ucfg.phys_mib = 256;
+        let mut m = Machine::new(UforkOs::new(ucfg), MachineConfig::default());
+        let pid = m
+            .spawn(&img, Box::new(RedisServer::new(rcfg.clone())))
+            .unwrap();
+        m.run();
+        assert_eq!(m.exit_code(pid), Some(0));
+        times.push(m.now());
+        toct.push(m.counters().tocttou_bytes);
+    }
+    assert!(times[0] > times[1], "TOCTTOU protection must cost time");
+    assert!(toct[0] > 0 && toct[1] == 0);
+}
+
+#[test]
+fn fork_failure_surfaces_as_error_not_crash() {
+    // Tiny physical memory: fork cannot allocate its eager pages.
+    let mut ucfg = UforkConfig::default();
+    ucfg.phys_mib = 1;
+    let mut m = Machine::new(UforkOs::new(ucfg), MachineConfig::default());
+    // Spawn may already fail; if it succeeds, fork must fail gracefully.
+    if let Ok(pid) = m.spawn(&ImageSpec::hello_world(), Box::new(HelloWorld::forking())) {
+        m.run();
+        // The program exits (possibly with an error code) — no panic, no
+        // hang.
+        assert!(m.is_finished(pid));
+    }
+}
+
+#[test]
+fn machine_accounting_is_deterministic() {
+    let run = || {
+        let mut m = ufork_machine(2);
+        let pid = m
+            .spawn(&ImageSpec::hello_world(), Box::new(SpawnBench::new(10)))
+            .unwrap();
+        m.run();
+        (m.now(), m.counters().clone(), m.exit_code(pid))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn pids_are_distinct_and_sequential() {
+    let mut m = ufork_machine(1);
+    let pid = m
+        .spawn(&ImageSpec::hello_world(), Box::new(SpawnBench::new(3)))
+        .unwrap();
+    assert_eq!(pid, Pid(1));
+    m.run();
+    let children: Vec<Pid> = m.fork_log().iter().map(|f| f.child).collect();
+    assert_eq!(children, vec![Pid(2), Pid(3), Pid(4)]);
+}

@@ -1,0 +1,247 @@
+//! Stress/determinism property test: random programs over the full
+//! machine + μFork kernel must always terminate, produce identical
+//! results on re-run (determinism), and never breach isolation.
+
+use std::any::Any;
+
+use proptest::prelude::*;
+use ufork_repro::abi::CopyStrategy;
+use ufork_repro::abi::{BlockingCall, Env, ForkResult, ImageSpec, Program, Resume, StepOutcome};
+use ufork_repro::exec::{Machine, MachineConfig};
+use ufork_repro::ufork::{UforkConfig, UforkOs};
+
+/// The random program's instruction set. Each process executes the same
+/// script but branches on fork results, giving tree-shaped executions.
+#[derive(Clone, Copy, Debug)]
+enum Instr {
+    Compute(u16),
+    Alloc(u16),
+    WriteHeap(u16),
+    StorePtr,
+    LoadPtr,
+    Fork,
+    Sleep(u16),
+    YieldNow,
+    WriteFile,
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        any::<u16>().prop_map(Instr::Compute),
+        (16u16..2048).prop_map(Instr::Alloc),
+        any::<u16>().prop_map(Instr::WriteHeap),
+        Just(Instr::StorePtr),
+        Just(Instr::LoadPtr),
+        Just(Instr::Fork),
+        (1u16..1000).prop_map(Instr::Sleep),
+        Just(Instr::YieldNow),
+        Just(Instr::WriteFile),
+    ]
+}
+
+#[derive(Clone)]
+struct Script {
+    instrs: Vec<Instr>,
+    pc: usize,
+    depth: u8,
+    outstanding: u32,
+}
+
+const SLOT_REG: usize = 12;
+const LAST_REG: usize = 13;
+
+impl Script {
+    fn new(instrs: Vec<Instr>) -> Script {
+        Script {
+            instrs,
+            pc: 0,
+            depth: 0,
+            outstanding: 0,
+        }
+    }
+
+    fn run_from(&mut self, env: &mut dyn Env) -> StepOutcome {
+        while self.pc < self.instrs.len() {
+            let i = self.instrs[self.pc];
+            self.pc += 1;
+            match i {
+                Instr::Compute(n) => env.cpu_ops(u64::from(n)),
+                Instr::Alloc(n) => {
+                    if let Ok(c) = env.malloc(u64::from(n)) {
+                        let _ = env.set_reg(LAST_REG, c);
+                    }
+                }
+                Instr::WriteHeap(v) => {
+                    if let Ok(c) = env.reg(LAST_REG) {
+                        let at = c.with_addr(c.base()).expect("cursor");
+                        let _ = env.store_u64(&at, u64::from(v));
+                    }
+                }
+                Instr::StorePtr => {
+                    if let (Ok(slotless), Ok(val)) = (env.malloc(16), env.reg(LAST_REG)) {
+                        let at = slotless.with_addr(slotless.base()).expect("cursor");
+                        if env.store_cap(&at, &val).is_ok() {
+                            let _ = env.set_reg(SLOT_REG, slotless);
+                        }
+                    }
+                }
+                Instr::LoadPtr => {
+                    if let Ok(slot) = env.reg(SLOT_REG) {
+                        let at = slot.with_addr(slot.base()).expect("cursor");
+                        if let Ok(Some(v)) = env.load_cap(&at) {
+                            // Touch the target to exercise CoW/CoPA.
+                            let t = v.with_addr(v.base()).expect("cursor");
+                            let _ = env.load_u64(&t);
+                        }
+                    }
+                }
+                Instr::Fork if self.depth >= 2 => {}
+                Instr::Fork => {
+                    self.outstanding += 1;
+                    return StepOutcome::Fork;
+                }
+                Instr::Sleep(ns) => {
+                    return StepOutcome::Block(BlockingCall::Sleep { ns: f64::from(ns) })
+                }
+                Instr::YieldNow => return StepOutcome::Block(BlockingCall::Yield),
+                Instr::WriteFile => {
+                    if let Ok(c) = env.reg(LAST_REG) {
+                        if let Ok(fd) = env.sys_open("stress.log", true) {
+                            let at = c.with_addr(c.base()).expect("cursor");
+                            let _ = env.sys_write(fd, &at, c.len().min(64));
+                            let _ = env.sys_close(fd);
+                        }
+                    }
+                }
+            }
+        }
+        if self.outstanding > 0 {
+            return StepOutcome::Block(BlockingCall::Wait);
+        }
+        StepOutcome::Exit(0)
+    }
+}
+
+impl Program for Script {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => self.run_from(env),
+            Resume::Forked(ForkResult::Child) => {
+                self.depth += 1;
+                self.outstanding = 0;
+                // The child skips ahead a little (diverging executions).
+                self.pc = (self.pc + 1).min(self.instrs.len());
+                self.run_from(env)
+            }
+            Resume::Forked(ForkResult::Parent(_)) => self.run_from(env),
+            Resume::Ret(Ok(_)) => {
+                if self.pc >= self.instrs.len() {
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    if self.outstanding > 0 {
+                        return StepOutcome::Block(BlockingCall::Wait);
+                    }
+                    return StepOutcome::Exit(0);
+                }
+                self.run_from(env)
+            }
+            Resume::Ret(Err(_)) => {
+                self.outstanding = self.outstanding.saturating_sub(1);
+                self.run_from(env)
+            }
+        }
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+fn run_machine(
+    instrs: &[Instr],
+    strategy: CopyStrategy,
+    cores: usize,
+) -> (Option<i32>, f64, u64, u64, usize) {
+    let os = UforkOs::new(UforkConfig {
+        phys_mib: 128,
+        strategy,
+        ..UforkConfig::default()
+    });
+    let mut m = Machine::new(
+        os,
+        MachineConfig {
+            cores,
+            ..MachineConfig::default()
+        },
+    );
+    let pid = m
+        .spawn(
+            &ImageSpec::hello_world(),
+            Box::new(Script::new(instrs.to_vec())),
+        )
+        .unwrap();
+    m.run();
+    (
+        m.exit_code(pid),
+        m.now(),
+        m.counters().forks,
+        m.counters().isolation_violations,
+        m.exit_log().len(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_terminate_deterministically(
+        instrs in proptest::collection::vec(instr(), 1..24),
+        strategy_ix in 0u8..3,
+        cores in 1usize..4,
+    ) {
+        let strategy = match strategy_ix % 3 {
+            0 => CopyStrategy::Full,
+            1 => CopyStrategy::CoA,
+            _ => CopyStrategy::CoPA,
+        };
+        let a = run_machine(&instrs, strategy, cores);
+        let b = run_machine(&instrs, strategy, cores);
+        // Terminates (run() returned) with the root exited or everything
+        // blocked-forever is impossible: the script always ends in Exit.
+        prop_assert_eq!(a.0, Some(0), "root must exit cleanly");
+        // Deterministic: identical timing, forks, and exits.
+        prop_assert_eq!(a.1, b.1, "simulated end time must be reproducible");
+        prop_assert_eq!(a.2, b.2);
+        prop_assert_eq!(a.4, b.4);
+        // Never an isolation violation from a well-behaved program.
+        prop_assert_eq!(a.3, 0);
+        // All forked processes exited.
+        prop_assert_eq!(a.4 as u64, a.2 + 1);
+    }
+
+    /// The same program observes the same OUTPUT (file contents) under
+    /// every copy strategy — strategies must be semantically invisible.
+    #[test]
+    fn strategies_agree_on_program_output(
+        instrs in proptest::collection::vec(instr(), 1..20),
+    ) {
+        let mut dumps = Vec::new();
+        for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
+            let os = UforkOs::new(UforkConfig {
+                phys_mib: 128,
+                strategy,
+                ..UforkConfig::default()
+            });
+            let mut m = Machine::new(os, MachineConfig::default());
+            let pid = m
+                .spawn(&ImageSpec::hello_world(), Box::new(Script::new(instrs.clone())))
+                .unwrap();
+            m.run();
+            prop_assert_eq!(m.exit_code(pid), Some(0));
+            dumps.push(m.vfs().file_contents("stress.log").map(<[u8]>::to_vec));
+        }
+        prop_assert_eq!(&dumps[0], &dumps[1], "Full vs CoA");
+        prop_assert_eq!(&dumps[1], &dumps[2], "CoA vs CoPA");
+    }
+}

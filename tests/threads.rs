@@ -1,0 +1,330 @@
+//! Multi-threaded μprocess tests (paper §3.4: "each μprocess may have
+//! many threads ... fork ... copies a single thread").
+
+use std::any::Any;
+
+use ufork_repro::abi::{
+    BlockingCall, Env, ForkResult, ImageSpec, Program, ProgramBox, Resume, StepOutcome,
+};
+use ufork_repro::exec::{Machine, MachineConfig};
+use ufork_repro::ufork::{UforkConfig, UforkOs};
+
+fn machine(cores: usize) -> Machine<UforkOs> {
+    let mut cfg = UforkConfig::default();
+    cfg.phys_mib = 128;
+    Machine::new(
+        UforkOs::new(cfg),
+        MachineConfig {
+            cores,
+            ..MachineConfig::default()
+        },
+    )
+}
+
+/// A worker thread: adds `value` into the shared accumulator cell (whose
+/// capability lives in the process's shared register file), then exits
+/// with its own code.
+#[derive(Clone)]
+struct Adder {
+    value: u64,
+    code: i32,
+}
+
+impl Program for Adder {
+    fn resume(&mut self, env: &mut dyn Env, _input: Resume) -> StepOutcome {
+        let cell = env.reg(10).expect("shared accumulator");
+        let cur = env
+            .load_u64(&cell.with_addr(cell.base()).expect("cursor"))
+            .expect("readable");
+        env.cpu_ops(500);
+        env.store_u64(
+            &cell.with_addr(cell.base()).expect("cursor"),
+            cur + self.value,
+        )
+        .expect("writable");
+        StepOutcome::Exit(self.code)
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Main thread: spawn N adders, join them all, verify the sum.
+#[derive(Clone)]
+struct PoolMain {
+    n: u64,
+    spawned: u64,
+    tids: Vec<u64>,
+    joined: u64,
+    /// Collected join codes.
+    pub codes: Vec<i32>,
+}
+
+impl Program for PoolMain {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => {
+                let cell = env.malloc(16).expect("cell");
+                env.store_u64(&cell.with_addr(cell.base()).expect("cursor"), 0)
+                    .expect("init");
+                env.set_reg(10, cell).expect("register");
+                self.spawned += 1;
+                StepOutcome::Block(BlockingCall::SpawnThread {
+                    program: ProgramBox(Box::new(Adder {
+                        value: self.spawned,
+                        code: self.spawned as i32,
+                    })),
+                })
+            }
+            Resume::Ret(Ok(v)) => {
+                if self.spawned <= self.n && self.tids.len() < self.spawned as usize {
+                    // Return from SpawnThread: record the tid.
+                    self.tids.push(v);
+                    if self.spawned < self.n {
+                        self.spawned += 1;
+                        return StepOutcome::Block(BlockingCall::SpawnThread {
+                            program: ProgramBox(Box::new(Adder {
+                                value: self.spawned,
+                                code: self.spawned as i32,
+                            })),
+                        });
+                    }
+                    // All spawned: join the first.
+                    return StepOutcome::Block(BlockingCall::JoinThread { tid: self.tids[0] });
+                }
+                // Return from JoinThread.
+                self.codes.push(v as i32);
+                self.joined += 1;
+                if (self.joined as usize) < self.tids.len() {
+                    return StepOutcome::Block(BlockingCall::JoinThread {
+                        tid: self.tids[self.joined as usize],
+                    });
+                }
+                // Verify the accumulator: 1 + 2 + ... + n.
+                let cell = env.reg(10).expect("cell");
+                let sum = env
+                    .load_u64(&cell.with_addr(cell.base()).expect("cursor"))
+                    .expect("readable");
+                let expect = self.n * (self.n + 1) / 2;
+                StepOutcome::Exit(if sum == expect { 0 } else { 1 })
+            }
+            _ => StepOutcome::Exit(2),
+        }
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[test]
+fn thread_pool_shares_memory_and_joins() {
+    let mut m = machine(1);
+    let pid = m
+        .spawn(
+            &ImageSpec::hello_world(),
+            Box::new(PoolMain {
+                n: 6,
+                spawned: 0,
+                tids: Vec::new(),
+                joined: 0,
+                codes: Vec::new(),
+            }),
+        )
+        .unwrap();
+    m.run();
+    assert_eq!(m.exit_code(pid), Some(0), "accumulated sum must be 21");
+    let main = m.program::<PoolMain>(pid).unwrap();
+    assert_eq!(
+        main.codes,
+        vec![1, 2, 3, 4, 5, 6],
+        "join codes in spawn order"
+    );
+    // Threads do NOT produce process exits.
+    assert_eq!(m.exit_log().len(), 1);
+}
+
+#[test]
+fn threads_run_in_parallel_on_multiple_cores() {
+    // Same workload on 1 vs 4 cores: heavier adders should overlap.
+    let run = |cores: usize| {
+        let mut m = machine(cores);
+        let pid = m
+            .spawn(
+                &ImageSpec::hello_world(),
+                Box::new(PoolMain {
+                    n: 4,
+                    spawned: 0,
+                    tids: Vec::new(),
+                    joined: 0,
+                    codes: Vec::new(),
+                }),
+            )
+            .unwrap();
+        m.run();
+        assert_eq!(m.exit_code(pid), Some(0));
+        m.now()
+    };
+    // NOTE: adders are quick; the point is correctness on multicore, and
+    // that multicore is never SLOWER than 1.5x single core.
+    let t1 = run(1);
+    let t4 = run(4);
+    assert!(t4 <= t1 * 1.5, "multicore must not regress: {t4} vs {t1}");
+}
+
+/// fork from a multi-threaded process: only the calling thread crosses.
+#[derive(Clone)]
+struct ForkFromPool {
+    phase: u8,
+    is_child: bool,
+}
+
+impl Program for ForkFromPool {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match (self.phase, input) {
+            (0, Resume::Start) => {
+                // Spawn a sibling that sleeps forever (it must NOT be
+                // duplicated into the child).
+                self.phase = 1;
+                StepOutcome::Block(BlockingCall::SpawnThread {
+                    program: ProgramBox(Box::new(Sleeper)),
+                })
+            }
+            (1, Resume::Ret(Ok(_))) => {
+                self.phase = 2;
+                StepOutcome::Fork
+            }
+            (2, Resume::Forked(ForkResult::Child)) => {
+                self.is_child = true;
+                env.cpu_ops(100);
+                StepOutcome::Exit(0)
+            }
+            (2, Resume::Forked(ForkResult::Parent(_))) => {
+                self.phase = 3;
+                StepOutcome::Block(BlockingCall::Wait)
+            }
+            (3, Resume::Ret(Ok(_))) => StepOutcome::Exit(0),
+            _ => StepOutcome::Exit(1),
+        }
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[derive(Clone)]
+struct Sleeper;
+impl Program for Sleeper {
+    fn resume(&mut self, _env: &mut dyn Env, _input: Resume) -> StepOutcome {
+        StepOutcome::Block(BlockingCall::Sleep { ns: 1e15 })
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[test]
+fn fork_copies_only_the_calling_thread() {
+    let mut m = machine(2);
+    let mcfg_limit = 1e9; // the sleeper never finishes; bound the run
+    let mut cfg = MachineConfig {
+        cores: 2,
+        ..MachineConfig::default()
+    };
+    cfg.time_limit = Some(mcfg_limit);
+    let mut m2 = Machine::new(
+        UforkOs::new(UforkConfig {
+            phys_mib: 128,
+            ..UforkConfig::default()
+        }),
+        cfg,
+    );
+    std::mem::swap(&mut m, &mut m2);
+    let pid = m
+        .spawn(
+            &ImageSpec::hello_world(),
+            Box::new(ForkFromPool {
+                phase: 0,
+                is_child: false,
+            }),
+        )
+        .unwrap();
+    m.run();
+    assert_eq!(m.exit_code(pid), Some(0));
+    let child = m.fork_log()[0].child;
+    // The child process has exactly ONE thread record: the sleeping
+    // sibling was not duplicated (it exited along with nothing — it never
+    // existed in the child).
+    assert!(m.is_finished(child));
+    // Parent still has its sleeper thread alive (process itself exited,
+    // which tears threads down; before exit it had 2).
+    assert_eq!(m.exit_log().len(), 2);
+}
+
+#[test]
+fn join_on_bogus_tid_errors() {
+    #[derive(Clone)]
+    struct BadJoin;
+    impl Program for BadJoin {
+        fn resume(&mut self, _env: &mut dyn Env, input: Resume) -> StepOutcome {
+            match input {
+                Resume::Start => StepOutcome::Block(BlockingCall::JoinThread { tid: 99 }),
+                Resume::Ret(Err(_)) => StepOutcome::Exit(0),
+                _ => StepOutcome::Exit(1),
+            }
+        }
+        fn clone_box(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+    let mut m = machine(1);
+    let pid = m
+        .spawn(&ImageSpec::hello_world(), Box::new(BadJoin))
+        .unwrap();
+    m.run();
+    assert_eq!(m.exit_code(pid), Some(0));
+}
+
+#[test]
+fn multithreaded_snapshot_is_consistent() {
+    use ufork_repro::workloads::mtkv::{MtKv, MtKvConfig};
+    let mut m = machine(2);
+    let cfg = MtKvConfig {
+        workers: 4,
+        rounds: 8,
+        dump_path: "mtkv.snap".into(),
+    };
+    let pid = m
+        .spawn(&ImageSpec::hello_world(), Box::new(MtKv::new(cfg)))
+        .unwrap();
+    m.run();
+    assert_eq!(m.exit_code(pid), Some(0));
+    // The snapshot reflects exactly generation 1: every counter == rounds,
+    // even though the parent ran a whole second generation of mutation
+    // concurrently with the child's serialization.
+    let snap = m.vfs().file_contents("mtkv.snap").expect("snapshot written");
+    let text = String::from_utf8_lossy(snap);
+    for i in 0..4 {
+        assert!(
+            text.contains(&format!("counter[{i}]=8")),
+            "counter {i} must show the at-fork value 8, got:\n{text}"
+        );
+    }
+    // Exactly one fork; the child was single-threaded.
+    assert_eq!(m.counters().forks, 1);
+    assert_eq!(m.counters().isolation_violations, 0);
+}
