@@ -1,37 +1,30 @@
 //! Wall-clock microbenchmarks of the capability model: the operations the
 //! μFork hot paths (relocation, access checks, syscall gate) are built on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use ufork::SyscallGate;
 use ufork_cheri::{Capability, Perms};
+use ufork_testkit::bench::bench;
 
-fn bench_derivation(c: &mut Criterion) {
+fn main() {
     let root = Capability::new_root(0x10_0000, 0x100_0000, Perms::data());
-    let mut g = c.benchmark_group("capability");
-    g.bench_function("with_bounds", |b| {
-        b.iter(|| black_box(root.with_bounds(black_box(0x10_4000), black_box(0x1000))))
+    bench("capability/with_bounds", || {
+        black_box(root.with_bounds(black_box(0x10_4000), black_box(0x1000)))
     });
-    g.bench_function("check_access", |b| {
-        b.iter(|| black_box(root.check_access(black_box(0x10_8000), 64, Perms::LOAD)))
+    bench("capability/check_access", || {
+        black_box(root.check_access(black_box(0x10_8000), 64, Perms::LOAD))
     });
-    g.bench_function("rebase", |b| {
-        let child_root = Capability::new_root(0x90_0000, 0x100_0000, Perms::data());
-        let cap = root.with_bounds(0x10_4000, 0x100).unwrap();
-        b.iter(|| black_box(cap.rebase(black_box(0x80_0000), &child_root)))
+    let child_root = Capability::new_root(0x90_0000, 0x100_0000, Perms::data());
+    let cap = root.with_bounds(0x10_4000, 0x100).unwrap();
+    bench("capability/rebase", || {
+        black_box(cap.rebase(black_box(0x80_0000), &child_root))
     });
-    g.bench_function("confined_to", |b| {
-        b.iter(|| black_box(root.confined_to(black_box(0x10_0000), 0x100_0000)))
+    bench("capability/confined_to", || {
+        black_box(root.confined_to(black_box(0x10_0000), 0x100_0000))
     });
-    g.finish();
-}
 
-fn bench_gate(c: &mut Criterion) {
     let ktext = Capability::new_root(0xffff_0000_0000, 0x10_0000, Perms::kernel());
     let gate = SyscallGate::new(&ktext, 0xffff_0000_1000).unwrap();
     let entry = gate.user_entry();
-    c.bench_function("gate/enter", |b| b.iter(|| black_box(gate.enter(&entry))));
+    bench("gate/enter", || black_box(gate.enter(&entry)));
 }
-
-criterion_group!(benches, bench_derivation, bench_gate);
-criterion_main!(benches);

@@ -2,87 +2,71 @@
 //! per system and strategy (the simulated-time results are produced by
 //! the `repro` binary; these measure the host cost of the mechanism).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ufork::{UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_baselines::{mono, nephele, BaselineConfig};
 use ufork_exec::{Ctx, MemOs};
+use ufork_testkit::bench::bench_with_setup;
 
-fn bench_ufork_fork(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fork/ufork");
+fn main() {
     for strategy in [CopyStrategy::CoPA, CopyStrategy::CoA, CopyStrategy::Full] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{strategy:?}")),
-            &strategy,
-            |b, &strategy| {
-                b.iter_with_setup(
-                    || {
-                        let cfg = UforkConfig {
-                            phys_mib: 128,
-                            strategy,
-                            ..UforkConfig::default()
-                        };
-                        let mut os = UforkOs::new(cfg);
-                        let mut ctx = Ctx::new();
-                        os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
-                            .unwrap();
-                        os
-                    },
-                    |mut os| {
-                        let mut ctx = Ctx::new();
-                        os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
-                        black_box(ctx.kernel_ns)
-                    },
-                )
+        bench_with_setup(
+            &format!("fork/ufork/{strategy:?}"),
+            || {
+                let cfg = UforkConfig {
+                    phys_mib: 128,
+                    strategy,
+                    ..UforkConfig::default()
+                };
+                let mut os = UforkOs::new(cfg);
+                let mut ctx = Ctx::new();
+                os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+                    .unwrap();
+                os
+            },
+            |mut os| {
+                let mut ctx = Ctx::new();
+                os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
+                black_box(ctx.kernel_ns)
             },
         );
     }
-    g.finish();
-}
 
-fn bench_baseline_fork(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fork/baseline");
-    g.bench_function("mono", |b| {
-        b.iter_with_setup(
-            || {
-                let mut os = mono(BaselineConfig {
-                    phys_mib: 128,
-                    ..BaselineConfig::default()
-                });
-                let mut ctx = Ctx::new();
-                os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
-                    .unwrap();
-                os
-            },
-            |mut os| {
-                let mut ctx = Ctx::new();
-                os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
-                black_box(ctx.kernel_ns)
-            },
-        )
-    });
-    g.bench_function("nephele", |b| {
-        b.iter_with_setup(
-            || {
-                let mut os = nephele(BaselineConfig {
-                    phys_mib: 128,
-                    ..BaselineConfig::default()
-                });
-                let mut ctx = Ctx::new();
-                os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
-                    .unwrap();
-                os
-            },
-            |mut os| {
-                let mut ctx = Ctx::new();
-                os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
-                black_box(ctx.kernel_ns)
-            },
-        )
-    });
-    g.finish();
+    bench_with_setup(
+        "fork/baseline/mono",
+        || {
+            let mut os = mono(BaselineConfig {
+                phys_mib: 128,
+                ..BaselineConfig::default()
+            });
+            let mut ctx = Ctx::new();
+            os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+                .unwrap();
+            os
+        },
+        |mut os| {
+            let mut ctx = Ctx::new();
+            os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
+            black_box(ctx.kernel_ns)
+        },
+    );
+    bench_with_setup(
+        "fork/baseline/nephele",
+        || {
+            let mut os = nephele(BaselineConfig {
+                phys_mib: 128,
+                ..BaselineConfig::default()
+            });
+            let mut ctx = Ctx::new();
+            os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+                .unwrap();
+            os
+        },
+        |mut os| {
+            let mut ctx = Ctx::new();
+            os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
+            black_box(ctx.kernel_ns)
+        },
+    );
 }
-
-criterion_group!(benches, bench_ufork_fork, bench_baseline_fork);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! MMU-path microbenchmarks: checked loads/stores, CoPA fault handling,
 //! and the in-μprocess allocator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use ufork::{UforkConfig, UforkOs};
 use ufork_abi::{ImageSpec, Pid};
 use ufork_exec::{Ctx, MemOs};
+use ufork_testkit::bench::{bench, bench_with_setup};
 
 fn setup() -> (UforkOs, Ctx) {
     let mut os = UforkOs::new(UforkConfig {
@@ -18,60 +18,44 @@ fn setup() -> (UforkOs, Ctx) {
     (os, ctx)
 }
 
-fn bench_access(c: &mut Criterion) {
+fn main() {
     let (mut os, mut ctx) = setup();
     let buf = os.malloc(&mut ctx, Pid(1), 4096).unwrap();
-    let mut g = c.benchmark_group("mmu");
     let data = [0xa5u8; 64];
-    g.bench_function("store64B", |b| {
-        b.iter(|| os.store(&mut ctx, Pid(1), black_box(&buf), &data).unwrap())
+    bench("mmu/store64B", || {
+        os.store(&mut ctx, Pid(1), black_box(&buf), &data).unwrap()
     });
     let mut out = [0u8; 64];
-    g.bench_function("load64B", |b| {
-        b.iter(|| {
-            os.load(&mut ctx, Pid(1), black_box(&buf), &mut out)
-                .unwrap()
-        })
+    bench("mmu/load64B", || {
+        os.load(&mut ctx, Pid(1), black_box(&buf), &mut out)
+            .unwrap()
     });
-    g.bench_function("load_cap_untagged", |b| {
-        b.iter(|| black_box(os.load_cap(&mut ctx, Pid(1), &buf).unwrap()))
+    bench("mmu/load_cap_untagged", || {
+        black_box(os.load_cap(&mut ctx, Pid(1), &buf).unwrap())
     });
-    g.finish();
-}
 
-fn bench_copa_fault(c: &mut Criterion) {
     // Repeatedly fork and take the first CoPA fault in the child.
-    c.bench_function("mmu/copa_fault_resolve", |b| {
-        b.iter_with_setup(
-            || {
-                let (mut os, mut ctx) = setup();
-                let node = os.malloc(&mut ctx, Pid(1), 64).unwrap();
-                let slot = os.malloc(&mut ctx, Pid(1), 16).unwrap();
-                os.store_cap(&mut ctx, Pid(1), &slot, &node).unwrap();
-                os.set_reg(Pid(1), 4, slot).unwrap();
-                os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
-                (os, ctx)
-            },
-            |(mut os, mut ctx)| {
-                let slot = os.reg(Pid(2), 4).unwrap();
-                // Capability load in the child: triggers copy + relocate.
-                black_box(os.load_cap(&mut ctx, Pid(2), &slot).unwrap())
-            },
-        )
+    bench_with_setup(
+        "mmu/copa_fault_resolve",
+        || {
+            let (mut os, mut ctx) = setup();
+            let node = os.malloc(&mut ctx, Pid(1), 64).unwrap();
+            let slot = os.malloc(&mut ctx, Pid(1), 16).unwrap();
+            os.store_cap(&mut ctx, Pid(1), &slot, &node).unwrap();
+            os.set_reg(Pid(1), 4, slot).unwrap();
+            os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
+            (os, ctx)
+        },
+        |(mut os, mut ctx)| {
+            let slot = os.reg(Pid(2), 4).unwrap();
+            // Capability load in the child: triggers copy + relocate.
+            black_box(os.load_cap(&mut ctx, Pid(2), &slot).unwrap())
+        },
+    );
+
+    let (mut os, mut ctx) = setup();
+    bench("talloc/malloc_free", || {
+        let cap = os.malloc(&mut ctx, Pid(1), black_box(128)).unwrap();
+        os.mfree(&mut ctx, Pid(1), &cap).unwrap();
     });
 }
-
-fn bench_talloc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("talloc");
-    g.bench_function("malloc_free", |b| {
-        let (mut os, mut ctx) = setup();
-        b.iter(|| {
-            let cap = os.malloc(&mut ctx, Pid(1), black_box(128)).unwrap();
-            os.mfree(&mut ctx, Pid(1), &cap).unwrap();
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(benches, bench_access, bench_copa_fault, bench_talloc);
-criterion_main!(benches);

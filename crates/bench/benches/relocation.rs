@@ -2,14 +2,14 @@
 //! the CoPA design: scan cost is paid per page, fix-up cost per tagged
 //! capability.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use ufork::reloc::relocate_frame;
 use ufork_cheri::{Capability, Perms};
 use ufork_mem::PhysMem;
+use ufork_testkit::bench::bench_with_setup;
 use ufork_vmem::{Region, VirtAddr};
 
-fn bench_relocate(c: &mut Criterion) {
+fn main() {
     let parent = Region {
         base: VirtAddr(0x10_0000),
         len: 0x10_0000,
@@ -20,43 +20,32 @@ fn bench_relocate(c: &mut Criterion) {
     };
     let child_root = Capability::new_root(child.base.0, child.len, Perms::data());
 
-    let mut g = c.benchmark_group("relocation/page");
     for density in [0usize, 16, 64, 256] {
-        g.throughput(Throughput::Elements(density as u64));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{density}caps")),
-            &density,
-            |b, &density| {
-                b.iter_with_setup(
-                    || {
-                        let mut pm = PhysMem::new(4);
-                        let f = pm.alloc_frame().unwrap();
-                        for i in 0..density {
-                            let cap = Capability::new_root(
-                                parent.base.0 + (i as u64 * 64) % parent.len,
-                                64,
-                                Perms::data(),
-                            );
-                            pm.store_cap(f, i as u64 * 16, &cap).unwrap();
-                        }
-                        (pm, f)
-                    },
-                    |(mut pm, f)| {
-                        let stats = relocate_frame(&mut pm, f, child, &child_root, &|a| {
-                            if a >= parent.base.0 && a < parent.base.0 + parent.len {
-                                Some(parent)
-                            } else {
-                                None
-                            }
-                        });
-                        black_box(stats)
-                    },
-                )
+        bench_with_setup(
+            &format!("relocation/page/{density}caps"),
+            || {
+                let mut pm = PhysMem::new(4);
+                let f = pm.alloc_frame().unwrap();
+                for i in 0..density {
+                    let cap = Capability::new_root(
+                        parent.base.0 + (i as u64 * 64) % parent.len,
+                        64,
+                        Perms::data(),
+                    );
+                    pm.store_cap(f, i as u64 * 16, &cap).unwrap();
+                }
+                (pm, f)
+            },
+            |(mut pm, f)| {
+                let stats = relocate_frame(&mut pm, f, child, &child_root, &|a| {
+                    if a >= parent.base.0 && a < parent.base.0 + parent.len {
+                        Some(parent)
+                    } else {
+                        None
+                    }
+                });
+                black_box(stats)
             },
         );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_relocate);
-criterion_main!(benches);

@@ -1,73 +1,41 @@
 //! End-to-end workload benches: host wall-clock of full simulated runs
 //! (one per paper experiment family, at reduced scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use ufork_abi::{CopyStrategy, ImageSpec, IsolationLevel};
 use ufork_bench::{nginx_run, redis_run, AnyMachine, Sys};
 use ufork_exec::MachineConfig;
+use ufork_testkit::bench::bench;
 use ufork_workloads::hello::HelloWorld;
 use ufork_workloads::ubench::{Context1, SpawnBench};
 
 const UFORK: Sys = Sys::Ufork(CopyStrategy::CoPA, IsolationLevel::Fault);
 
-fn bench_hello(c: &mut Criterion) {
-    c.bench_function("e2e/hello_fork", |b| {
-        b.iter(|| {
-            let mut m = AnyMachine::build(UFORK, 64, MachineConfig::default());
-            let pid = m
-                .spawn(&ImageSpec::hello_world(), Box::new(HelloWorld::forking()))
-                .unwrap();
-            m.run();
-            black_box(m.exit_code(pid))
-        })
+fn main() {
+    bench("e2e/hello_fork", || {
+        let mut m = AnyMachine::build(UFORK, 64, MachineConfig::default());
+        let pid = m
+            .spawn(&ImageSpec::hello_world(), Box::new(HelloWorld::forking()))
+            .unwrap();
+        m.run();
+        black_box(m.exit_code(pid))
     });
-}
-
-fn bench_spawn(c: &mut Criterion) {
-    c.bench_function("e2e/spawn50", |b| {
-        b.iter(|| {
-            let mut m = AnyMachine::build(UFORK, 64, MachineConfig::default());
-            let pid = m
-                .spawn(&ImageSpec::hello_world(), Box::new(SpawnBench::new(50)))
-                .unwrap();
-            m.run();
-            black_box(m.exit_code(pid))
-        })
+    bench("e2e/spawn50", || {
+        let mut m = AnyMachine::build(UFORK, 64, MachineConfig::default());
+        let pid = m
+            .spawn(&ImageSpec::hello_world(), Box::new(SpawnBench::new(50)))
+            .unwrap();
+        m.run();
+        black_box(m.exit_code(pid))
     });
-}
-
-fn bench_context1(c: &mut Criterion) {
-    c.bench_function("e2e/context1_1k", |b| {
-        b.iter(|| {
-            let mut m = AnyMachine::build(UFORK, 64, MachineConfig::default());
-            let pid = m
-                .spawn(&ImageSpec::hello_world(), Box::new(Context1::new(1000)))
-                .unwrap();
-            m.run();
-            black_box(m.exit_code(pid))
-        })
+    bench("e2e/context1_1k", || {
+        let mut m = AnyMachine::build(UFORK, 64, MachineConfig::default());
+        let pid = m
+            .spawn(&ImageSpec::hello_world(), Box::new(Context1::new(1000)))
+            .unwrap();
+        m.run();
+        black_box(m.exit_code(pid))
     });
+    bench("e2e/redis_1mb_snapshot", || black_box(redis_run(UFORK, 10, 100_000)));
+    bench("e2e/nginx_20ms", || black_box(nginx_run(UFORK, 1, 2, 20e6)));
 }
-
-fn bench_redis(c: &mut Criterion) {
-    c.bench_function("e2e/redis_1mb_snapshot", |b| {
-        b.iter(|| black_box(redis_run(UFORK, 10, 100_000)))
-    });
-}
-
-fn bench_nginx(c: &mut Criterion) {
-    c.bench_function("e2e/nginx_20ms", |b| {
-        b.iter(|| black_box(nginx_run(UFORK, 1, 2, 20e6)))
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_hello,
-    bench_spawn,
-    bench_context1,
-    bench_redis,
-    bench_nginx
-);
-criterion_main!(benches);

@@ -1,65 +1,128 @@
 //! Property tests for the Morello bounds-compression model.
+//!
+//! Ported from `proptest` to the in-repo `ufork-testkit` harness so the
+//! suite runs without crates.io access. Gated behind the default-on
+//! `props` feature.
+#![cfg(feature = "props")]
 
-use proptest::prelude::*;
 use ufork_cheri::compress::{is_representable, representable, representable_len, MANTISSA_BITS};
+use ufork_testkit::{forall, no_shrink, PropConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn cfg() -> PropConfig {
+    PropConfig::from_env(512)
+}
 
-    /// The representable range always contains the requested range.
-    #[test]
-    fn representable_contains_request(base in any::<u64>(), len in 0u64..(1 << 40)) {
-        let r = representable(base, len);
-        prop_assert!(r.base <= base);
-        prop_assert!(r.top >= base.saturating_add(len));
-    }
+/// The representable range always contains the requested range.
+#[test]
+fn representable_contains_request() {
+    forall(
+        "representable_contains_request",
+        &cfg(),
+        |rng| (rng.next_u64(), rng.below(1 << 40)),
+        no_shrink,
+        |&(base, len)| {
+            let r = representable(base, len);
+            if r.base <= base && r.top >= base.saturating_add(len) {
+                Ok(())
+            } else {
+                Err(format!("range [{:#x},{:#x}) not contained", r.base, r.top))
+            }
+        },
+    );
+}
 
-    /// The rounding is tight: at most one alignment unit each side.
-    #[test]
-    fn rounding_is_tight(base in any::<u64>(), len in 1u64..(1 << 40)) {
-        let r = representable(base, len);
-        let unit = 1u64 << r.exponent;
-        prop_assert!(base - r.base < unit);
-        if r.top != u64::MAX {
-            prop_assert!(r.top - base.saturating_add(len) < unit);
-        }
-    }
-
-    /// Small lengths are always exact, regardless of the base.
-    #[test]
-    fn small_lengths_exact(base in any::<u64>(), len in 0u64..(1 << MANTISSA_BITS)) {
-        prop_assert!(is_representable(base, len));
-    }
-
-    /// Padded lengths are exactly representable at any base aligned to
-    /// the padded length's exponent.
-    #[test]
-    fn padded_lengths_representable(len in 1u64..(1 << 40)) {
-        let padded = representable_len(len);
-        prop_assert!(padded >= len);
-        prop_assert!(is_representable(0, padded));
-        // Idempotent.
-        prop_assert_eq!(representable_len(padded), padded);
-    }
-
-    /// Representable-ness is preserved under shifting by the alignment
-    /// unit — the property μFork's relocation relies on: regions share a
-    /// layout, so a representable bound stays representable after the
-    /// rebase as long as region bases are aligned at least as strongly.
-    #[test]
-    fn shift_by_unit_preserves_representability(
-        base in (0u64..(1 << 40)),
-        len in 1u64..(1 << 32),
-        k in 1u64..1024,
-    ) {
-        let r = representable(base, len);
-        if r.base == base && r.top == base + len {
+/// The rounding is tight: at most one alignment unit each side.
+#[test]
+fn rounding_is_tight() {
+    forall(
+        "rounding_is_tight",
+        &cfg(),
+        |rng| (rng.next_u64(), rng.range(1, 1 << 40)),
+        no_shrink,
+        |&(base, len)| {
+            let r = representable(base, len);
             let unit = 1u64 << r.exponent;
-            let shifted = base + k * unit;
-            prop_assert!(
-                is_representable(shifted, len),
-                "shift by {k}x{unit:#x} broke representability"
-            );
-        }
-    }
+            if base - r.base >= unit {
+                return Err(format!("base slack {:#x} >= unit {unit:#x}", base - r.base));
+            }
+            if r.top != u64::MAX && r.top - base.saturating_add(len) >= unit {
+                return Err(format!("top slack >= unit {unit:#x}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Small lengths are always exact, regardless of the base.
+#[test]
+fn small_lengths_exact() {
+    forall(
+        "small_lengths_exact",
+        &cfg(),
+        |rng| (rng.next_u64(), rng.below(1 << MANTISSA_BITS)),
+        no_shrink,
+        |&(base, len)| {
+            if is_representable(base, len) {
+                Ok(())
+            } else {
+                Err(format!("({base:#x}, {len:#x}) not exactly representable"))
+            }
+        },
+    );
+}
+
+/// Padded lengths are exactly representable at any aligned base, and the
+/// padding function is idempotent.
+#[test]
+fn padded_lengths_representable() {
+    forall(
+        "padded_lengths_representable",
+        &cfg(),
+        |rng| rng.range(1, 1 << 40),
+        no_shrink,
+        |&len| {
+            let padded = representable_len(len);
+            if padded < len {
+                return Err(format!("padded {padded:#x} < requested {len:#x}"));
+            }
+            if !is_representable(0, padded) {
+                return Err(format!("padded {padded:#x} not representable at 0"));
+            }
+            if representable_len(padded) != padded {
+                return Err(format!("representable_len not idempotent at {padded:#x}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Representable-ness is preserved under shifting by the alignment unit —
+/// the property μFork's relocation relies on: regions share a layout, so a
+/// representable bound stays representable after the rebase as long as
+/// region bases are aligned at least as strongly.
+#[test]
+fn shift_by_unit_preserves_representability() {
+    forall(
+        "shift_by_unit_preserves_representability",
+        &cfg(),
+        |rng| {
+            (
+                rng.below(1 << 40),
+                rng.range(1, 1 << 32),
+                rng.range(1, 1024),
+            )
+        },
+        no_shrink,
+        |&(base, len, k)| {
+            let r = representable(base, len);
+            if r.base == base && r.top == base + len {
+                let unit = 1u64 << r.exponent;
+                let shifted = base + k * unit;
+                if !is_representable(shifted, len) {
+                    return Err(format!("shift by {k}x{unit:#x} broke representability"));
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -2,11 +2,17 @@
 //!
 //! The isolation argument of μFork (paper §4.3) rests on one hardware
 //! invariant: *no sequence of capability derivations can increase
-//! authority*. These tests drive arbitrary derivation chains and assert the
-//! invariant holds in the model.
+//! authority*. These tests drive arbitrary derivation chains and assert
+//! the invariant holds in the model. Runs on the in-repo `ufork-testkit`
+//! harness (offline; default-on `props` feature).
+#![cfg(feature = "props")]
 
-use proptest::prelude::*;
 use ufork_cheri::{CapError, Capability, OType, Perms};
+use ufork_testkit::{forall, no_shrink, shrink_vec, PropConfig, Rng};
+
+fn cfg() -> PropConfig {
+    PropConfig::from_env(512)
+}
 
 /// A single derivation step a program could attempt.
 #[derive(Clone, Debug)]
@@ -18,17 +24,17 @@ enum Step {
     SealUnseal(u32),
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (any::<u64>(), any::<u64>()).prop_map(|(base_off, len)| Step::Bounds {
-            base_off: base_off % 0x4000,
-            len: len % 0x4000,
-        }),
-        any::<u16>().prop_map(Step::PermsMask),
-        any::<u64>().prop_map(|a| Step::Addr(a % 0x10_0000)),
-        any::<i64>().prop_map(|d| Step::Offset(d % 0x10000)),
-        any::<u32>().prop_map(|o| Step::SealUnseal(o % 64)),
-    ]
+fn gen_step(rng: &mut Rng) -> Step {
+    match rng.below(5) {
+        0 => Step::Bounds {
+            base_off: rng.below(0x4000),
+            len: rng.below(0x4000),
+        },
+        1 => Step::PermsMask(rng.next_u64() as u16),
+        2 => Step::Addr(rng.below(0x10_0000)),
+        3 => Step::Offset((rng.next_u64() as i64) % 0x10000),
+        _ => Step::SealUnseal(rng.below(64) as u32),
+    }
 }
 
 /// Authority comparison: `a` has no more authority than `b`.
@@ -36,90 +42,137 @@ fn no_more_authority(a: &Capability, b: &Capability) -> bool {
     a.base() >= b.base() && a.top() <= b.top() && a.perms().is_subset_of(b.perms())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Any chain of successful derivations yields a capability with no
-    /// more authority than the original.
-    #[test]
-    fn derivation_chains_never_widen(steps in proptest::collection::vec(step_strategy(), 1..24)) {
-        let root = Capability::new_root(0x1000, 0x4000, Perms::data());
-        let sealer = Capability::new_root(0, 64, Perms::SEAL | Perms::UNSEAL);
-        let mut cur = root;
-        for step in steps {
-            let next = match step {
-                Step::Bounds { base_off, len } => cur.with_bounds(cur.base().saturating_add(base_off), len),
-                Step::PermsMask(bits) => cur.with_perms_masked(Perms::from_bits(bits)),
-                Step::Addr(a) => cur.with_addr(a),
-                Step::Offset(d) => cur.offset(d),
-                Step::SealUnseal(o) => {
-                    let ot = OType::new(o).unwrap();
-                    cur.seal(ot, &sealer).and_then(|s| s.unseal(&sealer))
+/// Any chain of successful derivations yields a capability with no more
+/// authority than the original.
+#[test]
+fn derivation_chains_never_widen() {
+    forall(
+        "derivation_chains_never_widen",
+        &cfg(),
+        |rng| {
+            let n = rng.range(1, 24) as usize;
+            (0..n).map(|_| gen_step(rng)).collect::<Vec<Step>>()
+        },
+        |steps| shrink_vec(steps),
+        |steps| {
+            let root = Capability::new_root(0x1000, 0x4000, Perms::data());
+            let sealer = Capability::new_root(0, 64, Perms::SEAL | Perms::UNSEAL);
+            let mut cur = root.clone();
+            for step in steps {
+                let next = match step {
+                    Step::Bounds { base_off, len } => {
+                        cur.with_bounds(cur.base().saturating_add(*base_off), *len)
+                    }
+                    Step::PermsMask(bits) => cur.with_perms_masked(Perms::from_bits(*bits)),
+                    Step::Addr(a) => cur.with_addr(*a),
+                    Step::Offset(d) => cur.offset(*d),
+                    Step::SealUnseal(o) => {
+                        let ot = OType::new(*o).unwrap();
+                        cur.seal(ot, &sealer).and_then(|s| s.unseal(&sealer))
+                    }
+                };
+                if let Ok(n) = next {
+                    cur = n;
                 }
-            };
-            if let Ok(n) = next {
-                cur = n;
+                if !no_more_authority(&cur, &root) {
+                    return Err(format!("derived {cur:?} exceeds root {root:?}"));
+                }
             }
-            prop_assert!(no_more_authority(&cur, &root),
-                "derived {:?} exceeds root {:?}", cur, root);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Accesses permitted through a derived capability are always permitted
-    /// through the capability it was derived from (access monotonicity).
-    #[test]
-    fn permitted_access_implies_parent_permits(
-        base_off in 0u64..0x1000,
-        len in 1u64..0x1000,
-        at in 0u64..0x6000,
-        n in 1u64..64,
-    ) {
-        let root = Capability::new_root(0x1000, 0x4000, Perms::data());
-        if let Ok(derived) = root.with_bounds(0x1000 + base_off, len) {
-            if derived.check_access(at, n, Perms::LOAD).is_ok() {
-                prop_assert!(root.check_access(at, n, Perms::LOAD).is_ok());
+/// Accesses permitted through a derived capability are always permitted
+/// through the capability it was derived from (access monotonicity).
+#[test]
+fn permitted_access_implies_parent_permits() {
+    forall(
+        "permitted_access_implies_parent_permits",
+        &cfg(),
+        |rng| {
+            (
+                rng.below(0x1000),
+                rng.range(1, 0x1000),
+                rng.below(0x6000),
+                rng.range(1, 64),
+            )
+        },
+        no_shrink,
+        |&(base_off, len, at, n)| {
+            let root = Capability::new_root(0x1000, 0x4000, Perms::data());
+            if let Ok(derived) = root.with_bounds(0x1000 + base_off, len) {
+                if derived.check_access(at, n, Perms::LOAD).is_ok()
+                    && root.check_access(at, n, Perms::LOAD).is_err()
+                {
+                    return Err(format!(
+                        "derived permits [{at:#x},+{n}) but root refuses it"
+                    ));
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// A rebased (relocated) capability is always confined to the root it
-    /// was rebased against — the key soundness property of μFork's
-    /// relocation engine.
-    #[test]
-    fn rebase_always_confined(
-        base in 0x1000u64..0x2000,
-        len in 0u64..0x1000,
-        addr in 0u64..0x4000,
-    ) {
-        let parent_root = Capability::new_root(0x1000, 0x1000, Perms::data());
-        let child_root = Capability::new_root(0x9000, 0x1000, Perms::data());
-        let top = (base + len).min(parent_root.top());
-        let base = base.min(top);
-        let cap = parent_root
-            .with_bounds(base, top - base)
-            .unwrap()
-            .with_addr(addr)
-            .unwrap();
-        match cap.rebase(0x8000, &child_root) {
-            Ok(r) => prop_assert!(r.confined_to(child_root.base(), child_root.len())),
-            Err(e) => prop_assert!(
-                matches!(e, CapError::BoundsWiden | CapError::AddressOverflow),
-                "unexpected rebase error {e:?}"
-            ),
-        }
-    }
+/// A rebased (relocated) capability is always confined to the root it was
+/// rebased against — the key soundness property of μFork's relocation
+/// engine.
+#[test]
+fn rebase_always_confined() {
+    forall(
+        "rebase_always_confined",
+        &cfg(),
+        |rng| (rng.range(0x1000, 0x2000), rng.below(0x1000), rng.below(0x4000)),
+        no_shrink,
+        |&(base, len, addr)| {
+            let parent_root = Capability::new_root(0x1000, 0x1000, Perms::data());
+            let child_root = Capability::new_root(0x9000, 0x1000, Perms::data());
+            let top = (base + len).min(parent_root.top());
+            let base = base.min(top);
+            let cap = parent_root
+                .with_bounds(base, top - base)
+                .unwrap()
+                .with_addr(addr)
+                .unwrap();
+            match cap.rebase(0x8000, &child_root) {
+                Ok(r) => {
+                    if r.confined_to(child_root.base(), child_root.len()) {
+                        Ok(())
+                    } else {
+                        Err(format!("rebased {r:?} escapes child root"))
+                    }
+                }
+                Err(CapError::BoundsWiden) | Err(CapError::AddressOverflow) => Ok(()),
+                Err(e) => Err(format!("unexpected rebase error {e:?}")),
+            }
+        },
+    );
+}
 
-    /// Sealed capabilities are completely frozen: every mutating derivation
-    /// fails until unsealed.
-    #[test]
-    fn sealed_caps_frozen(otype in 0u32..64, addr in any::<u64>()) {
-        let sealer = Capability::new_root(0, 64, Perms::SEAL | Perms::UNSEAL);
-        let cap = Capability::new_root(0x1000, 0x1000, Perms::data());
-        let sealed = cap.seal(OType::new(otype).unwrap(), &sealer).unwrap();
-        prop_assert!(sealed.with_addr(addr).is_err());
-        prop_assert!(sealed.with_bounds(0x1000, 1).is_err());
-        prop_assert!(sealed.with_perms_masked(Perms::LOAD).is_err());
-        prop_assert!(sealed.offset(1).is_err());
-        prop_assert!(sealed.check_access(0x1000, 1, Perms::LOAD).is_err());
-    }
+/// Sealed capabilities are completely frozen: every mutating derivation
+/// fails until unsealed.
+#[test]
+fn sealed_caps_frozen() {
+    forall(
+        "sealed_caps_frozen",
+        &cfg(),
+        |rng| (rng.below(64) as u32, rng.next_u64()),
+        no_shrink,
+        |&(otype, addr)| {
+            let sealer = Capability::new_root(0, 64, Perms::SEAL | Perms::UNSEAL);
+            let cap = Capability::new_root(0x1000, 0x1000, Perms::data());
+            let sealed = cap.seal(OType::new(otype).unwrap(), &sealer).unwrap();
+            let frozen = sealed.with_addr(addr).is_err()
+                && sealed.with_bounds(0x1000, 1).is_err()
+                && sealed.with_perms_masked(Perms::LOAD).is_err()
+                && sealed.offset(1).is_err()
+                && sealed.check_access(0x1000, 1, Perms::LOAD).is_err();
+            if frozen {
+                Ok(())
+            } else {
+                Err(format!("sealed cap (otype {otype}) allowed a derivation"))
+            }
+        },
+    );
 }

@@ -47,6 +47,11 @@ impl UforkOs {
             )
         };
 
+        // How much allocator metadata is live (eagerly copied, §3.5).
+        let meta_header = p_region.base.0 + layout.heap_meta.0;
+        let blocks_used = self.kread_u64(meta_header + 16)?;
+        let meta_used_bytes = 64 + blocks_used * crate::layout::BLOCK_DESC_BYTES;
+
         // Reserve the child's contiguous region.
         let c_region = self
             .regions
@@ -55,10 +60,16 @@ impl UforkOs {
         let c_root = Capability::new_root(c_region.base.0, layout.region_len(), Perms::data());
         debug_assert!(!c_root.perms().contains(Perms::SYSTEM));
 
-        // How much allocator metadata is live (eagerly copied, §3.5).
-        let meta_header = p_region.base.0 + layout.heap_meta.0;
-        let blocks_used = self.kread_u64(meta_header + 16)?;
-        let meta_used_bytes = 64 + blocks_used * crate::layout::BLOCK_DESC_BYTES;
+        // The page walk can fail mid-way (frame exhaustion while copying a
+        // page, refcount overflow): everything staged for the child so far
+        // must then be unwound — no leaked frames, no dangling PTEs, the
+        // region handed back — leaving the parent exactly as it was, plus
+        // harmless extra COW arming that the next parent write clears.
+        if let Err(e) = self.fork_walk_pages(ctx, p_region, &layout, c_region, &c_root, meta_used_bytes)
+        {
+            self.unwind_partial_fork(c_region);
+            return Err(e);
+        }
 
         let sources = self.source_regions();
         let source_of = |addr: u64| -> Option<Region> {
@@ -67,83 +78,6 @@ impl UforkOs {
                 .find(|r| addr >= r.base.0 && addr < r.base.0 + r.len)
                 .copied()
         };
-
-        let start = p_region.base.vpn();
-        let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
-        let mapped: Vec<(Vpn, Pte)> = self.pt.range(start, end).collect();
-
-        for (vpn, pte) in mapped {
-            let off = vpn.base().0 - p_region.base.0;
-            let seg = layout.segment_of(off);
-            let c_vpn = VirtAddr(c_region.base.0 + off).vpn();
-            let final_flags = Self::seg_flags(seg);
-
-            if seg == Segment::Shm {
-                // Shared mappings stay shared: same frames, full perms.
-                self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
-                self.pt.map(c_vpn, pte.pfn, PteFlags::rw());
-                ctx.kernel(self.cost.pte_copy);
-                ctx.counters.ptes_written += 1;
-                continue;
-            }
-
-            let eager = self.strategy == CopyStrategy::Full
-                || (self.eager_fork_copies
-                    && match seg {
-                        Segment::Got => true,
-                        Segment::HeapMeta => off - layout.heap_meta.0 < meta_used_bytes,
-                        _ => false,
-                    });
-
-            if eager {
-                let new = self.copy_page_for_child(ctx, pte.pfn, c_region, &c_root, &source_of)?;
-                self.pt.map(c_vpn, new, final_flags);
-                ctx.kernel(self.cost.pte_write);
-                if self.isolation.validates_syscalls() {
-                    // Adversarial deployments re-verify every relocated
-                    // capability against the child's bounds before the
-                    // page becomes visible (the fork-latency component of
-                    // TOCTTOU/validation, ~2.6% in the paper).
-                    ctx.kernel(self.cost.page_scan() + self.cost.tocttou_fixed);
-                }
-                ctx.counters.ptes_written += 1;
-                ctx.counters.pages_copied_eager += 1;
-                continue;
-            }
-
-            // Lazy strategies: share the frame and arm faults.
-            self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
-            match self.strategy {
-                CopyStrategy::Full => unreachable!("full copy is always eager"),
-                CopyStrategy::CoA => {
-                    // Fully inaccessible to the child: any access faults.
-                    self.pt
-                        .map(c_vpn, pte.pfn, PteFlags::empty().with(PteFlags::COA));
-                    ctx.kernel(self.cost.pte_copy + self.cost.coa_pte_extra);
-                }
-                CopyStrategy::CoPA => {
-                    // Readable; writes and tagged loads fault.
-                    let mut f = PteFlags::READ.with(PteFlags::LC_FAULT).with(PteFlags::COW);
-                    if final_flags.contains(PteFlags::EXEC) {
-                        f = f.with(PteFlags::EXEC);
-                    }
-                    if final_flags.contains(PteFlags::WRITE) {
-                        f = f.with(PteFlags::WRITE); // COW checked first
-                    }
-                    self.pt.map(c_vpn, pte.pfn, f);
-                    ctx.kernel(self.cost.pte_copy);
-                }
-            }
-            ctx.counters.ptes_written += 1;
-
-            // Writable parent pages become copy-on-write.
-            if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
-                if let Some(ppte) = self.pt.lookup_mut(vpn) {
-                    ppte.flags = ppte.flags.with(PteFlags::COW);
-                }
-                ctx.kernel(self.cost.pte_protect);
-            }
-        }
 
         // Relocate the register file (paper §3.5 step 2: "any absolute
         // memory references contained in registers are relocated").
@@ -191,6 +125,122 @@ impl UforkOs {
             p.had_children = true;
         }
         Ok(())
+    }
+
+    /// The per-page fork walk: maps (and, where the strategy requires,
+    /// copies and relocates) every parent page into the child region.
+    /// On `Err` the caller unwinds whatever was staged.
+    fn fork_walk_pages(
+        &mut self,
+        ctx: &mut Ctx,
+        p_region: Region,
+        layout: &crate::ProcLayout,
+        c_region: Region,
+        c_root: &Capability,
+        meta_used_bytes: u64,
+    ) -> SysResult<()> {
+        let sources = self.source_regions();
+        let source_of = |addr: u64| -> Option<Region> {
+            sources
+                .iter()
+                .find(|r| addr >= r.base.0 && addr < r.base.0 + r.len)
+                .copied()
+        };
+
+        let start = p_region.base.vpn();
+        let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
+        let mapped: Vec<(Vpn, Pte)> = self.pt.range(start, end).collect();
+
+        for (vpn, pte) in mapped {
+            let off = vpn.base().0 - p_region.base.0;
+            let seg = layout.segment_of(off);
+            let c_vpn = VirtAddr(c_region.base.0 + off).vpn();
+            let final_flags = Self::seg_flags(seg);
+
+            if seg == Segment::Shm {
+                // Shared mappings stay shared: same frames, full perms.
+                self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
+                self.pt.map(c_vpn, pte.pfn, PteFlags::rw());
+                ctx.kernel(self.cost.pte_copy);
+                ctx.counters.ptes_written += 1;
+                continue;
+            }
+
+            let eager = self.strategy == CopyStrategy::Full
+                || (self.eager_fork_copies
+                    && match seg {
+                        Segment::Got => true,
+                        Segment::HeapMeta => off - layout.heap_meta.0 < meta_used_bytes,
+                        _ => false,
+                    });
+
+            if eager {
+                let new = self.copy_page_for_child(ctx, pte.pfn, c_region, c_root, &source_of)?;
+                self.pt.map(c_vpn, new, final_flags);
+                ctx.kernel(self.cost.pte_write);
+                if self.isolation.validates_syscalls() {
+                    // Adversarial deployments re-verify every relocated
+                    // capability against the child's bounds before the
+                    // page becomes visible (the fork-latency component of
+                    // TOCTTOU/validation, ~2.6% in the paper).
+                    ctx.kernel(self.cost.page_scan() + self.cost.tocttou_fixed);
+                }
+                ctx.counters.ptes_written += 1;
+                ctx.counters.pages_copied_eager += 1;
+                continue;
+            }
+
+            // Lazy strategies: share the frame and arm faults.
+            self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
+            match self.strategy {
+                CopyStrategy::Full => unreachable!("full copy is always eager"),
+                CopyStrategy::CoA => {
+                    // Fully inaccessible to the child: any access faults.
+                    self.pt
+                        .map(c_vpn, pte.pfn, PteFlags::empty().with(PteFlags::COA));
+                    ctx.kernel(self.cost.pte_copy + self.cost.coa_pte_extra);
+                }
+                CopyStrategy::CoPA => {
+                    // Readable; writes and tagged loads fault.
+                    let mut f = PteFlags::READ.with(PteFlags::LC_FAULT).with(PteFlags::COW);
+                    if final_flags.contains(PteFlags::EXEC) {
+                        f = f.with(PteFlags::EXEC);
+                    }
+                    if final_flags.contains(PteFlags::WRITE) {
+                        f = f.with(PteFlags::WRITE); // COW checked first
+                    }
+                    self.pt.map(c_vpn, pte.pfn, f);
+                    ctx.kernel(self.cost.pte_copy);
+                }
+            }
+            ctx.counters.ptes_written += 1;
+
+            // Writable parent pages become copy-on-write.
+            if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
+                if let Some(ppte) = self.pt.lookup_mut(vpn) {
+                    ppte.flags = ppte.flags.with(PteFlags::COW);
+                }
+                ctx.kernel(self.cost.pte_protect);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls back a partially-staged fork: unmaps every PTE already
+    /// created in the child region, drops the frame references they took
+    /// (freeing eagerly-copied frames outright), and returns the region
+    /// to the allocator. After this the kernel is exactly as before the
+    /// fork except for COW arming on parent pages, which the parent's
+    /// next write resolves in place.
+    fn unwind_partial_fork(&mut self, c_region: Region) {
+        let start = c_region.base.vpn();
+        let end = Vpn(c_region.top().0.div_ceil(PAGE_SIZE));
+        let staged: Vec<(Vpn, Pte)> = self.pt.range(start, end).collect();
+        for (vpn, pte) in staged {
+            self.pt.unmap(vpn);
+            let _ = self.pm.dec_ref(pte.pfn);
+        }
+        let _ = self.regions.free(c_region);
     }
 
     /// Eagerly copies one frame for a child and relocates it.

@@ -133,6 +133,77 @@ impl UforkOs {
         self.strategy
     }
 
+    /// The region occupied by `pid`, as `(base, len)`.
+    pub fn region_of(&self, pid: Pid) -> SysResult<(u64, u64)> {
+        let p = self.proc(pid)?;
+        Ok((p.region.base.0, p.region.len))
+    }
+
+    /// Total frame-allocation attempts since boot (successful or not).
+    /// The differential oracle counts a clean run's attempts, then
+    /// replays the same program failing each attempt in turn.
+    pub fn frame_alloc_attempts(&self) -> u64 {
+        self.pm.alloc_attempts()
+    }
+
+    /// Arms deterministic fault injection: frame-allocation attempt
+    /// number `attempt` (0-based since boot) fails with `NoMem`. One-shot.
+    /// Reaches every allocation path — eager fork copies, CoW/CoA/CoPA
+    /// fault resolution (including capability-load faults), spawn, mmap.
+    pub fn inject_frame_alloc_failure(&mut self, attempt: u64) {
+        self.pm.fail_alloc_at(attempt);
+    }
+
+    /// Disarms frame-allocation fault injection.
+    pub fn clear_frame_alloc_failure(&mut self) {
+        self.pm.clear_alloc_failure();
+    }
+
+    /// Audits global kernel memory state; the invariants a failed or
+    /// unwound fork must not break. Returns `(dangling_ptes,
+    /// unaccounted_frames)`:
+    ///
+    /// * a PTE is *dangling* if it maps a page outside every live
+    ///   μprocess region, or targets a frame that is no longer allocated;
+    /// * a frame is *unaccounted* if its total refcount across all live
+    ///   PTEs and shm objects does not equal its allocator refcount
+    ///   (i.e. references were leaked or double-freed).
+    pub fn audit_kernel(&self) -> (usize, usize) {
+        use std::collections::BTreeMap as Map;
+        let mut dangling = 0usize;
+        let mut refs: Map<u32, u32> = Map::new();
+        for (vpn, pte) in self.pt.iter() {
+            let va = vpn.base().0;
+            let in_live = self
+                .procs
+                .values()
+                .any(|p| va >= p.region.base.0 && va < p.region.top().0);
+            if !in_live || self.pm.refcount(pte.pfn).is_err() {
+                dangling += 1;
+                continue;
+            }
+            *refs.entry(pte.pfn.0).or_default() += 1;
+        }
+        // Shm objects hold one reference per frame while the object is
+        // alive, on top of one per mapping.
+        for frames in self.shm_objs.values() {
+            for pfn in frames {
+                *refs.entry(pfn.0).or_default() += 1;
+            }
+        }
+        let mut unaccounted = 0usize;
+        for (&raw, &seen) in &refs {
+            match self.pm.refcount(Pfn(raw)) {
+                Ok(rc) if rc == seen => {}
+                _ => unaccounted += 1,
+            }
+        }
+        // Frames allocated but not referenced by any PTE or shm object
+        // are leaks.
+        unaccounted += (self.pm.allocated_frames() as usize).saturating_sub(refs.len());
+        (dangling, unaccounted)
+    }
+
     /// Page-table flags for a segment when fully owned (not shared).
     pub(crate) fn seg_flags(seg: Segment) -> PteFlags {
         match seg {

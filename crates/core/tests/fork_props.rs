@@ -1,15 +1,23 @@
 //! Property tests of fork semantics: arbitrary parent/child write
 //! interleavings never leak across the fork boundary, under any strategy.
+//!
+//! Runs on the in-repo `ufork-testkit` harness (offline; default-on
+//! `props` feature).
+#![cfg(feature = "props")]
 
-use proptest::prelude::*;
 use ufork::{UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_cheri::Capability;
 use ufork_exec::{Ctx, MemOs};
+use ufork_testkit::{forall, shrink_vec, PropConfig, Rng};
 
 const PARENT: Pid = Pid(1);
 const CHILD: Pid = Pid(2);
 const CELLS: u64 = 24;
+
+fn cfg() -> PropConfig {
+    PropConfig::from_env(96)
+}
 
 #[derive(Clone, Copy, Debug)]
 enum Op {
@@ -19,13 +27,13 @@ enum Op {
     ChildRead(u8),
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<u64>()).prop_map(|(i, v)| Op::ParentWrite(i, v)),
-        (any::<u8>(), any::<u64>()).prop_map(|(i, v)| Op::ChildWrite(i, v)),
-        any::<u8>().prop_map(Op::ParentRead),
-        any::<u8>().prop_map(Op::ChildRead),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.below(4) {
+        0 => Op::ParentWrite(rng.next_u64() as u8, rng.next_u64()),
+        1 => Op::ChildWrite(rng.next_u64() as u8, rng.next_u64()),
+        2 => Op::ParentRead(rng.next_u64() as u8),
+        _ => Op::ChildRead(rng.next_u64() as u8),
+    }
 }
 
 fn strategy_of(ix: u8) -> CopyStrategy {
@@ -45,122 +53,192 @@ fn cell_addr(arr: &Capability, i: u8) -> Capability {
     arr.with_addr(arr.base() + idx * 512).expect("in bounds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn interleaved_writes_never_leak() {
+    forall(
+        "interleaved_writes_never_leak",
+        &cfg(),
+        |rng| {
+            let strategy_ix = rng.below(3) as u8;
+            let n = rng.range(1, 48) as usize;
+            let ops: Vec<Op> = (0..n).map(|_| gen_op(rng)).collect();
+            (strategy_ix, ops)
+        },
+        |(ix, ops)| shrink_vec(ops).into_iter().map(|o| (*ix, o)).collect(),
+        |(strategy_ix, ops)| {
+            let strategy = strategy_of(*strategy_ix);
+            let mut os = UforkOs::new(UforkConfig {
+                phys_mib: 64,
+                strategy,
+                ..UforkConfig::default()
+            });
+            let mut ctx = Ctx::new();
+            os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world()).unwrap();
+            let arr = os.malloc(&mut ctx, PARENT, CELLS * 512).unwrap();
+            // Initialize cells to i.
+            for i in 0..CELLS {
+                os.store(
+                    &mut ctx,
+                    PARENT,
+                    &arr.with_addr(arr.base() + i * 512).unwrap(),
+                    &i.to_le_bytes(),
+                )
+                .unwrap();
+            }
+            // A pointer to the array stored in memory (forces relocation)
+            // and in a register.
+            let slot = os.malloc(&mut ctx, PARENT, 16).unwrap();
+            os.store_cap(&mut ctx, PARENT, &slot, &arr).unwrap();
+            os.set_reg(PARENT, 4, slot).unwrap();
 
-    #[test]
-    fn interleaved_writes_never_leak(strategy_ix in 0u8..3, ops in proptest::collection::vec(op(), 1..48)) {
-        let strategy = strategy_of(strategy_ix);
-        let mut os = UforkOs::new(UforkConfig {
-            phys_mib: 64,
-            strategy,
-            ..UforkConfig::default()
-        });
-        let mut ctx = Ctx::new();
-        os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world()).unwrap();
-        let arr = os.malloc(&mut ctx, PARENT, CELLS * 512).unwrap();
-        // Initialize cells to i.
-        for i in 0..CELLS {
-            os.store(
-                &mut ctx,
-                PARENT,
-                &arr.with_addr(arr.base() + i * 512).unwrap(),
-                &i.to_le_bytes(),
-            )
-            .unwrap();
-        }
-        // A pointer to the array stored in memory (forces relocation) and
-        // in a register.
-        let slot = os.malloc(&mut ctx, PARENT, 16).unwrap();
-        os.store_cap(&mut ctx, PARENT, &slot, &arr).unwrap();
-        os.set_reg(PARENT, 4, slot).unwrap();
+            os.fork(&mut ctx, PARENT, CHILD).unwrap();
 
-        os.fork(&mut ctx, PARENT, CHILD).unwrap();
+            // Shadow models.
+            let mut shadow_p: Vec<u64> = (0..CELLS).collect();
+            let mut shadow_c = shadow_p.clone();
 
-        // Shadow models.
-        let mut shadow_p: Vec<u64> = (0..CELLS).collect();
-        let mut shadow_c = shadow_p.clone();
+            // Resolve each side's array pointer through its own memory.
+            let p_slot = os.reg(PARENT, 4).unwrap();
+            let p_arr = os
+                .load_cap(&mut ctx, PARENT, &p_slot.with_addr(p_slot.base()).unwrap())
+                .unwrap()
+                .expect("parent array ptr");
+            let c_slot = os.reg(CHILD, 4).unwrap();
+            let c_arr = os
+                .load_cap(&mut ctx, CHILD, &c_slot.with_addr(c_slot.base()).unwrap())
+                .unwrap()
+                .expect("child array ptr");
+            if p_arr.base() == c_arr.base() {
+                return Err("child pointer must be relocated".into());
+            }
 
-        // Resolve each side's array pointer through its own memory.
-        let p_slot = os.reg(PARENT, 4).unwrap();
-        let p_arr = os.load_cap(&mut ctx, PARENT, &p_slot.with_addr(p_slot.base()).unwrap())
-            .unwrap().expect("parent array ptr");
-        let c_slot = os.reg(CHILD, 4).unwrap();
-        let c_arr = os.load_cap(&mut ctx, CHILD, &c_slot.with_addr(c_slot.base()).unwrap())
-            .unwrap().expect("child array ptr");
-        prop_assert_ne!(p_arr.base(), c_arr.base(), "child pointer must be relocated");
-
-        for o in ops {
-            match o {
-                Op::ParentWrite(i, v) => {
-                    os.store(&mut ctx, PARENT, &cell_addr(&p_arr, i), &v.to_le_bytes()).unwrap();
-                    shadow_p[(u64::from(i) % CELLS) as usize] = v;
-                }
-                Op::ChildWrite(i, v) => {
-                    os.store(&mut ctx, CHILD, &cell_addr(&c_arr, i), &v.to_le_bytes()).unwrap();
-                    shadow_c[(u64::from(i) % CELLS) as usize] = v;
-                }
-                Op::ParentRead(i) => {
-                    let mut b = [0u8; 8];
-                    os.load(&mut ctx, PARENT, &cell_addr(&p_arr, i), &mut b).unwrap();
-                    prop_assert_eq!(u64::from_le_bytes(b), shadow_p[(u64::from(i) % CELLS) as usize],
-                        "{:?}: parent read diverged", strategy);
-                }
-                Op::ChildRead(i) => {
-                    let mut b = [0u8; 8];
-                    os.load(&mut ctx, CHILD, &cell_addr(&c_arr, i), &mut b).unwrap();
-                    prop_assert_eq!(u64::from_le_bytes(b), shadow_c[(u64::from(i) % CELLS) as usize],
-                        "{:?}: child read diverged", strategy);
+            for o in ops {
+                match *o {
+                    Op::ParentWrite(i, v) => {
+                        os.store(&mut ctx, PARENT, &cell_addr(&p_arr, i), &v.to_le_bytes())
+                            .unwrap();
+                        shadow_p[(u64::from(i) % CELLS) as usize] = v;
+                    }
+                    Op::ChildWrite(i, v) => {
+                        os.store(&mut ctx, CHILD, &cell_addr(&c_arr, i), &v.to_le_bytes())
+                            .unwrap();
+                        shadow_c[(u64::from(i) % CELLS) as usize] = v;
+                    }
+                    Op::ParentRead(i) => {
+                        let mut b = [0u8; 8];
+                        os.load(&mut ctx, PARENT, &cell_addr(&p_arr, i), &mut b)
+                            .unwrap();
+                        let want = shadow_p[(u64::from(i) % CELLS) as usize];
+                        if u64::from_le_bytes(b) != want {
+                            return Err(format!("{strategy:?}: parent read diverged"));
+                        }
+                    }
+                    Op::ChildRead(i) => {
+                        let mut b = [0u8; 8];
+                        os.load(&mut ctx, CHILD, &cell_addr(&c_arr, i), &mut b)
+                            .unwrap();
+                        let want = shadow_c[(u64::from(i) % CELLS) as usize];
+                        if u64::from_le_bytes(b) != want {
+                            return Err(format!("{strategy:?}: child read diverged"));
+                        }
+                    }
                 }
             }
-        }
-        // Final sweep: both views must equal their shadows, and isolation
-        // must audit clean.
-        for i in 0..CELLS {
-            let mut b = [0u8; 8];
-            os.load(&mut ctx, PARENT, &p_arr.with_addr(p_arr.base() + i * 512).unwrap(), &mut b).unwrap();
-            prop_assert_eq!(u64::from_le_bytes(b), shadow_p[i as usize]);
-            os.load(&mut ctx, CHILD, &c_arr.with_addr(c_arr.base() + i * 512).unwrap(), &mut b).unwrap();
-            prop_assert_eq!(u64::from_le_bytes(b), shadow_c[i as usize]);
-        }
-        prop_assert_eq!(os.audit_isolation(PARENT), 0);
-        prop_assert_eq!(os.audit_isolation(CHILD), 0);
-        prop_assert_eq!(ctx.counters.isolation_violations, 0);
-    }
+            // Final sweep: both views must equal their shadows, and
+            // isolation must audit clean.
+            for i in 0..CELLS {
+                let mut b = [0u8; 8];
+                os.load(
+                    &mut ctx,
+                    PARENT,
+                    &p_arr.with_addr(p_arr.base() + i * 512).unwrap(),
+                    &mut b,
+                )
+                .unwrap();
+                if u64::from_le_bytes(b) != shadow_p[i as usize] {
+                    return Err(format!("{strategy:?}: parent cell {i} diverged at sweep"));
+                }
+                os.load(
+                    &mut ctx,
+                    CHILD,
+                    &c_arr.with_addr(c_arr.base() + i * 512).unwrap(),
+                    &mut b,
+                )
+                .unwrap();
+                if u64::from_le_bytes(b) != shadow_c[i as usize] {
+                    return Err(format!("{strategy:?}: child cell {i} diverged at sweep"));
+                }
+            }
+            if os.audit_isolation(PARENT) != 0 || os.audit_isolation(CHILD) != 0 {
+                return Err(format!("{strategy:?}: isolation audit found violations"));
+            }
+            if ctx.counters.isolation_violations != 0 {
+                return Err(format!("{strategy:?}: isolation violations counted"));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Observational equivalence: after fork, the child's full view of
-    /// the array equals the parent's at-fork view under EVERY strategy —
-    /// byte for byte — no matter which cells the parent dirtied first.
-    #[test]
-    fn strategies_observationally_equivalent(
-        strategy_ix in 0u8..3,
-        parent_dirty in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..16),
-    ) {
-        let strategy = strategy_of(strategy_ix);
-        let mut os = UforkOs::new(UforkConfig {
-            phys_mib: 64,
-            strategy,
-            ..UforkConfig::default()
-        });
-        let mut ctx = Ctx::new();
-        os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world()).unwrap();
-        let arr = os.malloc(&mut ctx, PARENT, CELLS * 512).unwrap();
-        for i in 0..CELLS {
-            os.store(&mut ctx, PARENT, &arr.with_addr(arr.base() + i * 512).unwrap(),
-                &(0xAB00 + i).to_le_bytes()).unwrap();
-        }
-        os.set_reg(PARENT, 4, arr).unwrap();
-        os.fork(&mut ctx, PARENT, CHILD).unwrap();
-        // Parent dirties some cells AFTER the fork.
-        for (i, v) in parent_dirty {
-            os.store(&mut ctx, PARENT, &cell_addr(&arr, i), &v.to_le_bytes()).unwrap();
-        }
-        // The child still sees the at-fork snapshot.
-        let c_arr = os.reg(CHILD, 4).unwrap();
-        for i in 0..CELLS {
-            let mut b = [0u8; 8];
-            os.load(&mut ctx, CHILD, &c_arr.with_addr(c_arr.base() + i * 512).unwrap(), &mut b).unwrap();
-            prop_assert_eq!(u64::from_le_bytes(b), 0xAB00 + i, "{:?} cell {}", strategy, i);
-        }
-    }
+/// Observational equivalence: after fork, the child's full view of the
+/// array equals the parent's at-fork view under EVERY strategy — byte for
+/// byte — no matter which cells the parent dirtied first.
+#[test]
+fn strategies_observationally_equivalent() {
+    forall(
+        "strategies_observationally_equivalent",
+        &cfg(),
+        |rng| {
+            let strategy_ix = rng.below(3) as u8;
+            let n = rng.index(16);
+            let dirty: Vec<(u8, u64)> = (0..n)
+                .map(|_| (rng.next_u64() as u8, rng.next_u64()))
+                .collect();
+            (strategy_ix, dirty)
+        },
+        |(ix, dirty)| shrink_vec(dirty).into_iter().map(|d| (*ix, d)).collect(),
+        |(strategy_ix, parent_dirty)| {
+            let strategy = strategy_of(*strategy_ix);
+            let mut os = UforkOs::new(UforkConfig {
+                phys_mib: 64,
+                strategy,
+                ..UforkConfig::default()
+            });
+            let mut ctx = Ctx::new();
+            os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world()).unwrap();
+            let arr = os.malloc(&mut ctx, PARENT, CELLS * 512).unwrap();
+            for i in 0..CELLS {
+                os.store(
+                    &mut ctx,
+                    PARENT,
+                    &arr.with_addr(arr.base() + i * 512).unwrap(),
+                    &(0xAB00 + i).to_le_bytes(),
+                )
+                .unwrap();
+            }
+            os.set_reg(PARENT, 4, arr.clone()).unwrap();
+            os.fork(&mut ctx, PARENT, CHILD).unwrap();
+            // Parent dirties some cells AFTER the fork.
+            for (i, v) in parent_dirty {
+                os.store(&mut ctx, PARENT, &cell_addr(&arr, *i), &v.to_le_bytes())
+                    .unwrap();
+            }
+            // The child still sees the at-fork snapshot.
+            let c_arr = os.reg(CHILD, 4).unwrap();
+            for i in 0..CELLS {
+                let mut b = [0u8; 8];
+                os.load(
+                    &mut ctx,
+                    CHILD,
+                    &c_arr.with_addr(c_arr.base() + i * 512).unwrap(),
+                    &mut b,
+                )
+                .unwrap();
+                if u64::from_le_bytes(b) != 0xAB00 + i {
+                    return Err(format!("{strategy:?} cell {i}: child lost the snapshot"));
+                }
+            }
+            Ok(())
+        },
+    );
 }

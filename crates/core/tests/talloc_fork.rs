@@ -1,0 +1,138 @@
+//! Regression: forking with a fragmented talloc free list.
+//!
+//! The allocator's block descriptors each hold a *tagged capability* to
+//! their block; the free list threads through those descriptors. After
+//! fork, the child's copies of these capabilities must have been
+//! relocated into the child's region — a stale parent-region pointer in
+//! the free list would hand the child memory it must not touch on its
+//! next `malloc`. The fragmentation (freeing every other block) makes
+//! the free list long and non-trivial before the fork.
+
+use ufork::{ProcLayout, UforkConfig, UforkOs};
+use ufork_abi::{CopyStrategy, ImageSpec, Pid};
+use ufork_cheri::Capability;
+use ufork_exec::{Ctx, MemOs};
+
+const PARENT: Pid = Pid(1);
+const CHILD: Pid = Pid(2);
+
+/// Reads a u64 from a μprocess' memory through its own data root.
+fn read_u64(os: &mut UforkOs, ctx: &mut Ctx, pid: Pid, va: u64) -> u64 {
+    let root = os.reg(pid, 0).expect("data root");
+    let at = root.with_addr(va).expect("cursor");
+    let mut b = [0u8; 8];
+    os.load(ctx, pid, &at, &mut b).expect("meta read");
+    u64::from_le_bytes(b)
+}
+
+/// Loads the tagged block capability of descriptor `i`, if any.
+fn desc_cap(
+    os: &mut UforkOs,
+    ctx: &mut Ctx,
+    pid: Pid,
+    meta_base: u64,
+    i: u64,
+) -> Option<Capability> {
+    let root = os.reg(pid, 0).expect("data root");
+    let at = root.with_addr(meta_base + 64 + i * 32).expect("cursor");
+    os.load_cap(ctx, pid, &at).expect("desc load")
+}
+
+fn fragmented_fork(strategy: CopyStrategy) {
+    let image = ImageSpec::hello_world();
+    let layout = ProcLayout::for_image(&image);
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 128,
+        strategy,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    os.spawn(&mut ctx, PARENT, &image).expect("spawn");
+
+    // Eight blocks, every other one freed: a four-deep free list.
+    let caps: Vec<Capability> = (0..8)
+        .map(|i| {
+            let c = os.malloc(&mut ctx, PARENT, 512).expect("malloc");
+            os.store(&mut ctx, PARENT, &c, &[0x11 * (i as u8 + 1); 16])
+                .expect("write");
+            c
+        })
+        .collect();
+    for i in [1usize, 3, 5, 7] {
+        os.mfree(&mut ctx, PARENT, &caps[i]).expect("free");
+    }
+
+    os.fork(&mut ctx, PARENT, CHILD).expect("fork");
+
+    let (p_base, p_len) = os.region_of(PARENT).expect("parent region");
+    let (c_base, c_len) = os.region_of(CHILD).expect("child region");
+    assert_ne!(p_base, c_base, "child must live elsewhere in the SAS");
+
+    // Every block capability in the child's descriptor table — used
+    // blocks and free-list entries alike — must point into the child's
+    // region: no cross-region pointers survive the fork.
+    let c_meta = c_base + layout.heap_meta.0;
+    let blocks_used = read_u64(&mut os, &mut ctx, CHILD, c_meta + 16);
+    assert!(blocks_used >= 8, "prelude made at least 8 blocks");
+    let mut seen = 0;
+    for i in 0..blocks_used {
+        if let Some(cap) = desc_cap(&mut os, &mut ctx, CHILD, c_meta, i) {
+            assert!(
+                cap.confined_to(c_base, c_len),
+                "{strategy:?}: child descriptor {i} points outside the child \
+                 region: cap base {:#x}, child region [{c_base:#x}, +{c_len:#x})",
+                cap.base()
+            );
+            seen += 1;
+        }
+    }
+    assert!(seen >= 8, "descriptors lost their capabilities in the copy");
+
+    // The parent's descriptors still point into the parent's region.
+    let p_meta = p_base + layout.heap_meta.0;
+    for i in 0..read_u64(&mut os, &mut ctx, PARENT, p_meta + 16) {
+        if let Some(cap) = desc_cap(&mut os, &mut ctx, PARENT, p_meta, i) {
+            assert!(cap.confined_to(p_base, p_len), "parent descriptor moved");
+        }
+    }
+
+    // The child's next mallocs reuse the relocated free list: they must
+    // come back confined to the child and writable.
+    for _ in 0..4 {
+        let c = os.malloc(&mut ctx, CHILD, 512).expect("child malloc");
+        assert!(
+            c.confined_to(c_base, c_len),
+            "{strategy:?}: child malloc returned a parent-region block"
+        );
+        os.store(&mut ctx, CHILD, &c, &[0xCC; 16]).expect("child write");
+    }
+    // Parent's view is untouched by the child's allocations.
+    for (i, c) in caps.iter().enumerate() {
+        if i % 2 == 0 {
+            let mut b = [0u8; 16];
+            os.load(&mut ctx, PARENT, c, &mut b).expect("parent read");
+            assert_eq!(b, [0x11 * (i as u8 + 1); 16], "parent block clobbered");
+        }
+    }
+    assert_eq!(os.audit_isolation(PARENT), 0);
+    assert_eq!(os.audit_isolation(CHILD), 0);
+
+    os.destroy(&mut ctx, CHILD);
+    os.destroy(&mut ctx, PARENT);
+    assert_eq!(os.allocated_frames(), 0, "teardown leaked frames");
+}
+
+#[test]
+fn fragmented_free_list_relocates_full() {
+    fragmented_fork(CopyStrategy::Full);
+}
+
+#[test]
+fn fragmented_free_list_relocates_coa() {
+    fragmented_fork(CopyStrategy::CoA);
+}
+
+#[test]
+fn fragmented_free_list_relocates_copa() {
+    fragmented_fork(CopyStrategy::CoPA);
+}

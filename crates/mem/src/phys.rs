@@ -61,6 +61,8 @@ pub struct PhysMem {
     total_frames: u32,
     allocated: u32,
     peak_allocated: u32,
+    alloc_attempts: u64,
+    fail_at_attempt: Option<u64>,
 }
 
 impl PhysMem {
@@ -73,6 +75,8 @@ impl PhysMem {
             total_frames,
             allocated: 0,
             peak_allocated: 0,
+            alloc_attempts: 0,
+            fail_at_attempt: None,
         }
     }
 
@@ -96,8 +100,34 @@ impl PhysMem {
         self.peak_allocated
     }
 
+    /// Total `alloc_frame` attempts so far (successful or not). A
+    /// fault-injection campaign first counts a clean run's attempts, then
+    /// replays with [`PhysMem::fail_alloc_at`] targeting each index.
+    pub fn alloc_attempts(&self) -> u64 {
+        self.alloc_attempts
+    }
+
+    /// Arms deterministic fault injection: the allocation attempt with
+    /// index `attempt` (counted by [`PhysMem::alloc_attempts`], 0-based
+    /// from boot) fails with `OutOfFrames`. One-shot: the trigger disarms
+    /// after firing so recovery paths can allocate again.
+    pub fn fail_alloc_at(&mut self, attempt: u64) {
+        self.fail_at_attempt = Some(attempt);
+    }
+
+    /// Disarms fault injection.
+    pub fn clear_alloc_failure(&mut self) {
+        self.fail_at_attempt = None;
+    }
+
     /// Allocates a zeroed frame with refcount 1.
     pub fn alloc_frame(&mut self) -> Result<Pfn, MemError> {
+        let attempt = self.alloc_attempts;
+        self.alloc_attempts += 1;
+        if self.fail_at_attempt == Some(attempt) {
+            self.fail_at_attempt = None;
+            return Err(MemError::OutOfFrames);
+        }
         let pfn = if let Some(p) = self.free.pop() {
             p
         } else if self.next_fresh < self.total_frames {
@@ -351,5 +381,29 @@ mod tests {
     fn with_mib_capacity() {
         let pm = PhysMem::with_mib(1);
         assert_eq!(pm.total_frames(), 256);
+    }
+
+    #[test]
+    fn injected_alloc_failure_is_one_shot_and_deterministic() {
+        let mut pm = PhysMem::new(8);
+        let _a = pm.alloc_frame().unwrap();
+        assert_eq!(pm.alloc_attempts(), 1);
+        // Arm the third attempt (index 2): the next alloc succeeds, the
+        // one after fails, and the one after that succeeds again.
+        pm.fail_alloc_at(2);
+        assert!(pm.alloc_frame().is_ok());
+        assert_eq!(pm.alloc_frame().unwrap_err(), MemError::OutOfFrames);
+        assert!(pm.alloc_frame().is_ok());
+        assert_eq!(pm.alloc_attempts(), 4);
+        // Failed attempts don't change accounting.
+        assert_eq!(pm.allocated_frames(), 3);
+    }
+
+    #[test]
+    fn disarming_cancels_injection() {
+        let mut pm = PhysMem::new(2);
+        pm.fail_alloc_at(0);
+        pm.clear_alloc_failure();
+        assert!(pm.alloc_frame().is_ok());
     }
 }

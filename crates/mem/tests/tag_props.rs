@@ -1,10 +1,20 @@
 //! Property tests of the tagged-memory invariant μFork's relocation
 //! depends on: a tag is set iff the last write to its granule was a
 //! capability store, and data writes always clear overlapped tags.
+//!
+//! Runs on the in-repo `ufork-testkit` harness (offline; default-on
+//! `props` feature).
+#![cfg(feature = "props")]
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
+
 use ufork_cheri::{Capability, Perms};
 use ufork_mem::{PhysMem, GRANULES_PER_PAGE, GRANULE_SIZE, PAGE_SIZE};
+use ufork_testkit::{forall, no_shrink, shrink_vec, PropConfig, Rng};
+
+fn cfg() -> PropConfig {
+    PropConfig::from_env(256)
+}
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -13,95 +23,145 @@ enum Op {
     ClearViaWrite { granule: u8 },
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (any::<u16>(), 1u8..64).prop_map(|(off, len)| Op::Write {
-                off: off % (PAGE_SIZE as u16 - 64),
-                len,
-            }),
-            any::<u8>().prop_map(|g| Op::StoreCap { granule: g }),
-            any::<u8>().prop_map(|g| Op::ClearViaWrite { granule: g }),
-        ],
-        1..80,
-    )
+fn gen_ops(rng: &mut Rng) -> Vec<Op> {
+    let n = rng.range(1, 80) as usize;
+    (0..n)
+        .map(|_| match rng.below(3) {
+            0 => Op::Write {
+                off: (rng.next_u64() as u16) % (PAGE_SIZE as u16 - 64),
+                len: rng.range(1, 64) as u8,
+            },
+            1 => Op::StoreCap {
+                granule: rng.next_u64() as u8,
+            },
+            _ => Op::ClearViaWrite {
+                granule: rng.next_u64() as u8,
+            },
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn tag_set_iff_last_writer_was_cap_store() {
+    forall(
+        "tag_set_iff_last_writer_was_cap_store",
+        &cfg(),
+        gen_ops,
+        |ops| shrink_vec(ops),
+        |ops| {
+            let mut pm = PhysMem::new(2);
+            let f = pm.alloc_frame().unwrap();
+            // Shadow: which granules hold valid capabilities.
+            let mut shadow = vec![false; GRANULES_PER_PAGE as usize];
+            let cap = Capability::new_root(0x4000, 64, Perms::data());
 
-    #[test]
-    fn tag_set_iff_last_writer_was_cap_store(ops in ops()) {
-        let mut pm = PhysMem::new(2);
-        let f = pm.alloc_frame().unwrap();
-        // Shadow: which granules hold valid capabilities.
-        let mut shadow = vec![false; GRANULES_PER_PAGE as usize];
-        let cap = Capability::new_root(0x4000, 64, Perms::data());
-
-        for op in ops {
-            match op {
-                Op::Write { off, len } => {
-                    let off = u64::from(off);
-                    let len = u64::from(len);
-                    pm.write(f, off, &vec![0xAA; len as usize]).unwrap();
-                    let first = off / GRANULE_SIZE;
-                    let last = (off + len - 1) / GRANULE_SIZE;
-                    for g in first..=last {
+            for op in ops {
+                match op {
+                    Op::Write { off, len } => {
+                        let off = u64::from(*off);
+                        let len = u64::from(*len);
+                        pm.write(f, off, &vec![0xAA; len as usize]).unwrap();
+                        let first = off / GRANULE_SIZE;
+                        let last = (off + len - 1) / GRANULE_SIZE;
+                        for g in first..=last {
+                            shadow[g as usize] = false;
+                        }
+                    }
+                    Op::StoreCap { granule } => {
+                        let g = u64::from(*granule) % GRANULES_PER_PAGE;
+                        pm.store_cap(f, g * GRANULE_SIZE, &cap).unwrap();
+                        shadow[g as usize] = true;
+                    }
+                    Op::ClearViaWrite { granule } => {
+                        let g = u64::from(*granule) % GRANULES_PER_PAGE;
+                        pm.write(f, g * GRANULE_SIZE + 7, &[1]).unwrap();
                         shadow[g as usize] = false;
                     }
                 }
-                Op::StoreCap { granule } => {
-                    let g = u64::from(granule) % GRANULES_PER_PAGE;
-                    pm.store_cap(f, g * GRANULE_SIZE, &cap).unwrap();
-                    shadow[g as usize] = true;
-                }
-                Op::ClearViaWrite { granule } => {
-                    let g = u64::from(granule) % GRANULES_PER_PAGE;
-                    pm.write(f, g * GRANULE_SIZE + 7, &[1]).unwrap();
-                    shadow[g as usize] = false;
+                // Invariant: the frame's tag map equals the shadow.
+                for (g, expect) in shadow.iter().enumerate() {
+                    let got = pm.load_cap(f, g as u64 * GRANULE_SIZE).unwrap().is_some();
+                    if got != *expect {
+                        return Err(format!(
+                            "granule {g}: tag {got}, shadow expects {expect}"
+                        ));
+                    }
                 }
             }
-            // Invariant: the frame's tag map equals the shadow.
-            for (g, expect) in shadow.iter().enumerate() {
-                let got = pm.load_cap(f, g as u64 * GRANULE_SIZE).unwrap().is_some();
-                prop_assert_eq!(got, *expect, "granule {}", g);
+            Ok(())
+        },
+    );
+}
+
+/// Copying a frame preserves both data and tags exactly.
+#[test]
+fn frame_copy_preserves_tags() {
+    forall(
+        "frame_copy_preserves_tags",
+        &cfg(),
+        |rng| {
+            let n = rng.below(32);
+            let mut granules = BTreeSet::new();
+            for _ in 0..n {
+                granules.insert(rng.below(GRANULES_PER_PAGE));
             }
-        }
-    }
+            granules
+        },
+        no_shrink,
+        |granules| {
+            let mut pm = PhysMem::new(3);
+            let a = pm.alloc_frame().unwrap();
+            let b = pm.alloc_frame().unwrap();
+            for &g in granules {
+                let cap = Capability::new_root(0x8000 + g * 64, 64, Perms::data());
+                pm.store_cap(a, g * GRANULE_SIZE, &cap).unwrap();
+            }
+            pm.copy_frame(a, b).unwrap();
+            for g in 0..GRANULES_PER_PAGE {
+                let src = pm.load_cap(a, g * GRANULE_SIZE).unwrap();
+                let dst = pm.load_cap(b, g * GRANULE_SIZE).unwrap();
+                if src != dst {
+                    return Err(format!("granule {g}: copy diverged"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Copying a frame preserves both data and tags exactly.
-    #[test]
-    fn frame_copy_preserves_tags(granules in proptest::collection::btree_set(0u64..GRANULES_PER_PAGE, 0..32)) {
-        let mut pm = PhysMem::new(3);
-        let a = pm.alloc_frame().unwrap();
-        let b = pm.alloc_frame().unwrap();
-        for &g in &granules {
-            let cap = Capability::new_root(0x8000 + g * 64, 64, Perms::data());
-            pm.store_cap(a, g * GRANULE_SIZE, &cap).unwrap();
-        }
-        pm.copy_frame(a, b).unwrap();
-        for g in 0..GRANULES_PER_PAGE {
-            let src = pm.load_cap(a, g * GRANULE_SIZE).unwrap();
-            let dst = pm.load_cap(b, g * GRANULE_SIZE).unwrap();
-            prop_assert_eq!(src, dst);
-        }
-    }
-
-    /// Refcounts: after any sequence of inc/dec the frame is freed exactly
-    /// when the count hits zero, and never before.
-    #[test]
-    fn refcount_lifecycle(incs in 0u32..12) {
-        let mut pm = PhysMem::new(1);
-        let f = pm.alloc_frame().unwrap();
-        for _ in 0..incs {
-            pm.inc_ref(f).unwrap();
-        }
-        for i in 0..incs {
-            prop_assert_eq!(pm.dec_ref(f).unwrap(), incs - i);
-            prop_assert!(pm.refcount(f).is_ok());
-        }
-        prop_assert_eq!(pm.dec_ref(f).unwrap(), 0);
-        prop_assert!(pm.refcount(f).is_err());
-        prop_assert_eq!(pm.allocated_frames(), 0);
-    }
+/// Refcounts: after any sequence of inc/dec the frame is freed exactly
+/// when the count hits zero, and never before.
+#[test]
+fn refcount_lifecycle() {
+    forall(
+        "refcount_lifecycle",
+        &cfg(),
+        |rng| rng.below(12) as u32,
+        no_shrink,
+        |&incs| {
+            let mut pm = PhysMem::new(1);
+            let f = pm.alloc_frame().unwrap();
+            for _ in 0..incs {
+                pm.inc_ref(f).unwrap();
+            }
+            for i in 0..incs {
+                if pm.dec_ref(f).unwrap() != incs - i {
+                    return Err(format!("dec_ref {i} returned wrong remaining count"));
+                }
+                if pm.refcount(f).is_err() {
+                    return Err(format!("frame freed early at dec {i}"));
+                }
+            }
+            if pm.dec_ref(f).unwrap() != 0 {
+                return Err("final dec_ref did not report zero".into());
+            }
+            if pm.refcount(f).is_ok() {
+                return Err("frame still allocated after final dec_ref".into());
+            }
+            if pm.allocated_frames() != 0 {
+                return Err("allocated_frames nonzero after free".into());
+            }
+            Ok(())
+        },
+    );
 }

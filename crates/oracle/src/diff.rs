@@ -1,0 +1,228 @@
+//! The four-way differential comparison and divergence shrinking.
+//!
+//! Every generated [`KernelProgram`] runs under all three μFork copy
+//! strategies (Full, CoA, CoPA) *and* the multi-address-space reference
+//! kernel. The four normalized observations must be identical; on a
+//! divergence the failing program is minimized by chunk-removal
+//! shrinking (re-running all four backends per candidate) before the
+//! report is produced, so the smallest reproducing op sequence is what
+//! a human sees.
+//!
+//! Each μFork backend runs with a *different* ASLR seed derived from the
+//! case seed: observations are region-relative, so they must agree no
+//! matter where the regions land — this exercises the relocation
+//! normalization rather than assuming it.
+
+use ufork_abi::CopyStrategy;
+use ufork_baselines::{mono, BaselineConfig};
+use ufork::{UforkConfig, UforkOs};
+
+use crate::driver::{run_program, RunResult};
+use crate::gen::KernelProgram;
+
+/// The four kernels under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// μFork with eager full copies.
+    Full,
+    /// μFork with copy-on-any-access.
+    CoA,
+    /// μFork with copy-on-write + copy-on-capability-load.
+    CoPA,
+    /// The per-process-page-table reference kernel.
+    MultiAs,
+}
+
+/// All backends, in reporting order.
+pub const ALL_BACKENDS: [Backend; 4] = [Backend::Full, Backend::CoA, Backend::CoPA, Backend::MultiAs];
+
+impl Backend {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Full => "ufork-full",
+            Backend::CoA => "ufork-coa",
+            Backend::CoPA => "ufork-copa",
+            Backend::MultiAs => "multias",
+        }
+    }
+}
+
+/// Physical memory given to each backend (generous: programs are small).
+const PHYS_MIB: u32 = 256;
+
+/// Runs one program on one backend, including the μFork-only
+/// post-teardown kernel audit (dangling PTEs / unaccounted frames).
+pub fn run_backend(
+    backend: Backend,
+    aslr: u64,
+    prog: &KernelProgram,
+) -> Result<RunResult, String> {
+    match backend {
+        Backend::MultiAs => {
+            let mut os = mono(BaselineConfig {
+                phys_mib: PHYS_MIB,
+                ..BaselineConfig::default()
+            });
+            run_program(&mut os, prog)
+        }
+        _ => {
+            let strategy = match backend {
+                Backend::Full => CopyStrategy::Full,
+                Backend::CoA => CopyStrategy::CoA,
+                _ => CopyStrategy::CoPA,
+            };
+            let mut os = UforkOs::new(UforkConfig {
+                phys_mib: PHYS_MIB,
+                strategy,
+                aslr_seed: Some(aslr),
+                ..UforkConfig::default()
+            });
+            let r = run_program(&mut os, prog)?;
+            let (dangling, unaccounted) = os.audit_kernel();
+            if dangling != 0 || unaccounted != 0 {
+                return Err(format!(
+                    "{}: kernel audit failed after teardown: {dangling} dangling PTEs, \
+                     {unaccounted} unaccounted frames",
+                    backend.name()
+                ));
+            }
+            Ok(r)
+        }
+    }
+}
+
+/// Outcome of one differential case.
+pub enum CaseOutcome {
+    /// All four backends agreed and every invariant held.
+    Agree,
+    /// A divergence or invariant breach, with the (shrunken) program and
+    /// a human-readable explanation.
+    Diverged {
+        /// The minimized reproducing program.
+        program: KernelProgram,
+        /// What differed, between which backends.
+        report: String,
+    },
+}
+
+/// Checks one program across all backends. `aslr` seeds the per-backend
+/// region placement.
+fn check_once(prog: &KernelProgram, aslr: u64) -> Result<(), String> {
+    let mut results: Vec<(Backend, RunResult)> = Vec::with_capacity(4);
+    for (i, b) in ALL_BACKENDS.iter().enumerate() {
+        // A different region layout per μFork backend.
+        let r = run_backend(*b, aslr.wrapping_add(i as u64 * 0x9e37), prog)?;
+        if r.invariants.isolation_violations != 0 {
+            return Err(format!(
+                "{}: {} isolation violations",
+                b.name(),
+                r.invariants.isolation_violations
+            ));
+        }
+        if r.invariants.frames_after_teardown != 0 {
+            return Err(format!(
+                "{}: {} frames leaked after teardown",
+                b.name(),
+                r.invariants.frames_after_teardown
+            ));
+        }
+        results.push((*b, r));
+    }
+    let (b0, first) = &results[0];
+    for (b, r) in &results[1..] {
+        if let Some(d) = first_difference(&first.obs, &r.obs) {
+            return Err(format!("{} vs {}: {d}", b0.name(), b.name()));
+        }
+    }
+    Ok(())
+}
+
+/// Describes the first point where two observations differ.
+fn first_difference(
+    a: &crate::driver::Observation,
+    b: &crate::driver::Observation,
+) -> Option<String> {
+    for (i, (ta, tb)) in a.trace.iter().zip(b.trace.iter()).enumerate() {
+        if ta != tb {
+            return Some(format!("trace[{i}]: {ta:?} != {tb:?}"));
+        }
+    }
+    if a.trace.len() != b.trace.len() {
+        return Some(format!(
+            "trace length {} != {}",
+            a.trace.len(),
+            b.trace.len()
+        ));
+    }
+    for (ord, (fa, fb)) in a.finals.iter().zip(b.finals.iter()).enumerate() {
+        if fa != fb {
+            match (fa, fb) {
+                (Some(pa), Some(pb)) => {
+                    for (s, (sa, sb)) in pa.slots.iter().zip(pb.slots.iter()).enumerate() {
+                        if sa != sb {
+                            return Some(format!(
+                                "proc#{ord} slot{s}: {sa:?} != {sb:?}"
+                            ));
+                        }
+                    }
+                }
+                _ => return Some(format!("proc#{ord}: {fa:?} != {fb:?}")),
+            }
+        }
+    }
+    if a.finals.len() != b.finals.len() {
+        return Some(format!(
+            "proc count {} != {}",
+            a.finals.len(),
+            b.finals.len()
+        ));
+    }
+    None
+}
+
+/// Runs one differential case, shrinking the program on divergence.
+pub fn run_case(prog: &KernelProgram, aslr: u64) -> CaseOutcome {
+    match check_once(prog, aslr) {
+        Ok(()) => CaseOutcome::Agree,
+        Err(first_report) => {
+            let (min, report) = shrink(prog.clone(), first_report, aslr);
+            CaseOutcome::Diverged {
+                program: min,
+                report,
+            }
+        }
+    }
+}
+
+/// Chunk-removal shrinking: repeatedly drop op spans while the program
+/// still diverges, halving the chunk size down to single ops.
+fn shrink(mut prog: KernelProgram, mut report: String, aslr: u64) -> (KernelProgram, String) {
+    let mut chunk = (prog.ops.len() / 2).max(1);
+    let mut budget = 500usize;
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < prog.ops.len() && budget > 0 {
+            let end = (start + chunk).min(prog.ops.len());
+            let mut candidate = prog.clone();
+            candidate.ops.drain(start..end);
+            budget -= 1;
+            match check_once(&candidate, aslr) {
+                Err(r) => {
+                    prog = candidate;
+                    report = r;
+                    removed_any = true;
+                    // Same position now holds the next chunk.
+                }
+                Ok(()) => start = end,
+            }
+        }
+        if chunk == 1 && (!removed_any || budget == 0) {
+            return (prog, report);
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}

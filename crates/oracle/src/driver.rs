@@ -1,0 +1,397 @@
+//! Kernel-level differential driver.
+//!
+//! Runs a [`KernelProgram`] directly against any [`MemOs`] implementation
+//! and extracts a *normalized* [`Observation`]: every address is reported
+//! relative to the owning μprocess' region base, so observations from
+//! μFork (child copied to a different region, capabilities rebased by the
+//! relocation delta) and from the multi-address-space baseline (child at
+//! the same virtual addresses) are directly comparable. This is the
+//! "byte-for-byte modulo the documented relocation delta" comparison:
+//! untagged granules are compared as raw bytes, tagged granules
+//! structurally (region-relative bounds, cursor, permissions, seal).
+//!
+//! The driver also checks per-backend *invariants* that are not part of
+//! the cross-backend comparison: capability confinement audits and
+//! zero leaked frames after tearing every μprocess down.
+
+use ufork_abi::{ImageSpec, Pid};
+use ufork_cheri::Capability;
+use ufork_exec::{Ctx, MemOs};
+
+use crate::gen::{KernelProgram, Op, HEAP_BYTES, MAX_PROCS, SLOTS};
+
+/// One observed 16-byte granule of a live allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GranuleObs {
+    /// Untagged data, raw bytes.
+    Bytes([u8; 16]),
+    /// A tagged capability, normalized region-relative.
+    Cap {
+        /// `base - region_base` of the owning μprocess.
+        rel_base: u64,
+        /// Capability length.
+        len: u64,
+        /// `addr - region_base` (cursor), wrapping.
+        rel_addr: u64,
+        /// Permission bits.
+        perms: u16,
+        /// Whether the capability is sealed.
+        sealed: bool,
+    },
+    /// The granule could not be read (recorded, still comparable).
+    Unreadable(String),
+}
+
+/// One live allocation at the end of the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocObs {
+    /// `cap.base() - region_base`.
+    pub rel_base: u64,
+    /// Allocation length (capability length).
+    pub len: u64,
+    /// Granule-by-granule contents.
+    pub granules: Vec<GranuleObs>,
+}
+
+/// Final state of one μprocess.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcObs {
+    /// Per-slot allocations (`None` = slot empty).
+    pub slots: Vec<Option<AllocObs>>,
+}
+
+/// Everything compared across backends for one program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observation {
+    /// One entry per executed op: the op's normalized outcome.
+    pub trace: Vec<String>,
+    /// Final state per μprocess ordinal (`None` = exited).
+    pub finals: Vec<Option<ProcObs>>,
+}
+
+/// Per-backend invariants (not compared, must hold individually).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Invariants {
+    /// Sum of `audit_isolation` over all live μprocesses.
+    pub isolation_violations: usize,
+    /// `allocated_frames()` after destroying every μprocess.
+    pub frames_after_teardown: u32,
+}
+
+/// Result of driving one program against one backend.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The normalized observation (cross-backend comparable).
+    pub obs: Observation,
+    /// Backend-local invariants.
+    pub invariants: Invariants,
+}
+
+struct DrvProc {
+    pid: Pid,
+    alive: bool,
+    /// Base of `reg(0)` — used to compute the fork relocation delta.
+    root_base: u64,
+    /// Normalization origin for observed addresses: the base of a
+    /// calibration allocation made right after spawn. Region bases and
+    /// heap offsets are backend-specific (the multi-AS baseline maps
+    /// extra image bytes below the heap), but talloc's *internal* arena
+    /// offsets are identical across backends, so anchoring at a heap
+    /// address makes observations comparable.
+    anchor: u64,
+    slots: Vec<Option<Capability>>,
+}
+
+/// The image every oracle μprocess runs.
+pub fn oracle_image() -> ImageSpec {
+    ImageSpec::with_heap("oracle", HEAP_BYTES)
+}
+
+/// Runs `prog` against `os`, returning the observation + invariants.
+///
+/// `os` must be freshly constructed; the driver spawns `Pid(1)` itself
+/// and destroys everything before returning.
+pub fn run_program<O: MemOs>(os: &mut O, prog: &KernelProgram) -> Result<RunResult, String> {
+    let mut ctx = Ctx::new();
+    let image = oracle_image();
+    os.spawn(&mut ctx, Pid(1), &image)
+        .map_err(|e| format!("spawn failed: {e:?}"))?;
+    let root = os
+        .reg(Pid(1), 0)
+        .map_err(|e| format!("no data root: {e:?}"))?;
+    // Calibration allocation: anchors normalization at a heap address
+    // (freed immediately; the talloc state change is identical on every
+    // backend, so traces stay aligned).
+    let probe = os
+        .malloc(&mut ctx, Pid(1), 16)
+        .map_err(|e| format!("calibration malloc: {e:?}"))?;
+    let anchor = probe.base();
+    os.mfree(&mut ctx, Pid(1), &probe)
+        .map_err(|e| format!("calibration free: {e:?}"))?;
+    let mut procs = vec![DrvProc {
+        pid: Pid(1),
+        alive: true,
+        root_base: root.base(),
+        anchor,
+        slots: vec![None; SLOTS],
+    }];
+    let mut current = 0usize;
+    let mut trace = Vec::with_capacity(prog.ops.len());
+
+    for op in &prog.ops {
+        let t = exec_op(os, &mut ctx, &mut procs, &mut current, *op);
+        trace.push(t);
+    }
+
+    // Final-state extraction (may materialize lazy pages: every backend
+    // performs the identical access sequence, so this is sound).
+    let mut finals = Vec::with_capacity(procs.len());
+    let mut violations = 0usize;
+    for p in &procs {
+        if !p.alive {
+            finals.push(None);
+            continue;
+        }
+        violations += os.audit_isolation(p.pid);
+        let mut slots = Vec::with_capacity(SLOTS);
+        for slot in &p.slots {
+            slots.push(slot.map(|cap| observe_alloc(os, &mut ctx, p, &cap)));
+        }
+        finals.push(Some(ProcObs { slots }));
+    }
+
+    // Teardown: every frame must come back.
+    for p in &procs {
+        if p.alive {
+            os.destroy(&mut ctx, p.pid);
+        }
+    }
+    Ok(RunResult {
+        obs: Observation { trace, finals },
+        invariants: Invariants {
+            isolation_violations: violations,
+            frames_after_teardown: os.allocated_frames(),
+        },
+    })
+}
+
+fn cursor_at(cap: &Capability, off: u64) -> Option<Capability> {
+    cap.with_addr(cap.base().checked_add(off)?).ok()
+}
+
+fn exec_op<O: MemOs>(
+    os: &mut O,
+    ctx: &mut Ctx,
+    procs: &mut Vec<DrvProc>,
+    current: &mut usize,
+    op: Op,
+) -> String {
+    let cur = *current;
+    let pid = procs[cur].pid;
+    match op {
+        Op::Malloc { slot, len } => {
+            let slot = slot as usize;
+            match os.malloc(ctx, pid, u64::from(len)) {
+                Ok(cap) => {
+                    let rel = cap.base().wrapping_sub(procs[cur].anchor);
+                    procs[cur].slots[slot] = Some(cap);
+                    format!("m{slot}=ok@{rel:x}+{}", cap.len())
+                }
+                Err(e) => format!("m{slot}=err{e:?}"),
+            }
+        }
+        Op::Free { slot } => {
+            let slot = slot as usize;
+            let Some(cap) = procs[cur].slots[slot] else {
+                return "free=skip".into();
+            };
+            procs[cur].slots[slot] = None;
+            match os.mfree(ctx, pid, &cap) {
+                Ok(()) => format!("free{slot}=ok"),
+                Err(e) => format!("free{slot}=err{e:?}"),
+            }
+        }
+        Op::Write { slot, granule, val } => {
+            let Some(cap) = procs[cur].slots[slot as usize] else {
+                return "w=skip".into();
+            };
+            let off = u64::from(granule) * 16;
+            if off + 8 > cap.len() {
+                return "w=skip".into();
+            }
+            let Some(at) = cursor_at(&cap, off) else {
+                return "w=badcur".into();
+            };
+            match os.store(ctx, pid, &at, &val.to_le_bytes()) {
+                Ok(()) => "w=ok".into(),
+                Err(e) => format!("w=err{e:?}"),
+            }
+        }
+        Op::StorePtr { src, granule, dst } => {
+            let (Some(s), Some(d)) = (
+                procs[cur].slots[src as usize],
+                procs[cur].slots[dst as usize],
+            ) else {
+                return "sp=skip".into();
+            };
+            let off = u64::from(granule) * 16;
+            if off + 16 > s.len() {
+                return "sp=skip".into();
+            }
+            let Some(at) = cursor_at(&s, off) else {
+                return "sp=badcur".into();
+            };
+            match os.store_cap(ctx, pid, &at, &d) {
+                Ok(()) => "sp=ok".into(),
+                Err(e) => format!("sp=err{e:?}"),
+            }
+        }
+        Op::ClearPtr { slot, granule } => {
+            let Some(cap) = procs[cur].slots[slot as usize] else {
+                return "cp=skip".into();
+            };
+            let off = u64::from(granule) * 16;
+            if off + 16 > cap.len() {
+                return "cp=skip".into();
+            }
+            let Some(at) = cursor_at(&cap, off) else {
+                return "cp=badcur".into();
+            };
+            match os.store(ctx, pid, &at, &[0xEE; 16]) {
+                Ok(()) => "cp=ok".into(),
+                Err(e) => format!("cp=err{e:?}"),
+            }
+        }
+        Op::FollowPtr { slot, granule } => {
+            let Some(cap) = procs[cur].slots[slot as usize] else {
+                return "f=skip".into();
+            };
+            let off = u64::from(granule) * 16;
+            if off + 16 > cap.len() {
+                return "f=skip".into();
+            }
+            let Some(at) = cursor_at(&cap, off) else {
+                return "f=badcur".into();
+            };
+            match os.load_cap(ctx, pid, &at) {
+                Ok(Some(target)) => {
+                    let rel = target.base().wrapping_sub(procs[cur].anchor);
+                    // Only read raw data through the pointer when the
+                    // target granule is untagged: tagged granules hold
+                    // backend-specific absolute cursors in their byte
+                    // view and are compared structurally instead.
+                    let Some(tat) = target.with_addr(target.base()).ok() else {
+                        return format!("f=ok@{rel:x}:badcur");
+                    };
+                    match os.load_cap(ctx, pid, &tat) {
+                        Ok(Some(inner)) => {
+                            let irel = inner.base().wrapping_sub(procs[cur].anchor);
+                            format!("f=ok@{rel:x}:cap@{irel:x}")
+                        }
+                        Ok(None) => {
+                            let mut b = [0u8; 8];
+                            match os.load(ctx, pid, &tat, &mut b) {
+                                Ok(()) => {
+                                    format!("f=ok@{rel:x}:{:x}", u64::from_le_bytes(b))
+                                }
+                                Err(e) => format!("f=ok@{rel:x}:rderr{e:?}"),
+                            }
+                        }
+                        Err(e) => format!("f=ok@{rel:x}:tagerr{e:?}"),
+                    }
+                }
+                Ok(None) => "f=untagged".into(),
+                Err(e) => format!("f=err{e:?}"),
+            }
+        }
+        Op::Fork => {
+            if procs.len() >= MAX_PROCS {
+                return "fork=skip".into();
+            }
+            let child = Pid(procs.len() as u32 + 1);
+            match os.fork(ctx, pid, child) {
+                Ok(()) => {
+                    let Ok(c_root) = os.reg(child, 0) else {
+                        return "fork=noroot".into();
+                    };
+                    let delta = c_root.base() as i64 - procs[cur].root_base as i64;
+                    let slots = procs[cur]
+                        .slots
+                        .iter()
+                        .map(|s| s.and_then(|cap| cap.rebase(delta, &c_root).ok()))
+                        .collect();
+                    let ord = procs.len();
+                    let anchor = procs[cur].anchor.wrapping_add_signed(delta);
+                    procs.push(DrvProc {
+                        pid: child,
+                        alive: true,
+                        root_base: c_root.base(),
+                        anchor,
+                        slots,
+                    });
+                    // The child runs next (deterministic convention).
+                    *current = ord;
+                    format!("fork=ok#{ord}")
+                }
+                Err(e) => format!("fork=err{e:?}"),
+            }
+        }
+        Op::Switch { idx } => {
+            let alive: Vec<usize> = (0..procs.len()).filter(|i| procs[*i].alive).collect();
+            let ord = alive[idx as usize % alive.len()];
+            *current = ord;
+            format!("sw={ord}")
+        }
+        Op::Exit => {
+            let alive: Vec<usize> = (0..procs.len()).filter(|i| procs[*i].alive).collect();
+            if alive.len() <= 1 {
+                return "exit=skip".into();
+            }
+            os.destroy(ctx, pid);
+            procs[cur].alive = false;
+            procs[cur].slots.iter_mut().for_each(|s| *s = None);
+            *current = (0..procs.len())
+                .find(|i| procs[*i].alive)
+                .expect("someone survives");
+            format!("exit={cur}")
+        }
+    }
+}
+
+fn observe_alloc<O: MemOs>(
+    os: &mut O,
+    ctx: &mut Ctx,
+    p: &DrvProc,
+    cap: &Capability,
+) -> AllocObs {
+    let n_granules = cap.len() / 16;
+    let mut granules = Vec::with_capacity(n_granules as usize);
+    for g in 0..n_granules {
+        let Some(at) = cursor_at(cap, g * 16) else {
+            granules.push(GranuleObs::Unreadable("badcur".into()));
+            continue;
+        };
+        match os.load_cap(ctx, p.pid, &at) {
+            Ok(Some(c)) => granules.push(GranuleObs::Cap {
+                rel_base: c.base().wrapping_sub(p.anchor),
+                len: c.len(),
+                rel_addr: c.addr().wrapping_sub(p.anchor),
+                perms: c.perms().bits(),
+                sealed: c.is_sealed(),
+            }),
+            Ok(None) => {
+                let mut b = [0u8; 16];
+                match os.load(ctx, p.pid, &at, &mut b) {
+                    Ok(()) => granules.push(GranuleObs::Bytes(b)),
+                    Err(e) => granules.push(GranuleObs::Unreadable(format!("{e:?}"))),
+                }
+            }
+            Err(e) => granules.push(GranuleObs::Unreadable(format!("tag:{e:?}"))),
+        }
+    }
+    AllocObs {
+        rel_base: cap.base().wrapping_sub(p.anchor),
+        len: cap.len(),
+        granules,
+    }
+}

@@ -1,0 +1,378 @@
+//! Deterministic fault injection around fork.
+//!
+//! The campaign first runs each scenario cleanly, reading the kernel's
+//! frame-allocation attempt counter before and after the operation under
+//! test. That yields the exact window of allocation attempts the
+//! operation performs; the campaign then replays the scenario once per
+//! attempt index, arming [`UforkOs::inject_frame_alloc_failure`] so that
+//! precisely the N-th allocation fails. Every replay must show:
+//!
+//! * the failing syscall returns an error (no partial success),
+//! * no frame leaked (`allocated_frames` back to the pre-op level),
+//! * no dangling PTEs / unaccounted frames (`audit_kernel`),
+//! * the parent still fully usable, and the *retried* operation (the
+//!   injection is one-shot) succeeding,
+//! * a clean teardown afterwards: zero frames remain.
+//!
+//! Three scenarios cover the paper's fork paths: frame exhaustion during
+//! the eager fork walk (all three strategies), frame exhaustion inside
+//! lazy CoA-access / CoPA tag-load fault resolution in the child, and
+//! μprocess-region exhaustion mid-fork.
+
+use ufork::{UforkConfig, UforkOs};
+use ufork_abi::{CopyStrategy, Errno, Pid};
+use ufork_cheri::Capability;
+use ufork_exec::{Ctx, MemOs};
+
+use crate::driver::oracle_image;
+
+/// What the campaign exercised (for reporting).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultSummary {
+    /// Injection points replayed inside the eager fork walk.
+    pub fork_walk_points: u64,
+    /// Injection points replayed inside lazy child fault resolution.
+    pub lazy_copy_points: u64,
+    /// Forks driven into region exhaustion.
+    pub region_exhaustion_forks: u64,
+}
+
+const STRATEGIES: [CopyStrategy; 3] = [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA];
+
+fn build(strategy: CopyStrategy) -> UforkOs {
+    UforkOs::new(UforkConfig {
+        phys_mib: 256,
+        strategy,
+        ..UforkConfig::default()
+    })
+}
+
+/// Spawns `Pid(1)` and builds a fragmented heap with a pointer cycle:
+/// seven allocations, every other one freed, capabilities chaining the
+/// survivors. Returns the surviving slot capabilities.
+fn prelude(os: &mut UforkOs, ctx: &mut Ctx) -> Result<Vec<Capability>, String> {
+    let pid = Pid(1);
+    os.spawn(ctx, pid, &oracle_image())
+        .map_err(|e| format!("spawn: {e:?}"))?;
+    let mut caps = Vec::new();
+    for i in 0..7u64 {
+        let c = os
+            .malloc(ctx, pid, 512)
+            .map_err(|e| format!("malloc#{i}: {e:?}"))?;
+        os.store(ctx, pid, &c, &(0xA0 + i).to_le_bytes())
+            .map_err(|e| format!("write#{i}: {e:?}"))?;
+        caps.push(c);
+    }
+    // Chain: caps[i] granule 1 points at caps[(i+2) % 7].
+    for i in 0..7usize {
+        let at = caps[i]
+            .with_addr(caps[i].base() + 16)
+            .map_err(|e| format!("cursor#{i}: {e:?}"))?;
+        os.store_cap(ctx, pid, &at, &caps[(i + 2) % 7])
+            .map_err(|e| format!("store_cap#{i}: {e:?}"))?;
+    }
+    // Fragment the free list.
+    for i in [1usize, 3, 5] {
+        os.mfree(ctx, pid, &caps[i])
+            .map_err(|e| format!("free#{i}: {e:?}"))?;
+    }
+    Ok(vec![caps[0], caps[2], caps[4], caps[6]])
+}
+
+/// Derives the child-side view of a parent capability after fork.
+fn child_cap(os: &UforkOs, parent_cap: &Capability) -> Result<Capability, String> {
+    let p_root = os.reg(Pid(1), 0).map_err(|e| format!("p root: {e:?}"))?;
+    let c_root = os.reg(Pid(2), 0).map_err(|e| format!("c root: {e:?}"))?;
+    let delta = c_root.base() as i64 - p_root.base() as i64;
+    parent_cap
+        .rebase(delta, &c_root)
+        .map_err(|e| format!("rebase: {e:?}"))
+}
+
+/// Asserts the kernel is consistent and the parent intact after a failed
+/// operation, then retries `retry` (must succeed) and tears down.
+fn check_recovery(
+    os: &mut UforkOs,
+    ctx: &mut Ctx,
+    frames_before: u32,
+    label: &str,
+) -> Result<(), String> {
+    if os.region_of(Pid(2)).is_ok() {
+        return Err(format!("{label}: failed fork left a child behind"));
+    }
+    let frames = os.allocated_frames();
+    if frames != frames_before {
+        return Err(format!(
+            "{label}: leaked {} frames ({} -> {frames})",
+            frames as i64 - frames_before as i64,
+            frames_before
+        ));
+    }
+    let (dangling, unaccounted) = os.audit_kernel();
+    if dangling != 0 || unaccounted != 0 {
+        return Err(format!(
+            "{label}: audit found {dangling} dangling PTEs, {unaccounted} unaccounted frames"
+        ));
+    }
+    // Parent must still be fully usable.
+    let c = os
+        .malloc(ctx, Pid(1), 64)
+        .map_err(|e| format!("{label}: parent malloc after failure: {e:?}"))?;
+    os.store(ctx, Pid(1), &c, &[0x5A; 8])
+        .map_err(|e| format!("{label}: parent write after failure: {e:?}"))?;
+    os.mfree(ctx, Pid(1), &c)
+        .map_err(|e| format!("{label}: parent free after failure: {e:?}"))?;
+    Ok(())
+}
+
+fn teardown_clean(os: &mut UforkOs, ctx: &mut Ctx, label: &str) -> Result<(), String> {
+    for pid in [Pid(2), Pid(1)] {
+        if os.region_of(pid).is_ok() {
+            os.destroy(ctx, pid);
+        }
+    }
+    let frames = os.allocated_frames();
+    if frames != 0 {
+        return Err(format!("{label}: {frames} frames alive after teardown"));
+    }
+    let (dangling, unaccounted) = os.audit_kernel();
+    if dangling != 0 || unaccounted != 0 {
+        return Err(format!(
+            "{label}: post-teardown audit: {dangling} dangling PTEs, {unaccounted} unaccounted"
+        ));
+    }
+    Ok(())
+}
+
+/// Frame exhaustion at every allocation attempt of the eager fork walk.
+fn fork_walk_campaign(summary: &mut FaultSummary) -> Result<(), String> {
+    for strategy in STRATEGIES {
+        // Clean run: find the fork's allocation-attempt window.
+        let (a0, a1) = {
+            let mut os = build(strategy);
+            let mut ctx = Ctx::new();
+            prelude(&mut os, &mut ctx)?;
+            let a0 = os.frame_alloc_attempts();
+            os.fork(&mut ctx, Pid(1), Pid(2))
+                .map_err(|e| format!("{strategy:?}: clean fork failed: {e:?}"))?;
+            (a0, os.frame_alloc_attempts())
+        };
+        if a1 == a0 {
+            return Err(format!(
+                "{strategy:?}: fork performed no frame allocations (window empty)"
+            ));
+        }
+        for attempt in a0..a1 {
+            let label = format!("{strategy:?} fork-walk attempt {attempt}");
+            let mut os = build(strategy);
+            let mut ctx = Ctx::new();
+            let caps = prelude(&mut os, &mut ctx)?;
+            let frames_before = os.allocated_frames();
+            os.inject_frame_alloc_failure(attempt);
+            match os.fork(&mut ctx, Pid(1), Pid(2)) {
+                Err(Errno::NoMem) => {}
+                other => {
+                    return Err(format!(
+                        "{label}: expected Err(NoMem), got {other:?}"
+                    ))
+                }
+            }
+            check_recovery(&mut os, &mut ctx, frames_before, &label)?;
+            // The injection is one-shot: the retry must succeed and the
+            // child must be fully formed.
+            os.fork(&mut ctx, Pid(1), Pid(2))
+                .map_err(|e| format!("{label}: retry fork failed: {e:?}"))?;
+            let mut b = [0u8; 8];
+            let cc = child_cap(&os, &caps[0])?;
+            os.load(&mut ctx, Pid(2), &cc, &mut b)
+                .map_err(|e| format!("{label}: child read after retry: {e:?}"))?;
+            if u64::from_le_bytes(b) != 0xA0 {
+                return Err(format!(
+                    "{label}: child sees {:#x}, expected 0xA0",
+                    u64::from_le_bytes(b)
+                ));
+            }
+            teardown_clean(&mut os, &mut ctx, &label)?;
+            summary.fork_walk_points += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Frame exhaustion inside the child's lazy fault resolution (CoA page
+/// materialization / CoPA capability-load relocation).
+fn lazy_copy_campaign(summary: &mut FaultSummary) -> Result<(), String> {
+    for strategy in [CopyStrategy::CoA, CopyStrategy::CoPA] {
+        // Clean run to find the window of the child's first access.
+        let (a0, a1, expected) = {
+            let mut os = build(strategy);
+            let mut ctx = Ctx::new();
+            let caps = prelude(&mut os, &mut ctx)?;
+            os.fork(&mut ctx, Pid(1), Pid(2))
+                .map_err(|e| format!("{strategy:?}: fork: {e:?}"))?;
+            let cc = child_cap(&os, &caps[0])?;
+            let a0 = os.frame_alloc_attempts();
+            let loaded = child_access(&mut os, &mut ctx, &cc, strategy)?;
+            (a0, os.frame_alloc_attempts(), loaded)
+        };
+        if a1 == a0 {
+            return Err(format!(
+                "{strategy:?}: child access triggered no frame allocation"
+            ));
+        }
+        for attempt in a0..a1 {
+            let label = format!("{strategy:?} lazy-copy attempt {attempt}");
+            let mut os = build(strategy);
+            let mut ctx = Ctx::new();
+            let caps = prelude(&mut os, &mut ctx)?;
+            os.fork(&mut ctx, Pid(1), Pid(2))
+                .map_err(|e| format!("{label}: fork: {e:?}"))?;
+            let cc = child_cap(&os, &caps[0])?;
+            let frames_before = os.allocated_frames();
+            os.inject_frame_alloc_failure(attempt);
+            match child_access(&mut os, &mut ctx, &cc, strategy) {
+                Err(_) => {}
+                Ok(v) => {
+                    return Err(format!(
+                        "{label}: access succeeded ({v:#x}) despite injected failure"
+                    ))
+                }
+            }
+            let frames = os.allocated_frames();
+            if frames != frames_before {
+                return Err(format!(
+                    "{label}: leaked {} frames in failed fault resolution",
+                    frames as i64 - frames_before as i64
+                ));
+            }
+            let (dangling, unaccounted) = os.audit_kernel();
+            if dangling != 0 || unaccounted != 0 {
+                return Err(format!(
+                    "{label}: audit: {dangling} dangling, {unaccounted} unaccounted"
+                ));
+            }
+            // Retry resolves cleanly and sees the pre-fork value.
+            let v = child_access(&mut os, &mut ctx, &cc, strategy)
+                .map_err(|e| format!("{label}: retry failed: {e}"))?;
+            if v != expected {
+                return Err(format!(
+                    "{label}: retry saw {v:#x}, clean run saw {expected:#x}"
+                ));
+            }
+            teardown_clean(&mut os, &mut ctx, &label)?;
+            summary.lazy_copy_points += 1;
+        }
+    }
+    Ok(())
+}
+
+/// The child's first touch of `cc`: a plain read under CoA (any access
+/// faults), a tagged capability load under CoPA (LC_FAULT fires), then a
+/// read through the loaded capability.
+fn child_access(
+    os: &mut UforkOs,
+    ctx: &mut Ctx,
+    cc: &Capability,
+    strategy: CopyStrategy,
+) -> Result<u64, String> {
+    if strategy == CopyStrategy::CoA {
+        let mut b = [0u8; 8];
+        os.load(ctx, Pid(2), cc, &mut b)
+            .map_err(|e| format!("coa load: {e:?}"))?;
+        Ok(u64::from_le_bytes(b))
+    } else {
+        // CoPA: the pointer granule is tagged, so this load faults.
+        let at = cc
+            .with_addr(cc.base() + 16)
+            .map_err(|e| format!("cursor: {e:?}"))?;
+        let target = os
+            .load_cap(ctx, Pid(2), &at)
+            .map_err(|e| format!("copa load_cap: {e:?}"))?
+            .ok_or_else(|| "copa: pointer granule lost its tag".to_string())?;
+        let tat = target
+            .with_addr(target.base())
+            .map_err(|e| format!("target cursor: {e:?}"))?;
+        let mut b = [0u8; 8];
+        os.load(ctx, Pid(2), &tat, &mut b)
+            .map_err(|e| format!("copa read-through: {e:?}"))?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+/// Region exhaustion: a μprocess area sized for only a few regions makes
+/// fork fail at region reservation; the failure must be clean.
+fn region_exhaustion_campaign(summary: &mut FaultSummary) -> Result<(), String> {
+    for strategy in STRATEGIES {
+        let image = oracle_image();
+        let region_len = ufork::ProcLayout::for_image(&image).region_len();
+        let mut os = UforkOs::new(UforkConfig {
+            phys_mib: 256,
+            strategy,
+            // Room for the parent and a couple of children, not more.
+            uproc_area_len: region_len * 4,
+            ..UforkConfig::default()
+        });
+        let mut ctx = Ctx::new();
+        prelude(&mut os, &mut ctx)?;
+        let mut forked = 0u32;
+        let mut next = 2u32;
+        loop {
+            if next > 8 {
+                return Err(format!(
+                    "{strategy:?}: region exhaustion never hit in {forked} forks"
+                ));
+            }
+            let frames_before = os.allocated_frames();
+            match os.fork(&mut ctx, Pid(1), Pid(next)) {
+                Ok(()) => {
+                    forked += 1;
+                    next += 1;
+                }
+                Err(Errno::NoMem) => {
+                    let label = format!("{strategy:?} region exhaustion");
+                    if os.region_of(Pid(next)).is_ok() {
+                        return Err(format!("{label}: failed fork left child"));
+                    }
+                    if os.allocated_frames() != frames_before {
+                        return Err(format!("{label}: failed fork leaked frames"));
+                    }
+                    let (d, u) = os.audit_kernel();
+                    if d != 0 || u != 0 {
+                        return Err(format!("{label}: audit {d}/{u}"));
+                    }
+                    // Parent and existing children still usable.
+                    let c = os
+                        .malloc(&mut ctx, Pid(1), 64)
+                        .map_err(|e| format!("{label}: parent malloc: {e:?}"))?;
+                    os.mfree(&mut ctx, Pid(1), &c)
+                        .map_err(|e| format!("{label}: parent free: {e:?}"))?;
+                    break;
+                }
+                Err(e) => return Err(format!("{strategy:?}: unexpected fork error {e:?}")),
+            }
+        }
+        if forked == 0 {
+            return Err(format!("{strategy:?}: no fork fit in the shrunken area"));
+        }
+        // Full teardown still releases everything.
+        for pid in (1..next + 1).map(Pid) {
+            if os.region_of(pid).is_ok() {
+                os.destroy(&mut ctx, pid);
+            }
+        }
+        if os.allocated_frames() != 0 {
+            return Err(format!("{strategy:?}: frames alive after teardown"));
+        }
+        summary.region_exhaustion_forks += u64::from(forked);
+    }
+    Ok(())
+}
+
+/// Runs the whole campaign; returns what was exercised.
+pub fn fault_campaign() -> Result<FaultSummary, String> {
+    let mut summary = FaultSummary::default();
+    fork_walk_campaign(&mut summary)?;
+    lazy_copy_campaign(&mut summary)?;
+    region_exhaustion_campaign(&mut summary)?;
+    Ok(summary)
+}

@@ -1,0 +1,171 @@
+//! Randomized μprocess program generation.
+//!
+//! Two program shapes are generated, both deterministically from a
+//! [`Rng`] seeded by `ORACLE_SEED`:
+//!
+//! * [`KernelProgram`] — a flat op sequence driven directly against a
+//!   [`ufork_exec::MemOs`] implementation (mallocs/frees, raw writes,
+//!   pointer-graph stores/loads, nested forks, exits). These are the
+//!   inputs of the kernel-level differential oracle.
+//! * [`MNode`] — a fork *tree* executed on the full `Machine` executive,
+//!   where every parent feeds each child patterned bytes through a pipe
+//!   and reaps it before continuing. The tree is sequentialized by those
+//!   waits, so its observable output (files, pipe traffic, exit codes) is
+//!   scheduling- and cost-model-independent — comparable across backends
+//!   with different cost models.
+
+use ufork_testkit::Rng;
+
+/// Number of capability handle slots each driven μprocess has.
+pub const SLOTS: usize = 8;
+
+/// Heap size of the generated image: small enough that programs can
+/// exhaust it (exercising identical `NoMem` paths on every backend).
+pub const HEAP_BYTES: u64 = 96 * 1024;
+
+/// Maximum live + exited μprocesses per kernel program.
+pub const MAX_PROCS: usize = 6;
+
+/// One operation of a kernel-level oracle program.
+///
+/// Slots and granule indices are generated unconstrained; the driver
+/// skips (deterministically, recording `skip` in the trace) any op whose
+/// operands do not refer to a live allocation. This keeps every op
+/// sequence valid, which is what makes chunk-removal shrinking sound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `slots[slot] = malloc(len)` in the current μprocess.
+    Malloc { slot: u8, len: u16 },
+    /// `free(slots[slot])`.
+    Free { slot: u8 },
+    /// Write `val` (8 bytes) at granule `granule` of `slots[slot]`.
+    Write { slot: u8, granule: u8, val: u64 },
+    /// Store the capability `slots[dst]` into memory at granule
+    /// `granule` of `slots[src]` (builds the pointer graph).
+    StorePtr { src: u8, granule: u8, dst: u8 },
+    /// Overwrite the granule with plain bytes (clears the tag).
+    ClearPtr { slot: u8, granule: u8 },
+    /// Load the capability stored at granule `granule` of `slots[slot]`
+    /// and read 8 bytes through it (exercises CoA/CoPA cap-load faults).
+    FollowPtr { slot: u8, granule: u8 },
+    /// Fork the current μprocess; the child inherits rebased handles.
+    Fork,
+    /// Switch the current μprocess to the `idx % alive`-th live one.
+    Switch { idx: u8 },
+    /// Exit the current μprocess (skipped if it is the last one).
+    Exit,
+}
+
+/// A generated kernel-level program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelProgram {
+    /// The op sequence, executed in order.
+    pub ops: Vec<Op>,
+}
+
+/// Generates one random op.
+pub fn gen_op(rng: &mut Rng) -> Op {
+    // Weighted: memory ops dominate, forks are common enough that most
+    // programs fork at least once, exits are rare.
+    match rng.below(32) {
+        0..=5 => Op::Malloc {
+            slot: rng.below(SLOTS as u64) as u8,
+            len: rng.range(16, 3000) as u16,
+        },
+        6..=8 => Op::Free {
+            slot: rng.below(SLOTS as u64) as u8,
+        },
+        9..=14 => Op::Write {
+            slot: rng.below(SLOTS as u64) as u8,
+            granule: rng.below(16) as u8,
+            val: rng.next_u64(),
+        },
+        15..=19 => Op::StorePtr {
+            src: rng.below(SLOTS as u64) as u8,
+            granule: rng.below(16) as u8,
+            dst: rng.below(SLOTS as u64) as u8,
+        },
+        20..=21 => Op::ClearPtr {
+            slot: rng.below(SLOTS as u64) as u8,
+            granule: rng.below(16) as u8,
+        },
+        22..=26 => Op::FollowPtr {
+            slot: rng.below(SLOTS as u64) as u8,
+            granule: rng.below(16) as u8,
+        },
+        27..=29 => Op::Fork,
+        30 => Op::Switch {
+            idx: rng.below(MAX_PROCS as u64) as u8,
+        },
+        _ => Op::Exit,
+    }
+}
+
+/// Generates a whole kernel-level program.
+pub fn gen_kernel_program(rng: &mut Rng) -> KernelProgram {
+    let n = rng.range(6, 60) as usize;
+    KernelProgram {
+        ops: (0..n).map(|_| gen_op(rng)).collect(),
+    }
+}
+
+/// One node of a machine-level fork tree (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MNode {
+    /// Byte pattern this μprocess logs and mixes into its exit code.
+    pub pattern: u8,
+    /// How many pattern bytes it appends to its log file.
+    pub log_len: u8,
+    /// Simulated compute before logging.
+    pub compute: u16,
+    /// Children forked in order; `send_len[i]` bytes are piped to child
+    /// `i` before the fork.
+    pub children: Vec<(u8, MNode)>,
+}
+
+impl MNode {
+    /// Total nodes in the tree (processes the program will create).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|(_, c)| c.size()).sum::<usize>()
+    }
+}
+
+/// Generates a fork tree with at most `budget` nodes.
+pub fn gen_tree(rng: &mut Rng, budget: &mut usize, depth: u32) -> MNode {
+    *budget = budget.saturating_sub(1);
+    let mut children = Vec::new();
+    while depth < 3 && *budget > 0 && rng.chance(1, 2) {
+        let send_len = rng.range(1, 48) as u8;
+        children.push((send_len, gen_tree(rng, budget, depth + 1)));
+    }
+    MNode {
+        pattern: rng.next_u64() as u8,
+        log_len: rng.range(1, 32) as u8,
+        compute: rng.next_u64() as u16,
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_kernel_program(&mut Rng::new(7));
+        let b = gen_kernel_program(&mut Rng::new(7));
+        assert_eq!(a, b);
+        let t1 = gen_tree(&mut Rng::new(9), &mut 6, 0);
+        let t2 = gen_tree(&mut Rng::new(9), &mut 6, 0);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn tree_budget_is_respected() {
+        for seed in 0..50 {
+            let mut budget = 6;
+            let t = gen_tree(&mut Rng::new(seed), &mut budget, 0);
+            assert!(t.size() <= 6, "tree too big: {}", t.size());
+        }
+    }
+}

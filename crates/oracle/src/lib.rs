@@ -1,0 +1,135 @@
+//! Differential fork-semantics oracle for the μFork reproduction.
+//!
+//! The oracle answers one question from many angles: *do all three μFork
+//! copy strategies and the multi-address-space reference kernel agree on
+//! the observable semantics of `fork`?* It has three engines:
+//!
+//! 1. **Kernel-level differential** ([`diff`], [`driver`], [`gen`]) —
+//!    seeded random programs of mallocs/frees, raw writes, pointer-graph
+//!    stores/loads, nested forks and exits run directly against each
+//!    kernel's [`ufork_exec::MemOs`] surface. Post-fork heap images are
+//!    compared byte-for-byte for untagged granules and structurally
+//!    (bounds, cursor, permissions, seal — all region-relative, i.e.
+//!    modulo the documented relocation delta) for tagged ones.
+//!    Divergences are minimized by chunk-removal shrinking.
+//! 2. **Machine-level differential** ([`machine`]) — fork trees with
+//!    pipe traffic, fd inheritance, waits and exit codes run on the full
+//!    executive, sequentialized by synchronization so observations are
+//!    cost-model-independent.
+//! 3. **Deterministic fault injection** ([`fault`]) — every frame
+//!    allocation attempt inside the fork walk and inside lazy CoA/CoPA
+//!    fault resolution is made to fail, one run per attempt index, and
+//!    the kernel must unwind without leaking a frame or a PTE; plus
+//!    μprocess-region exhaustion mid-fork.
+//!
+//! Everything is replayable from a single seed:
+//! `cargo run -p ufork-oracle -- --seed N --cases M` (or the
+//! `ORACLE_SEED` / `ORACLE_CASES` environment variables).
+
+pub mod diff;
+pub mod driver;
+pub mod fault;
+pub mod gen;
+pub mod machine;
+
+use ufork_testkit::Rng;
+
+/// Derives the per-case RNG from the suite seed (stable across runs and
+/// platforms; case `k` can be replayed alone).
+pub fn case_rng(seed: u64, case: u64) -> Rng {
+    let mut r = Rng::new(seed.wrapping_add(case).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    r.split()
+}
+
+/// Outcome of a whole oracle run.
+#[derive(Debug, Default)]
+pub struct OracleReport {
+    /// Kernel-level differential cases that agreed.
+    pub kernel_cases: u64,
+    /// Machine-level differential cases that agreed.
+    pub machine_cases: u64,
+    /// Fault-injection points exercised (0 when skipped).
+    pub fault_points: u64,
+    /// Human-readable failures (empty = success).
+    pub failures: Vec<String>,
+}
+
+impl OracleReport {
+    /// True when every engine passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the kernel-level differential for `cases` seeded programs.
+pub fn run_kernel_diff(seed: u64, cases: u64, report: &mut OracleReport) {
+    for case in 0..cases {
+        let mut rng = case_rng(seed, case);
+        let prog = gen::gen_kernel_program(&mut rng);
+        let aslr = rng.next_u64();
+        match diff::run_case(&prog, aslr) {
+            diff::CaseOutcome::Agree => report.kernel_cases += 1,
+            diff::CaseOutcome::Diverged { program, report: r } => {
+                report.failures.push(format!(
+                    "kernel case {case} (seed {seed}): {r}\n  minimized program \
+                     ({} ops): {:?}",
+                    program.ops.len(),
+                    program.ops
+                ));
+            }
+        }
+    }
+}
+
+/// Runs the machine-level differential for `cases` seeded fork trees.
+pub fn run_machine_diff(seed: u64, cases: u64, report: &mut OracleReport) {
+    for case in 0..cases {
+        // Distinct stream from the kernel diff.
+        let mut rng = case_rng(seed ^ 0x6d61_6368, case);
+        let mut budget = gen::MAX_PROCS;
+        let tree = gen::gen_tree(&mut rng, &mut budget, 0);
+        match machine::run_machine_case(&tree) {
+            Ok(()) => report.machine_cases += 1,
+            Err((min, r)) => {
+                report.failures.push(format!(
+                    "machine case {case} (seed {seed}): {r}\n  minimized tree: {min:?}"
+                ));
+            }
+        }
+    }
+}
+
+/// Runs the fault-injection campaign.
+pub fn run_faults(report: &mut OracleReport) {
+    match fault::fault_campaign() {
+        Ok(s) => {
+            report.fault_points =
+                s.fork_walk_points + s.lazy_copy_points + s.region_exhaustion_forks;
+        }
+        Err(e) => report.failures.push(format!("fault campaign: {e}")),
+    }
+}
+
+/// The full oracle: kernel diff, machine diff, fault campaign.
+pub fn run_oracle(seed: u64, cases: u64, skip_faults: bool) -> OracleReport {
+    let mut report = OracleReport::default();
+    run_kernel_diff(seed, cases, &mut report);
+    // Machine cases are slower (full executive); run a proportional slice.
+    run_machine_diff(seed, cases.div_ceil(5), &mut report);
+    if !skip_faults {
+        run_faults(&mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_rng_is_stable() {
+        assert_eq!(case_rng(1, 0).next_u64(), case_rng(1, 0).next_u64());
+        assert_ne!(case_rng(1, 0).next_u64(), case_rng(1, 1).next_u64());
+        assert_ne!(case_rng(1, 0).next_u64(), case_rng(2, 0).next_u64());
+    }
+}

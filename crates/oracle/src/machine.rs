@@ -1,0 +1,342 @@
+//! Machine-level differential: fork trees with pipe traffic.
+//!
+//! The kernel-level driver covers memory semantics; this module covers
+//! the POSIX surface around fork that lives in the executive — file
+//! descriptor inheritance, pipe traffic across the fork boundary, wait
+//! and exit codes. A generated [`MNode`] tree runs as a real `Program`
+//! on the `Machine` executive under all four backends.
+//!
+//! Backends have different *cost models*, so simulated timing and
+//! scheduling interleavings legitimately differ; the generated programs
+//! are therefore constructed to be *sequentialized by synchronization*:
+//! a parent pipes bytes to a child **before** forking it and then
+//! immediately waits for it, so exactly one process does observable work
+//! at any time. Every observable below (per-process log files with fd
+//! numbers and received pipe bytes, wait results, exit codes, fork
+//! count) is then identical across backends regardless of timing.
+
+use std::any::Any;
+
+use ufork::{UforkConfig, UforkOs};
+use ufork_abi::{
+    BlockingCall, CopyStrategy, Env, Fd, ForkResult, ImageSpec, Program, Resume, StepOutcome,
+};
+use ufork_baselines::{mono, BaselineConfig};
+use ufork_exec::{Machine, MachineConfig};
+
+use crate::diff::Backend;
+use crate::gen::MNode;
+
+/// Register slot holding the pipe-receive buffer capability.
+const REG_RECV: usize = 16;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    ReadPipe,
+    Waiting,
+}
+
+#[derive(Clone)]
+struct TreeProg {
+    node: MNode,
+    phase: Option<Phase>,
+    child_ix: usize,
+    received: Vec<u8>,
+    reaped: Vec<u64>,
+    cur_pipe: Option<(Fd, Fd)>,
+    expect: u8,
+}
+
+impl TreeProg {
+    fn new(node: MNode) -> TreeProg {
+        TreeProg {
+            node,
+            phase: None,
+            child_ix: 0,
+            received: Vec::new(),
+            reaped: Vec::new(),
+            cur_pipe: None,
+            expect: 0,
+        }
+    }
+
+    /// Writes `content` to a fresh file at `path`; records the fd used.
+    fn write_file(&self, env: &mut dyn Env, path: &str, content: &[u8]) -> Option<i32> {
+        let fd = env.sys_open(path, true).ok()?;
+        let buf = env.malloc(content.len().max(8) as u64).ok()?;
+        let at = buf.with_addr(buf.base()).ok()?;
+        env.store(&at, content).ok()?;
+        let _ = env.sys_write(fd, &at, content.len() as u64);
+        let _ = env.sys_close(fd);
+        Some(fd.0)
+    }
+
+    /// Logs this process' identity: pattern bytes, received pipe bytes,
+    /// and the fd number the log file landed on (fd-table observable).
+    fn body(&mut self, env: &mut dyn Env) -> StepOutcome {
+        env.cpu_ops(u64::from(self.node.compute));
+        let pid = env.sys_getpid();
+        let mut content: Vec<u8> =
+            std::iter::repeat(self.node.pattern).take(self.node.log_len as usize).collect();
+        content.extend_from_slice(&self.received);
+        let path = format!("log.{}", pid.0);
+        if let Some(fd) = self.write_file(env, &path, &content) {
+            // Re-open and append the fd number so fd-table divergence
+            // across backends shows up in file contents.
+            let tail = [fd as u8];
+            let _ = self.write_file(env, &format!("fd.{}", pid.0), &tail);
+        }
+        self.advance(env)
+    }
+
+    /// Forks the next child (piping its bytes first), or finishes.
+    fn advance(&mut self, env: &mut dyn Env) -> StepOutcome {
+        if self.child_ix < self.node.children.len() {
+            let (send_len, child) = self.node.children[self.child_ix].clone();
+            let Ok((r, w)) = env.sys_pipe() else {
+                return StepOutcome::Exit(100);
+            };
+            let bytes: Vec<u8> = (0..send_len).map(|i| child.pattern.wrapping_add(i)).collect();
+            if let Ok(buf) = env.malloc(u64::from(send_len).max(8)) {
+                if let Ok(at) = buf.with_addr(buf.base()) {
+                    let _ = env.store(&at, &bytes);
+                    let _ = env.sys_write(w, &at, u64::from(send_len));
+                }
+            }
+            self.cur_pipe = Some((r, w));
+            return StepOutcome::Fork;
+        }
+        let pid = env.sys_getpid();
+        let reaped: Vec<u8> = self.reaped.iter().flat_map(|v| v.to_le_bytes()).collect();
+        if !reaped.is_empty() {
+            let _ = self.write_file(env, &format!("wait.{}", pid.0), &reaped);
+        }
+        let sum: u32 = self.received.iter().map(|b| u32::from(*b)).sum();
+        let code = (u32::from(self.node.pattern) + sum + self.reaped.len() as u32 * 7) & 0x3f;
+        StepOutcome::Exit(code as i32)
+    }
+}
+
+impl Program for TreeProg {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => self.body(env),
+            Resume::Forked(ForkResult::Parent(_)) => {
+                if let Some((r, w)) = self.cur_pipe.take() {
+                    let _ = env.sys_close(r);
+                    let _ = env.sys_close(w);
+                }
+                self.phase = Some(Phase::Waiting);
+                StepOutcome::Block(BlockingCall::Wait)
+            }
+            Resume::Forked(ForkResult::Child) => {
+                // Become the child node's executor.
+                let (send_len, child) = self.node.children[self.child_ix].clone();
+                self.node = child;
+                self.child_ix = 0;
+                self.reaped.clear();
+                self.received.clear();
+                self.expect = send_len;
+                let (r, w) = self.cur_pipe.expect("child inherits the fork pipe");
+                let _ = env.sys_close(w);
+                self.cur_pipe = Some((r, r));
+                let Ok(buf) = env.malloc(u64::from(send_len).max(8)) else {
+                    return StepOutcome::Exit(101);
+                };
+                let _ = env.set_reg(REG_RECV, buf);
+                let Ok(at) = buf.with_addr(buf.base()) else {
+                    return StepOutcome::Exit(102);
+                };
+                self.phase = Some(Phase::ReadPipe);
+                StepOutcome::Block(BlockingCall::Read {
+                    fd: r,
+                    buf: at,
+                    len: u64::from(send_len),
+                })
+            }
+            Resume::Ret(res) => match self.phase.take() {
+                Some(Phase::ReadPipe) => {
+                    let n = res.unwrap_or(0);
+                    if let Ok(buf) = env.reg(REG_RECV) {
+                        let mut data = vec![0u8; n as usize];
+                        if let Ok(at) = buf.with_addr(buf.base()) {
+                            if env.load(&at, &mut data).is_ok() {
+                                self.received = data;
+                            }
+                        }
+                    }
+                    if let Some((r, _)) = self.cur_pipe.take() {
+                        let _ = env.sys_close(r);
+                    }
+                    self.body(env)
+                }
+                Some(Phase::Waiting) => {
+                    self.reaped.push(res.unwrap_or(u64::MAX));
+                    self.child_ix += 1;
+                    self.advance(env)
+                }
+                None => StepOutcome::Exit(103),
+            },
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Everything compared across backends for one tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachObs {
+    /// Fork count observed by the executive.
+    pub forks: u64,
+    /// Exit code per pid, in pid order.
+    pub exit_codes: Vec<(u32, Option<i32>)>,
+    /// `log.*`, `fd.*` and `wait.*` file contents, in pid order.
+    pub files: Vec<(String, Option<Vec<u8>>)>,
+}
+
+/// Runs one tree on one backend.
+pub fn run_tree(backend: Backend, tree: &MNode) -> Result<MachObs, String> {
+    let prog = Box::new(TreeProg::new(tree.clone()));
+    let image = ImageSpec::hello_world();
+    let cfg = MachineConfig::default();
+    let (obs, violations) = match backend {
+        Backend::MultiAs => {
+            let os = mono(BaselineConfig {
+                phys_mib: 256,
+                ..BaselineConfig::default()
+            });
+            let mut m = Machine::new(os, cfg);
+            m.spawn(&image, prog).map_err(|e| format!("spawn: {e:?}"))?;
+            m.run();
+            (observe(&m, tree), m.counters().isolation_violations)
+        }
+        _ => {
+            let strategy = match backend {
+                Backend::Full => CopyStrategy::Full,
+                Backend::CoA => CopyStrategy::CoA,
+                _ => CopyStrategy::CoPA,
+            };
+            let os = UforkOs::new(UforkConfig {
+                phys_mib: 256,
+                strategy,
+                ..UforkConfig::default()
+            });
+            let mut m = Machine::new(os, cfg);
+            m.spawn(&image, prog).map_err(|e| format!("spawn: {e:?}"))?;
+            m.run();
+            (observe(&m, tree), m.counters().isolation_violations)
+        }
+    };
+    if violations != 0 {
+        return Err(format!("{}: {violations} isolation violations", backend.name()));
+    }
+    Ok(obs)
+}
+
+fn observe<O: ufork_exec::MemOs>(m: &Machine<O>, tree: &MNode) -> MachObs {
+    let nprocs = tree.size() as u32;
+    let mut exit_codes = Vec::new();
+    let mut files = Vec::new();
+    for pid in 1..=nprocs {
+        exit_codes.push((pid, m.exit_code(ufork_abi::Pid(pid))));
+        for prefix in ["log", "fd", "wait"] {
+            let path = format!("{prefix}.{pid}");
+            files.push((
+                path.clone(),
+                m.vfs().file_contents(&path).map(<[u8]>::to_vec),
+            ));
+        }
+    }
+    MachObs {
+        forks: m.counters().forks,
+        exit_codes,
+        files,
+    }
+}
+
+/// Runs one tree across all backends; `Err` describes the divergence of
+/// the *minimized* tree.
+pub fn run_machine_case(tree: &MNode) -> Result<(), (MNode, String)> {
+    match check_tree(tree) {
+        Ok(()) => Ok(()),
+        Err(report) => {
+            let (min, rep) = shrink_tree(tree.clone(), report);
+            Err((min, rep))
+        }
+    }
+}
+
+fn check_tree(tree: &MNode) -> Result<(), String> {
+    let base = run_tree(Backend::Full, tree).map_err(|e| format!("ufork-full: {e}"))?;
+    for b in [Backend::CoA, Backend::CoPA, Backend::MultiAs] {
+        let o = run_tree(b, tree).map_err(|e| format!("{}: {e}", b.name()))?;
+        if o != base {
+            return Err(describe_mach_diff(b, &base, &o));
+        }
+    }
+    Ok(())
+}
+
+fn describe_mach_diff(b: Backend, a: &MachObs, o: &MachObs) -> String {
+    if a.forks != o.forks {
+        return format!("ufork-full vs {}: forks {} != {}", b.name(), a.forks, o.forks);
+    }
+    for (x, y) in a.exit_codes.iter().zip(&o.exit_codes) {
+        if x != y {
+            return format!("ufork-full vs {}: exit {x:?} != {y:?}", b.name());
+        }
+    }
+    for (x, y) in a.files.iter().zip(&o.files) {
+        if x != y {
+            return format!("ufork-full vs {}: file {x:?} != {y:?}", b.name());
+        }
+    }
+    format!("ufork-full vs {}: observations differ", b.name())
+}
+
+/// Minimizes a diverging tree by repeatedly deleting child subtrees.
+fn shrink_tree(mut tree: MNode, mut report: String) -> (MNode, String) {
+    let mut budget = 60;
+    loop {
+        let mut improved = false;
+        for candidate in one_child_removed(&tree) {
+            if budget == 0 {
+                return (tree, report);
+            }
+            budget -= 1;
+            if let Err(r) = check_tree(&candidate) {
+                tree = candidate;
+                report = r;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (tree, report);
+        }
+    }
+}
+
+/// All trees obtainable by removing exactly one child edge.
+fn one_child_removed(t: &MNode) -> Vec<MNode> {
+    let mut out = Vec::new();
+    for i in 0..t.children.len() {
+        let mut v = t.clone();
+        v.children.remove(i);
+        out.push(v);
+    }
+    for (i, (_, c)) in t.children.iter().enumerate() {
+        for rc in one_child_removed(c) {
+            let mut v = t.clone();
+            v.children[i].1 = rc;
+            out.push(v);
+        }
+    }
+    out
+}

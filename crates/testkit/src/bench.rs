@@ -1,0 +1,80 @@
+//! A minimal wall-clock bench runner replacing `criterion` offline.
+//!
+//! The repository's benches already use `harness = false`, so each bench
+//! target is a plain `main()` that calls [`bench`] / [`bench_with_setup`].
+//! Output is one line per benchmark: median ns/iter over `BENCH_SAMPLES`
+//! samples (default 20) of `BENCH_ITERS` iterations each (default
+//! auto-scaled to ~2 ms per sample). No statistics beyond the median —
+//! these are smoke/ballpark numbers, not publication material; the
+//! simulated-time results from `ufork-bench`'s `repro` binary are the
+//! figures that matter.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+fn samples() -> u64 {
+    crate::env_u64("BENCH_SAMPLES", 20)
+}
+
+/// Times `f`, printing `name: <median> ns/iter`.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up and iteration-count calibration (~2 ms per sample).
+    let start = Instant::now();
+    let mut calib_iters = 0u64;
+    while start.elapsed().as_micros() < 500 {
+        black_box(f());
+        calib_iters += 1;
+    }
+    let per_iter_ns = (start.elapsed().as_nanos() as u64 / calib_iters.max(1)).max(1);
+    let iters = crate::env_u64("BENCH_ITERS", (2_000_000 / per_iter_ns).clamp(1, 100_000));
+
+    let mut medians = Vec::new();
+    for _ in 0..samples() {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        medians.push(t.elapsed().as_nanos() as u64 / iters);
+    }
+    medians.sort_unstable();
+    println!(
+        "{name}: {} ns/iter ({} samples x {iters} iters)",
+        medians[medians.len() / 2],
+        medians.len()
+    );
+}
+
+/// Times `routine` with a fresh untimed `setup()` product per iteration.
+///
+/// Setup runs inside the timing loop but its cost is measured separately
+/// and subtracted, keeping the reported number close to the routine alone.
+pub fn bench_with_setup<S, T>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> T,
+) {
+    let iters = crate::env_u64("BENCH_ITERS", 0).max(1).min(1000);
+    let iters = if iters == 1 { 50 } else { iters };
+    let mut medians = Vec::new();
+    for _ in 0..samples() {
+        // Time setup alone, then setup+routine; report the difference.
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(setup());
+        }
+        let setup_ns = t0.elapsed().as_nanos() as u64 / iters;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            let s = setup();
+            black_box(routine(s));
+        }
+        let both_ns = t1.elapsed().as_nanos() as u64 / iters;
+        medians.push(both_ns.saturating_sub(setup_ns));
+    }
+    medians.sort_unstable();
+    println!(
+        "{name}: {} ns/iter ({} samples x {iters} iters, setup subtracted)",
+        medians[medians.len() / 2],
+        medians.len()
+    );
+}

@@ -1,0 +1,235 @@
+//! A miniature property-test harness.
+//!
+//! `forall` runs a property over `cases` inputs drawn from a generator.
+//! When a case fails, the harness greedily shrinks it: it asks the
+//! caller-supplied `shrink` function for simpler candidates, keeps any
+//! candidate that still fails, and repeats until no candidate fails (a
+//! local minimum). The panic message contains the seed and the shrunk
+//! input, so failures replay exactly with `PROP_SEED=<seed> cargo test`.
+
+use std::fmt::Debug;
+
+use crate::rng::Rng;
+
+/// Outcome of checking one input: `Ok` or `Err(reason)`.
+pub type CaseResult = Result<(), String>;
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct PropConfig {
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Base seed; case `i` uses a generator split from `seed + i`.
+    pub seed: u64,
+    /// Cap on shrink iterations (guards against pathological shrinkers).
+    pub max_shrink_steps: u64,
+}
+
+impl Default for PropConfig {
+    fn default() -> PropConfig {
+        PropConfig {
+            cases: 64,
+            seed: 0,
+            max_shrink_steps: 2000,
+        }
+    }
+}
+
+impl PropConfig {
+    /// Default config with `PROP_CASES` / `PROP_SEED` environment
+    /// overrides, for replaying CI failures locally.
+    pub fn from_env(default_cases: u64) -> PropConfig {
+        PropConfig {
+            cases: crate::env_u64("PROP_CASES", default_cases),
+            seed: crate::env_u64("PROP_SEED", 0),
+            max_shrink_steps: 2000,
+        }
+    }
+}
+
+/// Shrinker that offers no simpler candidates (disables shrinking).
+pub fn no_shrink<T>(_: &T) -> Vec<T> {
+    Vec::new()
+}
+
+/// Runs `check` over `cfg.cases` inputs drawn from `gen`.
+///
+/// On failure, shrinks via `shrink` and panics with the minimal failing
+/// input, the failure reason, and the per-case seed that reproduces it.
+pub fn forall<T, G, S, C>(name: &str, cfg: &PropConfig, mut gen: G, shrink: S, mut check: C)
+where
+    T: Debug + Clone,
+    G: FnMut(&mut Rng) -> T,
+    S: Fn(&T) -> Vec<T>,
+    C: FnMut(&T) -> CaseResult,
+{
+    for case in 0..cfg.cases {
+        let case_seed = cfg.seed.wrapping_add(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = Rng::new(case_seed).split();
+        let input = gen(&mut rng);
+        if let Err(reason) = check(&input) {
+            let (min_input, min_reason, steps) =
+                shrink_failure(&shrink, &mut check, input, reason, cfg.max_shrink_steps);
+            panic!(
+                "property '{name}' failed (case {case}/{total}, seed {seed}, \
+                 shrunk {steps} steps)\nreason: {min_reason}\ninput: {min_input:#?}\n\
+                 replay: PROP_SEED={base} PROP_CASES={replay_cases} cargo test {name}",
+                total = cfg.cases,
+                seed = case_seed,
+                base = cfg.seed,
+                replay_cases = case + 1,
+            );
+        }
+    }
+}
+
+fn shrink_failure<T, S, C>(
+    shrink: &S,
+    check: &mut C,
+    mut input: T,
+    mut reason: String,
+    max_steps: u64,
+) -> (T, String, u64)
+where
+    T: Debug + Clone,
+    S: Fn(&T) -> Vec<T>,
+    C: FnMut(&T) -> CaseResult,
+{
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in shrink(&input) {
+            steps += 1;
+            if steps >= max_steps {
+                break 'outer;
+            }
+            if let Err(r) = check(&candidate) {
+                input = candidate;
+                reason = r;
+                continue 'outer; // restart from the simpler input
+            }
+        }
+        break; // no candidate fails: local minimum
+    }
+    (input, reason, steps)
+}
+
+/// Generic list shrinker: drops chunks (halves, quarters, … single
+/// elements) from the failing sequence. Good enough for op-list style
+/// inputs where removing an operation keeps the rest meaningful.
+pub fn shrink_vec<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut chunk = n.div_ceil(2);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let mut candidate = Vec::with_capacity(n - (end - start));
+            candidate.extend_from_slice(&items[..start]);
+            candidate.extend_from_slice(&items[end..]);
+            out.push(candidate);
+            start += chunk;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_completes() {
+        let cfg = PropConfig {
+            cases: 50,
+            ..PropConfig::default()
+        };
+        forall(
+            "below_is_bounded",
+            &cfg,
+            |rng| rng.below(100),
+            no_shrink,
+            |&v| {
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err(format!("{v} out of range"))
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_panics_with_shrunk_input() {
+        let cfg = PropConfig {
+            cases: 50,
+            ..PropConfig::default()
+        };
+        let result = std::panic::catch_unwind(|| {
+            forall(
+                "no_large_lists",
+                &cfg,
+                |rng| {
+                    let n = rng.index(20);
+                    (0..n).map(|i| i as u64).collect::<Vec<u64>>()
+                },
+                |v| shrink_vec(v),
+                |v| {
+                    if v.len() < 3 {
+                        Ok(())
+                    } else {
+                        Err("too long".into())
+                    }
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("no_large_lists"), "got: {msg}");
+        // Shrinking must reach a minimal 3-element counterexample.
+        assert!(msg.contains("shrunk"), "got: {msg}");
+    }
+
+    #[test]
+    fn shrink_vec_produces_strictly_shorter_candidates() {
+        let v: Vec<u32> = (0..10).collect();
+        for cand in shrink_vec(&v) {
+            assert!(cand.len() < v.len());
+        }
+        assert!(shrink_vec(&Vec::<u32>::new()).is_empty());
+    }
+
+    #[test]
+    fn deterministic_generation_per_case() {
+        let cfg = PropConfig::default();
+        let mut first_run = Vec::new();
+        forall(
+            "collect",
+            &cfg,
+            |rng| rng.next_u64(),
+            no_shrink,
+            |&v| {
+                first_run.push(v);
+                Ok(())
+            },
+        );
+        let mut second_run = Vec::new();
+        forall(
+            "collect",
+            &cfg,
+            |rng| rng.next_u64(),
+            no_shrink,
+            |&v| {
+                second_run.push(v);
+                Ok(())
+            },
+        );
+        assert_eq!(first_run, second_run);
+    }
+}

@@ -1,9 +1,17 @@
 //! Property tests for the SAS region allocator: no two live regions ever
 //! overlap, frees coalesce, and accounting stays consistent under
 //! arbitrary alloc/free churn.
+//!
+//! Runs on the in-repo `ufork-testkit` harness (offline; default-on
+//! `props` feature).
+#![cfg(feature = "props")]
 
-use proptest::prelude::*;
+use ufork_testkit::{forall, no_shrink, shrink_vec, PropConfig, Rng};
 use ufork_vmem::{Region, RegionAllocator, VirtAddr};
+
+fn cfg() -> PropConfig {
+    PropConfig::from_env(256)
+}
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -11,74 +19,119 @@ enum Op {
     Free(usize),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (1u64..0x8000).prop_map(Op::Alloc),
-            (0usize..32).prop_map(Op::Free),
-        ],
-        1..64,
-    )
+fn gen_ops(rng: &mut Rng) -> Vec<Op> {
+    let n = rng.range(1, 64) as usize;
+    (0..n)
+        .map(|_| {
+            if rng.bool() {
+                Op::Alloc(rng.range(1, 0x8000))
+            } else {
+                Op::Free(rng.index(32))
+            }
+        })
+        .collect()
 }
 
 fn overlapping(a: &Region, b: &Region) -> bool {
     a.base.0 < b.top().0 && b.base.0 < a.top().0
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn live_regions_never_overlap(ops in ops(), aslr in any::<Option<u64>>()) {
-        let span = 0x40_0000;
-        let mut a = RegionAllocator::new(VirtAddr(0x1000), span, 0x1000);
-        if let Some(seed) = aslr {
-            a.set_aslr_seed(seed);
-        }
-        let mut live: Vec<Region> = Vec::new();
-        for op in ops {
-            match op {
-                Op::Alloc(len) => {
-                    if let Ok(r) = a.alloc(len) {
-                        // Within the span.
-                        prop_assert!(r.base.0 >= 0x1000);
-                        prop_assert!(r.top().0 <= 0x1000 + span);
-                        // Aligned.
-                        prop_assert_eq!(r.base.0 % 0x1000, 0);
-                        // Disjoint from every live region.
-                        for other in &live {
-                            prop_assert!(!overlapping(&r, other), "{r:?} vs {other:?}");
+#[test]
+fn live_regions_never_overlap() {
+    forall(
+        "live_regions_never_overlap",
+        &cfg(),
+        |rng| {
+            let aslr = if rng.bool() {
+                Some(rng.next_u64())
+            } else {
+                None
+            };
+            (gen_ops(rng), aslr)
+        },
+        |(ops, aslr)| {
+            shrink_vec(ops)
+                .into_iter()
+                .map(|o| (o, *aslr))
+                .collect()
+        },
+        |(ops, aslr)| {
+            let span = 0x40_0000;
+            let mut a = RegionAllocator::new(VirtAddr(0x1000), span, 0x1000);
+            if let Some(seed) = aslr {
+                a.set_aslr_seed(*seed);
+            }
+            let mut live: Vec<Region> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Alloc(len) => {
+                        if let Ok(r) = a.alloc(*len) {
+                            if r.base.0 < 0x1000 || r.top().0 > 0x1000 + span {
+                                return Err(format!("{r:?} escapes the span"));
+                            }
+                            if r.base.0 % 0x1000 != 0 {
+                                return Err(format!("{r:?} misaligned"));
+                            }
+                            for other in &live {
+                                if overlapping(&r, other) {
+                                    return Err(format!("{r:?} overlaps {other:?}"));
+                                }
+                            }
+                            live.push(r);
                         }
-                        live.push(r);
+                    }
+                    Op::Free(idx) => {
+                        if !live.is_empty() {
+                            let r = live.remove(idx % live.len());
+                            if a.free(r).is_err() {
+                                return Err(format!("free of live {r:?} rejected"));
+                            }
+                        }
                     }
                 }
-                Op::Free(idx) => {
-                    if !live.is_empty() {
-                        let r = live.remove(idx % live.len());
-                        prop_assert!(a.free(r).is_ok());
-                    }
+                // Accounting: free bytes + live bytes == span.
+                let live_bytes: u64 = live.iter().map(|r| r.len).sum();
+                if a.free_bytes() + live_bytes != span {
+                    return Err(format!(
+                        "accounting drift: free {} + live {live_bytes} != span {span}",
+                        a.free_bytes()
+                    ));
+                }
+                // Fragmentation is a valid ratio.
+                let f = a.fragmentation();
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(format!("fragmentation {f} out of [0,1]"));
                 }
             }
-            // Accounting: free bytes + live bytes == span.
-            let live_bytes: u64 = live.iter().map(|r| r.len).sum();
-            prop_assert_eq!(a.free_bytes() + live_bytes, span);
-            // Fragmentation is a valid ratio.
-            let f = a.fragmentation();
-            prop_assert!((0.0..=1.0).contains(&f));
-        }
-        // Freeing everything restores a single hole.
-        for r in live.drain(..) {
-            prop_assert!(a.free(r).is_ok());
-        }
-        prop_assert_eq!(a.free_bytes(), span);
-        prop_assert_eq!(a.largest_hole(), span);
-    }
+            // Freeing everything restores a single hole.
+            for r in live.drain(..) {
+                if a.free(r).is_err() {
+                    return Err(format!("final free of {r:?} rejected"));
+                }
+            }
+            if a.free_bytes() != span || a.largest_hole() != span {
+                return Err("frees did not coalesce back to a single hole".into());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn double_free_always_rejected(len in 1u64..0x4000) {
-        let mut a = RegionAllocator::new(VirtAddr(0), 0x10_0000, 0x1000);
-        let r = a.alloc(len).unwrap();
-        a.free(r).unwrap();
-        prop_assert!(a.free(r).is_err());
-    }
+#[test]
+fn double_free_always_rejected() {
+    forall(
+        "double_free_always_rejected",
+        &cfg(),
+        |rng| rng.range(1, 0x4000),
+        no_shrink,
+        |&len| {
+            let mut a = RegionAllocator::new(VirtAddr(0), 0x10_0000, 0x1000);
+            let r = a.alloc(len).unwrap();
+            a.free(r).unwrap();
+            if a.free(r).is_ok() {
+                return Err(format!("double free of {r:?} accepted"));
+            }
+            Ok(())
+        },
+    );
 }

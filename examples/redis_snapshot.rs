@@ -10,7 +10,7 @@
 //! ```
 
 use ufork_repro::abi::{CopyStrategy, ImageSpec};
-use ufork_repro::exec::{Machine, MachineConfig, MemOs};
+use ufork_repro::exec::{Machine, MachineConfig};
 use ufork_repro::ufork::{UforkConfig, UforkOs};
 use ufork_repro::workloads::redis::{rdb_parse, RedisConfig, RedisServer};
 

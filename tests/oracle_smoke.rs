@@ -1,0 +1,41 @@
+//! Wires the differential oracle into the ordinary test suite: a small
+//! seeded run of all three engines (kernel diff, machine diff, fault
+//! injection). The full campaign is the `ufork-oracle` binary
+//! (`cargo run -p ufork-oracle -- --seed N --cases M`); this smoke keeps
+//! `cargo test` honest without slowing it down.
+//!
+//! Replay/scale via `ORACLE_SEED` / `ORACLE_CASES`.
+
+use ufork_oracle::{run_kernel_diff, run_machine_diff, OracleReport};
+use ufork_testkit::env_u64;
+
+#[test]
+fn differential_oracle_smoke() {
+    let seed = env_u64("ORACLE_SEED", 1);
+    let cases = env_u64("ORACLE_CASES", 20);
+    let mut report = OracleReport::default();
+    run_kernel_diff(seed, cases, &mut report);
+    run_machine_diff(seed, cases.div_ceil(5), &mut report);
+    assert!(
+        report.ok(),
+        "oracle divergences (replay with ORACLE_SEED={seed}):\n{}",
+        report.failures.join("\n")
+    );
+    assert_eq!(report.kernel_cases, cases);
+}
+
+#[test]
+fn fault_injection_campaign() {
+    let mut report = OracleReport::default();
+    ufork_oracle::run_faults(&mut report);
+    assert!(
+        report.ok(),
+        "fault campaign failures:\n{}",
+        report.failures.join("\n")
+    );
+    assert!(
+        report.fault_points > 100,
+        "campaign exercised only {} injection points",
+        report.fault_points
+    );
+}

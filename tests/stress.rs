@@ -1,14 +1,18 @@
 //! Stress/determinism property test: random programs over the full
 //! machine + μFork kernel must always terminate, produce identical
 //! results on re-run (determinism), and never breach isolation.
+//!
+//! Runs on the in-repo `ufork-testkit` harness (offline; default-on
+//! `props` feature).
+#![cfg(feature = "props")]
 
 use std::any::Any;
 
-use proptest::prelude::*;
 use ufork_repro::abi::CopyStrategy;
 use ufork_repro::abi::{BlockingCall, Env, ForkResult, ImageSpec, Program, Resume, StepOutcome};
 use ufork_repro::exec::{Machine, MachineConfig};
 use ufork_repro::ufork::{UforkConfig, UforkOs};
+use ufork_testkit::{forall, shrink_vec, PropConfig, Rng};
 
 /// The random program's instruction set. Each process executes the same
 /// script but branches on fork results, giving tree-shaped executions.
@@ -25,18 +29,18 @@ enum Instr {
     WriteFile,
 }
 
-fn instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        any::<u16>().prop_map(Instr::Compute),
-        (16u16..2048).prop_map(Instr::Alloc),
-        any::<u16>().prop_map(Instr::WriteHeap),
-        Just(Instr::StorePtr),
-        Just(Instr::LoadPtr),
-        Just(Instr::Fork),
-        (1u16..1000).prop_map(Instr::Sleep),
-        Just(Instr::YieldNow),
-        Just(Instr::WriteFile),
-    ]
+fn gen_instr(rng: &mut Rng) -> Instr {
+    match rng.below(9) {
+        0 => Instr::Compute(rng.next_u64() as u16),
+        1 => Instr::Alloc(rng.range(16, 2048) as u16),
+        2 => Instr::WriteHeap(rng.next_u64() as u16),
+        3 => Instr::StorePtr,
+        4 => Instr::LoadPtr,
+        5 => Instr::Fork,
+        6 => Instr::Sleep(rng.range(1, 1000) as u16),
+        7 => Instr::YieldNow,
+        _ => Instr::WriteFile,
+    }
 }
 
 #[derive(Clone)]
@@ -191,57 +195,94 @@ fn run_machine(
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn random_programs_terminate_deterministically() {
+    forall(
+        "random_programs_terminate_deterministically",
+        &PropConfig::from_env(48),
+        |rng| {
+            let n = rng.range(1, 24) as usize;
+            let instrs: Vec<Instr> = (0..n).map(|_| gen_instr(rng)).collect();
+            let strategy_ix = rng.below(3) as u8;
+            let cores = rng.range(1, 4) as usize;
+            (instrs, strategy_ix, cores)
+        },
+        |(instrs, ix, cores)| {
+            shrink_vec(instrs)
+                .into_iter()
+                .map(|i| (i, *ix, *cores))
+                .collect()
+        },
+        |(instrs, strategy_ix, cores)| {
+            let strategy = match strategy_ix % 3 {
+                0 => CopyStrategy::Full,
+                1 => CopyStrategy::CoA,
+                _ => CopyStrategy::CoPA,
+            };
+            let a = run_machine(instrs, strategy, *cores);
+            let b = run_machine(instrs, strategy, *cores);
+            // Terminates (run() returned) with the root exited; blocking
+            // forever is impossible: the script always ends in Exit.
+            if a.0 != Some(0) {
+                return Err(format!("root must exit cleanly, got {:?}", a.0));
+            }
+            // Deterministic: identical timing, forks, and exits.
+            if a.1 != b.1 {
+                return Err(format!("end time not reproducible: {} vs {}", a.1, b.1));
+            }
+            if a.2 != b.2 || a.4 != b.4 {
+                return Err("fork/exit counts not reproducible".into());
+            }
+            // Never an isolation violation from a well-behaved program.
+            if a.3 != 0 {
+                return Err(format!("{} isolation violations", a.3));
+            }
+            // All forked processes exited.
+            if a.4 as u64 != a.2 + 1 {
+                return Err(format!("{} exits for {} forks", a.4, a.2));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn random_programs_terminate_deterministically(
-        instrs in proptest::collection::vec(instr(), 1..24),
-        strategy_ix in 0u8..3,
-        cores in 1usize..4,
-    ) {
-        let strategy = match strategy_ix % 3 {
-            0 => CopyStrategy::Full,
-            1 => CopyStrategy::CoA,
-            _ => CopyStrategy::CoPA,
-        };
-        let a = run_machine(&instrs, strategy, cores);
-        let b = run_machine(&instrs, strategy, cores);
-        // Terminates (run() returned) with the root exited or everything
-        // blocked-forever is impossible: the script always ends in Exit.
-        prop_assert_eq!(a.0, Some(0), "root must exit cleanly");
-        // Deterministic: identical timing, forks, and exits.
-        prop_assert_eq!(a.1, b.1, "simulated end time must be reproducible");
-        prop_assert_eq!(a.2, b.2);
-        prop_assert_eq!(a.4, b.4);
-        // Never an isolation violation from a well-behaved program.
-        prop_assert_eq!(a.3, 0);
-        // All forked processes exited.
-        prop_assert_eq!(a.4 as u64, a.2 + 1);
-    }
-
-    /// The same program observes the same OUTPUT (file contents) under
-    /// every copy strategy — strategies must be semantically invisible.
-    #[test]
-    fn strategies_agree_on_program_output(
-        instrs in proptest::collection::vec(instr(), 1..20),
-    ) {
-        let mut dumps = Vec::new();
-        for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
-            let os = UforkOs::new(UforkConfig {
-                phys_mib: 128,
-                strategy,
-                ..UforkConfig::default()
-            });
-            let mut m = Machine::new(os, MachineConfig::default());
-            let pid = m
-                .spawn(&ImageSpec::hello_world(), Box::new(Script::new(instrs.clone())))
-                .unwrap();
-            m.run();
-            prop_assert_eq!(m.exit_code(pid), Some(0));
-            dumps.push(m.vfs().file_contents("stress.log").map(<[u8]>::to_vec));
-        }
-        prop_assert_eq!(&dumps[0], &dumps[1], "Full vs CoA");
-        prop_assert_eq!(&dumps[1], &dumps[2], "CoA vs CoPA");
-    }
+/// The same program observes the same OUTPUT (file contents) under every
+/// copy strategy — strategies must be semantically invisible.
+#[test]
+fn strategies_agree_on_program_output() {
+    forall(
+        "strategies_agree_on_program_output",
+        &PropConfig::from_env(48),
+        |rng| {
+            let n = rng.range(1, 20) as usize;
+            (0..n).map(|_| gen_instr(rng)).collect::<Vec<Instr>>()
+        },
+        |instrs| shrink_vec(instrs),
+        |instrs| {
+            let mut dumps = Vec::new();
+            for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
+                let os = UforkOs::new(UforkConfig {
+                    phys_mib: 128,
+                    strategy,
+                    ..UforkConfig::default()
+                });
+                let mut m = Machine::new(os, MachineConfig::default());
+                let pid = m
+                    .spawn(&ImageSpec::hello_world(), Box::new(Script::new(instrs.clone())))
+                    .unwrap();
+                m.run();
+                if m.exit_code(pid) != Some(0) {
+                    return Err(format!("{strategy:?}: root exit {:?}", m.exit_code(pid)));
+                }
+                dumps.push(m.vfs().file_contents("stress.log").map(<[u8]>::to_vec));
+            }
+            if dumps[0] != dumps[1] {
+                return Err("Full vs CoA output diverged".into());
+            }
+            if dumps[1] != dumps[2] {
+                return Err("CoA vs CoPA output diverged".into());
+            }
+            Ok(())
+        },
+    );
 }
