@@ -1,17 +1,97 @@
 //! Wall-clock cost of the simulator's fork paths themselves — one bench
 //! per system and strategy (the simulated-time results are produced by
 //! the `repro` binary; these measure the host cost of the mechanism).
+//!
+//! The `scan=` benches compare the pre-change pipeline (naive per-granule
+//! sweep + rebuilt-Vec linear region lookup + per-page PTE inserts,
+//! preserved as `ScanMode::Naive`) against the tag-summary fast path
+//! (bitmap scan + indexed region lookup + batched walk) on a forking
+//! lineage whose pages carry at most a handful of capabilities — the
+//! sparse case the tentpole optimizes. Medians land in `BENCH_fork.json`
+//! at the repository root so future PRs have a perf trajectory.
 
 use std::hint::black_box;
+use std::path::Path;
+
+use ufork::reloc::{relocate_frame, ScanMode};
 use ufork::{UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_baselines::{mono, nephele, BaselineConfig};
+use ufork_cheri::{Capability, Perms};
 use ufork_exec::{Ctx, MemOs};
-use ufork_testkit::bench::bench_with_setup;
+use ufork_mem::PhysMem;
+use ufork_testkit::bench::bench_with_setup_ns;
+use ufork_vmem::{Region, VirtAddr};
+
+/// Forks in the lineage built during setup: each fork retires its parent,
+/// so relocation lookups face a realistic population of retired regions.
+const LINEAGE: u32 = 12;
+
+fn forking_os(scan: ScanMode) -> (UforkOs, Pid) {
+    let cfg = UforkConfig {
+        phys_mib: 128,
+        strategy: CopyStrategy::Full,
+        scan,
+        ..UforkConfig::default()
+    };
+    let mut os = UforkOs::new(cfg);
+    let mut ctx = Ctx::new();
+    os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+        .unwrap();
+    for i in 1..LINEAGE {
+        os.fork(&mut ctx, Pid(i), Pid(i + 1)).unwrap();
+        os.destroy(&mut ctx, Pid(i));
+    }
+    (os, Pid(LINEAGE))
+}
+
+fn page_scan_bench(mode_name: &str, mode: ScanMode) -> u64 {
+    let parent = Region {
+        base: VirtAddr(0x10_0000),
+        len: 0x10_0000,
+    };
+    let child = Region {
+        base: VirtAddr(0x90_0000),
+        len: 0x10_0000,
+    };
+    let child_root = Capability::new_root(child.base.0, child.len, Perms::data());
+    bench_with_setup_ns(
+        &format!("fork/page_scan/4caps/{mode_name}"),
+        || {
+            let mut pm = PhysMem::new(4);
+            let f = pm.alloc_frame().unwrap();
+            // ≤4 tagged granules: the sparse page the fast path targets.
+            for i in 0..4u64 {
+                let cap = Capability::new_root(parent.base.0 + i * 0x1000, 64, Perms::data());
+                pm.store_cap(f, i * 1024, &cap).unwrap();
+            }
+            (pm, f)
+        },
+        |(mut pm, f)| {
+            let stats = relocate_frame(
+                &mut pm,
+                f,
+                child,
+                &child_root,
+                &|a| {
+                    if a >= parent.base.0 && a < parent.base.0 + parent.len {
+                        Some(parent)
+                    } else {
+                        None
+                    }
+                },
+                mode,
+            );
+            black_box(stats)
+        },
+    )
+}
 
 fn main() {
+    let mut results: Vec<(String, u64)> = Vec::new();
+
     for strategy in [CopyStrategy::CoPA, CopyStrategy::CoA, CopyStrategy::Full] {
-        bench_with_setup(
+        let ns = bench_with_setup_ns(
             &format!("fork/ufork/{strategy:?}"),
             || {
                 let cfg = UforkConfig {
@@ -31,9 +111,39 @@ fn main() {
                 black_box(ctx.kernel_ns)
             },
         );
+        results.push((format!("fork/ufork/{strategy:?}"), ns));
     }
 
-    bench_with_setup(
+    // The tentpole comparison: an eager-copy fork at the end of a forking
+    // lineage, naive pipeline vs. tag-summary fast path.
+    let mut lineage_ns = [0u64; 2];
+    for (i, (mode_name, mode)) in [
+        ("naive", ScanMode::Naive),
+        ("tagsummary", ScanMode::TagSummary),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let ns = bench_with_setup_ns(
+            &format!("fork/ufork/Full/lineage/{mode_name}"),
+            || forking_os(mode),
+            |(mut os, parent)| {
+                let mut ctx = Ctx::new();
+                os.fork(&mut ctx, parent, Pid(parent.0 + 1)).unwrap();
+                black_box(ctx.kernel_ns)
+            },
+        );
+        results.push((format!("fork/ufork/Full/lineage/{mode_name}"), ns));
+        lineage_ns[i] = ns;
+    }
+
+    // Per-page scan at ≤4 tagged granules: the acceptance microbench.
+    let naive_page = page_scan_bench("naive", ScanMode::Naive);
+    let fast_page = page_scan_bench("tagsummary", ScanMode::TagSummary);
+    results.push(("fork/page_scan/4caps/naive".to_string(), naive_page));
+    results.push(("fork/page_scan/4caps/tagsummary".to_string(), fast_page));
+
+    let ns = bench_with_setup_ns(
         "fork/baseline/mono",
         || {
             let mut os = mono(BaselineConfig {
@@ -51,7 +161,8 @@ fn main() {
             black_box(ctx.kernel_ns)
         },
     );
-    bench_with_setup(
+    results.push(("fork/baseline/mono".to_string(), ns));
+    let ns = bench_with_setup_ns(
         "fork/baseline/nephele",
         || {
             let mut os = nephele(BaselineConfig {
@@ -69,4 +180,34 @@ fn main() {
             black_box(ctx.kernel_ns)
         },
     );
+    results.push(("fork/baseline/nephele".to_string(), ns));
+
+    let sparse_speedup = naive_page as f64 / fast_page.max(1) as f64;
+    let lineage_speedup = lineage_ns[0] as f64 / lineage_ns[1].max(1) as f64;
+    println!("fork/page_scan/4caps speedup: {sparse_speedup:.2}x (naive {naive_page} ns -> tagsummary {fast_page} ns)");
+    println!(
+        "fork/ufork/Full/lineage speedup: {lineage_speedup:.2}x (naive {} ns -> tagsummary {} ns)",
+        lineage_ns[0], lineage_ns[1]
+    );
+
+    write_json(&results, sparse_speedup, lineage_speedup);
+}
+
+/// Writes `BENCH_fork.json` at the repository root (no serde: the schema
+/// is flat enough to format by hand).
+fn write_json(results: &[(String, u64)], sparse_speedup: f64, lineage_speedup: f64) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_fork.json");
+    let rows = results
+        .iter()
+        .map(|(name, ns)| format!("    {{\"name\": \"{name}\", \"median_ns\": {ns}}}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let body = format!(
+        "{{\n  \"schema\": \"ufork-bench-fork/v1\",\n  \"unit\": \"ns/iter (median, setup subtracted)\",\n  \"results\": [\n{rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse_speedup:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage_speedup:.2}\n  }}\n}}\n"
+    );
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

@@ -1,9 +1,15 @@
 //! Relocation-engine throughput vs. pointer density — the ablation behind
 //! the CoPA design: scan cost is paid per page, fix-up cost per tagged
 //! capability.
+//!
+//! Each density is measured under both scan modes: `naive` inspects all
+//! 256 granules individually (the paper's sequential sweep), `tagsummary`
+//! reads the 4-word tag-occupancy bitmap first (`CLoadTags`) and only
+//! visits set bits. The gap at low densities is the tentpole win; at 256
+//! caps/page the two converge because every granule is tagged anyway.
 
 use std::hint::black_box;
-use ufork::reloc::relocate_frame;
+use ufork::reloc::{relocate_frame, ScanMode};
 use ufork_cheri::{Capability, Perms};
 use ufork_mem::PhysMem;
 use ufork_testkit::bench::bench_with_setup;
@@ -20,32 +26,44 @@ fn main() {
     };
     let child_root = Capability::new_root(child.base.0, child.len, Perms::data());
 
-    for density in [0usize, 16, 64, 256] {
-        bench_with_setup(
-            &format!("relocation/page/{density}caps"),
-            || {
-                let mut pm = PhysMem::new(4);
-                let f = pm.alloc_frame().unwrap();
-                for i in 0..density {
-                    let cap = Capability::new_root(
-                        parent.base.0 + (i as u64 * 64) % parent.len,
-                        64,
-                        Perms::data(),
-                    );
-                    pm.store_cap(f, i as u64 * 16, &cap).unwrap();
-                }
-                (pm, f)
-            },
-            |(mut pm, f)| {
-                let stats = relocate_frame(&mut pm, f, child, &child_root, &|a| {
-                    if a >= parent.base.0 && a < parent.base.0 + parent.len {
-                        Some(parent)
-                    } else {
-                        None
+    for density in [0usize, 4, 16, 64, 256] {
+        for (mode_name, mode) in [
+            ("naive", ScanMode::Naive),
+            ("tagsummary", ScanMode::TagSummary),
+        ] {
+            bench_with_setup(
+                &format!("relocation/page/{density}caps/{mode_name}"),
+                || {
+                    let mut pm = PhysMem::new(4);
+                    let f = pm.alloc_frame().unwrap();
+                    for i in 0..density {
+                        let cap = Capability::new_root(
+                            parent.base.0 + (i as u64 * 64) % parent.len,
+                            64,
+                            Perms::data(),
+                        );
+                        pm.store_cap(f, i as u64 * 16, &cap).unwrap();
                     }
-                });
-                black_box(stats)
-            },
-        );
+                    (pm, f)
+                },
+                |(mut pm, f)| {
+                    let stats = relocate_frame(
+                        &mut pm,
+                        f,
+                        child,
+                        &child_root,
+                        &|a| {
+                            if a >= parent.base.0 && a < parent.base.0 + parent.len {
+                                Some(parent)
+                            } else {
+                                None
+                            }
+                        },
+                        mode,
+                    );
+                    black_box(stats)
+                },
+            );
+        }
     }
 }

@@ -36,6 +36,8 @@ fn main() {
         m.run();
         black_box(m.exit_code(pid))
     });
-    bench("e2e/redis_1mb_snapshot", || black_box(redis_run(UFORK, 10, 100_000)));
+    bench("e2e/redis_1mb_snapshot", || {
+        black_box(redis_run(UFORK, 10, 100_000))
+    });
     bench("e2e/nginx_20ms", || black_box(nginx_run(UFORK, 1, 2, 20e6)));
 }

@@ -13,8 +13,8 @@ use std::env;
 
 use ufork_bench::report::{num, render_table, size_label};
 use ufork_bench::{
-    ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep, fig6,
-    fig7, fig8, fig9, redis_sweep, table1, AblationRow, RedisRow,
+    ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep,
+    ablation_naive_scan, fig6, fig7, fig8, fig9, redis_sweep, table1, AblationRow, RedisRow,
 };
 
 fn print_ablation(title: &str, rows: &[AblationRow]) {
@@ -181,6 +181,10 @@ fn main() {
             &ablation_eager_vs_lazy(),
         );
         print_ablation("region ASLR (paper §3.7)", &ablation_aslr());
+        print_ablation(
+            "naive granule sweep vs tag-summary scan (CLoadTags)",
+            &ablation_naive_scan(),
+        );
     }
     if all || what == "fig9" {
         println!("== Figure 9: Unixbench Spawn and Context1 ==");

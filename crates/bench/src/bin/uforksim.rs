@@ -260,7 +260,7 @@ fn main() {
         // Indent the display.
         let s = format!("{}", {
             let c = m.counters();
-            c.clone()
+            *c
         });
         s.lines()
             .map(|l| format!("  {l}"))

@@ -57,7 +57,7 @@ fn derivation_chains_never_widen() {
         |steps| {
             let root = Capability::new_root(0x1000, 0x4000, Perms::data());
             let sealer = Capability::new_root(0, 64, Perms::SEAL | Perms::UNSEAL);
-            let mut cur = root.clone();
+            let mut cur = root;
             for step in steps {
                 let next = match step {
                     Step::Bounds { base_off, len } => {
@@ -123,7 +123,13 @@ fn rebase_always_confined() {
     forall(
         "rebase_always_confined",
         &cfg(),
-        |rng| (rng.range(0x1000, 0x2000), rng.below(0x1000), rng.below(0x4000)),
+        |rng| {
+            (
+                rng.range(0x1000, 0x2000),
+                rng.below(0x1000),
+                rng.below(0x4000),
+            )
+        },
         no_shrink,
         |&(base, len, addr)| {
             let parent_root = Capability::new_root(0x1000, 0x1000, Perms::data());

@@ -7,7 +7,7 @@ use ufork_mem::{GRANULE_SIZE, PAGE_SIZE};
 use ufork_vmem::{AccessKind, Fault, VirtAddr};
 
 use crate::kernel::UforkOs;
-use crate::reloc::{reloc_cost, relocate_frame};
+use crate::reloc::{reloc_cost, relocate_frame, ScanMode};
 
 impl UforkOs {
     /// Checks a capability for an access, enforcing the μprocess
@@ -86,10 +86,10 @@ impl UforkOs {
         let va = fault.va();
         let vpn = va.vpn();
         let pte = self.pt.lookup(vpn).ok_or(Errno::Fault)?;
-        let (region, layout_off, final_flags) = {
+        let (region, final_flags) = {
             let p = self.proc(pid)?;
             let off = vpn.base().0 - p.region.base.0;
-            (p.region, off, Self::seg_flags(p.layout.segment_of(off)))
+            (p.region, Self::seg_flags(p.layout.segment_of(off)))
         };
         let refcount = self.pm.refcount(pte.pfn).map_err(|_| Errno::Fault)?;
         let pfn = if refcount > 1 {
@@ -109,18 +109,43 @@ impl UforkOs {
         ctx.counters.ptes_written += 1;
 
         // Step 3: scan and relocate (paper §4.2). The scan runs on every
-        // resolved copy; for parent-side CoW faults it finds nothing.
+        // resolved copy; under the tag-summary fast path an untagged page
+        // costs four bulk tag reads and nothing more, and for parent-side
+        // CoW faults it finds nothing to fix up.
         let root = self.proc(pid)?.root;
-        let sources = self.source_regions();
-        let stats = relocate_frame(&mut self.pm, pfn, region, &root, &|addr| {
-            sources
-                .iter()
-                .find(|r| addr >= r.base.0 && addr < r.base.0 + r.len)
-                .copied()
-        });
-        let _ = layout_off;
+        let mode = self.scan;
+        let stats = match mode {
+            ScanMode::Naive => {
+                // Legacy lookup: rebuild the region list, linear-scan it
+                // once per capability (the ablation baseline's cost).
+                let sources = self.source_regions();
+                let lookups = std::cell::Cell::new(0u64);
+                let stats = relocate_frame(
+                    &mut self.pm,
+                    pfn,
+                    region,
+                    &root,
+                    &|addr| {
+                        lookups.set(lookups.get() + 1);
+                        sources.iter().find(|r| r.contains(VirtAddr(addr))).copied()
+                    },
+                    mode,
+                );
+                ctx.counters.region_lookups += lookups.get();
+                stats
+            }
+            ScanMode::TagSummary => {
+                let (pm, index) = (&mut self.pm, &self.region_index);
+                let stats =
+                    relocate_frame(pm, pfn, region, &root, &|addr| index.lookup(addr), mode);
+                ctx.counters.region_lookups += index.take_lookups();
+                stats
+            }
+        };
         ctx.kernel(reloc_cost(&self.cost, &stats));
         ctx.counters.granules_scanned += stats.granules_scanned;
+        ctx.counters.granules_skipped += stats.granules_skipped;
+        ctx.counters.tag_words_loaded += stats.tag_words_loaded;
         ctx.counters.caps_relocated += stats.relocated + stats.cleared;
         Ok(())
     }

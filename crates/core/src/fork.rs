@@ -7,16 +7,31 @@
 //! 2. **Post-copy phase** — mint the child's root capability, relocate
 //!    the register file, and hand the child to the scheduler (done by the
 //!    executive).
+//!
+//! The walk is batched: the parent's mapped range is streamed directly
+//! off the page table (no intermediate `Vec` of its PTEs), the child's
+//! PTEs are staged in a sorted batch and inserted in one
+//! [`ufork_vmem::PageTable::extend_sorted`] sweep, and the parent's COW
+//! protection is applied in one [`ufork_vmem::PageTable::protect_many`]
+//! pass at the end. Because nothing lands in the page table until the
+//! whole walk has succeeded, a mid-walk failure (frame exhaustion) only
+//! has to drop the frame references the batch took — the table itself
+//! never holds a partially-forked child. Under [`ScanMode::Naive`] the
+//! legacy walk (per-page inserts, per-capability linear region scans,
+//! full-page tag sweeps) is preserved as an ablation baseline.
+
+use std::cell::Cell;
 
 use ufork_abi::{CopyStrategy, Errno, Pid, SysResult};
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::Ctx;
-use ufork_mem::{Pfn, PAGE_SIZE};
+use ufork_mem::{Pfn, PhysMem, PAGE_SIZE};
+use ufork_sim::CostModel;
 use ufork_vmem::{Pte, PteFlags, Region, VirtAddr, Vpn};
 
 use crate::kernel::{UProc, UforkOs};
 use crate::layout::Segment;
-use crate::reloc::{reloc_cost, relocate_frame};
+use crate::reloc::{reloc_cost, relocate_frame, ScanMode};
 
 impl UforkOs {
     /// Reads a `u64` from a μprocess' memory, kernel-side (no faults: the
@@ -64,50 +79,59 @@ impl UforkOs {
         // page, refcount overflow): everything staged for the child so far
         // must then be unwound — no leaked frames, no dangling PTEs, the
         // region handed back — leaving the parent exactly as it was, plus
-        // harmless extra COW arming that the next parent write clears.
-        if let Err(e) = self.fork_walk_pages(ctx, p_region, &layout, c_region, &c_root, meta_used_bytes)
+        // (in the legacy walk) harmless extra COW arming that the next
+        // parent write clears.
+        if let Err(e) =
+            self.fork_walk_pages(ctx, p_region, &layout, c_region, &c_root, meta_used_bytes)
         {
             self.unwind_partial_fork(c_region);
             return Err(e);
         }
 
-        let sources = self.source_regions();
-        let source_of = |addr: u64| -> Option<Region> {
-            sources
-                .iter()
-                .find(|r| addr >= r.base.0 && addr < r.base.0 + r.len)
-                .copied()
-        };
-
         // Relocate the register file (paper §3.5 step 2: "any absolute
         // memory references contained in registers are relocated").
         let mut c_regs = p_regs;
-        for slot in c_regs.iter_mut() {
-            if let Some(cap) = slot {
-                if cap.confined_to(c_region.base.0, c_region.len) {
-                    continue;
+        {
+            let naive_sources = (self.scan == ScanMode::Naive).then(|| self.source_regions());
+            let naive_lookups = Cell::new(0u64);
+            let source_of = |addr: u64| -> Option<Region> {
+                match &naive_sources {
+                    Some(sources) => {
+                        naive_lookups.set(naive_lookups.get() + 1);
+                        sources.iter().find(|r| r.contains(VirtAddr(addr))).copied()
+                    }
+                    None => self.region_index.lookup(addr),
                 }
-                if let Some(src) = source_of(cap.base()) {
-                    let delta = c_region.base.0 as i64 - src.base.0 as i64;
-                    match cap.rebase(delta, &c_root) {
-                        Ok(new_cap) => {
-                            *slot = Some(new_cap);
-                            ctx.counters.caps_relocated += 1;
+            };
+            for slot in c_regs.iter_mut() {
+                if let Some(cap) = slot {
+                    if cap.confined_to(c_region.base.0, c_region.len) {
+                        continue;
+                    }
+                    if let Some(src) = source_of(cap.base()) {
+                        let delta = c_region.base.0 as i64 - src.base.0 as i64;
+                        match cap.rebase(delta, &c_root) {
+                            Ok(new_cap) => {
+                                *slot = Some(new_cap);
+                                ctx.counters.caps_relocated += 1;
+                            }
+                            Err(_) => *slot = None,
                         }
-                        Err(_) => *slot = None,
+                    } else if cap.perms().contains(Perms::EXECUTE) {
+                        // PCC-style register: rebase code caps by region offset.
+                        let delta = c_region.base.0 as i64 - p_region.base.0 as i64;
+                        if let Some(addr) = cap.addr().checked_add_signed(delta) {
+                            let code_root =
+                                Capability::new_root(c_region.base.0, layout.text.1, Perms::code());
+                            *slot = code_root.with_addr(addr).ok();
+                        }
                     }
-                } else if cap.perms().contains(Perms::EXECUTE) {
-                    // PCC-style register: rebase code caps by region offset.
-                    let delta = c_region.base.0 as i64 - p_region.base.0 as i64;
-                    if let Ok(addr) = cap.addr().checked_add_signed(delta).ok_or(()) {
-                        let code_root =
-                            Capability::new_root(c_region.base.0, layout.text.1, Perms::code());
-                        *slot = code_root.with_addr(addr).ok();
-                    }
+                    ctx.kernel(self.cost.cap_relocate);
                 }
-                ctx.kernel(self.cost.cap_relocate);
             }
+            ctx.counters.region_lookups += naive_lookups.get();
         }
+        ctx.counters.region_lookups += self.region_index.take_lookups();
 
         self.procs.insert(
             child,
@@ -121,6 +145,7 @@ impl UforkOs {
                 had_children: false,
             },
         );
+        self.region_index.insert(c_region);
         if let Some(p) = self.procs.get_mut(&parent) {
             p.had_children = true;
         }
@@ -129,7 +154,9 @@ impl UforkOs {
 
     /// The per-page fork walk: maps (and, where the strategy requires,
     /// copies and relocates) every parent page into the child region.
-    /// On `Err` the caller unwinds whatever was staged.
+    /// On `Err` nothing has been staged in the page table and every frame
+    /// reference taken for the child has been dropped; the caller only
+    /// unwinds the region reservation.
     fn fork_walk_pages(
         &mut self,
         ctx: &mut Ctx,
@@ -139,127 +166,321 @@ impl UforkOs {
         c_root: &Capability,
         meta_used_bytes: u64,
     ) -> SysResult<()> {
+        if self.scan == ScanMode::Naive {
+            return self.fork_walk_pages_naive(
+                ctx,
+                p_region,
+                layout,
+                c_region,
+                c_root,
+                meta_used_bytes,
+            );
+        }
+
+        let start = p_region.base.vpn();
+        let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
+        let strategy = self.strategy;
+        let eager_cfg = self.eager_fork_copies;
+        let validates = self.isolation.validates_syscalls();
+
+        // Staged child PTEs, produced in ascending page order by the
+        // parent-range stream; inserted in one batch on success only.
+        let mut child_batch: Vec<(Vpn, Pte)> = Vec::new();
+        // Parent pages to flip to COW in one protection sweep at the end.
+        let mut cow_arm: Vec<Vpn> = Vec::new();
+        let mut failed: Option<Errno> = None;
+
+        {
+            // Split borrows: the parent range is streamed off `pt` (shared)
+            // while frames are copied through `pm` (mutable); `pt` itself
+            // is only written after the stream ends.
+            let pm = &mut self.pm;
+            let pt = &self.pt;
+            let cost = &self.cost;
+            let region_index = &self.region_index;
+            let lookup = |addr: u64| region_index.lookup(addr);
+            let target = RelocTarget {
+                region: c_region,
+                root: c_root,
+                source_of: &lookup,
+                mode: ScanMode::TagSummary,
+            };
+
+            'walk: for (vpn, pte) in pt.range(start, end) {
+                let off = vpn.base().0 - p_region.base.0;
+                let seg = layout.segment_of(off);
+                let c_vpn = VirtAddr(c_region.base.0 + off).vpn();
+                let final_flags = Self::seg_flags(seg);
+
+                if seg == Segment::Shm {
+                    // Shared mappings stay shared: same frames, full perms.
+                    if pm.inc_ref(pte.pfn).is_err() {
+                        failed = Some(Errno::Fault);
+                        break 'walk;
+                    }
+                    child_batch.push((
+                        c_vpn,
+                        Pte {
+                            pfn: pte.pfn,
+                            flags: PteFlags::rw(),
+                        },
+                    ));
+                    ctx.kernel(cost.pte_copy);
+                    continue;
+                }
+
+                let eager = strategy == CopyStrategy::Full
+                    || (eager_cfg
+                        && match seg {
+                            Segment::Got => true,
+                            Segment::HeapMeta => off - layout.heap_meta.0 < meta_used_bytes,
+                            _ => false,
+                        });
+
+                if eager {
+                    let new = match copy_page_for_child(pm, cost, ctx, pte.pfn, &target) {
+                        Ok(new) => new,
+                        Err(e) => {
+                            failed = Some(e);
+                            break 'walk;
+                        }
+                    };
+                    child_batch.push((
+                        c_vpn,
+                        Pte {
+                            pfn: new,
+                            flags: final_flags,
+                        },
+                    ));
+                    ctx.kernel(cost.pte_write);
+                    if validates {
+                        // Adversarial deployments re-verify every relocated
+                        // capability against the child's bounds before the
+                        // page becomes visible (the fork-latency component of
+                        // TOCTTOU/validation, ~2.6% in the paper).
+                        ctx.kernel(cost.page_scan() + cost.tocttou_fixed);
+                    }
+                    ctx.counters.pages_copied_eager += 1;
+                    continue;
+                }
+
+                // Lazy strategies: share the frame and arm faults.
+                if pm.inc_ref(pte.pfn).is_err() {
+                    failed = Some(Errno::Fault);
+                    break 'walk;
+                }
+                match strategy {
+                    CopyStrategy::Full => unreachable!("full copy is always eager"),
+                    CopyStrategy::CoA => {
+                        // Fully inaccessible to the child: any access faults.
+                        child_batch.push((
+                            c_vpn,
+                            Pte {
+                                pfn: pte.pfn,
+                                flags: PteFlags::empty().with(PteFlags::COA),
+                            },
+                        ));
+                        ctx.kernel(cost.pte_copy + cost.coa_pte_extra);
+                    }
+                    CopyStrategy::CoPA => {
+                        // Readable; writes and tagged loads fault.
+                        let mut f = PteFlags::READ.with(PteFlags::LC_FAULT).with(PteFlags::COW);
+                        if final_flags.contains(PteFlags::EXEC) {
+                            f = f.with(PteFlags::EXEC);
+                        }
+                        if final_flags.contains(PteFlags::WRITE) {
+                            f = f.with(PteFlags::WRITE); // COW checked first
+                        }
+                        child_batch.push((
+                            c_vpn,
+                            Pte {
+                                pfn: pte.pfn,
+                                flags: f,
+                            },
+                        ));
+                        ctx.kernel(cost.pte_copy);
+                    }
+                }
+
+                // Writable parent pages become copy-on-write (armed in one
+                // sweep after the stream).
+                if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
+                    cow_arm.push(vpn);
+                }
+            }
+        }
+
+        if let Some(e) = failed {
+            // Nothing reached the page table; just drop the batch's frame
+            // references (copies are freed, shared refcounts restored).
+            for (_, pte) in child_batch {
+                let _ = self.pm.dec_ref(pte.pfn);
+            }
+            ctx.counters.region_lookups += self.region_index.take_lookups();
+            return Err(e);
+        }
+
+        ctx.counters.ptes_written += self.pt.extend_sorted(child_batch);
+        let armed = self.pt.protect_many(cow_arm, PteFlags::COW);
+        ctx.kernel(self.cost.pte_protect * armed as f64);
+        ctx.counters.region_lookups += self.region_index.take_lookups();
+        Ok(())
+    }
+
+    /// The pre-optimization walk, kept verbatim as the [`ScanMode::Naive`]
+    /// ablation baseline: collects the parent's PTEs into a `Vec`, inserts
+    /// child PTEs one `map` at a time, arms parent COW per page, and
+    /// resolves relocation sources by linear scan of a freshly-rebuilt
+    /// region list.
+    fn fork_walk_pages_naive(
+        &mut self,
+        ctx: &mut Ctx,
+        p_region: Region,
+        layout: &crate::ProcLayout,
+        c_region: Region,
+        c_root: &Capability,
+        meta_used_bytes: u64,
+    ) -> SysResult<()> {
         let sources = self.source_regions();
+        let naive_lookups = Cell::new(0u64);
         let source_of = |addr: u64| -> Option<Region> {
-            sources
-                .iter()
-                .find(|r| addr >= r.base.0 && addr < r.base.0 + r.len)
-                .copied()
+            naive_lookups.set(naive_lookups.get() + 1);
+            sources.iter().find(|r| r.contains(VirtAddr(addr))).copied()
         };
 
         let start = p_region.base.vpn();
         let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
         let mapped: Vec<(Vpn, Pte)> = self.pt.range(start, end).collect();
 
-        for (vpn, pte) in mapped {
-            let off = vpn.base().0 - p_region.base.0;
-            let seg = layout.segment_of(off);
-            let c_vpn = VirtAddr(c_region.base.0 + off).vpn();
-            let final_flags = Self::seg_flags(seg);
+        let result = (|| -> SysResult<()> {
+            for &(vpn, pte) in &mapped {
+                let off = vpn.base().0 - p_region.base.0;
+                let seg = layout.segment_of(off);
+                let c_vpn = VirtAddr(c_region.base.0 + off).vpn();
+                let final_flags = Self::seg_flags(seg);
 
-            if seg == Segment::Shm {
-                // Shared mappings stay shared: same frames, full perms.
-                self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
-                self.pt.map(c_vpn, pte.pfn, PteFlags::rw());
-                ctx.kernel(self.cost.pte_copy);
-                ctx.counters.ptes_written += 1;
-                continue;
-            }
-
-            let eager = self.strategy == CopyStrategy::Full
-                || (self.eager_fork_copies
-                    && match seg {
-                        Segment::Got => true,
-                        Segment::HeapMeta => off - layout.heap_meta.0 < meta_used_bytes,
-                        _ => false,
-                    });
-
-            if eager {
-                let new = self.copy_page_for_child(ctx, pte.pfn, c_region, c_root, &source_of)?;
-                self.pt.map(c_vpn, new, final_flags);
-                ctx.kernel(self.cost.pte_write);
-                if self.isolation.validates_syscalls() {
-                    // Adversarial deployments re-verify every relocated
-                    // capability against the child's bounds before the
-                    // page becomes visible (the fork-latency component of
-                    // TOCTTOU/validation, ~2.6% in the paper).
-                    ctx.kernel(self.cost.page_scan() + self.cost.tocttou_fixed);
-                }
-                ctx.counters.ptes_written += 1;
-                ctx.counters.pages_copied_eager += 1;
-                continue;
-            }
-
-            // Lazy strategies: share the frame and arm faults.
-            self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
-            match self.strategy {
-                CopyStrategy::Full => unreachable!("full copy is always eager"),
-                CopyStrategy::CoA => {
-                    // Fully inaccessible to the child: any access faults.
-                    self.pt
-                        .map(c_vpn, pte.pfn, PteFlags::empty().with(PteFlags::COA));
-                    ctx.kernel(self.cost.pte_copy + self.cost.coa_pte_extra);
-                }
-                CopyStrategy::CoPA => {
-                    // Readable; writes and tagged loads fault.
-                    let mut f = PteFlags::READ.with(PteFlags::LC_FAULT).with(PteFlags::COW);
-                    if final_flags.contains(PteFlags::EXEC) {
-                        f = f.with(PteFlags::EXEC);
-                    }
-                    if final_flags.contains(PteFlags::WRITE) {
-                        f = f.with(PteFlags::WRITE); // COW checked first
-                    }
-                    self.pt.map(c_vpn, pte.pfn, f);
+                if seg == Segment::Shm {
+                    self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
+                    self.pt.map(c_vpn, pte.pfn, PteFlags::rw());
                     ctx.kernel(self.cost.pte_copy);
+                    ctx.counters.ptes_written += 1;
+                    continue;
                 }
-            }
-            ctx.counters.ptes_written += 1;
 
-            // Writable parent pages become copy-on-write.
-            if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
-                if let Some(ppte) = self.pt.lookup_mut(vpn) {
-                    ppte.flags = ppte.flags.with(PteFlags::COW);
+                let eager = self.strategy == CopyStrategy::Full
+                    || (self.eager_fork_copies
+                        && match seg {
+                            Segment::Got => true,
+                            Segment::HeapMeta => off - layout.heap_meta.0 < meta_used_bytes,
+                            _ => false,
+                        });
+
+                if eager {
+                    let target = RelocTarget {
+                        region: c_region,
+                        root: c_root,
+                        source_of: &source_of,
+                        mode: ScanMode::Naive,
+                    };
+                    let new = copy_page_for_child(&mut self.pm, &self.cost, ctx, pte.pfn, &target)?;
+                    self.pt.map(c_vpn, new, final_flags);
+                    ctx.kernel(self.cost.pte_write);
+                    if self.isolation.validates_syscalls() {
+                        ctx.kernel(self.cost.page_scan() + self.cost.tocttou_fixed);
+                    }
+                    ctx.counters.ptes_written += 1;
+                    ctx.counters.pages_copied_eager += 1;
+                    continue;
                 }
-                ctx.kernel(self.cost.pte_protect);
+
+                self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
+                match self.strategy {
+                    CopyStrategy::Full => unreachable!("full copy is always eager"),
+                    CopyStrategy::CoA => {
+                        self.pt
+                            .map(c_vpn, pte.pfn, PteFlags::empty().with(PteFlags::COA));
+                        ctx.kernel(self.cost.pte_copy + self.cost.coa_pte_extra);
+                    }
+                    CopyStrategy::CoPA => {
+                        let mut f = PteFlags::READ.with(PteFlags::LC_FAULT).with(PteFlags::COW);
+                        if final_flags.contains(PteFlags::EXEC) {
+                            f = f.with(PteFlags::EXEC);
+                        }
+                        if final_flags.contains(PteFlags::WRITE) {
+                            f = f.with(PteFlags::WRITE); // COW checked first
+                        }
+                        self.pt.map(c_vpn, pte.pfn, f);
+                        ctx.kernel(self.cost.pte_copy);
+                    }
+                }
+                ctx.counters.ptes_written += 1;
+
+                if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
+                    if let Some(ppte) = self.pt.lookup_mut(vpn) {
+                        ppte.flags = ppte.flags.with(PteFlags::COW);
+                    }
+                    ctx.kernel(self.cost.pte_protect);
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })();
+        ctx.counters.region_lookups += naive_lookups.get();
+        result
     }
 
     /// Rolls back a partially-staged fork: unmaps every PTE already
-    /// created in the child region, drops the frame references they took
-    /// (freeing eagerly-copied frames outright), and returns the region
-    /// to the allocator. After this the kernel is exactly as before the
-    /// fork except for COW arming on parent pages, which the parent's
-    /// next write resolves in place.
+    /// created in the child region (only the legacy walk stages any),
+    /// drops the frame references they took (freeing eagerly-copied
+    /// frames outright), and returns the region to the allocator. After
+    /// this the kernel is exactly as before the fork except for COW
+    /// arming on parent pages, which the parent's next write resolves in
+    /// place.
     fn unwind_partial_fork(&mut self, c_region: Region) {
         let start = c_region.base.vpn();
         let end = Vpn(c_region.top().0.div_ceil(PAGE_SIZE));
-        let staged: Vec<(Vpn, Pte)> = self.pt.range(start, end).collect();
-        for (vpn, pte) in staged {
-            self.pt.unmap(vpn);
+        for (_, pte) in self.pt.unmap_range(start, end) {
             let _ = self.pm.dec_ref(pte.pfn);
         }
         let _ = self.regions.free(c_region);
     }
+}
 
-    /// Eagerly copies one frame for a child and relocates it.
-    fn copy_page_for_child(
-        &mut self,
-        ctx: &mut Ctx,
-        src: Pfn,
-        c_region: Region,
-        c_root: &Capability,
-        source_of: &dyn Fn(u64) -> Option<Region>,
-    ) -> SysResult<Pfn> {
-        let new = self.pm.alloc_frame().map_err(|_| Errno::NoMem)?;
-        self.pm.copy_frame(src, new).map_err(|_| Errno::Fault)?;
-        ctx.kernel(self.cost.page_alloc + self.cost.page_copy);
-        ctx.counters.pages_copied += 1;
-        let stats = relocate_frame(&mut self.pm, new, c_region, c_root, source_of);
-        ctx.kernel(reloc_cost(&self.cost, &stats));
-        ctx.counters.granules_scanned += stats.granules_scanned;
-        ctx.counters.caps_relocated += stats.relocated + stats.cleared;
-        Ok(new)
+/// Where an eager page copy lands and how its capabilities are fixed up:
+/// the child's region and root plus the scan strategy and region lookup.
+struct RelocTarget<'a> {
+    region: Region,
+    root: &'a Capability,
+    source_of: &'a dyn Fn(u64) -> Option<Region>,
+    mode: ScanMode,
+}
+
+/// Eagerly copies one frame for a child and relocates it.
+fn copy_page_for_child(
+    pm: &mut PhysMem,
+    cost: &CostModel,
+    ctx: &mut Ctx,
+    src: Pfn,
+    target: &RelocTarget<'_>,
+) -> SysResult<Pfn> {
+    let new = pm.alloc_frame().map_err(|_| Errno::NoMem)?;
+    if pm.copy_frame(src, new).is_err() {
+        let _ = pm.dec_ref(new);
+        return Err(Errno::Fault);
     }
+    ctx.kernel(cost.page_alloc + cost.page_copy);
+    ctx.counters.pages_copied += 1;
+    let stats = relocate_frame(
+        pm,
+        new,
+        target.region,
+        target.root,
+        target.source_of,
+        target.mode,
+    );
+    ctx.kernel(reloc_cost(cost, &stats));
+    ctx.counters.granules_scanned += stats.granules_scanned;
+    ctx.counters.granules_skipped += stats.granules_skipped;
+    ctx.counters.tag_words_loaded += stats.tag_words_loaded;
+    ctx.counters.caps_relocated += stats.relocated + stats.cleared;
+    Ok(new)
 }

@@ -11,6 +11,8 @@ use ufork_vmem::{AccessKind, PageTable, PteFlags, Region, RegionAllocator, VirtA
 
 use crate::gate::SyscallGate;
 use crate::layout::{ProcLayout, Segment};
+use crate::region_index::RegionIndex;
+use crate::reloc::ScanMode;
 use crate::talloc::{TAlloc, UserMem};
 
 /// μFork kernel configuration.
@@ -33,6 +35,12 @@ pub struct UforkConfig {
     /// §3.5). Disable to ablate: under CoPA the pages are then copied
     /// lazily on the child's first capability load instead.
     pub eager_fork_copies: bool,
+    /// How the relocation scan discovers tagged granules: the
+    /// `CLoadTags`-style tag-summary fast path (default), or the naive
+    /// per-granule sweep kept as an ablation. The naive mode also uses the
+    /// legacy rebuild-and-linear-scan region lookup, so it reproduces the
+    /// pre-optimization host cost faithfully.
+    pub scan: ScanMode,
 }
 
 impl Default for UforkConfig {
@@ -45,6 +53,7 @@ impl Default for UforkConfig {
             aslr_seed: None,
             uproc_area_len: UPROC_AREA_LEN,
             eager_fork_copies: true,
+            scan: ScanMode::default(),
         }
     }
 }
@@ -85,6 +94,7 @@ pub struct UforkOs {
     pub(crate) strategy: CopyStrategy,
     pub(crate) eager_fork_copies: bool,
     pub(crate) isolation: IsolationLevel,
+    pub(crate) scan: ScanMode,
     pub(crate) pm: PhysMem,
     /// THE page table — a single address space has exactly one.
     pub(crate) pt: PageTable,
@@ -93,6 +103,9 @@ pub struct UforkOs {
     /// Regions of exited μprocesses that forked (kept for relocation
     /// source lookups; never reused).
     pub(crate) retired: Vec<Region>,
+    /// Sorted index over live + retired regions for O(log n) relocation
+    /// source lookups (replaces rebuilding a `Vec` per fork/fault).
+    pub(crate) region_index: RegionIndex,
     shm_objs: BTreeMap<String, Vec<Pfn>>,
     gate: SyscallGate,
 }
@@ -113,11 +126,13 @@ impl UforkOs {
             strategy: cfg.strategy,
             eager_fork_copies: cfg.eager_fork_copies,
             isolation: cfg.isolation,
+            scan: cfg.scan,
             pm: PhysMem::with_mib(cfg.phys_mib),
             pt: PageTable::new(),
             regions,
             procs: BTreeMap::new(),
             retired: Vec::new(),
+            region_index: RegionIndex::new(),
             shm_objs: BTreeMap::new(),
             gate,
         }
@@ -222,9 +237,12 @@ impl UforkOs {
         self.procs.get(&pid).ok_or(Errno::Inval)
     }
 
-    /// Region lookup for relocation: live μprocesses first, then retired
-    /// regions (most recent first). All that matters for rebasing is the
-    /// base/length of the region the address falls in.
+    /// Legacy region lookup for relocation: rebuilds a `Vec` of live
+    /// μprocess regions, then retired regions (most recent first), for
+    /// linear scanning. Kept only for [`ScanMode::Naive`], which
+    /// reproduces the pre-optimization cost profile; the fast path uses
+    /// the incrementally-maintained [`RegionIndex`] instead. Both return
+    /// the same region for every address (regions are pairwise disjoint).
     pub(crate) fn source_regions(&self) -> Vec<Region> {
         let mut v: Vec<Region> = self.procs.values().map(|p| p.region).collect();
         v.extend(self.retired.iter().rev().copied());
@@ -256,6 +274,10 @@ impl UforkOs {
     }
 
     /// Maps fresh zeroed frames for `[base, base+len)` with `flags`.
+    ///
+    /// Frames are allocated up front and the PTEs land in one
+    /// [`PageTable::map_range`] batch; if allocation fails partway the
+    /// already-allocated frames are released and nothing is mapped.
     fn map_fresh(
         &mut self,
         ctx: &mut Ctx,
@@ -263,12 +285,26 @@ impl UforkOs {
         len: u64,
         flags: PteFlags,
     ) -> SysResult<()> {
-        for vpn in ufork_vmem::pages_covering(base, len) {
-            let pfn = self.pm.alloc_frame().map_err(|_| Errno::NoMem)?;
-            self.pt.map(vpn, pfn, flags);
-            ctx.kernel(self.cost.page_alloc + self.cost.pte_write);
-            ctx.counters.ptes_written += 1;
+        let mut vpns = ufork_vmem::pages_covering(base, len);
+        let Some(start) = vpns.next() else {
+            return Ok(());
+        };
+        let pages = 1 + vpns.count() as u64;
+        let mut frames = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            match self.pm.alloc_frame() {
+                Ok(pfn) => frames.push(pfn),
+                Err(_) => {
+                    for pfn in frames {
+                        let _ = self.pm.dec_ref(pfn);
+                    }
+                    return Err(Errno::NoMem);
+                }
+            }
         }
+        let n = self.pt.map_range(start, frames, flags);
+        ctx.kernel((self.cost.page_alloc + self.cost.pte_write) * n as f64);
+        ctx.counters.ptes_written += n;
         Ok(())
     }
 }
@@ -361,6 +397,7 @@ impl MemOs for UforkOs {
                 had_children: false,
             },
         );
+        self.region_index.insert(region);
 
         // Initialize the in-memory allocator through the user path.
         let ta = self.talloc_of(pid)?;
@@ -379,19 +416,16 @@ impl MemOs for UforkOs {
         };
         let start = p.region.base.vpn();
         let end = Vpn(p.region.top().0.div_ceil(PAGE_SIZE));
-        let mapped: Vec<(Vpn, Pfn)> = self
-            .pt
-            .range(start, end)
-            .map(|(v, pte)| (v, pte.pfn))
-            .collect();
-        for (vpn, pfn) in mapped {
-            self.pt.unmap(vpn);
-            let _ = self.pm.dec_ref(pfn);
+        for (_, pte) in self.pt.unmap_range(start, end) {
+            let _ = self.pm.dec_ref(pte.pfn);
             ctx.kernel(self.cost.pte_write * 0.5);
         }
         if p.had_children {
+            // The region stays indexed: still a relocation source for
+            // frames the children share.
             self.retired.push(p.region);
         } else {
+            self.region_index.remove(p.region);
             let _ = self.regions.free(p.region);
         }
     }

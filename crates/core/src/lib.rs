@@ -47,10 +47,13 @@ mod fork;
 mod gate;
 mod kernel;
 mod layout;
+pub mod region_index;
 pub mod reloc;
 pub mod talloc;
 
 pub use gate::SyscallGate;
 pub use kernel::{UforkConfig, UforkOs};
 pub use layout::{ProcLayout, Segment};
+pub use region_index::RegionIndex;
+pub use reloc::ScanMode;
 pub use talloc::{TAlloc, TAllocStats, UserMem};

@@ -1,0 +1,201 @@
+//! Indexed source-region lookup for relocation.
+//!
+//! Every capability the relocation scan fixes up needs to know *which*
+//! μprocess region it points into (live parent, or the retired region of
+//! an exited ancestor) to compute the rebase delta. The kernel used to
+//! rebuild a `Vec<Region>` of all live + retired regions on every fork and
+//! every resolved fault, then linear-scan it once per capability — O(procs
+//! + retired) per lookup, rebuilt per page.
+//!
+//! [`RegionIndex`] replaces that with a sorted, incrementally-maintained
+//! set of non-overlapping regions: O(log n) binary search per lookup, no
+//! rebuilding. Regions never overlap by construction — the region
+//! allocator hands out disjoint spans, and retired regions are never
+//! reused (paper §3.5: a forked μprocess' region is kept after exit so
+//! relocation of still-shared frames stays unambiguous) — so a single
+//! sorted order serves live and retired regions alike.
+//!
+//! Capability runs within a page are strongly clustered (GOT slots, stack
+//! frames, allocator metadata all point near each other), so the index
+//! memoizes the last hit and answers repeat lookups in O(1).
+
+use std::cell::Cell;
+
+use ufork_vmem::{Region, VirtAddr};
+
+/// Sorted index of disjoint μprocess regions with last-hit memoization.
+#[derive(Default)]
+pub struct RegionIndex {
+    /// Regions sorted by base address; pairwise disjoint.
+    regions: Vec<Region>,
+    /// Index of the most recent successful lookup (`Cell` so shared
+    /// `&RegionIndex` lookup closures can maintain it).
+    last_hit: Cell<Option<usize>>,
+    /// Lookups served since the counter was last drained.
+    lookups: Cell<u64>,
+}
+
+impl RegionIndex {
+    /// Creates an empty index.
+    pub fn new() -> RegionIndex {
+        RegionIndex::default()
+    }
+
+    /// Number of indexed regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if no region is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Inserts a region, keeping the index sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the region overlaps an indexed one —
+    /// that would make relocation lookups ambiguous.
+    pub fn insert(&mut self, region: Region) {
+        let at = self.regions.partition_point(|r| r.base < region.base);
+        debug_assert!(
+            self.regions
+                .get(at)
+                .is_none_or(|next| region.top() <= next.base),
+            "region {region:?} overlaps {:?}",
+            self.regions.get(at)
+        );
+        debug_assert!(
+            at == 0 || self.regions[at - 1].top() <= region.base,
+            "region {region:?} overlaps {:?}",
+            self.regions[at.saturating_sub(1)]
+        );
+        self.regions.insert(at, region);
+        self.last_hit.set(None);
+    }
+
+    /// Removes a region previously inserted (exact match on base).
+    ///
+    /// Returns whether it was present. Regions of exited μprocesses that
+    /// forked are *not* removed — they stay as relocation sources.
+    pub fn remove(&mut self, region: Region) -> bool {
+        match self.regions.binary_search_by_key(&region.base, |r| r.base) {
+            Ok(at) => {
+                self.regions.remove(at);
+                self.last_hit.set(None);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Finds the region containing `addr`, if any.
+    ///
+    /// O(1) when `addr` falls in the memoized last-hit region, O(log n)
+    /// binary search otherwise. Every call is counted; drain the count
+    /// into the op counters with [`RegionIndex::take_lookups`].
+    pub fn lookup(&self, addr: u64) -> Option<Region> {
+        self.lookups.set(self.lookups.get() + 1);
+        if let Some(i) = self.last_hit.get() {
+            if let Some(r) = self.regions.get(i) {
+                if r.contains(VirtAddr(addr)) {
+                    return Some(*r);
+                }
+            }
+        }
+        let at = self
+            .regions
+            .partition_point(|r| r.base.0 <= addr)
+            .checked_sub(1)?;
+        let r = self.regions[at];
+        if r.contains(VirtAddr(addr)) {
+            self.last_hit.set(Some(at));
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Returns and resets the lookup count (drained into
+    /// `OpCounters::region_lookups` after each relocation pass).
+    pub fn take_lookups(&self) -> u64 {
+        self.lookups.replace(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(base: u64, len: u64) -> Region {
+        Region {
+            base: VirtAddr(base),
+            len,
+        }
+    }
+
+    #[test]
+    fn lookup_hits_the_containing_region() {
+        let mut idx = RegionIndex::new();
+        // Insert out of order; the index keeps itself sorted.
+        idx.insert(region(0x30_0000, 0x1000));
+        idx.insert(region(0x10_0000, 0x1000));
+        idx.insert(region(0x20_0000, 0x1000));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.lookup(0x10_0000), Some(region(0x10_0000, 0x1000)));
+        assert_eq!(idx.lookup(0x20_0fff), Some(region(0x20_0000, 0x1000)));
+        assert_eq!(idx.lookup(0x30_0800), Some(region(0x30_0000, 0x1000)));
+    }
+
+    #[test]
+    fn lookup_misses_gaps_and_ends() {
+        let mut idx = RegionIndex::new();
+        idx.insert(region(0x10_0000, 0x1000));
+        idx.insert(region(0x30_0000, 0x1000));
+        assert_eq!(idx.lookup(0x0f_ffff), None); // before everything
+        assert_eq!(idx.lookup(0x10_1000), None); // one past the end
+        assert_eq!(idx.lookup(0x20_0000), None); // in the gap
+        assert_eq!(idx.lookup(0x40_0000), None); // after everything
+        assert_eq!(RegionIndex::new().lookup(0x10_0000), None);
+    }
+
+    #[test]
+    fn memoized_repeat_lookups_stay_correct() {
+        let mut idx = RegionIndex::new();
+        idx.insert(region(0x10_0000, 0x1000));
+        idx.insert(region(0x20_0000, 0x1000));
+        // Prime the memo on one region, then alternate.
+        assert!(idx.lookup(0x10_0010).is_some());
+        assert!(idx.lookup(0x10_0020).is_some()); // memo hit
+        assert_eq!(idx.lookup(0x20_0010), Some(region(0x20_0000, 0x1000)));
+        assert_eq!(idx.lookup(0x10_0030), Some(region(0x10_0000, 0x1000)));
+        assert_eq!(idx.lookup(0x15_0000), None); // memo miss + search miss
+    }
+
+    #[test]
+    fn remove_unindexes_exact_region_only() {
+        let mut idx = RegionIndex::new();
+        let a = region(0x10_0000, 0x1000);
+        let b = region(0x20_0000, 0x1000);
+        idx.insert(a);
+        idx.insert(b);
+        assert!(idx.lookup(a.base.0).is_some()); // prime the memo on `a`
+        assert!(idx.remove(a));
+        assert!(!idx.remove(a)); // already gone
+        assert_eq!(idx.lookup(0x10_0000), None); // stale memo must not resurrect it
+        assert_eq!(idx.lookup(0x20_0000), Some(b));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn lookup_counter_drains() {
+        let mut idx = RegionIndex::new();
+        idx.insert(region(0x10_0000, 0x1000));
+        idx.lookup(0x10_0000);
+        idx.lookup(0x10_0010);
+        idx.lookup(0xdead_beef);
+        assert_eq!(idx.take_lookups(), 3);
+        assert_eq!(idx.take_lookups(), 0);
+    }
+}

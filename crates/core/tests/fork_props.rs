@@ -73,7 +73,8 @@ fn interleaved_writes_never_leak() {
                 ..UforkConfig::default()
             });
             let mut ctx = Ctx::new();
-            os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world()).unwrap();
+            os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world())
+                .unwrap();
             let arr = os.malloc(&mut ctx, PARENT, CELLS * 512).unwrap();
             // Initialize cells to i.
             for i in 0..CELLS {
@@ -205,7 +206,8 @@ fn strategies_observationally_equivalent() {
                 ..UforkConfig::default()
             });
             let mut ctx = Ctx::new();
-            os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world()).unwrap();
+            os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world())
+                .unwrap();
             let arr = os.malloc(&mut ctx, PARENT, CELLS * 512).unwrap();
             for i in 0..CELLS {
                 os.store(
@@ -216,7 +218,7 @@ fn strategies_observationally_equivalent() {
                 )
                 .unwrap();
             }
-            os.set_reg(PARENT, 4, arr.clone()).unwrap();
+            os.set_reg(PARENT, 4, arr).unwrap();
             os.fork(&mut ctx, PARENT, CHILD).unwrap();
             // Parent dirties some cells AFTER the fork.
             for (i, v) in parent_dirty {

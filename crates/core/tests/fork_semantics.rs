@@ -11,9 +11,11 @@ const PARENT: Pid = Pid(1);
 const CHILD: Pid = Pid(2);
 
 fn os_with(strategy: CopyStrategy) -> (UforkOs, Ctx) {
-    let mut cfg = UforkConfig::default();
-    cfg.strategy = strategy;
-    cfg.phys_mib = 64;
+    let cfg = UforkConfig {
+        strategy,
+        phys_mib: 64,
+        ..UforkConfig::default()
+    };
     (UforkOs::new(cfg), Ctx::new())
 }
 
@@ -328,9 +330,11 @@ fn fork_counters_match_strategy() {
 
 #[test]
 fn isolation_none_skips_checks() {
-    let mut cfg = UforkConfig::default();
-    cfg.isolation = IsolationLevel::None;
-    cfg.phys_mib = 64;
+    let cfg = UforkConfig {
+        isolation: IsolationLevel::None,
+        phys_mib: 64,
+        ..UforkConfig::default()
+    };
     let mut os = UforkOs::new(cfg);
     let mut ctx = Ctx::new();
     os.spawn(&mut ctx, PARENT, &ImageSpec::hello_world())
@@ -354,8 +358,10 @@ fn isolation_none_skips_checks() {
 fn fork_latency_scales_with_mapped_pages() {
     // Fork cost must grow with the image size (PTE copies): the mechanism
     // behind Figure 4's growth with database size.
-    let mut cfg = UforkConfig::default();
-    cfg.phys_mib = 256;
+    let cfg = UforkConfig {
+        phys_mib: 256,
+        ..UforkConfig::default()
+    };
     let mut os = UforkOs::new(cfg);
     let mut ctx_small = Ctx::new();
     os.spawn(&mut ctx_small, Pid(10), &ImageSpec::hello_world())

@@ -104,7 +104,8 @@ fn fragmented_fork(strategy: CopyStrategy) {
             c.confined_to(c_base, c_len),
             "{strategy:?}: child malloc returned a parent-region block"
         );
-        os.store(&mut ctx, CHILD, &c, &[0xCC; 16]).expect("child write");
+        os.store(&mut ctx, CHILD, &c, &[0xCC; 16])
+            .expect("child write");
     }
     // Parent's view is untouched by the child's allocations.
     for (i, c) in caps.iter().enumerate() {

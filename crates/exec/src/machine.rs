@@ -278,7 +278,7 @@ impl<O: MemOs> Machine<O> {
     pub fn is_finished(&self, pid: Pid) -> bool {
         self.procs
             .get(&pid)
-            .map_or(true, |p| p.life != ProcLife::Alive)
+            .is_none_or(|p| p.life != ProcLife::Alive)
     }
 
     /// Number of live threads in a process.
@@ -327,7 +327,7 @@ impl<O: MemOs> Machine<O> {
         // Pick the allowed core with the earliest time.
         let affinity = self.procs[&pid].affinity.clone();
         let core_idx = (0..self.cores.len())
-            .filter(|i| affinity.as_ref().map_or(true, |a| a.contains(i)))
+            .filter(|i| affinity.as_ref().is_none_or(|a| a.contains(i)))
             .min_by(|a, b| self.cores[*a].now.total_cmp(&self.cores[*b].now))
             .expect("affinity excludes every core");
         let core = self.cores[core_idx];

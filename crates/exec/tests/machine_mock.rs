@@ -157,22 +157,6 @@ impl MemOs for MockOs {
     }
 }
 
-/// A program that burns fixed CPU then exits.
-#[derive(Clone)]
-struct Burn(u64);
-impl Program for Burn {
-    fn resume(&mut self, env: &mut dyn Env, _input: Resume) -> StepOutcome {
-        env.cpu_ops(self.0);
-        StepOutcome::Exit(0)
-    }
-    fn clone_box(&self) -> Box<dyn Program> {
-        Box::new(self.clone())
-    }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-}
-
 /// Forks N burners then waits for all.
 #[derive(Clone)]
 struct FanOut {

@@ -14,6 +14,13 @@ pub const GRANULE_SIZE: u64 = 16;
 /// Number of tag granules per page.
 pub const GRANULES_PER_PAGE: u64 = PAGE_SIZE / GRANULE_SIZE;
 
+/// Number of granules covered by one tag-summary word (a `CLoadTags`-style
+/// bulk tag read returns this many tags at once).
+pub const GRANULES_PER_TAG_WORD: u64 = 64;
+
+/// Number of `u64` words in a frame's tag-occupancy bitmap.
+pub const TAG_WORDS_PER_PAGE: usize = (GRANULES_PER_PAGE / GRANULES_PER_TAG_WORD) as usize;
+
 /// A physical frame number.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Pfn(pub u32);
@@ -37,9 +44,16 @@ impl fmt::Debug for Pfn {
 /// granule index present in the map *is* a set tag, and the stored
 /// [`Capability`] is the value the tag protects. Absent index ⇒ tag clear ⇒
 /// the 16 bytes are plain data.
+///
+/// A 256-bit **tag-occupancy bitmap** (`tags`, one bit per granule) mirrors
+/// the map. It models the tag summary a Morello `CLoadTags` instruction
+/// exposes — 64 granule tags per bulk read — and lets the relocation scan
+/// skip untagged pages in O(1) and jump directly to set bits on sparse
+/// pages instead of sweeping all 256 granules.
 pub struct Frame {
     data: Box<[u8]>,
     caps: BTreeMap<u16, Capability>,
+    tags: [u64; TAG_WORDS_PER_PAGE],
 }
 
 impl Frame {
@@ -48,7 +62,18 @@ impl Frame {
         Frame {
             data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
             caps: BTreeMap::new(),
+            tags: [0; TAG_WORDS_PER_PAGE],
         }
+    }
+
+    #[inline]
+    fn set_tag_bit(&mut self, granule: u16) {
+        self.tags[granule as usize / 64] |= 1u64 << (granule % 64);
+    }
+
+    #[inline]
+    fn clear_tag_bit(&mut self, granule: u16) {
+        self.tags[granule as usize / 64] &= !(1u64 << (granule % 64));
     }
 
     /// Read-only view of the frame's data bytes.
@@ -79,6 +104,7 @@ impl Frame {
         let last = (offset + buf.len() as u64 - 1) / GRANULE_SIZE;
         for g in first..=last {
             self.caps.remove(&(g as u16));
+            self.clear_tag_bit(g as u16);
         }
     }
 
@@ -90,7 +116,9 @@ impl Frame {
         debug_assert_eq!(offset % GRANULE_SIZE, 0);
         let o = offset as usize;
         self.data[o..o + GRANULE_SIZE as usize].copy_from_slice(&cap.to_bytes());
-        self.caps.insert((offset / GRANULE_SIZE) as u16, *cap);
+        let g = (offset / GRANULE_SIZE) as u16;
+        self.caps.insert(g, *cap);
+        self.set_tag_bit(g);
     }
 
     /// Loads the capability at granule-aligned `offset`.
@@ -104,17 +132,26 @@ impl Frame {
 
     /// Clears the tag (if any) of the granule at `offset`.
     pub fn clear_tag(&mut self, offset: u64) {
-        self.caps.remove(&((offset / GRANULE_SIZE) as u16));
+        let g = (offset / GRANULE_SIZE) as u16;
+        self.caps.remove(&g);
+        self.clear_tag_bit(g);
     }
 
     /// Returns true if any granule in the frame holds a valid capability.
     pub fn has_caps(&self) -> bool {
-        !self.caps.is_empty()
+        self.tags.iter().any(|&w| w != 0)
     }
 
-    /// Number of tagged granules in the frame.
+    /// Number of tagged granules in the frame (bitmap popcount).
     pub fn cap_count(&self) -> usize {
-        self.caps.len()
+        self.tags.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The tag-occupancy bitmap: one bit per granule, 64 granules per
+    /// word — the view a `CLoadTags` bulk tag read exposes. Bit `g % 64`
+    /// of word `g / 64` is set iff granule `g` holds a valid capability.
+    pub fn tag_words(&self) -> [u64; TAG_WORDS_PER_PAGE] {
+        self.tags
     }
 
     /// Iterates `(byte_offset, capability)` over every tagged granule.
@@ -140,12 +177,22 @@ impl Frame {
     pub fn copy_from(&mut self, other: &Frame) {
         self.data.copy_from_slice(&other.data);
         self.caps = other.caps.clone();
+        self.tags = other.tags;
+    }
+
+    /// Test/audit invariant: the bitmap and the capability map agree.
+    pub fn check_tag_invariant(&self) -> bool {
+        let mut shadow = [0u64; TAG_WORDS_PER_PAGE];
+        for g in self.caps.keys() {
+            shadow[*g as usize / 64] |= 1u64 << (*g % 64);
+        }
+        shadow == self.tags
     }
 }
 
 impl fmt::Debug for Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Frame({} tagged granules)", self.caps.len())
+        write!(f, "Frame({} tagged granules)", self.cap_count())
     }
 }
 
@@ -164,6 +211,7 @@ mod tests {
         assert!(!f.has_caps());
         assert_eq!(f.load_cap(0), None);
         assert!(f.data().iter().all(|&b| b == 0));
+        assert_eq!(f.tag_words(), [0; TAG_WORDS_PER_PAGE]);
     }
 
     #[test]
@@ -182,6 +230,8 @@ mod tests {
         f.store_cap(32, &c);
         assert_eq!(f.load_cap(32), Some(c));
         assert_eq!(f.cap_count(), 1);
+        // Granule 2 → bit 2 of word 0.
+        assert_eq!(f.tag_words()[0], 1 << 2);
     }
 
     #[test]
@@ -194,6 +244,8 @@ mod tests {
         f.write(30, &[0xaa; 4]);
         assert_eq!(f.load_cap(16), None);
         assert_eq!(f.load_cap(48), Some(cap(0x9100)));
+        assert_eq!(f.tag_words()[0], 1 << 3);
+        assert!(f.check_tag_invariant());
     }
 
     #[test]
@@ -202,6 +254,7 @@ mod tests {
         f.store_cap(0, &cap(0x9000));
         f.write(0, &[]);
         assert_eq!(f.load_cap(0), Some(cap(0x9000)));
+        assert_eq!(f.cap_count(), 1);
     }
 
     #[test]
@@ -228,9 +281,38 @@ mod tests {
         a.write(0, &[7; 16]);
         a.store_cap(16, &cap(0xc000));
         let mut b = Frame::zeroed();
+        // Pre-existing tags in the destination must be fully replaced.
+        b.store_cap(128, &cap(0xdddd));
         b.copy_from(&a);
         assert_eq!(b.load_cap(16), Some(cap(0xc000)));
+        assert_eq!(b.load_cap(128), None);
         assert_eq!(b.data()[..16], [7; 16]);
+        assert_eq!(b.tag_words(), a.tag_words());
+        assert!(b.check_tag_invariant());
+    }
+
+    #[test]
+    fn clear_tag_updates_bitmap() {
+        let mut f = Frame::zeroed();
+        f.store_cap(1024, &cap(0xe000)); // granule 64 → word 1 bit 0
+        assert_eq!(f.tag_words()[1], 1);
+        f.clear_tag(1024);
+        assert_eq!(f.tag_words(), [0; TAG_WORDS_PER_PAGE]);
+        assert!(!f.has_caps());
+        assert!(f.check_tag_invariant());
+    }
+
+    #[test]
+    fn bitmap_spans_all_four_words() {
+        let mut f = Frame::zeroed();
+        for word in 0..TAG_WORDS_PER_PAGE as u64 {
+            let g = word * GRANULES_PER_TAG_WORD + word; // bit `word` of each word
+            f.store_cap(g * GRANULE_SIZE, &cap(0xf000 + g));
+        }
+        for (i, w) in f.tag_words().iter().enumerate() {
+            assert_eq!(*w, 1 << i, "word {i}");
+        }
+        assert_eq!(f.cap_count(), TAG_WORDS_PER_PAGE);
     }
 
     #[test]

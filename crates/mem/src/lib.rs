@@ -38,6 +38,9 @@ mod frame;
 mod phys;
 mod stats;
 
-pub use frame::{Frame, Pfn, GRANULES_PER_PAGE, GRANULE_SIZE, PAGE_SIZE};
+pub use frame::{
+    Frame, Pfn, GRANULES_PER_PAGE, GRANULES_PER_TAG_WORD, GRANULE_SIZE, PAGE_SIZE,
+    TAG_WORDS_PER_PAGE,
+};
 pub use phys::{MemError, PhysMem};
 pub use stats::MemStats;

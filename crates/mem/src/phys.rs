@@ -252,23 +252,25 @@ impl PhysMem {
 }
 
 fn check_range(offset: u64, len: u64) -> Result<(), MemError> {
-    if offset + len > PAGE_SIZE {
-        return Err(MemError::OutOfRange { offset, len });
+    // `offset + len` can wrap for adversarial offsets (e.g. u64::MAX),
+    // sneaking past the bound and panicking downstream in `Frame::read`.
+    match offset.checked_add(len) {
+        Some(end) if end <= PAGE_SIZE => Ok(()),
+        _ => Err(MemError::OutOfRange { offset, len }),
     }
-    Ok(())
 }
 
 fn check_cap_offset(offset: u64) -> Result<(), MemError> {
-    if offset % GRANULE_SIZE != 0 {
+    if !offset.is_multiple_of(GRANULE_SIZE) {
         return Err(MemError::Unaligned(offset));
     }
-    if offset + GRANULE_SIZE > PAGE_SIZE {
-        return Err(MemError::OutOfRange {
+    match offset.checked_add(GRANULE_SIZE) {
+        Some(end) if end <= PAGE_SIZE => Ok(()),
+        _ => Err(MemError::OutOfRange {
             offset,
             len: GRANULE_SIZE,
-        });
+        }),
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -333,6 +335,34 @@ mod tests {
         let a = pm.alloc_frame().unwrap();
         assert!(matches!(
             pm.read(a, PAGE_SIZE - 2, &mut [0u8; 4]),
+            Err(MemError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_offset_does_not_wrap_past_the_range_check() {
+        let mut pm = PhysMem::new(1);
+        let a = pm.alloc_frame().unwrap();
+        // offset + len wraps to a small value; the check must still reject.
+        assert!(matches!(
+            pm.read(a, u64::MAX, &mut [0u8; 4]),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            pm.write(a, u64::MAX - 1, &[0u8; 8]),
+            Err(MemError::OutOfRange { .. })
+        ));
+        // Granule-aligned offset near u64::MAX: offset + GRANULE_SIZE wraps
+        // to exactly 0, the worst case for an unchecked `<=` comparison.
+        let aligned_huge = u64::MAX - (GRANULE_SIZE - 1);
+        assert_eq!(aligned_huge % GRANULE_SIZE, 0);
+        assert_eq!(aligned_huge.wrapping_add(GRANULE_SIZE), 0);
+        assert!(matches!(
+            pm.load_cap(a, aligned_huge),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            pm.store_cap(a, aligned_huge, &cap()),
             Err(MemError::OutOfRange { .. })
         ));
     }

@@ -19,6 +19,11 @@ pub struct MemStats {
     pub prs_bytes: f64,
     /// Full resident set in bytes (each mapped frame counted once).
     pub rss_bytes: u64,
+    /// Tagged (capability-holding) granules across the mapped frames,
+    /// read from each frame's tag-summary bitmap. The relocation fast
+    /// path's win scales with how small this is relative to
+    /// `rss_bytes / GRANULE_SIZE`.
+    pub cap_granules: u64,
 }
 
 impl MemStats {
@@ -37,6 +42,9 @@ impl MemStats {
             }
             s.prs_bytes += PAGE_SIZE as f64 / f64::from(rc.max(1));
             s.rss_bytes += PAGE_SIZE;
+            if let Ok(frame) = pm.frame(pfn) {
+                s.cap_granules += frame.cap_count() as u64;
+            }
         }
         s
     }
@@ -79,12 +87,26 @@ mod tests {
     }
 
     #[test]
+    fn cap_granules_counted_from_tag_bitmaps() {
+        use ufork_cheri::{Capability, Perms};
+        let mut pm = PhysMem::new(2);
+        let a = pm.alloc_frame().unwrap();
+        let b = pm.alloc_frame().unwrap();
+        let cap = Capability::new_root(0x8000, 32, Perms::data());
+        pm.store_cap(a, 0, &cap).unwrap();
+        pm.store_cap(a, 64, &cap).unwrap();
+        let s = MemStats::for_frames(&pm, [a, b]);
+        assert_eq!(s.cap_granules, 2);
+    }
+
+    #[test]
     fn unit_conversions() {
         let s = MemStats {
             private_frames: 256,
             shared_frames: 0,
             prs_bytes: 1024.0 * 1024.0,
             rss_bytes: 2 * 1024 * 1024,
+            cap_granules: 0,
         };
         assert!((s.prs_mib() - 1.0).abs() < 1e-9);
         assert!((s.rss_mib() - 2.0).abs() < 1e-9);

@@ -82,9 +82,7 @@ fn tag_set_iff_last_writer_was_cap_store() {
                 for (g, expect) in shadow.iter().enumerate() {
                     let got = pm.load_cap(f, g as u64 * GRANULE_SIZE).unwrap().is_some();
                     if got != *expect {
-                        return Err(format!(
-                            "granule {g}: tag {got}, shadow expects {expect}"
-                        ));
+                        return Err(format!("granule {g}: tag {got}, shadow expects {expect}"));
                     }
                 }
             }
@@ -122,6 +120,102 @@ fn frame_copy_preserves_tags() {
                 let dst = pm.load_cap(b, g * GRANULE_SIZE).unwrap();
                 if src != dst {
                     return Err(format!("granule {g}: copy diverged"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[derive(Clone, Debug)]
+enum BitmapOp {
+    Write { off: u16, len: u8 },
+    StoreCap { granule: u8 },
+    ClearTag { granule: u8 },
+    CopyFrom,
+}
+
+fn gen_bitmap_ops(rng: &mut Rng) -> Vec<BitmapOp> {
+    let n = rng.range(1, 100) as usize;
+    (0..n)
+        .map(|_| match rng.below(4) {
+            0 => BitmapOp::Write {
+                off: (rng.next_u64() as u16) % (PAGE_SIZE as u16 - 64),
+                len: rng.range(1, 64) as u8,
+            },
+            1 => BitmapOp::StoreCap {
+                granule: rng.next_u64() as u8,
+            },
+            2 => BitmapOp::ClearTag {
+                granule: rng.next_u64() as u8,
+            },
+            _ => BitmapOp::CopyFrom,
+        })
+        .collect()
+}
+
+/// The tag-occupancy bitmap (`tag_words`, the `CLoadTags` summary the
+/// relocation fast path trusts) must agree with the capability map after
+/// any interleaving of writes, cap stores, tag clears, and frame copies:
+/// bit `g` set iff granule `g` holds a valid capability, and the popcount
+/// equals `cap_count`.
+#[test]
+fn tag_bitmap_agrees_with_cap_map() {
+    forall(
+        "tag_bitmap_agrees_with_cap_map",
+        &cfg(),
+        gen_bitmap_ops,
+        |ops| shrink_vec(ops),
+        |ops| {
+            let mut pm = PhysMem::new(3);
+            let f = pm.alloc_frame().unwrap();
+            // A donor frame with a fixed sparse cap population, for
+            // exercising `copy_from`'s bitmap transfer.
+            let donor = pm.alloc_frame().unwrap();
+            for g in [5u64, 77, 130, 255] {
+                let cap = Capability::new_root(0x6000 + g * 64, 64, Perms::data());
+                pm.store_cap(donor, g * GRANULE_SIZE, &cap).unwrap();
+            }
+            let cap = Capability::new_root(0x4000, 64, Perms::data());
+
+            for op in ops {
+                match op {
+                    BitmapOp::Write { off, len } => {
+                        pm.write(f, u64::from(*off), &vec![0x55; usize::from(*len)])
+                            .unwrap();
+                    }
+                    BitmapOp::StoreCap { granule } => {
+                        let g = u64::from(*granule) % GRANULES_PER_PAGE;
+                        pm.store_cap(f, g * GRANULE_SIZE, &cap).unwrap();
+                    }
+                    BitmapOp::ClearTag { granule } => {
+                        let g = u64::from(*granule) % GRANULES_PER_PAGE;
+                        pm.frame_mut(f).unwrap().clear_tag(g * GRANULE_SIZE);
+                    }
+                    BitmapOp::CopyFrom => {
+                        pm.copy_frame(donor, f).unwrap();
+                    }
+                }
+                let frame = pm.frame(f).unwrap();
+                let words = frame.tag_words();
+                for g in 0..GRANULES_PER_PAGE {
+                    let bit = words[(g / 64) as usize] >> (g % 64) & 1 == 1;
+                    let tagged = frame.load_cap(g * GRANULE_SIZE).is_some();
+                    if bit != tagged {
+                        return Err(format!(
+                            "granule {g}: bitmap bit {bit}, cap map says {tagged} after {op:?}"
+                        ));
+                    }
+                }
+                let popcount: u32 = words.iter().map(|w| w.count_ones()).sum();
+                if popcount as usize != frame.cap_count() {
+                    return Err(format!(
+                        "popcount {popcount} != cap_count {} after {op:?}",
+                        frame.cap_count()
+                    ));
+                }
+                if !frame.check_tag_invariant() {
+                    return Err(format!("check_tag_invariant failed after {op:?}"));
                 }
             }
             Ok(())

@@ -13,9 +13,9 @@
 //! matter where the regions land — this exercises the relocation
 //! normalization rather than assuming it.
 
+use ufork::{UforkConfig, UforkOs};
 use ufork_abi::CopyStrategy;
 use ufork_baselines::{mono, BaselineConfig};
-use ufork::{UforkConfig, UforkOs};
 
 use crate::driver::{run_program, RunResult};
 use crate::gen::KernelProgram;
@@ -34,7 +34,8 @@ pub enum Backend {
 }
 
 /// All backends, in reporting order.
-pub const ALL_BACKENDS: [Backend; 4] = [Backend::Full, Backend::CoA, Backend::CoPA, Backend::MultiAs];
+pub const ALL_BACKENDS: [Backend; 4] =
+    [Backend::Full, Backend::CoA, Backend::CoPA, Backend::MultiAs];
 
 impl Backend {
     /// Short display name.
@@ -53,11 +54,7 @@ const PHYS_MIB: u32 = 256;
 
 /// Runs one program on one backend, including the μFork-only
 /// post-teardown kernel audit (dangling PTEs / unaccounted frames).
-pub fn run_backend(
-    backend: Backend,
-    aslr: u64,
-    prog: &KernelProgram,
-) -> Result<RunResult, String> {
+pub fn run_backend(backend: Backend, aslr: u64, prog: &KernelProgram) -> Result<RunResult, String> {
     match backend {
         Backend::MultiAs => {
             let mut os = mono(BaselineConfig {
@@ -161,9 +158,7 @@ fn first_difference(
                 (Some(pa), Some(pb)) => {
                     for (s, (sa, sb)) in pa.slots.iter().zip(pb.slots.iter()).enumerate() {
                         if sa != sb {
-                            return Some(format!(
-                                "proc#{ord} slot{s}: {sa:?} != {sb:?}"
-                            ));
+                            return Some(format!("proc#{ord} slot{s}: {sa:?} != {sb:?}"));
                         }
                     }
                 }

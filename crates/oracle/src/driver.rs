@@ -358,12 +358,7 @@ fn exec_op<O: MemOs>(
     }
 }
 
-fn observe_alloc<O: MemOs>(
-    os: &mut O,
-    ctx: &mut Ctx,
-    p: &DrvProc,
-    cap: &Capability,
-) -> AllocObs {
+fn observe_alloc<O: MemOs>(os: &mut O, ctx: &mut Ctx, p: &DrvProc, cap: &Capability) -> AllocObs {
     let n_granules = cap.len() / 16;
     let mut granules = Vec::with_capacity(n_granules as usize);
     for g in 0..n_granules {

@@ -171,11 +171,7 @@ fn fork_walk_campaign(summary: &mut FaultSummary) -> Result<(), String> {
             os.inject_frame_alloc_failure(attempt);
             match os.fork(&mut ctx, Pid(1), Pid(2)) {
                 Err(Errno::NoMem) => {}
-                other => {
-                    return Err(format!(
-                        "{label}: expected Err(NoMem), got {other:?}"
-                    ))
-                }
+                other => return Err(format!("{label}: expected Err(NoMem), got {other:?}")),
             }
             check_recovery(&mut os, &mut ctx, frames_before, &label)?;
             // The injection is one-shot: the retry must succeed and the

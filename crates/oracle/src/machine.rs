@@ -77,7 +77,7 @@ impl TreeProg {
         env.cpu_ops(u64::from(self.node.compute));
         let pid = env.sys_getpid();
         let mut content: Vec<u8> =
-            std::iter::repeat(self.node.pattern).take(self.node.log_len as usize).collect();
+            std::iter::repeat_n(self.node.pattern, self.node.log_len as usize).collect();
         content.extend_from_slice(&self.received);
         let path = format!("log.{}", pid.0);
         if let Some(fd) = self.write_file(env, &path, &content) {
@@ -96,7 +96,9 @@ impl TreeProg {
             let Ok((r, w)) = env.sys_pipe() else {
                 return StepOutcome::Exit(100);
             };
-            let bytes: Vec<u8> = (0..send_len).map(|i| child.pattern.wrapping_add(i)).collect();
+            let bytes: Vec<u8> = (0..send_len)
+                .map(|i| child.pattern.wrapping_add(i))
+                .collect();
             if let Ok(buf) = env.malloc(u64::from(send_len).max(8)) {
                 if let Ok(at) = buf.with_addr(buf.base()) {
                     let _ = env.store(&at, &bytes);
@@ -234,7 +236,10 @@ pub fn run_tree(backend: Backend, tree: &MNode) -> Result<MachObs, String> {
         }
     };
     if violations != 0 {
-        return Err(format!("{}: {violations} isolation violations", backend.name()));
+        return Err(format!(
+            "{}: {violations} isolation violations",
+            backend.name()
+        ));
     }
     Ok(obs)
 }
@@ -285,7 +290,12 @@ fn check_tree(tree: &MNode) -> Result<(), String> {
 
 fn describe_mach_diff(b: Backend, a: &MachObs, o: &MachObs) -> String {
     if a.forks != o.forks {
-        return format!("ufork-full vs {}: forks {} != {}", b.name(), a.forks, o.forks);
+        return format!(
+            "ufork-full vs {}: forks {} != {}",
+            b.name(),
+            a.forks,
+            o.forks
+        );
     }
     for (x, y) in a.exit_codes.iter().zip(&o.exit_codes) {
         if x != y {

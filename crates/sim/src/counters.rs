@@ -23,8 +23,16 @@ pub struct OpCounters {
     pub cap_load_faults: u64,
     /// Capabilities relocated into a child region.
     pub caps_relocated: u64,
-    /// Granules scanned for tags.
+    /// Granules scanned for tags (inspected individually).
     pub granules_scanned: u64,
+    /// Granules the tag-summary fast path skipped without inspection
+    /// (their tag bit was clear in a bulk tag read).
+    pub granules_skipped: u64,
+    /// Bulk tag-summary words loaded (`CLoadTags`-style, 64 granules
+    /// per word).
+    pub tag_words_loaded: u64,
+    /// Source-region lookups performed while relocating capabilities.
+    pub region_lookups: u64,
     /// PTEs copied or created.
     pub ptes_written: u64,
     /// System calls executed.
@@ -61,6 +69,9 @@ impl OpCounters {
         self.cap_load_faults += other.cap_load_faults;
         self.caps_relocated += other.caps_relocated;
         self.granules_scanned += other.granules_scanned;
+        self.granules_skipped += other.granules_skipped;
+        self.tag_words_loaded += other.tag_words_loaded;
+        self.region_lookups += other.region_lookups;
         self.ptes_written += other.ptes_written;
         self.syscalls += other.syscalls;
         self.traps += other.traps;
@@ -87,6 +98,9 @@ impl OpCounters {
             cap_load_faults: self.cap_load_faults - earlier.cap_load_faults,
             caps_relocated: self.caps_relocated - earlier.caps_relocated,
             granules_scanned: self.granules_scanned - earlier.granules_scanned,
+            granules_skipped: self.granules_skipped - earlier.granules_skipped,
+            tag_words_loaded: self.tag_words_loaded - earlier.tag_words_loaded,
+            region_lookups: self.region_lookups - earlier.region_lookups,
             ptes_written: self.ptes_written - earlier.ptes_written,
             syscalls: self.syscalls - earlier.syscalls,
             traps: self.traps - earlier.traps,
@@ -113,8 +127,14 @@ impl fmt::Display for OpCounters {
         )?;
         writeln!(
             f,
-            "caps relocated: {}, granules scanned: {}, ptes written: {}",
-            self.caps_relocated, self.granules_scanned, self.ptes_written
+            "caps relocated: {}, granules scanned: {} (skipped {}, tag words {}), \
+             region lookups: {}, ptes written: {}",
+            self.caps_relocated,
+            self.granules_scanned,
+            self.granules_skipped,
+            self.tag_words_loaded,
+            self.region_lookups,
+            self.ptes_written
         )?;
         write!(
             f,
@@ -135,9 +155,11 @@ mod tests {
 
     #[test]
     fn since_subtracts_fieldwise() {
-        let mut a = OpCounters::default();
-        a.pages_copied = 10;
-        a.syscalls = 5;
+        let a = OpCounters {
+            pages_copied: 10,
+            syscalls: 5,
+            ..OpCounters::default()
+        };
         let mut b = a;
         b.pages_copied = 25;
         b.syscalls = 9;
@@ -151,16 +173,20 @@ mod tests {
 
     #[test]
     fn reset_zeroes() {
-        let mut a = OpCounters::default();
-        a.traps = 3;
+        let mut a = OpCounters {
+            traps: 3,
+            ..OpCounters::default()
+        };
         a.reset();
         assert_eq!(a, OpCounters::default());
     }
 
     #[test]
     fn display_mentions_key_fields() {
-        let mut a = OpCounters::default();
-        a.caps_relocated = 42;
+        let a = OpCounters {
+            caps_relocated: 42,
+            ..OpCounters::default()
+        };
         let s = a.to_string();
         assert!(s.contains("caps relocated: 42"));
     }

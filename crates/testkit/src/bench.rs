@@ -48,12 +48,19 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
 ///
 /// Setup runs inside the timing loop but its cost is measured separately
 /// and subtracted, keeping the reported number close to the routine alone.
-pub fn bench_with_setup<S, T>(
+pub fn bench_with_setup<S, T>(name: &str, setup: impl FnMut() -> S, routine: impl FnMut(S) -> T) {
+    bench_with_setup_ns(name, setup, routine);
+}
+
+/// Like [`bench_with_setup`], but also returns the median ns/iter so the
+/// caller can post-process the result (e.g. compute speedups or emit a
+/// machine-readable `BENCH_*.json` baseline).
+pub fn bench_with_setup_ns<S, T>(
     name: &str,
     mut setup: impl FnMut() -> S,
     mut routine: impl FnMut(S) -> T,
-) {
-    let iters = crate::env_u64("BENCH_ITERS", 0).max(1).min(1000);
+) -> u64 {
+    let iters = crate::env_u64("BENCH_ITERS", 0).clamp(1, 1000);
     let iters = if iters == 1 { 50 } else { iters };
     let mut medians = Vec::new();
     for _ in 0..samples() {
@@ -72,9 +79,10 @@ pub fn bench_with_setup<S, T>(
         medians.push(both_ns.saturating_sub(setup_ns));
     }
     medians.sort_unstable();
+    let median = medians[medians.len() / 2];
     println!(
-        "{name}: {} ns/iter ({} samples x {iters} iters, setup subtracted)",
-        medians[medians.len() / 2],
+        "{name}: {median} ns/iter ({} samples x {iters} iters, setup subtracted)",
         medians.len()
     );
+    median
 }

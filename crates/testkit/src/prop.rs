@@ -64,7 +64,10 @@ where
     C: FnMut(&T) -> CaseResult,
 {
     for case in 0..cfg.cases {
-        let case_seed = cfg.seed.wrapping_add(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let case_seed = cfg
+            .seed
+            .wrapping_add(case)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut rng = Rng::new(case_seed).split();
         let input = gen(&mut rng);
         if let Err(reason) = check(&input) {

@@ -41,7 +41,7 @@ impl VirtAddr {
 
     /// True if aligned to a capability granule.
     pub const fn is_granule_aligned(self) -> bool {
-        self.0 % GRANULE_SIZE == 0
+        self.0.is_multiple_of(GRANULE_SIZE)
     }
 
     /// Rounds down to the granule boundary.

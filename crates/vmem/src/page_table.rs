@@ -161,6 +161,74 @@ impl PageTable {
         self.entries.range(start..end).map(|(v, p)| (*v, *p))
     }
 
+    /// Bulk-inserts a batch of mappings, replacing any existing ones.
+    ///
+    /// The batch is typically produced in ascending page order (e.g. by
+    /// walking [`PageTable::range`] of another region), which is the
+    /// cache-friendly insertion order for the underlying sorted map; the
+    /// call is correct for any order. Returns the number of entries
+    /// inserted. This is the batched half of the fork walk: the child's
+    /// PTEs are staged in a `Vec` and land in the table in one sweep,
+    /// instead of one `map` per page interleaved with frame copies.
+    pub fn extend_sorted(&mut self, batch: impl IntoIterator<Item = (Vpn, Pte)>) -> u64 {
+        let before = self.entries.len();
+        let mut n = 0u64;
+        for (vpn, pte) in batch {
+            self.entries.insert(vpn, pte);
+            n += 1;
+        }
+        debug_assert!(self.entries.len() - before <= n as usize);
+        n
+    }
+
+    /// Maps `frames` to consecutive pages starting at `start`, all with
+    /// `flags`. Returns the number of pages mapped.
+    pub fn map_range(
+        &mut self,
+        start: Vpn,
+        frames: impl IntoIterator<Item = Pfn>,
+        flags: PteFlags,
+    ) -> u64 {
+        self.extend_sorted(
+            frames
+                .into_iter()
+                .enumerate()
+                .map(|(i, pfn)| (Vpn(start.0 + i as u64), Pte { pfn, flags })),
+        )
+    }
+
+    /// Removes every mapping with page number in `[start, end)` and
+    /// returns the removed entries in address order.
+    ///
+    /// Implemented with two `split_off`s on the sorted map (O(log n) tree
+    /// surgery plus the size of the removed span), not a per-page
+    /// remove — this is the teardown analogue of the batched fork walk.
+    pub fn unmap_range(&mut self, start: Vpn, end: Vpn) -> Vec<(Vpn, Pte)> {
+        if start >= end {
+            return Vec::new();
+        }
+        let mut tail = self.entries.split_off(&start);
+        let rest = tail.split_off(&end);
+        self.entries.extend(rest);
+        tail.into_iter().collect()
+    }
+
+    /// ORs `add` into the flags of every listed page that is mapped.
+    ///
+    /// Returns the number of entries updated. This is the batched COW
+    /// protection sweep fork uses on the parent's writable pages — one
+    /// traversal instead of a `lookup_mut` per page.
+    pub fn protect_many(&mut self, vpns: impl IntoIterator<Item = Vpn>, add: PteFlags) -> u64 {
+        let mut n = 0u64;
+        for vpn in vpns {
+            if let Some(pte) = self.entries.get_mut(&vpn) {
+                pte.flags = pte.flags.with(add);
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Iterates all mappings in address order.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
         self.entries.iter().map(|(v, p)| (*v, *p))
@@ -321,6 +389,69 @@ mod tests {
         let got: Vec<u64> = pt.range(Vpn(3), Vpn(6)).map(|(v, _)| v.0).collect();
         assert_eq!(got, vec![3, 4, 5]);
         assert_eq!(pt.iter().count(), 10);
+    }
+
+    #[test]
+    fn extend_sorted_inserts_batch() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(5), Pfn(99), PteFlags::ro()); // will be replaced
+        let batch = (3..8).map(|i| {
+            (
+                Vpn(i),
+                Pte {
+                    pfn: Pfn(i as u32),
+                    flags: PteFlags::rw(),
+                },
+            )
+        });
+        assert_eq!(pt.extend_sorted(batch), 5);
+        assert_eq!(pt.len(), 5);
+        assert_eq!(pt.lookup(Vpn(5)).unwrap().pfn, Pfn(5));
+        assert_eq!(pt.lookup(Vpn(5)).unwrap().flags, PteFlags::rw());
+    }
+
+    #[test]
+    fn map_range_consecutive_pages() {
+        let mut pt = PageTable::new();
+        let n = pt.map_range(Vpn(10), [Pfn(1), Pfn(2), Pfn(3)], PteFlags::rx());
+        assert_eq!(n, 3);
+        assert_eq!(pt.lookup(Vpn(10)).unwrap().pfn, Pfn(1));
+        assert_eq!(pt.lookup(Vpn(12)).unwrap().pfn, Pfn(3));
+        assert!(pt.lookup(Vpn(13)).is_none());
+    }
+
+    #[test]
+    fn unmap_range_removes_and_returns_span() {
+        let mut pt = PageTable::new();
+        for i in 0..10 {
+            pt.map(Vpn(i), Pfn(i as u32), PteFlags::rw());
+        }
+        let removed = pt.unmap_range(Vpn(3), Vpn(7));
+        assert_eq!(
+            removed.iter().map(|(v, _)| v.0).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+        assert_eq!(pt.len(), 6);
+        assert!(pt.lookup(Vpn(3)).is_none());
+        assert!(pt.lookup(Vpn(2)).is_some());
+        assert!(pt.lookup(Vpn(7)).is_some());
+        // Empty and inverted ranges are no-ops.
+        assert!(pt.unmap_range(Vpn(20), Vpn(30)).is_empty());
+        assert!(pt.unmap_range(Vpn(5), Vpn(5)).is_empty());
+        assert_eq!(pt.len(), 6);
+    }
+
+    #[test]
+    fn protect_many_ors_flags() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pfn(1), PteFlags::rw());
+        pt.map(Vpn(2), Pfn(2), PteFlags::ro());
+        // Vpn(9) is unmapped: skipped, not counted.
+        let n = pt.protect_many([Vpn(1), Vpn(2), Vpn(9)], PteFlags::COW);
+        assert_eq!(n, 2);
+        assert!(pt.lookup(Vpn(1)).unwrap().flags.contains(PteFlags::COW));
+        assert!(pt.lookup(Vpn(2)).unwrap().flags.contains(PteFlags::COW));
+        assert!(pt.lookup(Vpn(2)).unwrap().flags.contains(PteFlags::READ));
     }
 
     #[test]

@@ -229,7 +229,7 @@ mod tests {
         assert_eq!(r1.top(), r2.base);
         assert_eq!(a.free_bytes(), 0x10000 - 0x3000);
         a.free(r2).unwrap();
-        assert_eq!(a.fragmentation() > 0.0, true);
+        assert!(a.fragmentation() > 0.0);
         a.free(r1).unwrap();
         a.free(r3).unwrap();
         assert_eq!(a.free_bytes(), 0x10000);

@@ -44,9 +44,7 @@ impl SizeClassAllocator {
     }
 
     fn class_of(&self, len: u64) -> u32 {
-        len.next_power_of_two()
-            .trailing_zeros()
-            .max(self.min_class)
+        len.next_power_of_two().trailing_zeros().max(self.min_class)
     }
 
     /// Allocates a region of at least `len` bytes.
@@ -173,10 +171,7 @@ mod tests {
         let mut ff_small = Vec::new();
         let mut ff_large = Vec::new();
         let mut sc_small = Vec::new();
-        loop {
-            let (Ok(s), Ok(l)) = (ff.alloc(0x1000), ff.alloc(0x3000)) else {
-                break;
-            };
+        while let (Ok(s), Ok(l)) = (ff.alloc(0x1000), ff.alloc(0x3000)) {
             ff_small.push(s);
             ff_large.push(l);
             if let Ok(s) = sc.alloc(0x1000) {

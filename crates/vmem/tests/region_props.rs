@@ -49,12 +49,7 @@ fn live_regions_never_overlap() {
             };
             (gen_ops(rng), aslr)
         },
-        |(ops, aslr)| {
-            shrink_vec(ops)
-                .into_iter()
-                .map(|o| (o, *aslr))
-                .collect()
-        },
+        |(ops, aslr)| shrink_vec(ops).into_iter().map(|o| (o, *aslr)).collect(),
         |(ops, aslr)| {
             let span = 0x40_0000;
             let mut a = RegionAllocator::new(VirtAddr(0x1000), span, 0x1000);

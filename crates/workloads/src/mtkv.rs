@@ -152,11 +152,8 @@ impl Program for MtKv {
             (Phase::Init, Resume::Start) => {
                 let arr = env.malloc(self.cfg.workers * 64).expect("counters");
                 for i in 0..self.cfg.workers {
-                    env.store_u64(
-                        &arr.with_addr(arr.base() + i * 64).expect("in bounds"),
-                        0,
-                    )
-                    .expect("init");
+                    env.store_u64(&arr.with_addr(arr.base() + i * 64).expect("in bounds"), 0)
+                        .expect("init");
                 }
                 env.set_reg(ARR_REG, arr).expect("register");
                 self.phase = Phase::Spawning;

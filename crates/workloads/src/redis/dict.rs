@@ -26,6 +26,10 @@ fn hash(key: &[u8]) -> u64 {
     h
 }
 
+/// Callback for [`Dict::for_each_entry`]: receives the environment, the
+/// key bytes, and the value's capability + length.
+pub type EntryVisitor<'a> = dyn FnMut(&mut dyn Env, &[u8], Capability, u32) -> SysResult<()> + 'a;
+
 /// A handle to an in-memory dict.
 #[derive(Clone, Copy, Debug)]
 pub struct Dict {
@@ -147,11 +151,7 @@ impl Dict {
     }
 
     /// Visits every entry in bucket order: `f(key_bytes, val_cap, val_len)`.
-    pub fn for_each_entry(
-        &self,
-        env: &mut dyn Env,
-        f: &mut dyn FnMut(&mut dyn Env, &[u8], Capability, u32) -> SysResult<()>,
-    ) -> SysResult<()> {
+    pub fn for_each_entry(&self, env: &mut dyn Env, f: &mut EntryVisitor<'_>) -> SysResult<()> {
         let (arr, nbuckets) = self.buckets(env)?;
         for b in 0..nbuckets {
             env.cpu_ops(2);

@@ -76,11 +76,14 @@ fn write_buf(
     Ok(())
 }
 
+/// `(key, value)` byte pairs recovered from a dump.
+pub type RdbEntries = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// Parses a dump produced by [`rdb_save`] (harness-side verification).
 ///
 /// Returns `(entries, checksum_ok)` where `entries` is a list of
 /// `(key, value)` pairs.
-pub fn rdb_parse(data: &[u8]) -> Option<(Vec<(Vec<u8>, Vec<u8>)>, bool)> {
+pub fn rdb_parse(data: &[u8]) -> Option<(RdbEntries, bool)> {
     if data.len() < 8 || &data[..8] != RDB_MAGIC {
         return None;
     }

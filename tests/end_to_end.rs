@@ -10,8 +10,10 @@ use ufork_repro::workloads::redis::{rdb_parse, RedisConfig, RedisServer};
 use ufork_repro::workloads::ubench::{Context1, SpawnBench};
 
 fn ufork_machine(cores: usize) -> Machine<UforkOs> {
-    let mut cfg = UforkConfig::default();
-    cfg.phys_mib = 256;
+    let cfg = UforkConfig {
+        phys_mib: 256,
+        ..UforkConfig::default()
+    };
     Machine::new(
         UforkOs::new(cfg),
         MachineConfig {
@@ -116,9 +118,11 @@ fn redis_snapshot_dump_is_exact_under_all_strategies() {
     use ufork_repro::abi::CopyStrategy;
     for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
         let rcfg = RedisConfig::sized(40, 2048);
-        let mut ucfg = UforkConfig::default();
-        ucfg.strategy = strategy;
-        ucfg.phys_mib = 256;
+        let ucfg = UforkConfig {
+            strategy,
+            phys_mib: 256,
+            ..UforkConfig::default()
+        };
         let mut m = Machine::new(UforkOs::new(ucfg), MachineConfig::default());
         let img = ImageSpec::with_heap("redis", rcfg.heap_bytes());
         let pid = m
@@ -158,8 +162,10 @@ fn redis_snapshot_is_consistent_despite_parent_writes() {
     // valid checksum and original payloads.
     let mut rcfg = RedisConfig::sized(20, 4096);
     rcfg.parent_writes_during_save = 10;
-    let mut ucfg = UforkConfig::default();
-    ucfg.phys_mib = 256;
+    let ucfg = UforkConfig {
+        phys_mib: 256,
+        ..UforkConfig::default()
+    };
     let mut m = Machine::new(UforkOs::new(ucfg), MachineConfig::default());
     let img = ImageSpec::with_heap("redis", rcfg.heap_bytes());
     let pid = m.spawn(&img, Box::new(RedisServer::new(rcfg))).unwrap();
@@ -195,8 +201,10 @@ fn redis_dump_identical_across_oses() {
     assert_eq!(mu.exit_code(p1), Some(0));
     let d1 = mu.vfs().file_contents("dump.rdb").unwrap().to_vec();
 
-    let mut bc = BaselineConfig::default();
-    bc.phys_mib = 256;
+    let bc = BaselineConfig {
+        phys_mib: 256,
+        ..BaselineConfig::default()
+    };
     let mut mc = Machine::new(mono(bc), MachineConfig::default());
     let p2 = mc.spawn(&img, Box::new(RedisServer::new(rcfg))).unwrap();
     mc.run();
@@ -226,9 +234,11 @@ fn tocttou_protection_costs_show_up() {
     let mut times = Vec::new();
     let mut toct = Vec::new();
     for iso in [IsolationLevel::Full, IsolationLevel::Fault] {
-        let mut ucfg = UforkConfig::default();
-        ucfg.isolation = iso;
-        ucfg.phys_mib = 256;
+        let ucfg = UforkConfig {
+            isolation: iso,
+            phys_mib: 256,
+            ..UforkConfig::default()
+        };
         let mut m = Machine::new(UforkOs::new(ucfg), MachineConfig::default());
         let pid = m
             .spawn(&img, Box::new(RedisServer::new(rcfg.clone())))
@@ -245,8 +255,10 @@ fn tocttou_protection_costs_show_up() {
 #[test]
 fn fork_failure_surfaces_as_error_not_crash() {
     // Tiny physical memory: fork cannot allocate its eager pages.
-    let mut ucfg = UforkConfig::default();
-    ucfg.phys_mib = 1;
+    let ucfg = UforkConfig {
+        phys_mib: 1,
+        ..UforkConfig::default()
+    };
     let mut m = Machine::new(UforkOs::new(ucfg), MachineConfig::default());
     // Spawn may already fail; if it succeeds, fork must fail gracefully.
     if let Ok(pid) = m.spawn(&ImageSpec::hello_world(), Box::new(HelloWorld::forking())) {
@@ -265,7 +277,7 @@ fn machine_accounting_is_deterministic() {
             .spawn(&ImageSpec::hello_world(), Box::new(SpawnBench::new(10)))
             .unwrap();
         m.run();
-        (m.now(), m.counters().clone(), m.exit_code(pid))
+        (m.now(), *m.counters(), m.exit_code(pid))
     };
     let a = run();
     let b = run();

@@ -10,8 +10,10 @@ use ufork_repro::workloads::privsep::{Privsep, PrivsepConfig};
 use ufork_repro::workloads::shell::{Command, Shell};
 
 fn ufork_machine() -> Machine<UforkOs> {
-    let mut cfg = UforkConfig::default();
-    cfg.phys_mib = 256;
+    let cfg = UforkConfig {
+        phys_mib: 256,
+        ..UforkConfig::default()
+    };
     Machine::new(UforkOs::new(cfg), MachineConfig::default())
 }
 
@@ -103,9 +105,11 @@ fn fork_server_contains_crashes() {
 #[test]
 fn fork_server_works_under_all_strategies() {
     for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
-        let mut cfg = UforkConfig::default();
-        cfg.strategy = strategy;
-        cfg.phys_mib = 256;
+        let cfg = UforkConfig {
+            strategy,
+            phys_mib: 256,
+            ..UforkConfig::default()
+        };
         let mut m = Machine::new(UforkOs::new(cfg), MachineConfig::default());
         let pid = m
             .spawn(
@@ -154,9 +158,11 @@ fn privsep_breach_succeeds_only_with_isolation_disabled() {
     // parser CAN read outside its region (the capability still bounds
     // it... so actually even unchecked mode confines via page mappings
     // only if pages are unmapped — adjacent regions may be mapped).
-    let mut cfg = UforkConfig::default();
-    cfg.isolation = IsolationLevel::None;
-    cfg.phys_mib = 256;
+    let cfg = UforkConfig {
+        isolation: IsolationLevel::None,
+        phys_mib: 256,
+        ..UforkConfig::default()
+    };
     let mut m = Machine::new(UforkOs::new(cfg), MachineConfig::default());
     let pid = m
         .spawn(

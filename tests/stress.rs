@@ -268,7 +268,10 @@ fn strategies_agree_on_program_output() {
                 });
                 let mut m = Machine::new(os, MachineConfig::default());
                 let pid = m
-                    .spawn(&ImageSpec::hello_world(), Box::new(Script::new(instrs.clone())))
+                    .spawn(
+                        &ImageSpec::hello_world(),
+                        Box::new(Script::new(instrs.clone())),
+                    )
                     .unwrap();
                 m.run();
                 if m.exit_code(pid) != Some(0) {

@@ -10,8 +10,10 @@ use ufork_repro::exec::{Machine, MachineConfig};
 use ufork_repro::ufork::{UforkConfig, UforkOs};
 
 fn machine(cores: usize) -> Machine<UforkOs> {
-    let mut cfg = UforkConfig::default();
-    cfg.phys_mib = 128;
+    let cfg = UforkConfig {
+        phys_mib: 128,
+        ..UforkConfig::default()
+    };
     Machine::new(
         UforkOs::new(cfg),
         MachineConfig {
@@ -316,7 +318,10 @@ fn multithreaded_snapshot_is_consistent() {
     // The snapshot reflects exactly generation 1: every counter == rounds,
     // even though the parent ran a whole second generation of mutation
     // concurrently with the child's serialization.
-    let snap = m.vfs().file_contents("mtkv.snap").expect("snapshot written");
+    let snap = m
+        .vfs()
+        .file_contents("mtkv.snap")
+        .expect("snapshot written");
     let text = String::from_utf8_lossy(snap);
     for i in 0..4 {
         assert!(
