@@ -17,6 +17,7 @@ use ufork::reloc::{relocate_frame, ScanMode};
 use ufork::{UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_baselines::{mono, nephele, BaselineConfig};
+use ufork_bench::{fork_scaling_sweep, ScalingRow};
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::{Ctx, MemOs};
 use ufork_mem::PhysMem;
@@ -67,10 +68,10 @@ fn page_scan_bench(mode_name: &str, mode: ScanMode) -> u64 {
             }
             (pm, f)
         },
-        |(mut pm, f)| {
+        |(pm, f)| {
             let stats = relocate_frame(
-                &mut pm,
-                f,
+                pm,
+                *f,
                 child,
                 &child_root,
                 &|a| {
@@ -105,7 +106,7 @@ fn main() {
                     .unwrap();
                 os
             },
-            |mut os| {
+            |os| {
                 let mut ctx = Ctx::new();
                 os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
                 black_box(ctx.kernel_ns)
@@ -127,9 +128,9 @@ fn main() {
         let ns = bench_with_setup_ns(
             &format!("fork/ufork/Full/lineage/{mode_name}"),
             || forking_os(mode),
-            |(mut os, parent)| {
+            |(os, parent)| {
                 let mut ctx = Ctx::new();
-                os.fork(&mut ctx, parent, Pid(parent.0 + 1)).unwrap();
+                os.fork(&mut ctx, *parent, Pid(parent.0 + 1)).unwrap();
                 black_box(ctx.kernel_ns)
             },
         );
@@ -155,7 +156,7 @@ fn main() {
                 .unwrap();
             os
         },
-        |mut os| {
+        |os| {
             let mut ctx = Ctx::new();
             os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
             black_box(ctx.kernel_ns)
@@ -174,7 +175,7 @@ fn main() {
                 .unwrap();
             os
         },
-        |mut os| {
+        |os| {
             let mut ctx = Ctx::new();
             os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
             black_box(ctx.kernel_ns)
@@ -190,21 +191,102 @@ fn main() {
         lineage_ns[0], lineage_ns[1]
     );
 
-    write_json(&results, sparse_speedup, lineage_speedup);
+    let (scaling, scaling_speedup) = run_scaling();
+    write_json(
+        &results,
+        sparse_speedup,
+        lineage_speedup,
+        &scaling,
+        scaling_speedup,
+    );
+}
+
+/// Runs the 1/2/4/8-worker scaling sweep in *simulated* time, twice, and
+/// enforces the PR's acceptance criteria: repeated runs are bit-identical
+/// (determinism) and 8 workers beat the serial walk ≥2× on the cap-dense
+/// heap. Returns the rows and the dense serial/par8 speedup.
+fn run_scaling() -> (Vec<ScalingRow>, f64) {
+    let rows = fork_scaling_sweep();
+    let again = fork_scaling_sweep();
+    for (a, b) in rows.iter().zip(&again) {
+        assert_eq!(
+            a.sim_fork_ns.to_bits(),
+            b.sim_fork_ns.to_bits(),
+            "fork_scaling/{}/{} is nondeterministic: {} ns vs {} ns",
+            a.heap,
+            a.mode_label(),
+            a.sim_fork_ns,
+            b.sim_fork_ns
+        );
+    }
+    let dense_ns = |workers: usize| {
+        rows.iter()
+            .find(|r| r.heap == "cap-dense" && r.workers == workers)
+            .expect("dense row")
+            .sim_fork_ns
+    };
+    let speedup = dense_ns(0) / dense_ns(8);
+    for r in &rows {
+        println!(
+            "fork_scaling/{}/{}: {:.0} ns simulated ({} chunks, {} steals, {} recycled, {} zero-skipped)",
+            r.heap,
+            r.mode_label(),
+            r.sim_fork_ns,
+            r.chunks,
+            r.steals,
+            r.recycled,
+            r.zeroing_skipped
+        );
+    }
+    println!(
+        "fork_scaling/cap-dense serial over par8: {speedup:.2}x ({:.0} ns -> {:.0} ns)",
+        dense_ns(0),
+        dense_ns(8)
+    );
+    assert!(
+        speedup >= 2.0,
+        "parallel walk too slow: cap-dense Parallel(8) is only {speedup:.2}x over Serial (need >= 2x)"
+    );
+    (rows, speedup)
 }
 
 /// Writes `BENCH_fork.json` at the repository root (no serde: the schema
-/// is flat enough to format by hand).
-fn write_json(results: &[(String, u64)], sparse_speedup: f64, lineage_speedup: f64) {
+/// is flat enough to format by hand). `results` are host wall-clock
+/// best-of-samples; the `fork_scaling` section is *simulated* time and
+/// therefore exactly reproducible.
+fn write_json(
+    results: &[(String, u64)],
+    sparse_speedup: f64,
+    lineage_speedup: f64,
+    scaling: &[ScalingRow],
+    scaling_speedup: f64,
+) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_fork.json");
     let rows = results
         .iter()
-        .map(|(name, ns)| format!("    {{\"name\": \"{name}\", \"median_ns\": {ns}}}"))
+        .map(|(name, ns)| format!("    {{\"name\": \"{name}\", \"best_ns\": {ns}}}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let scaling_rows = scaling
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"heap\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \"sim_fork_ns\": {:.1}, \"chunks\": {}, \"steals\": {}, \"recycled\": {}, \"zeroing_skipped\": {}}}",
+                r.heap,
+                r.mode_label(),
+                r.workers,
+                r.sim_fork_ns,
+                r.chunks,
+                r.steals,
+                r.recycled,
+                r.zeroing_skipped
+            )
+        })
         .collect::<Vec<_>>()
         .join(",\n");
     let body = format!(
-        "{{\n  \"schema\": \"ufork-bench-fork/v1\",\n  \"unit\": \"ns/iter (median, setup subtracted)\",\n  \"results\": [\n{rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse_speedup:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage_speedup:.2}\n  }}\n}}\n"
+        "{{\n  \"schema\": \"ufork-bench-fork/v2\",\n  \"unit\": \"ns/iter (median, setup subtracted)\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse_speedup:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage_speedup:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2}\n  }}\n}}\n"
     );
     match std::fs::write(&path, body) {
         Ok(()) => println!("wrote {}", path.display()),

@@ -46,10 +46,10 @@ fn main() {
             os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
             (os, ctx)
         },
-        |(mut os, mut ctx)| {
+        |(os, ctx)| {
             let slot = os.reg(Pid(2), 4).unwrap();
             // Capability load in the child: triggers copy + relocate.
-            black_box(os.load_cap(&mut ctx, Pid(2), &slot).unwrap())
+            black_box(os.load_cap(ctx, Pid(2), &slot).unwrap())
         },
     );
 

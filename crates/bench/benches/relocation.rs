@@ -46,10 +46,10 @@ fn main() {
                     }
                     (pm, f)
                 },
-                |(mut pm, f)| {
+                |(pm, f)| {
                     let stats = relocate_frame(
-                        &mut pm,
-                        f,
+                        pm,
+                        *f,
                         child,
                         &child_root,
                         &|a| {

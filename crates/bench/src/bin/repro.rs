@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|fig3|...|fig9|ablations|all] [--quick]
+//! repro [table1|fig3|...|fig9|ablations|scaling|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks iteration counts / windows (CI-friendly); the default
@@ -14,7 +14,8 @@ use std::env;
 use ufork_bench::report::{num, render_table, size_label};
 use ufork_bench::{
     ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep,
-    ablation_naive_scan, fig6, fig7, fig8, fig9, redis_sweep, table1, AblationRow, RedisRow,
+    ablation_naive_scan, fig6, fig7, fig8, fig9, fork_scaling_sweep, redis_sweep, table1,
+    AblationRow, RedisRow,
 };
 
 fn print_ablation(title: &str, rows: &[AblationRow]) {
@@ -185,6 +186,56 @@ fn main() {
             "naive granule sweep vs tag-summary scan (CLoadTags)",
             &ablation_naive_scan(),
         );
+    }
+    if all || what == "scaling" {
+        println!("== Fork scaling: parallel walk, simulated time ==");
+        let rows = fork_scaling_sweep();
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.heap.to_string(),
+                    r.mode_label(),
+                    num(r.sim_fork_ns / 1e3),
+                    r.chunks.to_string(),
+                    r.recycled.to_string(),
+                    r.zeroing_skipped.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "Heap",
+                    "Walk",
+                    "fork (µs, sim)",
+                    "Chunks",
+                    "Recycled",
+                    "Zero-skipped",
+                ],
+                &body
+            )
+        );
+        // Allocator shard statistics (via MemStats) for the widest run.
+        if let Some(r) = rows
+            .iter()
+            .find(|r| r.heap == "cap-dense" && r.workers == 8)
+        {
+            let per: Vec<String> = r
+                .shard
+                .per_shard_allocated
+                .iter()
+                .map(|n| n.to_string())
+                .collect();
+            println!("cap-dense par8 allocator shards:");
+            println!("  per_shard_allocated: [{}]", per.join(", "));
+            println!(
+                "  steals: {}  recycled_hits: {}  zeroing_skipped: {}",
+                r.shard.steals, r.shard.recycled_hits, r.shard.zeroing_skipped
+            );
+            println!();
+        }
     }
     if all || what == "fig9" {
         println!("== Figure 9: Unixbench Spawn and Context1 ==");

@@ -1,10 +1,10 @@
 //! The experiments behind every figure of the evaluation.
 
-use ufork::{UforkConfig, UforkOs};
+use ufork::{UforkConfig, UforkOs, WalkMode};
 use ufork_abi::{CopyStrategy, Fd, ImageSpec, IsolationLevel, Pid, Program, SysResult};
 use ufork_baselines::{mono, nephele, BaselineConfig, MultiAsOs};
-use ufork_exec::{ConnTemplate, ExitEvent, ForkEvent, Machine, MachineConfig, MemOs};
-use ufork_mem::{MemStats, PAGE_SIZE};
+use ufork_exec::{ConnTemplate, Ctx, ExitEvent, ForkEvent, Machine, MachineConfig, MemOs};
+use ufork_mem::{MemStats, ShardStats, PAGE_SIZE};
 use ufork_workloads::faas::{FaasConfig, Zygote};
 use ufork_workloads::hello::HelloWorld;
 use ufork_workloads::nginx::{Nginx, NginxConfig};
@@ -498,6 +498,119 @@ pub fn fig7(window_ns: f64) -> Vec<Fig7Row> {
     }
     // ...and restricted to one core with 3 workers.
     rows.push(nginx_run(Sys::Mono, 1, 3, window_ns));
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fork scaling: the parallel walk's 1/2/4/8-worker sweep.
+// ---------------------------------------------------------------------------
+
+/// Heap pages forked by the scaling sweep — 14 chunks of 32 pages, so
+/// every worker count in the sweep gets a multi-chunk walk.
+pub const SCALING_PAGES: u64 = 448;
+
+/// One cell of the fork-scaling sweep: one heap shape forked under one
+/// walk mode, measured in *simulated* nanoseconds (deterministic — the
+/// same configuration always reproduces the same value bit for bit).
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingRow {
+    /// Heap shape: `"cap-dense"` (128 caps/page) or `"cap-sparse"`
+    /// (1 cap/page).
+    pub heap: &'static str,
+    /// Walk workers; 0 is the serial-walk ablation.
+    pub workers: usize,
+    /// Simulated fork latency (kernel time), ns.
+    pub sim_fork_ns: f64,
+    /// Chunks the walk was partitioned into (0 for the serial walk).
+    pub chunks: u64,
+    /// Cross-shard steals the fork's allocations needed.
+    pub steals: u64,
+    /// Frames served from the recycled pools.
+    pub recycled: u64,
+    /// Recycled frames whose scrub was skipped (full-copy destinations).
+    pub zeroing_skipped: u64,
+    /// Cumulative allocator shard statistics after the fork.
+    pub shard: ShardStats,
+}
+
+impl ScalingRow {
+    /// Short mode label for tables and JSON: `serial`, `par1`, ... `par8`.
+    pub fn mode_label(&self) -> String {
+        if self.workers == 0 {
+            "serial".to_string()
+        } else {
+            format!("par{}", self.workers)
+        }
+    }
+}
+
+/// Forks a μprocess whose heap is populated densely or sparsely with
+/// capabilities under the given walk mode and reports the fork's
+/// simulated latency plus the parallel-walk counter family.
+pub fn fork_scaling_run(walk: WalkMode, dense: bool) -> ScalingRow {
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 256,
+        strategy: CopyStrategy::Full,
+        walk,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    let img = ImageSpec::with_heap("scaling", SCALING_PAGES * PAGE_SIZE + (256 << 10));
+    os.spawn(&mut ctx, Pid(1), &img).expect("spawn scaling");
+    let heap_bytes = SCALING_PAGES * PAGE_SIZE;
+    let arr = os.malloc(&mut ctx, Pid(1), heap_bytes).expect("heap");
+    // Dense: a capability every 32 bytes (128/page, every tag word hot).
+    // Sparse: one per page (the tag-summary scan's fast case).
+    let step = if dense { 32 } else { PAGE_SIZE };
+    let mut off = 0;
+    while off < heap_bytes {
+        let slot = arr.with_addr(arr.base() + off).expect("slot");
+        os.store_cap(&mut ctx, Pid(1), &slot, &slot)
+            .expect("store cap");
+        off += step;
+    }
+    os.set_reg(Pid(1), 4, arr).expect("reg");
+
+    let mut fctx = Ctx::new();
+    os.fork(&mut fctx, Pid(1), Pid(2)).expect("fork scaling");
+    // Shard stats ride along on the ordinary per-process memory stats.
+    let shard = os.mem_stats(Pid(2)).alloc;
+    ScalingRow {
+        heap: if dense { "cap-dense" } else { "cap-sparse" },
+        workers: match walk {
+            WalkMode::Serial => 0,
+            WalkMode::Parallel(n) => n.max(1),
+        },
+        sim_fork_ns: fctx.kernel_ns,
+        chunks: fctx.counters.fork_chunks,
+        steals: fctx.counters.alloc_steals,
+        recycled: fctx.counters.frames_recycled,
+        zeroing_skipped: fctx.counters.zeroing_skipped,
+        shard,
+    }
+}
+
+/// The walk modes of the scaling sweep: the serial ablation plus 1, 2,
+/// 4 and 8 workers.
+pub fn scaling_walk_modes() -> Vec<WalkMode> {
+    vec![
+        WalkMode::Serial,
+        WalkMode::Parallel(1),
+        WalkMode::Parallel(2),
+        WalkMode::Parallel(4),
+        WalkMode::Parallel(8),
+    ]
+}
+
+/// The full scaling sweep: {cap-sparse, cap-dense} × {serial, 1, 2, 4,
+/// 8 workers}.
+pub fn fork_scaling_sweep() -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for dense in [false, true] {
+        for walk in scaling_walk_modes() {
+            rows.push(fork_scaling_run(walk, dense));
+        }
+    }
     rows
 }
 

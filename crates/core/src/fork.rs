@@ -176,6 +176,17 @@ impl UforkOs {
                 meta_used_bytes,
             );
         }
+        if let crate::fork_par::WalkMode::Parallel(n) = self.walk {
+            return self.fork_walk_pages_parallel(
+                ctx,
+                p_region,
+                layout,
+                c_region,
+                c_root,
+                meta_used_bytes,
+                n,
+            );
+        }
 
         let start = p_region.base.vpn();
         let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));

@@ -1,0 +1,375 @@
+//! The parallel fork walk: multi-worker page copy + relocation.
+//!
+//! Morello is an 8-core SoC, but the paper's fork runs the copy/relocate
+//! sweep on one core. This module models (and actually executes, with
+//! host threads) a multicore fork engine:
+//!
+//! 1. **Serial prologue** — stream the parent's sorted page range off the
+//!    page table once, classify each page (shared / eager / lazy), stage
+//!    lazy and shm PTEs exactly like the serial batch walk, and allocate
+//!    every eager destination frame up front from the sharded physical
+//!    allocator ([`ufork_mem::PhysMem::alloc_frame_in`], home shard =
+//!    chunk's lane). Allocating serially keeps the global
+//!    `alloc_attempts` order — and therefore fault injection — identical
+//!    across worker counts. Destination frames are granted
+//!    [`ufork_mem::ZeroPolicy::Uninit`]: a Full-copy destination is
+//!    entirely overwritten, so recycled frames skip the zeroing scrub
+//!    (the deferred-zeroing win; fresh frames are zeroed by construction).
+//! 2. **Parallel chunks** — the eager pages are partitioned into
+//!    fixed-size chunks of [`CHUNK_PAGES`]; chunk *i* is processed by
+//!    lane `i % workers` on a scoped host thread. Each worker copies the
+//!    source frame into the *detached* destination frame and relocates
+//!    its capabilities via [`relocate_frame_in`] with a memo-free
+//!    [`FrozenIndex`] region lookup. Workers return per-chunk simulated
+//!    costs and statistics; they never touch shared mutable state.
+//! 3. **Merge epilogue** — destination frames are reattached, per-chunk
+//!    costs are folded into [`LaneClocks`] *in chunk-index order*
+//!    (never host completion order), the elapsed parallel time
+//!    (max over lanes) is charged to the kernel clock, and the staged
+//!    child PTEs land in one `extend_sorted` batch + one `protect_many`
+//!    COW sweep, as in the serial walk.
+//!
+//! Simulated elapsed fork time = serial prologue + max-over-lanes(chunk
+//! costs) + merge epilogue. Because lane assignment, allocation order,
+//! and cost folding are all pure functions of the page list and worker
+//! count, the same heap + same worker count reproduce bit-identical
+//! simulated nanoseconds regardless of host scheduling.
+//!
+//! A mid-prologue failure (frame exhaustion, refcount error) drops every
+//! frame reference the batch took — eagerly allocated destinations go
+//! back to the recycled pools — and the caller's `unwind_partial_fork`
+//! releases the child region; nothing has reached the page table, so no
+//! PTE can dangle. The parallel phase itself is infallible by
+//! construction: all allocation happens in the prologue.
+
+use std::cell::Cell;
+
+use ufork_abi::{CopyStrategy, Errno, SysResult};
+use ufork_cheri::Capability;
+use ufork_exec::Ctx;
+use ufork_mem::{Frame, Pfn, ZeroPolicy, PAGE_SIZE};
+use ufork_sim::LaneClocks;
+use ufork_vmem::{Pte, PteFlags, Region, VirtAddr, Vpn};
+
+use crate::kernel::UforkOs;
+use crate::layout::Segment;
+use crate::reloc::{reloc_cost, relocate_frame_in, RelocStats, ScanMode};
+
+/// How the fork walk executes the eager copy/relocate sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WalkMode {
+    /// Single-lane walk (the PR 2 batched path); the ablation baseline.
+    #[default]
+    Serial,
+    /// Multi-worker walk with the given lane count (clamped to ≥ 1).
+    /// Requires [`ScanMode::TagSummary`]; under the naive-scan ablation
+    /// the walk silently falls back to serial, since the legacy path is
+    /// kept verbatim for cost fidelity.
+    Parallel(usize),
+}
+
+impl WalkMode {
+    /// Number of worker lanes this mode runs on.
+    pub fn workers(self) -> usize {
+        match self {
+            WalkMode::Serial => 1,
+            WalkMode::Parallel(n) => n.max(1),
+        }
+    }
+}
+
+/// Pages per parallel chunk. Small enough to balance lanes on modest
+/// heaps, large enough that per-chunk overhead stays negligible.
+pub const CHUNK_PAGES: usize = 32;
+
+/// One eager page's work item: source frame, destination frame (owned
+/// while detached from `PhysMem`), and the allocation cost already
+/// determined by the prologue.
+struct EagerPage {
+    src: Pfn,
+    dst: Pfn,
+    frame: Frame,
+    alloc_ns: f64,
+}
+
+/// A worker's result for one chunk.
+#[derive(Default)]
+struct ChunkOut {
+    cost: f64,
+    stats: RelocStats,
+    lookups: u64,
+}
+
+fn merge_stats(into: &mut RelocStats, s: &RelocStats) {
+    into.granules_scanned += s.granules_scanned;
+    into.granules_skipped += s.granules_skipped;
+    into.tag_words_loaded += s.tag_words_loaded;
+    into.relocated += s.relocated;
+    into.cleared += s.cleared;
+}
+
+impl UforkOs {
+    /// The multi-worker fork walk (see the module docs). Mirrors
+    /// `fork_walk_pages` observably: same child PTEs, same frame
+    /// contents, same fault-injection attempt order — only the simulated
+    /// elapsed time (and the host-side execution) differ.
+    #[allow(clippy::too_many_arguments)] // mirrors fork_walk_pages' parameter list plus `workers`
+    pub(crate) fn fork_walk_pages_parallel(
+        &mut self,
+        ctx: &mut Ctx,
+        p_region: Region,
+        layout: &crate::ProcLayout,
+        c_region: Region,
+        c_root: &Capability,
+        meta_used_bytes: u64,
+        workers: usize,
+    ) -> SysResult<()> {
+        let workers = workers.max(1);
+        let start = p_region.base.vpn();
+        let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
+        let strategy = self.strategy;
+        let eager_cfg = self.eager_fork_copies;
+        let validates = self.isolation.validates_syscalls();
+
+        // ---- Phase 1: serial prologue ----------------------------------
+        let mut child_batch: Vec<(Vpn, Pte)> = Vec::new();
+        let mut cow_arm: Vec<Vpn> = Vec::new();
+        let mut eager: Vec<EagerPage> = Vec::new();
+        let mut failed: Option<Errno> = None;
+
+        {
+            let pm = &mut self.pm;
+            let pt = &self.pt;
+            let cost = &self.cost;
+
+            'walk: for (vpn, pte) in pt.range(start, end) {
+                let off = vpn.base().0 - p_region.base.0;
+                let seg = layout.segment_of(off);
+                let c_vpn = VirtAddr(c_region.base.0 + off).vpn();
+                let final_flags = Self::seg_flags(seg);
+
+                if seg == Segment::Shm {
+                    if pm.inc_ref(pte.pfn).is_err() {
+                        failed = Some(Errno::Fault);
+                        break 'walk;
+                    }
+                    child_batch.push((
+                        c_vpn,
+                        Pte {
+                            pfn: pte.pfn,
+                            flags: PteFlags::rw(),
+                        },
+                    ));
+                    ctx.kernel(cost.pte_copy);
+                    continue;
+                }
+
+                let is_eager = strategy == CopyStrategy::Full
+                    || (eager_cfg
+                        && match seg {
+                            Segment::Got => true,
+                            Segment::HeapMeta => off - layout.heap_meta.0 < meta_used_bytes,
+                            _ => false,
+                        });
+
+                if is_eager {
+                    // The chunk this page will land in decides its lane,
+                    // and the lane decides the allocator home shard.
+                    let home = (eager.len() / CHUNK_PAGES) % workers;
+                    let grant = match pm.alloc_frame_in(home, ZeroPolicy::Uninit) {
+                        Ok(g) => g,
+                        Err(_) => {
+                            failed = Some(Errno::NoMem);
+                            break 'walk;
+                        }
+                    };
+                    if grant.recycled {
+                        ctx.counters.frames_recycled += 1;
+                    }
+                    if grant.zeroing_skipped {
+                        ctx.counters.zeroing_skipped += 1;
+                    }
+                    if grant.stolen {
+                        ctx.counters.alloc_steals += 1;
+                    }
+                    child_batch.push((
+                        c_vpn,
+                        Pte {
+                            pfn: grant.pfn,
+                            flags: final_flags,
+                        },
+                    ));
+                    eager.push(EagerPage {
+                        src: pte.pfn,
+                        dst: grant.pfn,
+                        frame: Frame::detached(),
+                        alloc_ns: cost.page_alloc,
+                    });
+                    continue;
+                }
+
+                // Lazy strategies: share the frame and arm faults.
+                if pm.inc_ref(pte.pfn).is_err() {
+                    failed = Some(Errno::Fault);
+                    break 'walk;
+                }
+                match strategy {
+                    CopyStrategy::Full => unreachable!("full copy is always eager"),
+                    CopyStrategy::CoA => {
+                        child_batch.push((
+                            c_vpn,
+                            Pte {
+                                pfn: pte.pfn,
+                                flags: PteFlags::empty().with(PteFlags::COA),
+                            },
+                        ));
+                        ctx.kernel(cost.pte_copy + cost.coa_pte_extra);
+                    }
+                    CopyStrategy::CoPA => {
+                        let mut f = PteFlags::READ.with(PteFlags::LC_FAULT).with(PteFlags::COW);
+                        if final_flags.contains(PteFlags::EXEC) {
+                            f = f.with(PteFlags::EXEC);
+                        }
+                        if final_flags.contains(PteFlags::WRITE) {
+                            f = f.with(PteFlags::WRITE); // COW checked first
+                        }
+                        child_batch.push((
+                            c_vpn,
+                            Pte {
+                                pfn: pte.pfn,
+                                flags: f,
+                            },
+                        ));
+                        ctx.kernel(cost.pte_copy);
+                    }
+                }
+
+                if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
+                    cow_arm.push(vpn);
+                }
+            }
+        }
+
+        if let Some(e) = failed {
+            // Nothing reached the page table: drop the batch's frame
+            // references (eager destinations return to the recycled
+            // pools, shared refcounts are restored) and let the caller
+            // release the region.
+            for (_, pte) in child_batch {
+                let _ = self.pm.dec_ref(pte.pfn);
+            }
+            ctx.counters.region_lookups += self.region_index.take_lookups();
+            return Err(e);
+        }
+
+        // ---- Phase 2: parallel chunks ----------------------------------
+        let n_chunks = eager.len().div_ceil(CHUNK_PAGES);
+        // Detach every destination frame so workers own them outright
+        // while `PhysMem` is only shared for reading source frames.
+        for page in &mut eager {
+            page.frame = self
+                .pm
+                .detach_frame(page.dst)
+                .expect("destination allocated in the prologue");
+        }
+
+        let mut results: Vec<(usize, ChunkOut)> = Vec::with_capacity(n_chunks);
+        {
+            let pm = &self.pm;
+            let cost = &self.cost;
+            let frozen = self.region_index.frozen();
+            let c_root = *c_root;
+
+            // Deterministic distribution: chunk i → lane i % workers.
+            let mut lane_work: Vec<Vec<(usize, &mut [EagerPage])>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, chunk) in eager.chunks_mut(CHUNK_PAGES).enumerate() {
+                lane_work[i % workers].push((i, chunk));
+            }
+
+            std::thread::scope(|s| {
+                let handles: Vec<_> = lane_work
+                    .into_iter()
+                    .map(|work| {
+                        s.spawn(move || {
+                            let mut out: Vec<(usize, ChunkOut)> = Vec::with_capacity(work.len());
+                            for (idx, chunk) in work {
+                                let mut co = ChunkOut::default();
+                                let lookups = Cell::new(0u64);
+                                let source_of = |addr: u64| {
+                                    lookups.set(lookups.get() + 1);
+                                    frozen.lookup(addr)
+                                };
+                                for page in chunk.iter_mut() {
+                                    let src = pm
+                                        .frame(page.src)
+                                        .expect("parent frame mapped during fork");
+                                    page.frame.copy_from(src);
+                                    let stats = relocate_frame_in(
+                                        &mut page.frame,
+                                        c_region,
+                                        &c_root,
+                                        &source_of,
+                                        ScanMode::TagSummary,
+                                    );
+                                    co.cost += page.alloc_ns
+                                        + cost.page_copy
+                                        + reloc_cost(cost, &stats)
+                                        + cost.pte_write
+                                        + if validates {
+                                            cost.page_scan() + cost.tocttou_fixed
+                                        } else {
+                                            0.0
+                                        };
+                                    merge_stats(&mut co.stats, &stats);
+                                }
+                                co.lookups = lookups.get();
+                                out.push((idx, co));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.extend(h.join().expect("fork worker panicked"));
+                }
+            });
+        }
+
+        // ---- Phase 3: merge epilogue -----------------------------------
+        let n_eager = eager.len() as u64;
+        for page in eager.drain(..) {
+            self.pm
+                .attach_frame(page.dst, page.frame)
+                .expect("slot still holds the placeholder");
+        }
+
+        // Fold chunk costs into lane clocks in chunk-index order, never
+        // host completion order: simulated time must be a pure function
+        // of the inputs.
+        results.sort_by_key(|(i, _)| *i);
+        let mut lanes = LaneClocks::new(workers);
+        let mut total_stats = RelocStats::default();
+        let mut total_lookups = 0u64;
+        for (i, co) in &results {
+            lanes.charge(*i, co.cost);
+            merge_stats(&mut total_stats, &co.stats);
+            total_lookups += co.lookups;
+        }
+        ctx.kernel(lanes.elapsed());
+        ctx.counters.fork_chunks += n_chunks as u64;
+        ctx.counters.pages_copied += n_eager;
+        ctx.counters.pages_copied_eager += n_eager;
+        ctx.counters.granules_scanned += total_stats.granules_scanned;
+        ctx.counters.granules_skipped += total_stats.granules_skipped;
+        ctx.counters.tag_words_loaded += total_stats.tag_words_loaded;
+        ctx.counters.caps_relocated += total_stats.relocated + total_stats.cleared;
+        ctx.counters.region_lookups += total_lookups;
+
+        ctx.counters.ptes_written += self.pt.extend_sorted(child_batch);
+        let armed = self.pt.protect_many(cow_arm, PteFlags::COW);
+        ctx.kernel(self.cost.pte_protect * armed as f64);
+        ctx.counters.region_lookups += self.region_index.take_lookups();
+        Ok(())
+    }
+}

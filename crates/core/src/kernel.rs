@@ -9,6 +9,7 @@ use ufork_mem::{MemStats, Pfn, PhysMem, GRANULE_SIZE, PAGE_SIZE};
 use ufork_sim::CostModel;
 use ufork_vmem::{AccessKind, PageTable, PteFlags, Region, RegionAllocator, VirtAddr, Vpn};
 
+use crate::fork_par::WalkMode;
 use crate::gate::SyscallGate;
 use crate::layout::{ProcLayout, Segment};
 use crate::region_index::RegionIndex;
@@ -41,6 +42,12 @@ pub struct UforkConfig {
     /// legacy rebuild-and-linear-scan region lookup, so it reproduces the
     /// pre-optimization host cost faithfully.
     pub scan: ScanMode,
+    /// How the fork walk executes the eager copy/relocate sweep: the
+    /// single-lane serial walk (default, the ablation baseline) or the
+    /// multi-worker parallel engine with deterministic lane clocks.
+    /// `Parallel` requires the tag-summary scan; under `ScanMode::Naive`
+    /// it falls back to the serial legacy walk.
+    pub walk: WalkMode,
 }
 
 impl Default for UforkConfig {
@@ -54,6 +61,7 @@ impl Default for UforkConfig {
             uproc_area_len: UPROC_AREA_LEN,
             eager_fork_copies: true,
             scan: ScanMode::default(),
+            walk: WalkMode::default(),
         }
     }
 }
@@ -95,6 +103,7 @@ pub struct UforkOs {
     pub(crate) eager_fork_copies: bool,
     pub(crate) isolation: IsolationLevel,
     pub(crate) scan: ScanMode,
+    pub(crate) walk: WalkMode,
     pub(crate) pm: PhysMem,
     /// THE page table — a single address space has exactly one.
     pub(crate) pt: PageTable,
@@ -127,6 +136,7 @@ impl UforkOs {
             eager_fork_copies: cfg.eager_fork_copies,
             isolation: cfg.isolation,
             scan: cfg.scan,
+            walk: cfg.walk,
             pm: PhysMem::with_mib(cfg.phys_mib),
             pt: PageTable::new(),
             regions,
@@ -172,6 +182,12 @@ impl UforkOs {
     /// Disarms frame-allocation fault injection.
     pub fn clear_frame_alloc_failure(&mut self) {
         self.pm.clear_alloc_failure();
+    }
+
+    /// Cumulative sharded-allocator statistics (also surfaced per-process
+    /// through [`MemStats::alloc`] via [`MemOs::mem_stats`]).
+    pub fn alloc_shard_stats(&self) -> ufork_mem::ShardStats {
+        self.pm.shard_stats()
     }
 
     /// Audits global kernel memory state; the invariants a failed or

@@ -44,6 +44,7 @@
 
 mod fault;
 mod fork;
+pub mod fork_par;
 mod gate;
 mod kernel;
 mod layout;
@@ -51,9 +52,10 @@ pub mod region_index;
 pub mod reloc;
 pub mod talloc;
 
+pub use fork_par::{WalkMode, CHUNK_PAGES};
 pub use gate::SyscallGate;
 pub use kernel::{UforkConfig, UforkOs};
 pub use layout::{ProcLayout, Segment};
-pub use region_index::RegionIndex;
+pub use region_index::{FrozenIndex, RegionIndex};
 pub use reloc::ScanMode;
 pub use talloc::{TAlloc, TAllocStats, UserMem};

@@ -122,6 +122,43 @@ impl RegionIndex {
     pub fn take_lookups(&self) -> u64 {
         self.lookups.replace(0)
     }
+
+    /// An immutable, `Sync` snapshot view for cross-thread lookups.
+    ///
+    /// The memo and lookup counter live in `Cell`s, which makes a shared
+    /// `&RegionIndex` unusable from the parallel fork walk's worker
+    /// threads. A [`FrozenIndex`] drops both: a pure binary search over
+    /// the same sorted slice, with workers tallying their own lookup
+    /// counts locally.
+    pub fn frozen(&self) -> FrozenIndex<'_> {
+        FrozenIndex {
+            regions: &self.regions,
+        }
+    }
+}
+
+/// A memo-free, `Sync` view of a [`RegionIndex`] (see
+/// [`RegionIndex::frozen`]).
+#[derive(Clone, Copy)]
+pub struct FrozenIndex<'a> {
+    regions: &'a [Region],
+}
+
+impl FrozenIndex<'_> {
+    /// Finds the region containing `addr`, if any — O(log n), no memo,
+    /// no counting. Agrees with [`RegionIndex::lookup`] on every address.
+    pub fn lookup(&self, addr: u64) -> Option<Region> {
+        let at = self
+            .regions
+            .partition_point(|r| r.base.0 <= addr)
+            .checked_sub(1)?;
+        let r = self.regions[at];
+        if r.contains(VirtAddr(addr)) {
+            Some(r)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +223,34 @@ mod tests {
         assert_eq!(idx.lookup(0x10_0000), None); // stale memo must not resurrect it
         assert_eq!(idx.lookup(0x20_0000), Some(b));
         assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn frozen_view_agrees_with_live_index() {
+        let mut idx = RegionIndex::new();
+        idx.insert(region(0x10_0000, 0x1000));
+        idx.insert(region(0x30_0000, 0x1000));
+        idx.lookup(0x10_0000); // prime the live index's memo
+        let frozen = idx.frozen();
+        for addr in [
+            0x0f_ffffu64,
+            0x10_0000,
+            0x10_0fff,
+            0x10_1000,
+            0x20_0000,
+            0x30_0800,
+            0x40_0000,
+        ] {
+            assert_eq!(frozen.lookup(addr), idx.lookup(addr), "addr {addr:#x}");
+        }
+        // Frozen lookups are not counted by the live index.
+        idx.take_lookups();
+        let frozen = idx.frozen();
+        frozen.lookup(0x10_0000);
+        assert_eq!(idx.take_lookups(), 0);
+        // The view is Sync: workers can share it.
+        fn assert_sync<T: Sync>(_: &T) {}
+        assert_sync(&frozen);
     }
 
     #[test]

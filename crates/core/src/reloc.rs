@@ -25,7 +25,7 @@
 //! an ablation so the benchmark harness can show both cost curves.
 
 use ufork_cheri::Capability;
-use ufork_mem::{Pfn, PhysMem, GRANULES_PER_PAGE, TAG_WORDS_PER_PAGE};
+use ufork_mem::{Frame, Pfn, PhysMem, GRANULES_PER_PAGE, TAG_WORDS_PER_PAGE};
 use ufork_sim::CostModel;
 use ufork_vmem::Region;
 
@@ -75,6 +75,22 @@ pub fn relocate_frame(
     source_of: &dyn Fn(u64) -> Option<Region>,
     mode: ScanMode,
 ) -> RelocStats {
+    let f = pm.frame_mut(frame).expect("relocating an allocated frame");
+    relocate_frame_in(f, child, child_root, source_of, mode)
+}
+
+/// [`relocate_frame`] on a directly borrowed (or detached) [`Frame`].
+///
+/// The parallel fork walk detaches destination frames from `PhysMem` and
+/// relocates them on worker threads, where no `&mut PhysMem` exists; this
+/// entry point is the common implementation both paths share.
+pub fn relocate_frame_in(
+    f: &mut Frame,
+    child: Region,
+    child_root: &Capability,
+    source_of: &dyn Fn(u64) -> Option<Region>,
+    mode: ScanMode,
+) -> RelocStats {
     let mut stats = RelocStats::default();
     // Collect the tagged granules first to keep the borrow simple; pages
     // hold at most 256. The two modes genuinely differ in how they find
@@ -84,7 +100,6 @@ pub fn relocate_frame(
             // The paper's sweep, performed for real: inspect every
             // granule's tag individually.
             stats.granules_scanned = GRANULES_PER_PAGE;
-            let f = pm.frame(frame).expect("relocating an allocated frame");
             (0..GRANULES_PER_PAGE)
                 .filter_map(|g| {
                     let off = g * ufork_mem::GRANULE_SIZE;
@@ -95,7 +110,6 @@ pub fn relocate_frame(
         ScanMode::TagSummary => {
             // Four CLoadTags-style bulk reads fetch the whole page's tag
             // occupancy; only set bits are then inspected individually.
-            let f = pm.frame(frame).expect("relocating an allocated frame");
             let words = f.tag_words();
             stats.tag_words_loaded = TAG_WORDS_PER_PAGE as u64;
             let tagged: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
@@ -113,24 +127,18 @@ pub fn relocate_frame(
         }
         let Some(src) = source_of(cap.base()) else {
             // Unknown target (kernel or dead region): clear the tag.
-            pm.frame_mut(frame)
-                .expect("frame still allocated")
-                .clear_tag(off);
+            f.clear_tag(off);
             stats.cleared += 1;
             continue;
         };
         let delta = child.base.0 as i64 - src.base.0 as i64;
         match cap.rebase(delta, child_root) {
             Ok(new_cap) => {
-                pm.frame_mut(frame)
-                    .expect("frame still allocated")
-                    .replace_cap(off, &new_cap);
+                f.replace_cap(off, &new_cap);
                 stats.relocated += 1;
             }
             Err(_) => {
-                pm.frame_mut(frame)
-                    .expect("frame still allocated")
-                    .clear_tag(off);
+                f.clear_tag(off);
                 stats.cleared += 1;
             }
         }

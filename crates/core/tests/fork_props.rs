@@ -5,10 +5,11 @@
 //! `props` feature).
 #![cfg(feature = "props")]
 
-use ufork::{UforkConfig, UforkOs};
+use ufork::{UforkConfig, UforkOs, WalkMode};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_cheri::Capability;
 use ufork_exec::{Ctx, MemOs};
+use ufork_mem::PAGE_SIZE;
 use ufork_testkit::{forall, shrink_vec, PropConfig, Rng};
 
 const PARENT: Pid = Pid(1);
@@ -239,6 +240,266 @@ fn strategies_observationally_equivalent() {
                 if u64::from_le_bytes(b) != 0xAB00 + i {
                     return Err(format!("{strategy:?} cell {i}: child lost the snapshot"));
                 }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// One random heap-population action for the parallel/serial differential:
+/// either plain data or a capability pointing at another heap slot (so the
+/// relocation scan has tagged granules to fix up across chunks).
+#[derive(Clone, Copy, Debug)]
+enum Seed {
+    Data(u16, u64),
+    CapTo(u16, u16),
+}
+
+/// What a heap slot looks like from the child's point of view, normalized
+/// against the child's own array base (the *anchor*) so the comparison is
+/// position-independent — the same idea the differential oracle uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Slot {
+    Data(u64),
+    Cap { addr: u64, base: u64, len: u64 },
+}
+
+/// A child-side heap fingerprint: every touched `(offset, slot)` pair plus
+/// the `(pages_copied, caps_relocated)` counters from the fork itself.
+type Fingerprint = (Vec<(u64, Slot)>, u64, u64);
+
+/// Spawns a parent, populates a `pages`-page heap from `seeds`, forks under
+/// `walk`, and fingerprints the child's view of every touched slot plus the
+/// fork-path counters that must not depend on the walk mode.
+fn fork_fingerprint(
+    walk: WalkMode,
+    strategy: CopyStrategy,
+    pages: u64,
+    seeds: &[Seed],
+) -> Result<Fingerprint, String> {
+    let slots = pages * (PAGE_SIZE / 64);
+    let off = |s: u16| (u64::from(s) % slots) * 64;
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 64,
+        strategy,
+        walk,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    let image = ImageSpec::with_heap("par-diff", pages * PAGE_SIZE + 64 * 1024);
+    os.spawn(&mut ctx, PARENT, &image).unwrap();
+    let arr = os.malloc(&mut ctx, PARENT, pages * PAGE_SIZE).unwrap();
+    let mut touched: Vec<u64> = Vec::new();
+    for s in seeds {
+        match *s {
+            Seed::Data(i, v) => {
+                os.store(
+                    &mut ctx,
+                    PARENT,
+                    &arr.with_addr(arr.base() + off(i)).unwrap(),
+                    &v.to_le_bytes(),
+                )
+                .unwrap();
+                touched.push(off(i));
+            }
+            Seed::CapTo(i, t) => {
+                let target = arr.with_addr(arr.base() + off(t)).unwrap();
+                os.store_cap(
+                    &mut ctx,
+                    PARENT,
+                    &arr.with_addr(arr.base() + off(i)).unwrap(),
+                    &target,
+                )
+                .unwrap();
+                touched.push(off(i));
+            }
+        }
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    os.set_reg(PARENT, 4, arr).unwrap();
+
+    let before = ctx.counters;
+    os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    let during = ctx.counters.since(&before);
+
+    let c_arr = os.reg(CHILD, 4).unwrap();
+    let anchor = c_arr.base();
+    if anchor == arr.base() {
+        return Err(format!("{walk:?}: child array was not relocated"));
+    }
+    let mut prints = Vec::with_capacity(touched.len());
+    for o in &touched {
+        let at = c_arr.with_addr(anchor + o).unwrap();
+        let print = match os.load_cap(&mut ctx, CHILD, &at).unwrap() {
+            Some(c) => Slot::Cap {
+                addr: c.addr() - anchor,
+                base: c.base() - anchor,
+                len: c.len(),
+            },
+            None => {
+                let mut b = [0u8; 8];
+                os.load(&mut ctx, CHILD, &at, &mut b).unwrap();
+                Slot::Data(u64::from_le_bytes(b))
+            }
+        };
+        prints.push((*o, print));
+    }
+    if os.audit_kernel() != (0, 0) {
+        return Err(format!("{walk:?}: kernel audit found leaks"));
+    }
+    if os.audit_isolation(PARENT) != 0 || os.audit_isolation(CHILD) != 0 {
+        return Err(format!("{walk:?}: isolation audit found violations"));
+    }
+    Ok((prints, during.pages_copied, during.caps_relocated))
+}
+
+/// The parallel walk is an *optimization*, not a semantic change: for every
+/// worker count the child heap and its capability map must be bit-identical
+/// to what the serial walk produces (anchor-normalized), and the
+/// walk-independent counters (pages copied, caps relocated) must agree.
+#[test]
+fn parallel_walk_matches_serial_bit_identical() {
+    forall(
+        "parallel_walk_matches_serial_bit_identical",
+        &cfg(),
+        |rng| {
+            let strategy_ix = rng.below(3) as u8;
+            // Past 32 pages the parallel walk splits into multiple chunks;
+            // keep a spread of sub-chunk and multi-chunk heaps.
+            let pages = rng.range(1, 72);
+            let n = rng.range(1, 48) as usize;
+            let seeds: Vec<Seed> = (0..n)
+                .map(|_| {
+                    if rng.chance(1, 2) {
+                        Seed::CapTo(rng.next_u64() as u16, rng.next_u64() as u16)
+                    } else {
+                        Seed::Data(rng.next_u64() as u16, rng.next_u64())
+                    }
+                })
+                .collect();
+            (strategy_ix, pages, seeds)
+        },
+        |(ix, pages, seeds)| {
+            shrink_vec(seeds)
+                .into_iter()
+                .map(|s| (*ix, *pages, s))
+                .collect()
+        },
+        |(strategy_ix, pages, seeds)| {
+            let strategy = strategy_of(*strategy_ix);
+            let serial = fork_fingerprint(WalkMode::Serial, strategy, *pages, seeds)?;
+            for n in [1usize, 2, 4, 8] {
+                let par = fork_fingerprint(WalkMode::Parallel(n), strategy, *pages, seeds)?;
+                if par != serial {
+                    return Err(format!(
+                        "{strategy:?}, {pages} pages: Parallel({n}) diverged from Serial:\n\
+                         serial: {serial:?}\n\
+                         par:    {par:?}"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Deterministic shard-allocation failure anywhere inside the parallel
+/// fork walk must unwind completely: no leaked frames, no dangling PTEs,
+/// a parent that still works, and a clean retry that succeeds.
+#[test]
+fn shard_alloc_failure_mid_walk_leaks_nothing() {
+    const PAGES: u64 = 40; // > CHUNK_PAGES, so the walk is multi-chunk
+    let setup = |walk: WalkMode| {
+        let mut os = UforkOs::new(UforkConfig {
+            phys_mib: 64,
+            strategy: CopyStrategy::Full,
+            walk,
+            ..UforkConfig::default()
+        });
+        let mut ctx = Ctx::new();
+        let image = ImageSpec::with_heap("unwind", PAGES * PAGE_SIZE + 64 * 1024);
+        os.spawn(&mut ctx, PARENT, &image).unwrap();
+        let arr = os.malloc(&mut ctx, PARENT, PAGES * PAGE_SIZE).unwrap();
+        for p in 0..PAGES {
+            let at = arr.with_addr(arr.base() + p * PAGE_SIZE).unwrap();
+            os.store(&mut ctx, PARENT, &at, &(0xF00D + p).to_le_bytes())
+                .unwrap();
+            let slot = arr.with_addr(arr.base() + p * PAGE_SIZE + 64).unwrap();
+            os.store_cap(&mut ctx, PARENT, &slot, &at).unwrap();
+        }
+        os.set_reg(PARENT, 4, arr).unwrap();
+        (os, ctx, arr)
+    };
+    forall(
+        "shard_alloc_failure_mid_walk_leaks_nothing",
+        &cfg(),
+        |rng| {
+            let workers = *rng.pick(&[1usize, 2, 4, 8]);
+            let frac = rng.below(1000);
+            (workers, frac)
+        },
+        ufork_testkit::no_shrink,
+        |(workers, frac)| {
+            let walk = WalkMode::Parallel(*workers);
+            // Dry run: count how many allocation attempts a successful
+            // fork makes, so the injected failure lands mid-walk.
+            let (mut os, mut ctx, _) = setup(walk);
+            let before = os.frame_alloc_attempts();
+            os.fork(&mut ctx, PARENT, CHILD).unwrap();
+            let span = os.frame_alloc_attempts() - before;
+            if span == 0 {
+                return Err("Full-strategy fork made no allocations".into());
+            }
+
+            // Real run: same deterministic setup, failure injected at a
+            // fraction of the way through the fork's allocations.
+            let (mut os, mut ctx, arr) = setup(walk);
+            let frames_before = os.allocated_frames();
+            os.inject_frame_alloc_failure(before + frac * span / 1000);
+            if os.fork(&mut ctx, PARENT, CHILD).is_ok() {
+                return Err(format!(
+                    "fork survived injected failure ({workers} workers)"
+                ));
+            }
+            if os.allocated_frames() != frames_before {
+                return Err(format!(
+                    "leaked frames after unwind: {} -> {}",
+                    frames_before,
+                    os.allocated_frames()
+                ));
+            }
+            if os.audit_kernel() != (0, 0) {
+                return Err("kernel audit found dangling PTEs or frames".into());
+            }
+            // The parent is untouched...
+            let mut b = [0u8; 8];
+            os.load(
+                &mut ctx,
+                PARENT,
+                &arr.with_addr(arr.base()).unwrap(),
+                &mut b,
+            )
+            .unwrap();
+            if u64::from_le_bytes(b) != 0xF00D {
+                return Err("parent heap corrupted by unwound fork".into());
+            }
+            // ...and the retry (injection is one-shot) succeeds cleanly.
+            os.fork(&mut ctx, PARENT, CHILD)
+                .map_err(|e| format!("post-unwind fork failed: {e:?}"))?;
+            let c_arr = os.reg(CHILD, 4).unwrap();
+            os.load(
+                &mut ctx,
+                CHILD,
+                &c_arr.with_addr(c_arr.base()).unwrap(),
+                &mut b,
+            )
+            .unwrap();
+            if u64::from_le_bytes(b) != 0xF00D {
+                return Err("child heap wrong after post-unwind fork".into());
+            }
+            if os.audit_kernel() != (0, 0) {
+                return Err("kernel audit failed after retry".into());
             }
             Ok(())
         },

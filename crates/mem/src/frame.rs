@@ -66,6 +66,36 @@ impl Frame {
         }
     }
 
+    /// A zero-size placeholder frame holding no backing storage.
+    ///
+    /// Used by the parallel fork walk to *detach* a frame from the
+    /// physical memory array (handing the real frame to a worker thread)
+    /// without leaving a hole: the placeholder is swapped in, and the real
+    /// frame is swapped back on reattach. Reading or writing a detached
+    /// placeholder panics — by construction no mapping points at a frame
+    /// while it is detached.
+    pub fn detached() -> Frame {
+        Frame {
+            data: Vec::new().into_boxed_slice(),
+            caps: BTreeMap::new(),
+            tags: [0; TAG_WORDS_PER_PAGE],
+        }
+    }
+
+    /// True if this is a [`Frame::detached`] placeholder.
+    #[inline]
+    pub fn is_detached(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Resets the frame to the all-zero, no-tags state in place (the
+    /// allocation-time scrub of a recycled frame).
+    pub fn zero(&mut self) {
+        self.data.fill(0);
+        self.caps.clear();
+        self.tags = [0; TAG_WORDS_PER_PAGE];
+    }
+
     #[inline]
     fn set_tag_bit(&mut self, granule: u16) {
         self.tags[granule as usize / 64] |= 1u64 << (granule % 64);
@@ -77,6 +107,7 @@ impl Frame {
     }
 
     /// Read-only view of the frame's data bytes.
+    #[inline]
     pub fn data(&self) -> &[u8] {
         &self.data
     }
@@ -87,6 +118,7 @@ impl Frame {
     ///
     /// Panics if the range exceeds the page; callers (the physical memory
     /// layer) validate ranges first.
+    #[inline]
     pub fn read(&self, offset: u64, buf: &mut [u8]) {
         let o = offset as usize;
         buf.copy_from_slice(&self.data[o..o + buf.len()]);
@@ -94,6 +126,11 @@ impl Frame {
 
     /// Writes `buf` at `offset`, clearing the tags of every granule the
     /// write overlaps.
+    ///
+    /// The tag clear works word-at-a-time on the occupancy bitmap; the
+    /// (much slower) capability map is only consulted for words whose bits
+    /// show a tag actually set in the overlapped range, so the common case
+    /// of writing plain data to an untagged region never touches the map.
     pub fn write(&mut self, offset: u64, buf: &[u8]) {
         let o = offset as usize;
         self.data[o..o + buf.len()].copy_from_slice(buf);
@@ -102,9 +139,24 @@ impl Frame {
         }
         let first = offset / GRANULE_SIZE;
         let last = (offset + buf.len() as u64 - 1) / GRANULE_SIZE;
-        for g in first..=last {
-            self.caps.remove(&(g as u16));
-            self.clear_tag_bit(g as u16);
+        let mut any_tagged = false;
+        for w in (first / 64) as usize..=(last / 64) as usize {
+            let lo = if w as u64 == first / 64 {
+                first % 64
+            } else {
+                0
+            };
+            let hi = if w as u64 == last / 64 { last % 64 } else { 63 };
+            let mask = (u64::MAX >> (63 - hi)) & (u64::MAX << lo);
+            if self.tags[w] & mask != 0 {
+                any_tagged = true;
+                self.tags[w] &= !mask;
+            }
+        }
+        if any_tagged {
+            for g in first..=last {
+                self.caps.remove(&(g as u16));
+            }
         }
     }
 
@@ -125,6 +177,7 @@ impl Frame {
     ///
     /// Returns `None` when the granule's tag is clear — the 16 bytes are
     /// then plain data and must be read with [`Frame::read`].
+    #[inline]
     pub fn load_cap(&self, offset: u64) -> Option<Capability> {
         debug_assert_eq!(offset % GRANULE_SIZE, 0);
         self.caps.get(&((offset / GRANULE_SIZE) as u16)).copied()
@@ -138,11 +191,13 @@ impl Frame {
     }
 
     /// Returns true if any granule in the frame holds a valid capability.
+    #[inline]
     pub fn has_caps(&self) -> bool {
         self.tags.iter().any(|&w| w != 0)
     }
 
     /// Number of tagged granules in the frame (bitmap popcount).
+    #[inline]
     pub fn cap_count(&self) -> usize {
         self.tags.iter().map(|w| w.count_ones() as usize).sum()
     }
@@ -150,6 +205,7 @@ impl Frame {
     /// The tag-occupancy bitmap: one bit per granule, 64 granules per
     /// word — the view a `CLoadTags` bulk tag read exposes. Bit `g % 64`
     /// of word `g / 64` is set iff granule `g` holds a valid capability.
+    #[inline]
     pub fn tag_words(&self) -> [u64; TAG_WORDS_PER_PAGE] {
         self.tags
     }
@@ -313,6 +369,41 @@ mod tests {
             assert_eq!(*w, 1 << i, "word {i}");
         }
         assert_eq!(f.cap_count(), TAG_WORDS_PER_PAGE);
+    }
+
+    #[test]
+    fn zero_resets_data_and_tags() {
+        let mut f = Frame::zeroed();
+        f.write(0, &[0xff; 64]);
+        f.store_cap(128, &cap(0xa000));
+        f.zero();
+        assert!(f.data().iter().all(|&b| b == 0));
+        assert!(!f.has_caps());
+        assert_eq!(f.tag_words(), [0; TAG_WORDS_PER_PAGE]);
+        assert!(f.check_tag_invariant());
+    }
+
+    #[test]
+    fn detached_placeholder_holds_nothing() {
+        let f = Frame::detached();
+        assert!(f.is_detached());
+        assert!(!Frame::zeroed().is_detached());
+        assert!(!f.has_caps());
+        assert_eq!(f.data().len(), 0);
+    }
+
+    #[test]
+    fn write_spanning_tag_words_clears_all_overlapped() {
+        let mut f = Frame::zeroed();
+        // Granule 63 (word 0, bit 63) and granule 64 (word 1, bit 0).
+        f.store_cap(63 * GRANULE_SIZE, &cap(0xa000));
+        f.store_cap(64 * GRANULE_SIZE, &cap(0xb000));
+        f.store_cap(200 * GRANULE_SIZE, &cap(0xc000)); // word 3: untouched
+        f.write(63 * GRANULE_SIZE - 8, &[0u8; 40]); // spans granules 62..=65
+        assert_eq!(f.load_cap(63 * GRANULE_SIZE), None);
+        assert_eq!(f.load_cap(64 * GRANULE_SIZE), None);
+        assert_eq!(f.load_cap(200 * GRANULE_SIZE), Some(cap(0xc000)));
+        assert!(f.check_tag_invariant());
     }
 
     #[test]

@@ -47,6 +47,50 @@ struct Slot {
     refcount: u32,
 }
 
+/// Number of free-list shards in the physical allocator. Matches the
+/// Morello SoC's 8 cores: each fork worker draws from its own shard and
+/// falls back to deterministic work-stealing when its shard runs dry.
+pub const NUM_SHARDS: usize = 8;
+
+/// Whether an allocation needs the frame scrubbed before use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZeroPolicy {
+    /// The caller reads the frame before fully writing it: a recycled
+    /// frame must be zeroed (data and tags) at allocation time.
+    Zeroed,
+    /// The caller overwrites the entire frame (e.g. a Full-copy fork
+    /// destination): skip the scrub — the deferred-zeroing win.
+    Uninit,
+}
+
+/// What [`PhysMem::alloc_frame_in`] actually did, for cost accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocGrant {
+    /// The allocated frame.
+    pub pfn: Pfn,
+    /// The frame came from a recycled pool rather than fresh memory.
+    pub recycled: bool,
+    /// The frame was recycled *and* the scrub was skipped
+    /// ([`ZeroPolicy::Uninit`]): its old contents are garbage the caller
+    /// has promised to overwrite.
+    pub zeroing_skipped: bool,
+    /// The frame was stolen from another shard's pool.
+    pub stolen: bool,
+}
+
+/// Cumulative sharded-allocator statistics, surfaced through `MemStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Allocations served with each shard as the home shard.
+    pub per_shard_allocated: [u64; NUM_SHARDS],
+    /// Allocations that had to steal from a foreign shard's pool.
+    pub steals: u64,
+    /// Allocations served from a recycled pool (any shard).
+    pub recycled_hits: u64,
+    /// Recycled allocations that skipped the zeroing scrub.
+    pub zeroing_skipped: u64,
+}
+
 /// Simulated physical memory: a bounded pool of refcounted, tagged frames.
 ///
 /// Frames are lazily materialized — a `PhysMem` sized for a large machine
@@ -54,15 +98,30 @@ struct Slot {
 /// support CoW-style sharing: a frame shared between N μprocesses has
 /// `refcount == N` and contributes `1/N` to each one's proportional
 /// resident set.
+///
+/// Freed frames land on one of [`NUM_SHARDS`] **recycled pools** (keyed by
+/// `pfn % NUM_SHARDS`), keeping their backing storage so a later
+/// allocation can skip or defer the zeroing scrub ([`ZeroPolicy`]). The
+/// shards exist for the parallel fork walk: each worker lane has a home
+/// shard, so concurrent chunks never contend on one free list in the
+/// modeled machine, and allocation order stays deterministic.
 pub struct PhysMem {
     slots: Vec<Option<Slot>>,
-    free: Vec<Pfn>,
+    shards: Vec<Vec<(Pfn, Frame)>>,
     next_fresh: u32,
     total_frames: u32,
     allocated: u32,
     peak_allocated: u32,
     alloc_attempts: u64,
     fail_at_attempt: Option<u64>,
+    stats: ShardStats,
+    /// Probe start for the single-lane [`PhysMem::alloc_frame`] entry
+    /// point: the shard that received the most recent free. Starting
+    /// there (and wrapping across all pools) makes legacy callers reuse
+    /// freed, cache-warm frames in near-LIFO order instead of camping on
+    /// one shard and burning fresh (cache-cold) memory while freed
+    /// frames sit idle.
+    legacy_cursor: usize,
 }
 
 impl PhysMem {
@@ -70,13 +129,15 @@ impl PhysMem {
     pub fn new(total_frames: u32) -> PhysMem {
         PhysMem {
             slots: Vec::new(),
-            free: Vec::new(),
+            shards: (0..NUM_SHARDS).map(|_| Vec::new()).collect(),
             next_fresh: 0,
             total_frames,
             allocated: 0,
             peak_allocated: 0,
             alloc_attempts: 0,
             fail_at_attempt: None,
+            stats: ShardStats::default(),
+            legacy_cursor: 0,
         }
     }
 
@@ -121,33 +182,133 @@ impl PhysMem {
     }
 
     /// Allocates a zeroed frame with refcount 1.
+    ///
+    /// Legacy single-lane entry point ([`ZeroPolicy::Zeroed`] — the frame
+    /// is always safe to read). Recycled pools are drained before fresh
+    /// memory, like the old global free list: the probe starts at the
+    /// pool that received the most recent free (tracked by
+    /// [`PhysMem::dec_ref`]) and wraps across all shards, so single-lane
+    /// workloads reuse recently-freed (cache-warm) frames no matter which
+    /// pool they landed in. Draining another shard's pool is not a steal
+    /// here — there is no other lane to contend with.
     pub fn alloc_frame(&mut self) -> Result<Pfn, MemError> {
+        self.count_attempt()?;
+        let home = self.legacy_cursor;
+        let popped = (0..NUM_SHARDS)
+            .map(|d| (home + d) % NUM_SHARDS)
+            .find_map(|s| self.shards[s].pop());
+        let (pfn, frame) = match popped {
+            Some((p, f)) => (p, Some(f)),
+            None if self.next_fresh < self.total_frames => {
+                let p = Pfn(self.next_fresh);
+                self.next_fresh += 1;
+                (p, None)
+            }
+            None => return Err(MemError::OutOfFrames),
+        };
+        let g = self.grant(pfn, frame, home, false, ZeroPolicy::Zeroed);
+        Ok(g.pfn)
+    }
+
+    /// Allocates a frame with refcount 1 from home shard `shard`
+    /// (wrapping modulo [`NUM_SHARDS`]).
+    ///
+    /// Allocation order: the home shard's recycled pool, then fresh
+    /// (never-used) memory, then stealing from the other shards' pools in
+    /// the fixed probe order `home+1, home+2, …` (mod `NUM_SHARDS`) — so
+    /// the sequence of granted frames is a pure function of the call
+    /// sequence, independent of host threading.
+    ///
+    /// `zero` controls the recycled-frame scrub; fresh frames are zeroed
+    /// by construction, so [`ZeroPolicy::Uninit`] only has an effect (and
+    /// only shows up in [`AllocGrant::zeroing_skipped`]) on recycled
+    /// frames. Fault injection armed via [`PhysMem::fail_alloc_at`]
+    /// counts attempts globally across all shards.
+    pub fn alloc_frame_in(
+        &mut self,
+        shard: usize,
+        zero: ZeroPolicy,
+    ) -> Result<AllocGrant, MemError> {
+        self.count_attempt()?;
+        let home = shard % NUM_SHARDS;
+        let (pfn, frame, stolen) = if let Some((p, f)) = self.shards[home].pop() {
+            (p, Some(f), false)
+        } else if self.next_fresh < self.total_frames {
+            let p = Pfn(self.next_fresh);
+            self.next_fresh += 1;
+            (p, None, false)
+        } else if let Some((p, f)) = (1..NUM_SHARDS)
+            .map(|d| (home + d) % NUM_SHARDS)
+            .find_map(|s| self.shards[s].pop())
+        {
+            (p, Some(f), true)
+        } else {
+            return Err(MemError::OutOfFrames);
+        };
+        Ok(self.grant(pfn, frame, home, stolen, zero))
+    }
+
+    /// The global attempt counter + one-shot fault injection, shared by
+    /// every allocation entry point.
+    fn count_attempt(&mut self) -> Result<(), MemError> {
         let attempt = self.alloc_attempts;
         self.alloc_attempts += 1;
         if self.fail_at_attempt == Some(attempt) {
             self.fail_at_attempt = None;
             return Err(MemError::OutOfFrames);
         }
-        let pfn = if let Some(p) = self.free.pop() {
-            p
-        } else if self.next_fresh < self.total_frames {
-            let p = Pfn(self.next_fresh);
-            self.next_fresh += 1;
-            p
-        } else {
-            return Err(MemError::OutOfFrames);
+        Ok(())
+    }
+
+    /// Installs a granted frame (recycled `Some(frame)` or fresh `None`)
+    /// into its slot, applying the zero policy and recording stats.
+    fn grant(
+        &mut self,
+        pfn: Pfn,
+        frame: Option<Frame>,
+        home: usize,
+        stolen: bool,
+        zero: ZeroPolicy,
+    ) -> AllocGrant {
+        let recycled = frame.is_some();
+        let zeroing_skipped = recycled && zero == ZeroPolicy::Uninit;
+        let frame = match frame {
+            Some(mut f) => {
+                if zero == ZeroPolicy::Zeroed {
+                    f.zero();
+                }
+                f
+            }
+            None => Frame::zeroed(),
         };
         let idx = pfn.0 as usize;
         if idx >= self.slots.len() {
             self.slots.resize_with(idx + 1, || None);
         }
-        self.slots[idx] = Some(Slot {
-            frame: Frame::zeroed(),
-            refcount: 1,
-        });
+        self.slots[idx] = Some(Slot { frame, refcount: 1 });
         self.allocated += 1;
         self.peak_allocated = self.peak_allocated.max(self.allocated);
-        Ok(pfn)
+        self.stats.per_shard_allocated[home] += 1;
+        if recycled {
+            self.stats.recycled_hits += 1;
+        }
+        if zeroing_skipped {
+            self.stats.zeroing_skipped += 1;
+        }
+        if stolen {
+            self.stats.steals += 1;
+        }
+        AllocGrant {
+            pfn,
+            recycled,
+            zeroing_skipped,
+            stolen,
+        }
+    }
+
+    /// Cumulative sharded-allocator statistics.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.stats
     }
 
     /// Increments a frame's refcount (a new sharer, e.g. a CoW mapping).
@@ -159,17 +320,47 @@ impl PhysMem {
 
     /// Decrements a frame's refcount, freeing the frame when it hits zero.
     ///
+    /// A freed frame moves (contents and all) to the recycled pool of
+    /// shard `pfn % NUM_SHARDS`; the scrub is deferred to reallocation
+    /// time, where [`ZeroPolicy::Uninit`] callers can skip it entirely.
+    ///
     /// Returns the remaining refcount.
     pub fn dec_ref(&mut self, pfn: Pfn) -> Result<u32, MemError> {
         let slot = self.slot_mut(pfn)?;
         slot.refcount -= 1;
         let remaining = slot.refcount;
         if remaining == 0 {
-            self.slots[pfn.0 as usize] = None;
-            self.free.push(pfn);
+            let slot = self.slots[pfn.0 as usize].take().expect("checked above");
+            let shard = pfn.0 as usize % NUM_SHARDS;
+            self.shards[shard].push((pfn, slot.frame));
+            // Point the single-lane probe at the freshest free so the next
+            // legacy alloc reuses it first (LIFO, cache-warm).
+            self.legacy_cursor = shard;
             self.allocated -= 1;
         }
         Ok(remaining)
+    }
+
+    /// Detaches a frame's storage, leaving a [`Frame::detached`]
+    /// placeholder in its slot.
+    ///
+    /// The parallel fork walk uses this to hand owned destination frames
+    /// to worker threads while `PhysMem` itself is only borrowed shared
+    /// (for reading source frames). The caller must pair every detach
+    /// with an [`PhysMem::attach_frame`] before the frame is accessed
+    /// through `PhysMem` again.
+    pub fn detach_frame(&mut self, pfn: Pfn) -> Result<Frame, MemError> {
+        let slot = self.slot_mut(pfn)?;
+        debug_assert!(!slot.frame.is_detached(), "double detach of {pfn:?}");
+        Ok(std::mem::replace(&mut slot.frame, Frame::detached()))
+    }
+
+    /// Reattaches a frame previously taken with [`PhysMem::detach_frame`].
+    pub fn attach_frame(&mut self, pfn: Pfn, frame: Frame) -> Result<(), MemError> {
+        let slot = self.slot_mut(pfn)?;
+        debug_assert!(slot.frame.is_detached(), "attach over live frame {pfn:?}");
+        slot.frame = frame;
+        Ok(())
     }
 
     /// Current refcount of a frame.
@@ -310,6 +501,25 @@ mod tests {
     }
 
     #[test]
+    fn legacy_alloc_drains_every_pool_before_fresh_memory() {
+        let mut pm = PhysMem::new(64);
+        // Free frames spread across several shard pools.
+        let pfns: Vec<Pfn> = (0..12).map(|_| pm.alloc_frame().unwrap()).collect();
+        for p in &pfns {
+            pm.dec_ref(*p).unwrap();
+        }
+        // The single-lane entry point must recycle all 12 (cache-warm)
+        // frames before reaching for fresh (cold) memory.
+        let mut recycled: Vec<u32> = (0..12).map(|_| pm.alloc_frame().unwrap().0).collect();
+        recycled.sort_unstable();
+        assert_eq!(recycled, (0..12).collect::<Vec<u32>>());
+        // Only now does it break new ground.
+        assert_eq!(pm.alloc_frame().unwrap(), Pfn(12));
+        // Rotating over pools is not contention: no steals are recorded.
+        assert_eq!(pm.shard_stats().steals, 0);
+    }
+
+    #[test]
     fn refcounting_shares_frames() {
         let mut pm = PhysMem::new(2);
         let a = pm.alloc_frame().unwrap();
@@ -435,5 +645,111 @@ mod tests {
         pm.fail_alloc_at(0);
         pm.clear_alloc_failure();
         assert!(pm.alloc_frame().is_ok());
+    }
+
+    #[test]
+    fn shard_alloc_prefers_home_pool_then_fresh() {
+        let mut pm = PhysMem::new(32);
+        // Materialize pfn 0..16 and free them all: shard s pools hold
+        // the pfns with pfn % NUM_SHARDS == s.
+        let pfns: Vec<Pfn> = (0..16).map(|_| pm.alloc_frame().unwrap()).collect();
+        for p in &pfns {
+            pm.dec_ref(*p).unwrap();
+        }
+        // The setup allocations above went through the legacy entry point,
+        // which also attributes shard stats — compare deltas from here.
+        let base = pm.shard_stats();
+        // Home shard 3 pool holds pfns 3 and 11 (LIFO: 11 first).
+        let g = pm.alloc_frame_in(3, ZeroPolicy::Zeroed).unwrap();
+        assert_eq!(g.pfn, Pfn(11));
+        assert!(g.recycled && !g.stolen && !g.zeroing_skipped);
+        let g = pm.alloc_frame_in(3, ZeroPolicy::Zeroed).unwrap();
+        assert_eq!(g.pfn, Pfn(3));
+        // Pool dry: fresh memory before stealing.
+        let g = pm.alloc_frame_in(3, ZeroPolicy::Zeroed).unwrap();
+        assert_eq!(g.pfn, Pfn(16));
+        assert!(!g.recycled);
+        let s = pm.shard_stats();
+        assert_eq!(s.per_shard_allocated[3] - base.per_shard_allocated[3], 3);
+        assert_eq!(s.recycled_hits - base.recycled_hits, 2);
+        assert_eq!(s.steals, 0);
+    }
+
+    #[test]
+    fn shard_steal_order_is_deterministic() {
+        let mut pm = PhysMem::new(16);
+        let pfns: Vec<Pfn> = (0..16).map(|_| pm.alloc_frame().unwrap()).collect();
+        for p in &pfns {
+            pm.dec_ref(*p).unwrap();
+        }
+        // Drain home shard 5 (pfns 13, 5), exhausting fresh too.
+        assert_eq!(
+            pm.alloc_frame_in(5, ZeroPolicy::Zeroed).unwrap().pfn,
+            Pfn(13)
+        );
+        assert_eq!(
+            pm.alloc_frame_in(5, ZeroPolicy::Zeroed).unwrap().pfn,
+            Pfn(5)
+        );
+        // Next allocation steals from shard 6 (probe order 6, 7, 0, …).
+        let g = pm.alloc_frame_in(5, ZeroPolicy::Zeroed).unwrap();
+        assert_eq!(g.pfn, Pfn(14));
+        assert!(g.stolen && g.recycled);
+        assert_eq!(pm.shard_stats().steals, 1);
+    }
+
+    #[test]
+    fn uninit_recycled_frame_skips_the_scrub() {
+        let mut pm = PhysMem::new(1);
+        let a = pm.alloc_frame().unwrap();
+        pm.write(a, 0, &[0xab; 4]).unwrap();
+        pm.store_cap(a, 32, &cap()).unwrap();
+        pm.dec_ref(a).unwrap();
+        let g = pm.alloc_frame_in(0, ZeroPolicy::Uninit).unwrap();
+        assert_eq!(g.pfn, a);
+        assert!(g.recycled && g.zeroing_skipped);
+        // The stale contents survive — the caller promised to overwrite.
+        let mut out = [0u8; 4];
+        pm.read(g.pfn, 0, &mut out).unwrap();
+        assert_eq!(out, [0xab; 4]);
+        assert_eq!(pm.load_cap(g.pfn, 32).unwrap(), Some(cap()));
+        assert_eq!(pm.shard_stats().zeroing_skipped, 1);
+        // A fresh allocation is zeroed by construction and never reports
+        // a skipped scrub.
+        let mut pm2 = PhysMem::new(2);
+        let g2 = pm2.alloc_frame_in(0, ZeroPolicy::Uninit).unwrap();
+        assert!(!g2.recycled && !g2.zeroing_skipped);
+    }
+
+    #[test]
+    fn injection_counts_attempts_across_shards() {
+        let mut pm = PhysMem::new(16);
+        pm.fail_alloc_at(2);
+        assert!(pm.alloc_frame_in(0, ZeroPolicy::Zeroed).is_ok());
+        assert!(pm.alloc_frame_in(3, ZeroPolicy::Zeroed).is_ok());
+        assert_eq!(
+            pm.alloc_frame_in(6, ZeroPolicy::Uninit).unwrap_err(),
+            MemError::OutOfFrames
+        );
+        assert!(pm.alloc_frame_in(6, ZeroPolicy::Zeroed).is_ok());
+        assert_eq!(pm.alloc_attempts(), 4);
+    }
+
+    #[test]
+    fn detach_attach_round_trip() {
+        let mut pm = PhysMem::new(2);
+        let a = pm.alloc_frame().unwrap();
+        pm.write(a, 0, b"payload").unwrap();
+        let mut f = pm.detach_frame(a).unwrap();
+        assert!(pm.frame(a).unwrap().is_detached());
+        f.write(0, b"PAYLOAD");
+        pm.attach_frame(a, f).unwrap();
+        let mut out = [0u8; 7];
+        pm.read(a, 0, &mut out).unwrap();
+        assert_eq!(&out, b"PAYLOAD");
+        assert_eq!(
+            pm.detach_frame(Pfn(9)).unwrap_err(),
+            MemError::BadFrame(Pfn(9))
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Memory accounting helpers.
 
 use crate::frame::{Pfn, PAGE_SIZE};
-use crate::phys::PhysMem;
+use crate::phys::{PhysMem, ShardStats};
 
 /// Aggregated memory statistics for a set of frames (e.g. one μprocess).
 ///
@@ -24,6 +24,10 @@ pub struct MemStats {
     /// path's win scales with how small this is relative to
     /// `rss_bytes / GRANULE_SIZE`.
     pub cap_granules: u64,
+    /// Cumulative sharded-allocator statistics of the whole physical
+    /// memory (machine-global, not per-process: allocator pressure is a
+    /// shared resource).
+    pub alloc: ShardStats,
 }
 
 impl MemStats {
@@ -32,7 +36,10 @@ impl MemStats {
     /// `frames` must yield each mapped frame once; frames that are no
     /// longer allocated are skipped (they cannot be resident).
     pub fn for_frames<I: IntoIterator<Item = Pfn>>(pm: &PhysMem, frames: I) -> MemStats {
-        let mut s = MemStats::default();
+        let mut s = MemStats {
+            alloc: pm.shard_stats(),
+            ..MemStats::default()
+        };
         for pfn in frames {
             let Ok(rc) = pm.refcount(pfn) else { continue };
             if rc <= 1 {
@@ -83,7 +90,17 @@ mod tests {
         let a = pm.alloc_frame().unwrap();
         pm.dec_ref(a).unwrap();
         let s = MemStats::for_frames(&pm, [a]);
-        assert_eq!(s, MemStats::default());
+        // No resident memory; only the machine-global allocator stats
+        // remember the one allocation that happened.
+        assert_eq!(
+            s,
+            MemStats {
+                alloc: pm.shard_stats(),
+                ..MemStats::default()
+            }
+        );
+        assert_eq!(s.alloc.per_shard_allocated[0], 1);
+        assert_eq!(s.rss_bytes, 0);
     }
 
     #[test]
@@ -106,7 +123,7 @@ mod tests {
             shared_frames: 0,
             prs_bytes: 1024.0 * 1024.0,
             rss_bytes: 2 * 1024 * 1024,
-            cap_granules: 0,
+            ..MemStats::default()
         };
         assert!((s.prs_mib() - 1.0).abs() < 1e-9);
         assert!((s.rss_mib() - 2.0).abs() < 1e-9);

@@ -48,21 +48,40 @@ impl Clock {
         self.now / 1e6
     }
 
-    /// Advances the clock by `ns` nanoseconds.
+    /// Advances the clock by `ns` nanoseconds, saturating.
+    ///
+    /// The arithmetic is checked: a negative or NaN `ns` is a no-op in
+    /// release builds (time never goes backwards, and a NaN must not
+    /// poison every later timestamp), and an advance that would overflow
+    /// past `f64::MAX` saturates there instead of producing infinity.
     ///
     /// # Panics
     ///
-    /// Panics (in debug builds) if `ns` is negative or NaN — time never
-    /// goes backwards in the simulator.
+    /// Panics (in debug builds) if `ns` is negative or NaN, so bugs that
+    /// compute nonsense costs are caught in tests while production runs
+    /// degrade monotonically.
     pub fn advance(&mut self, ns: Ns) {
         debug_assert!(ns >= 0.0, "negative time advance: {ns}");
-        self.now += ns;
+        if ns.is_nan() || ns < 0.0 {
+            return; // NaN or negative: refuse to rewind or poison.
+        }
+        let next = self.now + ns;
+        if next.is_finite() {
+            // `next >= self.now` holds for finite sums of non-negatives.
+            self.now = next;
+        } else {
+            self.now = f64::MAX;
+        }
     }
 
     /// Advances the clock to `t` if `t` is later than now.
+    ///
+    /// Advancing to a timestamp in the past (or to NaN) is a documented
+    /// **no-op**, not a rewind: callers synchronizing against an older
+    /// lane or event simply keep the current time.
     pub fn advance_to(&mut self, t: Ns) {
         if t > self.now {
-            self.now = t;
+            self.now = if t.is_finite() { t } else { f64::MAX };
         }
     }
 }
@@ -108,5 +127,31 @@ mod tests {
     #[should_panic(expected = "negative time advance")]
     fn negative_advance_panics_in_debug() {
         Clock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn advance_saturates_instead_of_overflowing() {
+        let mut c = Clock::new();
+        c.advance(f64::MAX);
+        c.advance(f64::MAX);
+        assert_eq!(c.now(), f64::MAX);
+        assert!(c.now().is_finite());
+        // Saturated clocks still accept (and ignore) further advances.
+        c.advance(1.0);
+        assert_eq!(c.now(), f64::MAX);
+    }
+
+    #[test]
+    fn advance_to_past_is_a_no_op() {
+        let mut c = Clock::new();
+        c.advance(100.0);
+        c.advance_to(100.0); // equal timestamp: no-op too
+        assert_eq!(c.now(), 100.0);
+        c.advance_to(-5.0);
+        assert_eq!(c.now(), 100.0);
+        c.advance_to(f64::NAN); // NaN never compares greater: no-op
+        assert_eq!(c.now(), 100.0);
+        c.advance_to(f64::INFINITY); // future but non-finite: saturates
+        assert_eq!(c.now(), f64::MAX);
     }
 }

@@ -43,6 +43,14 @@ pub struct CostModel {
     pub cap_relocate: Ns,
     /// Allocating a physical frame.
     pub page_alloc: Ns,
+    /// Zeroing one 4 KiB page (including clearing its capability tags).
+    ///
+    /// Charged only when a **recycled** frame must actually be scrubbed
+    /// before reuse; fresh frames come pre-zeroed from boot, and
+    /// allocations whose caller overwrites the whole frame (a Full-copy
+    /// fork destination) skip the zero entirely — that saved cost is what
+    /// the recycled-frame pool's deferred-zeroing policy models.
+    pub zero_page: Ns,
     /// Full TLB flush (VM switches; invalidations on unmap storms).
     pub tlb_flush: Ns,
     /// ASID rewrite on a cross-address-space context switch (Morello TLBs
@@ -121,6 +129,7 @@ impl CostModel {
             tags_load: 8.0,
             cap_relocate: 12.0,
             page_alloc: 90.0,
+            zero_page: 320.0,
             tlb_flush: 2_500.0,
             asid_switch: 150.0,
             fault_entry: 350.0,
@@ -203,6 +212,10 @@ mod tests {
         assert!(c.fork_fixed_mono < c.nephele_domain_create);
         assert!(c.pte_copy < c.pte_cow_mono);
         assert!(c.granule_check < c.page_copy);
+        // Zeroing a page is write-only: cheaper than a read+write copy,
+        // but far more than the allocator bookkeeping it piggybacks on.
+        assert!(c.zero_page < c.page_copy);
+        assert!(c.zero_page > c.page_alloc);
         // A bulk tag read must beat checking its 64 granules one by one,
         // or the fast path would be a pessimization.
         assert!(c.tags_load < 64.0 * c.granule_check);

@@ -51,6 +51,15 @@ pub struct OpCounters {
     pub isolation_violations: u64,
     /// Bytes copied for TOCTTOU protection.
     pub tocttou_bytes: u64,
+    /// Fixed-size chunks processed by the parallel fork walk.
+    pub fork_chunks: u64,
+    /// Frame allocations satisfied by stealing from another shard's pool.
+    pub alloc_steals: u64,
+    /// Frame allocations satisfied from the recycled-frame pool.
+    pub frames_recycled: u64,
+    /// Recycled-frame allocations that skipped the zeroing scrub because
+    /// the caller overwrites the whole frame (deferred-zeroing win).
+    pub zeroing_skipped: u64,
 }
 
 impl OpCounters {
@@ -81,6 +90,10 @@ impl OpCounters {
         self.execs += other.execs;
         self.isolation_violations += other.isolation_violations;
         self.tocttou_bytes += other.tocttou_bytes;
+        self.fork_chunks += other.fork_chunks;
+        self.alloc_steals += other.alloc_steals;
+        self.frames_recycled += other.frames_recycled;
+        self.zeroing_skipped += other.zeroing_skipped;
     }
 
     /// Difference `self - earlier`, for measuring a window of activity.
@@ -110,6 +123,10 @@ impl OpCounters {
             execs: self.execs - earlier.execs,
             isolation_violations: self.isolation_violations - earlier.isolation_violations,
             tocttou_bytes: self.tocttou_bytes - earlier.tocttou_bytes,
+            fork_chunks: self.fork_chunks - earlier.fork_chunks,
+            alloc_steals: self.alloc_steals - earlier.alloc_steals,
+            frames_recycled: self.frames_recycled - earlier.frames_recycled,
+            zeroing_skipped: self.zeroing_skipped - earlier.zeroing_skipped,
         }
     }
 }
@@ -136,7 +153,7 @@ impl fmt::Display for OpCounters {
             self.region_lookups,
             self.ptes_written
         )?;
-        write!(
+        writeln!(
             f,
             "syscalls: {} (traps {}, sealed {}), ctx switches: {}, forks: {}, violations: {}",
             self.syscalls,
@@ -145,6 +162,11 @@ impl fmt::Display for OpCounters {
             self.ctx_switches,
             self.forks,
             self.isolation_violations
+        )?;
+        write!(
+            f,
+            "fork chunks: {}, alloc steals: {}, frames recycled: {} (zeroing skipped {})",
+            self.fork_chunks, self.alloc_steals, self.frames_recycled, self.zeroing_skipped
         )
     }
 }
@@ -179,6 +201,29 @@ mod tests {
         };
         a.reset();
         assert_eq!(a, OpCounters::default());
+    }
+
+    #[test]
+    fn fork_parallel_family_round_trips() {
+        let a = OpCounters {
+            fork_chunks: 4,
+            alloc_steals: 1,
+            frames_recycled: 7,
+            zeroing_skipped: 6,
+            ..OpCounters::default()
+        };
+        let mut total = OpCounters::default();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.fork_chunks, 8);
+        assert_eq!(total.alloc_steals, 2);
+        assert_eq!(total.frames_recycled, 14);
+        assert_eq!(total.zeroing_skipped, 12);
+        let d = total.since(&a);
+        assert_eq!(d, a);
+        let s = total.to_string();
+        assert!(s.contains("fork chunks: 8"));
+        assert!(s.contains("frames recycled: 14"));
     }
 
     #[test]

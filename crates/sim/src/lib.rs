@@ -21,7 +21,9 @@
 mod clock;
 mod cost;
 mod counters;
+mod lanes;
 
 pub use clock::{Clock, Ns};
 pub use cost::CostModel;
 pub use counters::OpCounters;
+pub use lanes::LaneClocks;

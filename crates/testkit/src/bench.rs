@@ -46,43 +46,58 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
 
 /// Times `routine` with a fresh untimed `setup()` product per iteration.
 ///
-/// Setup runs inside the timing loop but its cost is measured separately
-/// and subtracted, keeping the reported number close to the routine alone.
-pub fn bench_with_setup<S, T>(name: &str, setup: impl FnMut() -> S, routine: impl FnMut(S) -> T) {
+/// Only the `routine(&mut s)` call sits inside the timed window; both the
+/// setup and the teardown (dropping `s`) run with the clock stopped.
+pub fn bench_with_setup<S, T>(
+    name: &str,
+    setup: impl FnMut() -> S,
+    routine: impl FnMut(&mut S) -> T,
+) {
     bench_with_setup_ns(name, setup, routine);
 }
 
-/// Like [`bench_with_setup`], but also returns the median ns/iter so the
-/// caller can post-process the result (e.g. compute speedups or emit a
-/// machine-readable `BENCH_*.json` baseline).
+/// Like [`bench_with_setup`], but also returns the best (minimum)
+/// per-sample ns/iter so the caller can post-process the result (e.g.
+/// compute speedups or emit a machine-readable `BENCH_*.json` baseline).
+///
+/// Each iteration times the routine call alone (per-call `Instant`, ~20 ns
+/// overhead — noise for the multi-microsecond routines benched here). The
+/// previous scheme timed a setup-only loop and a setup+routine loop and
+/// reported the difference; when setup dwarfs the routine (building a
+/// whole OS vs. one fork) that subtraction amplified host noise into
+/// ±40% swings, far too unstable to gate regressions on.
+///
+/// The returned statistic is the *minimum* over samples: for
+/// deterministic CPU-bound code, host interference (scheduling,
+/// frequency shifts, cache pollution from neighbours) is strictly
+/// additive, so the minimum is the most reproducible estimate of the
+/// code's own cost and the right number to gate regressions on. The
+/// median is still printed alongside for eyeballing spread.
 pub fn bench_with_setup_ns<S, T>(
     name: &str,
     mut setup: impl FnMut() -> S,
-    mut routine: impl FnMut(S) -> T,
+    mut routine: impl FnMut(&mut S) -> T,
 ) -> u64 {
     let iters = crate::env_u64("BENCH_ITERS", 0).clamp(1, 1000);
     let iters = if iters == 1 { 50 } else { iters };
-    let mut medians = Vec::new();
+    let mut per_sample = Vec::new();
     for _ in 0..samples() {
-        // Time setup alone, then setup+routine; report the difference.
-        let t0 = Instant::now();
+        let mut total_ns = 0u64;
         for _ in 0..iters {
-            black_box(setup());
+            let mut s = setup();
+            let t = Instant::now();
+            black_box(routine(&mut s));
+            total_ns += t.elapsed().as_nanos() as u64;
+            drop(s);
         }
-        let setup_ns = t0.elapsed().as_nanos() as u64 / iters;
-        let t1 = Instant::now();
-        for _ in 0..iters {
-            let s = setup();
-            black_box(routine(s));
-        }
-        let both_ns = t1.elapsed().as_nanos() as u64 / iters;
-        medians.push(both_ns.saturating_sub(setup_ns));
+        per_sample.push(total_ns / iters);
     }
-    medians.sort_unstable();
-    let median = medians[medians.len() / 2];
+    per_sample.sort_unstable();
+    let best = per_sample[0];
+    let median = per_sample[per_sample.len() / 2];
     println!(
-        "{name}: {median} ns/iter ({} samples x {iters} iters, setup subtracted)",
-        medians.len()
+        "{name}: {best} ns/iter best, {median} median ({} samples x {iters} iters, setup untimed)",
+        per_sample.len()
     );
-    median
+    best
 }

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_fork.json.
+
+Compares a freshly generated BENCH_fork.json against the committed one and
+fails (exit 1) if a metric present in *both* files regressed beyond its
+allowed fraction.
+
+Two metric families are compared, with different thresholds:
+
+* ``fork_scaling[]`` — *simulated* fork latencies, keyed by
+  ``(heap, mode)``. These are deterministic and machine-independent
+  (same seed + worker count => bit-identical ns on any host), so the
+  strict threshold (default 15%) applies: any drift is a real cost-model
+  or walk-code change.
+* ``results[]`` — host wall-clock best-of-samples, keyed by ``name``.
+  These depend on the machine that produced them; the committed baseline
+  and a CI runner are different hardware, and even same-host runs swing
+  by double-digit percentages. The host threshold (default +200%) is a
+  catastrophic-regression backstop only — e.g. an accidental
+  O(n) -> O(n^2), not micro-drift.
+
+Metrics present in only one file (added or retired benches) are reported
+but never fail the gate.
+
+Usage:
+    bench_gate.py COMMITTED_JSON FRESH_JSON [--max-regress 0.15]
+                  [--max-regress-host 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def results_map(doc):
+    # "best_ns" (min over samples) since schema v2; older files carried
+    # the noisier "median_ns".
+    return {
+        r["name"]: float(r.get("best_ns", r.get("median_ns")))
+        for r in doc.get("results", [])
+    }
+
+
+def scaling_map(doc):
+    return {
+        (r["heap"], r["mode"]): float(r["sim_fork_ns"])
+        for r in doc.get("fork_scaling", [])
+    }
+
+
+def compare(kind, old, new, max_regress):
+    """Returns the list of failure strings for one metric family."""
+    failures = []
+    for key in sorted(old.keys() | new.keys(), key=str):
+        label = key if isinstance(key, str) else "/".join(key)
+        if key not in old:
+            print(f"  [new]  {kind} {label}: {new[key]:.0f} ns (no baseline)")
+            continue
+        if key not in new:
+            print(f"  [gone] {kind} {label}: baseline {old[key]:.0f} ns")
+            continue
+        before, after = old[key], new[key]
+        ratio = after / before if before > 0 else 1.0
+        verdict = "ok"
+        if ratio > 1.0 + max_regress:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{kind} {label}: {before:.0f} ns -> {after:.0f} ns "
+                f"(+{(ratio - 1.0) * 100:.1f}%, limit +{max_regress * 100:.0f}%)"
+            )
+        print(
+            f"  [{verdict:>4}] {kind} {label}: "
+            f"{before:.0f} -> {after:.0f} ns ({(ratio - 1.0) * 100:+.1f}%)"
+        )
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("committed", help="baseline BENCH_fork.json (from the repo)")
+    ap.add_argument("fresh", help="freshly generated BENCH_fork.json")
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.15,
+        help="max fractional regression for deterministic simulated metrics "
+        "(default 0.15 = +15%%)",
+    )
+    ap.add_argument(
+        "--max-regress-host",
+        type=float,
+        default=2.0,
+        help="max fractional regression for host wall-clock metrics "
+        "(default 2.0 = +200%%; backstop against catastrophic blowups, "
+        "host numbers are not comparable across machines at fine grain)",
+    )
+    args = ap.parse_args()
+
+    old_doc, new_doc = load(args.committed), load(args.fresh)
+    failures = []
+    failures += compare(
+        "fork_scaling",
+        scaling_map(old_doc),
+        scaling_map(new_doc),
+        args.max_regress,
+    )
+    failures += compare(
+        "results",
+        results_map(old_doc),
+        results_map(new_doc),
+        args.max_regress_host,
+    )
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed beyond the gate:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nbench gate: no shared metric regressed beyond its threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
