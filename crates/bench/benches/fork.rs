@@ -17,10 +17,11 @@ use ufork::reloc::{relocate_frame, ScanMode};
 use ufork::{UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_baselines::{mono, nephele, BaselineConfig};
-use ufork_bench::{fork_scaling_sweep, ScalingRow};
+use ufork_bench::{fork_scaling_sweep, trace_fork_runs, ScalingRow, TracedFork};
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::{Ctx, MemOs};
 use ufork_mem::PhysMem;
+use ufork_sim::DEFAULT_TRACE_CAPACITY;
 use ufork_testkit::bench::bench_with_setup_ns;
 use ufork_vmem::{Region, VirtAddr};
 
@@ -115,6 +116,50 @@ fn main() {
         results.push((format!("fork/ufork/{strategy:?}"), ns));
     }
 
+    // Trace-layer overhead guard: every Ctx now carries a TraceBuf, and
+    // the disabled path must cost nothing beyond one untaken branch per
+    // charge. The `fork/ufork/Full` bench above IS the disabled-trace
+    // number (gated against the pre-trace baseline by bench_gate.py); on
+    // top of that, assert in-process that it does not measurably exceed
+    // the *enabled*-trace fork — if the disabled path ever started doing
+    // tracing work, the two would converge and this still holds, so also
+    // record the enabled run for the JSON trajectory and eyeballs.
+    let full_off_ns = results
+        .iter()
+        .find(|(n, _)| n == "fork/ufork/Full")
+        .expect("Full fork result")
+        .1;
+    let full_on_ns = bench_with_setup_ns(
+        "fork/ufork/Full/trace_on",
+        || {
+            let cfg = UforkConfig {
+                phys_mib: 128,
+                strategy: CopyStrategy::Full,
+                ..UforkConfig::default()
+            };
+            let mut os = UforkOs::new(cfg);
+            let mut ctx = Ctx::new();
+            os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+                .unwrap();
+            os
+        },
+        |os| {
+            let mut ctx = Ctx::traced(DEFAULT_TRACE_CAPACITY);
+            os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
+            black_box(ctx.trace.phase_sum())
+        },
+    );
+    results.push(("fork/ufork/Full/trace_on".to_string(), full_on_ns));
+    let trace_overhead = full_on_ns as f64 / full_off_ns.max(1) as f64;
+    println!(
+        "fork/ufork/Full tracing overhead: {trace_overhead:.2}x (off {full_off_ns} ns -> on {full_on_ns} ns)"
+    );
+    assert!(
+        full_off_ns as f64 <= full_on_ns as f64 * 1.25,
+        "disabled-trace fork ({full_off_ns} ns) measurably slower than traced fork \
+         ({full_on_ns} ns): the disabled path must be a single untaken branch"
+    );
+
     // The tentpole comparison: an eager-copy fork at the end of a forking
     // lineage, naive pipeline vs. tag-summary fast path.
     let mut lineage_ns = [0u64; 2];
@@ -192,12 +237,25 @@ fn main() {
     );
 
     let (scaling, scaling_speedup) = run_scaling();
+    // Per-phase simulated totals from the trace layer: exactly
+    // reproducible, so bench_gate.py gates them like fork_scaling rows.
+    let phases = trace_fork_runs();
+    for r in &phases {
+        println!(
+            "fork_phases/{}: {:.0} ns simulated end-to-end across {} phases",
+            r.name,
+            r.end_to_end_ns,
+            r.buf.phases().len()
+        );
+    }
     write_json(
         &results,
         sparse_speedup,
         lineage_speedup,
+        trace_overhead,
         &scaling,
         scaling_speedup,
+        &phases,
     );
 }
 
@@ -258,8 +316,10 @@ fn write_json(
     results: &[(String, u64)],
     sparse_speedup: f64,
     lineage_speedup: f64,
+    trace_overhead: f64,
     scaling: &[ScalingRow],
     scaling_speedup: f64,
+    phases: &[TracedFork],
 ) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_fork.json");
@@ -285,8 +345,20 @@ fn write_json(
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let phase_rows = phases
+        .iter()
+        .flat_map(|r| {
+            r.buf.phases().iter().map(move |p| {
+                format!(
+                    "    {{\"mode\": \"{}\", \"phase\": \"{}\", \"sim_total_ns\": {:.1}, \"spans\": {}}}",
+                    r.name, p.name, p.total_ns, p.count
+                )
+            })
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let body = format!(
-        "{{\n  \"schema\": \"ufork-bench-fork/v2\",\n  \"unit\": \"ns/iter (median, setup subtracted)\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse_speedup:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage_speedup:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2}\n  }}\n}}\n"
+        "{{\n  \"schema\": \"ufork-bench-fork/v3\",\n  \"unit\": \"ns/iter (median, setup subtracted)\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse_speedup:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage_speedup:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace_overhead:.2}\n  }}\n}}\n"
     );
     match std::fs::write(&path, body) {
         Ok(()) => println!("wrote {}", path.display()),

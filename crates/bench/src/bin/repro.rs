@@ -3,19 +3,25 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|fig3|...|fig9|ablations|scaling|all] [--quick]
+//! repro [table1|fig3|...|fig9|ablations|scaling|trace|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks iteration counts / windows (CI-friendly); the default
 //! runs the paper's parameters. All times are *simulated* (see DESIGN.md).
+//!
+//! `trace` is not part of `all`: besides printing the per-phase fork
+//! breakdown it writes `TRACE_fork.json` at the repo root and rewrites the
+//! marker-delimited trace section of `EXPERIMENTS.md`.
 
 use std::env;
+use std::fs;
+use std::path::Path;
 
 use ufork_bench::report::{num, render_table, size_label};
 use ufork_bench::{
     ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep,
     ablation_naive_scan, fig6, fig7, fig8, fig9, fork_scaling_sweep, redis_sweep, table1,
-    AblationRow, RedisRow,
+    trace_chrome_json, trace_fork_runs, trace_summary_text, AblationRow, RedisRow,
 };
 
 fn print_ablation(title: &str, rows: &[AblationRow]) {
@@ -91,6 +97,52 @@ fn print_redis(rows: &[RedisRow], metric: &str) {
         })
         .collect();
     println!("{}", render_table(&headers_ref, &body));
+}
+
+/// Rewrites the `<!-- trace:begin -->` … `<!-- trace:end -->` block of
+/// `EXPERIMENTS.md` with the freshly measured per-phase summary.
+fn update_experiments(path: &Path, summary: &str) {
+    const BEGIN: &str = "<!-- trace:begin -->";
+    const END: &str = "<!-- trace:end -->";
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!(
+                "warning: {} not found, skipping doc refresh",
+                path.display()
+            );
+            return;
+        }
+    };
+    let (Some(b), Some(e)) = (text.find(BEGIN), text.find(END)) else {
+        eprintln!(
+            "warning: trace markers missing in {}, skipping doc refresh",
+            path.display()
+        );
+        return;
+    };
+    if e < b {
+        eprintln!("warning: malformed trace markers in {}", path.display());
+        return;
+    }
+    let new = format!("{}{BEGIN}\n\n{}{}", &text[..b], summary, &text[e..]);
+    fs::write(path, new).expect("rewrite EXPERIMENTS.md");
+    println!("updated {} (trace section)", path.display());
+}
+
+/// `repro trace`: per-phase fork-latency breakdown from the
+/// simulated-time trace layer (paper-style, in place of PMU counters).
+fn run_trace() {
+    println!("== Per-phase fork-latency breakdown (simulated-time trace) ==");
+    let runs = trace_fork_runs();
+    let summary = trace_summary_text(&runs);
+    print!("{summary}");
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let json_path = root.join("TRACE_fork.json");
+    fs::write(&json_path, trace_chrome_json(&runs)).expect("write TRACE_fork.json");
+    println!("wrote {}", json_path.display());
+    update_experiments(&root.join("EXPERIMENTS.md"), &summary);
 }
 
 fn main() {
@@ -236,6 +288,9 @@ fn main() {
             );
             println!();
         }
+    }
+    if what == "trace" {
+        run_trace();
     }
     if all || what == "fig9" {
         println!("== Figure 9: Unixbench Spawn and Context1 ==");

@@ -8,6 +8,8 @@
 pub mod ablations;
 pub mod experiments;
 pub mod report;
+pub mod trace_exp;
 
 pub use ablations::*;
 pub use experiments::*;
+pub use trace_exp::*;

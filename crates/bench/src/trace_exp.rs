@@ -1,0 +1,177 @@
+//! The `repro trace` experiment: the paper-style per-phase fork-latency
+//! breakdown, produced from the simulated-time trace layer
+//! (`ufork_sim::trace`) instead of Morello PMU counters.
+//!
+//! Each run forks the fork-scaling workload (cap-dense heap,
+//! [`crate::SCALING_PAGES`] pages, Full-copy strategy) on a **fresh
+//! traced context**, so the trace's charge accumulator is bitwise equal
+//! to the fork's end-to-end simulated kernel time — asserted here on
+//! every run, and re-validated structurally by the CI trace-smoke job on
+//! the exported JSON.
+
+use ufork::{UforkConfig, UforkOs, WalkMode};
+use ufork_abi::{CopyStrategy, ImageSpec, Pid};
+use ufork_exec::{Ctx, MemOs};
+use ufork_mem::PAGE_SIZE;
+use ufork_sim::{
+    chrome_trace_json, summary_table, OpCounters, TraceBuf, TraceRun, DEFAULT_TRACE_CAPACITY,
+};
+
+use crate::SCALING_PAGES;
+
+/// One traced fork: the recorded buffer plus the independently measured
+/// end-to-end simulated time and the fork's counter deltas.
+pub struct TracedFork {
+    /// Run label: `"serial"` or `"parN"`.
+    pub name: String,
+    /// Walk workers (0 = serial walk).
+    pub workers: usize,
+    /// End-to-end simulated fork latency (kernel ns) on the fresh
+    /// context that fed the trace.
+    pub end_to_end_ns: f64,
+    /// The recorded trace.
+    pub buf: TraceBuf,
+    /// Counters accumulated by the fork.
+    pub counters: OpCounters,
+}
+
+/// Forks the scaling workload under `walk` with tracing enabled.
+///
+/// # Panics
+///
+/// Panics if the trace's same-order charge accumulator is not bitwise
+/// equal to the fork's `kernel_ns` — the exactness contract the whole
+/// phase breakdown rests on.
+pub fn trace_fork_run(walk: WalkMode) -> TracedFork {
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 256,
+        strategy: CopyStrategy::Full,
+        walk,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    let img = ImageSpec::with_heap("scaling", SCALING_PAGES * PAGE_SIZE + (256 << 10));
+    os.spawn(&mut ctx, Pid(1), &img).expect("spawn trace");
+    let heap_bytes = SCALING_PAGES * PAGE_SIZE;
+    let arr = os.malloc(&mut ctx, Pid(1), heap_bytes).expect("heap");
+    let mut off = 0;
+    while off < heap_bytes {
+        let slot = arr.with_addr(arr.base() + off).expect("slot");
+        os.store_cap(&mut ctx, Pid(1), &slot, &slot)
+            .expect("store cap");
+        off += 32;
+    }
+    os.set_reg(Pid(1), 4, arr).expect("reg");
+
+    // A fresh context makes kernel_ns start at zero, so its final value
+    // is the same ordered sum of charges the trace accumulated.
+    let mut fctx = Ctx::traced(DEFAULT_TRACE_CAPACITY);
+    os.fork(&mut fctx, Pid(1), Pid(2)).expect("fork trace");
+    assert_eq!(
+        fctx.kernel_ns.to_bits(),
+        fctx.trace.charged_total().to_bits(),
+        "trace charge accumulator must equal fork kernel time bitwise"
+    );
+    let (workers, name) = match walk {
+        WalkMode::Serial => (0, "serial".to_string()),
+        WalkMode::Parallel(n) => (n.max(1), format!("par{}", n.max(1))),
+    };
+    TracedFork {
+        name,
+        workers,
+        end_to_end_ns: fctx.kernel_ns,
+        buf: fctx.trace,
+        counters: fctx.counters,
+    }
+}
+
+/// The traced runs exported by `repro trace` and gated by CI: the serial
+/// walk and the widest parallel walk.
+pub fn trace_fork_runs() -> Vec<TracedFork> {
+    vec![
+        trace_fork_run(WalkMode::Serial),
+        trace_fork_run(WalkMode::Parallel(8)),
+    ]
+}
+
+/// Renders the runs as Chrome trace-event JSON (run *i* = Chrome pid
+/// *i*). Byte-identical across invocations with the same configuration.
+pub fn trace_chrome_json(runs: &[TracedFork]) -> String {
+    let trs: Vec<TraceRun<'_>> = runs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| TraceRun {
+            name: &r.name,
+            pid: i as u32,
+            buf: &r.buf,
+            end_to_end_ns: r.end_to_end_ns,
+        })
+        .collect();
+    chrome_trace_json(&trs)
+}
+
+/// Renders the per-phase histogram summaries as a markdown-friendly
+/// block (also printed by `repro trace`).
+pub fn trace_summary_text(runs: &[TracedFork]) -> String {
+    let mut out = String::new();
+    for r in runs {
+        out.push_str(&format!(
+            "### {} walk — fork {:.1} µs (simulated)\n\n```\n{}```\n\n",
+            r.name,
+            r.end_to_end_ns / 1e3,
+            summary_table(&r.buf)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_serial_fork_phases_tile_end_to_end() {
+        let r = trace_fork_run(WalkMode::Serial);
+        // Exact by construction (asserted inside the run); the phase-sum
+        // regrouping only differs by f64 re-association.
+        let sum = r.buf.phase_sum();
+        assert!(
+            (sum - r.end_to_end_ns).abs() <= 1e-9 * r.end_to_end_ns,
+            "phase sum {sum} vs end-to-end {}",
+            r.end_to_end_ns
+        );
+        // The fork pipeline phases all show up.
+        for phase in [
+            "fork/fixed",
+            "fork/region",
+            "fork/walk/pte",
+            "fork/walk/copy",
+            "fork/walk/reloc",
+            "fork/walk/cow_arm",
+            "fork/regs",
+            "fork/commit",
+        ] {
+            assert!(
+                r.buf.phases().iter().any(|p| p.name == phase),
+                "missing phase {phase}"
+            );
+        }
+        assert_eq!(r.buf.instant_count("gate/enter"), 0, "direct fork, no gate");
+    }
+
+    #[test]
+    fn traced_parallel_fork_is_deterministic_and_has_lane_spans() {
+        let a = trace_fork_run(WalkMode::Parallel(4));
+        let b = trace_fork_run(WalkMode::Parallel(4));
+        assert_eq!(
+            a.end_to_end_ns.to_bits(),
+            b.end_to_end_ns.to_bits(),
+            "same seed + workers ⇒ bit-identical simulated time"
+        );
+        let ja = trace_chrome_json(&[a]);
+        let jb = trace_chrome_json(&[b]);
+        assert_eq!(ja, jb, "byte-identical export");
+        assert!(ja.contains("fork/chunk"), "lane spans recorded");
+        assert!(ja.contains("fork/walk/par"), "parallel phase recorded");
+    }
+}

@@ -50,25 +50,46 @@ impl UforkOs {
         kind: AccessKind,
     ) -> SysResult<ufork_vmem::Pte> {
         // At most: one strategy fault + one residual CoW fault.
+        let mut last: Option<Fault> = None;
         for _ in 0..4 {
             let Some(pte) = self.pt.lookup(va.vpn()) else {
                 return Err(Errno::Fault);
             };
             // Peek the tag for capability loads: LC_FAULT only fires when
-            // the loaded granule is actually tagged (paper §4.2).
-            let tagged = kind == AccessKind::CapLoad
-                && self
-                    .pm
+            // the loaded granule is actually tagged (paper §4.2). The peek
+            // is a real hardware tag read, costed like any other tag load
+            // so CapLoad-heavy workloads aren't undercosted relative to
+            // the CLoadTags model.
+            let tagged = if kind == AccessKind::CapLoad {
+                ctx.kernel(self.cost.tags_load);
+                self.pm
                     .load_cap(pte.pfn, va.granule_align_down().page_offset())
                     .ok()
                     .flatten()
-                    .is_some();
+                    .is_some()
+            } else {
+                false
+            };
             match self.pt.translate(va, kind, tagged) {
                 Ok(pte) => return Ok(pte),
-                Err(f) if f.is_transparent() => self.resolve_fault(ctx, pid, f)?,
+                Err(f) if f.is_transparent() => {
+                    last = Some(f);
+                    self.resolve_fault(ctx, pid, f)?;
+                }
                 Err(_) => return Err(Errno::Fault),
             }
         }
+        // Retry budget exhausted: a kernel invariant breach, since
+        // `resolve_fault` maps the segment's final flags and a resolved
+        // page cannot fault transparently again. Count it (and name the
+        // unresolved fault in debug builds) so it is distinguishable from
+        // an ordinary permission refusal.
+        ctx.counters.fault_retries_exhausted += 1;
+        debug_assert!(
+            last.is_none(),
+            "fault retry budget exhausted for {kind:?} at {va:?}: \
+             last transparent fault {last:?} did not resolve"
+        );
         Err(Errno::Fault)
     }
 
@@ -76,12 +97,29 @@ impl UforkOs {
     /// reclaiming) the page and relocating its capabilities (paper §4.2,
     /// "the copy follows three steps").
     pub(crate) fn resolve_fault(&mut self, ctx: &mut Ctx, pid: Pid, fault: Fault) -> SysResult<()> {
+        let r = self.resolve_fault_inner(ctx, pid, fault);
+        // Close whatever fault phase is open, on success and error alike.
+        ctx.phase_end();
+        r
+    }
+
+    fn resolve_fault_inner(&mut self, ctx: &mut Ctx, pid: Pid, fault: Fault) -> SysResult<()> {
         match fault {
-            Fault::Cow { .. } => ctx.counters.cow_faults += 1,
-            Fault::CoAccess { .. } => ctx.counters.coa_faults += 1,
-            Fault::CapLoad { .. } => ctx.counters.cap_load_faults += 1,
+            Fault::Cow { .. } => {
+                ctx.counters.cow_faults += 1;
+                ctx.instant("fault/cow");
+            }
+            Fault::CoAccess { .. } => {
+                ctx.counters.coa_faults += 1;
+                ctx.instant("fault/coa");
+            }
+            Fault::CapLoad { .. } => {
+                ctx.counters.cap_load_faults += 1;
+                ctx.instant("fault/capload");
+            }
             _ => return Err(Errno::Fault),
         }
+        ctx.phase("fault/entry");
         ctx.kernel(self.cost.fault_entry);
         let va = fault.va();
         let vpn = va.vpn();
@@ -94,16 +132,29 @@ impl UforkOs {
         let refcount = self.pm.refcount(pte.pfn).map_err(|_| Errno::Fault)?;
         let pfn = if refcount > 1 {
             // Step 1+2: point the child PTE at a fresh frame and copy.
+            ctx.phase("fault/copy");
             let new = self.pm.alloc_frame().map_err(|_| Errno::NoMem)?;
-            self.pm.copy_frame(pte.pfn, new).map_err(|_| Errno::Fault)?;
-            self.pm.dec_ref(pte.pfn).map_err(|_| Errno::Fault)?;
+            if self.pm.copy_frame(pte.pfn, new).is_err() {
+                // The fresh frame must not leak when the copy fails: drop
+                // our only reference so the allocator reclaims it. The
+                // PTE still points at the intact shared frame, so a retry
+                // of the access can succeed.
+                let _ = self.pm.dec_ref(new);
+                return Err(Errno::Fault);
+            }
+            if self.pm.dec_ref(pte.pfn).is_err() {
+                let _ = self.pm.dec_ref(new);
+                return Err(Errno::Fault);
+            }
             ctx.kernel(self.cost.page_alloc + self.cost.page_copy);
             ctx.counters.pages_copied += 1;
             new
         } else {
             // Last sharer: reclaim in place (no copy needed).
+            ctx.counters.pages_reclaimed += 1;
             pte.pfn
         };
+        ctx.phase("fault/pte");
         self.pt.map(vpn, pfn, final_flags);
         ctx.kernel(self.cost.pte_write);
         ctx.counters.ptes_written += 1;
@@ -112,6 +163,7 @@ impl UforkOs {
         // resolved copy; under the tag-summary fast path an untagged page
         // costs four bulk tag reads and nothing more, and for parent-side
         // CoW faults it finds nothing to fix up.
+        ctx.phase("fault/reloc");
         let root = self.proc(pid)?.root;
         let mode = self.scan;
         let stats = match mode {

@@ -49,6 +49,7 @@ impl UforkOs {
     pub(crate) fn fork_uproc(&mut self, ctx: &mut Ctx, parent: Pid, child: Pid) -> SysResult<()> {
         // Fixed path: task struct, PID allocation, fd duplication hooks,
         // thread creation, scheduler insertion (paper §3.5 step 2).
+        ctx.phase("fork/fixed");
         ctx.kernel(self.cost.fork_fixed_ufork);
 
         let (p_region, layout, p_regs, p_shm_next, p_mmap_next) = {
@@ -68,6 +69,7 @@ impl UforkOs {
         let meta_used_bytes = 64 + blocks_used * crate::layout::BLOCK_DESC_BYTES;
 
         // Reserve the child's contiguous region.
+        ctx.phase("fork/region");
         let c_region = self
             .regions
             .alloc(layout.region_len())
@@ -90,6 +92,7 @@ impl UforkOs {
 
         // Relocate the register file (paper §3.5 step 2: "any absolute
         // memory references contained in registers are relocated").
+        ctx.phase("fork/regs");
         let mut c_regs = p_regs;
         {
             let naive_sources = (self.scan == ScanMode::Naive).then(|| self.source_regions());
@@ -133,6 +136,7 @@ impl UforkOs {
         }
         ctx.counters.region_lookups += self.region_index.take_lookups();
 
+        ctx.phase("fork/commit");
         self.procs.insert(
             child,
             UProc {
@@ -218,6 +222,7 @@ impl UforkOs {
             };
 
             'walk: for (vpn, pte) in pt.range(start, end) {
+                ctx.phase("fork/walk/pte");
                 let off = vpn.base().0 - p_region.base.0;
                 let seg = layout.segment_of(off);
                 let c_vpn = VirtAddr(c_region.base.0 + off).vpn();
@@ -256,6 +261,7 @@ impl UforkOs {
                             break 'walk;
                         }
                     };
+                    ctx.phase("fork/walk/pte");
                     child_batch.push((
                         c_vpn,
                         Pte {
@@ -332,6 +338,7 @@ impl UforkOs {
         }
 
         ctx.counters.ptes_written += self.pt.extend_sorted(child_batch);
+        ctx.phase("fork/walk/cow_arm");
         let armed = self.pt.protect_many(cow_arm, PteFlags::COW);
         ctx.kernel(self.cost.pte_protect * armed as f64);
         ctx.counters.region_lookups += self.region_index.take_lookups();
@@ -365,6 +372,7 @@ impl UforkOs {
 
         let result = (|| -> SysResult<()> {
             for &(vpn, pte) in &mapped {
+                ctx.phase("fork/walk/pte");
                 let off = vpn.base().0 - p_region.base.0;
                 let seg = layout.segment_of(off);
                 let c_vpn = VirtAddr(c_region.base.0 + off).vpn();
@@ -394,6 +402,7 @@ impl UforkOs {
                         mode: ScanMode::Naive,
                     };
                     let new = copy_page_for_child(&mut self.pm, &self.cost, ctx, pte.pfn, &target)?;
+                    ctx.phase("fork/walk/pte");
                     self.pt.map(c_vpn, new, final_flags);
                     ctx.kernel(self.cost.pte_write);
                     if self.isolation.validates_syscalls() {
@@ -427,6 +436,7 @@ impl UforkOs {
                 ctx.counters.ptes_written += 1;
 
                 if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
+                    ctx.phase("fork/walk/cow_arm");
                     if let Some(ppte) = self.pt.lookup_mut(vpn) {
                         ppte.flags = ppte.flags.with(PteFlags::COW);
                     }
@@ -473,6 +483,7 @@ fn copy_page_for_child(
     src: Pfn,
     target: &RelocTarget<'_>,
 ) -> SysResult<Pfn> {
+    ctx.phase("fork/walk/copy");
     let new = pm.alloc_frame().map_err(|_| Errno::NoMem)?;
     if pm.copy_frame(src, new).is_err() {
         let _ = pm.dec_ref(new);
@@ -480,6 +491,7 @@ fn copy_page_for_child(
     }
     ctx.kernel(cost.page_alloc + cost.page_copy);
     ctx.counters.pages_copied += 1;
+    ctx.phase("fork/walk/reloc");
     let stats = relocate_frame(
         pm,
         new,

@@ -143,6 +143,7 @@ impl UforkOs {
             let cost = &self.cost;
 
             'walk: for (vpn, pte) in pt.range(start, end) {
+                ctx.phase("fork/walk/pte");
                 let off = vpn.base().0 - p_region.base.0;
                 let seg = layout.segment_of(off);
                 let c_vpn = VirtAddr(c_region.base.0 + off).vpn();
@@ -185,12 +186,15 @@ impl UforkOs {
                     };
                     if grant.recycled {
                         ctx.counters.frames_recycled += 1;
+                        ctx.instant("alloc/recycle");
                     }
                     if grant.zeroing_skipped {
                         ctx.counters.zeroing_skipped += 1;
+                        ctx.instant("alloc/zero_skip");
                     }
                     if grant.stolen {
                         ctx.counters.alloc_steals += 1;
+                        ctx.instant("alloc/steal");
                     }
                     child_batch.push((
                         c_vpn,
@@ -348,10 +352,23 @@ impl UforkOs {
         // host completion order: simulated time must be a pure function
         // of the inputs.
         results.sort_by_key(|(i, _)| *i);
+        ctx.phase("fork/walk/par");
+        // Lane timelines start where the main (kernel) clock stands when
+        // the parallel section is entered; each chunk's span begins at its
+        // lane's simulated clock and runs for the chunk's cost. Both are
+        // pure functions of chunk order and worker count — host
+        // scheduling cannot perturb the trace.
+        let par_base = ctx.kernel_ns;
         let mut lanes = LaneClocks::new(workers);
         let mut total_stats = RelocStats::default();
         let mut total_lookups = 0u64;
         for (i, co) in &results {
+            ctx.lane_span(
+                "fork/chunk",
+                (*i % workers) as u32,
+                par_base + lanes.lane(*i),
+                co.cost,
+            );
             lanes.charge(*i, co.cost);
             merge_stats(&mut total_stats, &co.stats);
             total_lookups += co.lookups;
@@ -367,6 +384,7 @@ impl UforkOs {
         ctx.counters.region_lookups += total_lookups;
 
         ctx.counters.ptes_written += self.pt.extend_sorted(child_batch);
+        ctx.phase("fork/walk/cow_arm");
         let armed = self.pt.protect_many(cow_arm, PteFlags::COW);
         ctx.kernel(self.cost.pte_protect * armed as f64);
         ctx.counters.region_lookups += self.region_index.take_lookups();

@@ -9,6 +9,7 @@
 //! the exception cost.
 
 use ufork_cheri::{CapError, Capability, OType, Perms};
+use ufork_exec::Ctx;
 
 /// The kernel's system-call gate.
 ///
@@ -71,6 +72,19 @@ impl SyscallGate {
         unsealed.check_access(self.handler_addr, 4, Perms::EXECUTE)?;
         Ok(())
     }
+
+    /// [`SyscallGate::enter`] with trace markers: accepted invocations
+    /// record a `gate/enter` instant on `ctx`'s sink, refused ones a
+    /// `gate/reject`. Identical verification either way.
+    pub fn enter_traced(&self, ctx: &mut Ctx, entry: &Capability) -> Result<(), CapError> {
+        let r = self.enter(entry);
+        ctx.instant(if r.is_ok() {
+            "gate/enter"
+        } else {
+            "gate/reject"
+        });
+        r
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +109,17 @@ mod tests {
         let entry = gate.user_entry();
         // Retargeting the entry point fails: sealed caps are frozen.
         assert!(entry.with_addr(0xffff_0000_2000).is_err());
+    }
+
+    #[test]
+    fn traced_entry_records_accept_and_reject_instants() {
+        let gate = SyscallGate::new(&kernel_text(), 0xffff_0000_1000).unwrap();
+        let mut ctx = Ctx::traced(16);
+        gate.enter_traced(&mut ctx, &gate.user_entry()).unwrap();
+        let forged = kernel_text().with_addr(0xffff_0000_1000).unwrap();
+        assert!(gate.enter_traced(&mut ctx, &forged).is_err());
+        assert_eq!(ctx.trace.instant_count("gate/enter"), 1);
+        assert_eq!(ctx.trace.instant_count("gate/reject"), 1);
     }
 
     #[test]

@@ -184,6 +184,25 @@ impl UforkOs {
         self.pm.clear_alloc_failure();
     }
 
+    /// Total frame-copy attempts since boot (successful or not), the
+    /// index space for [`UforkOs::inject_frame_copy_failure`].
+    pub fn frame_copy_attempts(&self) -> u64 {
+        self.pm.copy_attempts()
+    }
+
+    /// Arms deterministic copy-failure injection: frame-copy attempt
+    /// number `attempt` (0-based since boot) fails as if the destination
+    /// frame were poisoned. One-shot. Reaches the eager fork copies and
+    /// CoW/CoA/CoPA fault resolution.
+    pub fn inject_frame_copy_failure(&mut self, attempt: u64) {
+        self.pm.fail_copy_at(attempt);
+    }
+
+    /// Disarms frame-copy fault injection.
+    pub fn clear_frame_copy_failure(&mut self) {
+        self.pm.clear_copy_failure();
+    }
+
     /// Cumulative sharded-allocator statistics (also surfaced per-process
     /// through [`MemStats::alloc`] via [`MemOs::mem_stats`]).
     pub fn alloc_shard_stats(&self) -> ufork_mem::ShardStats {
@@ -423,7 +442,11 @@ impl MemOs for UforkOs {
     }
 
     fn fork(&mut self, ctx: &mut Ctx, parent: Pid, child: Pid) -> SysResult<()> {
-        self.fork_uproc(ctx, parent, child)
+        let r = self.fork_uproc(ctx, parent, child);
+        // Close whatever fork phase is open, on success and error alike,
+        // so post-fork charges never inherit a fork phase.
+        ctx.phase_end();
+        r
     }
 
     fn destroy(&mut self, ctx: &mut Ctx, pid: Pid) {

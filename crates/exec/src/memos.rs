@@ -134,8 +134,10 @@ pub fn charge_syscall<O: MemOs + ?Sized>(os: &O, ctx: &mut Ctx, buffer_bytes: u6
     ctx.counters.syscalls += 1;
     if os.syscall_is_trap() {
         ctx.counters.traps += 1;
+        ctx.instant("gate/trap");
     } else {
         ctx.counters.sealed_entries += 1;
+        ctx.instant("gate/enter");
     }
     let iso = os.isolation();
     if iso.validates_syscalls() {

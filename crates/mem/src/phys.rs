@@ -114,6 +114,8 @@ pub struct PhysMem {
     peak_allocated: u32,
     alloc_attempts: u64,
     fail_at_attempt: Option<u64>,
+    copy_attempts: u64,
+    fail_copy_at: Option<u64>,
     stats: ShardStats,
     /// Probe start for the single-lane [`PhysMem::alloc_frame`] entry
     /// point: the shard that received the most recent free. Starting
@@ -136,6 +138,8 @@ impl PhysMem {
             peak_allocated: 0,
             alloc_attempts: 0,
             fail_at_attempt: None,
+            copy_attempts: 0,
+            fail_copy_at: None,
             stats: ShardStats::default(),
             legacy_cursor: 0,
         }
@@ -179,6 +183,26 @@ impl PhysMem {
     /// Disarms fault injection.
     pub fn clear_alloc_failure(&mut self) {
         self.fail_at_attempt = None;
+    }
+
+    /// Total `copy_frame` attempts so far (successful or not), counted
+    /// like [`PhysMem::alloc_attempts`] for replay-style fault injection.
+    pub fn copy_attempts(&self) -> u64 {
+        self.copy_attempts
+    }
+
+    /// Arms deterministic copy-failure injection: the `copy_frame` call
+    /// with index `attempt` (0-based from boot, see
+    /// [`PhysMem::copy_attempts`]) fails with `BadFrame(dst)` — modeling
+    /// a poisoned/ECC-failed destination frame. One-shot: the trigger
+    /// disarms after firing so a retry can succeed.
+    pub fn fail_copy_at(&mut self, attempt: u64) {
+        self.fail_copy_at = Some(attempt);
+    }
+
+    /// Disarms copy-failure injection.
+    pub fn clear_copy_failure(&mut self) {
+        self.fail_copy_at = None;
     }
 
     /// Allocates a zeroed frame with refcount 1.
@@ -407,6 +431,12 @@ impl PhysMem {
 
     /// Copies `src`'s data and tags into `dst` (both must be allocated).
     pub fn copy_frame(&mut self, src: Pfn, dst: Pfn) -> Result<(), MemError> {
+        let attempt = self.copy_attempts;
+        self.copy_attempts += 1;
+        if self.fail_copy_at == Some(attempt) {
+            self.fail_copy_at = None;
+            return Err(MemError::BadFrame(dst));
+        }
         if src == dst {
             return Ok(());
         }
@@ -645,6 +675,27 @@ mod tests {
         pm.fail_alloc_at(0);
         pm.clear_alloc_failure();
         assert!(pm.alloc_frame().is_ok());
+    }
+
+    #[test]
+    fn injected_copy_failure_is_one_shot_and_leaves_frames_intact() {
+        let mut pm = PhysMem::new(4);
+        let a = pm.alloc_frame().unwrap();
+        let b = pm.alloc_frame().unwrap();
+        pm.write(a, 0, b"keep").unwrap();
+        pm.copy_frame(a, b).unwrap();
+        assert_eq!(pm.copy_attempts(), 1);
+        pm.fail_copy_at(1);
+        assert_eq!(pm.copy_frame(a, b).unwrap_err(), MemError::BadFrame(b));
+        // One-shot: the retry succeeds, and the source was never harmed.
+        pm.copy_frame(a, b).unwrap();
+        let mut out = [0u8; 4];
+        pm.read(b, 0, &mut out).unwrap();
+        assert_eq!(&out, b"keep");
+        assert_eq!(pm.copy_attempts(), 3);
+        pm.fail_copy_at(99);
+        pm.clear_copy_failure();
+        assert!(pm.copy_frame(b, a).is_ok());
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct OpCounters {
     pub coa_faults: u64,
     /// Capability-load (CoPA) faults resolved.
     pub cap_load_faults: u64,
+    /// User accesses that exhausted the transparent-fault retry budget
+    /// without resolving (a kernel invariant breach; should stay 0).
+    pub fault_retries_exhausted: u64,
+    /// Fault resolutions that reclaimed the frame in place (refcount was
+    /// already 1, so no copy was needed).
+    pub pages_reclaimed: u64,
     /// Capabilities relocated into a child region.
     pub caps_relocated: u64,
     /// Granules scanned for tags (inspected individually).
@@ -76,6 +82,8 @@ impl OpCounters {
         self.cow_faults += other.cow_faults;
         self.coa_faults += other.coa_faults;
         self.cap_load_faults += other.cap_load_faults;
+        self.fault_retries_exhausted += other.fault_retries_exhausted;
+        self.pages_reclaimed += other.pages_reclaimed;
         self.caps_relocated += other.caps_relocated;
         self.granules_scanned += other.granules_scanned;
         self.granules_skipped += other.granules_skipped;
@@ -109,6 +117,8 @@ impl OpCounters {
             cow_faults: self.cow_faults - earlier.cow_faults,
             coa_faults: self.coa_faults - earlier.coa_faults,
             cap_load_faults: self.cap_load_faults - earlier.cap_load_faults,
+            fault_retries_exhausted: self.fault_retries_exhausted - earlier.fault_retries_exhausted,
+            pages_reclaimed: self.pages_reclaimed - earlier.pages_reclaimed,
             caps_relocated: self.caps_relocated - earlier.caps_relocated,
             granules_scanned: self.granules_scanned - earlier.granules_scanned,
             granules_skipped: self.granules_skipped - earlier.granules_skipped,
@@ -135,12 +145,15 @@ impl fmt::Display for OpCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "pages copied: {} (eager {}), faults: cow {} / coa {} / capload {}",
+            "pages copied: {} (eager {}, reclaimed {}), faults: cow {} / coa {} / capload {} \
+             (retries exhausted {})",
             self.pages_copied,
             self.pages_copied_eager,
+            self.pages_reclaimed,
             self.cow_faults,
             self.coa_faults,
-            self.cap_load_faults
+            self.cap_load_faults,
+            self.fault_retries_exhausted
         )?;
         writeln!(
             f,
@@ -224,6 +237,24 @@ mod tests {
         let s = total.to_string();
         assert!(s.contains("fork chunks: 8"));
         assert!(s.contains("frames recycled: 14"));
+    }
+
+    #[test]
+    fn fault_path_family_round_trips() {
+        let a = OpCounters {
+            pages_reclaimed: 3,
+            fault_retries_exhausted: 1,
+            ..OpCounters::default()
+        };
+        let mut total = OpCounters::default();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.pages_reclaimed, 6);
+        assert_eq!(total.fault_retries_exhausted, 2);
+        assert_eq!(total.since(&a), a);
+        let s = total.to_string();
+        assert!(s.contains("reclaimed 6"));
+        assert!(s.contains("retries exhausted 2"));
     }
 
     #[test]

@@ -5,13 +5,18 @@ Compares a freshly generated BENCH_fork.json against the committed one and
 fails (exit 1) if a metric present in *both* files regressed beyond its
 allowed fraction.
 
-Two metric families are compared, with different thresholds:
+Three metric families are compared, with different thresholds:
 
 * ``fork_scaling[]`` — *simulated* fork latencies, keyed by
   ``(heap, mode)``. These are deterministic and machine-independent
   (same seed + worker count => bit-identical ns on any host), so the
   strict threshold (default 15%) applies: any drift is a real cost-model
   or walk-code change.
+* ``fork_phases[]`` — per-phase *simulated* totals from the trace layer
+  (schema v3+), keyed by ``(mode, phase)``. Deterministic like
+  ``fork_scaling``, and strictly finer-grained: an end-to-end latency can
+  stay within its gate while one phase silently doubles at another's
+  expense, so each phase is gated at the strict threshold too.
 * ``results[]`` — host wall-clock best-of-samples, keyed by ``name``.
   These depend on the machine that produced them; the committed baseline
   and a CI runner are different hardware, and even same-host runs swing
@@ -50,6 +55,15 @@ def scaling_map(doc):
     return {
         (r["heap"], r["mode"]): float(r["sim_fork_ns"])
         for r in doc.get("fork_scaling", [])
+    }
+
+
+def phase_map(doc):
+    # Absent before schema v3; compare() treats one-sided metrics as
+    # informational, so gating against an older baseline still works.
+    return {
+        (r["mode"], r["phase"]): float(r["sim_total_ns"])
+        for r in doc.get("fork_phases", [])
     }
 
 
@@ -107,6 +121,12 @@ def main():
         "fork_scaling",
         scaling_map(old_doc),
         scaling_map(new_doc),
+        args.max_regress,
+    )
+    failures += compare(
+        "fork_phases",
+        phase_map(old_doc),
+        phase_map(new_doc),
         args.max_regress,
     )
     failures += compare(

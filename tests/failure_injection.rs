@@ -333,3 +333,152 @@ fn region_reuse_after_childless_exits_does_not_leak() {
     );
     assert_eq!(m.counters().forks, 200);
 }
+
+#[test]
+fn copy_failure_during_cow_fault_leaks_no_frames() {
+    // Regression: resolve_fault used to leak the freshly allocated frame
+    // when the subsequent frame copy failed — alloc_frame succeeded, the
+    // error path returned without dropping the new frame's reference.
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 16,
+        strategy: CopyStrategy::CoPA,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+        .unwrap();
+    let a = os.malloc(&mut ctx, Pid(1), 4 * 4096).unwrap();
+    for off in (0..4u64 * 4096).step_by(4096) {
+        os.store(
+            &mut ctx,
+            Pid(1),
+            &a.with_addr(a.base() + off).unwrap(),
+            &[7],
+        )
+        .unwrap();
+    }
+    os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
+
+    let frames_before = os.allocated_frames();
+    // Fail the next frame copy: the child's first CoW resolution allocates
+    // a fresh frame and then hits the injected copy failure.
+    os.inject_frame_copy_failure(os.frame_copy_attempts());
+    let child_a = a.rebased_for_test(&os);
+    assert_eq!(
+        os.store(&mut ctx, Pid(2), &child_a, &[9]).unwrap_err(),
+        Errno::Fault
+    );
+    // The fresh frame was released: frames balance, no dangling PTEs.
+    assert_eq!(
+        os.allocated_frames(),
+        frames_before,
+        "failed CoW copy leaked its fresh frame"
+    );
+    assert_eq!(os.audit_kernel(), (0, 0));
+    // The shared mapping is still intact, so retrying the store succeeds
+    // and performs exactly the one page copy.
+    os.store(&mut ctx, Pid(2), &child_a, &[9]).unwrap();
+    assert_eq!(os.allocated_frames(), frames_before + 1);
+    assert_eq!(os.audit_kernel(), (0, 0));
+}
+
+#[test]
+fn capload_on_cow_page_resolves_in_one_fault_without_retry_exhaustion() {
+    // The CapLoad-on-CoW path: a CoPA child's page carries both the
+    // LC_FAULT and CoW bits. One resolution must clear both (the segment's
+    // *final* flags are mapped), so the access retries at most once and
+    // the retry-exhaustion counter stays untouched.
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 16,
+        strategy: CopyStrategy::CoPA,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+        .unwrap();
+    let a = os.malloc(&mut ctx, Pid(1), 4096).unwrap();
+    // A tagged granule, so the CapLoad tag peek sees a real capability and
+    // the strategy fault fires.
+    os.store_cap(&mut ctx, Pid(1), &a, &a).unwrap();
+    os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
+
+    let mut fctx = Ctx::new();
+    let child_a = a.rebased_for_test(&os);
+    let got = os
+        .load_cap(&mut fctx, Pid(2), &child_a)
+        .unwrap()
+        .expect("tagged granule must load a capability");
+    assert_eq!(fctx.counters.cap_load_faults, 1, "one strategy fault");
+    assert_eq!(fctx.counters.cow_faults, 0, "no residual CoW fault");
+    assert_eq!(fctx.counters.fault_retries_exhausted, 0);
+    // The loaded capability was relocated into the child's region.
+    let child_root = os.reg(Pid(2), 0).unwrap();
+    assert!(got.confined_to(child_root.base(), child_root.len()));
+    // The resolution mapped the final (writable) flags, so a CapStore to
+    // the same page takes no further fault of any kind.
+    os.store_cap(&mut fctx, Pid(2), &child_a, &got).unwrap();
+    assert_eq!(fctx.counters.cap_load_faults, 1);
+    assert_eq!(fctx.counters.cow_faults + fctx.counters.coa_faults, 0);
+    assert_eq!(fctx.counters.fault_retries_exhausted, 0);
+}
+
+#[test]
+fn fault_counters_match_trace_events_and_page_motion() {
+    // Counter-consistency property: every resolved transparent fault
+    // leaves exactly one trace instant, and every resolution either
+    // copied a page or reclaimed one (refcount == 1) — nothing silent.
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 32,
+        strategy: CopyStrategy::CoPA,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+        .unwrap();
+    let pages = 8u64;
+    let a = os.malloc(&mut ctx, Pid(1), pages * 4096).unwrap();
+    for off in (0..pages * 4096).step_by(4096) {
+        let slot = a.with_addr(a.base() + off).unwrap();
+        os.store_cap(&mut ctx, Pid(1), &slot, &slot).unwrap();
+    }
+    os.fork(&mut ctx, Pid(1), Pid(2)).unwrap();
+
+    // All fault-path work lands on one fresh traced context, so the
+    // counters below are pure deltas of this access pattern.
+    let mut fctx = Ctx::traced(4096);
+    let child_a = a.rebased_for_test(&os);
+    // The child cap-loads the first half: CoPA strategy faults (copies).
+    for i in 0..pages / 2 {
+        let slot = child_a.with_addr(child_a.base() + i * 4096).unwrap();
+        os.load_cap(&mut fctx, Pid(2), &slot).unwrap();
+    }
+    // The parent dirties the second half: CoW copies, dropping the shared
+    // frames' refcounts to 1 with the child as last sharer...
+    for i in pages / 2..pages {
+        let slot = a.with_addr(a.base() + i * 4096).unwrap();
+        os.store(&mut fctx, Pid(1), &slot, &[3]).unwrap();
+    }
+    // ...so the child's own writes hit the reclaim-in-place branch.
+    for i in pages / 2..pages {
+        let slot = child_a.with_addr(child_a.base() + i * 4096).unwrap();
+        os.store(&mut fctx, Pid(2), &slot, &[4]).unwrap();
+    }
+
+    let c = &fctx.counters;
+    let resolutions = c.cow_faults + c.coa_faults + c.cap_load_faults;
+    assert!(resolutions > 0, "the pattern must fault");
+    assert!(c.pages_reclaimed > 0, "reclaim branch must be exercised");
+    assert_eq!(
+        resolutions,
+        fctx.trace.instant_count("fault/cow")
+            + fctx.trace.instant_count("fault/coa")
+            + fctx.trace.instant_count("fault/capload"),
+        "each resolved fault records exactly one trace instant"
+    );
+    assert_eq!(
+        c.pages_copied + c.pages_reclaimed,
+        resolutions,
+        "every resolution copies or reclaims exactly one page"
+    );
+    assert_eq!(c.fault_retries_exhausted, 0);
+}
