@@ -14,7 +14,7 @@ use std::hint::black_box;
 use std::path::Path;
 
 use ufork::reloc::{relocate_frame, ScanMode};
-use ufork::{UforkConfig, UforkOs};
+use ufork::{FallbackPolicy, UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_baselines::{mono, nephele, BaselineConfig};
 use ufork_bench::{fork_scaling_sweep, trace_fork_runs, ScalingRow, TracedFork};
@@ -236,6 +236,8 @@ fn main() {
         lineage_ns[0], lineage_ns[1]
     );
 
+    let (admission, admission_overhead) = run_admission();
+
     let (scaling, scaling_speedup) = run_scaling();
     // Per-phase simulated totals from the trace layer: exactly
     // reproducible, so bench_gate.py gates them like fork_scaling rows.
@@ -250,13 +252,75 @@ fn main() {
     }
     write_json(
         &results,
-        sparse_speedup,
-        lineage_speedup,
-        trace_overhead,
+        &Speedups {
+            sparse: sparse_speedup,
+            lineage: lineage_speedup,
+            trace: trace_overhead,
+            admission: admission_overhead,
+            scaling: scaling_speedup,
+        },
+        &admission,
         &scaling,
-        scaling_speedup,
         &phases,
     );
+}
+
+/// The derived ratios reported in the JSON `speedup` section.
+struct Speedups {
+    sparse: f64,
+    lineage: f64,
+    trace: f64,
+    admission: f64,
+    scaling: f64,
+}
+
+/// Simulated kernel time of one uncontended cap-sparse Full fork under
+/// the given admission fallback policy.
+fn admission_fork_ns(policy: FallbackPolicy) -> f64 {
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 128,
+        strategy: CopyStrategy::Full,
+        fallback: policy,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+        .unwrap();
+    let mut fctx = Ctx::new();
+    os.fork(&mut fctx, Pid(1), Pid(2)).unwrap();
+    fctx.kernel_ns
+}
+
+/// Measures the admission-control pre-flight cost on an uncontended fork
+/// in *simulated* time: `FallbackPolicy::Strict` (the default: reserve
+/// the frame demand up front) against `FallbackPolicy::Disabled` (run
+/// straight into the allocator). Deterministic, so bench_gate.py holds
+/// both rows to the strict threshold — admission must stay a fixed
+/// per-fork charge, never a per-page one.
+fn run_admission() -> (Vec<(&'static str, f64)>, f64) {
+    let rows: Vec<(&'static str, f64)> = [
+        ("disabled", FallbackPolicy::Disabled),
+        ("strict", FallbackPolicy::Strict),
+    ]
+    .into_iter()
+    .map(|(label, policy)| {
+        let ns = admission_fork_ns(policy);
+        let again = admission_fork_ns(policy);
+        assert_eq!(
+            ns.to_bits(),
+            again.to_bits(),
+            "fork_admission/{label} is nondeterministic: {ns} ns vs {again} ns"
+        );
+        println!("fork_admission/{label}: {ns:.0} ns simulated");
+        (label, ns)
+    })
+    .collect();
+    let overhead = rows[1].1 / rows[0].1;
+    println!(
+        "fork_admission strict over disabled: {overhead:.4}x ({:.0} ns -> {:.0} ns)",
+        rows[0].1, rows[1].1
+    );
+    (rows, overhead)
 }
 
 /// Runs the 1/2/4/8-worker scaling sweep in *simulated* time, twice, and
@@ -314,11 +378,9 @@ fn run_scaling() -> (Vec<ScalingRow>, f64) {
 /// therefore exactly reproducible.
 fn write_json(
     results: &[(String, u64)],
-    sparse_speedup: f64,
-    lineage_speedup: f64,
-    trace_overhead: f64,
+    speedups: &Speedups,
+    admission: &[(&'static str, f64)],
     scaling: &[ScalingRow],
-    scaling_speedup: f64,
     phases: &[TracedFork],
 ) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -357,8 +419,18 @@ fn write_json(
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let admission_rows = admission
+        .iter()
+        .map(|(policy, ns)| format!("    {{\"policy\": \"{policy}\", \"sim_fork_ns\": {ns:.1}}}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let body = format!(
-        "{{\n  \"schema\": \"ufork-bench-fork/v3\",\n  \"unit\": \"ns/iter (median, setup subtracted)\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse_speedup:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage_speedup:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace_overhead:.2}\n  }}\n}}\n"
+        "{{\n  \"schema\": \"ufork-bench-fork/v4\",\n  \"unit\": \"ns/iter (median, setup subtracted)\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
+        sparse = speedups.sparse,
+        lineage = speedups.lineage,
+        scaling_speedup = speedups.scaling,
+        trace = speedups.trace,
+        admission_overhead = speedups.admission,
     );
     match std::fs::write(&path, body) {
         Ok(()) => println!("wrote {}", path.display()),

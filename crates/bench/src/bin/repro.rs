@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|fig3|...|fig9|ablations|scaling|trace|all] [--quick]
+//! repro [table1|fig3|...|fig9|ablations|scaling|pressure|trace|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks iteration counts / windows (CI-friendly); the default
@@ -20,8 +20,8 @@ use std::path::Path;
 use ufork_bench::report::{num, render_table, size_label};
 use ufork_bench::{
     ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep,
-    ablation_naive_scan, fig6, fig7, fig8, fig9, fork_scaling_sweep, redis_sweep, table1,
-    trace_chrome_json, trace_fork_runs, trace_summary_text, AblationRow, RedisRow,
+    ablation_naive_scan, fig6, fig7, fig8, fig9, fork_scaling_sweep, pressure_storm, redis_sweep,
+    table1, trace_chrome_json, trace_fork_runs, trace_summary_text, AblationRow, RedisRow,
 };
 
 fn print_ablation(title: &str, rows: &[AblationRow]) {
@@ -288,6 +288,41 @@ fn main() {
             );
             println!();
         }
+    }
+    if all || what == "pressure" {
+        println!("== Fork storm under memory pressure (4 MiB, Full requested) ==");
+        let rows = pressure_storm();
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.to_string(),
+                    r.forks_ok.to_string(),
+                    r.forks_degraded.to_string(),
+                    r.fork_rollbacks.to_string(),
+                    r.reclaim_passes.to_string(),
+                    r.journal_ops.to_string(),
+                    num(r.fork_backoff_ns as f64 / 1e3),
+                    r.pressure.clone(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "Policy",
+                    "Forks",
+                    "Degraded",
+                    "Rollbacks",
+                    "Reclaims",
+                    "Journal ops",
+                    "Backoff (µs, sim)",
+                    "Pressure",
+                ],
+                &body
+            )
+        );
     }
     if what == "trace" {
         run_trace();

@@ -1,6 +1,6 @@
 //! The experiments behind every figure of the evaluation.
 
-use ufork::{UforkConfig, UforkOs, WalkMode};
+use ufork::{FallbackPolicy, UforkConfig, UforkOs, WalkMode};
 use ufork_abi::{CopyStrategy, Fd, ImageSpec, IsolationLevel, Pid, Program, SysResult};
 use ufork_baselines::{mono, nephele, BaselineConfig, MultiAsOs};
 use ufork_exec::{ConnTemplate, Ctx, ExitEvent, ForkEvent, Machine, MachineConfig, MemOs};
@@ -45,6 +45,9 @@ impl Sys {
 }
 
 /// Dispatching wrapper over the two machine types.
+// A handful of these exist per experiment; the size gap between the two
+// kernels is irrelevant here, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 pub enum AnyMachine {
     /// μFork machine.
     U(Machine<UforkOs>),
@@ -612,6 +615,91 @@ pub fn fork_scaling_sweep() -> Vec<ScalingRow> {
         }
     }
     rows
+}
+
+// ---------------------------------------------------------------------------
+// Memory-pressure fork storm (`repro pressure`).
+// ---------------------------------------------------------------------------
+
+/// One row of the `repro pressure` report: a deterministic fork storm on
+/// a small machine under one admission fallback policy, run until the
+/// first fork is refused with `NoMem`.
+pub struct PressureRow {
+    /// Fallback policy label (`disabled`, `strict`, `degrade`).
+    pub policy: &'static str,
+    /// Forks that succeeded before the first refusal.
+    pub forks_ok: u64,
+    /// Forks admitted under a cheaper strategy than requested.
+    pub forks_degraded: u64,
+    /// Journal rollbacks (fork attempts undone mid-walk).
+    pub fork_rollbacks: u64,
+    /// Reclaim passes between rollback and retry.
+    pub reclaim_passes: u64,
+    /// Journal ops recorded across the storm (committed + rolled back).
+    pub journal_ops: u64,
+    /// Simulated ns spent in reclaim backoff.
+    pub fork_backoff_ns: u64,
+    /// Allocator pressure level when the storm ended.
+    pub pressure: String,
+}
+
+/// Storms one policy: Full-strategy forks of a cap-dense parent on a
+/// 4 MiB machine until the allocator refuses, then reports the journal /
+/// admission counter family and the final pressure level.
+pub fn pressure_storm_run(policy: FallbackPolicy) -> PressureRow {
+    const HEAP_PAGES: u64 = 16;
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 4,
+        strategy: CopyStrategy::Full,
+        fallback: policy,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    let img = ImageSpec::with_heap("pressure", HEAP_PAGES * PAGE_SIZE + (64 << 10));
+    os.spawn(&mut ctx, Pid(1), &img).expect("spawn pressure");
+    let arr = os
+        .malloc(&mut ctx, Pid(1), HEAP_PAGES * PAGE_SIZE)
+        .expect("heap");
+    for p in 0..HEAP_PAGES {
+        let slot = arr.with_addr(arr.base() + p * PAGE_SIZE).expect("slot");
+        os.store_cap(&mut ctx, Pid(1), &slot, &slot).expect("cap");
+    }
+
+    let mut sctx = Ctx::new();
+    let mut forks_ok = 0u64;
+    for n in 2..=1024u32 {
+        match os.fork(&mut sctx, Pid(1), Pid(n)) {
+            Ok(()) => forks_ok += 1,
+            Err(_) => break,
+        }
+    }
+    let stats = os.mem_stats(Pid(1));
+    PressureRow {
+        policy: match policy {
+            FallbackPolicy::Disabled => "disabled",
+            FallbackPolicy::Strict => "strict",
+            FallbackPolicy::Degrade => "degrade",
+        },
+        forks_ok,
+        forks_degraded: sctx.counters.forks_degraded,
+        fork_rollbacks: sctx.counters.fork_rollbacks,
+        reclaim_passes: sctx.counters.reclaim_passes,
+        journal_ops: sctx.counters.journal_ops,
+        fork_backoff_ns: sctx.counters.fork_backoff_ns,
+        pressure: format!("{:?}", stats.pressure),
+    }
+}
+
+/// The full pressure report: one storm per fallback policy.
+pub fn pressure_storm() -> Vec<PressureRow> {
+    [
+        FallbackPolicy::Disabled,
+        FallbackPolicy::Strict,
+        FallbackPolicy::Degrade,
+    ]
+    .into_iter()
+    .map(pressure_storm_run)
+    .collect()
 }
 
 // ---------------------------------------------------------------------------

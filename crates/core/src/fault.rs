@@ -6,6 +6,9 @@ use ufork_exec::Ctx;
 use ufork_mem::{GRANULE_SIZE, PAGE_SIZE};
 use ufork_vmem::{AccessKind, Fault, VirtAddr};
 
+use ufork_mem::Pfn;
+
+use crate::journal::FallbackPolicy;
 use crate::kernel::UforkOs;
 use crate::reloc::{reloc_cost, relocate_frame, ScanMode};
 
@@ -133,7 +136,7 @@ impl UforkOs {
         let pfn = if refcount > 1 {
             // Step 1+2: point the child PTE at a fresh frame and copy.
             ctx.phase("fault/copy");
-            let new = self.pm.alloc_frame().map_err(|_| Errno::NoMem)?;
+            let new = self.fault_alloc_frame(ctx)?;
             if self.pm.copy_frame(pte.pfn, new).is_err() {
                 // The fresh frame must not leak when the copy fails: drop
                 // our only reference so the allocator reclaims it. The
@@ -200,6 +203,32 @@ impl UforkOs {
         ctx.counters.tag_words_loaded += stats.tag_words_loaded;
         ctx.counters.caps_relocated += stats.relocated + stats.cleared;
         Ok(())
+    }
+
+    /// Allocates one frame for fault resolution under admission control:
+    /// the allocation consults the same reservation ledger as fork (a
+    /// frame promised to an in-flight reservation is not handed out),
+    /// and on exhaustion one bounded reclaim pass drains the recycled
+    /// pools' deferred-zero queue before the final retry — the same
+    /// graceful-degradation path the fork retry loop uses, charged with
+    /// the same deterministic backoff.
+    fn fault_alloc_frame(&mut self, ctx: &mut Ctx) -> SysResult<Pfn> {
+        if self.fallback != FallbackPolicy::Disabled {
+            ctx.kernel(self.cost.admission_check);
+            self.pm.reserve(1).map_err(|_| Errno::NoMem)?;
+            self.pm.release(1);
+        }
+        if let Ok(pfn) = self.pm.alloc_frame() {
+            return Ok(pfn);
+        }
+        ctx.phase("fault/reclaim");
+        let scrubbed = self.pm.reclaim_pass();
+        let backoff = self.cost.reclaim_backoff + self.cost.zero_page * scrubbed as f64;
+        ctx.kernel(backoff);
+        ctx.counters.reclaim_passes += 1;
+        ctx.counters.fork_backoff_ns += backoff as u64;
+        ctx.phase("fault/copy");
+        self.pm.alloc_frame().map_err(|_| Errno::NoMem)
     }
 
     /// User data load (multi-page capable).

@@ -1,24 +1,34 @@
 //! The μFork fork walk (paper §3.5).
 //!
-//! 1. **Parent state duplication** — reserve a contiguous child region,
+//! 1. **Admission** — pre-flight the fork's frame demand against the
+//!    allocator's reservation ledger; under `FallbackPolicy::Degrade`
+//!    the kernel downgrades `Full → CoA → CoPA` until the demand fits
+//!    instead of failing.
+//! 2. **Parent state duplication** — reserve a contiguous child region,
 //!    copy the parent's PTEs so the child maps the same physical pages,
 //!    proactively copy + relocate the GOT and the in-use allocator
 //!    metadata, and arm the configured copy strategy on everything else.
-//! 2. **Post-copy phase** — mint the child's root capability, relocate
-//!    the register file, and hand the child to the scheduler (done by the
-//!    executive).
+//! 3. **Post-copy phase** — mint the child's root capability, relocate
+//!    the register file, and hand the child to the scheduler (done by
+//!    the executive).
 //!
 //! The walk is batched: the parent's mapped range is streamed directly
 //! off the page table (no intermediate `Vec` of its PTEs), the child's
 //! PTEs are staged in a sorted batch and inserted in one
 //! [`ufork_vmem::PageTable::extend_sorted`] sweep, and the parent's COW
 //! protection is applied in one [`ufork_vmem::PageTable::protect_many`]
-//! pass at the end. Because nothing lands in the page table until the
-//! whole walk has succeeded, a mid-walk failure (frame exhaustion) only
-//! has to drop the frame references the batch took — the table itself
-//! never holds a partially-forked child. Under [`ScanMode::Naive`] the
-//! legacy walk (per-page inserts, per-capability linear region scans,
-//! full-page tag sweeps) is preserved as an ablation baseline.
+//! pass at the end. Under [`ScanMode::Naive`] the legacy walk (per-page
+//! inserts, per-capability linear region scans, full-page tag sweeps) is
+//! preserved as an ablation baseline.
+//!
+//! Every side effect either walk performs is recorded in the
+//! transactional [`crate::journal`]: a failure at any point — frame
+//! exhaustion, refcount overflow, injected journal abort — rolls the
+//! kernel back to its exact pre-fork state ([`UforkOs::rollback_fork`]).
+//! On memory exhaustion the kernel then runs a bounded
+//! reclaim-then-retry loop (drain the recycled pools' deferred-zero
+//! queues, charge a deterministic simulated backoff, re-attempt the
+//! fork) before surfacing `NoMem`.
 
 use std::cell::Cell;
 
@@ -29,9 +39,21 @@ use ufork_mem::{Pfn, PhysMem, PAGE_SIZE};
 use ufork_sim::CostModel;
 use ufork_vmem::{Pte, PteFlags, Region, VirtAddr, Vpn};
 
+use crate::journal::{FallbackPolicy, ForkJournal, JournalOp};
 use crate::kernel::{UProc, UforkOs};
 use crate::layout::Segment;
 use crate::reloc::{reloc_cost, relocate_frame, ScanMode};
+
+/// Bounded reclaim-then-retry attempts after a rolled-back fork.
+const MAX_FORK_RETRIES: u32 = 2;
+
+/// Outcome classification for one fork attempt. `Retryable` failures
+/// are memory exhaustion the reclaim loop may cure; `Fatal` ones (region
+/// exhaustion, integrity faults, injected journal aborts) are not.
+pub(crate) enum ForkFail {
+    Retryable(Errno),
+    Fatal(Errno),
+}
 
 impl UforkOs {
     /// Reads a `u64` from a μprocess' memory, kernel-side (no faults: the
@@ -46,14 +68,45 @@ impl UforkOs {
         Ok(u64::from_le_bytes(b))
     }
 
+    /// Forks `parent` into `child`: one transactional attempt, plus a
+    /// bounded reclaim-then-retry loop when an attempt rolls back on
+    /// memory exhaustion. Reclaim drains the recycled pools'
+    /// deferred-zero queues (the one reclaim the simulation models) and
+    /// charges a deterministic backoff, so the retry schedule is a pure
+    /// function of the failure sequence.
     pub(crate) fn fork_uproc(&mut self, ctx: &mut Ctx, parent: Pid, child: Pid) -> SysResult<()> {
+        let mut retries = 0;
+        loop {
+            match self.fork_attempt(ctx, parent, child) {
+                Ok(()) => return Ok(()),
+                Err(ForkFail::Fatal(e)) => return Err(e),
+                Err(ForkFail::Retryable(e)) => {
+                    if retries >= MAX_FORK_RETRIES {
+                        return Err(e);
+                    }
+                    retries += 1;
+                    ctx.phase("fork/reclaim");
+                    let scrubbed = self.pm.reclaim_pass();
+                    let backoff = self.cost.reclaim_backoff + self.cost.zero_page * scrubbed as f64;
+                    ctx.kernel(backoff);
+                    ctx.counters.reclaim_passes += 1;
+                    ctx.counters.fork_backoff_ns += backoff as u64;
+                }
+            }
+        }
+    }
+
+    /// One transactional fork attempt. On `Err` the journal has been
+    /// rolled back: the kernel is exactly as before the attempt.
+    fn fork_attempt(&mut self, ctx: &mut Ctx, parent: Pid, child: Pid) -> Result<(), ForkFail> {
+        debug_assert_eq!(self.journal.len(), 0, "journal must be empty between forks");
         // Fixed path: task struct, PID allocation, fd duplication hooks,
         // thread creation, scheduler insertion (paper §3.5 step 2).
         ctx.phase("fork/fixed");
         ctx.kernel(self.cost.fork_fixed_ufork);
 
         let (p_region, layout, p_regs, p_shm_next, p_mmap_next) = {
-            let p = self.proc(parent)?;
+            let p = self.proc(parent).map_err(ForkFail::Fatal)?;
             (
                 p.region,
                 p.layout.clone(),
@@ -65,29 +118,45 @@ impl UforkOs {
 
         // How much allocator metadata is live (eagerly copied, §3.5).
         let meta_header = p_region.base.0 + layout.heap_meta.0;
-        let blocks_used = self.kread_u64(meta_header + 16)?;
+        let blocks_used = self.kread_u64(meta_header + 16).map_err(ForkFail::Fatal)?;
         let meta_used_bytes = 64 + blocks_used * crate::layout::BLOCK_DESC_BYTES;
+
+        // Admission control: pre-flight the frame demand and book the
+        // reservation (possibly degrading the strategy) before any
+        // side effect that would need unwinding.
+        let strategy = self.admit_fork(ctx, p_region, &layout, meta_used_bytes)?;
 
         // Reserve the child's contiguous region.
         ctx.phase("fork/region");
-        let c_region = self
-            .regions
-            .alloc(layout.region_len())
-            .map_err(|_| Errno::NoMem)?;
+        let c_region = match self.regions.alloc(layout.region_len()) {
+            Ok(r) => r,
+            Err(_) => {
+                // Region exhaustion is not curable by frame reclaim.
+                self.rollback_fork(ctx);
+                let _ = self.journal.take_injected();
+                return Err(ForkFail::Fatal(Errno::NoMem));
+            }
+        };
+        if self
+            .journal
+            .record(JournalOp::RegionAlloc(c_region))
+            .is_err()
+        {
+            return Err(self.abort_fork(ctx, Errno::NoMem));
+        }
         let c_root = Capability::new_root(c_region.base.0, layout.region_len(), Perms::data());
         debug_assert!(!c_root.perms().contains(Perms::SYSTEM));
 
-        // The page walk can fail mid-way (frame exhaustion while copying a
-        // page, refcount overflow): everything staged for the child so far
-        // must then be unwound — no leaked frames, no dangling PTEs, the
-        // region handed back — leaving the parent exactly as it was, plus
-        // (in the legacy walk) harmless extra COW arming that the next
-        // parent write clears.
-        if let Err(e) =
-            self.fork_walk_pages(ctx, p_region, &layout, c_region, &c_root, meta_used_bytes)
-        {
-            self.unwind_partial_fork(c_region);
-            return Err(e);
+        if let Err(e) = self.fork_walk_pages(
+            ctx,
+            p_region,
+            &layout,
+            c_region,
+            &c_root,
+            meta_used_bytes,
+            strategy,
+        ) {
+            return Err(self.abort_fork(ctx, e));
         }
 
         // Relocate the register file (paper §3.5 step 2: "any absolute
@@ -149,18 +218,220 @@ impl UforkOs {
                 had_children: false,
             },
         );
+        if self.journal.record(JournalOp::ProcInsert(child)).is_err() {
+            return Err(self.abort_fork(ctx, Errno::NoMem));
+        }
         self.region_index.insert(c_region);
+        if self
+            .journal
+            .record(JournalOp::IndexInsert(c_region))
+            .is_err()
+        {
+            return Err(self.abort_fork(ctx, Errno::NoMem));
+        }
         if let Some(p) = self.procs.get_mut(&parent) {
             p.had_children = true;
         }
+        self.commit_fork(ctx);
         Ok(())
     }
 
+    /// Rolls back the in-flight fork and classifies the failure:
+    /// injected journal aborts and non-memory faults are fatal; `NoMem`
+    /// is retryable (the reclaim loop may cure it).
+    fn abort_fork(&mut self, ctx: &mut Ctx, e: Errno) -> ForkFail {
+        self.rollback_fork(ctx);
+        if self.journal.take_injected() {
+            ForkFail::Fatal(e)
+        } else if e == Errno::NoMem {
+            ForkFail::Retryable(e)
+        } else {
+            ForkFail::Fatal(e)
+        }
+    }
+
+    /// Commits the in-flight fork: the journal is cleared and the
+    /// admission reservation handed back (the walk's allocations have
+    /// long consumed the promised frames).
+    fn commit_fork(&mut self, ctx: &mut Ctx) {
+        let (ops, reserved) = self.journal.commit();
+        ctx.counters.journal_ops += ops;
+        self.pm.release(reserved);
+    }
+
+    /// Applies the journal's inverses in reverse record order, returning
+    /// the kernel to its exact pre-fork state: child frames freed,
+    /// shared refcounts restored, staged PTEs unmapped, parent COW
+    /// arming reverted, region and process-table entries removed, the
+    /// admission reservation released.
+    pub(crate) fn rollback_fork(&mut self, ctx: &mut Ctx) {
+        ctx.phase("fork/rollback");
+        let ops = self.journal.take_ops();
+        ctx.counters.journal_ops += ops.len() as u64;
+        ctx.counters.fork_rollbacks += 1;
+        let mut ns = 0.0;
+        for op in ops.into_iter().rev() {
+            match op {
+                JournalOp::ReserveFrames(n) => self.pm.release(n),
+                JournalOp::RegionAlloc(r) => {
+                    let _ = self.regions.free(r);
+                }
+                // Frame references are owned by these two records;
+                // `PteMap` below therefore unmaps without dec_ref.
+                JournalOp::FrameAlloc(pfn) | JournalOp::RefInc(pfn) => {
+                    let _ = self.pm.dec_ref(pfn);
+                }
+                JournalOp::PteMap(vpn) => {
+                    self.pt.unmap(vpn);
+                    ns += self.cost.pte_write;
+                }
+                JournalOp::CowArm(vpn) => {
+                    // Only recorded for PTEs not already armed, so
+                    // clearing restores the exact pre-fork flags.
+                    if let Some(p) = self.pt.lookup_mut(vpn) {
+                        p.flags = p.flags.without(PteFlags::COW);
+                    }
+                    ns += self.cost.pte_protect;
+                }
+                JournalOp::IndexInsert(r) => {
+                    self.region_index.remove(r);
+                }
+                JournalOp::ProcInsert(pid) => {
+                    self.procs.remove(&pid);
+                }
+            }
+        }
+        ctx.kernel(ns);
+    }
+
+    /// Admission control (tentpole of the robustness layer): estimate
+    /// the fork's frame demand, book it in the allocator's reservation
+    /// ledger, and — under [`FallbackPolicy::Degrade`] — downgrade the
+    /// strategy `Full → CoA → CoPA` until the demand fits.
+    fn admit_fork(
+        &mut self,
+        ctx: &mut Ctx,
+        p_region: Region,
+        layout: &crate::ProcLayout,
+        meta_used_bytes: u64,
+    ) -> Result<CopyStrategy, ForkFail> {
+        if self.fallback == FallbackPolicy::Disabled {
+            return Ok(self.strategy);
+        }
+        ctx.phase("fork/admission");
+        ctx.kernel(self.cost.admission_check);
+        let requested = self.strategy;
+        let (private, eager, _) = self.fork_page_demand(p_region, layout, meta_used_bytes, false);
+        let demand = Self::immediate_demand(requested, private, eager);
+        if self.pm.reserve(demand).is_ok() {
+            if self
+                .journal
+                .record(JournalOp::ReserveFrames(demand))
+                .is_err()
+            {
+                return Err(self.abort_fork(ctx, Errno::NoMem));
+            }
+            return Ok(requested);
+        }
+        if self.fallback == FallbackPolicy::Strict {
+            // Nothing staged yet: no rollback needed, and frame reclaim
+            // cannot conjure capacity, so the failure is final.
+            return Err(ForkFail::Fatal(Errno::NoMem));
+        }
+        // Degrade ladder. The cheaper strategies' immediate demand is
+        // their eager pages plus a near-term lazy-copy estimate: CoA
+        // faults on *any* child access (assume half the lazy pages copy
+        // soon), CoPA only on writes and tagged loads — the tag-summary
+        // bitmaps (PR 2) bound that by the capability-dense page count.
+        let (_, _, cap_dense) = self.fork_page_demand(p_region, layout, meta_used_bytes, true);
+        ctx.kernel(self.cost.tags_load * 4.0 * private as f64);
+        let lazy = private - eager;
+        let ladder = [
+            (CopyStrategy::CoA, eager + lazy / 2),
+            (CopyStrategy::CoPA, eager + cap_dense.min(lazy)),
+        ];
+        for (cand, est) in ladder {
+            if Self::degrade_rank(cand) <= Self::degrade_rank(requested) {
+                continue;
+            }
+            if self.pm.reserve(est).is_ok() {
+                if self.journal.record(JournalOp::ReserveFrames(est)).is_err() {
+                    return Err(self.abort_fork(ctx, Errno::NoMem));
+                }
+                ctx.counters.forks_degraded += 1;
+                ctx.instant("fork/degrade");
+                return Ok(cand);
+            }
+        }
+        Err(ForkFail::Fatal(Errno::NoMem))
+    }
+
+    /// Position in the degradation ladder (higher = cheaper at fork).
+    fn degrade_rank(s: CopyStrategy) -> u8 {
+        match s {
+            CopyStrategy::Full => 0,
+            CopyStrategy::CoA => 1,
+            CopyStrategy::CoPA => 2,
+        }
+    }
+
+    /// Frames a fork must allocate up front: every private page under
+    /// `Full`, only the eagerly-copied pages under the lazy strategies.
+    fn immediate_demand(strategy: CopyStrategy, private: u64, eager: u64) -> u64 {
+        match strategy {
+            CopyStrategy::Full => private,
+            CopyStrategy::CoA | CopyStrategy::CoPA => eager,
+        }
+    }
+
+    /// One read-only pass over the parent's mapped range, classifying
+    /// pages the way the walk will. Returns `(private, eager,
+    /// cap_dense)`: non-shm mapped pages, pages copied eagerly under a
+    /// lazy strategy, and — only when `density` is requested, since it
+    /// costs a tag-summary read per page — pages holding at least one
+    /// tagged granule.
+    fn fork_page_demand(
+        &self,
+        p_region: Region,
+        layout: &crate::ProcLayout,
+        meta_used_bytes: u64,
+        density: bool,
+    ) -> (u64, u64, u64) {
+        let start = p_region.base.vpn();
+        let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
+        let (mut private, mut eager, mut cap_dense) = (0u64, 0u64, 0u64);
+        for (vpn, pte) in self.pt.range(start, end) {
+            let off = vpn.base().0 - p_region.base.0;
+            let seg = layout.segment_of(off);
+            if seg == Segment::Shm {
+                continue;
+            }
+            private += 1;
+            if self.eager_fork_copies
+                && match seg {
+                    Segment::Got => true,
+                    Segment::HeapMeta => off - layout.heap_meta.0 < meta_used_bytes,
+                    _ => false,
+                }
+            {
+                eager += 1;
+            }
+            if density {
+                if let Ok(frame) = self.pm.frame(pte.pfn) {
+                    if frame.cap_count() > 0 {
+                        cap_dense += 1;
+                    }
+                }
+            }
+        }
+        (private, eager, cap_dense)
+    }
+
     /// The per-page fork walk: maps (and, where the strategy requires,
-    /// copies and relocates) every parent page into the child region.
-    /// On `Err` nothing has been staged in the page table and every frame
-    /// reference taken for the child has been dropped; the caller only
-    /// unwinds the region reservation.
+    /// copies and relocates) every parent page into the child region,
+    /// recording every side effect in the journal. On `Err` nothing has
+    /// been cleaned up yet — the caller rolls the journal back.
+    #[allow(clippy::too_many_arguments)] // the fork attempt's full context
     fn fork_walk_pages(
         &mut self,
         ctx: &mut Ctx,
@@ -169,6 +440,7 @@ impl UforkOs {
         c_region: Region,
         c_root: &Capability,
         meta_used_bytes: u64,
+        strategy: CopyStrategy,
     ) -> SysResult<()> {
         if self.scan == ScanMode::Naive {
             return self.fork_walk_pages_naive(
@@ -178,6 +450,7 @@ impl UforkOs {
                 c_region,
                 c_root,
                 meta_used_bytes,
+                strategy,
             );
         }
         if let crate::fork_par::WalkMode::Parallel(n) = self.walk {
@@ -188,13 +461,13 @@ impl UforkOs {
                 c_region,
                 c_root,
                 meta_used_bytes,
+                strategy,
                 n,
             );
         }
 
         let start = p_region.base.vpn();
         let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
-        let strategy = self.strategy;
         let eager_cfg = self.eager_fork_copies;
         let validates = self.isolation.validates_syscalls();
 
@@ -207,10 +480,12 @@ impl UforkOs {
 
         {
             // Split borrows: the parent range is streamed off `pt` (shared)
-            // while frames are copied through `pm` (mutable); `pt` itself
-            // is only written after the stream ends.
+            // while frames are copied through `pm` (mutable) and effects
+            // land in `journal` (mutable); `pt` itself is only written
+            // after the stream ends.
             let pm = &mut self.pm;
             let pt = &self.pt;
+            let journal = &mut self.journal;
             let cost = &self.cost;
             let region_index = &self.region_index;
             let lookup = |addr: u64| region_index.lookup(addr);
@@ -234,6 +509,10 @@ impl UforkOs {
                         failed = Some(Errno::Fault);
                         break 'walk;
                     }
+                    if journal.record(JournalOp::RefInc(pte.pfn)).is_err() {
+                        failed = Some(Errno::NoMem);
+                        break 'walk;
+                    }
                     child_batch.push((
                         c_vpn,
                         Pte {
@@ -254,7 +533,7 @@ impl UforkOs {
                         });
 
                 if eager {
-                    let new = match copy_page_for_child(pm, cost, ctx, pte.pfn, &target) {
+                    let new = match copy_page_for_child(pm, journal, cost, ctx, pte.pfn, &target) {
                         Ok(new) => new,
                         Err(e) => {
                             failed = Some(e);
@@ -286,8 +565,16 @@ impl UforkOs {
                     failed = Some(Errno::Fault);
                     break 'walk;
                 }
+                if journal.record(JournalOp::RefInc(pte.pfn)).is_err() {
+                    failed = Some(Errno::NoMem);
+                    break 'walk;
+                }
                 match strategy {
-                    CopyStrategy::Full => unreachable!("full copy is always eager"),
+                    CopyStrategy::Full => {
+                        debug_assert!(false, "full copy is always eager");
+                        failed = Some(Errno::Fault);
+                        break 'walk;
+                    }
                     CopyStrategy::CoA => {
                         // Fully inaccessible to the child: any access faults.
                         child_batch.push((
@@ -328,17 +615,27 @@ impl UforkOs {
         }
 
         if let Some(e) = failed {
-            // Nothing reached the page table; just drop the batch's frame
-            // references (copies are freed, shared refcounts restored).
-            for (_, pte) in child_batch {
-                let _ = self.pm.dec_ref(pte.pfn);
-            }
+            // Every reference the batch took is journaled; the caller's
+            // rollback drops them. Nothing reached the page table.
             ctx.counters.region_lookups += self.region_index.take_lookups();
             return Err(e);
         }
 
+        // Record-then-apply (see `crate::journal`): if recording aborts
+        // part-way, the rollback's unmap of never-inserted VPNs is a
+        // no-op.
+        for (vpn, _) in &child_batch {
+            self.journal
+                .record(JournalOp::PteMap(*vpn))
+                .map_err(|_| Errno::NoMem)?;
+        }
         ctx.counters.ptes_written += self.pt.extend_sorted(child_batch);
         ctx.phase("fork/walk/cow_arm");
+        for &vpn in &cow_arm {
+            self.journal
+                .record(JournalOp::CowArm(vpn))
+                .map_err(|_| Errno::NoMem)?;
+        }
         let armed = self.pt.protect_many(cow_arm, PteFlags::COW);
         ctx.kernel(self.cost.pte_protect * armed as f64);
         ctx.counters.region_lookups += self.region_index.take_lookups();
@@ -349,7 +646,9 @@ impl UforkOs {
     /// ablation baseline: collects the parent's PTEs into a `Vec`, inserts
     /// child PTEs one `map` at a time, arms parent COW per page, and
     /// resolves relocation sources by linear scan of a freshly-rebuilt
-    /// region list.
+    /// region list. Journaled like the batched walk, so rollback covers
+    /// its per-page inserts too.
+    #[allow(clippy::too_many_arguments)] // the fork attempt's full context
     fn fork_walk_pages_naive(
         &mut self,
         ctx: &mut Ctx,
@@ -358,6 +657,7 @@ impl UforkOs {
         c_region: Region,
         c_root: &Capability,
         meta_used_bytes: u64,
+        strategy: CopyStrategy,
     ) -> SysResult<()> {
         let sources = self.source_regions();
         let naive_lookups = Cell::new(0u64);
@@ -380,13 +680,19 @@ impl UforkOs {
 
                 if seg == Segment::Shm {
                     self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
+                    self.journal
+                        .record(JournalOp::RefInc(pte.pfn))
+                        .map_err(|_| Errno::NoMem)?;
                     self.pt.map(c_vpn, pte.pfn, PteFlags::rw());
+                    self.journal
+                        .record(JournalOp::PteMap(c_vpn))
+                        .map_err(|_| Errno::NoMem)?;
                     ctx.kernel(self.cost.pte_copy);
                     ctx.counters.ptes_written += 1;
                     continue;
                 }
 
-                let eager = self.strategy == CopyStrategy::Full
+                let eager = strategy == CopyStrategy::Full
                     || (self.eager_fork_copies
                         && match seg {
                             Segment::Got => true,
@@ -401,9 +707,19 @@ impl UforkOs {
                         source_of: &source_of,
                         mode: ScanMode::Naive,
                     };
-                    let new = copy_page_for_child(&mut self.pm, &self.cost, ctx, pte.pfn, &target)?;
+                    let new = copy_page_for_child(
+                        &mut self.pm,
+                        &mut self.journal,
+                        &self.cost,
+                        ctx,
+                        pte.pfn,
+                        &target,
+                    )?;
                     ctx.phase("fork/walk/pte");
                     self.pt.map(c_vpn, new, final_flags);
+                    self.journal
+                        .record(JournalOp::PteMap(c_vpn))
+                        .map_err(|_| Errno::NoMem)?;
                     ctx.kernel(self.cost.pte_write);
                     if self.isolation.validates_syscalls() {
                         ctx.kernel(self.cost.page_scan() + self.cost.tocttou_fixed);
@@ -414,8 +730,14 @@ impl UforkOs {
                 }
 
                 self.pm.inc_ref(pte.pfn).map_err(|_| Errno::Fault)?;
-                match self.strategy {
-                    CopyStrategy::Full => unreachable!("full copy is always eager"),
+                self.journal
+                    .record(JournalOp::RefInc(pte.pfn))
+                    .map_err(|_| Errno::NoMem)?;
+                match strategy {
+                    CopyStrategy::Full => {
+                        debug_assert!(false, "full copy is always eager");
+                        return Err(Errno::Fault);
+                    }
                     CopyStrategy::CoA => {
                         self.pt
                             .map(c_vpn, pte.pfn, PteFlags::empty().with(PteFlags::COA));
@@ -433,6 +755,9 @@ impl UforkOs {
                         ctx.kernel(self.cost.pte_copy);
                     }
                 }
+                self.journal
+                    .record(JournalOp::PteMap(c_vpn))
+                    .map_err(|_| Errno::NoMem)?;
                 ctx.counters.ptes_written += 1;
 
                 if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
@@ -440,6 +765,9 @@ impl UforkOs {
                     if let Some(ppte) = self.pt.lookup_mut(vpn) {
                         ppte.flags = ppte.flags.with(PteFlags::COW);
                     }
+                    self.journal
+                        .record(JournalOp::CowArm(vpn))
+                        .map_err(|_| Errno::NoMem)?;
                     ctx.kernel(self.cost.pte_protect);
                 }
             }
@@ -448,36 +776,23 @@ impl UforkOs {
         ctx.counters.region_lookups += naive_lookups.get();
         result
     }
-
-    /// Rolls back a partially-staged fork: unmaps every PTE already
-    /// created in the child region (only the legacy walk stages any),
-    /// drops the frame references they took (freeing eagerly-copied
-    /// frames outright), and returns the region to the allocator. After
-    /// this the kernel is exactly as before the fork except for COW
-    /// arming on parent pages, which the parent's next write resolves in
-    /// place.
-    fn unwind_partial_fork(&mut self, c_region: Region) {
-        let start = c_region.base.vpn();
-        let end = Vpn(c_region.top().0.div_ceil(PAGE_SIZE));
-        for (_, pte) in self.pt.unmap_range(start, end) {
-            let _ = self.pm.dec_ref(pte.pfn);
-        }
-        let _ = self.regions.free(c_region);
-    }
 }
 
 /// Where an eager page copy lands and how its capabilities are fixed up:
 /// the child's region and root plus the scan strategy and region lookup.
-struct RelocTarget<'a> {
-    region: Region,
-    root: &'a Capability,
-    source_of: &'a dyn Fn(u64) -> Option<Region>,
-    mode: ScanMode,
+pub(crate) struct RelocTarget<'a> {
+    pub(crate) region: Region,
+    pub(crate) root: &'a Capability,
+    pub(crate) source_of: &'a dyn Fn(u64) -> Option<Region>,
+    pub(crate) mode: ScanMode,
 }
 
-/// Eagerly copies one frame for a child and relocates it.
-fn copy_page_for_child(
+/// Eagerly copies one frame for a child and relocates it. The allocated
+/// frame is journaled before the copy: on a copy failure the frame is
+/// *not* freed here — the caller's rollback owns that reference.
+pub(crate) fn copy_page_for_child(
     pm: &mut PhysMem,
+    journal: &mut ForkJournal,
     cost: &CostModel,
     ctx: &mut Ctx,
     src: Pfn,
@@ -485,8 +800,10 @@ fn copy_page_for_child(
 ) -> SysResult<Pfn> {
     ctx.phase("fork/walk/copy");
     let new = pm.alloc_frame().map_err(|_| Errno::NoMem)?;
+    journal
+        .record(JournalOp::FrameAlloc(new))
+        .map_err(|_| Errno::NoMem)?;
     if pm.copy_frame(src, new).is_err() {
-        let _ = pm.dec_ref(new);
         return Err(Errno::Fault);
     }
     ctx.kernel(cost.page_alloc + cost.page_copy);

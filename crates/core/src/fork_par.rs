@@ -35,12 +35,15 @@
 //! count, the same heap + same worker count reproduce bit-identical
 //! simulated nanoseconds regardless of host scheduling.
 //!
-//! A mid-prologue failure (frame exhaustion, refcount error) drops every
-//! frame reference the batch took — eagerly allocated destinations go
-//! back to the recycled pools — and the caller's `unwind_partial_fork`
-//! releases the child region; nothing has reached the page table, so no
-//! PTE can dangle. The parallel phase itself is infallible by
-//! construction: all allocation happens in the prologue.
+//! Every side effect (destination allocations, refcount bumps, staged
+//! PTE inserts, COW arming) is recorded in the transactional fork
+//! journal; a mid-prologue failure (frame exhaustion, refcount error,
+//! injected journal abort) returns with the journal intact and the
+//! caller's rollback drops every reference the batch took — eagerly
+//! allocated destinations go back to the recycled pools. Nothing has
+//! reached the page table at that point, so no PTE can dangle. The
+//! parallel phase itself is infallible by construction: all allocation
+//! happens in the prologue.
 
 use std::cell::Cell;
 
@@ -51,6 +54,7 @@ use ufork_mem::{Frame, Pfn, ZeroPolicy, PAGE_SIZE};
 use ufork_sim::LaneClocks;
 use ufork_vmem::{Pte, PteFlags, Region, VirtAddr, Vpn};
 
+use crate::journal::JournalOp;
 use crate::kernel::UforkOs;
 use crate::layout::Segment;
 use crate::reloc::{reloc_cost, relocate_frame_in, RelocStats, ScanMode};
@@ -122,12 +126,12 @@ impl UforkOs {
         c_region: Region,
         c_root: &Capability,
         meta_used_bytes: u64,
+        strategy: CopyStrategy,
         workers: usize,
     ) -> SysResult<()> {
         let workers = workers.max(1);
         let start = p_region.base.vpn();
         let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
-        let strategy = self.strategy;
         let eager_cfg = self.eager_fork_copies;
         let validates = self.isolation.validates_syscalls();
 
@@ -140,6 +144,7 @@ impl UforkOs {
         {
             let pm = &mut self.pm;
             let pt = &self.pt;
+            let journal = &mut self.journal;
             let cost = &self.cost;
 
             'walk: for (vpn, pte) in pt.range(start, end) {
@@ -152,6 +157,10 @@ impl UforkOs {
                 if seg == Segment::Shm {
                     if pm.inc_ref(pte.pfn).is_err() {
                         failed = Some(Errno::Fault);
+                        break 'walk;
+                    }
+                    if journal.record(JournalOp::RefInc(pte.pfn)).is_err() {
+                        failed = Some(Errno::NoMem);
                         break 'walk;
                     }
                     child_batch.push((
@@ -184,6 +193,10 @@ impl UforkOs {
                             break 'walk;
                         }
                     };
+                    if journal.record(JournalOp::FrameAlloc(grant.pfn)).is_err() {
+                        failed = Some(Errno::NoMem);
+                        break 'walk;
+                    }
                     if grant.recycled {
                         ctx.counters.frames_recycled += 1;
                         ctx.instant("alloc/recycle");
@@ -217,8 +230,16 @@ impl UforkOs {
                     failed = Some(Errno::Fault);
                     break 'walk;
                 }
+                if journal.record(JournalOp::RefInc(pte.pfn)).is_err() {
+                    failed = Some(Errno::NoMem);
+                    break 'walk;
+                }
                 match strategy {
-                    CopyStrategy::Full => unreachable!("full copy is always eager"),
+                    CopyStrategy::Full => {
+                        debug_assert!(false, "full copy is always eager");
+                        failed = Some(Errno::Fault);
+                        break 'walk;
+                    }
                     CopyStrategy::CoA => {
                         child_batch.push((
                             c_vpn,
@@ -255,13 +276,10 @@ impl UforkOs {
         }
 
         if let Some(e) = failed {
-            // Nothing reached the page table: drop the batch's frame
-            // references (eager destinations return to the recycled
-            // pools, shared refcounts are restored) and let the caller
-            // release the region.
-            for (_, pte) in child_batch {
-                let _ = self.pm.dec_ref(pte.pfn);
-            }
+            // Every reference the batch took is journaled; the caller's
+            // rollback drops them (eager destinations return to the
+            // recycled pools, shared refcounts are restored). Nothing
+            // reached the page table.
             ctx.counters.region_lookups += self.region_index.take_lookups();
             return Err(e);
         }
@@ -270,14 +288,26 @@ impl UforkOs {
         let n_chunks = eager.len().div_ceil(CHUNK_PAGES);
         // Detach every destination frame so workers own them outright
         // while `PhysMem` is only shared for reading source frames.
-        for page in &mut eager {
-            page.frame = self
-                .pm
-                .detach_frame(page.dst)
-                .expect("destination allocated in the prologue");
+        // Detachment failing means the prologue's allocation vanished — a
+        // kernel bug, surfaced as a typed error (after reattaching, so
+        // the caller's rollback sees consistent state) rather than a
+        // panic on a syscall path.
+        for i in 0..eager.len() {
+            match self.pm.detach_frame(eager[i].dst) {
+                Ok(f) => eager[i].frame = f,
+                Err(_) => {
+                    debug_assert!(false, "destination allocated in the prologue");
+                    for page in eager[..i].iter_mut() {
+                        let f = std::mem::replace(&mut page.frame, Frame::detached());
+                        let _ = self.pm.attach_frame(page.dst, f);
+                    }
+                    return Err(Errno::Fault);
+                }
+            }
         }
 
         let mut results: Vec<(usize, ChunkOut)> = Vec::with_capacity(n_chunks);
+        let mut worker_err: Option<Errno> = None;
         {
             let pm = &self.pm;
             let cost = &self.cost;
@@ -295,7 +325,7 @@ impl UforkOs {
                 let handles: Vec<_> = lane_work
                     .into_iter()
                     .map(|work| {
-                        s.spawn(move || {
+                        s.spawn(move || -> SysResult<Vec<(usize, ChunkOut)>> {
                             let mut out: Vec<(usize, ChunkOut)> = Vec::with_capacity(work.len());
                             for (idx, chunk) in work {
                                 let mut co = ChunkOut::default();
@@ -305,9 +335,12 @@ impl UforkOs {
                                     frozen.lookup(addr)
                                 };
                                 for page in chunk.iter_mut() {
-                                    let src = pm
-                                        .frame(page.src)
-                                        .expect("parent frame mapped during fork");
+                                    // The parent's mapping holds a ref, so
+                                    // the source frame must exist; a miss is
+                                    // a kernel bug surfaced as a typed error.
+                                    let Ok(src) = pm.frame(page.src) else {
+                                        return Err(Errno::Fault);
+                                    };
                                     page.frame.copy_from(src);
                                     let stats = relocate_frame_in(
                                         &mut page.frame,
@@ -330,22 +363,30 @@ impl UforkOs {
                                 co.lookups = lookups.get();
                                 out.push((idx, co));
                             }
-                            out
+                            Ok(out)
                         })
                     })
                     .collect();
                 for h in handles {
-                    results.extend(h.join().expect("fork worker panicked"));
+                    match h.join().expect("fork worker panicked") {
+                        Ok(out) => results.extend(out),
+                        Err(e) => worker_err = Some(e),
+                    }
                 }
             });
         }
 
         // ---- Phase 3: merge epilogue -----------------------------------
+        // Reattach before anything else — on a worker error too, so the
+        // caller's rollback finds every destination frame in place.
         let n_eager = eager.len() as u64;
         for page in eager.drain(..) {
-            self.pm
-                .attach_frame(page.dst, page.frame)
-                .expect("slot still holds the placeholder");
+            if self.pm.attach_frame(page.dst, page.frame).is_err() {
+                debug_assert!(false, "slot still holds the placeholder");
+            }
+        }
+        if let Some(e) = worker_err {
+            return Err(e);
         }
 
         // Fold chunk costs into lane clocks in chunk-index order, never
@@ -383,8 +424,21 @@ impl UforkOs {
         ctx.counters.caps_relocated += total_stats.relocated + total_stats.cleared;
         ctx.counters.region_lookups += total_lookups;
 
+        // Record-then-apply (see `crate::journal`): if recording aborts
+        // part-way, the rollback's unmap of never-inserted VPNs is a
+        // no-op.
+        for (vpn, _) in &child_batch {
+            self.journal
+                .record(JournalOp::PteMap(*vpn))
+                .map_err(|_| Errno::NoMem)?;
+        }
         ctx.counters.ptes_written += self.pt.extend_sorted(child_batch);
         ctx.phase("fork/walk/cow_arm");
+        for &vpn in &cow_arm {
+            self.journal
+                .record(JournalOp::CowArm(vpn))
+                .map_err(|_| Errno::NoMem)?;
+        }
         let armed = self.pt.protect_many(cow_arm, PteFlags::COW);
         ctx.kernel(self.cost.pte_protect * armed as f64);
         ctx.counters.region_lookups += self.region_index.take_lookups();

@@ -11,6 +11,7 @@ use ufork_vmem::{AccessKind, PageTable, PteFlags, Region, RegionAllocator, VirtA
 
 use crate::fork_par::WalkMode;
 use crate::gate::SyscallGate;
+use crate::journal::{FallbackPolicy, ForkJournal};
 use crate::layout::{ProcLayout, Segment};
 use crate::region_index::RegionIndex;
 use crate::reloc::ScanMode;
@@ -48,6 +49,11 @@ pub struct UforkConfig {
     /// `Parallel` requires the tag-summary scan; under `ScanMode::Naive`
     /// it falls back to the serial legacy walk.
     pub walk: WalkMode,
+    /// What fork admission control does when the requested copy
+    /// strategy's frame demand cannot be reserved: fail up front
+    /// (`Strict`, default), degrade `Full → CoA → CoPA` until the demand
+    /// fits (`Degrade`), or skip the pre-flight entirely (`Disabled`).
+    pub fallback: FallbackPolicy,
 }
 
 impl Default for UforkConfig {
@@ -62,6 +68,7 @@ impl Default for UforkConfig {
             eager_fork_copies: true,
             scan: ScanMode::default(),
             walk: WalkMode::default(),
+            fallback: FallbackPolicy::default(),
         }
     }
 }
@@ -104,6 +111,10 @@ pub struct UforkOs {
     pub(crate) isolation: IsolationLevel,
     pub(crate) scan: ScanMode,
     pub(crate) walk: WalkMode,
+    pub(crate) fallback: FallbackPolicy,
+    /// Journal of the in-flight fork's side effects (empty between
+    /// forks); see [`crate::journal`].
+    pub(crate) journal: ForkJournal,
     pub(crate) pm: PhysMem,
     /// THE page table — a single address space has exactly one.
     pub(crate) pt: PageTable,
@@ -137,6 +148,8 @@ impl UforkOs {
             isolation: cfg.isolation,
             scan: cfg.scan,
             walk: cfg.walk,
+            fallback: cfg.fallback,
+            journal: ForkJournal::default(),
             pm: PhysMem::with_mib(cfg.phys_mib),
             pt: PageTable::new(),
             regions,
@@ -201,6 +214,29 @@ impl UforkOs {
     /// Disarms frame-copy fault injection.
     pub fn clear_frame_copy_failure(&mut self) {
         self.pm.clear_copy_failure();
+    }
+
+    /// Total fork-journal ops recorded since boot, the index space for
+    /// [`UforkOs::inject_journal_failure`]. The chaos sweep measures a
+    /// clean fork's op window with this, then replays the same fork
+    /// failing each op in turn.
+    pub fn journal_ops_recorded(&self) -> u64 {
+        self.journal.recorded()
+    }
+
+    /// Arms deterministic journal fault injection: recording journal op
+    /// number `op` (0-based since boot) fails, aborting and rolling back
+    /// the fork in flight. One-shot. Unlike allocator-level `NoMem`,
+    /// injected journal aborts are *not* absorbed by the
+    /// reclaim-then-retry loop — the fork fails so the sweep can audit
+    /// the rollback.
+    pub fn inject_journal_failure(&mut self, op: u64) {
+        self.journal.fail_at(op);
+    }
+
+    /// Disarms journal fault injection.
+    pub fn clear_journal_failure(&mut self) {
+        self.journal.clear_failure();
     }
 
     /// Cumulative sharded-allocator statistics (also surfaced per-process

@@ -46,6 +46,7 @@ mod fault;
 mod fork;
 pub mod fork_par;
 mod gate;
+mod journal;
 mod kernel;
 mod layout;
 pub mod region_index;
@@ -54,6 +55,7 @@ pub mod talloc;
 
 pub use fork_par::{WalkMode, CHUNK_PAGES};
 pub use gate::SyscallGate;
+pub use journal::FallbackPolicy;
 pub use kernel::{UforkConfig, UforkOs};
 pub use layout::{ProcLayout, Segment};
 pub use region_index::{FrozenIndex, RegionIndex};

@@ -21,6 +21,14 @@
 //!        +16 size  u64  (bit 63 = in-use)
 //!        +24 next  u64  (free-list link, index+1)
 //! ```
+//!
+//! Because every word above is **user-writable**, the allocator treats it
+//! as hostile on the kernel's syscall path: free-list walks are bounded
+//! by `max_blocks` (a longer chain necessarily revisits a descriptor, so
+//! it is a cycle), link indices are range-checked, and the bump-pointer
+//! arithmetic is overflow-checked. Corrupted metadata surfaces as
+//! `Errno::Fault` (or `NoMem` for impossible sizes) — never a hang or a
+//! panic.
 
 use ufork_abi::{Errno, SysResult};
 use ufork_cheri::Capability;
@@ -116,16 +124,23 @@ impl TAlloc {
         }
         mem.charge(8);
 
-        // First fit over the free list.
+        // First fit over the free list (bounded: see module doc).
         let mut prev: Option<u64> = None;
         let mut cur = load_u64(mem, self.meta_base + HDR_FREE)?;
+        let mut steps = 0u64;
         while cur != 0 {
+            if cur > self.max_blocks || steps >= self.max_blocks {
+                return Err(Errno::Fault); // out-of-range link or cycle
+            }
+            steps += 1;
             let idx = cur - 1;
             let d = self.desc(idx);
             let size = load_u64(mem, d + 16)?;
             let next = load_u64(mem, d + 24)?;
             mem.charge(6);
-            debug_assert_eq!(size & USED_BIT, 0, "free-list block marked used");
+            if size & USED_BIT != 0 {
+                return Err(Errno::Fault); // free-list block marked used
+            }
             if size >= len {
                 // Unlink and mark used.
                 match prev {
@@ -143,7 +158,7 @@ impl TAlloc {
 
         // Carve from the arena.
         let top = load_u64(mem, self.meta_base + HDR_TOP)?;
-        if top + len > self.arena_len {
+        if top.checked_add(len).is_none_or(|end| end > self.arena_len) {
             return Err(Errno::NoMem);
         }
         let used = load_u64(mem, self.meta_base + HDR_USED)?;
@@ -165,6 +180,9 @@ impl TAlloc {
     /// Frees an allocation by its capability.
     pub fn free(&self, mem: &mut dyn UserMem, cap: &Capability) -> SysResult<()> {
         let used = load_u64(mem, self.meta_base + HDR_USED)?;
+        if used > self.max_blocks {
+            return Err(Errno::Fault); // corrupted descriptor count
+        }
         for idx in 0..used {
             let d = self.desc(idx);
             let Some(c) = mem.load_cap(d)? else { continue };
@@ -192,6 +210,9 @@ impl TAlloc {
         let mut free_blocks = 0;
         let mut cur = load_u64(mem, self.meta_base + HDR_FREE)?;
         while cur != 0 {
+            if cur > self.max_blocks || free_blocks >= self.max_blocks {
+                return Err(Errno::Fault); // out-of-range link or cycle
+            }
             free_blocks += 1;
             cur = load_u64(mem, self.desc(cur - 1) + 24)?;
         }
@@ -203,9 +224,10 @@ impl TAlloc {
     }
 
     /// Number of metadata bytes currently in use (header + descriptors),
-    /// for the eager-copy sizing at fork.
+    /// for the eager-copy sizing at fork. A corrupted descriptor count is
+    /// clamped to `max_blocks` — fork sizing must never overflow.
     pub fn meta_bytes_in_use(&self, mem: &mut dyn UserMem) -> SysResult<u64> {
-        let used = load_u64(mem, self.meta_base + HDR_USED)?;
+        let used = load_u64(mem, self.meta_base + HDR_USED)?.min(self.max_blocks);
         Ok(DESCS + used * DESC_SIZE)
     }
 }
@@ -364,5 +386,59 @@ mod tests {
         ta.malloc(&mut mem, 16).unwrap();
         ta.malloc(&mut mem, 16).unwrap();
         assert_eq!(ta.meta_bytes_in_use(&mut mem).unwrap(), 64 + 2 * 32);
+    }
+
+    #[test]
+    fn free_list_cycle_is_a_fault_not_a_hang() {
+        let (ta, mut mem) = setup();
+        let a = ta.malloc(&mut mem, 32).unwrap();
+        ta.free(&mut mem, &a).unwrap();
+        // Corrupt desc[0].next to point back at itself (index+1 == 1).
+        store_u64(&mut mem, ta.desc(0) + 24, 1).unwrap();
+        // A request larger than the freed block walks past it — and must
+        // detect the cycle instead of spinning forever.
+        assert_eq!(ta.malloc(&mut mem, 256).unwrap_err(), Errno::Fault);
+        assert_eq!(ta.stats(&mut mem).unwrap_err(), Errno::Fault);
+    }
+
+    #[test]
+    fn out_of_range_free_link_is_a_fault() {
+        let (ta, mut mem) = setup();
+        store_u64(&mut mem, ta.meta_base + HDR_FREE, ta.max_blocks + 7).unwrap();
+        assert_eq!(ta.malloc(&mut mem, 16).unwrap_err(), Errno::Fault);
+        assert_eq!(ta.stats(&mut mem).unwrap_err(), Errno::Fault);
+    }
+
+    #[test]
+    fn used_block_on_free_list_is_a_fault() {
+        let (ta, mut mem) = setup();
+        let a = ta.malloc(&mut mem, 32).unwrap();
+        ta.free(&mut mem, &a).unwrap();
+        // Set the USED bit while the block sits on the free list.
+        let size = load_u64(&mut mem, ta.desc(0) + 16).unwrap();
+        store_u64(&mut mem, ta.desc(0) + 16, size | USED_BIT).unwrap();
+        assert_eq!(ta.malloc(&mut mem, 16).unwrap_err(), Errno::Fault);
+    }
+
+    #[test]
+    fn corrupted_arena_top_cannot_overflow() {
+        let (ta, mut mem) = setup();
+        store_u64(&mut mem, ta.meta_base + HDR_TOP, u64::MAX - 8).unwrap();
+        // top + len would wrap to a tiny value; the checked add refuses.
+        assert_eq!(ta.malloc(&mut mem, 32).unwrap_err(), Errno::NoMem);
+    }
+
+    #[test]
+    fn corrupted_used_count_bounds_free_and_sizing() {
+        let (ta, mut mem) = setup();
+        let a = ta.malloc(&mut mem, 32).unwrap();
+        store_u64(&mut mem, ta.meta_base + HDR_USED, u64::MAX).unwrap();
+        // `free` refuses to walk an impossible descriptor table...
+        assert_eq!(ta.free(&mut mem, &a).unwrap_err(), Errno::Fault);
+        // ...and fork's metadata sizing clamps instead of overflowing.
+        assert_eq!(
+            ta.meta_bytes_in_use(&mut mem).unwrap(),
+            DESCS + ta.max_blocks * DESC_SIZE
+        );
     }
 }

@@ -47,6 +47,32 @@ struct Slot {
     refcount: u32,
 }
 
+/// A freed frame parked on a recycled pool. `zeroed` records whether a
+/// background reclaim pass already scrubbed it — in that case a later
+/// [`ZeroPolicy::Zeroed`] allocation skips the redundant scrub.
+struct Pooled {
+    pfn: Pfn,
+    frame: Frame,
+    zeroed: bool,
+}
+
+/// Allocator pressure derived from the free-frame watermarks.
+///
+/// Admission control reads this before committing to a fork strategy:
+/// `Normal` admits anything, `Elevated` is the degradation window
+/// (Full→CoA→CoPA under a permissive `FallbackPolicy`), `Critical` means
+/// even lazy strategies may fail and callers should reclaim first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    /// Available frames at or above the high watermark.
+    #[default]
+    Normal,
+    /// Available frames between the low and high watermarks.
+    Elevated,
+    /// Available frames below the low watermark.
+    Critical,
+}
+
 /// Number of free-list shards in the physical allocator. Matches the
 /// Morello SoC's 8 cores: each fork worker draws from its own shard and
 /// falls back to deterministic work-stealing when its shard runs dry.
@@ -107,7 +133,7 @@ pub struct ShardStats {
 /// modeled machine, and allocation order stays deterministic.
 pub struct PhysMem {
     slots: Vec<Option<Slot>>,
-    shards: Vec<Vec<(Pfn, Frame)>>,
+    shards: Vec<Vec<Pooled>>,
     next_fresh: u32,
     total_frames: u32,
     allocated: u32,
@@ -117,6 +143,17 @@ pub struct PhysMem {
     copy_attempts: u64,
     fail_copy_at: Option<u64>,
     stats: ShardStats,
+    /// Frames promised to in-flight multi-frame operations (fork
+    /// admission): they still sit on the free side of the ledger but are
+    /// excluded from [`PhysMem::available_frames`], so a second admission
+    /// check cannot double-book them. Accounting is cooperative — the
+    /// allocation entry points do not enforce it (the kernel is the only
+    /// reserver and serializes forks); admission happens at
+    /// [`PhysMem::reserve`] call sites.
+    reserved: u64,
+    /// Pressure watermarks over *available* frames (free minus reserved).
+    low_watermark: u32,
+    high_watermark: u32,
     /// Probe start for the single-lane [`PhysMem::alloc_frame`] entry
     /// point: the shard that received the most recent free. Starting
     /// there (and wrapping across all pools) makes legacy callers reuse
@@ -141,6 +178,12 @@ impl PhysMem {
             copy_attempts: 0,
             fail_copy_at: None,
             stats: ShardStats::default(),
+            reserved: 0,
+            // Defaults scale with the machine: pressure turns Elevated
+            // below 1/8 of capacity and Critical below 1/64 (clamped so
+            // tiny test machines still have a non-degenerate band).
+            low_watermark: (total_frames / 64).max(1),
+            high_watermark: (total_frames / 8).max(2),
             legacy_cursor: 0,
         }
     }
@@ -163,6 +206,87 @@ impl PhysMem {
     /// High-water mark of allocated frames.
     pub fn peak_allocated_frames(&self) -> u32 {
         self.peak_allocated
+    }
+
+    /// Frames not currently allocated (recycled pools + fresh memory).
+    pub fn free_frames(&self) -> u32 {
+        self.total_frames - self.allocated
+    }
+
+    /// Free frames not spoken for by an outstanding reservation.
+    pub fn available_frames(&self) -> u64 {
+        u64::from(self.free_frames()).saturating_sub(self.reserved)
+    }
+
+    /// Outstanding reservation total, in frames.
+    pub fn reserved_frames(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Reserves `n` frames against future allocation (fork admission
+    /// pre-flight). Fails with `OutOfFrames` when fewer than `n` frames
+    /// are available; on success the frames are excluded from
+    /// [`PhysMem::available_frames`] until [`PhysMem::release`]d.
+    ///
+    /// The reservation is an accounting promise, not a frame list: the
+    /// holder still allocates through the normal entry points and must
+    /// release the full amount exactly once (at commit or rollback).
+    pub fn reserve(&mut self, n: u64) -> Result<(), MemError> {
+        if n > self.available_frames() {
+            return Err(MemError::OutOfFrames);
+        }
+        self.reserved += n;
+        Ok(())
+    }
+
+    /// Releases `n` previously [`PhysMem::reserve`]d frames.
+    pub fn release(&mut self, n: u64) {
+        debug_assert!(n <= self.reserved, "release of {n} exceeds reservation");
+        self.reserved = self.reserved.saturating_sub(n);
+    }
+
+    /// Overrides the pressure watermarks (both counted in *available*
+    /// frames). Panics in debug builds if `low > high`.
+    pub fn set_watermarks(&mut self, low: u32, high: u32) {
+        debug_assert!(low <= high, "low watermark above high");
+        self.low_watermark = low;
+        self.high_watermark = high;
+    }
+
+    /// Current allocator pressure, from the watermarks over
+    /// [`PhysMem::available_frames`].
+    pub fn pressure(&self) -> PressureLevel {
+        let avail = self.available_frames();
+        if avail >= u64::from(self.high_watermark) {
+            PressureLevel::Normal
+        } else if avail >= u64::from(self.low_watermark) {
+            PressureLevel::Elevated
+        } else {
+            PressureLevel::Critical
+        }
+    }
+
+    /// One bounded reclaim pass: scrubs every not-yet-zeroed frame parked
+    /// on the recycled pools (the deferred-zero queue), so subsequent
+    /// [`ZeroPolicy::Zeroed`] allocations skip their scrub. Returns the
+    /// number of frames scrubbed — `0` means the pools were already clean
+    /// and retrying reclaim cannot help.
+    ///
+    /// Reclaim converts deferred work into done work; it cannot conjure
+    /// capacity, so true exhaustion still surfaces as `OutOfFrames` after
+    /// the caller's bounded retry loop.
+    pub fn reclaim_pass(&mut self) -> u64 {
+        let mut scrubbed = 0;
+        for pool in &mut self.shards {
+            for p in pool.iter_mut() {
+                if !p.zeroed {
+                    p.frame.zero();
+                    p.zeroed = true;
+                    scrubbed += 1;
+                }
+            }
+        }
+        scrubbed
     }
 
     /// Total `alloc_frame` attempts so far (successful or not). A
@@ -222,7 +346,7 @@ impl PhysMem {
             .map(|d| (home + d) % NUM_SHARDS)
             .find_map(|s| self.shards[s].pop());
         let (pfn, frame) = match popped {
-            Some((p, f)) => (p, Some(f)),
+            Some(p) => (p.pfn, Some((p.frame, p.zeroed))),
             None if self.next_fresh < self.total_frames => {
                 let p = Pfn(self.next_fresh);
                 self.next_fresh += 1;
@@ -255,17 +379,17 @@ impl PhysMem {
     ) -> Result<AllocGrant, MemError> {
         self.count_attempt()?;
         let home = shard % NUM_SHARDS;
-        let (pfn, frame, stolen) = if let Some((p, f)) = self.shards[home].pop() {
-            (p, Some(f), false)
+        let (pfn, frame, stolen) = if let Some(p) = self.shards[home].pop() {
+            (p.pfn, Some((p.frame, p.zeroed)), false)
         } else if self.next_fresh < self.total_frames {
             let p = Pfn(self.next_fresh);
             self.next_fresh += 1;
             (p, None, false)
-        } else if let Some((p, f)) = (1..NUM_SHARDS)
+        } else if let Some(p) = (1..NUM_SHARDS)
             .map(|d| (home + d) % NUM_SHARDS)
             .find_map(|s| self.shards[s].pop())
         {
-            (p, Some(f), true)
+            (p.pfn, Some((p.frame, p.zeroed)), true)
         } else {
             return Err(MemError::OutOfFrames);
         };
@@ -289,7 +413,7 @@ impl PhysMem {
     fn grant(
         &mut self,
         pfn: Pfn,
-        frame: Option<Frame>,
+        frame: Option<(Frame, bool)>,
         home: usize,
         stolen: bool,
         zero: ZeroPolicy,
@@ -297,8 +421,8 @@ impl PhysMem {
         let recycled = frame.is_some();
         let zeroing_skipped = recycled && zero == ZeroPolicy::Uninit;
         let frame = match frame {
-            Some(mut f) => {
-                if zero == ZeroPolicy::Zeroed {
+            Some((mut f, prezeroed)) => {
+                if zero == ZeroPolicy::Zeroed && !prezeroed {
                     f.zero();
                 }
                 f
@@ -356,7 +480,11 @@ impl PhysMem {
         if remaining == 0 {
             let slot = self.slots[pfn.0 as usize].take().expect("checked above");
             let shard = pfn.0 as usize % NUM_SHARDS;
-            self.shards[shard].push((pfn, slot.frame));
+            self.shards[shard].push(Pooled {
+                pfn,
+                frame: slot.frame,
+                zeroed: false,
+            });
             // Point the single-lane probe at the freshest free so the next
             // legacy alloc reuses it first (LIFO, cache-warm).
             self.legacy_cursor = shard;
@@ -784,6 +912,68 @@ mod tests {
         );
         assert!(pm.alloc_frame_in(6, ZeroPolicy::Zeroed).is_ok());
         assert_eq!(pm.alloc_attempts(), 4);
+    }
+
+    #[test]
+    fn reserve_release_and_available_accounting() {
+        let mut pm = PhysMem::new(16);
+        assert_eq!(pm.free_frames(), 16);
+        assert_eq!(pm.available_frames(), 16);
+        pm.reserve(10).unwrap();
+        assert_eq!(pm.reserved_frames(), 10);
+        assert_eq!(pm.available_frames(), 6);
+        // A second reservation cannot double-book the promised frames.
+        assert_eq!(pm.reserve(7).unwrap_err(), MemError::OutOfFrames);
+        pm.reserve(6).unwrap();
+        assert_eq!(pm.available_frames(), 0);
+        pm.release(16);
+        assert_eq!(pm.available_frames(), 16);
+        // Allocation shrinks availability like reservation does.
+        let a = pm.alloc_frame().unwrap();
+        assert_eq!(pm.available_frames(), 15);
+        pm.dec_ref(a).unwrap();
+        assert_eq!(pm.available_frames(), 16);
+    }
+
+    #[test]
+    fn pressure_follows_the_watermarks() {
+        let mut pm = PhysMem::new(64);
+        pm.set_watermarks(4, 16);
+        assert_eq!(pm.pressure(), PressureLevel::Normal);
+        // Reserve down into the elevated band…
+        pm.reserve(49).unwrap(); // available = 15
+        assert_eq!(pm.pressure(), PressureLevel::Elevated);
+        // …and allocation pushes it critical.
+        let mut held = Vec::new();
+        for _ in 0..12 {
+            held.push(pm.alloc_frame().unwrap());
+        }
+        assert_eq!(pm.available_frames(), 3);
+        assert_eq!(pm.pressure(), PressureLevel::Critical);
+        pm.release(49);
+        assert_eq!(pm.pressure(), PressureLevel::Normal);
+    }
+
+    #[test]
+    fn reclaim_pass_scrubs_pooled_frames_once() {
+        let mut pm = PhysMem::new(8);
+        let pfns: Vec<Pfn> = (0..4).map(|_| pm.alloc_frame().unwrap()).collect();
+        for p in &pfns {
+            pm.write(*p, 0, &[0xcd; 8]).unwrap();
+            pm.dec_ref(*p).unwrap();
+        }
+        // First pass scrubs all four parked frames; a second finds the
+        // deferred-zero queue empty.
+        assert_eq!(pm.reclaim_pass(), 4);
+        assert_eq!(pm.reclaim_pass(), 0);
+        // A Zeroed allocation of a pre-scrubbed frame reads zeros (the
+        // scrub was real) — and an Uninit one does too, because reclaim
+        // already erased the stale contents.
+        let g = pm.alloc_frame_in(0, ZeroPolicy::Uninit).unwrap();
+        assert!(g.recycled);
+        let mut out = [0xffu8; 8];
+        pm.read(g.pfn, 0, &mut out).unwrap();
+        assert_eq!(out, [0u8; 8]);
     }
 
     #[test]

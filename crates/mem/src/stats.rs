@@ -1,7 +1,7 @@
 //! Memory accounting helpers.
 
 use crate::frame::{Pfn, PAGE_SIZE};
-use crate::phys::{PhysMem, ShardStats};
+use crate::phys::{PhysMem, PressureLevel, ShardStats};
 
 /// Aggregated memory statistics for a set of frames (e.g. one μprocess).
 ///
@@ -28,6 +28,11 @@ pub struct MemStats {
     /// memory (machine-global, not per-process: allocator pressure is a
     /// shared resource).
     pub alloc: ShardStats,
+    /// Frames promised to in-flight admission-controlled operations
+    /// (machine-global, sampled from [`PhysMem::reserved_frames`]).
+    pub reserved_frames: u64,
+    /// Allocator pressure level at sampling time (machine-global).
+    pub pressure: PressureLevel,
 }
 
 impl MemStats {
@@ -38,6 +43,8 @@ impl MemStats {
     pub fn for_frames<I: IntoIterator<Item = Pfn>>(pm: &PhysMem, frames: I) -> MemStats {
         let mut s = MemStats {
             alloc: pm.shard_stats(),
+            reserved_frames: pm.reserved_frames(),
+            pressure: pm.pressure(),
             ..MemStats::default()
         };
         for pfn in frames {
@@ -114,6 +121,19 @@ mod tests {
         pm.store_cap(a, 64, &cap).unwrap();
         let s = MemStats::for_frames(&pm, [a, b]);
         assert_eq!(s.cap_granules, 2);
+    }
+
+    #[test]
+    fn reservation_and_pressure_sampled_into_stats() {
+        let mut pm = PhysMem::new(64);
+        pm.set_watermarks(2, 16);
+        pm.reserve(50).unwrap();
+        let s = MemStats::for_frames(&pm, []);
+        assert_eq!(s.reserved_frames, 50);
+        assert_eq!(s.pressure, PressureLevel::Elevated);
+        pm.release(50);
+        let s = MemStats::for_frames(&pm, []);
+        assert_eq!(s.pressure, PressureLevel::Normal);
     }
 
     #[test]

@@ -7,13 +7,14 @@
 
 use std::process::ExitCode;
 
-use ufork_oracle::run_oracle;
+use ufork_oracle::{run_chaos, run_oracle, OracleReport};
 use ufork_testkit::env_u64;
 
 struct Args {
     seed: u64,
     cases: u64,
     skip_faults: bool,
+    chaos_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -21,6 +22,7 @@ fn parse_args() -> Result<Args, String> {
         seed: env_u64("ORACLE_SEED", 1),
         cases: env_u64("ORACLE_CASES", 100),
         skip_faults: false,
+        chaos_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -38,15 +40,18 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--cases needs an integer")?;
             }
             "--skip-faults" => args.skip_faults = true,
+            "--chaos-only" => args.chaos_only = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: ufork-oracle [--seed N] [--cases M] [--skip-faults]\n\
+                    "usage: ufork-oracle [--seed N] [--cases M] [--skip-faults] [--chaos-only]\n\
                      \n\
                      Differential fork-semantics oracle: runs M seeded random\n\
                      programs under μFork Full/CoA/CoPA and the multi-AS\n\
-                     baseline, compares observable state, and replays every\n\
-                     mid-fork allocation failure. Fully reproducible from\n\
-                     the seed (env: ORACLE_SEED, ORACLE_CASES)."
+                     baseline, compares observable state, replays every\n\
+                     mid-fork allocation failure, and aborts every fork\n\
+                     journal op. Fully reproducible from the seed (env:\n\
+                     ORACLE_SEED, ORACLE_CASES). --chaos-only runs just the\n\
+                     journal chaos sweep."
                 );
                 std::process::exit(0);
             }
@@ -64,6 +69,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.chaos_only {
+        let mut report = OracleReport::default();
+        run_chaos(&mut report);
+        println!(
+            "chaos sweep: {} journal-op aborts, all rolled back leak-free",
+            report.chaos_points
+        );
+        return if report.ok() {
+            println!("oracle: PASS");
+            ExitCode::SUCCESS
+        } else {
+            for f in &report.failures {
+                eprintln!("FAIL: {f}");
+            }
+            eprintln!("oracle: {} failure(s)", report.failures.len());
+            ExitCode::FAILURE
+        };
+    }
     println!(
         "ufork-oracle: seed={} cases={} (replay: cargo run -p ufork-oracle -- --seed {} --cases {})",
         args.seed, args.cases, args.seed, args.cases
@@ -81,8 +104,12 @@ fn main() -> ExitCode {
         println!("fault injection: skipped (--skip-faults)");
     } else {
         println!(
-            "fault injection: {} injection points, all unwound leak-free",
+            "fault injection: {} injection points, all absorbed or failed clean",
             report.fault_points
+        );
+        println!(
+            "chaos sweep: {} journal-op aborts, all rolled back leak-free",
+            report.chaos_points
         );
     }
     if report.ok() {

@@ -1,0 +1,135 @@
+//! Auto-enumerated chaos sweep over the transactional fork journal.
+//!
+//! Where [`crate::fault`] injects failures at *allocator attempt*
+//! granularity, this sweep works at *journal op* granularity: a clean
+//! reference fork measures the window of journal records a fork of the
+//! oracle image produces, then the scenario is replayed once per record
+//! index with [`UforkOs::inject_journal_failure`] armed at exactly that
+//! op. Injected journal aborts are flagged fatal — the kernel's
+//! reclaim-then-retry loop must *not* absorb them — so each replay must
+//! show a textbook transactional abort:
+//!
+//! * the fork fails (no partial child: no region, no process-table
+//!   entry),
+//! * every frame taken since the fork began is back
+//!   (`allocated_frames` unchanged, `audit_kernel` balanced to zero),
+//! * a rollback was recorded and ran in reverse op order,
+//! * the parent is fully usable and an immediate retry succeeds with a
+//!   bit-correct child,
+//! * teardown afterwards releases everything down to zero frames.
+//!
+//! The sweep enumerates the window automatically, so a new journal op
+//! added to the fork path is covered without touching this file. It runs
+//! for all three copy strategies plus the parallel walk, exercising the
+//! rollback of every op kind: the admission reservation, the region
+//! grab, eager frame allocations, shared/lazy refcount bumps, child PTE
+//! batches, parent COW arming, and the index/process-table inserts.
+
+use ufork::{UforkConfig, UforkOs, WalkMode};
+use ufork_abi::{CopyStrategy, Pid};
+use ufork_exec::{Ctx, MemOs};
+
+use crate::fault::{check_consistent, child_cap, prelude, teardown_clean};
+
+/// What the sweep exercised (for reporting).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosSummary {
+    /// Journal op indices replayed with an injected abort.
+    pub points: u64,
+    /// Strategy × walk-mode configurations swept.
+    pub configs: u64,
+}
+
+/// Strategy × walk-mode configurations under sweep. The parallel walk
+/// runs once (under Full, the op-richest strategy); lane-count variants
+/// share its journal schedule, which the determinism properties already
+/// pin down.
+const CONFIGS: [(CopyStrategy, WalkMode); 4] = [
+    (CopyStrategy::Full, WalkMode::Serial),
+    (CopyStrategy::Full, WalkMode::Parallel(4)),
+    (CopyStrategy::CoA, WalkMode::Serial),
+    (CopyStrategy::CoPA, WalkMode::Serial),
+];
+
+fn build(strategy: CopyStrategy, walk: WalkMode) -> UforkOs {
+    UforkOs::new(UforkConfig {
+        phys_mib: 256,
+        strategy,
+        walk,
+        ..UforkConfig::default()
+    })
+}
+
+fn sweep_config(
+    strategy: CopyStrategy,
+    walk: WalkMode,
+    summary: &mut ChaosSummary,
+) -> Result<(), String> {
+    // Reference run: measure the fork's journal-record window.
+    let (j0, j1) = {
+        let mut os = build(strategy, walk);
+        let mut ctx = Ctx::new();
+        prelude(&mut os, &mut ctx)?;
+        let j0 = os.journal_ops_recorded();
+        os.fork(&mut ctx, Pid(1), Pid(2))
+            .map_err(|e| format!("{strategy:?}/{walk:?}: reference fork failed: {e:?}"))?;
+        (j0, os.journal_ops_recorded())
+    };
+    if j1 == j0 {
+        return Err(format!(
+            "{strategy:?}/{walk:?}: fork recorded no journal ops (window empty)"
+        ));
+    }
+    for op in j0..j1 {
+        let label = format!("{strategy:?}/{walk:?} journal op {op}");
+        let mut os = build(strategy, walk);
+        let mut ctx = Ctx::new();
+        let caps = prelude(&mut os, &mut ctx)?;
+        let frames_before = os.allocated_frames();
+        os.inject_journal_failure(op);
+        if os.fork(&mut ctx, Pid(1), Pid(2)).is_ok() {
+            return Err(format!("{label}: injected abort was absorbed"));
+        }
+        if ctx.counters.fork_rollbacks == 0 {
+            return Err(format!("{label}: abort did not run a rollback"));
+        }
+        if os.region_of(Pid(2)).is_ok() {
+            return Err(format!("{label}: aborted fork left a child behind"));
+        }
+        let frames = os.allocated_frames();
+        if frames != frames_before {
+            return Err(format!(
+                "{label}: {} frames leaked ({frames_before} -> {frames})",
+                frames as i64 - frames_before as i64
+            ));
+        }
+        check_consistent(&mut os, &mut ctx, &label)?;
+        // The injection is one-shot: the retry must produce a complete,
+        // correct child.
+        os.fork(&mut ctx, Pid(1), Pid(2))
+            .map_err(|e| format!("{label}: retry fork failed: {e:?}"))?;
+        let cc = child_cap(&os, &caps[0])?;
+        let mut b = [0u8; 8];
+        os.load(&mut ctx, Pid(2), &cc, &mut b)
+            .map_err(|e| format!("{label}: child read after retry: {e:?}"))?;
+        if u64::from_le_bytes(b) != 0xA0 {
+            return Err(format!(
+                "{label}: child sees {:#x}, expected 0xA0",
+                u64::from_le_bytes(b)
+            ));
+        }
+        teardown_clean(&mut os, &mut ctx, &label)?;
+        summary.points += 1;
+    }
+    summary.configs += 1;
+    Ok(())
+}
+
+/// Runs the whole sweep; returns what was exercised.
+pub fn chaos_sweep() -> Result<ChaosSummary, String> {
+    let mut summary = ChaosSummary::default();
+    for (strategy, walk) in CONFIGS {
+        sweep_config(strategy, walk, &mut summary)?;
+    }
+    Ok(summary)
+}

@@ -18,14 +18,20 @@
 //!    cost-model-independent.
 //! 3. **Deterministic fault injection** ([`fault`]) — every frame
 //!    allocation attempt inside the fork walk and inside lazy CoA/CoPA
-//!    fault resolution is made to fail, one run per attempt index, and
-//!    the kernel must unwind without leaking a frame or a PTE; plus
-//!    μprocess-region exhaustion mid-fork.
+//!    fault resolution is made to fail, one run per attempt index; the
+//!    kernel's reclaim-then-retry must absorb each transient failure
+//!    without leaking a frame or a PTE, while μprocess-region exhaustion
+//!    mid-fork must fail cleanly.
+//! 4. **Journal chaos sweep** ([`chaos`]) — every journal op of a
+//!    reference fork is made to abort, one run per op index, and the
+//!    transactional rollback must balance frames, refcounts, PTEs and
+//!    regions back to zero at each point.
 //!
 //! Everything is replayable from a single seed:
 //! `cargo run -p ufork-oracle -- --seed N --cases M` (or the
 //! `ORACLE_SEED` / `ORACLE_CASES` environment variables).
 
+pub mod chaos;
 pub mod diff;
 pub mod driver;
 pub mod fault;
@@ -50,6 +56,8 @@ pub struct OracleReport {
     pub machine_cases: u64,
     /// Fault-injection points exercised (0 when skipped).
     pub fault_points: u64,
+    /// Journal chaos-sweep abort points exercised (0 when skipped).
+    pub chaos_points: u64,
     /// Human-readable failures (empty = success).
     pub failures: Vec<String>,
 }
@@ -110,7 +118,16 @@ pub fn run_faults(report: &mut OracleReport) {
     }
 }
 
-/// The full oracle: kernel diff, machine diff, fault campaign.
+/// Runs the journal chaos sweep (every journal op index aborted once).
+pub fn run_chaos(report: &mut OracleReport) {
+    match chaos::chaos_sweep() {
+        Ok(s) => report.chaos_points = s.points,
+        Err(e) => report.failures.push(format!("chaos sweep: {e}")),
+    }
+}
+
+/// The full oracle: kernel diff, machine diff, fault campaign, chaos
+/// sweep.
 pub fn run_oracle(seed: u64, cases: u64, skip_faults: bool) -> OracleReport {
     let mut report = OracleReport::default();
     run_kernel_diff(seed, cases, &mut report);
@@ -118,6 +135,7 @@ pub fn run_oracle(seed: u64, cases: u64, skip_faults: bool) -> OracleReport {
     run_machine_diff(seed, cases.div_ceil(5), &mut report);
     if !skip_faults {
         run_faults(&mut report);
+        run_chaos(&mut report);
     }
     report
 }

@@ -58,6 +58,15 @@ pub struct CostModel {
     pub asid_switch: Ns,
     /// Taking a synchronous fault (entry + dispatch + ERET).
     pub fault_entry: Ns,
+    /// Fork admission pre-flight: reading the free-frame/watermark
+    /// counters and booking the reservation. Fixed work on every fork —
+    /// must stay negligible next to `fork_fixed_ufork` or admission
+    /// control would show up in the paper's latency anchors.
+    pub admission_check: Ns,
+    /// Fixed backoff charged between a rolled-back fork attempt and its
+    /// reclaim-then-retry. Deterministic (no jitter): the retry schedule
+    /// is a pure function of the failure sequence.
+    pub reclaim_backoff: Ns,
 
     // ---- Domain switches ----------------------------------------------
     /// Trap-based syscall entry + exit (monolithic kernel).
@@ -133,6 +142,8 @@ impl CostModel {
             tlb_flush: 2_500.0,
             asid_switch: 150.0,
             fault_entry: 350.0,
+            admission_check: 180.0,
+            reclaim_backoff: 5_000.0,
             trap_syscall: 500.0,
             sealed_syscall: 45.0,
             ctx_switch: 1_080.0,
@@ -219,6 +230,12 @@ mod tests {
         // A bulk tag read must beat checking its 64 granules one by one,
         // or the fast path would be a pessimization.
         assert!(c.tags_load < 64.0 * c.granule_check);
+        // Admission pre-flight must be lost in the fixed fork path (well
+        // under 1%), or it would distort the calibrated latency anchors;
+        // the reclaim backoff sits between a fault and the fixed path.
+        assert!(c.admission_check * 100.0 < c.fork_fixed_ufork);
+        assert!(c.reclaim_backoff > c.fault_entry);
+        assert!(c.reclaim_backoff < c.fork_fixed_ufork);
     }
 
     #[test]

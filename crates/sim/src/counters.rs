@@ -66,6 +66,20 @@ pub struct OpCounters {
     /// Recycled-frame allocations that skipped the zeroing scrub because
     /// the caller overwrites the whole frame (deferred-zeroing win).
     pub zeroing_skipped: u64,
+    /// Forks admitted with a cheaper strategy than requested (admission
+    /// control downgraded Full→CoA→CoPA under memory pressure).
+    pub forks_degraded: u64,
+    /// Fork transactions rolled back through the journal (failure or
+    /// injected fault at some journal op).
+    pub fork_rollbacks: u64,
+    /// Side-effect operations recorded in fork journals.
+    pub journal_ops: u64,
+    /// Reclaim passes run by the NoMem retry loop (recycled pools
+    /// scrubbed / deferred-zero queues drained).
+    pub reclaim_passes: u64,
+    /// Simulated nanoseconds spent in reclaim backoff between fork
+    /// retries (whole ns; the f64 charge is truncated when accumulated).
+    pub fork_backoff_ns: u64,
 }
 
 impl OpCounters {
@@ -102,6 +116,11 @@ impl OpCounters {
         self.alloc_steals += other.alloc_steals;
         self.frames_recycled += other.frames_recycled;
         self.zeroing_skipped += other.zeroing_skipped;
+        self.forks_degraded += other.forks_degraded;
+        self.fork_rollbacks += other.fork_rollbacks;
+        self.journal_ops += other.journal_ops;
+        self.reclaim_passes += other.reclaim_passes;
+        self.fork_backoff_ns += other.fork_backoff_ns;
     }
 
     /// Difference `self - earlier`, for measuring a window of activity.
@@ -137,6 +156,11 @@ impl OpCounters {
             alloc_steals: self.alloc_steals - earlier.alloc_steals,
             frames_recycled: self.frames_recycled - earlier.frames_recycled,
             zeroing_skipped: self.zeroing_skipped - earlier.zeroing_skipped,
+            forks_degraded: self.forks_degraded - earlier.forks_degraded,
+            fork_rollbacks: self.fork_rollbacks - earlier.fork_rollbacks,
+            journal_ops: self.journal_ops - earlier.journal_ops,
+            reclaim_passes: self.reclaim_passes - earlier.reclaim_passes,
+            fork_backoff_ns: self.fork_backoff_ns - earlier.fork_backoff_ns,
         }
     }
 }
@@ -176,10 +200,20 @@ impl fmt::Display for OpCounters {
             self.forks,
             self.isolation_violations
         )?;
-        write!(
+        writeln!(
             f,
             "fork chunks: {}, alloc steals: {}, frames recycled: {} (zeroing skipped {})",
             self.fork_chunks, self.alloc_steals, self.frames_recycled, self.zeroing_skipped
+        )?;
+        write!(
+            f,
+            "journal ops: {}, rollbacks: {}, forks degraded: {}, reclaim passes: {}, \
+             backoff: {} ns",
+            self.journal_ops,
+            self.fork_rollbacks,
+            self.forks_degraded,
+            self.reclaim_passes,
+            self.fork_backoff_ns
         )
     }
 }
@@ -255,6 +289,32 @@ mod tests {
         let s = total.to_string();
         assert!(s.contains("reclaimed 6"));
         assert!(s.contains("retries exhausted 2"));
+    }
+
+    #[test]
+    fn journal_family_round_trips() {
+        let a = OpCounters {
+            forks_degraded: 2,
+            fork_rollbacks: 3,
+            journal_ops: 120,
+            reclaim_passes: 4,
+            fork_backoff_ns: 10_000,
+            ..OpCounters::default()
+        };
+        let mut total = OpCounters::default();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.forks_degraded, 4);
+        assert_eq!(total.fork_rollbacks, 6);
+        assert_eq!(total.journal_ops, 240);
+        assert_eq!(total.reclaim_passes, 8);
+        assert_eq!(total.fork_backoff_ns, 20_000);
+        assert_eq!(total.since(&a), a);
+        let s = total.to_string();
+        assert!(s.contains("journal ops: 240"));
+        assert!(s.contains("rollbacks: 6"));
+        assert!(s.contains("forks degraded: 4"));
+        assert!(s.contains("reclaim passes: 8"));
     }
 
     #[test]

@@ -17,6 +17,10 @@ Three metric families are compared, with different thresholds:
   ``fork_scaling``, and strictly finer-grained: an end-to-end latency can
   stay within its gate while one phase silently doubles at another's
   expense, so each phase is gated at the strict threshold too.
+* ``fork_admission[]`` — *simulated* latency of an uncontended fork per
+  admission fallback policy (schema v4+), keyed by ``policy``.
+  Deterministic, gated at the strict threshold: the admission pre-flight
+  must stay a fixed per-fork charge, never grow with the fork's size.
 * ``results[]`` — host wall-clock best-of-samples, keyed by ``name``.
   These depend on the machine that produced them; the committed baseline
   and a CI runner are different hardware, and even same-host runs swing
@@ -64,6 +68,14 @@ def phase_map(doc):
     return {
         (r["mode"], r["phase"]): float(r["sim_total_ns"])
         for r in doc.get("fork_phases", [])
+    }
+
+
+def admission_map(doc):
+    # Absent before schema v4.
+    return {
+        r["policy"]: float(r["sim_fork_ns"])
+        for r in doc.get("fork_admission", [])
     }
 
 
@@ -127,6 +139,12 @@ def main():
         "fork_phases",
         phase_map(old_doc),
         phase_map(new_doc),
+        args.max_regress,
+    )
+    failures += compare(
+        "fork_admission",
+        admission_map(old_doc),
+        admission_map(new_doc),
         args.max_regress,
     )
     failures += compare(

@@ -423,6 +423,76 @@ fn capload_on_cow_page_resolves_in_one_fault_without_retry_exhaustion() {
 }
 
 #[test]
+fn rollback_and_reclaim_counters_match_trace_phases() {
+    // Counter/trace consistency for the transactional fork journal: every
+    // rollback leaves exactly one `fork/rollback` phase span, every fork
+    // reclaim pass one `fork/reclaim` span, each fork attempt opens one
+    // `fork/admission` span, and the `journal_ops` counter equals the
+    // kernel's boot-cumulative journal record delta across the fork.
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 64,
+        strategy: CopyStrategy::Full,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    os.spawn(&mut ctx, Pid(1), &ImageSpec::hello_world())
+        .unwrap();
+    let a = os.malloc(&mut ctx, Pid(1), 8 * 4096).unwrap();
+    for off in (0..8u64 * 4096).step_by(4096) {
+        os.store(
+            &mut ctx,
+            Pid(1),
+            &a.with_addr(a.base() + off).unwrap(),
+            &[5],
+        )
+        .unwrap();
+    }
+
+    let mut fctx = Ctx::traced(4096);
+    // Fail the fourth allocation of the fork walk: the journal rolls the
+    // attempt back, reclaims, and the in-kernel retry succeeds.
+    os.inject_frame_alloc_failure(os.frame_alloc_attempts() + 3);
+    let j0 = os.journal_ops_recorded();
+    os.fork(&mut fctx, Pid(1), Pid(2)).unwrap();
+
+    let c = &fctx.counters;
+    assert!(c.fork_rollbacks >= 1, "injected failure must roll back");
+    assert!(
+        c.reclaim_passes >= 1,
+        "rollback must be followed by reclaim"
+    );
+    assert!(c.fork_backoff_ns > 0, "reclaim charges simulated backoff");
+    assert_eq!(
+        c.journal_ops,
+        os.journal_ops_recorded() - j0,
+        "journal_ops counter tracks every recorded op"
+    );
+    let span_count = |name: &str| {
+        fctx.trace
+            .phases()
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.count)
+    };
+    assert_eq!(
+        c.fork_rollbacks,
+        span_count("fork/rollback"),
+        "one trace span per rollback"
+    );
+    assert_eq!(
+        c.reclaim_passes,
+        span_count("fork/reclaim"),
+        "one trace span per reclaim pass"
+    );
+    assert_eq!(
+        span_count("fork/admission"),
+        c.fork_rollbacks + 1,
+        "one admission span per fork attempt"
+    );
+    assert_eq!(os.audit_kernel(), (0, 0));
+}
+
+#[test]
 fn fault_counters_match_trace_events_and_page_motion() {
     // Counter-consistency property: every resolved transparent fault
     // leaves exactly one trace instant, and every resolution either

@@ -39,3 +39,19 @@ fn fault_injection_campaign() {
         report.fault_points
     );
 }
+
+#[test]
+fn journal_chaos_sweep() {
+    let mut report = OracleReport::default();
+    ufork_oracle::run_chaos(&mut report);
+    assert!(
+        report.ok(),
+        "chaos sweep failures:\n{}",
+        report.failures.join("\n")
+    );
+    assert!(
+        report.chaos_points > 50,
+        "sweep aborted only {} journal ops",
+        report.chaos_points
+    );
+}

@@ -246,6 +246,108 @@ fn random_programs_terminate_deterministically() {
     );
 }
 
+/// Fork-storm soak under memory pressure with `FallbackPolicy::Degrade`:
+/// on a small machine, every fork must either succeed at the requested
+/// strategy, succeed with a degraded strategy (visible in the
+/// `forks_degraded` counter), or fail with a clean `NoMem` — never
+/// anything else, and never a crash. Tearing the storm down must restore
+/// the exact pre-storm frame count.
+#[test]
+fn fork_storm_under_pressure_degrades_then_fails_cleanly() {
+    use ufork_repro::abi::{Errno, ImageSpec, Pid};
+    use ufork_repro::exec::{Ctx, MemOs};
+    use ufork_repro::mem::PAGE_SIZE;
+    use ufork_repro::ufork::FallbackPolicy;
+
+    const HEAP_PAGES: u64 = 16;
+    let mut os = UforkOs::new(UforkConfig {
+        phys_mib: 4,
+        strategy: CopyStrategy::Full,
+        fallback: FallbackPolicy::Degrade,
+        ..UforkConfig::default()
+    });
+    let mut ctx = Ctx::new();
+    let image = ImageSpec::with_heap("storm", HEAP_PAGES * PAGE_SIZE + 64 * 1024);
+    os.spawn(&mut ctx, Pid(1), &image).unwrap();
+    // A touched, capability-dense parent heap: Full forks are expensive,
+    // so the ladder has real frame demand to degrade away from.
+    let arr = os.malloc(&mut ctx, Pid(1), HEAP_PAGES * PAGE_SIZE).unwrap();
+    for p in 0..HEAP_PAGES {
+        let at = arr.with_addr(arr.base() + p * PAGE_SIZE).unwrap();
+        os.store(&mut ctx, Pid(1), &at, &(0xBEEF + p).to_le_bytes())
+            .unwrap();
+        let slot = arr.with_addr(arr.base() + p * PAGE_SIZE + 64).unwrap();
+        os.store_cap(&mut ctx, Pid(1), &slot, &at).unwrap();
+    }
+    let baseline = os.allocated_frames();
+
+    let mut children = Vec::new();
+    let mut hit_nomem = false;
+    for n in 2..=1024u32 {
+        match os.fork(&mut ctx, Pid(1), Pid(n)) {
+            Ok(()) => children.push(Pid(n)),
+            Err(Errno::NoMem) => {
+                hit_nomem = true;
+                break;
+            }
+            Err(e) => panic!("fork #{n} under pressure: expected Ok or NoMem, got {e:?}"),
+        }
+    }
+    assert!(
+        hit_nomem,
+        "storm of {} forks never exhausted memory",
+        children.len()
+    );
+    assert!(
+        ctx.counters.forks_degraded > 0,
+        "no fork degraded before exhaustion (storm size {})",
+        children.len()
+    );
+    assert!(
+        !children.is_empty(),
+        "not a single fork fit before exhaustion"
+    );
+    // The refused fork left nothing behind.
+    let (dangling, unaccounted) = os.audit_kernel();
+    assert_eq!((dangling, unaccounted), (0, 0), "audit after refused fork");
+
+    // Every surviving child is a real, readable process.
+    let last = *children.last().unwrap();
+    let c_root = os.reg(last, 0).unwrap();
+    let p_root = os.reg(Pid(1), 0).unwrap();
+    let delta = c_root.base() as i64 - p_root.base() as i64;
+    let c_arr = arr.rebase(delta, &c_root).unwrap();
+    let mut b = [0u8; 8];
+    os.load(
+        &mut ctx,
+        last,
+        &c_arr.with_addr(c_arr.base()).unwrap(),
+        &mut b,
+    )
+    .unwrap();
+    assert_eq!(u64::from_le_bytes(b), 0xBEEF, "child heap after storm");
+
+    // Teardown releases every frame the storm took.
+    for pid in children {
+        os.destroy(&mut ctx, pid);
+    }
+    assert_eq!(
+        os.allocated_frames(),
+        baseline,
+        "storm teardown did not restore the frame count"
+    );
+    assert_eq!(os.audit_kernel(), (0, 0), "audit after storm teardown");
+    // And the parent still works.
+    os.load(
+        &mut ctx,
+        Pid(1),
+        &arr.with_addr(arr.base()).unwrap(),
+        &mut b,
+    )
+    .unwrap();
+    assert_eq!(u64::from_le_bytes(b), 0xBEEF, "parent heap after storm");
+}
+
 /// The same program observes the same OUTPUT (file contents) under every
 /// copy strategy — strategies must be semantically invisible.
 #[test]
