@@ -17,13 +17,17 @@ use ufork::reloc::{relocate_frame, ScanMode};
 use ufork::{FallbackPolicy, UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_baselines::{mono, nephele, BaselineConfig};
-use ufork_bench::{fork_scaling_sweep, trace_fork_runs, ScalingRow, TracedFork};
+use ufork_bench::{
+    fork_scaling_sweep, storm_children_from_env, storm_sweep, trace_fork_runs, ScalingRow,
+    StormMode, TracedFork, STORM_CORES, STORM_SEED,
+};
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::{Ctx, MemOs};
 use ufork_mem::PhysMem;
 use ufork_sim::DEFAULT_TRACE_CAPACITY;
 use ufork_testkit::bench::bench_with_setup_ns;
 use ufork_vmem::{Region, VirtAddr};
+use ufork_workloads::storm::StormReport;
 
 /// Forks in the lineage built during setup: each fork retires its parent,
 /// so relocation lookups face a realistic population of retired regions.
@@ -239,6 +243,8 @@ fn main() {
     let (admission, admission_overhead) = run_admission();
 
     let (scaling, scaling_speedup) = run_scaling();
+
+    let storm = run_storm_family();
     // Per-phase simulated totals from the trace layer: exactly
     // reproducible, so bench_gate.py gates them like fork_scaling rows.
     let phases = trace_fork_runs();
@@ -262,7 +268,35 @@ fn main() {
         &admission,
         &scaling,
         &phases,
+        &storm,
     );
+}
+
+/// Runs the fork-storm sweep through the event-driven scheduler:
+/// `BENCH_STORM_CHILDREN` concurrent children (default 10 000; CI smoke
+/// sets a reduced N) per copy-strategy mode, on 8 simulated cores.
+///
+/// All metrics are *simulated* time. `storm_sweep` itself runs every
+/// mode twice and asserts the two runs bit-identical (event-log digest,
+/// final sim time, p50/p99), and `run_storm` inside it asserts full
+/// completion, full overlap (peak_live == children), and zero leaked
+/// frames — so a row landing in the JSON certifies the scheduler held
+/// 10k live μprocesses deterministically.
+fn run_storm_family() -> Vec<(StormMode, StormReport)> {
+    let children = storm_children_from_env();
+    let rows = storm_sweep(children, STORM_SEED, STORM_CORES);
+    for (mode, r) in &rows {
+        println!(
+            "fork_storm/{}: {} children, fork p50 {:.0} ns / p99 {:.0} ns, {:.1} forks/sim-s, {:.3} sim-s",
+            mode.label,
+            r.completed,
+            r.p50_fork_ns,
+            r.p99_fork_ns,
+            r.forks_per_sim_sec,
+            r.final_ns / 1e9
+        );
+    }
+    rows
 }
 
 /// The derived ratios reported in the JSON `speedup` section.
@@ -382,6 +416,7 @@ fn write_json(
     admission: &[(&'static str, f64)],
     scaling: &[ScalingRow],
     phases: &[TracedFork],
+    storm: &[(StormMode, StormReport)],
 ) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_fork.json");
@@ -424,8 +459,29 @@ fn write_json(
         .map(|(policy, ns)| format!("    {{\"policy\": \"{policy}\", \"sim_fork_ns\": {ns:.1}}}"))
         .collect::<Vec<_>>()
         .join(",\n");
+    let storm_rows = storm
+        .iter()
+        .map(|(mode, r)| {
+            format!(
+                "    {{\"mode\": \"{}\", \"children\": {}, \"completed\": {}, \"peak_live\": {}, \"retries\": {}, \"sim_p50_ns\": {:.1}, \"sim_p99_ns\": {:.1}, \"sim_mean_ns\": {:.1}, \"sim_ns_per_fork\": {:.1}, \"forks_per_sim_sec\": {:.3}, \"sim_final_ns\": {:.1}, \"digest\": \"{:016x}\"}}",
+                mode.label,
+                r.children,
+                r.completed,
+                r.peak_live,
+                r.retries,
+                r.p50_fork_ns,
+                r.p99_fork_ns,
+                r.mean_fork_ns,
+                r.sim_ns_per_fork,
+                r.forks_per_sim_sec,
+                r.final_ns,
+                r.digest
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let body = format!(
-        "{{\n  \"schema\": \"ufork-bench-fork/v4\",\n  \"unit\": \"ns/iter (median, setup subtracted)\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"ufork-bench-fork/v5\",\n  \"unit\": \"ns/iter (median, setup subtracted)\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"fork_storm\": [\n{storm_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
         sparse = speedups.sparse,
         lineage = speedups.lineage,
         scaling_speedup = speedups.scaling,

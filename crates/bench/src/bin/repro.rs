@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|fig3|...|fig9|ablations|scaling|pressure|trace|all] [--quick]
+//! repro [table1|fig3|...|fig9|ablations|scaling|pressure|storm|trace|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks iteration counts / windows (CI-friendly); the default
@@ -21,7 +21,8 @@ use ufork_bench::report::{num, render_table, size_label};
 use ufork_bench::{
     ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep,
     ablation_naive_scan, fig6, fig7, fig8, fig9, fork_scaling_sweep, pressure_storm, redis_sweep,
-    table1, trace_chrome_json, trace_fork_runs, trace_summary_text, AblationRow, RedisRow,
+    storm_sweep, table1, trace_chrome_json, trace_fork_runs, trace_summary_text, AblationRow,
+    RedisRow, STORM_CORES, STORM_SEED,
 };
 
 fn print_ablation(title: &str, rows: &[AblationRow]) {
@@ -319,6 +320,40 @@ fn main() {
                     "Journal ops",
                     "Backoff (µs, sim)",
                     "Pressure",
+                ],
+                &body
+            )
+        );
+    }
+    if all || what == "storm" {
+        let children = if quick { 800 } else { 10_000 };
+        println!("== Fork storm: {children} concurrent children, {STORM_CORES} cores (event-driven scheduler) ==");
+        let rows = storm_sweep(children, STORM_SEED, STORM_CORES);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|(mode, r)| {
+                vec![
+                    mode.label.to_string(),
+                    r.completed.to_string(),
+                    r.peak_live.to_string(),
+                    num(r.p50_fork_ns / 1e3),
+                    num(r.p99_fork_ns / 1e3),
+                    num(r.forks_per_sim_sec),
+                    num(r.final_ns / 1e9),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "Mode",
+                    "Completed",
+                    "Peak live",
+                    "fork p50 (µs, sim)",
+                    "fork p99 (µs, sim)",
+                    "forks/sim-s",
+                    "storm time (s, sim)",
                 ],
                 &body
             )

@@ -391,7 +391,7 @@ pub fn fig6(window_ns: f64) -> Vec<Fig6Row> {
             let mcfg = MachineConfig {
                 cores: cores as usize + 1,
                 child_affinity: Some((1..=cores as usize).collect()),
-                time_limit: None,
+                ..MachineConfig::default()
             };
             let mut m = AnyMachine::build(sys, 512, mcfg);
             let mut fcfg = FaasConfig::for_cores(cores);
@@ -435,8 +435,8 @@ pub struct Fig7Row {
 pub fn nginx_run(sys: Sys, cores: u32, workers: u32, window_ns: f64) -> Fig7Row {
     let mcfg = MachineConfig {
         cores: cores as usize,
-        child_affinity: None,
         time_limit: Some(window_ns),
+        ..MachineConfig::default()
     };
     let mut m = AnyMachine::build(sys, 512, mcfg);
     let img = ImageSpec::with_heap("nginx", 4 << 20);

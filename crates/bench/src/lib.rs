@@ -8,8 +8,10 @@
 pub mod ablations;
 pub mod experiments;
 pub mod report;
+pub mod storm;
 pub mod trace_exp;
 
 pub use ablations::*;
 pub use experiments::*;
+pub use storm::*;
 pub use trace_exp::*;

@@ -5,8 +5,14 @@
 //! may have many threads"); threads share the process's memory, file
 //! descriptors, and register file, and are scheduled independently.
 //! `fork` duplicates only the calling thread, as POSIX specifies.
+//!
+//! Two scheduling engines share everything after thread selection (see
+//! [`SchedEngine`]): the original lockstep linear scan, and the default
+//! event-driven run queue that scales to thousands of live μprocesses.
+//! With default priorities and no time slice, both produce bit-identical
+//! schedules — enforced by `tests/sched_differential.rs`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ufork_abi::{
     BlockingCall, Capability, Env, Errno, Fd, ForkResult, ImageSpec, Pid, Program, Resume,
@@ -16,6 +22,7 @@ use ufork_sim::OpCounters;
 
 use crate::ctx::Ctx;
 use crate::memos::{charge_syscall, MemOs};
+use crate::sched::{BlockedOn, Cores, QEntry, RunQueue, SchedEngine, TimeKey, DEFAULT_PRIORITY};
 use crate::vfs::{ConnRead, ConnTemplate, FdKind, FdTable, PipeRead, Vfs, WakeEvent};
 
 /// Machine-wide configuration.
@@ -30,6 +37,15 @@ pub struct MachineConfig {
     /// Stop scheduling steps that would start at or after this simulated
     /// time (ns).
     pub time_limit: Option<f64>,
+    /// Scheduling engine. [`SchedEngine::EventDriven`] unless a test
+    /// explicitly asks for the lockstep reference.
+    pub engine: SchedEngine,
+    /// Time-slice length (ns), event engine only: a step that runs longer
+    /// is requeued *behind* other threads ready at the same instant
+    /// (round-robin at equal timestamps — in a discrete-event machine a
+    /// slice cannot preempt mid-step). `None` disables slicing, which
+    /// keeps the schedule identical to the lockstep engine.
+    pub slice_ns: Option<f64>,
 }
 
 impl Default for MachineConfig {
@@ -38,6 +54,8 @@ impl Default for MachineConfig {
             cores: 1,
             child_affinity: None,
             time_limit: None,
+            engine: SchedEngine::EventDriven,
+            slice_ns: None,
         }
     }
 }
@@ -85,6 +103,12 @@ struct Thread {
     resume_with: Resume,
     /// A blocking call to (re)try when next scheduled.
     pending: Option<BlockingCall>,
+    /// What the thread is parked on while `Blocked`.
+    blocked_on: Option<BlockedOn>,
+    /// Ready-generation: bumped on every transition into (or re-keying
+    /// of) the ready state. A run-queue entry is live iff its `gen`
+    /// matches — the lazy-deletion validity check.
+    gen: u64,
     /// Exit code + time, for `JoinThread`.
     exited: Option<(i32, f64)>,
 }
@@ -96,6 +120,8 @@ impl Thread {
             state: ThreadState::Ready { at },
             resume_with,
             pending: None,
+            blocked_on: None,
+            gen: 0,
             exited: None,
         }
     }
@@ -116,9 +142,17 @@ struct Proc {
     threads: BTreeMap<u32, Thread>,
     next_tid: u32,
     fds: FdTable,
-    children: Vec<Pid>,
-    zombies: Vec<(Pid, i32, f64)>,
+    children: BTreeSet<Pid>,
+    /// Exited children awaiting `wait`, keyed by (exit time, arrival
+    /// order): the first entry is always the earliest-exiting zombie, so
+    /// reaping is O(log z) instead of a scan — a 10k-storm parent reaps
+    /// 10k times.
+    zombies: BTreeMap<(TimeKey, u64), (Pid, i32, f64)>,
+    zombie_seq: u64,
     affinity: Option<Vec<usize>>,
+    /// Scheduling priority (ties in ready time only; see
+    /// [`Machine::set_priority`]).
+    prio: u8,
     exit_code: Option<i32>,
 }
 
@@ -130,6 +164,7 @@ impl Proc {
         at: f64,
         resume_with: Resume,
         affinity: Option<Vec<usize>>,
+        prio: u8,
     ) -> Proc {
         let mut threads = BTreeMap::new();
         threads.insert(MAIN_TID, Thread::new(program, resume_with, at));
@@ -139,18 +174,14 @@ impl Proc {
             threads,
             next_tid: MAIN_TID + 1,
             fds,
-            children: Vec::new(),
-            zombies: Vec::new(),
+            children: BTreeSet::new(),
+            zombies: BTreeMap::new(),
+            zombie_seq: 0,
             affinity,
+            prio,
             exit_code: None,
         }
     }
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Core {
-    now: f64,
-    last: Option<(Pid, u32)>,
 }
 
 /// The simulated machine: one [`MemOs`] backend plus the shared executive.
@@ -159,7 +190,7 @@ pub struct Machine<O: MemOs> {
     pub os: O,
     vfs: Vfs,
     procs: BTreeMap<Pid, Proc>,
-    cores: Vec<Core>,
+    cores: Cores,
     /// Busy intervals of the big kernel lock (start, end), kept pruned.
     lock_busy: Vec<(f64, f64)>,
     next_pid: u32,
@@ -167,29 +198,32 @@ pub struct Machine<O: MemOs> {
     config: MachineConfig,
     fork_log: Vec<ForkEvent>,
     exit_log: Vec<ExitEvent>,
+    runq: RunQueue,
+    /// Threads parked reading pipe `id` (event engine): wakeups touch
+    /// only the affected pipe's waiters, not every thread.
+    pipe_waiters: BTreeMap<usize, Vec<(Pid, u32)>>,
+    /// Threads parked reading connection `id` (event engine).
+    conn_waiters: BTreeMap<usize, Vec<(Pid, u32)>>,
 }
 
 impl<O: MemOs> Machine<O> {
     /// Creates a machine over the given backend.
     pub fn new(os: O, config: MachineConfig) -> Machine<O> {
-        let cores = vec![
-            Core {
-                now: 0.0,
-                last: None
-            };
-            config.cores.max(1)
-        ];
+        let runq = RunQueue::new(config.engine == SchedEngine::EventDriven);
         Machine {
             os,
             vfs: Vfs::new(),
             procs: BTreeMap::new(),
-            cores,
+            cores: Cores::new(config.cores),
             lock_busy: Vec::new(),
             next_pid: 1,
             counters: OpCounters::default(),
             config,
             fork_log: Vec::new(),
             exit_log: Vec::new(),
+            runq,
+            pipe_waiters: BTreeMap::new(),
+            conn_waiters: BTreeMap::new(),
         }
     }
 
@@ -204,8 +238,17 @@ impl<O: MemOs> Machine<O> {
         self.counters.merge(&ctx.counters);
         self.procs.insert(
             pid,
-            Proc::main_thread(program, None, FdTable::new(), 0.0, Resume::Start, None),
+            Proc::main_thread(
+                program,
+                None,
+                FdTable::new(),
+                0.0,
+                Resume::Start,
+                None,
+                DEFAULT_PRIORITY,
+            ),
         );
+        self.make_ready(pid, MAIN_TID, 0.0);
         Ok(pid)
     }
 
@@ -213,6 +256,32 @@ impl<O: MemOs> Machine<O> {
     pub fn set_affinity(&mut self, pid: Pid, cores: Vec<usize>) {
         if let Some(p) = self.procs.get_mut(&pid) {
             p.affinity = Some(cores);
+        }
+    }
+
+    /// Sets a process's scheduling priority (lower value = preferred).
+    ///
+    /// In a discrete-event machine priority can only break *ties*: a
+    /// thread ready at an earlier simulated instant always runs first
+    /// regardless of priority. Children inherit the forking parent's
+    /// priority. Applies to scheduling decisions made after the call.
+    pub fn set_priority(&mut self, pid: Pid, prio: u8) {
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        p.prio = prio;
+        // Re-key live queue entries: supersede (gen bump) and re-push
+        // every currently ready thread under the new priority.
+        let ready: Vec<(u32, f64)> = p
+            .threads
+            .iter()
+            .filter_map(|(tid, t)| match t.state {
+                ThreadState::Ready { at } => Some((*tid, at)),
+                _ => None,
+            })
+            .collect();
+        for (tid, at) in ready {
+            self.make_ready(pid, tid, at);
         }
     }
 
@@ -252,7 +321,7 @@ impl<O: MemOs> Machine<O> {
 
     /// Latest simulated time across cores.
     pub fn now(&self) -> f64 {
-        self.cores.iter().map(|c| c.now).fold(0.0, f64::max)
+        self.cores.max_now()
     }
 
     /// Exit code of a finished process.
@@ -291,6 +360,20 @@ impl<O: MemOs> Machine<O> {
         })
     }
 
+    /// What a thread is blocked on, if it is indefinitely parked.
+    pub fn blocked_on(&self, pid: Pid, tid: u32) -> Option<BlockedOn> {
+        self.procs
+            .get(&pid)
+            .and_then(|p| p.threads.get(&tid))
+            .and_then(|t| t.blocked_on)
+    }
+
+    /// Run-queue entries currently held (stale entries included; event
+    /// engine only — the lockstep engine keeps no queue).
+    pub fn run_queue_len(&self) -> usize {
+        self.runq.len()
+    }
+
     // ---- the scheduler loop ---------------------------------------------
 
     /// Runs until nothing is runnable or the time limit is reached.
@@ -304,7 +387,14 @@ impl<O: MemOs> Machine<O> {
 
     /// Executes one scheduling step. Returns false when idle/finished.
     pub fn step(&mut self) -> bool {
-        // Pick the runnable thread with the earliest ready time.
+        match self.config.engine {
+            SchedEngine::Lockstep => self.step_lockstep(),
+            SchedEngine::EventDriven => self.step_event(),
+        }
+    }
+
+    /// The reference engine: linear scan for the earliest-ready thread.
+    fn step_lockstep(&mut self) -> bool {
         let Some((pid, tid, ready_at)) = self
             .procs
             .iter()
@@ -324,24 +414,66 @@ impl<O: MemOs> Machine<O> {
                 return false;
             }
         }
+        self.dispatch(pid, tid, ready_at)
+    }
+
+    /// The event engine: pop run-queue entries (lazily discarding stale
+    /// ones) until a live thread is found.
+    fn step_event(&mut self) -> bool {
+        loop {
+            let Some(entry) = self.runq.pop() else {
+                return false;
+            };
+            let current = self
+                .procs
+                .get(&entry.pid)
+                .filter(|p| p.life == ProcLife::Alive)
+                .and_then(|p| p.threads.get(&entry.tid))
+                .and_then(|t| match t.state {
+                    ThreadState::Ready { at } if t.gen == entry.gen => Some(at),
+                    _ => None,
+                });
+            let Some(ready_at) = current else {
+                continue; // stale: superseded since it was pushed
+            };
+            if let Some(limit) = self.config.time_limit {
+                if ready_at >= limit {
+                    // Idle-at-limit, not consumed: keep the entry so a
+                    // later step() (e.g. after raising the limit) still
+                    // finds the thread.
+                    self.runq.push(entry);
+                    return false;
+                }
+            }
+            return self.dispatch(entry.pid, entry.tid, ready_at);
+        }
+    }
+
+    /// Runs the selected thread: core choice, pending-call retry, program
+    /// resume, outcome handling. Shared verbatim by both engines so their
+    /// schedules cannot drift apart.
+    fn dispatch(&mut self, pid: Pid, tid: u32, ready_at: f64) -> bool {
         // Pick the allowed core with the earliest time.
         let affinity = self.procs[&pid].affinity.clone();
         let core_idx = (0..self.cores.len())
             .filter(|i| affinity.as_ref().is_none_or(|a| a.contains(i)))
-            .min_by(|a, b| self.cores[*a].now.total_cmp(&self.cores[*b].now))
+            .min_by(|a, b| self.cores.now(*a).total_cmp(&self.cores.now(*b)))
             .expect("affinity excludes every core");
-        let core = self.cores[core_idx];
-        let start = core.now.max(ready_at);
+        let start = self.cores.now(core_idx).max(ready_at);
         if let Some(limit) = self.config.time_limit {
             if start >= limit {
                 // Ready, but no core can run it before the window closes.
+                // Re-queue untouched (same gen) for the event engine.
+                let prio = self.procs[&pid].prio;
+                let gen = self.procs[&pid].threads[&tid].gen;
+                self.runq.push(QEntry::new(ready_at, prio, pid, tid, gen));
                 return false;
             }
         }
 
         let mut ctx = Ctx::new();
         // Context switch when the core last ran a different thread.
-        if let Some(last) = core.last {
+        if let Some(last) = self.cores.last(core_idx) {
             if last != (pid, tid) {
                 ctx.kernel(self.os.ctx_switch_cost(last.0, pid));
                 ctx.counters.ctx_switches += 1;
@@ -359,9 +491,7 @@ impl<O: MemOs> Machine<O> {
             match self.service_blocking(pid, tid, call, start, &mut ctx) {
                 ServiceOutcome::Done(r) => resume_with = Resume::Ret(r),
                 ServiceOutcome::BlockIndefinite(call) => {
-                    let t = self.thread_mut(pid, tid);
-                    t.pending = Some(call);
-                    t.state = ThreadState::Blocked;
+                    self.block_thread(pid, tid, call);
                     self.finish_step(core_idx, pid, tid, start, ctx);
                     return true;
                 }
@@ -425,6 +555,12 @@ impl<O: MemOs> Machine<O> {
                         p.threads
                             .insert(MAIN_TID, Thread::new(program.0, Resume::Start, end));
                         p.next_tid = MAIN_TID + 1;
+                        if tid != MAIN_TID {
+                            // exec from a secondary thread: the fresh main
+                            // thread is not the thread finish_step
+                            // re-enqueues, so enqueue it here.
+                            self.make_ready(pid, MAIN_TID, end);
+                        }
                     }
                     Err(_) => {
                         // Past the point of no return: the process dies.
@@ -442,9 +578,7 @@ impl<O: MemOs> Machine<O> {
                         t.state = ThreadState::Ready { at: now };
                     }
                     ServiceOutcome::BlockIndefinite(call) => {
-                        let t = self.thread_mut(pid, tid);
-                        t.pending = Some(call);
-                        t.state = ThreadState::Blocked;
+                        self.block_thread(pid, tid, call);
                     }
                     ServiceOutcome::RetryAt(call, t_at) => {
                         let t = self.thread_mut(pid, tid);
@@ -467,17 +601,67 @@ impl<O: MemOs> Machine<O> {
             .expect("thread exists")
     }
 
+    /// Transitions a thread into `Ready { at }` and enqueues it.
+    ///
+    /// Every transition into the ready state MUST go through here or
+    /// through [`Machine::finish_step`] (which re-enqueues the thread
+    /// that just ran): the run queue uses lazy deletion, so a ready
+    /// thread without a live queue entry would never be scheduled by the
+    /// event engine.
+    fn make_ready(&mut self, pid: Pid, tid: u32, at: f64) {
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        let prio = p.prio;
+        let Some(t) = p.threads.get_mut(&tid) else {
+            return;
+        };
+        t.state = ThreadState::Ready { at };
+        t.blocked_on = None;
+        t.gen += 1;
+        self.runq.push(QEntry::new(at, prio, pid, tid, t.gen));
+    }
+
+    /// Parks the running thread on an indefinite blocking call, recording
+    /// what it waits for and (event engine) indexing pipe/conn waits so
+    /// wakeup delivery is O(woken), not O(threads).
+    fn block_thread(&mut self, pid: Pid, tid: u32, call: BlockingCall) {
+        #[allow(clippy::cast_possible_truncation)]
+        let on = match &call {
+            BlockingCall::Wait => BlockedOn::Wait,
+            BlockingCall::JoinThread { tid: jt } => BlockedOn::Join(*jt as u32),
+            BlockingCall::Read { fd, .. } => {
+                match self.procs.get(&pid).and_then(|p| p.fds.get(*fd).ok()) {
+                    Some(FdKind::PipeRead(id)) => BlockedOn::Pipe(*id),
+                    Some(FdKind::Conn(id)) => BlockedOn::Conn(*id),
+                    // Only pipe/conn reads block indefinitely today.
+                    _ => BlockedOn::Fault,
+                }
+            }
+            // Yield/Sleep/SpawnThread/Accept resolve to Done or a timed
+            // retry; this arm is unreachable but harmless.
+            _ => BlockedOn::Fault,
+        };
+        if self.config.engine == SchedEngine::EventDriven {
+            match on {
+                BlockedOn::Pipe(id) => self.pipe_waiters.entry(id).or_default().push((pid, tid)),
+                BlockedOn::Conn(id) => self.conn_waiters.entry(id).or_default().push((pid, tid)),
+                _ => {}
+            }
+        }
+        let t = self.thread_mut(pid, tid);
+        t.pending = Some(call);
+        t.state = ThreadState::Blocked;
+        t.blocked_on = Some(on);
+    }
+
     /// Reserves the big kernel lock for `dur` ns no earlier than
     /// `want_start`, returning the actual acquisition time (first gap in
     /// the busy schedule — kernel windows of concurrent steps must not
     /// overlap, but a window entirely in the past or future of another
     /// does not conflict with it).
     fn lock_acquire(&mut self, want_start: f64, dur: f64) -> f64 {
-        let min_now = self
-            .cores
-            .iter()
-            .map(|c| c.now)
-            .fold(f64::INFINITY, f64::min);
+        let min_now = self.cores.min_now();
         self.lock_busy.retain(|&(_, e)| e > min_now - 1.0);
         self.lock_busy.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut t = want_start;
@@ -494,7 +678,8 @@ impl<O: MemOs> Machine<O> {
     }
 
     /// Applies step time to the core (with big-kernel-lock serialization)
-    /// and merges counters. Returns the step's end time.
+    /// and merges counters; re-enqueues the thread that just ran if it is
+    /// still runnable. Returns the step's end time.
     fn finish_step(&mut self, core_idx: usize, pid: Pid, tid: u32, start: f64, ctx: Ctx) -> f64 {
         let end = if self.os.big_kernel_lock() && self.cores.len() > 1 && ctx.kernel_ns > 0.0 {
             let kstart = self.lock_acquire(start + ctx.user_ns, ctx.kernel_ns);
@@ -502,11 +687,15 @@ impl<O: MemOs> Machine<O> {
         } else {
             start + ctx.total()
         };
-        let core = &mut self.cores[core_idx];
-        core.now = end;
-        core.last = Some((pid, tid));
+        self.cores.advance_to(core_idx, end);
+        self.cores.note_ran(core_idx, pid, tid);
         self.counters.merge(&ctx.counters);
-        // The thread that just ran can never resume before this step ends.
+        // The thread that just ran can never resume before this step
+        // ends. Its queue entry (if any) predates outcome handling, so
+        // push a superseding one — demoted behind same-instant peers when
+        // the step overran the configured time slice.
+        let over_slice = self.config.slice_ns.is_some_and(|s| end - start > s);
+        let mut requeue = None;
         if let Some(t) = self
             .procs
             .get_mut(&pid)
@@ -516,7 +705,18 @@ impl<O: MemOs> Machine<O> {
                 if *at < end {
                     *at = end;
                 }
+                t.gen += 1;
+                requeue = Some((*at, t.gen));
             }
+        }
+        if let Some((at, gen)) = requeue {
+            let prio = self.procs[&pid].prio;
+            let entry = if over_slice {
+                self.runq.demoted(at, prio, pid, tid, gen)
+            } else {
+                QEntry::new(at, prio, pid, tid, gen)
+            };
+            self.runq.push(entry);
         }
         end
     }
@@ -540,11 +740,15 @@ impl<O: MemOs> Machine<O> {
             BlockingCall::SpawnThread { program } => {
                 charge_syscall(&self.os, ctx, 0);
                 ctx.kernel(self.os.cost().proc_exit); // thread-create ≈ teardown cost class
-                let p = self.procs.get_mut(&pid).expect("caller exists");
-                let new_tid = p.next_tid;
-                p.next_tid += 1;
-                p.threads
-                    .insert(new_tid, Thread::new(program.0, Resume::Start, now));
+                let new_tid = {
+                    let p = self.procs.get_mut(&pid).expect("caller exists");
+                    let new_tid = p.next_tid;
+                    p.next_tid += 1;
+                    p.threads
+                        .insert(new_tid, Thread::new(program.0, Resume::Start, now));
+                    new_tid
+                };
+                self.make_ready(pid, new_tid, now);
                 ServiceOutcome::Done(Ok(u64::from(new_tid)))
             }
             BlockingCall::JoinThread { tid: target } => {
@@ -574,38 +778,33 @@ impl<O: MemOs> Machine<O> {
             }
             BlockingCall::Wait => {
                 charge_syscall(&self.os, ctx, 0);
-                let p = self.procs.get_mut(&pid).expect("caller exists");
                 // Reap only children that have exited by simulated `now`:
                 // a zombie created later in simulated time (by a step that
                 // happened to execute earlier in host order) is not yet
-                // visible.
-                let ready_idx = p
-                    .zombies
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, z)| z.2 <= now + 1e-9)
-                    .min_by(|a, b| a.1 .2.total_cmp(&b.1 .2))
-                    .map(|(i, _)| i);
-                if let Some(i) = ready_idx {
-                    let (child, code, _) = p.zombies.remove(i);
-                    p.children.retain(|c| *c != child);
-                    ctx.kernel(self.os.cost().proc_wait);
-                    if let Some(cp) = self.procs.get_mut(&child) {
-                        cp.life = ProcLife::Dead;
+                // visible. The zombie table is ordered by (exit time,
+                // arrival order), so the first entry is exactly the child
+                // the old linear scan picked.
+                let p = self.procs.get_mut(&pid).expect("caller exists");
+                let first = p.zombies.iter().next().map(|(k, v)| (*k, *v));
+                if let Some((key, (child, code, z_at))) = first {
+                    if z_at <= now + 1e-9 {
+                        p.zombies.remove(&key);
+                        p.children.remove(&child);
+                        ctx.kernel(self.os.cost().proc_wait);
+                        if let Some(cp) = self.procs.get_mut(&child) {
+                            cp.life = ProcLife::Dead;
+                        }
+                        // POSIX-style status: low 32 bits the PID, high 32
+                        // the child's exit code.
+                        ServiceOutcome::Done(
+                            Ok(u64::from(child.0) | (u64::from(code as u32) << 32)),
+                        )
+                    } else {
+                        // A child has exited, but only at a later simulated
+                        // time: wait until then.
+                        ServiceOutcome::RetryAt(BlockingCall::Wait, z_at)
                     }
-                    // POSIX-style status: low 32 bits the PID, high 32 the
-                    // child's exit code.
-                    ServiceOutcome::Done(Ok(u64::from(child.0) | (u64::from(code as u32) << 32)))
-                } else if let Some(t) = self.procs[&pid]
-                    .zombies
-                    .iter()
-                    .map(|z| z.2)
-                    .min_by(f64::total_cmp)
-                {
-                    // A child has exited, but only at a later simulated
-                    // time: wait until then.
-                    ServiceOutcome::RetryAt(BlockingCall::Wait, t)
-                } else if self.procs[&pid].children.is_empty() {
+                } else if p.children.is_empty() {
                     ServiceOutcome::Done(Err(Errno::Child))
                 } else {
                     ServiceOutcome::BlockIndefinite(BlockingCall::Wait)
@@ -725,6 +924,7 @@ impl<O: MemOs> Machine<O> {
                 t.state = ThreadState::Ready {
                     at: start + ctx.total(),
                 };
+                // finish_step re-enqueues the running thread.
                 return;
             }
         }
@@ -752,6 +952,7 @@ impl<O: MemOs> Machine<O> {
             Some(a) => Some(a.clone()),
             None => self.procs[&parent].affinity.clone(),
         };
+        let prio = self.procs[&parent].prio;
         let end = start + ctx.total();
         self.procs.insert(
             child,
@@ -762,10 +963,12 @@ impl<O: MemOs> Machine<O> {
                 end,
                 Resume::Forked(ForkResult::Child),
                 affinity,
+                prio,
             ),
         );
+        self.make_ready(child, MAIN_TID, end);
         let p = self.procs.get_mut(&parent).unwrap();
-        p.children.push(child);
+        p.children.insert(child);
         let t = p.threads.get_mut(&tid).expect("forking thread");
         t.resume_with = Resume::Forked(ForkResult::Parent(child));
         t.state = ThreadState::Ready { at: end };
@@ -779,18 +982,24 @@ impl<O: MemOs> Machine<O> {
 
     /// A non-main thread exited: record it and wake joiners.
     fn handle_thread_exit(&mut self, pid: Pid, tid: u32, code: i32, at: f64) {
-        let p = self.procs.get_mut(&pid).expect("process exists");
-        if let Some(t) = p.threads.get_mut(&tid) {
-            t.state = ThreadState::Dead;
-            t.exited = Some((code, at));
-        }
-        // Wake siblings joined on this thread.
-        for t in p.threads.values_mut() {
-            if matches!(t.state, ThreadState::Blocked)
-                && matches!(t.pending, Some(BlockingCall::JoinThread { tid: jt }) if jt == u64::from(tid))
-            {
-                t.state = ThreadState::Ready { at };
+        let mut woken = Vec::new();
+        {
+            let p = self.procs.get_mut(&pid).expect("process exists");
+            if let Some(t) = p.threads.get_mut(&tid) {
+                t.state = ThreadState::Dead;
+                t.exited = Some((code, at));
             }
+            // Wake siblings joined on this thread.
+            for (jtid, t) in p.threads.iter_mut() {
+                if matches!(t.state, ThreadState::Blocked)
+                    && matches!(t.pending, Some(BlockingCall::JoinThread { tid: jt }) if jt == u64::from(tid))
+                {
+                    woken.push(*jtid);
+                }
+            }
+        }
+        for jtid in woken {
+            self.make_ready(pid, jtid, at);
         }
     }
 
@@ -846,16 +1055,22 @@ impl<O: MemOs> Machine<O> {
 
         // Notify the parent (any thread blocked in wait()).
         if let Some(pp) = parent {
+            let mut waiter = None;
             if let Some(par) = self.procs.get_mut(&pp) {
-                par.zombies.push((pid, code, at));
-                for t in par.threads.values_mut() {
+                let key = (TimeKey::from_ns(at), par.zombie_seq);
+                par.zombie_seq += 1;
+                par.zombies.insert(key, (pid, code, at));
+                for (wtid, t) in par.threads.iter_mut() {
                     if matches!(t.state, ThreadState::Blocked)
                         && matches!(t.pending, Some(BlockingCall::Wait))
                     {
-                        t.state = ThreadState::Ready { at };
+                        waiter = Some(*wtid);
                         break; // one waiter reaps one child
                     }
                 }
+            }
+            if let Some(wtid) = waiter {
+                self.make_ready(pp, wtid, at);
             }
         }
         self.deliver_events(events, at);
@@ -879,6 +1094,15 @@ impl<O: MemOs> Machine<O> {
                 }
             }
         }
+        match self.config.engine {
+            SchedEngine::Lockstep => self.deliver_by_scan(&events, at),
+            SchedEngine::EventDriven => self.deliver_by_index(&events, at),
+        }
+    }
+
+    /// Lockstep wake path: rescan every thread against the event batch
+    /// (the original behavior the event engine must reproduce).
+    fn deliver_by_scan(&mut self, events: &[WakeEvent], at: f64) {
         for (_, p) in self.procs.iter_mut() {
             if p.life != ProcLife::Alive {
                 continue;
@@ -901,7 +1125,70 @@ impl<O: MemOs> Machine<O> {
                 });
                 if woken {
                     t.state = ThreadState::Ready { at };
+                    t.blocked_on = None;
                 }
+            }
+        }
+    }
+
+    /// Event-engine wake path: consult only the affected pipe/conn's
+    /// waiter list. Entries whose thread died or moved on are dropped;
+    /// entries whose thread is still parked on a read of a *different*
+    /// descriptor target stay registered (a sibling may have closed and
+    /// remapped the fd — the lockstep scan re-checks the fd's current
+    /// kind on every event, and so must we).
+    fn deliver_by_index(&mut self, events: &[WakeEvent], at: f64) {
+        for ev in events {
+            let (id, is_pipe) = match ev {
+                WakeEvent::PipeWritten(id) | WakeEvent::PipeHangup(id) => (*id, true),
+                WakeEvent::ConnAdvanced(id) => (*id, false),
+                WakeEvent::Kill(_) => continue,
+            };
+            let list = if is_pipe {
+                self.pipe_waiters.remove(&id)
+            } else {
+                self.conn_waiters.remove(&id)
+            };
+            let Some(list) = list else { continue };
+            let mut wake = Vec::new();
+            let mut keep = Vec::new();
+            for (wpid, wtid) in list {
+                let Some(p) = self.procs.get(&wpid) else {
+                    continue;
+                };
+                if p.life != ProcLife::Alive {
+                    continue;
+                }
+                let Some(t) = p.threads.get(&wtid) else {
+                    continue;
+                };
+                if !matches!(t.state, ThreadState::Blocked) {
+                    continue;
+                }
+                let Some(BlockingCall::Read { fd, .. }) = &t.pending else {
+                    continue;
+                };
+                let hits = match (is_pipe, p.fds.get(*fd)) {
+                    (true, Ok(FdKind::PipeRead(pid2))) => *pid2 == id,
+                    (false, Ok(FdKind::Conn(cid))) => *cid == id,
+                    _ => false,
+                };
+                if hits {
+                    wake.push((wpid, wtid));
+                } else {
+                    keep.push((wpid, wtid));
+                }
+            }
+            for (wpid, wtid) in wake {
+                self.make_ready(wpid, wtid, at);
+            }
+            if !keep.is_empty() {
+                let map = if is_pipe {
+                    &mut self.pipe_waiters
+                } else {
+                    &mut self.conn_waiters
+                };
+                map.entry(id).or_default().extend(keep);
             }
         }
     }

@@ -1,0 +1,366 @@
+//! Event-driven scheduler primitives: the priority run queue, integer
+//! time keys, per-core lane clocks, and explicit blocked states.
+//!
+//! The [`crate::Machine`] originally picked each step by linearly
+//! scanning *every* thread of *every* process for the minimum ready time
+//! — O(threads) per step, O(threads²) over a run, which falls over under
+//! a 10k-μprocess fork storm. This module provides the data structures
+//! for an O(log runnable) engine while keeping the schedule bit-identical
+//! to the linear scan (the differential suite in
+//! `tests/sched_differential.rs` holds both engines to the same event
+//! logs):
+//!
+//! * [`TimeKey`] — an **integer** ordering key over simulated
+//!   nanoseconds, so heap ordering can never be perturbed by
+//!   floating-point comparison subtleties over 10k-event timelines;
+//! * [`RunQueue`] — a lazy-deletion binary min-heap ordered by
+//!   `(time, priority, order)`, reproducing the scan's tie-break
+//!   (ascending pid, then tid) at equal timestamps and priorities;
+//! * [`Cores`] — per-core simulated clocks backed by
+//!   [`ufork_sim::LaneClocks`], the same machinery the parallel fork
+//!   walkers use, so whole-machine time remains exactly replayable;
+//! * [`BlockedOn`] — why a parked thread is parked, which both documents
+//!   the wait graph and lets the machine index pipe/conn waiters for
+//!   O(woken) wakeups instead of rescanning every thread.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ufork_abi::Pid;
+use ufork_sim::LaneClocks;
+
+/// Which scheduling algorithm drives [`crate::Machine::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedEngine {
+    /// The original O(threads)-per-step linear scan. Kept as the
+    /// reference implementation for the differential suite; produces the
+    /// exact schedule the event engine must reproduce.
+    Lockstep,
+    /// Priority run queue with lazy deletion: O(log runnable) per step.
+    /// The default.
+    EventDriven,
+}
+
+/// Default thread priority. Lower values run first among threads ready
+/// at the same simulated instant; in a discrete-event machine priority
+/// can only break *ties* in time, never preempt earlier work.
+pub const DEFAULT_PRIORITY: u8 = 128;
+
+/// An integer ordering key over a simulated-time nanosecond value.
+///
+/// IEEE-754 doubles have the property that for non-negative finite
+/// values, `a <= b  ⟺  a.to_bits() <= b.to_bits()`: the raw bit pattern
+/// is monotone. `TimeKey` exploits this to give the run queue (and the
+/// zombie table) a plain `u64` ordering key — integer comparisons, no
+/// NaN/total_cmp corner cases inside the heap — **without** quantizing
+/// the timestamp. Quantizing (e.g. rounding to whole ns) would collapse
+/// sub-ns-distinct events into new ties and diverge from the lockstep
+/// engine's schedule; the bit encoding keys every distinct `f64` instant
+/// distinctly.
+///
+/// Negative inputs clamp to 0 (simulated time starts at 0; a negative
+/// ready time is a cost-model bug, not a schedulable instant) and NaN
+/// maps to `u64::MAX` (sorts last, never first).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeKey(pub u64);
+
+impl TimeKey {
+    /// Encodes a simulated-time value.
+    pub fn from_ns(ns: f64) -> TimeKey {
+        if ns.is_nan() {
+            return TimeKey(u64::MAX);
+        }
+        if ns <= 0.0 {
+            return TimeKey(0); // also normalizes -0.0
+        }
+        TimeKey(ns.to_bits())
+    }
+
+    /// Decodes back to nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        if self.0 == u64::MAX {
+            return f64::NAN;
+        }
+        f64::from_bits(self.0)
+    }
+}
+
+/// What an indefinitely blocked thread is waiting for.
+///
+/// `BlockIndefinite` used to park a thread with nothing but its pending
+/// call; the wake path then had to rescan every thread against every
+/// event. Recording the wait explicitly lets the machine index waiters
+/// by pipe/connection id and wake exactly the affected threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Reading an empty pipe with writers still open.
+    Pipe(usize),
+    /// Reading a synthetic connection (defensive: the traffic model
+    /// currently always yields a timed retry instead).
+    Conn(usize),
+    /// `wait()` with live, un-exited children.
+    Wait,
+    /// Joining a running thread (the target tid).
+    Join(u32),
+    /// Awaiting in-kernel fault resolution. Reserved for pipelined fork
+    /// (ROADMAP item 2), where a child may run before its pages finish
+    /// copying; nothing parks here yet.
+    Fault,
+}
+
+/// Base bit for demoted run-queue orders: a thread that overran its time
+/// slice is requeued behind every normally-ordered thread ready at the
+/// same instant (round-robin at equal timestamps).
+const DEMOTED: u64 = 1 << 63;
+
+/// One run-queue entry. Ordering is lexicographic over the declared
+/// fields: ready time first, then priority, then `order` — which is
+/// `pid << 32 | tid` for normal entries, reproducing the lockstep scan's
+/// tie-break (the scan iterates pids then tids ascending and keeps the
+/// first minimum).
+///
+/// Entries are never removed eagerly. A stale entry (its thread ran,
+/// blocked, moved, or died since the push) is detected on pop by
+/// comparing `gen` against the thread's current ready-generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct QEntry {
+    /// Integer-encoded ready time (primary key).
+    pub time: TimeKey,
+    /// Priority (secondary key; lower runs first).
+    pub prio: u8,
+    /// Tie-break order (`pid << 32 | tid`, or a demoted sequence).
+    pub order: u64,
+    /// Ready-generation of the thread when this entry was pushed.
+    pub gen: u64,
+    /// Target process.
+    pub pid: Pid,
+    /// Target thread.
+    pub tid: u32,
+}
+
+impl QEntry {
+    /// A normally-ordered entry.
+    pub fn new(at: f64, prio: u8, pid: Pid, tid: u32, gen: u64) -> QEntry {
+        QEntry {
+            time: TimeKey::from_ns(at),
+            prio,
+            order: (u64::from(pid.0) << 32) | u64::from(tid),
+            gen,
+            pid,
+            tid,
+        }
+    }
+}
+
+/// The lazy-deletion run queue.
+///
+/// A disabled queue (lockstep engine) ignores pushes, so the machine can
+/// route every ready-transition through one helper without the legacy
+/// engine paying for or accumulating heap entries.
+pub(crate) struct RunQueue {
+    heap: BinaryHeap<Reverse<QEntry>>,
+    enabled: bool,
+    demote_seq: u64,
+}
+
+impl RunQueue {
+    /// Creates the queue; `enabled` iff the event engine is selected.
+    pub fn new(enabled: bool) -> RunQueue {
+        RunQueue {
+            heap: BinaryHeap::new(),
+            enabled,
+            demote_seq: 0,
+        }
+    }
+
+    /// Pushes an entry (no-op when disabled).
+    pub fn push(&mut self, entry: QEntry) {
+        if self.enabled {
+            self.heap.push(Reverse(entry));
+        }
+    }
+
+    /// Builds a slice-overrun entry: same ready time, but ordered after
+    /// every normal entry at that time.
+    pub fn demoted(&mut self, at: f64, prio: u8, pid: Pid, tid: u32, gen: u64) -> QEntry {
+        self.demote_seq += 1;
+        QEntry {
+            time: TimeKey::from_ns(at),
+            prio,
+            order: DEMOTED | self.demote_seq,
+            gen,
+            pid,
+            tid,
+        }
+    }
+
+    /// Pops the minimum entry (which may be stale — the caller validates
+    /// against the thread's current state and generation).
+    pub fn pop(&mut self) -> Option<QEntry> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    /// Entries currently queued, stale ones included.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Per-core simulated clocks plus last-scheduled bookkeeping, backed by
+/// the same [`LaneClocks`] the parallel fork walkers charge — one
+/// time-accounting mechanism for the whole machine, so a multi-core run
+/// replays exactly.
+pub(crate) struct Cores {
+    clocks: LaneClocks,
+    last: Vec<Option<(Pid, u32)>>,
+}
+
+impl Cores {
+    /// `n` cores (clamped to at least 1), all at time zero.
+    pub fn new(n: usize) -> Cores {
+        let n = n.max(1);
+        Cores {
+            clocks: LaneClocks::new(n),
+            last: vec![None; n],
+        }
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.clocks.workers()
+    }
+
+    /// Core `i`'s current simulated time.
+    pub fn now(&self, i: usize) -> f64 {
+        self.clocks.lane(i)
+    }
+
+    /// Advances core `i` to a step's end time.
+    pub fn advance_to(&mut self, i: usize, t: f64) {
+        self.clocks.advance_to(i, t);
+    }
+
+    /// The thread core `i` last ran (context-switch accounting).
+    pub fn last(&self, i: usize) -> Option<(Pid, u32)> {
+        self.last[i]
+    }
+
+    /// Records that core `i` just ran `(pid, tid)`.
+    pub fn note_ran(&mut self, i: usize, pid: Pid, tid: u32) {
+        self.last[i] = Some((pid, tid));
+    }
+
+    /// Latest time across cores (machine "now").
+    pub fn max_now(&self) -> f64 {
+        self.clocks.elapsed()
+    }
+
+    /// Earliest time across cores (big-kernel-lock pruning horizon).
+    pub fn min_now(&self) -> f64 {
+        (0..self.clocks.workers())
+            .map(|i| self.clocks.lane(i))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_key_is_monotone_over_nonnegative_ns() {
+        let samples = [
+            0.0,
+            1e-300,
+            0.5,
+            1.0,
+            1.0 + f64::EPSILON,
+            54_321.75,
+            1e9,
+            1e15,
+            f64::MAX,
+        ];
+        for w in samples.windows(2) {
+            assert!(
+                TimeKey::from_ns(w[0]) < TimeKey::from_ns(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Adjacent representable doubles stay distinct (no quantization).
+        let t = 1e9_f64;
+        let next = f64::from_bits(t.to_bits() + 1);
+        assert!(TimeKey::from_ns(t) < TimeKey::from_ns(next));
+        assert_eq!(TimeKey::from_ns(t).as_ns(), t);
+    }
+
+    #[test]
+    fn time_key_clamps_negative_and_nan() {
+        assert_eq!(TimeKey::from_ns(-5.0), TimeKey(0));
+        assert_eq!(TimeKey::from_ns(-0.0), TimeKey(0));
+        assert_eq!(TimeKey::from_ns(0.0), TimeKey(0));
+        assert_eq!(TimeKey::from_ns(f64::NAN), TimeKey(u64::MAX));
+        // NaN sorts after every real instant.
+        assert!(TimeKey::from_ns(f64::MAX) < TimeKey::from_ns(f64::NAN));
+    }
+
+    #[test]
+    fn entries_order_by_time_then_prio_then_pid_tid() {
+        let early = QEntry::new(10.0, 128, Pid(9), 0, 1);
+        let late = QEntry::new(20.0, 0, Pid(1), 0, 1);
+        assert!(early < late, "time dominates priority");
+
+        let hi = QEntry::new(10.0, 10, Pid(9), 0, 1);
+        let lo = QEntry::new(10.0, 200, Pid(1), 0, 1);
+        assert!(hi < lo, "at equal time, lower prio value runs first");
+
+        let p1 = QEntry::new(10.0, 128, Pid(1), 3, 1);
+        let p2 = QEntry::new(10.0, 128, Pid(2), 0, 1);
+        assert!(p1 < p2, "at equal time+prio, ascending pid");
+        let t0 = QEntry::new(10.0, 128, Pid(1), 0, 1);
+        assert!(t0 < p1, "then ascending tid");
+    }
+
+    #[test]
+    fn run_queue_pops_in_key_order_and_demotes_slice_overruns() {
+        let mut q = RunQueue::new(true);
+        q.push(QEntry::new(30.0, 128, Pid(1), 0, 1));
+        q.push(QEntry::new(10.0, 128, Pid(2), 0, 1));
+        let d = q.demoted(10.0, 128, Pid(1), 1, 1);
+        q.push(d);
+        q.push(QEntry::new(10.0, 128, Pid(7), 5, 1));
+        assert_eq!(q.len(), 4);
+        // t=10 normals first (pid asc), then the demoted one, then t=30.
+        assert_eq!(q.pop().unwrap().pid, Pid(2));
+        assert_eq!(q.pop().unwrap().pid, Pid(7));
+        let got = q.pop().unwrap();
+        assert_eq!((got.pid, got.tid), (Pid(1), 1));
+        assert_eq!(q.pop().unwrap().time, TimeKey::from_ns(30.0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn disabled_queue_ignores_pushes() {
+        let mut q = RunQueue::new(false);
+        q.push(QEntry::new(1.0, 128, Pid(1), 0, 1));
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cores_track_lanes_and_last_ran() {
+        let mut c = Cores::new(2);
+        assert_eq!(c.len(), 2);
+        c.advance_to(1, 500.25);
+        c.note_ran(1, Pid(3), 0);
+        assert_eq!(c.now(1), 500.25);
+        assert_eq!(c.now(0), 0.0);
+        assert_eq!(c.max_now(), 500.25);
+        assert_eq!(c.min_now(), 0.0);
+        assert_eq!(c.last(1), Some((Pid(3), 0)));
+        assert_eq!(c.last(0), None);
+        // Zero clamps to one core.
+        assert_eq!(Cores::new(0).len(), 1);
+    }
+}

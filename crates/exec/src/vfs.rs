@@ -4,6 +4,11 @@ use std::collections::BTreeMap;
 
 use ufork_abi::{Errno, Fd, SysResult};
 
+/// Ram-disk contents as `(path, bytes)` pairs in path order.
+pub type FileSnapshot = Vec<(String, Vec<u8>)>;
+/// Residual unread bytes of every live pipe, as `(pipe id, bytes)`.
+pub type PipeSnapshot = Vec<(usize, Vec<u8>)>;
+
 /// What a file descriptor refers to.
 #[derive(Clone, Debug)]
 pub enum FdKind {
@@ -385,6 +390,35 @@ impl Vfs {
     /// Requests served on one connection.
     pub fn conn_served(&self, id: usize) -> u64 {
         self.conns.get(id).map_or(0, |c| c.served)
+    }
+
+    /// Deterministic snapshot of externally observable state: every file
+    /// as `(path, contents)` in path order, plus the residual (unread)
+    /// bytes of every live pipe in id order. The differential scheduler
+    /// suite compares this across engines — two schedules are only
+    /// equivalent if they leave the *same* bytes behind.
+    pub fn state_snapshot(&self) -> (FileSnapshot, PipeSnapshot) {
+        let files = self
+            .files
+            .iter()
+            .map(|(p, n)| (p.clone(), n.data.clone()))
+            .collect();
+        let pipes = self
+            .pipes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, p)| {
+                p.as_ref().map(|p| {
+                    let residue: Vec<u8> = p
+                        .chunks
+                        .iter()
+                        .flat_map(|(bytes, _)| bytes.iter().copied())
+                        .collect();
+                    (id, residue)
+                })
+            })
+            .collect();
+        (files, pipes)
     }
 }
 

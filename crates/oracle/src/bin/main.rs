@@ -73,8 +73,9 @@ fn main() -> ExitCode {
         let mut report = OracleReport::default();
         run_chaos(&mut report);
         println!(
-            "chaos sweep: {} journal-op aborts, all rolled back leak-free",
-            report.chaos_points
+            "chaos sweep: {} journal-op aborts, all rolled back leak-free; \
+             {} mid-storm injection scenarios completed clean",
+            report.chaos_points, report.storm_chaos_scenarios
         );
         return if report.ok() {
             println!("oracle: PASS");
@@ -108,8 +109,9 @@ fn main() -> ExitCode {
             report.fault_points
         );
         println!(
-            "chaos sweep: {} journal-op aborts, all rolled back leak-free",
-            report.chaos_points
+            "chaos sweep: {} journal-op aborts, all rolled back leak-free; \
+             {} mid-storm injection scenarios completed clean",
+            report.chaos_points, report.storm_chaos_scenarios
         );
     }
     if report.ok() {

@@ -26,8 +26,9 @@
 //! batches, parent COW arming, and the index/process-table inserts.
 
 use ufork::{UforkConfig, UforkOs, WalkMode};
-use ufork_abi::{CopyStrategy, Pid};
-use ufork_exec::{Ctx, MemOs};
+use ufork_abi::{CopyStrategy, ImageSpec, Pid};
+use ufork_exec::{Ctx, Machine, MachineConfig, MemOs};
+use ufork_workloads::storm::{StormConfig, StormZygote};
 
 use crate::fault::{check_consistent, child_cap, prelude, teardown_clean};
 
@@ -38,6 +39,12 @@ pub struct ChaosSummary {
     pub points: u64,
     /// Strategy × walk-mode configurations swept.
     pub configs: u64,
+    /// Mid-storm injection scenarios run to clean completion.
+    pub storm_scenarios: u64,
+    /// Fork retries the storm zygotes absorbed across those scenarios.
+    pub storm_retries: u64,
+    /// Journal rollbacks recorded across those scenarios.
+    pub storm_rollbacks: u64,
 }
 
 /// Strategy × walk-mode configurations under sweep. The parallel walk
@@ -125,11 +132,113 @@ fn sweep_config(
     Ok(())
 }
 
+/// Which fault a mid-storm scenario arms once the storm is in flight.
+#[derive(Clone, Copy, Debug)]
+enum StormFault {
+    /// A fatal journal abort: the fork in flight rolls back and fails,
+    /// and the zygote's retry loop must absorb the failure.
+    Journal,
+    /// An allocator `NoMem`: the kernel's reclaim-then-retry loop may
+    /// absorb it internally, or surface it for the zygote to retry.
+    Alloc,
+}
+
+/// Mid-storm chaos: run a fork storm on the event-driven scheduler with
+/// hundreds of live children, arm a one-shot fault *mid-flight* (after
+/// the storm has built up real concurrency), and require the storm to
+/// finish as if nothing happened — every child completed, the zygote
+/// exits 0, and teardown balances to zero frames. Unlike
+/// [`sweep_config`], the fork here fails under load, between thousands
+/// of scheduler events, with the allocator warm and the journal window
+/// mid-stream — the realistic shape of the failure, not the lab one.
+fn storm_chaos(
+    strategy: CopyStrategy,
+    fault: StormFault,
+    summary: &mut ChaosSummary,
+) -> Result<(), String> {
+    const CHILDREN: u32 = 300;
+    const ARMED_AFTER_FORKS: usize = 100;
+    let label = format!("storm/{strategy:?}/{fault:?}");
+    let os = UforkOs::new(UforkConfig {
+        phys_mib: 256,
+        strategy,
+        ..UforkConfig::default()
+    });
+    let mut m = Machine::new(
+        os,
+        MachineConfig {
+            cores: 4,
+            ..MachineConfig::default()
+        },
+    );
+    let pid = m
+        .spawn(
+            &ImageSpec::hello_world(),
+            Box::new(StormZygote::new(StormConfig::standard(CHILDREN, 0xC0A5))),
+        )
+        .map_err(|e| format!("{label}: spawn failed: {e:?}"))?;
+    // Let the storm build up: arm only once a third of the children are
+    // already live and forking is in full swing.
+    while m.fork_log().len() < ARMED_AFTER_FORKS {
+        if !m.step() {
+            return Err(format!(
+                "{label}: machine drained after {} forks, before arming",
+                m.fork_log().len()
+            ));
+        }
+    }
+    match fault {
+        StormFault::Journal => m.os.inject_journal_failure(m.os.journal_ops_recorded() + 7),
+        StormFault::Alloc => {
+            m.os.inject_frame_alloc_failure(m.os.frame_alloc_attempts() + 13)
+        }
+    }
+    m.run();
+    if m.exit_code(pid) != Some(0) {
+        return Err(format!(
+            "{label}: zygote exited {:?}, expected 0",
+            m.exit_code(pid)
+        ));
+    }
+    let z = m
+        .program::<StormZygote>(pid)
+        .ok_or_else(|| format!("{label}: zygote state lost"))?;
+    if z.completed != CHILDREN {
+        return Err(format!(
+            "{label}: {} of {CHILDREN} children completed",
+            z.completed
+        ));
+    }
+    if let StormFault::Journal = fault {
+        // A journal abort is never absorbed below the zygote: the fork
+        // failed, rolled back, and was retried by the program.
+        if m.counters().fork_rollbacks == 0 {
+            return Err(format!("{label}: no rollback recorded"));
+        }
+        if z.retries == 0 {
+            return Err(format!("{label}: zygote absorbed no fork failure"));
+        }
+    }
+    let frames = m.os.allocated_frames();
+    if frames != 0 {
+        return Err(format!("{label}: {frames} frames leaked after drain"));
+    }
+    summary.storm_scenarios += 1;
+    summary.storm_retries += u64::from(z.retries);
+    summary.storm_rollbacks += m.counters().fork_rollbacks;
+    Ok(())
+}
+
 /// Runs the whole sweep; returns what was exercised.
 pub fn chaos_sweep() -> Result<ChaosSummary, String> {
     let mut summary = ChaosSummary::default();
     for (strategy, walk) in CONFIGS {
         sweep_config(strategy, walk, &mut summary)?;
+    }
+    for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
+        for fault in [StormFault::Journal, StormFault::Alloc] {
+            storm_chaos(strategy, fault, &mut summary)?;
+        }
     }
     Ok(summary)
 }

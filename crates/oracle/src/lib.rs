@@ -58,6 +58,9 @@ pub struct OracleReport {
     pub fault_points: u64,
     /// Journal chaos-sweep abort points exercised (0 when skipped).
     pub chaos_points: u64,
+    /// Mid-storm injection scenarios run to clean completion (0 when
+    /// skipped).
+    pub storm_chaos_scenarios: u64,
     /// Human-readable failures (empty = success).
     pub failures: Vec<String>,
 }
@@ -118,10 +121,14 @@ pub fn run_faults(report: &mut OracleReport) {
     }
 }
 
-/// Runs the journal chaos sweep (every journal op index aborted once).
+/// Runs the journal chaos sweep (every journal op index aborted once,
+/// plus mid-storm journal/allocator injections under scheduler load).
 pub fn run_chaos(report: &mut OracleReport) {
     match chaos::chaos_sweep() {
-        Ok(s) => report.chaos_points = s.points,
+        Ok(s) => {
+            report.chaos_points = s.points;
+            report.storm_chaos_scenarios = s.storm_scenarios;
+        }
         Err(e) => report.failures.push(format!("chaos sweep: {e}")),
     }
 }

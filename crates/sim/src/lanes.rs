@@ -66,6 +66,24 @@ impl LaneClocks {
         self.lanes[i % self.lanes.len()]
     }
 
+    /// Advances lane `i` to the absolute time `t` (no-op when the lane is
+    /// already past `t`, or when `t` is NaN).
+    ///
+    /// The discrete-event scheduler sets a core's clock to each step's
+    /// *end* time rather than accumulating a delta: `lane + (end - lane)`
+    /// is not guaranteed to round back to `end`, and the scheduler's
+    /// replay contract needs the core clock bit-identical to the
+    /// arithmetic that produced the step end.
+    pub fn advance_to(&mut self, lane: usize, t: Ns) {
+        if t.is_nan() {
+            return;
+        }
+        let i = lane % self.lanes.len();
+        if t > self.lanes[i] {
+            self.lanes[i] = t;
+        }
+    }
+
     /// Elapsed simulated time of the parallel section: the time at which
     /// the last lane finishes (max over lanes).
     pub fn elapsed(&self) -> Ns {
@@ -121,6 +139,20 @@ mod tests {
         assert_eq!(l.lane(1), 3.0);
         assert_eq!(l.lane(2), 3.0);
         assert_eq!(l.elapsed(), 3.0);
+    }
+
+    #[test]
+    fn advance_to_is_monotone_and_exact() {
+        let mut l = LaneClocks::new(2);
+        l.advance_to(0, 100.5);
+        assert_eq!(l.lane(0), 100.5); // exact, not accumulated
+        l.advance_to(0, 50.0); // going backwards is a no-op
+        assert_eq!(l.lane(0), 100.5);
+        l.advance_to(0, f64::NAN);
+        assert_eq!(l.lane(0), 100.5);
+        l.advance_to(3, 7.0); // wraps to lane 1
+        assert_eq!(l.lane(1), 7.0);
+        assert_eq!(l.elapsed(), 100.5);
     }
 
     #[test]

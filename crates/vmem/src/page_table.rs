@@ -200,17 +200,21 @@ impl PageTable {
     /// Removes every mapping with page number in `[start, end)` and
     /// returns the removed entries in address order.
     ///
-    /// Implemented with two `split_off`s on the sorted map (O(log n) tree
-    /// surgery plus the size of the removed span), not a per-page
-    /// remove — this is the teardown analogue of the batched fork walk.
+    /// Cost is O(span · log n) in the *removed* span only. The earlier
+    /// `split_off`/`extend` formulation re-inserted every entry above
+    /// `end`, which made teardown of one region linear in the whole
+    /// address space — quadratic across a 10k-process fork storm.
     pub fn unmap_range(&mut self, start: Vpn, end: Vpn) -> Vec<(Vpn, Pte)> {
         if start >= end {
             return Vec::new();
         }
-        let mut tail = self.entries.split_off(&start);
-        let rest = tail.split_off(&end);
-        self.entries.extend(rest);
-        tail.into_iter().collect()
+        let span: Vec<Vpn> = self.entries.range(start..end).map(|(v, _)| *v).collect();
+        span.into_iter()
+            .map(|v| {
+                let pte = self.entries.remove(&v).expect("vpn from range scan");
+                (v, pte)
+            })
+            .collect()
     }
 
     /// ORs `add` into the flags of every listed page that is mapped.

@@ -21,7 +21,9 @@
 //! * [`forkserver::ForkServer`] — AFL-style fork server with contained
 //!   crashes (U5);
 //! * [`privsep::Privsep`] — qmail-style privilege separation with breach
-//!   containment (U3).
+//!   containment (U3);
+//! * [`storm::StormZygote`] — the 10k-concurrent-children fork storm
+//!   driving the event-driven scheduler benchmark.
 
 pub mod faas;
 pub mod forkserver;
@@ -31,4 +33,5 @@ pub mod nginx;
 pub mod privsep;
 pub mod redis;
 pub mod shell;
+pub mod storm;
 pub mod ubench;

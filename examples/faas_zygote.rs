@@ -21,7 +21,7 @@ fn machine_config() -> MachineConfig {
         // Coordinator on core 0; workers fan out to the rest (paper:
         // "1 is used for the coordinating thread").
         child_affinity: Some((1..=WORKER_CORES as usize).collect()),
-        time_limit: None,
+        ..MachineConfig::default()
     }
 }
 

@@ -24,8 +24,8 @@ fn run(workers: u32) -> f64 {
         os,
         MachineConfig {
             cores: 1, // the paper's single-core μFork configuration
-            child_affinity: None,
             time_limit: Some(WINDOW_NS),
+            ..MachineConfig::default()
         },
     );
     let img = ImageSpec::with_heap("nginx", 4 << 20);

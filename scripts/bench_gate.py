@@ -21,6 +21,13 @@ Three metric families are compared, with different thresholds:
   admission fallback policy (schema v4+), keyed by ``policy``.
   Deterministic, gated at the strict threshold: the admission pre-flight
   must stay a fixed per-fork charge, never grow with the fork's size.
+* ``fork_storm[]`` — the event-driven scheduler's fork storm (schema
+  v5+), keyed by ``(mode, children, metric)`` for the two bigger-is-worse
+  metrics ``sim_p99_ns`` (p99 fork latency under 10k live μprocesses) and
+  ``sim_ns_per_fork`` (storm makespan per fork). Deterministic, strict
+  threshold. ``children`` is part of the key because both metrics move
+  with the storm's scale: a reduced-N smoke run must not be compared
+  against the committed full-scale baseline.
 * ``results[]`` — host wall-clock best-of-samples, keyed by ``name``.
   These depend on the machine that produced them; the committed baseline
   and a CI runner are different hardware, and even same-host runs swing
@@ -76,6 +83,15 @@ def admission_map(doc):
     return {
         r["policy"]: float(r["sim_fork_ns"])
         for r in doc.get("fork_admission", [])
+    }
+
+
+def storm_map(doc):
+    # Absent before schema v5.
+    return {
+        (r["mode"], str(r["children"]), metric): float(r[metric])
+        for r in doc.get("fork_storm", [])
+        for metric in ("sim_p99_ns", "sim_ns_per_fork")
     }
 
 
@@ -145,6 +161,12 @@ def main():
         "fork_admission",
         admission_map(old_doc),
         admission_map(new_doc),
+        args.max_regress,
+    )
+    failures += compare(
+        "fork_storm",
+        storm_map(old_doc),
+        storm_map(new_doc),
         args.max_regress,
     )
     failures += compare(

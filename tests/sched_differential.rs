@@ -1,0 +1,452 @@
+//! Differential scheduler regression suite: every scenario runs under
+//! BOTH engines — the legacy lockstep linear scan and the event-driven
+//! run queue — and must produce *bitwise identical* machine histories:
+//! exit codes, fork/exit event logs (times and latencies to the bit),
+//! op counters, final simulated time, VFS file contents and residual
+//! pipe bytes.
+//!
+//! The event-driven scheduler's default configuration (no time slice,
+//! uniform priority) is specified to replay the lockstep schedule
+//! exactly; this suite is the executable form of that contract across
+//! the fork-pattern (U1/U3/U5) and multi-threading scenarios of the
+//! tier-1 tests.
+
+use std::any::Any;
+
+use ufork_repro::abi::{
+    BlockingCall, Env, ForkResult, ImageSpec, Pid, Program, ProgramBox, Resume, StepOutcome,
+};
+use ufork_repro::exec::{Machine, MachineConfig, SchedEngine};
+use ufork_repro::sim::OpCounters;
+use ufork_repro::ufork::{UforkConfig, UforkOs};
+use ufork_repro::workloads::forkserver::{ForkServer, ForkServerConfig};
+use ufork_repro::workloads::mtkv::{MtKv, MtKvConfig};
+use ufork_repro::workloads::privsep::{Privsep, PrivsepConfig};
+use ufork_repro::workloads::shell::{Command, Shell};
+
+/// Everything observable about a finished machine, with every float
+/// captured as raw bits so comparisons are exact.
+#[derive(Debug, PartialEq)]
+struct History {
+    exit_code: Option<i32>,
+    now_bits: u64,
+    forks: Vec<(Pid, Pid, u64, u64)>,
+    exits: Vec<(Pid, u64, i32)>,
+    counters: OpCounters,
+    files: Vec<(String, Vec<u8>)>,
+    pipes: Vec<(usize, Vec<u8>)>,
+    total_served: u64,
+}
+
+/// One differential scenario: a root program plus machine shape.
+struct Scenario {
+    name: &'static str,
+    cores: usize,
+    time_limit: Option<f64>,
+    make: fn() -> Box<dyn Program>,
+}
+
+fn run_engine(s: &Scenario, engine: SchedEngine) -> History {
+    let os = UforkOs::new(UforkConfig {
+        phys_mib: 256,
+        ..UforkConfig::default()
+    });
+    let mut m = Machine::new(
+        os,
+        MachineConfig {
+            cores: s.cores,
+            time_limit: s.time_limit,
+            engine,
+            ..MachineConfig::default()
+        },
+    );
+    let pid = m.spawn(&ImageSpec::hello_world(), (s.make)()).unwrap();
+    m.run();
+    let (files, pipes) = m.vfs().state_snapshot();
+    History {
+        exit_code: m.exit_code(pid),
+        now_bits: m.now().to_bits(),
+        forks: m
+            .fork_log()
+            .iter()
+            .map(|f| (f.parent, f.child, f.at.to_bits(), f.latency_ns.to_bits()))
+            .collect(),
+        exits: m
+            .exit_log()
+            .iter()
+            .map(|e| (e.pid, e.at.to_bits(), e.code))
+            .collect(),
+        counters: *m.counters(),
+        files,
+        pipes,
+        total_served: m.vfs().total_served,
+    }
+}
+
+fn assert_engines_agree(s: &Scenario) {
+    let lockstep = run_engine(s, SchedEngine::Lockstep);
+    let event = run_engine(s, SchedEngine::EventDriven);
+    assert_eq!(
+        lockstep, event,
+        "engines diverged on scenario `{}` ({} cores)",
+        s.name, s.cores
+    );
+    // A scenario that never forks or never exits exercises nothing;
+    // guard against silently-degenerate comparisons.
+    assert!(
+        !lockstep.exits.is_empty(),
+        "scenario `{}` recorded no exits",
+        s.name
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Inline programs mirroring the tier-1 thread tests.
+// ---------------------------------------------------------------------------
+
+/// Worker thread: adds `value` into the shared cell in reg 10.
+#[derive(Clone)]
+struct Adder {
+    value: u64,
+    code: i32,
+}
+
+impl Program for Adder {
+    fn resume(&mut self, env: &mut dyn Env, _input: Resume) -> StepOutcome {
+        let cell = env.reg(10).expect("shared accumulator");
+        let cur = env
+            .load_u64(&cell.with_addr(cell.base()).expect("cursor"))
+            .expect("readable");
+        env.cpu_ops(500);
+        env.store_u64(
+            &cell.with_addr(cell.base()).expect("cursor"),
+            cur + self.value,
+        )
+        .expect("writable");
+        StepOutcome::Exit(self.code)
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Main thread: spawn `n` adders, join them all, verify the sum.
+#[derive(Clone)]
+struct PoolMain {
+    n: u64,
+    spawned: u64,
+    tids: Vec<u64>,
+    joined: u64,
+}
+
+impl Program for PoolMain {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => {
+                let cell = env.malloc(16).expect("cell");
+                env.store_u64(&cell.with_addr(cell.base()).expect("cursor"), 0)
+                    .expect("init");
+                env.set_reg(10, cell).expect("register");
+                self.spawned += 1;
+                StepOutcome::Block(BlockingCall::SpawnThread {
+                    program: ProgramBox(Box::new(Adder {
+                        value: self.spawned,
+                        code: self.spawned as i32,
+                    })),
+                })
+            }
+            Resume::Ret(Ok(v)) => {
+                if self.spawned <= self.n && self.tids.len() < self.spawned as usize {
+                    self.tids.push(v);
+                    if self.spawned < self.n {
+                        self.spawned += 1;
+                        return StepOutcome::Block(BlockingCall::SpawnThread {
+                            program: ProgramBox(Box::new(Adder {
+                                value: self.spawned,
+                                code: self.spawned as i32,
+                            })),
+                        });
+                    }
+                    return StepOutcome::Block(BlockingCall::JoinThread { tid: self.tids[0] });
+                }
+                self.joined += 1;
+                if (self.joined as usize) < self.tids.len() {
+                    return StepOutcome::Block(BlockingCall::JoinThread {
+                        tid: self.tids[self.joined as usize],
+                    });
+                }
+                let cell = env.reg(10).expect("cell");
+                let sum = env
+                    .load_u64(&cell.with_addr(cell.base()).expect("cursor"))
+                    .expect("readable");
+                let expect = self.n * (self.n + 1) / 2;
+                StepOutcome::Exit(if sum == expect { 0 } else { 1 })
+            }
+            _ => StepOutcome::Exit(2),
+        }
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Sibling thread that sleeps past any test horizon.
+#[derive(Clone)]
+struct Sleeper;
+impl Program for Sleeper {
+    fn resume(&mut self, _env: &mut dyn Env, _input: Resume) -> StepOutcome {
+        StepOutcome::Block(BlockingCall::Sleep { ns: 1e15 })
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// fork from a multi-threaded process: only the calling thread crosses.
+#[derive(Clone)]
+struct ForkFromPool {
+    phase: u8,
+}
+
+impl Program for ForkFromPool {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match (self.phase, input) {
+            (0, Resume::Start) => {
+                self.phase = 1;
+                StepOutcome::Block(BlockingCall::SpawnThread {
+                    program: ProgramBox(Box::new(Sleeper)),
+                })
+            }
+            (1, Resume::Ret(Ok(_))) => {
+                self.phase = 2;
+                StepOutcome::Fork
+            }
+            (2, Resume::Forked(ForkResult::Child)) => {
+                env.cpu_ops(100);
+                StepOutcome::Exit(0)
+            }
+            (2, Resume::Forked(ForkResult::Parent(_))) => {
+                self.phase = 3;
+                StepOutcome::Block(BlockingCall::Wait)
+            }
+            (3, Resume::Ret(Ok(_))) => StepOutcome::Exit(0),
+            _ => StepOutcome::Exit(1),
+        }
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Join on a tid that never existed: must error, not hang.
+#[derive(Clone)]
+struct BadJoin;
+impl Program for BadJoin {
+    fn resume(&mut self, _env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => StepOutcome::Block(BlockingCall::JoinThread { tid: 99 }),
+            Resume::Ret(Err(_)) => StepOutcome::Exit(0),
+            _ => StepOutcome::Exit(1),
+        }
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Master forks a long-sleeping worker, kills it, reaps the SIGKILL code.
+#[derive(Clone)]
+struct KillDemo {
+    phase: u8,
+}
+
+impl Program for KillDemo {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match (self.phase, input) {
+            (0, Resume::Start) => {
+                self.phase = 1;
+                StepOutcome::Fork
+            }
+            (1, Resume::Forked(ForkResult::Child)) => {
+                StepOutcome::Block(BlockingCall::Sleep { ns: 3.6e12 })
+            }
+            (1, Resume::Forked(ForkResult::Parent(c))) => {
+                self.phase = 2;
+                env.sys_kill(c).expect("kill");
+                StepOutcome::Block(BlockingCall::Wait)
+            }
+            (2, Resume::Ret(Ok(status))) => {
+                StepOutcome::Exit(if (status >> 32) as i32 == 137 { 0 } else { 1 })
+            }
+            _ => StepOutcome::Exit(1),
+        }
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The differential matrix.
+// ---------------------------------------------------------------------------
+
+fn fork_pattern_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "shell_fork_exec",
+            cores: 1,
+            time_limit: None,
+            make: || {
+                Box::new(Shell::new(vec![
+                    Command {
+                        output: "out/a.txt".into(),
+                        ops: 1000,
+                        code: 0,
+                    },
+                    Command {
+                        output: "out/b.txt".into(),
+                        ops: 2000,
+                        code: 3,
+                    },
+                ]))
+            },
+        },
+        Scenario {
+            name: "fork_server",
+            cores: 2,
+            time_limit: None,
+            make: || {
+                Box::new(ForkServer::new(ForkServerConfig {
+                    executions: 21,
+                    crash_every: 7,
+                    ..ForkServerConfig::default()
+                }))
+            },
+        },
+        Scenario {
+            name: "privsep",
+            cores: 1,
+            time_limit: None,
+            make: || {
+                Box::new(Privsep::new(PrivsepConfig {
+                    messages: 15,
+                    hostile_every: 5,
+                    ..PrivsepConfig::default()
+                }))
+            },
+        },
+        Scenario {
+            name: "kill_demo",
+            cores: 2,
+            time_limit: None,
+            make: || Box::new(KillDemo { phase: 0 }),
+        },
+    ]
+}
+
+fn thread_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "thread_pool_1core",
+            cores: 1,
+            time_limit: None,
+            make: || {
+                Box::new(PoolMain {
+                    n: 6,
+                    spawned: 0,
+                    tids: Vec::new(),
+                    joined: 0,
+                })
+            },
+        },
+        Scenario {
+            name: "thread_pool_4core",
+            cores: 4,
+            time_limit: None,
+            make: || {
+                Box::new(PoolMain {
+                    n: 6,
+                    spawned: 0,
+                    tids: Vec::new(),
+                    joined: 0,
+                })
+            },
+        },
+        Scenario {
+            name: "fork_from_pool_with_time_limit",
+            cores: 2,
+            time_limit: Some(1e9),
+            make: || Box::new(ForkFromPool { phase: 0 }),
+        },
+        Scenario {
+            name: "bad_join",
+            cores: 1,
+            time_limit: None,
+            make: || Box::new(BadJoin),
+        },
+        Scenario {
+            name: "mtkv_snapshot",
+            cores: 2,
+            time_limit: None,
+            make: || {
+                Box::new(MtKv::new(MtKvConfig {
+                    workers: 4,
+                    rounds: 8,
+                    dump_path: "mtkv.snap".into(),
+                }))
+            },
+        },
+    ]
+}
+
+#[test]
+fn engines_agree_on_fork_pattern_programs() {
+    for s in fork_pattern_scenarios() {
+        assert_engines_agree(&s);
+    }
+}
+
+#[test]
+fn engines_agree_on_thread_programs() {
+    for s in thread_scenarios() {
+        assert_engines_agree(&s);
+    }
+}
+
+#[test]
+fn engines_agree_across_core_counts() {
+    // The same fork-heavy scenario swept over machine widths: the
+    // replay contract must hold regardless of how many lanes exist.
+    for cores in [1, 2, 4] {
+        let s = Scenario {
+            name: "fork_server_cores_sweep",
+            cores,
+            time_limit: None,
+            make: || {
+                Box::new(ForkServer::new(ForkServerConfig {
+                    executions: 10,
+                    ..ForkServerConfig::default()
+                }))
+            },
+        };
+        assert_engines_agree(&s);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests of the fork-storm determinism contract (runs on the
+//! in-repo `ufork-testkit` harness; default-on `props` feature):
+//!
+//! * same seed + same core count ⇒ the storm's complete event history is
+//!   bit-identical — fork/exit log digest, final simulated time, and the
+//!   p50/p99 fork percentiles all match to the bit;
+//! * a different core count may (and generally does) produce a different
+//!   schedule, but the storm must still complete every child and tear
+//!   down leak-free.
+#![cfg(feature = "props")]
+
+use ufork_repro::abi::{CopyStrategy, ImageSpec};
+use ufork_repro::exec::{Machine, MachineConfig, MemOs};
+use ufork_repro::ufork::{UforkConfig, UforkOs};
+use ufork_repro::workloads::storm::{summarize, StormConfig, StormReport, StormZygote};
+use ufork_testkit::{forall, no_shrink, PropConfig, Rng};
+
+#[derive(Clone, Copy, Debug)]
+struct Case {
+    seed: u64,
+    children: u32,
+    cores: usize,
+    strategy: CopyStrategy,
+}
+
+fn gen_case(rng: &mut Rng) -> Case {
+    Case {
+        seed: rng.next_u64(),
+        children: 50 + (rng.below(151) as u32),
+        cores: [1, 2, 4][rng.below(3) as usize],
+        strategy: [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA]
+            [rng.below(3) as usize],
+    }
+}
+
+/// Runs one storm; returns the report and the post-teardown frame count.
+fn run_once(c: &Case, cores: usize) -> (StormReport, u32) {
+    let os = UforkOs::new(UforkConfig {
+        phys_mib: 256,
+        strategy: c.strategy,
+        ..UforkConfig::default()
+    });
+    let mut m = Machine::new(
+        os,
+        MachineConfig {
+            cores,
+            ..MachineConfig::default()
+        },
+    );
+    let pid = m
+        .spawn(
+            &ImageSpec::hello_world(),
+            Box::new(StormZygote::new(StormConfig::standard(c.children, c.seed))),
+        )
+        .expect("spawn zygote");
+    m.run();
+    assert_eq!(m.exit_code(pid), Some(0), "zygote failed: {c:?}");
+    let z = m.program::<StormZygote>(pid).expect("zygote state");
+    let report = summarize(pid, m.fork_log(), m.exit_log(), z, m.now());
+    (report, m.os.allocated_frames())
+}
+
+#[test]
+fn same_seed_same_cores_is_bit_identical() {
+    forall(
+        "same_seed_same_cores_is_bit_identical",
+        &PropConfig::from_env(24),
+        gen_case,
+        no_shrink,
+        |c| {
+            let (a, leaked_a) = run_once(c, c.cores);
+            let (b, leaked_b) = run_once(c, c.cores);
+            if a.completed != c.children {
+                return Err(format!("lost children: {} of {}", a.completed, c.children));
+            }
+            if (leaked_a, leaked_b) != (0, 0) {
+                return Err(format!("leaked frames: {leaked_a} / {leaked_b}"));
+            }
+            if a.digest != b.digest {
+                return Err(format!(
+                    "event-log digest diverged: {:016x} vs {:016x}",
+                    a.digest, b.digest
+                ));
+            }
+            if a.final_ns.to_bits() != b.final_ns.to_bits() {
+                return Err(format!(
+                    "final sim time diverged: {} vs {}",
+                    a.final_ns, b.final_ns
+                ));
+            }
+            if a.p50_fork_ns.to_bits() != b.p50_fork_ns.to_bits()
+                || a.p99_fork_ns.to_bits() != b.p99_fork_ns.to_bits()
+            {
+                return Err(format!(
+                    "percentiles diverged: p50 {} vs {}, p99 {} vs {}",
+                    a.p50_fork_ns, b.p50_fork_ns, a.p99_fork_ns, b.p99_fork_ns
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn different_core_count_still_completes_leak_free() {
+    forall(
+        "different_core_count_still_completes_leak_free",
+        &PropConfig::from_env(12),
+        gen_case,
+        no_shrink,
+        |c| {
+            let other = if c.cores == 1 { 2 } else { c.cores / 2 };
+            let (a, leaked_a) = run_once(c, c.cores);
+            let (b, leaked_b) = run_once(c, other);
+            if a.completed != c.children || b.completed != c.children {
+                return Err(format!(
+                    "lost children: {} / {} of {}",
+                    a.completed, b.completed, c.children
+                ));
+            }
+            if (leaked_a, leaked_b) != (0, 0) {
+                return Err(format!(
+                    "leaked frames: {leaked_a} ({} cores) / {leaked_b} ({other} cores)",
+                    c.cores
+                ));
+            }
+            Ok(())
+        },
+    );
+}
