@@ -18,8 +18,8 @@ use ufork::{FallbackPolicy, UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_baselines::{mono, nephele, BaselineConfig};
 use ufork_bench::{
-    fork_scaling_sweep, storm_children_from_env, storm_sweep, trace_fork_runs, ScalingRow,
-    StormMode, TracedFork, STORM_CORES, STORM_SEED,
+    fork_frontier_sweep, fork_scaling_sweep, storm_children_from_env, storm_sweep, trace_fork_runs,
+    FrontierRow, ScalingRow, StormMode, StormPipeline, TracedFork, STORM_CORES, STORM_SEED,
 };
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::{Ctx, MemOs};
@@ -244,6 +244,8 @@ fn main() {
 
     let (scaling, scaling_speedup) = run_scaling();
 
+    let frontier = run_frontier();
+
     let storm = run_storm_family();
     // Per-phase simulated totals from the trace layer: exactly
     // reproducible, so bench_gate.py gates them like fork_scaling rows.
@@ -267,9 +269,67 @@ fn main() {
         },
         &admission,
         &scaling,
+        &frontier,
         &phases,
         &storm,
     );
+}
+
+/// Runs the pipelined-fork latency frontier twice, asserts determinism,
+/// and enforces the PR's acceptance criteria on it: the pipelined walk
+/// commits within 1.5× the CoPA fork on both heap shapes while its
+/// total copy-complete time stays eager-grade work (the trace tests
+/// separately prove the copy-work parity page for page).
+fn run_frontier() -> Vec<FrontierRow> {
+    let rows = fork_frontier_sweep();
+    let again = fork_frontier_sweep();
+    for (a, b) in rows.iter().zip(&again) {
+        assert_eq!(
+            a.commit_ns.to_bits(),
+            b.commit_ns.to_bits(),
+            "fork_pipeline/{}/{} is nondeterministic",
+            a.heap,
+            a.mode
+        );
+        assert_eq!(a.copy_done_ns.to_bits(), b.copy_done_ns.to_bits());
+    }
+    for r in &rows {
+        println!(
+            "fork_pipeline/{}/{}: commit {:.0} ns, copy done {:.0} ns (simulated)",
+            r.heap, r.mode, r.commit_ns, r.copy_done_ns
+        );
+    }
+    let pick = |heap: &str, mode: &str| {
+        *rows
+            .iter()
+            .find(|r| r.heap == heap && r.mode == mode)
+            .expect("frontier row")
+    };
+    for heap in ["cap-sparse", "cap-dense"] {
+        let piped = pick(heap, "pipelined");
+        let copa = pick(heap, "copa");
+        let full = pick(heap, "full");
+        let ratio = piped.commit_ns / copa.commit_ns;
+        println!(
+            "fork_pipeline/{heap} pipelined commit over copa: {ratio:.3}x ({:.0} ns vs {:.0} ns)",
+            piped.commit_ns, copa.commit_ns
+        );
+        assert!(
+            ratio <= 1.5,
+            "{heap}: pipelined commit {:.0} ns exceeds 1.5x CoPA ({:.0} ns)",
+            piped.commit_ns,
+            copa.commit_ns
+        );
+        assert!(
+            piped.commit_ns < full.commit_ns,
+            "{heap}: pipelined commit not earlier than the eager serial fork"
+        );
+        assert!(
+            piped.copy_done_ns > piped.commit_ns,
+            "{heap}: pipelined fork deferred no copy work"
+        );
+    }
+    rows
 }
 
 /// Runs the fork-storm sweep through the event-driven scheduler:
@@ -282,20 +342,38 @@ fn main() {
 /// completion, full overlap (peak_live == children), and zero leaked
 /// frames — so a row landing in the JSON certifies the scheduler held
 /// 10k live μprocesses deterministically.
-fn run_storm_family() -> Vec<(StormMode, StormReport)> {
+fn run_storm_family() -> Vec<(StormMode, StormReport, StormPipeline)> {
     let children = storm_children_from_env();
     let rows = storm_sweep(children, STORM_SEED, STORM_CORES);
-    for (mode, r) in &rows {
+    for (mode, r, p) in &rows {
         println!(
-            "fork_storm/{}: {} children, fork p50 {:.0} ns / p99 {:.0} ns, {:.1} forks/sim-s, {:.3} sim-s",
+            "fork_storm/{}: {} children, fork p50 {:.0} ns / p99 {:.0} ns, {:.1} forks/sim-s, {:.3} sim-s, {} copy windows (p99 behind {:.0} ns)",
             mode.label,
             r.completed,
             r.p50_fork_ns,
             r.p99_fork_ns,
             r.forks_per_sim_sec,
-            r.final_ns / 1e9
+            r.final_ns / 1e9,
+            p.windows,
+            p.p99_copy_done_ns
         );
     }
+    // The point of committing early: under storm pressure the pipelined
+    // eager fork must beat the widest synchronous parallel walk at the
+    // tail, not just the median.
+    let p99 = |label: &str| {
+        rows.iter()
+            .find(|(m, _, _)| m.label == label)
+            .expect("storm mode")
+            .1
+            .p99_fork_ns
+    };
+    assert!(
+        p99("full_pipelined") < p99("full_par8"),
+        "pipelined storm fork p99 ({:.0} ns) does not improve on full_par8 ({:.0} ns)",
+        p99("full_pipelined"),
+        p99("full_par8")
+    );
     rows
 }
 
@@ -374,6 +452,7 @@ fn run_scaling() -> (Vec<ScalingRow>, f64) {
             a.sim_fork_ns,
             b.sim_fork_ns
         );
+        assert_eq!(a.sim_copy_done_ns.to_bits(), b.sim_copy_done_ns.to_bits());
     }
     let dense_ns = |workers: usize| {
         rows.iter()
@@ -384,10 +463,11 @@ fn run_scaling() -> (Vec<ScalingRow>, f64) {
     let speedup = dense_ns(0) / dense_ns(8);
     for r in &rows {
         println!(
-            "fork_scaling/{}/{}: {:.0} ns simulated ({} chunks, {} steals, {} recycled, {} zero-skipped)",
+            "fork_scaling/{}/{}: {:.0} ns simulated, copy done {:.0} ns ({} chunks, {} steals, {} recycled, {} zero-skipped)",
             r.heap,
             r.mode_label(),
             r.sim_fork_ns,
+            r.sim_copy_done_ns,
             r.chunks,
             r.steals,
             r.recycled,
@@ -415,8 +495,9 @@ fn write_json(
     speedups: &Speedups,
     admission: &[(&'static str, f64)],
     scaling: &[ScalingRow],
+    frontier: &[FrontierRow],
     phases: &[TracedFork],
-    storm: &[(StormMode, StormReport)],
+    storm: &[(StormMode, StormReport, StormPipeline)],
 ) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_fork.json");
@@ -429,15 +510,26 @@ fn write_json(
         .iter()
         .map(|r| {
             format!(
-                "    {{\"heap\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \"sim_fork_ns\": {:.1}, \"chunks\": {}, \"steals\": {}, \"recycled\": {}, \"zeroing_skipped\": {}}}",
+                "    {{\"heap\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \"sim_fork_ns\": {:.1}, \"sim_copy_done_ns\": {:.1}, \"chunks\": {}, \"steals\": {}, \"recycled\": {}, \"zeroing_skipped\": {}}}",
                 r.heap,
                 r.mode_label(),
                 r.workers,
                 r.sim_fork_ns,
+                r.sim_copy_done_ns,
                 r.chunks,
                 r.steals,
                 r.recycled,
                 r.zeroing_skipped
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let frontier_rows = frontier
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"heap\": \"{}\", \"mode\": \"{}\", \"sim_commit_ns\": {:.1}, \"sim_copy_done_ns\": {:.1}}}",
+                r.heap, r.mode, r.commit_ns, r.copy_done_ns
             )
         })
         .collect::<Vec<_>>()
@@ -461,9 +553,9 @@ fn write_json(
         .join(",\n");
     let storm_rows = storm
         .iter()
-        .map(|(mode, r)| {
+        .map(|(mode, r, p)| {
             format!(
-                "    {{\"mode\": \"{}\", \"children\": {}, \"completed\": {}, \"peak_live\": {}, \"retries\": {}, \"sim_p50_ns\": {:.1}, \"sim_p99_ns\": {:.1}, \"sim_mean_ns\": {:.1}, \"sim_ns_per_fork\": {:.1}, \"forks_per_sim_sec\": {:.3}, \"sim_final_ns\": {:.1}, \"digest\": \"{:016x}\"}}",
+                "    {{\"mode\": \"{}\", \"children\": {}, \"completed\": {}, \"peak_live\": {}, \"retries\": {}, \"sim_p50_ns\": {:.1}, \"sim_p99_ns\": {:.1}, \"sim_mean_ns\": {:.1}, \"sim_ns_per_fork\": {:.1}, \"forks_per_sim_sec\": {:.3}, \"sim_final_ns\": {:.1}, \"copy_windows\": {}, \"sim_copy_done_p50_ns\": {:.1}, \"sim_copy_done_p99_ns\": {:.1}, \"digest\": \"{:016x}\"}}",
                 mode.label,
                 r.children,
                 r.completed,
@@ -475,13 +567,16 @@ fn write_json(
                 r.sim_ns_per_fork,
                 r.forks_per_sim_sec,
                 r.final_ns,
+                p.windows,
+                p.p50_copy_done_ns,
+                p.p99_copy_done_ns,
                 r.digest
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
     let body = format!(
-        "{{\n  \"schema\": \"ufork-bench-fork/v5\",\n  \"unit\": \"ns/iter (median, setup subtracted)\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"fork_storm\": [\n{storm_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"ufork-bench-fork/v6\",\n  \"unit\": \"ns/iter (best of samples, setup untimed); sim_* fields are simulated ns\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_pipeline\": [\n{frontier_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"fork_storm\": [\n{storm_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
         sparse = speedups.sparse,
         lineage = speedups.lineage,
         scaling_speedup = speedups.scaling,

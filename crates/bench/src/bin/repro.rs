@@ -20,9 +20,9 @@ use std::path::Path;
 use ufork_bench::report::{num, render_table, size_label};
 use ufork_bench::{
     ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep,
-    ablation_naive_scan, fig6, fig7, fig8, fig9, fork_scaling_sweep, pressure_storm, redis_sweep,
-    storm_sweep, table1, trace_chrome_json, trace_fork_runs, trace_summary_text, AblationRow,
-    RedisRow, STORM_CORES, STORM_SEED,
+    ablation_naive_scan, fig6, fig7, fig8, fig9, fork_frontier_sweep, fork_scaling_sweep,
+    pressure_storm, redis_sweep, storm_sweep, table1, trace_chrome_json, trace_fork_runs,
+    trace_summary_text, AblationRow, RedisRow, STORM_CORES, STORM_SEED,
 };
 
 fn print_ablation(title: &str, rows: &[AblationRow]) {
@@ -250,6 +250,7 @@ fn main() {
                     r.heap.to_string(),
                     r.mode_label(),
                     num(r.sim_fork_ns / 1e3),
+                    num(r.sim_copy_done_ns / 1e3),
                     r.chunks.to_string(),
                     r.recycled.to_string(),
                     r.zeroing_skipped.to_string(),
@@ -263,10 +264,31 @@ fn main() {
                     "Heap",
                     "Walk",
                     "fork (µs, sim)",
+                    "copy done (µs, sim)",
                     "Chunks",
                     "Recycled",
                     "Zero-skipped",
                 ],
+                &body
+            )
+        );
+        println!("== Fork latency frontier: child-runnable vs copy-complete ==");
+        let frontier = fork_frontier_sweep();
+        let body: Vec<Vec<String>> = frontier
+            .iter()
+            .map(|r| {
+                vec![
+                    r.heap.to_string(),
+                    r.mode.to_string(),
+                    num(r.commit_ns / 1e3),
+                    num(r.copy_done_ns / 1e3),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["Heap", "Mode", "commit (µs, sim)", "copy done (µs, sim)"],
                 &body
             )
         );
@@ -331,7 +353,7 @@ fn main() {
         let rows = storm_sweep(children, STORM_SEED, STORM_CORES);
         let body: Vec<Vec<String>> = rows
             .iter()
-            .map(|(mode, r)| {
+            .map(|(mode, r, p)| {
                 vec![
                     mode.label.to_string(),
                     r.completed.to_string(),
@@ -339,6 +361,11 @@ fn main() {
                     num(r.p50_fork_ns / 1e3),
                     num(r.p99_fork_ns / 1e3),
                     num(r.forks_per_sim_sec),
+                    if p.windows > 0 {
+                        num(p.p99_copy_done_ns / 1e3)
+                    } else {
+                        "-".to_string()
+                    },
                     num(r.final_ns / 1e9),
                 ]
             })
@@ -353,6 +380,7 @@ fn main() {
                     "fork p50 (µs, sim)",
                     "fork p99 (µs, sim)",
                     "forks/sim-s",
+                    "copy-done p99 (µs)",
                     "storm time (s, sim)",
                 ],
                 &body

@@ -520,10 +520,18 @@ pub struct ScalingRow {
     /// Heap shape: `"cap-dense"` (128 caps/page) or `"cap-sparse"`
     /// (1 cap/page).
     pub heap: &'static str,
-    /// Walk workers; 0 is the serial-walk ablation.
+    /// Walk mode of the run.
+    pub walk: WalkMode,
+    /// Walk workers; 0 is the serial-walk ablation, 1 the pipelined
+    /// walk's single streaming lane.
     pub workers: usize,
-    /// Simulated fork latency (kernel time), ns.
+    /// Simulated fork latency (kernel time), ns. For the pipelined walk
+    /// this is the *commit* latency — the child is runnable here.
     pub sim_fork_ns: f64,
+    /// Simulated time until the child's copy is complete, ns. Equals
+    /// `sim_fork_ns` for every non-pipelined walk; for the pipelined
+    /// walk it adds the drained background window.
+    pub sim_copy_done_ns: f64,
     /// Chunks the walk was partitioned into (0 for the serial walk).
     pub chunks: u64,
     /// Cross-shard steals the fork's allocations needed.
@@ -537,23 +545,26 @@ pub struct ScalingRow {
 }
 
 impl ScalingRow {
-    /// Short mode label for tables and JSON: `serial`, `par1`, ... `par8`.
+    /// Short mode label for tables and JSON: `serial`, `par1`, ...
+    /// `par8`, `pipelined`.
     pub fn mode_label(&self) -> String {
-        if self.workers == 0 {
-            "serial".to_string()
-        } else {
-            format!("par{}", self.workers)
+        match self.walk {
+            WalkMode::Serial => "serial".to_string(),
+            WalkMode::Pipelined => "pipelined".to_string(),
+            WalkMode::Parallel(n) => format!("par{}", n.max(1)),
         }
     }
 }
 
-/// Forks a μprocess whose heap is populated densely or sparsely with
-/// capabilities under the given walk mode and reports the fork's
-/// simulated latency plus the parallel-walk counter family.
-pub fn fork_scaling_run(walk: WalkMode, dense: bool) -> ScalingRow {
+/// Shared core of the scaling/frontier sweeps: builds the cap-dense or
+/// cap-sparse heap, forks under `(strategy, walk)`, then drains any
+/// pipelined background window on the same context. Returns the kernel,
+/// the fork context (commit + drain charges), and the commit latency
+/// alone.
+fn scaling_fork(strategy: CopyStrategy, walk: WalkMode, dense: bool) -> (UforkOs, Ctx, f64) {
     let mut os = UforkOs::new(UforkConfig {
         phys_mib: 256,
-        strategy: CopyStrategy::Full,
+        strategy,
         walk,
         ..UforkConfig::default()
     });
@@ -576,15 +587,29 @@ pub fn fork_scaling_run(walk: WalkMode, dense: bool) -> ScalingRow {
 
     let mut fctx = Ctx::new();
     os.fork(&mut fctx, Pid(1), Pid(2)).expect("fork scaling");
+    let commit_ns = fctx.kernel_ns;
+    // No-op for every walk but Pipelined: stream the rest of the copy.
+    os.pipeline_drain(&mut fctx, Pid(2)).expect("drain scaling");
+    (os, fctx, commit_ns)
+}
+
+/// Forks a μprocess whose heap is populated densely or sparsely with
+/// capabilities under the given walk mode and reports the fork's
+/// simulated latency plus the parallel-walk counter family.
+pub fn fork_scaling_run(walk: WalkMode, dense: bool) -> ScalingRow {
+    let (os, fctx, commit_ns) = scaling_fork(CopyStrategy::Full, walk, dense);
     // Shard stats ride along on the ordinary per-process memory stats.
     let shard = os.mem_stats(Pid(2)).alloc;
     ScalingRow {
         heap: if dense { "cap-dense" } else { "cap-sparse" },
+        walk,
         workers: match walk {
             WalkMode::Serial => 0,
+            WalkMode::Pipelined => 1,
             WalkMode::Parallel(n) => n.max(1),
         },
-        sim_fork_ns: fctx.kernel_ns,
+        sim_fork_ns: commit_ns,
+        sim_copy_done_ns: fctx.kernel_ns,
         chunks: fctx.counters.fork_chunks,
         steals: fctx.counters.alloc_steals,
         recycled: fctx.counters.frames_recycled,
@@ -593,8 +618,9 @@ pub fn fork_scaling_run(walk: WalkMode, dense: bool) -> ScalingRow {
     }
 }
 
-/// The walk modes of the scaling sweep: the serial ablation plus 1, 2,
-/// 4 and 8 workers.
+/// The walk modes of the scaling sweep: the serial ablation, 1, 2, 4
+/// and 8 workers, and the pipelined walk (whose `sim_fork_ns` is the
+/// commit latency and `sim_copy_done_ns` the full window).
 pub fn scaling_walk_modes() -> Vec<WalkMode> {
     vec![
         WalkMode::Serial,
@@ -602,16 +628,83 @@ pub fn scaling_walk_modes() -> Vec<WalkMode> {
         WalkMode::Parallel(2),
         WalkMode::Parallel(4),
         WalkMode::Parallel(8),
+        WalkMode::Pipelined,
     ]
 }
 
 /// The full scaling sweep: {cap-sparse, cap-dense} × {serial, 1, 2, 4,
-/// 8 workers}.
+/// 8 workers, pipelined}.
 pub fn fork_scaling_sweep() -> Vec<ScalingRow> {
     let mut rows = Vec::new();
     for dense in [false, true] {
         for walk in scaling_walk_modes() {
             rows.push(fork_scaling_run(walk, dense));
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined-fork latency frontier: commit latency vs time-to-copy-complete.
+// ---------------------------------------------------------------------------
+
+/// One point of the fork latency frontier: a single fork of the scaling
+/// workload under one (strategy, walk) mode, reported as the latency the
+/// child waits before running (`commit_ns`) and the latency until its
+/// memory is fully private (`copy_done_ns`). Both are simulated and
+/// bit-reproducible.
+///
+/// The lazy strategies never finish the copy eagerly, so their
+/// `copy_done_ns` equals `commit_ns` — the frontier makes the pipelined
+/// trade visible: CoPA-grade commit latency *and* a bounded,
+/// background-paid time to a fully copied child.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontierRow {
+    /// Mode label: `full`, `full_par8`, `pipelined`, `coa`, `copa`.
+    pub mode: &'static str,
+    /// Heap shape: `cap-dense` or `cap-sparse`.
+    pub heap: &'static str,
+    /// Simulated fork latency as the child observes it, ns.
+    pub commit_ns: f64,
+    /// Simulated time until the child's span is fully copied (equals
+    /// `commit_ns` when nothing is deferred), ns.
+    pub copy_done_ns: f64,
+}
+
+/// The frontier's mode axis.
+pub fn frontier_modes() -> Vec<(&'static str, CopyStrategy, WalkMode)> {
+    vec![
+        ("full", CopyStrategy::Full, WalkMode::Serial),
+        ("full_par8", CopyStrategy::Full, WalkMode::Parallel(8)),
+        ("pipelined", CopyStrategy::Full, WalkMode::Pipelined),
+        ("coa", CopyStrategy::CoA, WalkMode::Serial),
+        ("copa", CopyStrategy::CoPA, WalkMode::Serial),
+    ]
+}
+
+/// One frontier point.
+pub fn frontier_run(
+    mode: &'static str,
+    strategy: CopyStrategy,
+    walk: WalkMode,
+    dense: bool,
+) -> FrontierRow {
+    let (_, fctx, commit_ns) = scaling_fork(strategy, walk, dense);
+    FrontierRow {
+        mode,
+        heap: if dense { "cap-dense" } else { "cap-sparse" },
+        commit_ns,
+        copy_done_ns: fctx.kernel_ns,
+    }
+}
+
+/// The full frontier: {cap-sparse, cap-dense} × {full, full_par8,
+/// pipelined, coa, copa}.
+pub fn fork_frontier_sweep() -> Vec<FrontierRow> {
+    let mut rows = Vec::new();
+    for dense in [false, true] {
+        for (mode, strategy, walk) in frontier_modes() {
+            rows.push(frontier_run(mode, strategy, walk, dense));
         }
     }
     rows

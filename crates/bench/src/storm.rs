@@ -24,8 +24,8 @@ pub struct StormMode {
     pub walk: WalkMode,
 }
 
-/// The swept modes: eager copy serial and 8-worker parallel, then the
-/// two lazy strategies.
+/// The swept modes: eager copy serial, 8-worker parallel and pipelined
+/// (commit early, copy behind the child), then the two lazy strategies.
 pub fn storm_modes() -> Vec<StormMode> {
     vec![
         StormMode {
@@ -39,6 +39,11 @@ pub fn storm_modes() -> Vec<StormMode> {
             walk: WalkMode::Parallel(8),
         },
         StormMode {
+            label: "full_pipelined",
+            strategy: CopyStrategy::Full,
+            walk: WalkMode::Pipelined,
+        },
+        StormMode {
             label: "coa",
             strategy: CopyStrategy::CoA,
             walk: WalkMode::Serial,
@@ -49,6 +54,28 @@ pub fn storm_modes() -> Vec<StormMode> {
             walk: WalkMode::Serial,
         },
     ]
+}
+
+/// Background-copy statistics of one storm run, distilled from the
+/// machine's [`ufork_exec::PipelineEvent`] log. All-zero for every
+/// non-pipelined mode.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StormPipeline {
+    /// Background windows opened *and* closed while the child lived.
+    pub windows: u64,
+    /// Median time from fork commit to copy complete (ns, simulated).
+    pub p50_copy_done_ns: f64,
+    /// 99th-percentile time from fork commit to copy complete (ns).
+    pub p99_copy_done_ns: f64,
+}
+
+/// Nearest-rank percentile of a sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// The storm's function image. Deliberately tiny (a few pages): the
@@ -71,6 +98,16 @@ pub fn storm_image() -> ImageSpec {
 /// Panics if the storm does not complete cleanly — a storm that loses
 /// children is a scheduler bug, not a data point.
 pub fn run_storm(mode: &StormMode, children: u32, seed: u64, cores: usize) -> StormReport {
+    run_storm_full(mode, children, seed, cores).0
+}
+
+/// [`run_storm`] plus the pipelined background-copy statistics.
+pub fn run_storm_full(
+    mode: &StormMode,
+    children: u32,
+    seed: u64,
+    cores: usize,
+) -> (StormReport, StormPipeline) {
     let os = UforkOs::new(UforkConfig {
         phys_mib: 1024,
         strategy: mode.strategy,
@@ -108,18 +145,41 @@ pub fn run_storm(mode: &StormMode, children: u32, seed: u64, cores: usize) -> St
         "storm/{}: leaked frames after all exits",
         mode.label
     );
-    report
+    let mut behind: Vec<f64> = m
+        .pipeline_log()
+        .iter()
+        .map(|e| e.done_at - e.committed_at)
+        .collect();
+    behind.sort_unstable_by(f64::total_cmp);
+    let pipeline = StormPipeline {
+        windows: behind.len() as u64,
+        p50_copy_done_ns: percentile(&behind, 0.50),
+        p99_copy_done_ns: percentile(&behind, 0.99),
+    };
+    if mode.walk == WalkMode::Pipelined {
+        assert!(
+            pipeline.windows > 0,
+            "storm/{}: pipelined storm logged no background-copy windows",
+            mode.label
+        );
+    }
+    (report, pipeline)
 }
 
 /// Runs the full mode sweep at the given scale, executing every mode
 /// twice and asserting the two runs are bit-identical (event-log digest,
-/// final simulated time, p50/p99) — the storm's determinism contract.
-pub fn storm_sweep(children: u32, seed: u64, cores: usize) -> Vec<(StormMode, StormReport)> {
+/// final simulated time, p50/p99, copy-completion percentiles) — the
+/// storm's determinism contract.
+pub fn storm_sweep(
+    children: u32,
+    seed: u64,
+    cores: usize,
+) -> Vec<(StormMode, StormReport, StormPipeline)> {
     storm_modes()
         .into_iter()
         .map(|mode| {
-            let a = run_storm(&mode, children, seed, cores);
-            let b = run_storm(&mode, children, seed, cores);
+            let (a, pa) = run_storm_full(&mode, children, seed, cores);
+            let (b, pb) = run_storm_full(&mode, children, seed, cores);
             assert_eq!(
                 a.digest, b.digest,
                 "fork_storm/{} event log is nondeterministic",
@@ -128,7 +188,10 @@ pub fn storm_sweep(children: u32, seed: u64, cores: usize) -> Vec<(StormMode, St
             assert_eq!(a.final_ns.to_bits(), b.final_ns.to_bits());
             assert_eq!(a.p50_fork_ns.to_bits(), b.p50_fork_ns.to_bits());
             assert_eq!(a.p99_fork_ns.to_bits(), b.p99_fork_ns.to_bits());
-            (mode, a)
+            assert_eq!(pa.windows, pb.windows);
+            assert_eq!(pa.p50_copy_done_ns.to_bits(), pb.p50_copy_done_ns.to_bits());
+            assert_eq!(pa.p99_copy_done_ns.to_bits(), pb.p99_copy_done_ns.to_bits());
+            (mode, a, pa)
         })
         .collect()
 }

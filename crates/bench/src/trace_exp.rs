@@ -22,12 +22,17 @@ use crate::SCALING_PAGES;
 /// One traced fork: the recorded buffer plus the independently measured
 /// end-to-end simulated time and the fork's counter deltas.
 pub struct TracedFork {
-    /// Run label: `"serial"` or `"parN"`.
+    /// Run label: `"serial"`, `"parN"` or `"pipelined"`.
     pub name: String,
-    /// Walk workers (0 = serial walk).
+    /// Walk workers (0 = serial walk, 1 = pipelined stream lane).
     pub workers: usize,
+    /// Simulated latency at which the fork committed and the child was
+    /// runnable (kernel ns). Equals `end_to_end_ns` except under the
+    /// pipelined walk, which keeps copying after the commit.
+    pub commit_ns: f64,
     /// End-to-end simulated fork latency (kernel ns) on the fresh
-    /// context that fed the trace.
+    /// context that fed the trace — for the pipelined walk this
+    /// includes draining the background-copy window.
     pub end_to_end_ns: f64,
     /// The recorded trace.
     pub buf: TraceBuf,
@@ -72,13 +77,25 @@ pub fn trace_fork_run(walk: WalkMode) -> TracedFork {
         fctx.trace.charged_total().to_bits(),
         "trace charge accumulator must equal fork kernel time bitwise"
     );
+    let commit_ns = fctx.kernel_ns;
+    // For the pipelined walk, stream the background window on the same
+    // traced context so its `fork/pipeline/*` spans tile the rest of the
+    // copy work. A no-op for the other walks.
+    os.pipeline_drain(&mut fctx, Pid(2)).expect("drain trace");
+    assert_eq!(
+        fctx.kernel_ns.to_bits(),
+        fctx.trace.charged_total().to_bits(),
+        "trace charge accumulator must survive the background drain bitwise"
+    );
     let (workers, name) = match walk {
         WalkMode::Serial => (0, "serial".to_string()),
+        WalkMode::Pipelined => (1, "pipelined".to_string()),
         WalkMode::Parallel(n) => (n.max(1), format!("par{}", n.max(1))),
     };
     TracedFork {
         name,
         workers,
+        commit_ns,
         end_to_end_ns: fctx.kernel_ns,
         buf: fctx.trace,
         counters: fctx.counters,
@@ -86,11 +103,13 @@ pub fn trace_fork_run(walk: WalkMode) -> TracedFork {
 }
 
 /// The traced runs exported by `repro trace` and gated by CI: the serial
-/// walk and the widest parallel walk.
+/// walk, the widest parallel walk, and the pipelined walk (commit +
+/// drained background window).
 pub fn trace_fork_runs() -> Vec<TracedFork> {
     vec![
         trace_fork_run(WalkMode::Serial),
         trace_fork_run(WalkMode::Parallel(8)),
+        trace_fork_run(WalkMode::Pipelined),
     ]
 }
 
@@ -173,5 +192,45 @@ mod tests {
         assert_eq!(ja, jb, "byte-identical export");
         assert!(ja.contains("fork/chunk"), "lane spans recorded");
         assert!(ja.contains("fork/walk/par"), "parallel phase recorded");
+    }
+
+    #[test]
+    fn traced_pipelined_fork_tiles_and_matches_serial_copy_work() {
+        let serial = trace_fork_run(WalkMode::Serial);
+        let piped = trace_fork_run(WalkMode::Pipelined);
+        // The pipelined phases tile commit + drain exactly, like every
+        // other walk (modulo f64 re-association in the regrouping).
+        let sum = piped.buf.phase_sum();
+        assert!(
+            (sum - piped.end_to_end_ns).abs() <= 1e-9 * piped.end_to_end_ns,
+            "phase sum {sum} vs end-to-end {}",
+            piped.end_to_end_ns
+        );
+        for phase in ["fork/pipeline/stage", "fork/pipeline/copy"] {
+            assert!(
+                piped.buf.phases().iter().any(|p| p.name == phase),
+                "missing phase {phase}"
+            );
+        }
+        assert_eq!(
+            piped.buf.instant_count("fork/pipeline/commit"),
+            1,
+            "exactly one early commit"
+        );
+        // Commit happens at lazy-grade latency: well before the serial
+        // walk would have finished copying.
+        assert!(
+            piped.commit_ns < serial.end_to_end_ns / 2.0,
+            "pipelined commit {} ns is not early against serial {} ns",
+            piped.commit_ns,
+            serial.end_to_end_ns
+        );
+        // ...but the total copy work matches the eager walk: every page
+        // is copied and every capability relocated exactly once.
+        assert_eq!(piped.counters.pages_copied, serial.counters.pages_copied);
+        assert_eq!(
+            piped.counters.caps_relocated,
+            serial.counters.caps_relocated
+        );
     }
 }

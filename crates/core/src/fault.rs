@@ -107,6 +107,20 @@ impl UforkOs {
     }
 
     fn resolve_fault_inner(&mut self, ctx: &mut Ctx, pid: Pid, fault: Fault) -> SysResult<()> {
+        // Demand priority for the pipelined fork: a child touching a
+        // page whose copy is still queued behind the commit jumps the
+        // copy queue — the whole chunk resolves inline on the faulting
+        // context (marking it done so the background stream skips it),
+        // then the access retries against the final mapping. Counted as
+        // a queue jump, not a CoA fault: the chunk machinery does the
+        // copy/relocate work and charges `fork/pipeline/*` phases.
+        if let Fault::CoAccess { .. } = fault {
+            if let Some(idx) = self.pipeline_chunk_of(pid, fault.va().vpn()) {
+                ctx.counters.pipeline_chunks_jumped += 1;
+                ctx.instant("fork/pipeline/jump");
+                return self.pipeline_copy_chunk(ctx, pid, idx);
+            }
+        }
         match fault {
             Fault::Cow { .. } => {
                 ctx.counters.cow_faults += 1;

@@ -44,8 +44,10 @@ use crate::kernel::{UProc, UforkOs};
 use crate::layout::Segment;
 use crate::reloc::{reloc_cost, relocate_frame, ScanMode};
 
-/// Bounded reclaim-then-retry attempts after a rolled-back fork.
-const MAX_FORK_RETRIES: u32 = 2;
+/// Bounded reclaim-then-retry attempts after a rolled-back fork (and
+/// after a rolled-back pipelined background chunk, which reuses the same
+/// loop in `crate::pipeline`).
+pub(crate) const MAX_FORK_RETRIES: u32 = 2;
 
 /// Outcome classification for one fork attempt. `Retryable` failures
 /// are memory exhaustion the reclaim loop may cure; `Fatal` ones (region
@@ -147,7 +149,7 @@ impl UforkOs {
         let c_root = Capability::new_root(c_region.base.0, layout.region_len(), Perms::data());
         debug_assert!(!c_root.perms().contains(Perms::SYSTEM));
 
-        if let Err(e) = self.fork_walk_pages(
+        let deferred = match self.fork_walk_pages(
             ctx,
             p_region,
             &layout,
@@ -156,8 +158,9 @@ impl UforkOs {
             meta_used_bytes,
             strategy,
         ) {
-            return Err(self.abort_fork(ctx, e));
-        }
+            Ok(deferred) => deferred,
+            Err(e) => return Err(self.abort_fork(ctx, e)),
+        };
 
         // Relocate the register file (paper §3.5 step 2: "any absolute
         // memory references contained in registers are relocated").
@@ -232,14 +235,15 @@ impl UforkOs {
         if let Some(p) = self.procs.get_mut(&parent) {
             p.had_children = true;
         }
-        self.commit_fork(ctx);
+        self.commit_fork(ctx, child, c_region, c_root, deferred);
         Ok(())
     }
 
-    /// Rolls back the in-flight fork and classifies the failure:
-    /// injected journal aborts and non-memory faults are fatal; `NoMem`
-    /// is retryable (the reclaim loop may cure it).
-    fn abort_fork(&mut self, ctx: &mut Ctx, e: Errno) -> ForkFail {
+    /// Rolls back the in-flight fork (or pipelined background chunk) and
+    /// classifies the failure: injected journal aborts and non-memory
+    /// faults are fatal; `NoMem` is retryable (the reclaim loop may cure
+    /// it).
+    pub(crate) fn abort_fork(&mut self, ctx: &mut Ctx, e: Errno) -> ForkFail {
         self.rollback_fork(ctx);
         if self.journal.take_injected() {
             ForkFail::Fatal(e)
@@ -253,10 +257,36 @@ impl UforkOs {
     /// Commits the in-flight fork: the journal is cleared and the
     /// admission reservation handed back (the walk's allocations have
     /// long consumed the promised frames).
-    fn commit_fork(&mut self, ctx: &mut Ctx) {
+    ///
+    /// A pipelined fork commits with `deferred` pages still uncopied. So
+    /// admission stays sound across the background window, the
+    /// reservation is *not* fully released: one promised frame per
+    /// deferred page stays booked in the ledger, carried by the child's
+    /// [`crate::pipeline::PipelineState`] and released chunk by chunk as
+    /// the background copies consume it.
+    fn commit_fork(
+        &mut self,
+        ctx: &mut Ctx,
+        child: Pid,
+        c_region: Region,
+        c_root: Capability,
+        deferred: Vec<(Vpn, PteFlags)>,
+    ) {
         let (ops, reserved) = self.journal.commit();
         ctx.counters.journal_ops += ops;
-        self.pm.release(reserved);
+        if deferred.is_empty() {
+            self.pm.release(reserved);
+            return;
+        }
+        let behind = deferred.len() as u64;
+        let hold = behind.min(reserved);
+        self.pm.release(reserved - hold);
+        ctx.counters.pipeline_bytes_behind += behind * PAGE_SIZE;
+        ctx.instant("fork/pipeline/commit");
+        self.pipelines.insert(
+            child,
+            crate::pipeline::PipelineState::new(c_region, c_root, deferred, hold),
+        );
     }
 
     /// Applies the journal's inverses in reverse record order, returning
@@ -298,6 +328,19 @@ impl UforkOs {
                 }
                 JournalOp::ProcInsert(pid) => {
                     self.procs.remove(&pid);
+                }
+                JournalOp::PteRemap { vpn, old } => {
+                    // Restore the exact pre-rewrite PTE. A no-op when the
+                    // rewrite never applied (record-then-apply).
+                    self.pt.map(vpn, old.pfn, old.flags);
+                    ns += self.cost.pte_write;
+                }
+                JournalOp::RefDec(pfn) => {
+                    // Re-take the fork-time shared reference the chunk
+                    // dropped. The frame cannot have been freed: the
+                    // chunk only decrements refcounts it observed ≥ 2,
+                    // so another mapping still holds the frame.
+                    let _ = self.pm.inc_ref(pfn);
                 }
             }
         }
@@ -431,6 +474,11 @@ impl UforkOs {
     /// copies and relocates) every parent page into the child region,
     /// recording every side effect in the journal. On `Err` nothing has
     /// been cleaned up yet — the caller rolls the journal back.
+    ///
+    /// Returns the pages whose copies were *deferred* behind the commit:
+    /// empty except under [`crate::fork_par::WalkMode::Pipelined`], where
+    /// every would-be-eager page is instead staged CoA-style on the
+    /// shared parent frame and handed to the background copy pipeline.
     #[allow(clippy::too_many_arguments)] // the fork attempt's full context
     fn fork_walk_pages(
         &mut self,
@@ -441,30 +489,35 @@ impl UforkOs {
         c_root: &Capability,
         meta_used_bytes: u64,
         strategy: CopyStrategy,
-    ) -> SysResult<()> {
+    ) -> SysResult<Vec<(Vpn, PteFlags)>> {
         if self.scan == ScanMode::Naive {
-            return self.fork_walk_pages_naive(
-                ctx,
-                p_region,
-                layout,
-                c_region,
-                c_root,
-                meta_used_bytes,
-                strategy,
-            );
+            return self
+                .fork_walk_pages_naive(
+                    ctx,
+                    p_region,
+                    layout,
+                    c_region,
+                    c_root,
+                    meta_used_bytes,
+                    strategy,
+                )
+                .map(|()| Vec::new());
         }
         if let crate::fork_par::WalkMode::Parallel(n) = self.walk {
-            return self.fork_walk_pages_parallel(
-                ctx,
-                p_region,
-                layout,
-                c_region,
-                c_root,
-                meta_used_bytes,
-                strategy,
-                n,
-            );
+            return self
+                .fork_walk_pages_parallel(
+                    ctx,
+                    p_region,
+                    layout,
+                    c_region,
+                    c_root,
+                    meta_used_bytes,
+                    strategy,
+                    n,
+                )
+                .map(|()| Vec::new());
         }
+        let pipelined = self.walk == crate::fork_par::WalkMode::Pipelined;
 
         let start = p_region.base.vpn();
         let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
@@ -476,6 +529,9 @@ impl UforkOs {
         let mut child_batch: Vec<(Vpn, Pte)> = Vec::new();
         // Parent pages to flip to COW in one protection sweep at the end.
         let mut cow_arm: Vec<Vpn> = Vec::new();
+        // Pipelined only: pages staged on the shared frame whose copies
+        // run behind the commit, in walk (ascending-VPN) order.
+        let mut deferred: Vec<(Vpn, PteFlags)> = Vec::new();
         let mut failed: Option<Errno> = None;
 
         {
@@ -531,6 +587,37 @@ impl UforkOs {
                             Segment::HeapMeta => off - layout.heap_meta.0 < meta_used_bytes,
                             _ => false,
                         });
+
+                if eager && pipelined {
+                    // Stage, don't copy: the child maps the shared frame
+                    // fully inaccessible (CoA-style — any access faults
+                    // and jumps the copy queue), the parent is CoW-armed
+                    // below so its writes cannot perturb the fork-time
+                    // snapshot, and the actual copy + relocation runs as
+                    // a background chunk after the commit.
+                    ctx.phase("fork/pipeline/stage");
+                    if pm.inc_ref(pte.pfn).is_err() {
+                        failed = Some(Errno::Fault);
+                        break 'walk;
+                    }
+                    if journal.record(JournalOp::RefInc(pte.pfn)).is_err() {
+                        failed = Some(Errno::NoMem);
+                        break 'walk;
+                    }
+                    child_batch.push((
+                        c_vpn,
+                        Pte {
+                            pfn: pte.pfn,
+                            flags: PteFlags::empty().with(PteFlags::COA),
+                        },
+                    ));
+                    ctx.kernel(cost.pte_copy + cost.coa_pte_extra);
+                    deferred.push((c_vpn, final_flags));
+                    if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
+                        cow_arm.push(vpn);
+                    }
+                    continue;
+                }
 
                 if eager {
                     let new = match copy_page_for_child(pm, journal, cost, ctx, pte.pfn, &target) {
@@ -639,7 +726,7 @@ impl UforkOs {
         let armed = self.pt.protect_many(cow_arm, PteFlags::COW);
         ctx.kernel(self.cost.pte_protect * armed as f64);
         ctx.counters.region_lookups += self.region_index.take_lookups();
-        Ok(())
+        Ok(deferred)
     }
 
     /// The pre-optimization walk, kept verbatim as the [`ScanMode::Naive`]

@@ -70,13 +70,26 @@ pub enum WalkMode {
     /// the walk silently falls back to serial, since the legacy path is
     /// kept verbatim for cost fidelity.
     Parallel(usize),
+    /// Two-phase pipelined fork: the walk stages every would-be-eager
+    /// page on the shared parent frame (CoA-style protection, parent
+    /// CoW-armed) and the fork **commits with the child runnable** at
+    /// lazy-strategy latency. The remaining copies then stream behind
+    /// the child in [`CHUNK_PAGES`]-page chunks (`crate::pipeline`),
+    /// each a journaled transaction of its own; a child fault on an
+    /// uncopied page jumps the copy queue and resolves its chunk
+    /// inline. Like `Parallel`, requires [`ScanMode::TagSummary`] —
+    /// under the naive-scan ablation the walk falls back to the legacy
+    /// serial path.
+    Pipelined,
 }
 
 impl WalkMode {
-    /// Number of worker lanes this mode runs on.
+    /// Number of worker lanes this mode runs on. The pipelined walk's
+    /// foreground phase is single-lane (the copies happen behind the
+    /// commit).
     pub fn workers(self) -> usize {
         match self {
-            WalkMode::Serial => 1,
+            WalkMode::Serial | WalkMode::Pipelined => 1,
             WalkMode::Parallel(n) => n.max(1),
         }
     }

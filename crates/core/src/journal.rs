@@ -30,7 +30,7 @@
 
 use ufork_abi::Pid;
 use ufork_mem::Pfn;
-use ufork_vmem::{Region, Vpn};
+use ufork_vmem::{Pte, Region, Vpn};
 
 /// What the kernel does when fork admission control cannot reserve the
 /// frames the requested copy strategy demands.
@@ -77,6 +77,15 @@ pub(crate) enum JournalOp {
     IndexInsert(Region),
     /// The child entered the process table.
     ProcInsert(Pid),
+    /// An existing child PTE was (or is about to be) rewritten in place
+    /// — a pipelined background chunk flipping a staged CoA mapping to
+    /// its final frame + flags. The inverse restores the recorded
+    /// pre-rewrite PTE exactly, so it is safe record-then-apply.
+    PteRemap { vpn: Vpn, old: Pte },
+    /// A shared frame's refcount was dropped (the pipelined chunk
+    /// releasing the fork-time reference after the copy). Recorded
+    /// apply-then-record; the inverse re-takes the reference.
+    RefDec(Pfn),
 }
 
 /// The journal of the in-flight fork. Exactly one fork is in flight at a

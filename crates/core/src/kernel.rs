@@ -120,6 +120,9 @@ pub struct UforkOs {
     pub(crate) pt: PageTable,
     pub(crate) regions: RegionAllocator,
     pub(crate) procs: BTreeMap<Pid, UProc>,
+    /// Open background-copy windows of committed pipelined forks, keyed
+    /// by child pid; see [`crate::pipeline`].
+    pub(crate) pipelines: BTreeMap<Pid, crate::pipeline::PipelineState>,
     /// Regions of exited μprocesses that forked (kept for relocation
     /// source lookups; never reused).
     pub(crate) retired: Vec<Region>,
@@ -154,6 +157,7 @@ impl UforkOs {
             pt: PageTable::new(),
             regions,
             procs: BTreeMap::new(),
+            pipelines: BTreeMap::new(),
             retired: Vec::new(),
             region_index: RegionIndex::new(),
             shm_objs: BTreeMap::new(),
@@ -489,6 +493,12 @@ impl MemOs for UforkOs {
         let Some(p) = self.procs.remove(&pid) else {
             return;
         };
+        // A child dying mid-window abandons its background copies: the
+        // unmap below drops the staged shared references, and the
+        // admission hold for the never-copied span is handed back.
+        if let Some(s) = self.pipelines.remove(&pid) {
+            self.pm.release(s.reserved);
+        }
         let start = p.region.base.vpn();
         let end = Vpn(p.region.top().0.div_ceil(PAGE_SIZE));
         for (_, pte) in self.pt.unmap_range(start, end) {
@@ -610,6 +620,14 @@ impl MemOs for UforkOs {
         };
         self.map_fresh(ctx, VirtAddr(base), pages * PAGE_SIZE, PteFlags::rw())?;
         root.with_bounds(base, len.max(1)).map_err(|_| Errno::Fault)
+    }
+
+    fn pipeline_pending(&self, pid: Pid) -> u64 {
+        self.pipeline_pending_pages(pid)
+    }
+
+    fn pipeline_step(&mut self, ctx: &mut Ctx, pid: Pid) -> SysResult<bool> {
+        self.pipeline_copy_next(ctx, pid).map(|c| c.is_some())
     }
 
     fn syscall_entry_cost(&self) -> f64 {

@@ -49,6 +49,7 @@ mod gate;
 mod journal;
 mod kernel;
 mod layout;
+mod pipeline;
 pub mod region_index;
 pub mod reloc;
 pub mod talloc;

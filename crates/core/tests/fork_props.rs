@@ -321,6 +321,10 @@ fn fork_fingerprint(
 
     let before = ctx.counters;
     os.fork(&mut ctx, PARENT, CHILD).unwrap();
+    // A pipelined fork commits with the copy still outstanding; drain
+    // the background window so fingerprints always compare
+    // completed-copy states. A no-op for the other walk modes.
+    os.pipeline_drain(&mut ctx, CHILD).unwrap();
     let during = ctx.counters.since(&before);
 
     let c_arr = os.reg(CHILD, 4).unwrap();
@@ -398,6 +402,204 @@ fn parallel_walk_matches_serial_bit_identical() {
                          par:    {par:?}"
                     ));
                 }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Pipelined fork is an optimization with a *window*, not a semantic
+/// change: once the background copy drains, the child heap and its
+/// capability map must be bit-identical to what the serial walk produces
+/// (anchor-normalized), and the walk-independent totals (pages copied,
+/// caps relocated) must agree — the pipeline moved the work, it didn't
+/// change it.
+#[test]
+fn pipelined_walk_matches_serial_after_drain() {
+    forall(
+        "pipelined_walk_matches_serial_after_drain",
+        &cfg(),
+        |rng| {
+            let strategy_ix = rng.below(3) as u8;
+            let pages = rng.range(1, 72);
+            let n = rng.range(1, 48) as usize;
+            let seeds: Vec<Seed> = (0..n)
+                .map(|_| {
+                    if rng.chance(1, 2) {
+                        Seed::CapTo(rng.next_u64() as u16, rng.next_u64() as u16)
+                    } else {
+                        Seed::Data(rng.next_u64() as u16, rng.next_u64())
+                    }
+                })
+                .collect();
+            (strategy_ix, pages, seeds)
+        },
+        |(ix, pages, seeds)| {
+            shrink_vec(seeds)
+                .into_iter()
+                .map(|s| (*ix, *pages, s))
+                .collect()
+        },
+        |(strategy_ix, pages, seeds)| {
+            let strategy = strategy_of(*strategy_ix);
+            let serial = fork_fingerprint(WalkMode::Serial, strategy, *pages, seeds)?;
+            let piped = fork_fingerprint(WalkMode::Pipelined, strategy, *pages, seeds)?;
+            if piped != serial {
+                return Err(format!(
+                    "{strategy:?}, {pages} pages: Pipelined diverged from Serial:\n\
+                     serial: {serial:?}\n\
+                     piped:  {piped:?}"
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The hard pipelined case: the child (and parent) run *inside* the
+/// background-copy window. Child accesses to uncopied pages must jump
+/// the copy queue and see the fork-time snapshot; parent writes must
+/// divert copy-on-write without perturbing it; interleaved background
+/// chunk steps must not disturb either side. Every interleaving of
+/// those three event sources must converge — after the final drain — to
+/// exactly the serial fork's outcome.
+#[test]
+fn child_touching_pages_during_copy_sees_snapshot() {
+    const PAGES: u64 = 96; // 3 chunks of background window
+    #[derive(Clone, Copy, Debug)]
+    enum Ev {
+        ParentWrite(u8, u64),
+        ChildWrite(u8, u64),
+        ChildRead(u8),
+        /// One background copy-engine step (one chunk).
+        Pump,
+    }
+    forall(
+        "child_touching_pages_during_copy_sees_snapshot",
+        &cfg(),
+        |rng| {
+            let n = rng.range(4, 40) as usize;
+            let evs: Vec<Ev> = (0..n)
+                .map(|_| match rng.below(4) {
+                    0 => Ev::ParentWrite(rng.next_u64() as u8, rng.next_u64()),
+                    1 => Ev::ChildWrite(rng.next_u64() as u8, rng.next_u64()),
+                    2 => Ev::ChildRead(rng.next_u64() as u8),
+                    _ => Ev::Pump,
+                })
+                .collect();
+            evs
+        },
+        |evs| shrink_vec(evs),
+        |evs| {
+            let mut os = UforkOs::new(UforkConfig {
+                phys_mib: 64,
+                strategy: CopyStrategy::Full,
+                walk: WalkMode::Pipelined,
+                ..UforkConfig::default()
+            });
+            let mut ctx = Ctx::new();
+            let image = ImageSpec::with_heap("pipe-window", PAGES * PAGE_SIZE + 64 * 1024);
+            os.spawn(&mut ctx, PARENT, &image).unwrap();
+            let arr = os.malloc(&mut ctx, PARENT, PAGES * PAGE_SIZE).unwrap();
+            // One u64 cell + one capability (for relocation coverage)
+            // per page, so every chunk carries tagged granules.
+            for p in 0..PAGES {
+                let at = arr.with_addr(arr.base() + p * PAGE_SIZE).unwrap();
+                os.store(&mut ctx, PARENT, &at, &(0xBEEF + p).to_le_bytes())
+                    .unwrap();
+                let slot = arr.with_addr(arr.base() + p * PAGE_SIZE + 64).unwrap();
+                os.store_cap(&mut ctx, PARENT, &slot, &at).unwrap();
+            }
+            os.set_reg(PARENT, 4, arr).unwrap();
+            os.fork(&mut ctx, PARENT, CHILD).unwrap();
+            if os.pipeline_pending_pages(CHILD) == 0 {
+                return Err("pipelined Full fork left no background window".into());
+            }
+            let c_arr = os.reg(CHILD, 4).unwrap();
+            let anchor = c_arr.base();
+
+            let mut shadow_p: Vec<u64> = (0..PAGES).map(|p| 0xBEEF + p).collect();
+            let mut shadow_c = shadow_p.clone();
+            let cell = |root: &Capability, base: u64, i: u8| {
+                let p = u64::from(i) % PAGES;
+                root.with_addr(base + p * PAGE_SIZE).unwrap()
+            };
+            for ev in evs {
+                match *ev {
+                    Ev::ParentWrite(i, v) => {
+                        os.store(
+                            &mut ctx,
+                            PARENT,
+                            &cell(&arr, arr.base(), i),
+                            &v.to_le_bytes(),
+                        )
+                        .unwrap();
+                        shadow_p[(u64::from(i) % PAGES) as usize] = v;
+                    }
+                    Ev::ChildWrite(i, v) => {
+                        os.store(&mut ctx, CHILD, &cell(&c_arr, anchor, i), &v.to_le_bytes())
+                            .unwrap();
+                        shadow_c[(u64::from(i) % PAGES) as usize] = v;
+                    }
+                    Ev::ChildRead(i) => {
+                        let mut b = [0u8; 8];
+                        os.load(&mut ctx, CHILD, &cell(&c_arr, anchor, i), &mut b)
+                            .unwrap();
+                        let want = shadow_c[(u64::from(i) % PAGES) as usize];
+                        if u64::from_le_bytes(b) != want {
+                            return Err(format!(
+                                "child read {} mid-window, wanted {want}",
+                                u64::from_le_bytes(b)
+                            ));
+                        }
+                    }
+                    Ev::Pump => {
+                        os.pipeline_copy_next(&mut ctx, CHILD).unwrap();
+                    }
+                }
+            }
+            os.pipeline_drain(&mut ctx, CHILD).unwrap();
+            if os.pipeline_pending_pages(CHILD) != 0 {
+                return Err("window still open after drain".into());
+            }
+            // Converged state: both sides match their shadows, every
+            // child capability was relocated into the child's region.
+            for p in 0..PAGES {
+                let mut b = [0u8; 8];
+                os.load(
+                    &mut ctx,
+                    PARENT,
+                    &arr.with_addr(arr.base() + p * PAGE_SIZE).unwrap(),
+                    &mut b,
+                )
+                .unwrap();
+                if u64::from_le_bytes(b) != shadow_p[p as usize] {
+                    return Err(format!("parent page {p} diverged after drain"));
+                }
+                os.load(
+                    &mut ctx,
+                    CHILD,
+                    &c_arr.with_addr(anchor + p * PAGE_SIZE).unwrap(),
+                    &mut b,
+                )
+                .unwrap();
+                if u64::from_le_bytes(b) != shadow_c[p as usize] {
+                    return Err(format!("child page {p} diverged after drain"));
+                }
+                let slot = c_arr.with_addr(anchor + p * PAGE_SIZE + 64).unwrap();
+                let cap = os
+                    .load_cap(&mut ctx, CHILD, &slot)
+                    .unwrap()
+                    .ok_or_else(|| format!("child page {p}: relocated cap lost its tag"))?;
+                if cap.addr() != anchor + p * PAGE_SIZE {
+                    return Err(format!("child page {p}: cap not relocated to child region"));
+                }
+            }
+            if os.audit_kernel() != (0, 0) {
+                return Err("kernel audit found leaks after window closed".into());
+            }
+            if os.audit_isolation(PARENT) != 0 || os.audit_isolation(CHILD) != 0 {
+                return Err("isolation audit found violations".into());
             }
             Ok(())
         },

@@ -28,7 +28,7 @@ mod sched;
 mod vfs;
 
 pub use ctx::Ctx;
-pub use machine::{ExitEvent, ForkEvent, Machine, MachineConfig, MAIN_TID};
+pub use machine::{ExitEvent, ForkEvent, Machine, MachineConfig, PipelineEvent, MAIN_TID};
 pub use memos::MemOs;
 pub use sched::{BlockedOn, SchedEngine, TimeKey, DEFAULT_PRIORITY};
 pub use vfs::{ConnTemplate, FdKind, FdTable, PipeRead, Vfs, WakeEvent};

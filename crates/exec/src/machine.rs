@@ -73,6 +73,39 @@ pub struct ForkEvent {
     pub latency_ns: f64,
 }
 
+/// A pipelined fork's background-copy window, closed.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineEvent {
+    /// The child whose memory was streamed in behind the fork.
+    pub child: Pid,
+    /// When the fork committed (the child was already runnable).
+    pub committed_at: f64,
+    /// When the last background page landed: `done_at - committed_at`
+    /// is the fork's time-to-copy-complete.
+    pub done_at: f64,
+    /// Pages the window covered at commit time.
+    pub pages: u64,
+}
+
+/// The background copy engine of one committed pipelined fork: a
+/// machine-level μtask that streams the child's deferred pages in, one
+/// chunk per scheduling event. Both engines treat its next firing as an
+/// ordinary ready time, so copy progress interleaves deterministically
+/// with thread execution — and a child fault can still jump the queue
+/// in between events (the engine just finds fewer chunks left).
+#[derive(Clone, Copy, Debug)]
+struct CopyEngine {
+    /// When the next chunk may start.
+    next_at: f64,
+    /// When the fork committed (for time-to-copy-complete).
+    committed_at: f64,
+    /// Window size at commit, in pages.
+    pages: u64,
+    /// Consecutive failed firings (memory pressure); the engine retires
+    /// after too many, leaving the window to demand faults.
+    fails: u32,
+}
+
 /// A process exit.
 #[derive(Clone, Copy, Debug)]
 pub struct ExitEvent {
@@ -198,6 +231,10 @@ pub struct Machine<O: MemOs> {
     config: MachineConfig,
     fork_log: Vec<ForkEvent>,
     exit_log: Vec<ExitEvent>,
+    pipeline_log: Vec<PipelineEvent>,
+    /// Live background copy engines, one per pipelined-fork child with
+    /// an open window.
+    copy_engines: BTreeMap<Pid, CopyEngine>,
     runq: RunQueue,
     /// Threads parked reading pipe `id` (event engine): wakeups touch
     /// only the affected pipe's waiters, not every thread.
@@ -221,6 +258,8 @@ impl<O: MemOs> Machine<O> {
             config,
             fork_log: Vec::new(),
             exit_log: Vec::new(),
+            pipeline_log: Vec::new(),
+            copy_engines: BTreeMap::new(),
             runq,
             pipe_waiters: BTreeMap::new(),
             conn_waiters: BTreeMap::new(),
@@ -314,6 +353,20 @@ impl<O: MemOs> Machine<O> {
         &self.exit_log
     }
 
+    /// Closed background-copy windows of pipelined forks, in close
+    /// order: each records commit time, copy-complete time, and size.
+    pub fn pipeline_log(&self) -> &[PipelineEvent] {
+        &self.pipeline_log
+    }
+
+    /// Pages still queued behind committed pipelined forks, machine-wide.
+    pub fn copy_backlog(&self) -> u64 {
+        self.copy_engines
+            .keys()
+            .map(|pid| self.os.pipeline_pending(*pid))
+            .sum()
+    }
+
     /// Merged operation counters.
     pub fn counters(&self) -> &OpCounters {
         &self.counters
@@ -395,7 +448,7 @@ impl<O: MemOs> Machine<O> {
 
     /// The reference engine: linear scan for the earliest-ready thread.
     fn step_lockstep(&mut self) -> bool {
-        let Some((pid, tid, ready_at)) = self
+        let thread = self
             .procs
             .iter()
             .filter(|(_, p)| p.life == ProcLife::Alive)
@@ -405,8 +458,20 @@ impl<O: MemOs> Machine<O> {
                     _ => None,
                 })
             })
-            .min_by(|a, b| a.2.total_cmp(&b.2))
-        else {
+            .min_by(|a, b| a.2.total_cmp(&b.2));
+        // A pending copy engine fires like any other ready entity; ties
+        // go to the engine in BOTH engines so schedules cannot drift.
+        if let Some((cpid, cat)) = self.next_copy_event() {
+            if thread.is_none_or(|(_, _, t_at)| cat <= t_at) {
+                if let Some(limit) = self.config.time_limit {
+                    if cat >= limit {
+                        return false;
+                    }
+                }
+                return self.pump_copy_engine(cpid, cat);
+            }
+        }
+        let Some((pid, tid, ready_at)) = thread else {
             return false;
         };
         if let Some(limit) = self.config.time_limit {
@@ -421,7 +486,17 @@ impl<O: MemOs> Machine<O> {
     /// ones) until a live thread is found.
     fn step_event(&mut self) -> bool {
         loop {
+            let copy = self.next_copy_event();
             let Some(entry) = self.runq.pop() else {
+                // Nothing queued: background copy alone advances time.
+                if let Some((cpid, cat)) = copy {
+                    if let Some(limit) = self.config.time_limit {
+                        if cat >= limit {
+                            return false;
+                        }
+                    }
+                    return self.pump_copy_engine(cpid, cat);
+                }
                 return false;
             };
             let current = self
@@ -436,6 +511,19 @@ impl<O: MemOs> Machine<O> {
             let Some(ready_at) = current else {
                 continue; // stale: superseded since it was pushed
             };
+            // The popped entry is the earliest live thread, so this is
+            // the same copy-vs-thread comparison the lockstep scan makes.
+            if let Some((cpid, cat)) = copy {
+                if cat <= ready_at {
+                    self.runq.push(entry);
+                    if let Some(limit) = self.config.time_limit {
+                        if cat >= limit {
+                            return false;
+                        }
+                    }
+                    return self.pump_copy_engine(cpid, cat);
+                }
+            }
             if let Some(limit) = self.config.time_limit {
                 if ready_at >= limit {
                     // Idle-at-limit, not consumed: keep the entry so a
@@ -447,6 +535,87 @@ impl<O: MemOs> Machine<O> {
             }
             return self.dispatch(entry.pid, entry.tid, ready_at);
         }
+    }
+
+    /// The earliest pending background-copy firing (ties: lowest child
+    /// pid, from the map's iteration order).
+    fn next_copy_event(&self) -> Option<(Pid, f64)> {
+        self.copy_engines
+            .iter()
+            .min_by(|a, b| a.1.next_at.total_cmp(&b.1.next_at))
+            .map(|(pid, e)| (*pid, e.next_at))
+    }
+
+    /// Fires `pid`'s copy engine once at simulated time `at`: one chunk
+    /// streams in, and the next firing lands after the chunk's cost. The
+    /// engine advances its own stream clock rather than occupying a core
+    /// — it models the asynchronous kernel copy stream behind a
+    /// committed fork, whose pages a child fault can also claim
+    /// on-demand between firings.
+    fn pump_copy_engine(&mut self, pid: Pid, at: f64) -> bool {
+        let mut ctx = Ctx::new();
+        match self.os.pipeline_step(&mut ctx, pid) {
+            Ok(true) => {
+                let dur = ctx.total();
+                self.counters.merge(&ctx.counters);
+                if self.os.pipeline_pending(pid) == 0 {
+                    let e = self
+                        .copy_engines
+                        .remove(&pid)
+                        .expect("pumped engine exists");
+                    self.pipeline_log.push(PipelineEvent {
+                        child: pid,
+                        committed_at: e.committed_at,
+                        done_at: at + dur,
+                        pages: e.pages,
+                    });
+                } else if let Some(e) = self.copy_engines.get_mut(&pid) {
+                    e.next_at = at + dur;
+                    e.fails = 0;
+                }
+            }
+            Ok(false) => {
+                // Drained out of band. If the child is alive, demand
+                // jumps finished the window — the last chunk landed on
+                // the faulting child's own step, so the engine's next
+                // firing is the first instant completion is observable.
+                // A dead child's window just closes unlogged.
+                let e = self
+                    .copy_engines
+                    .remove(&pid)
+                    .expect("pumped engine exists");
+                let alive = self
+                    .procs
+                    .get(&pid)
+                    .is_some_and(|p| p.life == ProcLife::Alive);
+                if alive {
+                    self.pipeline_log.push(PipelineEvent {
+                        child: pid,
+                        committed_at: e.committed_at,
+                        done_at: at,
+                        pages: e.pages,
+                    });
+                }
+            }
+            Err(_) => {
+                // Chunk retries exhausted (sustained memory pressure):
+                // back off and re-fire — exits may free frames, and
+                // demand faults keep latency-critical pages covered
+                // meanwhile. After repeated failures the engine retires
+                // and the window is left to the demand path entirely.
+                self.counters.merge(&ctx.counters);
+                let mut retire = false;
+                if let Some(e) = self.copy_engines.get_mut(&pid) {
+                    e.fails += 1;
+                    e.next_at = at + ctx.total() + self.os.cost().reclaim_backoff;
+                    retire = e.fails > 8;
+                }
+                if retire {
+                    self.copy_engines.remove(&pid);
+                }
+            }
+        }
+        true
     }
 
     /// Runs the selected thread: core choice, pending-call retry, program
@@ -978,6 +1147,20 @@ impl<O: MemOs> Machine<O> {
             at: end,
             latency_ns: latency,
         });
+        // A pipelined fork commits with pages still to copy: arm the
+        // child's background copy engine at the commit instant.
+        let pending = self.os.pipeline_pending(child);
+        if pending > 0 {
+            self.copy_engines.insert(
+                child,
+                CopyEngine {
+                    next_at: end,
+                    committed_at: end,
+                    pages: pending,
+                    fails: 0,
+                },
+            );
+        }
     }
 
     /// A non-main thread exited: record it and wake joiners.

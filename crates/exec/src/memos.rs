@@ -82,6 +82,24 @@ pub trait MemOs {
     /// window, returning a capability confined to the process.
     fn mmap_anon(&mut self, ctx: &mut Ctx, pid: Pid, len: u64) -> SysResult<Capability>;
 
+    // ---- pipelined fork (background copy) -------------------------------
+
+    /// Pages of `pid`'s fork still being copied behind a committed
+    /// pipelined fork. Zero for systems without one (the default) and
+    /// once the background window has drained. The executive keeps a
+    /// child's copy-engine μtask alive while this is non-zero.
+    fn pipeline_pending(&self, _pid: Pid) -> u64 {
+        0
+    }
+
+    /// Advances `pid`'s background copy by one chunk, charging the
+    /// chunk's work to `ctx`. Returns `Ok(true)` if a chunk was copied,
+    /// `Ok(false)` when there is no pending background work (the
+    /// default for systems without pipelined fork).
+    fn pipeline_step(&mut self, _ctx: &mut Ctx, _pid: Pid) -> SysResult<bool> {
+        Ok(false)
+    }
+
     // ---- cost / feature profile ----------------------------------------
 
     /// Kernel entry + exit cost for one syscall.

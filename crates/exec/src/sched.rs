@@ -102,9 +102,12 @@ pub enum BlockedOn {
     Wait,
     /// Joining a running thread (the target tid).
     Join(u32),
-    /// Awaiting in-kernel fault resolution. Reserved for pipelined fork
-    /// (ROADMAP item 2), where a child may run before its pages finish
-    /// copying; nothing parks here yet.
+    /// Awaiting in-kernel fault resolution. Pipelined fork runs a child
+    /// before its pages finish copying, but its demand-priority faults
+    /// resolve *inline* (the faulting access copies the chunk itself and
+    /// charges its own context — see `ufork::pipeline`), so even there
+    /// nothing parks here; the variant remains the defensive default for
+    /// blocking calls with no other classification.
     Fault,
 }
 

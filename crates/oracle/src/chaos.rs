@@ -20,10 +20,20 @@
 //!
 //! The sweep enumerates the window automatically, so a new journal op
 //! added to the fork path is covered without touching this file. It runs
-//! for all three copy strategies plus the parallel walk, exercising the
-//! rollback of every op kind: the admission reservation, the region
-//! grab, eager frame allocations, shared/lazy refcount bumps, child PTE
-//! batches, parent COW arming, and the index/process-table inserts.
+//! for all three copy strategies plus the parallel and pipelined walks,
+//! exercising the rollback of every op kind: the admission reservation,
+//! the region grab, eager frame allocations, shared/lazy refcount bumps,
+//! child PTE batches, parent COW arming, and the index/process-table
+//! inserts.
+//!
+//! Pipelined fork gets a second, wider window: after its fork commits,
+//! the background copy runs per-chunk journal transactions of its own
+//! (frame allocations, `PteRemap` rewrites, `RefDec` releases —
+//! [`ufork::pipeline`]). [`sweep_pipeline_window`] enumerates every
+//! journal op of a reference drain and aborts each one: the failing
+//! chunk must roll back whole (the window shrinks only in chunk-sized
+//! steps), nothing may leak, a retry drain must complete, and the child
+//! must end bit-correct.
 
 use ufork::{UforkConfig, UforkOs, WalkMode};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
@@ -37,6 +47,8 @@ use crate::fault::{check_consistent, child_cap, prelude, teardown_clean};
 pub struct ChaosSummary {
     /// Journal op indices replayed with an injected abort.
     pub points: u64,
+    /// Abort points inside the pipelined background-copy window.
+    pub pipeline_points: u64,
     /// Strategy × walk-mode configurations swept.
     pub configs: u64,
     /// Mid-storm injection scenarios run to clean completion.
@@ -51,9 +63,10 @@ pub struct ChaosSummary {
 /// runs once (under Full, the op-richest strategy); lane-count variants
 /// share its journal schedule, which the determinism properties already
 /// pin down.
-const CONFIGS: [(CopyStrategy, WalkMode); 4] = [
+const CONFIGS: [(CopyStrategy, WalkMode); 5] = [
     (CopyStrategy::Full, WalkMode::Serial),
     (CopyStrategy::Full, WalkMode::Parallel(4)),
+    (CopyStrategy::Full, WalkMode::Pipelined),
     (CopyStrategy::CoA, WalkMode::Serial),
     (CopyStrategy::CoPA, WalkMode::Serial),
 ];
@@ -132,6 +145,83 @@ fn sweep_config(
     Ok(())
 }
 
+/// Abort points inside the pipelined background-copy window: a
+/// reference run measures the journal ops a full drain of the committed
+/// fork's window records, then each op index is aborted in its own
+/// replay. At every point the failing chunk must roll back whole —
+/// the window only ever shrinks by whole chunks — the kernel must stay
+/// balanced, the one-shot injection must not survive into the retry
+/// drain, and the fully-drained child must read bit-correct. Teardown
+/// to zero frames at each point is the leak check.
+fn sweep_pipeline_window(summary: &mut ChaosSummary) -> Result<(), String> {
+    let strategy = CopyStrategy::Full;
+    let walk = WalkMode::Pipelined;
+    // Reference run: fork commits, then the drain's journal window.
+    let (j1, j2) = {
+        let mut os = build(strategy, walk);
+        let mut ctx = Ctx::new();
+        prelude(&mut os, &mut ctx)?;
+        os.fork(&mut ctx, Pid(1), Pid(2))
+            .map_err(|e| format!("pipeline reference fork failed: {e:?}"))?;
+        let j1 = os.journal_ops_recorded();
+        os.pipeline_drain(&mut ctx, Pid(2))
+            .map_err(|e| format!("pipeline reference drain failed: {e:?}"))?;
+        (j1, os.journal_ops_recorded())
+    };
+    if j2 == j1 {
+        return Err("pipelined background window recorded no journal ops".into());
+    }
+    for op in j1..j2 {
+        let label = format!("pipeline window op {op}");
+        let mut os = build(strategy, walk);
+        let mut ctx = Ctx::new();
+        let caps = prelude(&mut os, &mut ctx)?;
+        os.fork(&mut ctx, Pid(1), Pid(2))
+            .map_err(|e| format!("{label}: fork failed: {e:?}"))?;
+        let staged = os.pipeline_pending_pages(Pid(2));
+        if staged == 0 {
+            return Err(format!("{label}: pipelined fork left no window"));
+        }
+        os.inject_journal_failure(op);
+        let rollbacks_before = ctx.counters.fork_rollbacks;
+        if os.pipeline_drain(&mut ctx, Pid(2)).is_ok() {
+            return Err(format!("{label}: injected chunk abort was absorbed"));
+        }
+        if ctx.counters.fork_rollbacks == rollbacks_before {
+            return Err(format!("{label}: chunk abort did not run a rollback"));
+        }
+        // Chunk atomicity: the window shrinks only in whole chunks, so
+        // the failing chunk is exactly as staged — never in between.
+        let pending = os.pipeline_pending_pages(Pid(2));
+        if pending == 0 || !(staged - pending).is_multiple_of(ufork::CHUNK_PAGES as u64) {
+            return Err(format!(
+                "{label}: window went {staged} -> {pending} pages (not chunk-aligned)"
+            ));
+        }
+        check_consistent(&mut os, &mut ctx, &label)?;
+        // The injection is one-shot: the retry drain must complete and
+        // the child must end bit-correct.
+        os.pipeline_drain(&mut ctx, Pid(2))
+            .map_err(|e| format!("{label}: retry drain failed: {e:?}"))?;
+        if os.pipeline_pending_pages(Pid(2)) != 0 {
+            return Err(format!("{label}: window still open after retry drain"));
+        }
+        let cc = child_cap(&os, &caps[0])?;
+        let mut b = [0u8; 8];
+        os.load(&mut ctx, Pid(2), &cc, &mut b)
+            .map_err(|e| format!("{label}: child read after drain: {e:?}"))?;
+        if u64::from_le_bytes(b) != 0xA0 {
+            return Err(format!(
+                "{label}: child sees {:#x}, expected 0xA0",
+                u64::from_le_bytes(b)
+            ));
+        }
+        teardown_clean(&mut os, &mut ctx, &label)?;
+        summary.pipeline_points += 1;
+    }
+    Ok(())
+}
+
 /// Which fault a mid-storm scenario arms once the storm is in flight.
 #[derive(Clone, Copy, Debug)]
 enum StormFault {
@@ -153,15 +243,17 @@ enum StormFault {
 /// mid-stream — the realistic shape of the failure, not the lab one.
 fn storm_chaos(
     strategy: CopyStrategy,
+    walk: WalkMode,
     fault: StormFault,
     summary: &mut ChaosSummary,
 ) -> Result<(), String> {
     const CHILDREN: u32 = 300;
     const ARMED_AFTER_FORKS: usize = 100;
-    let label = format!("storm/{strategy:?}/{fault:?}");
+    let label = format!("storm/{strategy:?}/{walk:?}/{fault:?}");
     let os = UforkOs::new(UforkConfig {
         phys_mib: 256,
         strategy,
+        walk,
         ..UforkConfig::default()
     });
     let mut m = Machine::new(
@@ -210,12 +302,17 @@ fn storm_chaos(
         ));
     }
     if let StormFault::Journal = fault {
-        // A journal abort is never absorbed below the zygote: the fork
-        // failed, rolled back, and was retried by the program.
+        // A journal abort always records a rollback, wherever it lands.
         if m.counters().fork_rollbacks == 0 {
             return Err(format!("{label}: no rollback recorded"));
         }
-        if z.retries == 0 {
+        // Under the serial/parallel walks the abort necessarily hits a
+        // fork in flight, so it surfaces to the zygote's retry loop.
+        // Under the pipelined walk it may instead land in a background
+        // chunk, where the copy engine (or a demand fault) re-runs the
+        // chunk without any program-visible failure — so no retry is
+        // required there.
+        if walk != WalkMode::Pipelined && z.retries == 0 {
             return Err(format!("{label}: zygote absorbed no fork failure"));
         }
     }
@@ -235,10 +332,16 @@ pub fn chaos_sweep() -> Result<ChaosSummary, String> {
     for (strategy, walk) in CONFIGS {
         sweep_config(strategy, walk, &mut summary)?;
     }
+    sweep_pipeline_window(&mut summary)?;
     for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
         for fault in [StormFault::Journal, StormFault::Alloc] {
-            storm_chaos(strategy, fault, &mut summary)?;
+            storm_chaos(strategy, WalkMode::default(), fault, &mut summary)?;
         }
+    }
+    // The pipelined walk under load: the injection lands mid-storm,
+    // either in a fork in flight or inside a background-copy chunk.
+    for fault in [StormFault::Journal, StormFault::Alloc] {
+        storm_chaos(CopyStrategy::Full, WalkMode::Pipelined, fault, &mut summary)?;
     }
     Ok(summary)
 }

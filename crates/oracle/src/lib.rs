@@ -58,6 +58,9 @@ pub struct OracleReport {
     pub fault_points: u64,
     /// Journal chaos-sweep abort points exercised (0 when skipped).
     pub chaos_points: u64,
+    /// Abort points inside the pipelined background-copy window (0 when
+    /// skipped).
+    pub pipeline_chaos_points: u64,
     /// Mid-storm injection scenarios run to clean completion (0 when
     /// skipped).
     pub storm_chaos_scenarios: u64,
@@ -127,6 +130,7 @@ pub fn run_chaos(report: &mut OracleReport) {
     match chaos::chaos_sweep() {
         Ok(s) => {
             report.chaos_points = s.points;
+            report.pipeline_chaos_points = s.pipeline_points;
             report.storm_chaos_scenarios = s.storm_scenarios;
         }
         Err(e) => report.failures.push(format!("chaos sweep: {e}")),

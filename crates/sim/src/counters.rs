@@ -80,6 +80,12 @@ pub struct OpCounters {
     /// Simulated nanoseconds spent in reclaim backoff between fork
     /// retries (whole ns; the f64 charge is truncated when accumulated).
     pub fork_backoff_ns: u64,
+    /// Background-copy chunks resolved inline by a child fault jumping
+    /// the pipelined fork's copy queue (demand priority).
+    pub pipeline_chunks_jumped: u64,
+    /// Cumulative bytes a pipelined fork committed with the copy still
+    /// outstanding (deferred pages × page size, summed over forks).
+    pub pipeline_bytes_behind: u64,
 }
 
 impl OpCounters {
@@ -121,6 +127,8 @@ impl OpCounters {
         self.journal_ops += other.journal_ops;
         self.reclaim_passes += other.reclaim_passes;
         self.fork_backoff_ns += other.fork_backoff_ns;
+        self.pipeline_chunks_jumped += other.pipeline_chunks_jumped;
+        self.pipeline_bytes_behind += other.pipeline_bytes_behind;
     }
 
     /// Difference `self - earlier`, for measuring a window of activity.
@@ -161,6 +169,8 @@ impl OpCounters {
             journal_ops: self.journal_ops - earlier.journal_ops,
             reclaim_passes: self.reclaim_passes - earlier.reclaim_passes,
             fork_backoff_ns: self.fork_backoff_ns - earlier.fork_backoff_ns,
+            pipeline_chunks_jumped: self.pipeline_chunks_jumped - earlier.pipeline_chunks_jumped,
+            pipeline_bytes_behind: self.pipeline_bytes_behind - earlier.pipeline_bytes_behind,
         }
     }
 }
@@ -205,7 +215,7 @@ impl fmt::Display for OpCounters {
             "fork chunks: {}, alloc steals: {}, frames recycled: {} (zeroing skipped {})",
             self.fork_chunks, self.alloc_steals, self.frames_recycled, self.zeroing_skipped
         )?;
-        write!(
+        writeln!(
             f,
             "journal ops: {}, rollbacks: {}, forks degraded: {}, reclaim passes: {}, \
              backoff: {} ns",
@@ -214,6 +224,11 @@ impl fmt::Display for OpCounters {
             self.forks_degraded,
             self.reclaim_passes,
             self.fork_backoff_ns
+        )?;
+        write!(
+            f,
+            "pipeline: chunks jumped {}, bytes behind {}",
+            self.pipeline_chunks_jumped, self.pipeline_bytes_behind
         )
     }
 }
@@ -315,6 +330,24 @@ mod tests {
         assert!(s.contains("rollbacks: 6"));
         assert!(s.contains("forks degraded: 4"));
         assert!(s.contains("reclaim passes: 8"));
+    }
+
+    #[test]
+    fn pipeline_family_round_trips() {
+        let a = OpCounters {
+            pipeline_chunks_jumped: 3,
+            pipeline_bytes_behind: 1 << 20,
+            ..OpCounters::default()
+        };
+        let mut total = OpCounters::default();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.pipeline_chunks_jumped, 6);
+        assert_eq!(total.pipeline_bytes_behind, 2 << 20);
+        assert_eq!(total.since(&a), a);
+        let s = total.to_string();
+        assert!(s.contains("chunks jumped 6"));
+        assert!(s.contains("bytes behind 2097152"));
     }
 
     #[test]

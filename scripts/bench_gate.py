@@ -28,6 +28,18 @@ Three metric families are compared, with different thresholds:
   threshold. ``children`` is part of the key because both metrics move
   with the storm's scale: a reduced-N smoke run must not be compared
   against the committed full-scale baseline.
+* ``fork_pipeline[]`` — the pipelined-fork latency frontier (schema
+  v6+), keyed by ``(heap, mode, metric)`` for ``sim_commit_ns`` (latency
+  until the child runs) and ``sim_copy_done_ns`` (latency until its span
+  is fully copied). Deterministic, strict threshold.
+
+On top of the baseline comparison, two *cross-metric* invariants are
+checked inside the fresh file alone (schema v6+):
+
+* the pipelined fork's commit latency stays within 1.5x the CoPA fork on
+  every heap shape (``fork_pipeline``), and
+* the pipelined storm's fork p99 beats the widest synchronous parallel
+  walk (``full_pipelined`` vs ``full_par8`` in ``fork_storm``).
 * ``results[]`` — host wall-clock best-of-samples, keyed by ``name``.
   These depend on the machine that produced them; the committed baseline
   and a CI runner are different hardware, and even same-host runs swing
@@ -93,6 +105,62 @@ def storm_map(doc):
         for r in doc.get("fork_storm", [])
         for metric in ("sim_p99_ns", "sim_ns_per_fork")
     }
+
+
+def pipeline_map(doc):
+    # Absent before schema v6.
+    return {
+        (r["heap"], r["mode"], metric): float(r[metric])
+        for r in doc.get("fork_pipeline", [])
+        for metric in ("sim_commit_ns", "sim_copy_done_ns")
+    }
+
+
+def cross_checks(doc):
+    """Intra-file invariants of the pipelined fork (schema v6+)."""
+    failures = []
+    frontier = doc.get("fork_pipeline", [])
+    by_mode = {}
+    for r in frontier:
+        by_mode[(r["heap"], r["mode"])] = float(r["sim_commit_ns"])
+    for (heap, mode), commit in sorted(by_mode.items()):
+        if mode != "pipelined":
+            continue
+        copa = by_mode.get((heap, "copa"))
+        if copa is None or copa <= 0:
+            continue
+        ratio = commit / copa
+        verdict = "ok" if ratio <= 1.5 else "FAIL"
+        print(
+            f"  [{verdict:>4}] cross fork_pipeline {heap}: pipelined commit "
+            f"{commit:.0f} ns vs copa {copa:.0f} ns ({ratio:.3f}x, limit 1.5x)"
+        )
+        if ratio > 1.5:
+            failures.append(
+                f"cross fork_pipeline {heap}: pipelined commit {commit:.0f} ns "
+                f"is {ratio:.3f}x CoPA ({copa:.0f} ns), limit 1.5x"
+            )
+    storm = {
+        (r["mode"], str(r["children"])): float(r["sim_p99_ns"])
+        for r in doc.get("fork_storm", [])
+    }
+    for (mode, children), p99 in sorted(storm.items()):
+        if mode != "full_pipelined":
+            continue
+        par8 = storm.get(("full_par8", children))
+        if par8 is None:
+            continue
+        verdict = "ok" if p99 < par8 else "FAIL"
+        print(
+            f"  [{verdict:>4}] cross fork_storm n={children}: pipelined p99 "
+            f"{p99:.0f} ns vs full_par8 {par8:.0f} ns"
+        )
+        if p99 >= par8:
+            failures.append(
+                f"cross fork_storm n={children}: pipelined fork p99 {p99:.0f} ns "
+                f"does not beat full_par8 ({par8:.0f} ns)"
+            )
+    return failures
 
 
 def compare(kind, old, new, max_regress):
@@ -169,6 +237,13 @@ def main():
         storm_map(new_doc),
         args.max_regress,
     )
+    failures += compare(
+        "fork_pipeline",
+        pipeline_map(old_doc),
+        pipeline_map(new_doc),
+        args.max_regress,
+    )
+    failures += cross_checks(new_doc)
     failures += compare(
         "results",
         results_map(old_doc),

@@ -54,4 +54,8 @@ fn journal_chaos_sweep() {
         "sweep aborted only {} journal ops",
         report.chaos_points
     );
+    assert!(
+        report.pipeline_chaos_points > 0,
+        "sweep never reached the pipelined background-copy window"
+    );
 }

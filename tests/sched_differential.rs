@@ -32,6 +32,8 @@ struct History {
     now_bits: u64,
     forks: Vec<(Pid, Pid, u64, u64)>,
     exits: Vec<(Pid, u64, i32)>,
+    /// Closed pipelined-fork copy windows (child, commit, done, pages).
+    pipelines: Vec<(Pid, u64, u64, u64)>,
     counters: OpCounters,
     files: Vec<(String, Vec<u8>)>,
     pipes: Vec<(usize, Vec<u8>)>,
@@ -51,16 +53,34 @@ fn run_engine(s: &Scenario, engine: SchedEngine) -> History {
         phys_mib: 256,
         ..UforkConfig::default()
     });
+    run_machine(
+        os,
+        &ImageSpec::hello_world(),
+        s.cores,
+        s.time_limit,
+        engine,
+        (s.make)(),
+    )
+}
+
+fn run_machine(
+    os: UforkOs,
+    image: &ImageSpec,
+    cores: usize,
+    time_limit: Option<f64>,
+    engine: SchedEngine,
+    program: Box<dyn Program>,
+) -> History {
     let mut m = Machine::new(
         os,
         MachineConfig {
-            cores: s.cores,
-            time_limit: s.time_limit,
+            cores,
+            time_limit,
             engine,
             ..MachineConfig::default()
         },
     );
-    let pid = m.spawn(&ImageSpec::hello_world(), (s.make)()).unwrap();
+    let pid = m.spawn(image, program).unwrap();
     m.run();
     let (files, pipes) = m.vfs().state_snapshot();
     History {
@@ -75,6 +95,18 @@ fn run_engine(s: &Scenario, engine: SchedEngine) -> History {
             .exit_log()
             .iter()
             .map(|e| (e.pid, e.at.to_bits(), e.code))
+            .collect(),
+        pipelines: m
+            .pipeline_log()
+            .iter()
+            .map(|p| {
+                (
+                    p.child,
+                    p.committed_at.to_bits(),
+                    p.done_at.to_bits(),
+                    p.pages,
+                )
+            })
             .collect(),
         counters: *m.counters(),
         files,
@@ -428,6 +460,143 @@ fn engines_agree_on_fork_pattern_programs() {
 fn engines_agree_on_thread_programs() {
     for s in thread_scenarios() {
         assert_engines_agree(&s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined fork: the child runs INSIDE the background-copy window, so
+// the replay contract must additionally cover copy-engine firings and
+// demand-priority jumps interleaving with thread execution.
+// ---------------------------------------------------------------------------
+
+const TOUCH_PAGES: u64 = 80;
+const TOUCH_PAGE: u64 = 4096;
+
+/// Parent populates an 80-page heap and forks (pipelined). The child
+/// strides across the heap while the copy engine streams it in — some
+/// touches land on already-copied pages, some jump the queue — and the
+/// parent dirties pages behind the window (CoW off the shared frames).
+#[derive(Clone)]
+struct PipeTouch {
+    phase: u8,
+    step: u64,
+}
+
+impl Program for PipeTouch {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match (self.phase, input) {
+            (0, Resume::Start) => {
+                let arr = env.malloc(TOUCH_PAGES * TOUCH_PAGE).expect("heap");
+                for p in 0..TOUCH_PAGES {
+                    env.store_u64(
+                        &arr.with_addr(arr.base() + p * TOUCH_PAGE).expect("cursor"),
+                        0xC0DE + p,
+                    )
+                    .expect("init");
+                }
+                env.set_reg(4, arr).expect("register");
+                self.phase = 1;
+                StepOutcome::Fork
+            }
+            (1, Resume::Forked(ForkResult::Child)) => {
+                self.phase = 2;
+                StepOutcome::Block(BlockingCall::Yield)
+            }
+            (1, Resume::Forked(ForkResult::Parent(_))) => {
+                self.phase = 3;
+                StepOutcome::Block(BlockingCall::Yield)
+            }
+            (2, Resume::Ret(Ok(_))) => {
+                // One scattered touch per step, yielding in between so
+                // copy-engine firings interleave with the reads.
+                let arr = env.reg(4).expect("heap register");
+                let p = (self.step * 37 + 11) % TOUCH_PAGES;
+                let v = env
+                    .load_u64(&arr.with_addr(arr.base() + p * TOUCH_PAGE).expect("cursor"))
+                    .expect("readable");
+                if v != 0xC0DE + p {
+                    return StepOutcome::Exit(1);
+                }
+                // Enough per-step work that the child outlives the
+                // background stream: the window must CLOSE while the
+                // child still runs, or no PipelineEvent is ever logged.
+                env.cpu_ops(5000);
+                self.step += 1;
+                if self.step < 64 {
+                    StepOutcome::Block(BlockingCall::Yield)
+                } else {
+                    StepOutcome::Exit(0)
+                }
+            }
+            (3, Resume::Ret(Ok(_))) => {
+                let arr = env.reg(4).expect("heap register");
+                for p in (0..TOUCH_PAGES).step_by(5) {
+                    env.store_u64(
+                        &arr.with_addr(arr.base() + p * TOUCH_PAGE).expect("cursor"),
+                        p,
+                    )
+                    .expect("writable");
+                }
+                self.phase = 4;
+                StepOutcome::Block(BlockingCall::Wait)
+            }
+            (4, Resume::Ret(Ok(status))) => {
+                StepOutcome::Exit(if (status >> 32) as i32 == 0 { 0 } else { 1 })
+            }
+            _ => StepOutcome::Exit(9),
+        }
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[test]
+fn engines_agree_on_pipelined_fork() {
+    use ufork_repro::abi::CopyStrategy;
+    use ufork_repro::ufork::WalkMode;
+    for cores in [1usize, 2, 4] {
+        let run = |engine| {
+            let os = UforkOs::new(UforkConfig {
+                phys_mib: 256,
+                strategy: CopyStrategy::Full,
+                walk: WalkMode::Pipelined,
+                ..UforkConfig::default()
+            });
+            run_machine(
+                os,
+                &ImageSpec::with_heap("pipe-diff", TOUCH_PAGES * TOUCH_PAGE + 64 * 1024),
+                cores,
+                None,
+                engine,
+                Box::new(PipeTouch { phase: 0, step: 0 }),
+            )
+        };
+        let lockstep = run(SchedEngine::Lockstep);
+        let event = run(SchedEngine::EventDriven);
+        assert_eq!(
+            lockstep, event,
+            "engines diverged on pipelined fork ({cores} cores)"
+        );
+        assert_eq!(lockstep.exit_code, Some(0), "workload failed");
+        assert!(
+            !lockstep.pipelines.is_empty(),
+            "no background-copy window was opened and closed"
+        );
+        assert!(
+            lockstep.counters.pipeline_chunks_jumped > 0,
+            "child touches never jumped the copy queue"
+        );
+        for (_, committed, done, pages) in &lockstep.pipelines {
+            assert!(
+                f64::from_bits(*done) >= f64::from_bits(*committed),
+                "copy completed before its fork committed"
+            );
+            assert!(*pages > 0, "empty pipeline window was logged");
+        }
     }
 }
 
