@@ -18,8 +18,9 @@ use ufork::{FallbackPolicy, UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_baselines::{mono, nephele, BaselineConfig};
 use ufork_bench::{
-    fork_frontier_sweep, fork_scaling_sweep, storm_children_from_env, storm_sweep, trace_fork_runs,
-    FrontierRow, ScalingRow, StormMode, StormPipeline, TracedFork, STORM_CORES, STORM_SEED,
+    fork_frontier_sweep, fork_scaling_sweep, snapshot_train_sweep, storm_children_from_env,
+    storm_sweep, trace_fork_runs, zygote_fleet_sweep, FrontierRow, ScalingRow, SnapshotRow,
+    StormMode, StormPipeline, TracedFork, ZygoteFleetRow, STORM_CORES, STORM_SEED,
 };
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::{Ctx, MemOs};
@@ -246,6 +247,10 @@ fn main() {
 
     let frontier = run_frontier();
 
+    let snapshot = run_snapshot_train();
+
+    let zygote = run_zygote_fleet();
+
     let storm = run_storm_family();
     // Per-phase simulated totals from the trace layer: exactly
     // reproducible, so bench_gate.py gates them like fork_scaling rows.
@@ -272,7 +277,110 @@ fn main() {
         &frontier,
         &phases,
         &storm,
+        &snapshot,
+        &zygote,
     );
+}
+
+/// Runs the dirty-scope snapshot train twice, asserts determinism, and
+/// enforces the PR's asymptotic acceptance gate in-process: at a 5%
+/// write rate every steady-state (N≥2) `DirtySince` fork completes its
+/// copy within 0.25× the `Everything`-scope fork, under both the serial
+/// and the pipelined walk. (bench_gate.py holds the JSON rows to the
+/// same threshold across PRs.)
+fn run_snapshot_train() -> Vec<SnapshotRow> {
+    let rows = snapshot_train_sweep();
+    let again = snapshot_train_sweep();
+    for (a, b) in rows.iter().zip(&again) {
+        assert_eq!(
+            a.sim_fork_ns.to_bits(),
+            b.sim_fork_ns.to_bits(),
+            "fork_snapshot_train/{}/{}/{} is nondeterministic",
+            a.scope,
+            a.walk,
+            a.snapshot
+        );
+        assert_eq!(a.sim_copy_done_ns.to_bits(), b.sim_copy_done_ns.to_bits());
+    }
+    for r in &rows {
+        println!(
+            "fork_snapshot_train/{}/{}/{}: fork {:.0} ns, copy done {:.0} ns ({} dirty copied, {} shared clean)",
+            r.scope, r.walk, r.snapshot, r.sim_fork_ns, r.sim_copy_done_ns,
+            r.pages_dirty_copied, r.pages_shared_clean
+        );
+    }
+    let pick = |scope: &str, walk: &str, snap: u32| {
+        rows.iter()
+            .find(|r| r.scope == scope && r.walk == walk && r.snapshot == snap)
+            .expect("snapshot row")
+    };
+    for walk in ["serial", "pipelined"] {
+        for snap in 2..=ufork_bench::TRAIN_SNAPSHOTS {
+            let dirty = pick("dirty", walk, snap);
+            let every = pick("everything", walk, snap);
+            let ratio = dirty.sim_copy_done_ns / every.sim_copy_done_ns;
+            assert!(
+                ratio <= 0.25,
+                "{walk} snapshot {snap}: DirtySince copy-done {:.0} ns is {ratio:.3}x the \
+                 Everything fork ({:.0} ns); the dirty scope must stay under 0.25x at 5% writes",
+                dirty.sim_copy_done_ns,
+                every.sim_copy_done_ns
+            );
+            assert!(
+                dirty.pages_shared_clean > 0,
+                "{walk} snapshot {snap}: no clean pages were shared"
+            );
+        }
+        let ratio =
+            pick("dirty", walk, 2).sim_copy_done_ns / pick("everything", walk, 2).sim_copy_done_ns;
+        println!("fork_snapshot_train/{walk} dirty over everything (snapshot 2): {ratio:.3}x");
+    }
+    rows
+}
+
+/// Runs the zygote fleet twice, asserts determinism, and enforces the
+/// dedup acceptance gate: with cross-child frame dedup on, M warm
+/// children stay within 1.2× the resident frames of a single child.
+fn run_zygote_fleet() -> Vec<ZygoteFleetRow> {
+    let rows = zygote_fleet_sweep();
+    let again = zygote_fleet_sweep();
+    for (a, b) in rows.iter().zip(&again) {
+        assert_eq!(
+            (a.frames_fleet, a.frames_deduped),
+            (b.frames_fleet, b.frames_deduped),
+            "fork_zygote/{} is nondeterministic",
+            a.variant
+        );
+    }
+    for r in &rows {
+        println!(
+            "fork_zygote/{}: {} children, {} frames after 1 child -> {} after fleet ({} deduped, {} probes, {} shared clean)",
+            r.variant, r.children, r.frames_one_child, r.frames_fleet,
+            r.frames_deduped, r.dedup_hash_probes, r.pages_shared_clean
+        );
+    }
+    for r in &rows {
+        if r.variant.starts_with("dedup/") || r.variant.starts_with("dirty/") {
+            let ratio = f64::from(r.frames_fleet) / f64::from(r.frames_one_child);
+            assert!(
+                ratio <= 1.2,
+                "fork_zygote/{}: fleet of {} holds {} frames, {ratio:.3}x a single child's {} \
+                 (must stay <= 1.2x)",
+                r.variant,
+                r.children,
+                r.frames_fleet,
+                r.frames_one_child
+            );
+        }
+        if r.variant.starts_with("dedup/") {
+            assert!(
+                r.frames_deduped > 0,
+                "fork_zygote/{}: dedup enabled but no frames were deduplicated",
+                r.variant
+            );
+        }
+    }
+    rows
 }
 
 /// Runs the pipelined-fork latency frontier twice, asserts determinism,
@@ -490,6 +598,7 @@ fn run_scaling() -> (Vec<ScalingRow>, f64) {
 /// is flat enough to format by hand). `results` are host wall-clock
 /// best-of-samples; the `fork_scaling` section is *simulated* time and
 /// therefore exactly reproducible.
+#[allow(clippy::too_many_arguments)] // one slice per JSON family
 fn write_json(
     results: &[(String, u64)],
     speedups: &Speedups,
@@ -498,6 +607,8 @@ fn write_json(
     frontier: &[FrontierRow],
     phases: &[TracedFork],
     storm: &[(StormMode, StormReport, StormPipeline)],
+    snapshot: &[SnapshotRow],
+    zygote: &[ZygoteFleetRow],
 ) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_fork.json");
@@ -575,8 +686,41 @@ fn write_json(
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let snapshot_rows = snapshot
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"system\": \"{}\", \"scope\": \"{}\", \"walk\": \"{}\", \"snapshot\": {}, \"sim_fork_ns\": {:.1}, \"sim_copy_done_ns\": {:.1}, \"pages_dirty_copied\": {}, \"pages_shared_clean\": {}}}",
+                r.system,
+                r.scope,
+                r.walk,
+                r.snapshot,
+                r.sim_fork_ns,
+                r.sim_copy_done_ns,
+                r.pages_dirty_copied,
+                r.pages_shared_clean
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let zygote_rows = zygote
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"variant\": \"{}\", \"children\": {}, \"frames_one_child\": {}, \"frames_fleet\": {}, \"frames_deduped\": {}, \"dedup_hash_probes\": {}, \"pages_shared_clean\": {}}}",
+                r.variant,
+                r.children,
+                r.frames_one_child,
+                r.frames_fleet,
+                r.frames_deduped,
+                r.dedup_hash_probes,
+                r.pages_shared_clean
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let body = format!(
-        "{{\n  \"schema\": \"ufork-bench-fork/v6\",\n  \"unit\": \"ns/iter (best of samples, setup untimed); sim_* fields are simulated ns\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_pipeline\": [\n{frontier_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"fork_storm\": [\n{storm_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"ufork-bench-fork/v7\",\n  \"unit\": \"ns/iter (best of samples, setup untimed); sim_* fields are simulated ns\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_pipeline\": [\n{frontier_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"fork_storm\": [\n{storm_rows}\n  ],\n  \"fork_snapshot_train\": [\n{snapshot_rows}\n  ],\n  \"fork_zygote\": [\n{zygote_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
         sparse = speedups.sparse,
         lineage = speedups.lineage,
         scaling_speedup = speedups.scaling,

@@ -21,8 +21,9 @@ use ufork_bench::report::{num, render_table, size_label};
 use ufork_bench::{
     ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep,
     ablation_naive_scan, fig6, fig7, fig8, fig9, fork_frontier_sweep, fork_scaling_sweep,
-    pressure_storm, redis_sweep, storm_sweep, table1, trace_chrome_json, trace_fork_runs,
-    trace_summary_text, AblationRow, RedisRow, STORM_CORES, STORM_SEED,
+    pressure_storm, redis_sweep, snapshot_train_sweep, storm_sweep, table1, trace_chrome_json,
+    trace_fork_runs, trace_summary_text, zygote_fleet_sweep, AblationRow, RedisRow, STORM_CORES,
+    STORM_SEED,
 };
 
 fn print_ablation(title: &str, rows: &[AblationRow]) {
@@ -311,6 +312,72 @@ fn main() {
             );
             println!();
         }
+    }
+    if all || what == "snapshot" {
+        println!("== Snapshot train: per-snapshot fork cost, 5% writes between snapshots ==");
+        let rows = snapshot_train_sweep();
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.system.clone(),
+                    r.scope.to_string(),
+                    r.walk.to_string(),
+                    r.snapshot.to_string(),
+                    num(r.sim_fork_ns / 1e3),
+                    num(r.sim_copy_done_ns / 1e3),
+                    r.pages_dirty_copied.to_string(),
+                    r.pages_shared_clean.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "System",
+                    "Scope",
+                    "Walk",
+                    "Snap",
+                    "fork (µs, sim)",
+                    "copy done (µs, sim)",
+                    "Dirty copied",
+                    "Shared clean",
+                ],
+                &body
+            )
+        );
+        println!("== Zygote fleet: resident frames vs warm children ==");
+        let fleet = zygote_fleet_sweep();
+        let body: Vec<Vec<String>> = fleet
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    r.children.to_string(),
+                    r.frames_one_child.to_string(),
+                    r.frames_fleet.to_string(),
+                    r.frames_deduped.to_string(),
+                    r.dedup_hash_probes.to_string(),
+                    r.pages_shared_clean.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "Variant",
+                    "Children",
+                    "Frames @1",
+                    "Frames @M",
+                    "Deduped",
+                    "Probes",
+                    "Shared clean",
+                ],
+                &body
+            )
+        );
     }
     if all || what == "pressure" {
         println!("== Fork storm under memory pressure (4 MiB, Full requested) ==");

@@ -8,10 +8,12 @@
 pub mod ablations;
 pub mod experiments;
 pub mod report;
+pub mod snapshot;
 pub mod storm;
 pub mod trace_exp;
 
 pub use ablations::*;
 pub use experiments::*;
+pub use snapshot::*;
 pub use storm::*;
 pub use trace_exp::*;

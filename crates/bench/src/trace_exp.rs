@@ -233,4 +233,58 @@ mod tests {
             serial.counters.caps_relocated
         );
     }
+
+    #[test]
+    fn traced_dirty_scope_fork_has_scan_and_dedup_phases() {
+        // A dirty-tracking + dedup fork must keep the bitwise
+        // charge-accumulator contract and surface its two extra phases
+        // (`fork/dirty_scan` for the generation stamp, `fork/dedup` for
+        // the content-hash probes) in the same trace stream.
+        const PAGES: u64 = 64;
+        let mut os = UforkOs::new(UforkConfig {
+            phys_mib: 64,
+            strategy: CopyStrategy::Full,
+            walk: WalkMode::Serial,
+            track_dirty: true,
+            dedup_frames: true,
+            ..UforkConfig::default()
+        });
+        let mut ctx = Ctx::new();
+        let img = ImageSpec::with_heap("dirty-trace", PAGES * PAGE_SIZE + (64 << 10));
+        os.spawn(&mut ctx, Pid(1), &img).expect("spawn");
+        let arr = os
+            .malloc(&mut ctx, Pid(1), PAGES * PAGE_SIZE)
+            .expect("heap");
+        for p in 0..PAGES {
+            // Untagged data only, so the dedup probes actually run.
+            let slot = arr.with_addr(arr.base() + p * PAGE_SIZE).expect("slot");
+            os.store(&mut ctx, Pid(1), &slot, &1u64.to_le_bytes())
+                .expect("store");
+        }
+        os.fork(&mut ctx, Pid(1), Pid(2)).expect("stamping fork");
+        for p in 0..4 {
+            let slot = arr.with_addr(arr.base() + p * PAGE_SIZE + 8).expect("slot");
+            os.store(&mut ctx, Pid(1), &slot, &(p + 2).to_le_bytes())
+                .expect("dirtying store");
+        }
+
+        let mut fctx = Ctx::traced(DEFAULT_TRACE_CAPACITY);
+        os.fork(&mut fctx, Pid(1), Pid(3))
+            .expect("dirty-scope fork");
+        assert_eq!(
+            fctx.kernel_ns.to_bits(),
+            fctx.trace.charged_total().to_bits(),
+            "charge accumulator must stay exact with dirty scan + dedup on"
+        );
+        for phase in ["fork/dirty_scan", "fork/dedup"] {
+            assert!(
+                fctx.trace.phases().iter().any(|p| p.name == phase),
+                "missing phase {phase}"
+            );
+        }
+        // The phases tie out to the counters they narrate.
+        assert!(fctx.counters.pages_dirty_copied > 0, "no dirty copies");
+        assert!(fctx.counters.pages_shared_clean > 0, "no clean shares");
+        assert!(fctx.counters.dedup_hash_probes > 0, "no dedup probes");
+    }
 }

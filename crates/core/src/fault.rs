@@ -4,7 +4,7 @@ use ufork_abi::{Errno, Pid, SysResult};
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::Ctx;
 use ufork_mem::{GRANULE_SIZE, PAGE_SIZE};
-use ufork_vmem::{AccessKind, Fault, VirtAddr};
+use ufork_vmem::{AccessKind, Fault, PteFlags, VirtAddr};
 
 use ufork_mem::Pfn;
 
@@ -172,7 +172,23 @@ impl UforkOs {
             pte.pfn
         };
         ctx.phase("fault/pte");
-        self.pt.map(vpn, pfn, final_flags);
+        // Soft-dirty maintenance: the first store after a generation
+        // stamp lands here (the stamp CoW-armed every writable page), so
+        // a store-kind fault marks the page dirty for the next
+        // `CopyScope::DirtySince` fork. Non-store resolutions leave the
+        // bit clear; their remap still resets the generation to 0, which
+        // reads as conservatively dirty.
+        let is_store = match fault {
+            Fault::Cow { .. } => true, // COW only fires on stores
+            Fault::CoAccess { kind, .. } => kind.is_store(),
+            _ => false,
+        };
+        let flags = if self.track_dirty && is_store {
+            final_flags.with(PteFlags::DIRTY)
+        } else {
+            final_flags
+        };
+        self.pt.map(vpn, pfn, flags);
         ctx.kernel(self.cost.pte_write);
         ctx.counters.ptes_written += 1;
 

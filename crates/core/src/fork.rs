@@ -35,14 +35,50 @@ use std::cell::Cell;
 use ufork_abi::{CopyStrategy, Errno, Pid, SysResult};
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::Ctx;
-use ufork_mem::{Pfn, PhysMem, PAGE_SIZE};
+use ufork_mem::{content_hash, FrameDedupIndex, Pfn, PhysMem, PAGE_SIZE};
 use ufork_sim::CostModel;
-use ufork_vmem::{Pte, PteFlags, Region, VirtAddr, Vpn};
+use ufork_vmem::{PageTable, Pte, PteFlags, Region, VirtAddr, Vpn};
 
 use crate::journal::{FallbackPolicy, ForkJournal, JournalOp};
 use crate::kernel::{UProc, UforkOs};
 use crate::layout::Segment;
 use crate::reloc::{reloc_cost, relocate_frame, ScanMode};
+
+/// How much of the parent's address space a fork walks through the copy
+/// machinery.
+///
+/// Under [`DirtySince`](CopyScope::DirtySince) only pages written since
+/// the parent's last generation stamp are copied (or CoW/CoA-armed per
+/// strategy); clean pages are shared outright — refcount bump plus CoW
+/// protect, no frame allocation, no tag scan — making repeat forks from
+/// a mostly-unchanged heap O(dirty) instead of O(heap). The child is
+/// byte-identical either way: both arms reference the parent's
+/// fork-time frames, the scope only decides *when* the private copy
+/// materializes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopyScope {
+    /// Walk every mapped page (the classic fork; always sound).
+    Everything,
+    /// Copy only pages dirtied since parent generation `gen` (its PTEs'
+    /// soft-dirty bit, or a generation mismatch from a remap). Sound
+    /// only while `gen` is the parent's current stamp cursor;
+    /// [`UforkOs::fork_scoped`] silently widens anything else to
+    /// `Everything`.
+    DirtySince(u32),
+}
+
+impl CopyScope {
+    /// Is this page inside the copy scope (i.e. must it go through the
+    /// full copy/arm machinery rather than the clean-share arm)?
+    pub(crate) fn page_dirty(self, pte: &Pte) -> bool {
+        match self {
+            CopyScope::Everything => true,
+            // A generation mismatch is conservatively dirty: remaps
+            // reset the stamp, and an unstamped page has no history.
+            CopyScope::DirtySince(gen) => pte.flags.contains(PteFlags::DIRTY) || pte.gen != gen,
+        }
+    }
+}
 
 /// Bounded reclaim-then-retry attempts after a rolled-back fork (and
 /// after a rolled-back pipelined background chunk, which reuses the same
@@ -76,10 +112,16 @@ impl UforkOs {
     /// deferred-zero queues (the one reclaim the simulation models) and
     /// charges a deterministic backoff, so the retry schedule is a pure
     /// function of the failure sequence.
-    pub(crate) fn fork_uproc(&mut self, ctx: &mut Ctx, parent: Pid, child: Pid) -> SysResult<()> {
+    pub(crate) fn fork_uproc(
+        &mut self,
+        ctx: &mut Ctx,
+        parent: Pid,
+        child: Pid,
+        scope: CopyScope,
+    ) -> SysResult<()> {
         let mut retries = 0;
         loop {
-            match self.fork_attempt(ctx, parent, child) {
+            match self.fork_attempt(ctx, parent, child, scope) {
                 Ok(()) => return Ok(()),
                 Err(ForkFail::Fatal(e)) => return Err(e),
                 Err(ForkFail::Retryable(e)) => {
@@ -100,7 +142,13 @@ impl UforkOs {
 
     /// One transactional fork attempt. On `Err` the journal has been
     /// rolled back: the kernel is exactly as before the attempt.
-    fn fork_attempt(&mut self, ctx: &mut Ctx, parent: Pid, child: Pid) -> Result<(), ForkFail> {
+    fn fork_attempt(
+        &mut self,
+        ctx: &mut Ctx,
+        parent: Pid,
+        child: Pid,
+        scope: CopyScope,
+    ) -> Result<(), ForkFail> {
         debug_assert_eq!(self.journal.len(), 0, "journal must be empty between forks");
         // Fixed path: task struct, PID allocation, fd duplication hooks,
         // thread creation, scheduler insertion (paper §3.5 step 2).
@@ -126,7 +174,7 @@ impl UforkOs {
         // Admission control: pre-flight the frame demand and book the
         // reservation (possibly degrading the strategy) before any
         // side effect that would need unwinding.
-        let strategy = self.admit_fork(ctx, p_region, &layout, meta_used_bytes)?;
+        let strategy = self.admit_fork(ctx, p_region, &layout, meta_used_bytes, scope)?;
 
         // Reserve the child's contiguous region.
         ctx.phase("fork/region");
@@ -157,10 +205,20 @@ impl UforkOs {
             &c_root,
             meta_used_bytes,
             strategy,
+            scope,
         ) {
             Ok(deferred) => deferred,
             Err(e) => return Err(self.abort_fork(ctx, e)),
         };
+
+        // Stamp the parent's PTEs with the next fork generation (and
+        // clear the soft-dirty bits) so the *next* fork can run
+        // `DirtySince` against this one's snapshot. Runs after the
+        // walk's protection sweep so the journaled pre-stamp state is
+        // the post-arm state reverse-order rollback expects.
+        if let Err(e) = self.stamp_dirty_generation(ctx, parent, p_region, &layout) {
+            return Err(self.abort_fork(ctx, e));
+        }
 
         // Relocate the register file (paper §3.5 step 2: "any absolute
         // memory references contained in registers are relocated").
@@ -219,6 +277,8 @@ impl UforkOs {
                 shm_next: p_shm_next,
                 mmap_next: p_mmap_next,
                 had_children: false,
+                dirty_gen: 0,
+                dirty_tracked: false,
             },
         );
         if self.journal.record(JournalOp::ProcInsert(child)).is_err() {
@@ -330,9 +390,10 @@ impl UforkOs {
                     self.procs.remove(&pid);
                 }
                 JournalOp::PteRemap { vpn, old } => {
-                    // Restore the exact pre-rewrite PTE. A no-op when the
-                    // rewrite never applied (record-then-apply).
-                    self.pt.map(vpn, old.pfn, old.flags);
+                    // Restore the exact pre-rewrite PTE — including its
+                    // generation stamp, which `map` would reset. A no-op
+                    // when the rewrite never applied (record-then-apply).
+                    self.pt.extend_sorted([(vpn, old)]);
                     ns += self.cost.pte_write;
                 }
                 JournalOp::RefDec(pfn) => {
@@ -341,6 +402,39 @@ impl UforkOs {
                     // chunk only decrements refcounts it observed ≥ 2,
                     // so another mapping still holds the frame.
                     let _ = self.pm.inc_ref(pfn);
+                }
+                JournalOp::DirtyStamp {
+                    vpn,
+                    old_gen,
+                    was_dirty,
+                    had_cow,
+                } => {
+                    // Rewrite the exact pre-stamp generation state.
+                    // Idempotent when the stamp never applied
+                    // (record-then-apply): every restored value is then
+                    // already in place.
+                    if let Some(p) = self.pt.lookup_mut(vpn) {
+                        p.gen = old_gen;
+                        p.flags = if was_dirty {
+                            p.flags.with(PteFlags::DIRTY)
+                        } else {
+                            p.flags.without(PteFlags::DIRTY)
+                        };
+                        if !had_cow {
+                            p.flags = p.flags.without(PteFlags::COW);
+                        }
+                    }
+                    ns += self.cost.pte_protect;
+                }
+                JournalOp::DirtyTrack {
+                    pid,
+                    old_gen,
+                    old_tracked,
+                } => {
+                    if let Some(p) = self.procs.get_mut(&pid) {
+                        p.dirty_gen = old_gen;
+                        p.dirty_tracked = old_tracked;
+                    }
                 }
             }
         }
@@ -357,6 +451,7 @@ impl UforkOs {
         p_region: Region,
         layout: &crate::ProcLayout,
         meta_used_bytes: u64,
+        scope: CopyScope,
     ) -> Result<CopyStrategy, ForkFail> {
         if self.fallback == FallbackPolicy::Disabled {
             return Ok(self.strategy);
@@ -364,7 +459,8 @@ impl UforkOs {
         ctx.phase("fork/admission");
         ctx.kernel(self.cost.admission_check);
         let requested = self.strategy;
-        let (private, eager, _) = self.fork_page_demand(p_region, layout, meta_used_bytes, false);
+        let (private, eager, _) =
+            self.fork_page_demand(p_region, layout, meta_used_bytes, false, scope);
         let demand = Self::immediate_demand(requested, private, eager);
         if self.pm.reserve(demand).is_ok() {
             if self
@@ -386,7 +482,8 @@ impl UforkOs {
         // faults on *any* child access (assume half the lazy pages copy
         // soon), CoPA only on writes and tagged loads — the tag-summary
         // bitmaps (PR 2) bound that by the capability-dense page count.
-        let (_, _, cap_dense) = self.fork_page_demand(p_region, layout, meta_used_bytes, true);
+        let (_, _, cap_dense) =
+            self.fork_page_demand(p_region, layout, meta_used_bytes, true, scope);
         ctx.kernel(self.cost.tags_load * 4.0 * private as f64);
         let lazy = private - eager;
         let ladder = [
@@ -429,16 +526,20 @@ impl UforkOs {
 
     /// One read-only pass over the parent's mapped range, classifying
     /// pages the way the walk will. Returns `(private, eager,
-    /// cap_dense)`: non-shm mapped pages, pages copied eagerly under a
-    /// lazy strategy, and — only when `density` is requested, since it
-    /// costs a tag-summary read per page — pages holding at least one
-    /// tagged granule.
+    /// cap_dense)`: non-shm mapped pages *inside the copy scope*, pages
+    /// copied eagerly under a lazy strategy, and — only when `density`
+    /// is requested, since it costs a tag-summary read per page — pages
+    /// holding at least one tagged granule. Clean pages under
+    /// [`CopyScope::DirtySince`] allocate nothing at fork time (their
+    /// child mappings share the parent frame), so they contribute
+    /// nothing to the demand.
     fn fork_page_demand(
         &self,
         p_region: Region,
         layout: &crate::ProcLayout,
         meta_used_bytes: u64,
         density: bool,
+        scope: CopyScope,
     ) -> (u64, u64, u64) {
         let start = p_region.base.vpn();
         let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
@@ -446,7 +547,7 @@ impl UforkOs {
         for (vpn, pte) in self.pt.range(start, end) {
             let off = vpn.base().0 - p_region.base.0;
             let seg = layout.segment_of(off);
-            if seg == Segment::Shm {
+            if seg == Segment::Shm || !scope.page_dirty(&pte) {
                 continue;
             }
             private += 1;
@@ -470,6 +571,78 @@ impl UforkOs {
         (private, eager, cap_dense)
     }
 
+    /// Stamps every non-shm parent PTE with the next fork generation:
+    /// generation field overwritten, soft-dirty bit cleared (each dirty
+    /// bit set since the last fork is cleared exactly once, here),
+    /// writable pages (re-)armed CoW so the *first* post-fork write
+    /// faults and sets the bit again. Skipped unless dirty tracking is
+    /// on; [`ScanMode::Naive`] keeps the legacy ablation walk untouched
+    /// by never stamping (so auto-scoping never picks `DirtySince`
+    /// there). Fully journaled: an abort mid-sweep restores every PTE's
+    /// exact pre-stamp state and the parent's cursor.
+    fn stamp_dirty_generation(
+        &mut self,
+        ctx: &mut Ctx,
+        parent: Pid,
+        p_region: Region,
+        layout: &crate::ProcLayout,
+    ) -> SysResult<()> {
+        if !self.track_dirty || self.scan == ScanMode::Naive {
+            return Ok(());
+        }
+        ctx.phase("fork/dirty_scan");
+        let (old_gen, old_tracked) = {
+            let p = self.proc(parent)?;
+            (p.dirty_gen, p.dirty_tracked)
+        };
+        // Generation 0 means "never stamped" (fresh maps land there and
+        // must read as dirty), so the cursor skips it on wrap.
+        let new_gen = match old_gen.wrapping_add(1) {
+            0 => 1,
+            g => g,
+        };
+        let start = p_region.base.vpn();
+        let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
+        let mut stamped: Vec<Vpn> = Vec::new();
+        {
+            let pt = &self.pt;
+            let journal = &mut self.journal;
+            for (vpn, pte) in pt.range(start, end) {
+                let off = vpn.base().0 - p_region.base.0;
+                if layout.segment_of(off) == Segment::Shm {
+                    // Shm frames are shared read-write by design; arming
+                    // them CoW would privatize a write. They are also
+                    // always shared by the walk, so they need no scope
+                    // classification.
+                    continue;
+                }
+                journal
+                    .record(JournalOp::DirtyStamp {
+                        vpn,
+                        old_gen: pte.gen,
+                        was_dirty: pte.flags.contains(PteFlags::DIRTY),
+                        had_cow: pte.flags.contains(PteFlags::COW),
+                    })
+                    .map_err(|_| Errno::NoMem)?;
+                stamped.push(vpn);
+            }
+        }
+        self.journal
+            .record(JournalOp::DirtyTrack {
+                pid: parent,
+                old_gen,
+                old_tracked,
+            })
+            .map_err(|_| Errno::NoMem)?;
+        let n = self.pt.stamp_many(stamped, new_gen);
+        ctx.kernel(self.cost.pte_protect * n as f64);
+        if let Some(p) = self.procs.get_mut(&parent) {
+            p.dirty_gen = new_gen;
+            p.dirty_tracked = true;
+        }
+        Ok(())
+    }
+
     /// The per-page fork walk: maps (and, where the strategy requires,
     /// copies and relocates) every parent page into the child region,
     /// recording every side effect in the journal. On `Err` nothing has
@@ -479,6 +652,8 @@ impl UforkOs {
     /// empty except under [`crate::fork_par::WalkMode::Pipelined`], where
     /// every would-be-eager page is instead staged CoA-style on the
     /// shared parent frame and handed to the background copy pipeline.
+    /// Under [`CopyScope::DirtySince`] the deferred list holds only
+    /// dirty pages, so the background window drains in O(dirty) too.
     #[allow(clippy::too_many_arguments)] // the fork attempt's full context
     fn fork_walk_pages(
         &mut self,
@@ -489,8 +664,12 @@ impl UforkOs {
         c_root: &Capability,
         meta_used_bytes: u64,
         strategy: CopyStrategy,
+        scope: CopyScope,
     ) -> SysResult<Vec<(Vpn, PteFlags)>> {
         if self.scan == ScanMode::Naive {
+            // The legacy walk predates dirty tracking; it never stamps,
+            // so a `DirtySince` scope cannot legally reach it.
+            debug_assert_eq!(scope, CopyScope::Everything);
             return self
                 .fork_walk_pages_naive(
                     ctx,
@@ -514,6 +693,7 @@ impl UforkOs {
                     meta_used_bytes,
                     strategy,
                     n,
+                    scope,
                 )
                 .map(|()| Vec::new());
         }
@@ -523,6 +703,7 @@ impl UforkOs {
         let end = Vpn(p_region.top().0.div_ceil(PAGE_SIZE));
         let eager_cfg = self.eager_fork_copies;
         let validates = self.isolation.validates_syscalls();
+        let dedup_on = self.dedup_frames;
 
         // Staged child PTEs, produced in ascending page order by the
         // parent-range stream; inserted in one batch on success only.
@@ -543,6 +724,7 @@ impl UforkOs {
             let pt = &self.pt;
             let journal = &mut self.journal;
             let cost = &self.cost;
+            let dedup = &mut self.dedup;
             let region_index = &self.region_index;
             let lookup = |addr: u64| region_index.lookup(addr);
             let target = RelocTarget {
@@ -569,15 +751,49 @@ impl UforkOs {
                         failed = Some(Errno::NoMem);
                         break 'walk;
                     }
-                    child_batch.push((
-                        c_vpn,
-                        Pte {
-                            pfn: pte.pfn,
-                            flags: PteFlags::rw(),
-                        },
-                    ));
+                    child_batch.push((c_vpn, Pte::new(pte.pfn, PteFlags::rw())));
                     ctx.kernel(cost.pte_copy);
                     continue;
+                }
+
+                if !scope.page_dirty(&pte) {
+                    // Clean since the parent's last stamp: share the
+                    // frame outright. No frame allocation, no tag scan —
+                    // a refcount bump and one staged PTE. The child maps
+                    // it CoPA-style (readable, writes and capability
+                    // loads fault: clean pages still hold the *parent's*
+                    // capabilities, so direct cap loads must stay
+                    // fenced), or fully inaccessible under CoA.
+                    if pm.inc_ref(pte.pfn).is_err() {
+                        failed = Some(Errno::Fault);
+                        break 'walk;
+                    }
+                    if journal.record(JournalOp::RefInc(pte.pfn)).is_err() {
+                        failed = Some(Errno::NoMem);
+                        break 'walk;
+                    }
+                    let f = if strategy == CopyStrategy::CoA {
+                        PteFlags::empty().with(PteFlags::COA)
+                    } else {
+                        let mut f = PteFlags::READ.with(PteFlags::LC_FAULT).with(PteFlags::COW);
+                        if final_flags.contains(PteFlags::EXEC) {
+                            f = f.with(PteFlags::EXEC);
+                        }
+                        if final_flags.contains(PteFlags::WRITE) {
+                            f = f.with(PteFlags::WRITE); // COW checked first
+                        }
+                        f
+                    };
+                    child_batch.push((c_vpn, Pte::new(pte.pfn, f)));
+                    ctx.kernel(cost.pte_copy);
+                    ctx.counters.pages_shared_clean += 1;
+                    if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
+                        cow_arm.push(vpn);
+                    }
+                    continue;
+                }
+                if scope != CopyScope::Everything {
+                    ctx.counters.pages_dirty_copied += 1;
                 }
 
                 let eager = strategy == CopyStrategy::Full
@@ -606,10 +822,7 @@ impl UforkOs {
                     }
                     child_batch.push((
                         c_vpn,
-                        Pte {
-                            pfn: pte.pfn,
-                            flags: PteFlags::empty().with(PteFlags::COA),
-                        },
+                        Pte::new(pte.pfn, PteFlags::empty().with(PteFlags::COA)),
                     ));
                     ctx.kernel(cost.pte_copy + cost.coa_pte_extra);
                     deferred.push((c_vpn, final_flags));
@@ -620,6 +833,35 @@ impl UforkOs {
                 }
 
                 if eager {
+                    // Cross-child dedup: before materializing a private
+                    // copy, probe the content index for an existing
+                    // identical frame a sibling already holds. Untagged
+                    // source frames only — relocation is a no-op on
+                    // them, so the copy's content equals the source's
+                    // and the hash key is exact.
+                    let probe = if dedup_on {
+                        ctx.phase("fork/dedup");
+                        dedup_probe(pm, pt, dedup, cost, ctx, pte.pfn)
+                    } else {
+                        DedupProbe::Skip
+                    };
+                    if let DedupProbe::Hit(shared) = probe {
+                        if pm.inc_ref(shared).is_err() {
+                            failed = Some(Errno::Fault);
+                            break 'walk;
+                        }
+                        if journal.record(JournalOp::RefInc(shared)).is_err() {
+                            failed = Some(Errno::NoMem);
+                            break 'walk;
+                        }
+                        // CoW-protected: the canonical content must stay
+                        // stable under every sharer's writes.
+                        child_batch
+                            .push((c_vpn, Pte::new(shared, final_flags.with(PteFlags::COW))));
+                        ctx.kernel(cost.pte_write);
+                        ctx.counters.frames_deduped += 1;
+                        continue;
+                    }
                     let new = match copy_page_for_child(pm, journal, cost, ctx, pte.pfn, &target) {
                         Ok(new) => new,
                         Err(e) => {
@@ -628,13 +870,17 @@ impl UforkOs {
                         }
                     };
                     ctx.phase("fork/walk/pte");
-                    child_batch.push((
-                        c_vpn,
-                        Pte {
-                            pfn: new,
-                            flags: final_flags,
-                        },
-                    ));
+                    let mut flags = final_flags;
+                    if let DedupProbe::Miss(hash) = probe {
+                        // Register the fresh copy as the canonical frame
+                        // for this content, CoW-armed so it stays
+                        // byte-stable while indexed. No journal op: a
+                        // rolled-back fork leaves a stale entry that
+                        // self-invalidates on the next probe.
+                        dedup.insert(hash, new, c_vpn.0);
+                        flags = flags.with(PteFlags::COW);
+                    }
+                    child_batch.push((c_vpn, Pte::new(new, flags)));
                     ctx.kernel(cost.pte_write);
                     if validates {
                         // Adversarial deployments re-verify every relocated
@@ -666,10 +912,7 @@ impl UforkOs {
                         // Fully inaccessible to the child: any access faults.
                         child_batch.push((
                             c_vpn,
-                            Pte {
-                                pfn: pte.pfn,
-                                flags: PteFlags::empty().with(PteFlags::COA),
-                            },
+                            Pte::new(pte.pfn, PteFlags::empty().with(PteFlags::COA)),
                         ));
                         ctx.kernel(cost.pte_copy + cost.coa_pte_extra);
                     }
@@ -682,13 +925,7 @@ impl UforkOs {
                         if final_flags.contains(PteFlags::WRITE) {
                             f = f.with(PteFlags::WRITE); // COW checked first
                         }
-                        child_batch.push((
-                            c_vpn,
-                            Pte {
-                                pfn: pte.pfn,
-                                flags: f,
-                            },
-                        ));
+                        child_batch.push((c_vpn, Pte::new(pte.pfn, f)));
                         ctx.kernel(cost.pte_copy);
                     }
                 }
@@ -863,6 +1100,65 @@ impl UforkOs {
         ctx.counters.region_lookups += naive_lookups.get();
         result
     }
+}
+
+/// Outcome of a cross-child dedup probe for one eager-copy source page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DedupProbe {
+    /// Dedup disabled, or the source frame holds tags (per-child
+    /// relocation makes tagged copies never byte-identical).
+    Skip,
+    /// A validated identical frame exists: share it instead of copying.
+    Hit(Pfn),
+    /// No (valid) candidate; the caller should copy and then register
+    /// the fresh frame under this content hash.
+    Miss(u64),
+}
+
+/// Probes the cross-child frame-dedup index for a frame identical to
+/// `src`. A hit is validated against live state before it is trusted:
+/// the canonical frame must still be allocated, its canonical mapping
+/// must still point at it write-protected (so the content cannot have
+/// drifted since insert), it must still be untagged, and a full content
+/// comparison must match — the hash is only an index key, never an
+/// equality proof. Stale entries are evicted on sight, which is what
+/// lets inserts skip the journal entirely.
+pub(crate) fn dedup_probe(
+    pm: &PhysMem,
+    pt: &PageTable,
+    dedup: &mut FrameDedupIndex,
+    cost: &CostModel,
+    ctx: &mut Ctx,
+    src: Pfn,
+) -> DedupProbe {
+    let Ok(frame) = pm.frame(src) else {
+        return DedupProbe::Skip;
+    };
+    if frame.cap_count() > 0 {
+        return DedupProbe::Skip;
+    }
+    let hash = content_hash(frame);
+    ctx.kernel(cost.page_hash);
+    ctx.counters.dedup_hash_probes += 1;
+    let Some(entry) = dedup.get(hash) else {
+        return DedupProbe::Miss(hash);
+    };
+    let canonical_stable = pm.refcount(entry.pfn).is_ok()
+        && pt.lookup(Vpn(entry.vpn)).is_some_and(|c| {
+            c.pfn == entry.pfn
+                && (c.flags.contains(PteFlags::COW) || !c.flags.contains(PteFlags::WRITE))
+        })
+        && pm.frame(entry.pfn).is_ok_and(|c| c.cap_count() == 0);
+    if canonical_stable {
+        ctx.kernel(cost.page_hash);
+        ctx.counters.dedup_hash_probes += 1;
+        let identical = pm.frame(entry.pfn).is_ok_and(|c| c.data() == frame.data());
+        if identical {
+            return DedupProbe::Hit(entry.pfn);
+        }
+    }
+    dedup.evict(hash);
+    DedupProbe::Miss(hash)
 }
 
 /// Where an eager page copy lands and how its capabilities are fixed up:

@@ -54,6 +54,7 @@ use ufork_mem::{Frame, Pfn, ZeroPolicy, PAGE_SIZE};
 use ufork_sim::LaneClocks;
 use ufork_vmem::{Pte, PteFlags, Region, VirtAddr, Vpn};
 
+use crate::fork::CopyScope;
 use crate::journal::JournalOp;
 use crate::kernel::UforkOs;
 use crate::layout::Segment;
@@ -141,6 +142,7 @@ impl UforkOs {
         meta_used_bytes: u64,
         strategy: CopyStrategy,
         workers: usize,
+        scope: CopyScope,
     ) -> SysResult<()> {
         let workers = workers.max(1);
         let start = p_region.base.vpn();
@@ -176,15 +178,49 @@ impl UforkOs {
                         failed = Some(Errno::NoMem);
                         break 'walk;
                     }
-                    child_batch.push((
-                        c_vpn,
-                        Pte {
-                            pfn: pte.pfn,
-                            flags: PteFlags::rw(),
-                        },
-                    ));
+                    child_batch.push((c_vpn, Pte::new(pte.pfn, PteFlags::rw())));
                     ctx.kernel(cost.pte_copy);
                     continue;
+                }
+
+                if !scope.page_dirty(&pte) {
+                    // Clean since the parent's last stamp: share the
+                    // frame in the serial prologue exactly as the serial
+                    // walk's clean-share arm does — the lanes only ever
+                    // see dirty eager pages, so the parallel phase is
+                    // O(dirty) as well. (Cross-child dedup is serial- and
+                    // pipeline-only: the probe mutates the shared index,
+                    // which lanes must not.)
+                    if pm.inc_ref(pte.pfn).is_err() {
+                        failed = Some(Errno::Fault);
+                        break 'walk;
+                    }
+                    if journal.record(JournalOp::RefInc(pte.pfn)).is_err() {
+                        failed = Some(Errno::NoMem);
+                        break 'walk;
+                    }
+                    let f = if strategy == CopyStrategy::CoA {
+                        PteFlags::empty().with(PteFlags::COA)
+                    } else {
+                        let mut f = PteFlags::READ.with(PteFlags::LC_FAULT).with(PteFlags::COW);
+                        if final_flags.contains(PteFlags::EXEC) {
+                            f = f.with(PteFlags::EXEC);
+                        }
+                        if final_flags.contains(PteFlags::WRITE) {
+                            f = f.with(PteFlags::WRITE); // COW checked first
+                        }
+                        f
+                    };
+                    child_batch.push((c_vpn, Pte::new(pte.pfn, f)));
+                    ctx.kernel(cost.pte_copy);
+                    ctx.counters.pages_shared_clean += 1;
+                    if final_flags.contains(PteFlags::WRITE) && !pte.flags.contains(PteFlags::COW) {
+                        cow_arm.push(vpn);
+                    }
+                    continue;
+                }
+                if scope != CopyScope::Everything {
+                    ctx.counters.pages_dirty_copied += 1;
                 }
 
                 let is_eager = strategy == CopyStrategy::Full
@@ -222,13 +258,7 @@ impl UforkOs {
                         ctx.counters.alloc_steals += 1;
                         ctx.instant("alloc/steal");
                     }
-                    child_batch.push((
-                        c_vpn,
-                        Pte {
-                            pfn: grant.pfn,
-                            flags: final_flags,
-                        },
-                    ));
+                    child_batch.push((c_vpn, Pte::new(grant.pfn, final_flags)));
                     eager.push(EagerPage {
                         src: pte.pfn,
                         dst: grant.pfn,
@@ -256,10 +286,7 @@ impl UforkOs {
                     CopyStrategy::CoA => {
                         child_batch.push((
                             c_vpn,
-                            Pte {
-                                pfn: pte.pfn,
-                                flags: PteFlags::empty().with(PteFlags::COA),
-                            },
+                            Pte::new(pte.pfn, PteFlags::empty().with(PteFlags::COA)),
                         ));
                         ctx.kernel(cost.pte_copy + cost.coa_pte_extra);
                     }
@@ -271,13 +298,7 @@ impl UforkOs {
                         if final_flags.contains(PteFlags::WRITE) {
                             f = f.with(PteFlags::WRITE); // COW checked first
                         }
-                        child_batch.push((
-                            c_vpn,
-                            Pte {
-                                pfn: pte.pfn,
-                                flags: f,
-                            },
-                        ));
+                        child_batch.push((c_vpn, Pte::new(pte.pfn, f)));
                         ctx.kernel(cost.pte_copy);
                     }
                 }

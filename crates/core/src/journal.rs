@@ -86,6 +86,27 @@ pub(crate) enum JournalOp {
     /// releasing the fork-time reference after the copy). Recorded
     /// apply-then-record; the inverse re-takes the reference.
     RefDec(Pfn),
+    /// A parent PTE was (or is about to be) stamped with the new fork
+    /// generation: generation field overwritten, soft-dirty bit cleared,
+    /// COW re-armed on writable pages. Recorded record-then-apply (the
+    /// stamp sweep runs after the walk's `protect_many`, so `had_cow`
+    /// reflects the post-arm state it restores to); the inverse rewrites
+    /// the exact pre-stamp generation/DIRTY/COW state and is idempotent
+    /// when the stamp never landed.
+    DirtyStamp {
+        vpn: Vpn,
+        old_gen: u32,
+        was_dirty: bool,
+        had_cow: bool,
+    },
+    /// The parent μprocess's dirty-tracking cursor was (or is about to
+    /// be) advanced to a new generation. Record-then-apply; the inverse
+    /// restores the prior cursor and tracked flag.
+    DirtyTrack {
+        pid: Pid,
+        old_gen: u32,
+        old_tracked: bool,
+    },
 }
 
 /// The journal of the in-flight fork. Exactly one fork is in flight at a

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use ufork_abi::{CopyStrategy, Errno, ImageSpec, IsolationLevel, Pid, SysResult};
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::{Ctx, MemOs};
-use ufork_mem::{MemStats, Pfn, PhysMem, GRANULE_SIZE, PAGE_SIZE};
+use ufork_mem::{FrameDedupIndex, MemStats, Pfn, PhysMem, GRANULE_SIZE, PAGE_SIZE};
 use ufork_sim::CostModel;
 use ufork_vmem::{AccessKind, PageTable, PteFlags, Region, RegionAllocator, VirtAddr, Vpn};
 
@@ -54,6 +54,16 @@ pub struct UforkConfig {
     /// (`Strict`, default), degrade `Full → CoA → CoPA` until the demand
     /// fits (`Degrade`), or skip the pre-flight entirely (`Disabled`).
     pub fallback: FallbackPolicy,
+    /// Maintain per-PTE fork-generation stamps and soft-dirty bits so
+    /// repeat forks from the same parent can use
+    /// [`CopyScope::DirtySince`](crate::CopyScope) and touch only pages
+    /// written since the previous fork (ROADMAP item 2). Off by default:
+    /// single-shot forks pay the stamp sweep without ever reaping it.
+    pub track_dirty: bool,
+    /// Probe the cross-child [`FrameDedupIndex`] before materializing an
+    /// eager copy, so identical (untagged) frames are shared across
+    /// sibling children instead of copied per child. Off by default.
+    pub dedup_frames: bool,
 }
 
 impl Default for UforkConfig {
@@ -69,6 +79,8 @@ impl Default for UforkConfig {
             scan: ScanMode::default(),
             walk: WalkMode::default(),
             fallback: FallbackPolicy::default(),
+            track_dirty: false,
+            dedup_frames: false,
         }
     }
 }
@@ -88,6 +100,13 @@ pub(crate) struct UProc {
     /// True once the μprocess has forked (its region is then retired, not
     /// reused, so relocation lookups on shared frames stay unambiguous).
     pub(crate) had_children: bool,
+    /// Fork generation its PTEs were last stamped with (dirty tracking).
+    /// Valid only while `dirty_tracked` is set.
+    pub(crate) dirty_gen: u32,
+    /// True once a fork under `track_dirty` has stamped this μprocess's
+    /// PTEs, making `CopyScope::DirtySince(dirty_gen)` sound for the
+    /// next fork.
+    pub(crate) dirty_tracked: bool,
 }
 
 /// Number of capability registers per μprocess.
@@ -112,6 +131,10 @@ pub struct UforkOs {
     pub(crate) scan: ScanMode,
     pub(crate) walk: WalkMode,
     pub(crate) fallback: FallbackPolicy,
+    pub(crate) track_dirty: bool,
+    pub(crate) dedup_frames: bool,
+    /// Cross-child frame-dedup index (empty unless `dedup_frames`).
+    pub(crate) dedup: FrameDedupIndex,
     /// Journal of the in-flight fork's side effects (empty between
     /// forks); see [`crate::journal`].
     pub(crate) journal: ForkJournal,
@@ -152,6 +175,9 @@ impl UforkOs {
             scan: cfg.scan,
             walk: cfg.walk,
             fallback: cfg.fallback,
+            track_dirty: cfg.track_dirty,
+            dedup_frames: cfg.dedup_frames,
+            dedup: FrameDedupIndex::new(),
             journal: ForkJournal::default(),
             pm: PhysMem::with_mib(cfg.phys_mib),
             pt: PageTable::new(),
@@ -168,6 +194,60 @@ impl UforkOs {
     /// The trap-less syscall gate (sealed entry capability).
     pub fn gate(&self) -> &SyscallGate {
         &self.gate
+    }
+
+    /// Forks with an explicit [`CopyScope`](crate::CopyScope), bypassing
+    /// the automatic scope selection in [`MemOs::fork`]. A
+    /// `DirtySince(gen)` request that is not sound — dirty tracking off,
+    /// the parent never stamped, or `gen` not the parent's current
+    /// cursor — is silently widened to `Everything` (copying more than
+    /// asked is always safe; copying less never is).
+    pub fn fork_scoped(
+        &mut self,
+        ctx: &mut Ctx,
+        parent: Pid,
+        child: Pid,
+        scope: crate::CopyScope,
+    ) -> SysResult<()> {
+        let scope = match scope {
+            crate::CopyScope::DirtySince(gen)
+                if self.track_dirty
+                    && self
+                        .proc(parent)
+                        .is_ok_and(|p| p.dirty_tracked && p.dirty_gen == gen) =>
+            {
+                scope
+            }
+            _ => crate::CopyScope::Everything,
+        };
+        let r = self.fork_uproc(ctx, parent, child, scope);
+        ctx.phase_end();
+        r
+    }
+
+    /// The parent's current dirty-tracking generation, if its PTEs have
+    /// been stamped (i.e. it has forked at least once under
+    /// [`UforkConfig::track_dirty`]). `None` means only
+    /// `CopyScope::Everything` is sound.
+    pub fn fork_generation(&self, pid: Pid) -> Option<u32> {
+        let p = self.proc(pid).ok()?;
+        p.dirty_tracked.then_some(p.dirty_gen)
+    }
+
+    /// Test support for the generation-bit hygiene property: how many of
+    /// `pid`'s PTEs currently carry the soft-dirty bit. Right after a
+    /// fork under [`UforkConfig::track_dirty`] this must be zero — the
+    /// stamp clears every dirty bit exactly once — and each store-kind
+    /// fault afterwards raises exactly one.
+    pub fn dirty_page_count(&self, pid: Pid) -> SysResult<usize> {
+        let p = self.proc(pid)?;
+        let start = p.region.base.vpn();
+        let end = ufork_vmem::Vpn(p.region.top().0.div_ceil(ufork_mem::PAGE_SIZE));
+        Ok(self
+            .pt
+            .range(start, end)
+            .filter(|(_, pte)| pte.flags.contains(ufork_vmem::PteFlags::DIRTY))
+            .count())
     }
 
     /// The copy strategy in effect.
@@ -470,6 +550,8 @@ impl MemOs for UforkOs {
                 shm_next: 0,
                 mmap_next: 0,
                 had_children: false,
+                dirty_gen: 0,
+                dirty_tracked: false,
             },
         );
         self.region_index.insert(region);
@@ -482,7 +564,16 @@ impl MemOs for UforkOs {
     }
 
     fn fork(&mut self, ctx: &mut Ctx, parent: Pid, child: Pid) -> SysResult<()> {
-        let r = self.fork_uproc(ctx, parent, child);
+        // Automatic scope selection: once the parent's PTEs carry a
+        // generation stamp, every later fork only needs the pages dirtied
+        // since — the incremental-snapshot fast path (ROADMAP item 2).
+        let scope = match self.proc(parent) {
+            Ok(p) if self.track_dirty && p.dirty_tracked => {
+                crate::CopyScope::DirtySince(p.dirty_gen)
+            }
+            _ => crate::CopyScope::Everything,
+        };
+        let r = self.fork_uproc(ctx, parent, child, scope);
         // Close whatever fork phase is open, on success and error alike,
         // so post-fork charges never inherit a fork phase.
         ctx.phase_end();
@@ -664,7 +755,9 @@ impl MemOs for UforkOs {
         let start = p.region.base.vpn();
         let end = Vpn(p.region.top().0.div_ceil(PAGE_SIZE));
         let frames: Vec<Pfn> = self.pt.range(start, end).map(|(_, pte)| pte.pfn).collect();
-        MemStats::for_frames(&self.pm, frames)
+        let mut s = MemStats::for_frames(&self.pm, frames);
+        s.dedup_entries = self.dedup.len() as u64;
+        s
     }
 
     fn allocated_frames(&self) -> u32 {

@@ -54,6 +54,7 @@ pub mod region_index;
 pub mod reloc;
 pub mod talloc;
 
+pub use fork::CopyScope;
 pub use fork_par::{WalkMode, CHUNK_PAGES};
 pub use gate::SyscallGate;
 pub use journal::FallbackPolicy;

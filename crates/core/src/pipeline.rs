@@ -49,7 +49,7 @@ use ufork_exec::Ctx;
 use ufork_sim::LaneClocks;
 use ufork_vmem::{PteFlags, Region, Vpn};
 
-use crate::fork::MAX_FORK_RETRIES;
+use crate::fork::{dedup_probe, DedupProbe, MAX_FORK_RETRIES};
 use crate::fork_par::CHUNK_PAGES;
 use crate::journal::JournalOp;
 use crate::kernel::UforkOs;
@@ -276,6 +276,57 @@ impl UforkOs {
                 .pm
                 .refcount(pte.pfn)
                 .map_err(|_| ForkFail::Fatal(Errno::Fault))?;
+            // Cross-child dedup: a sibling's background window may have
+            // already materialized this exact content — share its frame
+            // instead of allocating another copy. Only probed while the
+            // staged frame is still shared; a sole-owner page adopts in
+            // place below, which is strictly cheaper than any probe.
+            let probe = if self.dedup_frames && refcount > 1 {
+                ctx.phase("fork/dedup");
+                dedup_probe(
+                    &self.pm,
+                    &self.pt,
+                    &mut self.dedup,
+                    &self.cost,
+                    ctx,
+                    pte.pfn,
+                )
+            } else {
+                DedupProbe::Skip
+            };
+            if let DedupProbe::Hit(shared) = probe {
+                if self.pm.inc_ref(shared).is_err() {
+                    return Err(self.abort_fork(ctx, Errno::Fault));
+                }
+                if self.journal.record(JournalOp::RefInc(shared)).is_err() {
+                    return Err(self.abort_fork(ctx, Errno::NoMem));
+                }
+                ctx.phase("fork/pipeline/pte");
+                if self
+                    .journal
+                    .record(JournalOp::PteRemap {
+                        vpn: c_vpn,
+                        old: pte,
+                    })
+                    .is_err()
+                {
+                    return Err(self.abort_fork(ctx, Errno::NoMem));
+                }
+                // CoW-protected so the canonical content stays stable.
+                self.pt.map(c_vpn, shared, final_flags.with(PteFlags::COW));
+                ctx.kernel(self.cost.pte_write);
+                ctx.counters.ptes_written += 1;
+                ctx.counters.frames_deduped += 1;
+                // Drop the fork-time staged reference (refcount ≥ 2
+                // observed above, so this never frees the frame).
+                if self.pm.dec_ref(pte.pfn).is_err() {
+                    return Err(self.abort_fork(ctx, Errno::Fault));
+                }
+                if self.journal.record(JournalOp::RefDec(pte.pfn)).is_err() {
+                    return Err(self.abort_fork(ctx, Errno::NoMem));
+                }
+                continue;
+            }
             let pfn = if refcount > 1 {
                 // The frame is still shared (the usual case): allocate
                 // the child's private copy. The allocation consumes the
@@ -332,7 +383,16 @@ impl UforkOs {
             {
                 return Err(self.abort_fork(ctx, Errno::NoMem));
             }
-            self.pt.map(c_vpn, pfn, final_flags);
+            let mut flags = final_flags;
+            if let DedupProbe::Miss(hash) = probe {
+                // Register the fresh copy as the canonical frame for
+                // this content (CoW-armed so it stays byte-stable while
+                // indexed; no journal op — stale entries self-invalidate
+                // on the next probe).
+                self.dedup.insert(hash, pfn, c_vpn.0);
+                flags = flags.with(PteFlags::COW);
+            }
+            self.pt.map(c_vpn, pfn, flags);
             ctx.kernel(self.cost.pte_write);
             ctx.counters.ptes_written += 1;
             if validates {

@@ -1,0 +1,133 @@
+//! Cross-child frame deduplication index.
+//!
+//! When M zygote-style children are forked from the same parent, the
+//! eager copy path would materialize M identical private frames for
+//! every copied page. This index lets the kernel find an existing frame
+//! with the same content instead: entries are keyed by a 64-bit content
+//! hash of the frame's data bytes and only ever cover **untagged**
+//! frames (zero capability granules, read straight from the tag-summary
+//! bitmap) — tagged frames are relocated per child and therefore never
+//! byte-identical across children.
+//!
+//! The index is deliberately *not* transactional. An entry is a hint,
+//! not an owning reference: the kernel validates a probe hit against
+//! live state (the canonical frame still allocated, its canonical
+//! mapping still present and write-protected, the contents still equal)
+//! and evicts stale entries on sight. A rolled-back fork can therefore
+//! leave entries behind without any journal bookkeeping — they
+//! self-invalidate on the next probe.
+
+use std::collections::HashMap;
+
+use crate::frame::{Frame, Pfn};
+
+/// FNV-1a over a frame's 4096 data bytes. Deterministic across hosts
+/// and runs; collisions are irrelevant for correctness because every
+/// probe hit is verified by a full content comparison before sharing.
+pub fn content_hash(frame: &Frame) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in frame.data() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One candidate frame for content sharing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DedupEntry {
+    /// The canonical frame holding the content.
+    pub pfn: Pfn,
+    /// The canonical mapping's raw virtual page number: the kernel
+    /// checks at probe time that this page still maps `pfn`
+    /// write-protected, so the content cannot have drifted.
+    pub vpn: u64,
+}
+
+/// Content-hash → canonical-frame index (see the module docs).
+#[derive(Default)]
+pub struct FrameDedupIndex {
+    map: HashMap<u64, DedupEntry>,
+}
+
+impl FrameDedupIndex {
+    /// An empty index.
+    pub fn new() -> FrameDedupIndex {
+        FrameDedupIndex::default()
+    }
+
+    /// Looks up the candidate for `hash`, if any. The caller must
+    /// validate the entry against live kernel state before sharing.
+    pub fn get(&self, hash: u64) -> Option<DedupEntry> {
+        self.map.get(&hash).copied()
+    }
+
+    /// Registers (or replaces) the canonical frame for `hash`.
+    pub fn insert(&mut self, hash: u64, pfn: Pfn, vpn: u64) {
+        self.map.insert(hash, DedupEntry { pfn, vpn });
+    }
+
+    /// Drops a stale entry.
+    pub fn evict(&mut self, hash: u64) {
+        self.map.remove(&hash);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phys::PhysMem;
+
+    #[test]
+    fn hash_tracks_content() {
+        let mut pm = PhysMem::new(2);
+        let a = pm.alloc_frame().unwrap();
+        let b = pm.alloc_frame().unwrap();
+        let h0 = content_hash(pm.frame(a).unwrap());
+        assert_eq!(
+            h0,
+            content_hash(pm.frame(b).unwrap()),
+            "zeroed frames agree"
+        );
+        pm.write(a, 100, &[7]).unwrap();
+        assert_ne!(content_hash(pm.frame(a).unwrap()), h0);
+        pm.write(b, 100, &[7]).unwrap();
+        assert_eq!(
+            content_hash(pm.frame(a).unwrap()),
+            content_hash(pm.frame(b).unwrap())
+        );
+    }
+
+    #[test]
+    fn insert_get_evict() {
+        let mut ix = FrameDedupIndex::new();
+        assert!(ix.is_empty());
+        ix.insert(42, Pfn(7), 0x1000);
+        assert_eq!(
+            ix.get(42),
+            Some(DedupEntry {
+                pfn: Pfn(7),
+                vpn: 0x1000
+            })
+        );
+        assert_eq!(ix.get(43), None);
+        // Re-insert replaces the canonical frame.
+        ix.insert(42, Pfn(9), 0x2000);
+        assert_eq!(ix.get(42).unwrap().pfn, Pfn(9));
+        assert_eq!(ix.len(), 1);
+        ix.evict(42);
+        assert!(ix.is_empty());
+    }
+}

@@ -34,10 +34,12 @@
 //! assert_eq!(pm.load_cap(f, 0).unwrap(), None);
 //! ```
 
+mod dedup;
 mod frame;
 mod phys;
 mod stats;
 
+pub use dedup::{content_hash, DedupEntry, FrameDedupIndex};
 pub use frame::{
     Frame, Pfn, GRANULES_PER_PAGE, GRANULES_PER_TAG_WORD, GRANULE_SIZE, PAGE_SIZE,
     TAG_WORDS_PER_PAGE,

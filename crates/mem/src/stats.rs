@@ -33,6 +33,11 @@ pub struct MemStats {
     pub reserved_frames: u64,
     /// Allocator pressure level at sampling time (machine-global).
     pub pressure: PressureLevel,
+    /// Live entries in the cross-child frame-dedup index
+    /// (machine-global; 0 when dedup is disabled or unavailable). Filled
+    /// in by the kernel after [`MemStats::for_frames`] — the index lives
+    /// kernel-side, not in the physical allocator.
+    pub dedup_entries: u64,
 }
 
 impl MemStats {

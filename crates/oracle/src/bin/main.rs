@@ -73,9 +73,9 @@ fn main() -> ExitCode {
         let mut report = OracleReport::default();
         run_chaos(&mut report);
         println!(
-            "chaos sweep: {} journal-op aborts, all rolled back leak-free; \
-             {} mid-storm injection scenarios completed clean",
-            report.chaos_points, report.storm_chaos_scenarios
+            "chaos sweep: {} journal-op aborts ({} in the snapshot train), all rolled back \
+             leak-free; {} mid-storm injection scenarios completed clean",
+            report.chaos_points, report.train_chaos_points, report.storm_chaos_scenarios
         );
         return if report.ok() {
             println!("oracle: PASS");
@@ -109,9 +109,9 @@ fn main() -> ExitCode {
             report.fault_points
         );
         println!(
-            "chaos sweep: {} journal-op aborts, all rolled back leak-free; \
-             {} mid-storm injection scenarios completed clean",
-            report.chaos_points, report.storm_chaos_scenarios
+            "chaos sweep: {} journal-op aborts ({} in the snapshot train), all rolled back \
+             leak-free; {} mid-storm injection scenarios completed clean",
+            report.chaos_points, report.train_chaos_points, report.storm_chaos_scenarios
         );
     }
     if report.ok() {

@@ -49,6 +49,8 @@ pub struct ChaosSummary {
     pub points: u64,
     /// Abort points inside the pipelined background-copy window.
     pub pipeline_points: u64,
+    /// Abort points inside the 10-deep dirty-scope snapshot train.
+    pub train_points: u64,
     /// Strategy × walk-mode configurations swept.
     pub configs: u64,
     /// Mid-storm injection scenarios run to clean completion.
@@ -222,6 +224,181 @@ fn sweep_pipeline_window(summary: &mut ChaosSummary) -> Result<(), String> {
     Ok(())
 }
 
+/// Forks in the chaos snapshot train (the "10-deep" of the refcount
+/// leak-freedom requirement: clean frames end up shared by the parent
+/// plus up to ten live snapshot children).
+const TRAIN_DEPTH: u32 = 10;
+
+fn build_train(walk: WalkMode) -> UforkOs {
+    UforkOs::new(UforkConfig {
+        phys_mib: 256,
+        strategy: CopyStrategy::Full,
+        walk,
+        track_dirty: true,
+        dedup_frames: true,
+        ..UforkConfig::default()
+    })
+}
+
+/// The value the train's round-`r` store writes into surviving slot
+/// `r % 4`, and the value slot 0 held when the round-`r` child forked
+/// (slot 0 is rewritten at rounds 0, 4, 8).
+fn train_value(round: u32) -> u64 {
+    0xD0 + u64::from(round)
+}
+fn train_slot0_at(round: u32) -> u64 {
+    train_value(round - round % 4)
+}
+
+/// Drives one 10-deep snapshot train: per round, dirty one surviving
+/// slot, fork a child that stays alive, and drain any pipelined window.
+/// An injected journal abort is fatal for the syscall it lands in — the
+/// op rolls back and surfaces an error — and the train then retries
+/// that one step (the injection is one-shot). Returns how many aborts
+/// surfaced.
+fn drive_train(
+    os: &mut UforkOs,
+    ctx: &mut Ctx,
+    caps: &[ufork_cheri::Capability],
+    label: &str,
+) -> Result<u32, String> {
+    let mut aborts = 0u32;
+    for round in 0..TRAIN_DEPTH {
+        let child = Pid(2 + round);
+        let slot = &caps[(round % 4) as usize];
+        let bytes = train_value(round).to_le_bytes();
+        if let Err(e) = os.store(ctx, Pid(1), slot, &bytes) {
+            aborts += 1;
+            os.store(ctx, Pid(1), slot, &bytes).map_err(|e2| {
+                format!("{label}: round {round} store retry ({e:?}) failed: {e2:?}")
+            })?;
+        }
+        let frames_before = os.allocated_frames();
+        if let Err(e) = os.fork(ctx, Pid(1), child) {
+            aborts += 1;
+            if os.region_of(child).is_ok() {
+                return Err(format!("{label}: aborted round-{round} fork left a child"));
+            }
+            if os.allocated_frames() != frames_before {
+                return Err(format!("{label}: aborted round-{round} fork leaked frames"));
+            }
+            os.fork(ctx, Pid(1), child).map_err(|e2| {
+                format!("{label}: round {round} fork retry ({e:?}) failed: {e2:?}")
+            })?;
+        }
+        if let Err(e) = os.pipeline_drain(ctx, child) {
+            aborts += 1;
+            os.pipeline_drain(ctx, child).map_err(|e2| {
+                format!("{label}: round {round} drain retry ({e:?}) failed: {e2:?}")
+            })?;
+        }
+    }
+    Ok(aborts)
+}
+
+/// Every child of the train is a point-in-time snapshot: round `r`'s
+/// child must see slot 0 as it stood at its own fork, not the parent's
+/// latest write — the dirty scope shares clean pages but must never
+/// share dirty ones.
+fn check_train_snapshots(
+    os: &mut UforkOs,
+    ctx: &mut Ctx,
+    caps: &[ufork_cheri::Capability],
+    label: &str,
+) -> Result<(), String> {
+    let p_root = os
+        .reg(Pid(1), 0)
+        .map_err(|e| format!("{label}: p root: {e:?}"))?;
+    for round in 0..TRAIN_DEPTH {
+        let child = Pid(2 + round);
+        let c_root = os
+            .reg(child, 0)
+            .map_err(|e| format!("{label}: child {round} root: {e:?}"))?;
+        let delta = c_root.base() as i64 - p_root.base() as i64;
+        let cc = caps[0]
+            .rebase(delta, &c_root)
+            .map_err(|e| format!("{label}: child {round} rebase: {e:?}"))?;
+        let mut b = [0u8; 8];
+        os.load(ctx, child, &cc, &mut b)
+            .map_err(|e| format!("{label}: child {round} read: {e:?}"))?;
+        let want = train_slot0_at(round);
+        if u64::from_le_bytes(b) != want {
+            return Err(format!(
+                "{label}: round-{round} child sees {:#x}, expected its fork-time {want:#x}",
+                u64::from_le_bytes(b)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Tears the whole train down — ten children sharing clean frames with
+/// the parent through refcounts (and dedup'd frames with each other) —
+/// and requires the allocator to balance to zero: the refcount
+/// leak-freedom check of the dirty-scope machinery.
+fn teardown_train(os: &mut UforkOs, ctx: &mut Ctx, label: &str) -> Result<(), String> {
+    for round in 0..TRAIN_DEPTH {
+        let child = Pid(2 + round);
+        if os.region_of(child).is_ok() {
+            os.destroy(ctx, child);
+        }
+    }
+    teardown_clean(os, ctx, label)
+}
+
+/// Journal chaos across the dirty-scope snapshot train: a reference
+/// train measures the journal window of ten generation-stamped forks
+/// (dirty stamps, dirty-track cursor updates, clean-share and dedup
+/// refcount bumps, plus everything the base walk records), then each op
+/// index is aborted in its own replay. The abort must surface from
+/// exactly the step it lands in, that step must retry clean, every
+/// later child must still see its own fork-time snapshot, and teardown
+/// of the full train must balance to zero frames. The window is
+/// enumerated from `journal_ops_recorded`, so any journal op added to
+/// the dirty-scope path widens this sweep automatically.
+fn sweep_snapshot_train(walk: WalkMode, summary: &mut ChaosSummary) -> Result<(), String> {
+    // Reference run: the train's journal window, and zero aborts.
+    let (j0, j1) = {
+        let mut os = build_train(walk);
+        let mut ctx = Ctx::new();
+        let caps = prelude(&mut os, &mut ctx)?;
+        let j0 = os.journal_ops_recorded();
+        let aborts = drive_train(&mut os, &mut ctx, &caps, "train reference")?;
+        if aborts != 0 {
+            return Err(format!(
+                "train/{walk:?}: reference run aborted {aborts} times"
+            ));
+        }
+        check_train_snapshots(&mut os, &mut ctx, &caps, "train reference")?;
+        teardown_train(&mut os, &mut ctx, "train reference")?;
+        (j0, os.journal_ops_recorded())
+    };
+    if j1 == j0 {
+        return Err(format!("train/{walk:?}: train recorded no journal ops"));
+    }
+    for op in j0..j1 {
+        let label = format!("train/{walk:?} journal op {op}");
+        let mut os = build_train(walk);
+        let mut ctx = Ctx::new();
+        let caps = prelude(&mut os, &mut ctx)?;
+        os.inject_journal_failure(op);
+        let aborts = drive_train(&mut os, &mut ctx, &caps, &label)?;
+        if aborts != 1 {
+            return Err(format!(
+                "{label}: expected exactly 1 surfaced abort, saw {aborts}"
+            ));
+        }
+        if ctx.counters.fork_rollbacks == 0 {
+            return Err(format!("{label}: abort did not run a rollback"));
+        }
+        check_train_snapshots(&mut os, &mut ctx, &caps, &label)?;
+        check_consistent(&mut os, &mut ctx, &label)?;
+        teardown_train(&mut os, &mut ctx, &label)?;
+        summary.train_points += 1;
+    }
+    Ok(())
+}
+
 /// Which fault a mid-storm scenario arms once the storm is in flight.
 #[derive(Clone, Copy, Debug)]
 enum StormFault {
@@ -333,6 +510,10 @@ pub fn chaos_sweep() -> Result<ChaosSummary, String> {
         sweep_config(strategy, walk, &mut summary)?;
     }
     sweep_pipeline_window(&mut summary)?;
+    // The dirty-scope snapshot train, under the serial and pipelined
+    // walks (the two the 0.25× bench gate holds).
+    sweep_snapshot_train(WalkMode::Serial, &mut summary)?;
+    sweep_snapshot_train(WalkMode::Pipelined, &mut summary)?;
     for strategy in [CopyStrategy::Full, CopyStrategy::CoA, CopyStrategy::CoPA] {
         for fault in [StormFault::Journal, StormFault::Alloc] {
             storm_chaos(strategy, WalkMode::default(), fault, &mut summary)?;

@@ -61,6 +61,9 @@ pub struct OracleReport {
     /// Abort points inside the pipelined background-copy window (0 when
     /// skipped).
     pub pipeline_chaos_points: u64,
+    /// Abort points inside the 10-deep dirty-scope snapshot train (0
+    /// when skipped).
+    pub train_chaos_points: u64,
     /// Mid-storm injection scenarios run to clean completion (0 when
     /// skipped).
     pub storm_chaos_scenarios: u64,
@@ -131,6 +134,7 @@ pub fn run_chaos(report: &mut OracleReport) {
         Ok(s) => {
             report.chaos_points = s.points;
             report.pipeline_chaos_points = s.pipeline_points;
+            report.train_chaos_points = s.train_points;
             report.storm_chaos_scenarios = s.storm_scenarios;
         }
         Err(e) => report.failures.push(format!("chaos sweep: {e}")),

@@ -43,6 +43,10 @@ pub struct CostModel {
     pub cap_relocate: Ns,
     /// Allocating a physical frame.
     pub page_alloc: Ns,
+    /// Content-hashing one 4 KiB page for the cross-child frame-dedup
+    /// index, or memcmp-verifying a probe hit against the candidate
+    /// frame (both stream the whole page through the cache once).
+    pub page_hash: Ns,
     /// Zeroing one 4 KiB page (including clearing its capability tags).
     ///
     /// Charged only when a **recycled** frame must actually be scrubbed
@@ -138,6 +142,7 @@ impl CostModel {
             tags_load: 8.0,
             cap_relocate: 12.0,
             page_alloc: 90.0,
+            page_hash: 150.0,
             zero_page: 320.0,
             tlb_flush: 2_500.0,
             asid_switch: 150.0,
@@ -227,6 +232,9 @@ mod tests {
         // but far more than the allocator bookkeeping it piggybacks on.
         assert!(c.zero_page < c.page_copy);
         assert!(c.zero_page > c.page_alloc);
+        // Hashing reads the page once; copying reads and writes it. If
+        // hashing ever cost more than copying, dedup could never win.
+        assert!(c.page_hash < c.page_copy);
         // A bulk tag read must beat checking its 64 granules one by one,
         // or the fast path would be a pessimization.
         assert!(c.tags_load < 64.0 * c.granule_check);

@@ -86,6 +86,18 @@ pub struct OpCounters {
     /// Cumulative bytes a pipelined fork committed with the copy still
     /// outstanding (deferred pages × page size, summed over forks).
     pub pipeline_bytes_behind: u64,
+    /// Pages a dirty-scoped fork classified as dirty and routed through
+    /// the full copy/CoW machinery (`CopyScope::DirtySince` only).
+    pub pages_dirty_copied: u64,
+    /// Pages a dirty-scoped fork shared as clean: refcount bump plus CoW
+    /// protect, no frame allocation, no tag scan.
+    pub pages_shared_clean: u64,
+    /// Eagerly-copied pages satisfied from the cross-child frame-dedup
+    /// index instead of a fresh private frame.
+    pub frames_deduped: u64,
+    /// Dedup index work: content hashes computed plus memcmp
+    /// verifications of probe hits.
+    pub dedup_hash_probes: u64,
 }
 
 impl OpCounters {
@@ -129,6 +141,10 @@ impl OpCounters {
         self.fork_backoff_ns += other.fork_backoff_ns;
         self.pipeline_chunks_jumped += other.pipeline_chunks_jumped;
         self.pipeline_bytes_behind += other.pipeline_bytes_behind;
+        self.pages_dirty_copied += other.pages_dirty_copied;
+        self.pages_shared_clean += other.pages_shared_clean;
+        self.frames_deduped += other.frames_deduped;
+        self.dedup_hash_probes += other.dedup_hash_probes;
     }
 
     /// Difference `self - earlier`, for measuring a window of activity.
@@ -171,6 +187,10 @@ impl OpCounters {
             fork_backoff_ns: self.fork_backoff_ns - earlier.fork_backoff_ns,
             pipeline_chunks_jumped: self.pipeline_chunks_jumped - earlier.pipeline_chunks_jumped,
             pipeline_bytes_behind: self.pipeline_bytes_behind - earlier.pipeline_bytes_behind,
+            pages_dirty_copied: self.pages_dirty_copied - earlier.pages_dirty_copied,
+            pages_shared_clean: self.pages_shared_clean - earlier.pages_shared_clean,
+            frames_deduped: self.frames_deduped - earlier.frames_deduped,
+            dedup_hash_probes: self.dedup_hash_probes - earlier.dedup_hash_probes,
         }
     }
 }
@@ -225,10 +245,18 @@ impl fmt::Display for OpCounters {
             self.reclaim_passes,
             self.fork_backoff_ns
         )?;
-        write!(
+        writeln!(
             f,
             "pipeline: chunks jumped {}, bytes behind {}",
             self.pipeline_chunks_jumped, self.pipeline_bytes_behind
+        )?;
+        write!(
+            f,
+            "dirty scope: dirty copied {}, shared clean {}; dedup: frames {}, probes {}",
+            self.pages_dirty_copied,
+            self.pages_shared_clean,
+            self.frames_deduped,
+            self.dedup_hash_probes
         )
     }
 }
@@ -348,6 +376,30 @@ mod tests {
         let s = total.to_string();
         assert!(s.contains("chunks jumped 6"));
         assert!(s.contains("bytes behind 2097152"));
+    }
+
+    #[test]
+    fn dirty_scope_family_round_trips() {
+        let a = OpCounters {
+            pages_dirty_copied: 12,
+            pages_shared_clean: 228,
+            frames_deduped: 5,
+            dedup_hash_probes: 17,
+            ..OpCounters::default()
+        };
+        let mut total = OpCounters::default();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.pages_dirty_copied, 24);
+        assert_eq!(total.pages_shared_clean, 456);
+        assert_eq!(total.frames_deduped, 10);
+        assert_eq!(total.dedup_hash_probes, 34);
+        assert_eq!(total.since(&a), a);
+        let s = total.to_string();
+        assert!(s.contains("dirty copied 24"));
+        assert!(s.contains("shared clean 456"));
+        assert!(s.contains("dedup: frames 10"));
+        assert!(s.contains("probes 34"));
     }
 
     #[test]

@@ -20,6 +20,11 @@ use crate::fault::{AccessKind, Fault};
 /// * `COW` — software bit: page is shared, copy on first store.
 /// * `COA` — software bit: page is shared and *inaccessible*; copy on any
 ///   access (CoA strategy).
+/// * `DIRTY` — software soft-dirty bit: set by the kernel's fault handler
+///   on the first write fault after a fork-generation stamp, cleared by
+///   the next stamp. Together with [`Pte::gen`] it lets repeated forks
+///   copy only pages written since the previous fork (`O(dirty)` snapshot
+///   trains) instead of the whole address space.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PteFlags(u8);
 
@@ -36,6 +41,8 @@ impl PteFlags {
     pub const COW: PteFlags = PteFlags(1 << 4);
     /// Copy-on-access (software): all accesses fault.
     pub const COA: PteFlags = PteFlags(1 << 5);
+    /// Soft-dirty (software): written since the last generation stamp.
+    pub const DIRTY: PteFlags = PteFlags(1 << 6);
 
     /// No flags.
     pub const fn empty() -> PteFlags {
@@ -82,6 +89,7 @@ impl fmt::Debug for PteFlags {
             (PteFlags::LC_FAULT, "LC"),
             (PteFlags::COW, "CoW"),
             (PteFlags::COA, "CoA"),
+            (PteFlags::DIRTY, "D"),
         ];
         write!(f, "[")?;
         let mut first = true;
@@ -105,6 +113,19 @@ pub struct Pte {
     pub pfn: Pfn,
     /// Permission and strategy flags.
     pub flags: PteFlags,
+    /// Fork-generation stamp. `0` means "never stamped": every fresh
+    /// mapping — [`PageTable::map`], fault-time remaps — starts at 0, so
+    /// a page is *clean with respect to generation `g`* only when a stamp
+    /// sweep explicitly set `gen == g` and nothing remapped it since.
+    /// A dirty-scoped fork treats `gen != g || DIRTY` as dirty.
+    pub gen: u32,
+}
+
+impl Pte {
+    /// A fresh (never-stamped) entry.
+    pub fn new(pfn: Pfn, flags: PteFlags) -> Pte {
+        Pte { pfn, flags, gen: 0 }
+    }
 }
 
 /// A page table: virtual page → [`Pte`].
@@ -125,10 +146,12 @@ impl PageTable {
     }
 
     /// Maps `vpn` to `pfn` with `flags`, replacing any existing mapping.
+    /// The new entry's generation stamp is reset to 0 (never stamped), so
+    /// remapped pages are conservatively dirty for dirty-scoped forks.
     ///
     /// Returns the previous entry if one existed.
     pub fn map(&mut self, vpn: Vpn, pfn: Pfn, flags: PteFlags) -> Option<Pte> {
-        self.entries.insert(vpn, Pte { pfn, flags })
+        self.entries.insert(vpn, Pte::new(pfn, flags))
     }
 
     /// Removes the mapping for `vpn`.
@@ -193,8 +216,29 @@ impl PageTable {
             frames
                 .into_iter()
                 .enumerate()
-                .map(|(i, pfn)| (Vpn(start.0 + i as u64), Pte { pfn, flags })),
+                .map(|(i, pfn)| (Vpn(start.0 + i as u64), Pte::new(pfn, flags))),
         )
+    }
+
+    /// Stamps every listed page that is mapped with generation `gen`,
+    /// clearing its soft-dirty bit and — for writable pages — arming
+    /// copy-on-write so the *next* store faults and re-dirties it.
+    /// Returns the number of entries stamped. This is the batched
+    /// generation sweep a dirty-tracking fork runs over the parent's
+    /// pages; the caller journals the per-page pre-state for rollback.
+    pub fn stamp_many(&mut self, vpns: impl IntoIterator<Item = Vpn>, gen: u32) -> u64 {
+        let mut n = 0u64;
+        for vpn in vpns {
+            if let Some(pte) = self.entries.get_mut(&vpn) {
+                pte.gen = gen;
+                pte.flags = pte.flags.without(PteFlags::DIRTY);
+                if pte.flags.contains(PteFlags::WRITE) {
+                    pte.flags = pte.flags.with(PteFlags::COW);
+                }
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Removes every mapping with page number in `[start, end)` and
@@ -399,15 +443,7 @@ mod tests {
     fn extend_sorted_inserts_batch() {
         let mut pt = PageTable::new();
         pt.map(Vpn(5), Pfn(99), PteFlags::ro()); // will be replaced
-        let batch = (3..8).map(|i| {
-            (
-                Vpn(i),
-                Pte {
-                    pfn: Pfn(i as u32),
-                    flags: PteFlags::rw(),
-                },
-            )
-        });
+        let batch = (3..8).map(|i| (Vpn(i), Pte::new(Pfn(i as u32), PteFlags::rw())));
         assert_eq!(pt.extend_sorted(batch), 5);
         assert_eq!(pt.len(), 5);
         assert_eq!(pt.lookup(Vpn(5)).unwrap().pfn, Pfn(5));
@@ -456,6 +492,56 @@ mod tests {
         assert!(pt.lookup(Vpn(1)).unwrap().flags.contains(PteFlags::COW));
         assert!(pt.lookup(Vpn(2)).unwrap().flags.contains(PteFlags::COW));
         assert!(pt.lookup(Vpn(2)).unwrap().flags.contains(PteFlags::READ));
+    }
+
+    #[test]
+    fn map_resets_generation_stamp() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pfn(1), PteFlags::rw());
+        assert_eq!(pt.lookup(Vpn(1)).unwrap().gen, 0);
+        assert_eq!(pt.stamp_many([Vpn(1)], 3), 1);
+        assert_eq!(pt.lookup(Vpn(1)).unwrap().gen, 3);
+        // A remap (fault resolution, mmap reuse) is conservatively dirty.
+        pt.map(Vpn(1), Pfn(2), PteFlags::rw());
+        assert_eq!(pt.lookup(Vpn(1)).unwrap().gen, 0);
+    }
+
+    #[test]
+    fn stamp_many_clears_dirty_and_arms_cow_on_writable() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pfn(1), PteFlags::rw().with(PteFlags::DIRTY));
+        pt.map(Vpn(2), Pfn(2), PteFlags::ro()); // read-only: no COW needed
+        pt.map(Vpn(3), Pfn(3), PteFlags::rw().with(PteFlags::COW)); // already armed
+        assert_eq!(pt.stamp_many([Vpn(1), Vpn(2), Vpn(3), Vpn(9)], 7), 3);
+        let p1 = pt.lookup(Vpn(1)).unwrap();
+        assert_eq!(p1.gen, 7);
+        assert!(!p1.flags.contains(PteFlags::DIRTY));
+        assert!(p1.flags.contains(PteFlags::COW));
+        let p2 = pt.lookup(Vpn(2)).unwrap();
+        assert_eq!(p2.gen, 7);
+        assert!(!p2.flags.contains(PteFlags::COW));
+        assert!(pt.lookup(Vpn(3)).unwrap().flags.contains(PteFlags::COW));
+    }
+
+    #[test]
+    fn dirty_bit_does_not_affect_translation() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pfn(1), PteFlags::rw().with(PteFlags::DIRTY));
+        assert!(pt.translate(va(0x1000), AccessKind::Load, false).is_ok());
+        assert!(pt.translate(va(0x1000), AccessKind::Store, false).is_ok());
+        assert_eq!(
+            format!("{:?}", PteFlags::rw().with(PteFlags::DIRTY)),
+            "[R,W,D]"
+        );
+    }
+
+    #[test]
+    fn extend_sorted_preserves_generation() {
+        let mut pt = PageTable::new();
+        let mut pte = Pte::new(Pfn(4), PteFlags::rw());
+        pte.gen = 11;
+        pt.extend_sorted([(Vpn(4), pte)]);
+        assert_eq!(pt.lookup(Vpn(4)).unwrap().gen, 11);
     }
 
     #[test]

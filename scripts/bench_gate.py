@@ -32,14 +32,28 @@ Three metric families are compared, with different thresholds:
   v6+), keyed by ``(heap, mode, metric)`` for ``sim_commit_ns`` (latency
   until the child runs) and ``sim_copy_done_ns`` (latency until its span
   is fully copied). Deterministic, strict threshold.
+* ``fork_snapshot_train[]`` — the dirty-scope snapshot train (schema
+  v7+), keyed by ``(system, scope, walk, snapshot, metric)`` for
+  ``sim_fork_ns`` and ``sim_copy_done_ns``. Deterministic, strict
+  threshold.
+* ``fork_zygote[]`` — resident frames of the zygote fleet (schema v7+),
+  keyed by ``(variant, metric)`` for ``frames_fleet`` (bigger is worse).
+  Deterministic, strict threshold.
 
 On top of the baseline comparison, two *cross-metric* invariants are
 checked inside the fresh file alone (schema v6+):
 
 * the pipelined fork's commit latency stays within 1.5x the CoPA fork on
-  every heap shape (``fork_pipeline``), and
+  every heap shape (``fork_pipeline``),
 * the pipelined storm's fork p99 beats the widest synchronous parallel
-  walk (``full_pipelined`` vs ``full_par8`` in ``fork_storm``).
+  walk (``full_pipelined`` vs ``full_par8`` in ``fork_storm``),
+* every steady-state (snapshot >= 2) ``DirtySince`` fork in the snapshot
+  train completes its copy within 0.25x the matching
+  ``Everything``-scope fork, serial and pipelined
+  (``fork_snapshot_train``, schema v7+), and
+* with cross-child dedup or dirty tracking on, the warm zygote fleet's
+  resident frames stay within 1.2x a single child's
+  (``fork_zygote``, schema v7+).
 * ``results[]`` — host wall-clock best-of-samples, keyed by ``name``.
   These depend on the machine that produced them; the committed baseline
   and a CI runner are different hardware, and even same-host runs swing
@@ -116,6 +130,26 @@ def pipeline_map(doc):
     }
 
 
+def snapshot_train_map(doc):
+    # Absent before schema v7.
+    return {
+        (r["system"], r["scope"], r["walk"], str(r["snapshot"]), metric): float(
+            r[metric]
+        )
+        for r in doc.get("fork_snapshot_train", [])
+        for metric in ("sim_fork_ns", "sim_copy_done_ns")
+    }
+
+
+def zygote_map(doc):
+    # Absent before schema v7. Frames, not nanoseconds, but the same
+    # bigger-is-worse comparison applies.
+    return {
+        (r["variant"], "frames_fleet"): float(r["frames_fleet"])
+        for r in doc.get("fork_zygote", [])
+    }
+
+
 def cross_checks(doc):
     """Intra-file invariants of the pipelined fork (schema v6+)."""
     failures = []
@@ -159,6 +193,49 @@ def cross_checks(doc):
             failures.append(
                 f"cross fork_storm n={children}: pipelined fork p99 {p99:.0f} ns "
                 f"does not beat full_par8 ({par8:.0f} ns)"
+            )
+    train = {
+        (r["scope"], r["walk"], int(r["snapshot"])): float(r["sim_copy_done_ns"])
+        for r in doc.get("fork_snapshot_train", [])
+        if r["walk"] != "-"  # the multi-AS baseline has no dirty scope
+    }
+    for (scope, walk, snap), dirty_ns in sorted(train.items()):
+        if scope != "dirty" or snap < 2:
+            continue
+        every = train.get(("everything", walk, snap))
+        if every is None or every <= 0:
+            continue
+        ratio = dirty_ns / every
+        verdict = "ok" if ratio <= 0.25 else "FAIL"
+        print(
+            f"  [{verdict:>4}] cross fork_snapshot_train {walk}/{snap}: dirty "
+            f"copy-done {dirty_ns:.0f} ns vs everything {every:.0f} ns "
+            f"({ratio:.3f}x, limit 0.25x)"
+        )
+        if ratio > 0.25:
+            failures.append(
+                f"cross fork_snapshot_train {walk}/{snap}: DirtySince copy-done "
+                f"{dirty_ns:.0f} ns is {ratio:.3f}x the Everything fork "
+                f"({every:.0f} ns), limit 0.25x at 5% writes"
+            )
+    for r in doc.get("fork_zygote", []):
+        variant = r["variant"]
+        if not (variant.startswith("dedup/") or variant.startswith("dirty/")):
+            continue
+        one, fleet = float(r["frames_one_child"]), float(r["frames_fleet"])
+        if one <= 0:
+            continue
+        ratio = fleet / one
+        verdict = "ok" if ratio <= 1.2 else "FAIL"
+        print(
+            f"  [{verdict:>4}] cross fork_zygote {variant}: fleet {fleet:.0f} "
+            f"frames vs single child {one:.0f} ({ratio:.3f}x, limit 1.2x)"
+        )
+        if ratio > 1.2:
+            failures.append(
+                f"cross fork_zygote {variant}: fleet of {r['children']} holds "
+                f"{fleet:.0f} frames, {ratio:.3f}x a single child's {one:.0f}, "
+                f"limit 1.2x"
             )
     return failures
 
@@ -241,6 +318,18 @@ def main():
         "fork_pipeline",
         pipeline_map(old_doc),
         pipeline_map(new_doc),
+        args.max_regress,
+    )
+    failures += compare(
+        "fork_snapshot_train",
+        snapshot_train_map(old_doc),
+        snapshot_train_map(new_doc),
+        args.max_regress,
+    )
+    failures += compare(
+        "fork_zygote",
+        zygote_map(old_doc),
+        zygote_map(new_doc),
         args.max_regress,
     )
     failures += cross_checks(new_doc)
