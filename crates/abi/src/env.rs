@@ -68,8 +68,10 @@ pub trait Env {
 
     // ---- non-blocking system calls ----------------------------------------
 
-    /// Writes `len` bytes from `buf`'s cursor to `fd`. Never blocks
-    /// (files are ram-disk backed; pipes are unbounded).
+    /// Writes `len` bytes from `buf`'s cursor to `fd`. Never blocks:
+    /// files are ram-disk backed, and a pipe whose bounded buffer cannot
+    /// take the whole write returns [`Errno::Again`] (use
+    /// [`crate::BlockingCall::Write`] to block until space drains).
     fn sys_write(&mut self, fd: Fd, buf: &Capability, len: u64) -> SysResult<u64>;
 
     /// Attempts a non-blocking read; `Ok(0)` may mean end-of-file.
@@ -106,6 +108,43 @@ pub trait Env {
     /// Sends a termination signal to another process (SIGKILL-style:
     /// takes effect before the target's next step).
     fn sys_kill(&mut self, pid: Pid) -> SysResult<()>;
+
+    // ---- shared-memory descriptor rings ------------------------------------
+
+    /// Opens (creating on first open) one end of the named SPSC
+    /// descriptor ring with `slots` messages of `msg_bytes` each, backed
+    /// by shared-memory frames. Returns the end's descriptor plus a
+    /// **sealed** endpoint capability covering the ring window; the
+    /// program cannot dereference it (the seal forbids load/store) but
+    /// must present it to push/pop, and fork relocates it like any other
+    /// register capability — seal intact (paper §3.6: sealed caps are
+    /// relocated, not laundered).
+    fn sys_ring_open(
+        &mut self,
+        name: &str,
+        slots: u64,
+        msg_bytes: u64,
+        producer: bool,
+    ) -> SysResult<(Fd, Capability)>;
+
+    /// Attempts to push one `msg_bytes`-sized message from `buf` onto the
+    /// ring behind `fd` without blocking. `ring` is the sealed endpoint
+    /// capability from [`Env::sys_ring_open`]. Returns the bytes
+    /// enqueued, [`Errno::Again`] when the ring is full, or
+    /// [`Errno::BadFd`] when no consumer end remains (EPIPE).
+    fn sys_ring_try_push(
+        &mut self,
+        fd: Fd,
+        ring: &Capability,
+        buf: &Capability,
+        len: u64,
+    ) -> SysResult<u64>;
+
+    /// Attempts to pop one message into `buf` without blocking. Returns
+    /// the message size, `Ok(0)` when the ring is empty but producers
+    /// remain, or [`crate::RING_EOF`] when it is drained and every
+    /// producer end has closed.
+    fn sys_ring_try_pop(&mut self, fd: Fd, ring: &Capability, buf: &Capability) -> SysResult<u64>;
 
     // ---- identity & time ---------------------------------------------------
 

@@ -45,6 +45,11 @@ pub use env::{Env, SysResult};
 pub use image::ImageSpec;
 pub use program::{BlockingCall, Program, ProgramBox, Resume, StepOutcome};
 
+/// Sentinel returned by [`Env::sys_ring_try_pop`] when the ring is
+/// drained and every producer end has closed — distinguishable from both
+/// "message of n bytes" and `Ok(0)` ("empty, producers remain").
+pub const RING_EOF: u64 = u64::MAX;
+
 /// A μprocess / process identifier.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Pid(pub u32);

@@ -93,11 +93,51 @@ pub enum BlockingCall {
         /// Maximum bytes.
         len: u64,
     },
+    /// Write `len` bytes from `buf` to a pipe, blocking while the pipe's
+    /// bounded buffer lacks space for the whole write (POSIX small-write
+    /// atomicity); returns the bytes written. Fails with
+    /// [`Errno::BadFd`] (EPIPE) if the last read end closes while
+    /// blocked.
+    Write {
+        /// Destination descriptor.
+        fd: Fd,
+        /// Source buffer (cursor = start).
+        buf: Capability,
+        /// Bytes to write.
+        len: u64,
+    },
     /// Accept the next connection on a listening descriptor; returns the
     /// connection's descriptor.
     Accept {
         /// Listening descriptor.
         fd: Fd,
+    },
+    /// Push one message onto a shared-memory descriptor ring, blocking
+    /// while it is full; returns the bytes enqueued. `ring` is the
+    /// sealed endpoint capability from [`crate::Env::sys_ring_open`] —
+    /// programs keep it in a register so fork relocates it, and present
+    /// it here as proof of authority.
+    RingPush {
+        /// Producer-end descriptor.
+        fd: Fd,
+        /// Sealed endpoint capability.
+        ring: Capability,
+        /// Source buffer holding the message payload.
+        buf: Capability,
+        /// Payload bytes (at most the ring's `msg_bytes`).
+        len: u64,
+    },
+    /// Pop one message from a ring into `buf`, blocking while it is
+    /// empty; returns the message size, or `Ok(0)` once the ring is
+    /// drained and every producer end has closed (EOF, like a pipe
+    /// read).
+    RingPop {
+        /// Consumer-end descriptor.
+        fd: Fd,
+        /// Sealed endpoint capability.
+        ring: Capability,
+        /// Destination buffer (at least the ring's `msg_bytes`).
+        buf: Capability,
     },
     /// Wait for any child to exit; returns the reaped child's PID.
     Wait,

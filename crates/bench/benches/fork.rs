@@ -18,9 +18,11 @@ use ufork::{FallbackPolicy, UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_baselines::{mono, nephele, BaselineConfig};
 use ufork_bench::{
-    fork_frontier_sweep, fork_scaling_sweep, snapshot_train_sweep, storm_children_from_env,
-    storm_sweep, trace_fork_runs, zygote_fleet_sweep, FrontierRow, ScalingRow, SnapshotRow,
-    StormMode, StormPipeline, TracedFork, ZygoteFleetRow, STORM_CORES, STORM_SEED,
+    fork_frontier_sweep, fork_scaling_sweep, ring_fork_sweep, ring_requests_from_env,
+    ring_service_sweep, snapshot_train_sweep, storm_children_from_env, storm_sweep,
+    trace_fork_runs, zygote_fleet_sweep, FrontierRow, RingForkRow, RingServiceRow, ScalingRow,
+    SnapshotRow, StormMode, StormPipeline, TracedFork, ZygoteFleetRow, RING_FORK_OVERHEAD_LIMIT,
+    STORM_CORES, STORM_SEED,
 };
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::{Ctx, MemOs};
@@ -252,6 +254,8 @@ fn main() {
     let zygote = run_zygote_fleet();
 
     let storm = run_storm_family();
+
+    let (ring_fork, ring_service) = run_ring_family();
     // Per-phase simulated totals from the trace layer: exactly
     // reproducible, so bench_gate.py gates them like fork_scaling rows.
     let phases = trace_fork_runs();
@@ -279,7 +283,56 @@ fn main() {
         &storm,
         &snapshot,
         &zygote,
+        &ring_fork,
+        &ring_service,
     );
+}
+
+/// Runs the `fork_ring` family: the fork probe (pipes vs live ring
+/// endpoints, every storm mode) and the multi-tier ring-service sweep.
+/// `ring_fork_sweep`/`ring_service_sweep` already run everything twice
+/// and assert bit-identical simulated numbers; on top, this enforces the
+/// PR's acceptance gate in-process: carrying live sealed ring endpoints
+/// across fork costs at most 1.2× the pipe-only fork in every mode.
+/// (bench_gate.py holds the JSON rows to the same limit across PRs.)
+fn run_ring_family() -> (Vec<RingForkRow>, Vec<RingServiceRow>) {
+    let rows = ring_fork_sweep();
+    for r in &rows {
+        println!(
+            "fork_ring/{}/{}: {:.0} ns simulated fork with {} endpoints ({} sealed caps relocated)",
+            r.mode, r.setup, r.sim_fork_ns, r.endpoints, r.ring_caps_relocated
+        );
+    }
+    let pick = |mode: &str, setup: &str| {
+        rows.iter()
+            .find(|r| r.mode == mode && r.setup == setup)
+            .expect("ring probe row")
+            .sim_fork_ns
+    };
+    for mode in rows
+        .iter()
+        .map(|r| r.mode)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let pipes = pick(mode, "pipes");
+        let rings = pick(mode, "rings");
+        let ratio = rings / pipes;
+        println!("fork_ring/{mode} rings over pipes: {ratio:.3}x ({pipes:.0} ns -> {rings:.0} ns)");
+        assert!(
+            ratio <= RING_FORK_OVERHEAD_LIMIT,
+            "fork_ring/{mode}: fork with live ring endpoints ({rings:.0} ns) is {ratio:.3}x \
+             the pipe-only fork ({pipes:.0} ns); must stay <= {RING_FORK_OVERHEAD_LIMIT}x"
+        );
+    }
+    let service = ring_service_sweep(ring_requests_from_env());
+    for r in &service {
+        println!(
+            "fork_ring_service/{}: {} requests in {:.3} sim-s ({} ring msgs, {} full stalls, {} caps relocated, kv {:#018x})",
+            r.mode, r.requests, r.sim_final_ns / 1e9,
+            r.ring_msgs, r.ring_full_stalls, r.ring_caps_relocated, r.kv_digest
+        );
+    }
+    (rows, service)
 }
 
 /// Runs the dirty-scope snapshot train twice, asserts determinism, and
@@ -609,6 +662,8 @@ fn write_json(
     storm: &[(StormMode, StormReport, StormPipeline)],
     snapshot: &[SnapshotRow],
     zygote: &[ZygoteFleetRow],
+    ring_fork: &[RingForkRow],
+    ring_service: &[RingServiceRow],
 ) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_fork.json");
@@ -719,8 +774,34 @@ fn write_json(
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let ring_fork_rows = ring_fork
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"setup\": \"{}\", \"endpoints\": {}, \"sim_fork_ns\": {:.1}, \"ring_caps_relocated\": {}}}",
+                r.mode, r.setup, r.endpoints, r.sim_fork_ns, r.ring_caps_relocated
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let ring_service_rows = ring_service
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"requests\": {}, \"sim_final_ns\": {:.1}, \"ring_msgs\": {}, \"ring_full_stalls\": {}, \"ring_caps_relocated\": {}, \"kv_digest\": \"{:016x}\"}}",
+                r.mode,
+                r.requests,
+                r.sim_final_ns,
+                r.ring_msgs,
+                r.ring_full_stalls,
+                r.ring_caps_relocated,
+                r.kv_digest
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let body = format!(
-        "{{\n  \"schema\": \"ufork-bench-fork/v7\",\n  \"unit\": \"ns/iter (best of samples, setup untimed); sim_* fields are simulated ns\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_pipeline\": [\n{frontier_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"fork_storm\": [\n{storm_rows}\n  ],\n  \"fork_snapshot_train\": [\n{snapshot_rows}\n  ],\n  \"fork_zygote\": [\n{zygote_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"ufork-bench-fork/v8\",\n  \"unit\": \"ns/iter (best of samples, setup untimed); sim_* fields are simulated ns\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_pipeline\": [\n{frontier_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"fork_storm\": [\n{storm_rows}\n  ],\n  \"fork_snapshot_train\": [\n{snapshot_rows}\n  ],\n  \"fork_zygote\": [\n{zygote_rows}\n  ],\n  \"fork_ring\": [\n{ring_fork_rows}\n  ],\n  \"fork_ring_service\": [\n{ring_service_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
         sparse = speedups.sparse,
         lineage = speedups.lineage,
         scaling_speedup = speedups.scaling,

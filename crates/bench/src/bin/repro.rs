@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|fig3|...|fig9|ablations|scaling|pressure|storm|trace|all] [--quick]
+//! repro [table1|fig3|...|fig9|ablations|scaling|pressure|storm|ring|trace|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks iteration counts / windows (CI-friendly); the default
@@ -21,9 +21,9 @@ use ufork_bench::report::{num, render_table, size_label};
 use ufork_bench::{
     ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep,
     ablation_naive_scan, fig6, fig7, fig8, fig9, fork_frontier_sweep, fork_scaling_sweep,
-    pressure_storm, redis_sweep, snapshot_train_sweep, storm_sweep, table1, trace_chrome_json,
-    trace_fork_runs, trace_summary_text, zygote_fleet_sweep, AblationRow, RedisRow, STORM_CORES,
-    STORM_SEED,
+    pressure_storm, redis_sweep, ring_fork_sweep, ring_service_sweep, snapshot_train_sweep,
+    storm_sweep, table1, trace_chrome_json, trace_fork_runs, trace_summary_text,
+    zygote_fleet_sweep, AblationRow, RedisRow, STORM_CORES, STORM_SEED,
 };
 
 fn print_ablation(title: &str, rows: &[AblationRow]) {
@@ -452,6 +452,77 @@ fn main() {
                 ],
                 &body
             )
+        );
+    }
+    if all || what == "ring" {
+        println!("== Ring fork tax: fork latency with live sealed ring endpoints vs pipes ==");
+        let rows = ring_fork_sweep();
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.to_string(),
+                    r.setup.to_string(),
+                    r.endpoints.to_string(),
+                    num(r.sim_fork_ns / 1e3),
+                    r.ring_caps_relocated.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "Mode",
+                    "Setup",
+                    "Endpoints",
+                    "fork (µs, sim)",
+                    "Caps relocated"
+                ],
+                &body
+            )
+        );
+        // The acceptance-scale differential: every hop of the
+        // frontend -> workers -> store fabric bitwise-identical across
+        // all four backends (ring_service_sweep asserts it internally).
+        let requests = if quick { 20_000 } else { 1_000_000 };
+        println!(
+            "== Multi-tier ring fabric: {requests} requests per backend, traffic compared bitwise =="
+        );
+        let svc = ring_service_sweep(requests);
+        let body: Vec<Vec<String>> = svc
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.to_string(),
+                    r.requests.to_string(),
+                    num(r.sim_final_ns / 1e9),
+                    r.ring_msgs.to_string(),
+                    r.ring_full_stalls.to_string(),
+                    r.ring_caps_relocated.to_string(),
+                    format!("{:016x}", r.kv_digest),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "Backend",
+                    "Requests",
+                    "time (s, sim)",
+                    "Ring msgs",
+                    "Full stalls",
+                    "Caps relocated",
+                    "KV digest",
+                ],
+                &body
+            )
+        );
+        println!(
+            "ring fabric: {} backends agreed bitwise on {} rings (traffic, digests, store dump)\n",
+            svc.len(),
+            svc[0].rings.len()
         );
     }
     if what == "trace" {

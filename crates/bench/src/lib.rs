@@ -8,12 +8,14 @@
 pub mod ablations;
 pub mod experiments;
 pub mod report;
+pub mod ring_exp;
 pub mod snapshot;
 pub mod storm;
 pub mod trace_exp;
 
 pub use ablations::*;
 pub use experiments::*;
+pub use ring_exp::*;
 pub use snapshot::*;
 pub use storm::*;
 pub use trace_exp::*;

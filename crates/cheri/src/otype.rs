@@ -25,6 +25,12 @@ impl OType {
     /// Otype sealing the per-thread kernel context switchers.
     pub const KERNEL_CONTEXT: OType = OType(2);
 
+    /// Otype sealing shared-memory ring endpoint capabilities: a program
+    /// holds a sealed view of the ring window it cannot dereference, and
+    /// presents it to push/pop where the kernel unseals it. Fork
+    /// relocates these like any other register capability, seal intact.
+    pub const RING_ENDPOINT: OType = OType(3);
+
     /// First otype available for dynamic allocation by the kernel.
     pub const FIRST_DYNAMIC: OType = OType(16);
 
@@ -69,7 +75,10 @@ mod tests {
     #[test]
     fn well_known_otypes_are_distinct() {
         assert_ne!(OType::SYSCALL_ENTRY, OType::KERNEL_CONTEXT);
+        assert_ne!(OType::SYSCALL_ENTRY, OType::RING_ENDPOINT);
+        assert_ne!(OType::KERNEL_CONTEXT, OType::RING_ENDPOINT);
         assert!(OType::SYSCALL_ENTRY.raw() < OType::FIRST_DYNAMIC.raw());
         assert!(OType::KERNEL_CONTEXT.raw() < OType::FIRST_DYNAMIC.raw());
+        assert!(OType::RING_ENDPOINT.raw() < OType::FIRST_DYNAMIC.raw());
     }
 }

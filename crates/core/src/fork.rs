@@ -751,7 +751,7 @@ impl UforkOs {
                         failed = Some(Errno::NoMem);
                         break 'walk;
                     }
-                    child_batch.push((c_vpn, Pte::new(pte.pfn, PteFlags::rw())));
+                    child_batch.push((c_vpn, Pte::new(pte.pfn, final_flags)));
                     ctx.kernel(cost.pte_copy);
                     continue;
                 }
@@ -1007,7 +1007,7 @@ impl UforkOs {
                     self.journal
                         .record(JournalOp::RefInc(pte.pfn))
                         .map_err(|_| Errno::NoMem)?;
-                    self.pt.map(c_vpn, pte.pfn, PteFlags::rw());
+                    self.pt.map(c_vpn, pte.pfn, final_flags);
                     self.journal
                         .record(JournalOp::PteMap(c_vpn))
                         .map_err(|_| Errno::NoMem)?;

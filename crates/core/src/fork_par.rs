@@ -178,7 +178,7 @@ impl UforkOs {
                         failed = Some(Errno::NoMem);
                         break 'walk;
                     }
-                    child_batch.push((c_vpn, Pte::new(pte.pfn, PteFlags::rw())));
+                    child_batch.push((c_vpn, Pte::new(pte.pfn, final_flags)));
                     ctx.kernel(cost.pte_copy);
                     continue;
                 }

@@ -374,16 +374,33 @@ impl UforkOs {
         (dangling, unaccounted)
     }
 
+    /// Removes a named shared-memory object, dropping the object's own
+    /// reference on each backing frame. Live mappings keep their frames
+    /// alive through the per-mapping references; once every mapping is
+    /// unmapped (process teardown) the frames return to the allocator.
+    /// Returns whether the object existed.
+    pub fn shm_unlink(&mut self, name: &str) -> bool {
+        let Some(frames) = self.shm_objs.remove(name) else {
+            return false;
+        };
+        for pfn in frames {
+            let _ = self.pm.dec_ref(pfn);
+        }
+        true
+    }
+
     /// Page-table flags for a segment when fully owned (not shared).
     pub(crate) fn seg_flags(seg: Segment) -> PteFlags {
         match seg {
             Segment::Text => PteFlags::rx(),
             Segment::Got => PteFlags::ro(),
+            // Shm carries the SHARED software bit so every walk (and
+            // fault-time remaps) refcount-shares rather than copies.
+            Segment::Shm => PteFlags::rw().with(PteFlags::SHARED),
             Segment::Data
             | Segment::Stack
             | Segment::HeapMeta
             | Segment::HeapArena
-            | Segment::Shm
             | Segment::Mmap => PteFlags::rw(),
         }
     }
@@ -685,7 +702,7 @@ impl MemOs for UforkOs {
         for (i, pfn) in frames.iter().take(pages as usize).enumerate() {
             self.pm.inc_ref(*pfn).map_err(|_| Errno::Fault)?;
             let vpn = VirtAddr(map_base + i as u64 * PAGE_SIZE).vpn();
-            self.pt.map(vpn, *pfn, PteFlags::rw());
+            self.pt.map(vpn, *pfn, Self::seg_flags(Segment::Shm));
             ctx.kernel(self.cost.pte_write);
             ctx.counters.ptes_written += 1;
         }

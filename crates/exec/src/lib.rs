@@ -24,6 +24,7 @@
 mod ctx;
 mod machine;
 mod memos;
+pub mod ring;
 mod sched;
 mod vfs;
 
@@ -31,4 +32,6 @@ pub use ctx::Ctx;
 pub use machine::{ExitEvent, ForkEvent, Machine, MachineConfig, PipelineEvent, MAIN_TID};
 pub use memos::MemOs;
 pub use sched::{BlockedOn, SchedEngine, TimeKey, DEFAULT_PRIORITY};
-pub use vfs::{ConnTemplate, FdKind, FdTable, PipeRead, Vfs, WakeEvent};
+pub use vfs::{
+    ConnTemplate, FdKind, FdTable, PipeRead, RingMeta, RingSnapshot, Vfs, WakeEvent, PIPE_CAPACITY,
+};

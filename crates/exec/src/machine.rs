@@ -16,14 +16,16 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ufork_abi::{
     BlockingCall, Capability, Env, Errno, Fd, ForkResult, ImageSpec, Pid, Program, Resume,
-    StepOutcome, SysResult,
+    StepOutcome, SysResult, RING_EOF,
 };
+use ufork_cheri::OType;
 use ufork_sim::OpCounters;
 
 use crate::ctx::Ctx;
 use crate::memos::{charge_syscall, MemOs};
+use crate::ring::{self, RingPop as RawPop, RingPush as RawPush};
 use crate::sched::{BlockedOn, Cores, QEntry, RunQueue, SchedEngine, TimeKey, DEFAULT_PRIORITY};
-use crate::vfs::{ConnRead, ConnTemplate, FdKind, FdTable, PipeRead, Vfs, WakeEvent};
+use crate::vfs::{ConnRead, ConnTemplate, FdKind, FdTable, PipeRead, RingMeta, Vfs, WakeEvent};
 
 /// Machine-wide configuration.
 #[derive(Clone, Debug)]
@@ -236,11 +238,15 @@ pub struct Machine<O: MemOs> {
     /// an open window.
     copy_engines: BTreeMap<Pid, CopyEngine>,
     runq: RunQueue,
-    /// Threads parked reading pipe `id` (event engine): wakeups touch
-    /// only the affected pipe's waiters, not every thread.
+    /// Threads parked on pipe `id` — readers on empty *and* writers on
+    /// full (event engine): wakeups touch only the affected pipe's
+    /// waiters, not every thread.
     pipe_waiters: BTreeMap<usize, Vec<(Pid, u32)>>,
     /// Threads parked reading connection `id` (event engine).
     conn_waiters: BTreeMap<usize, Vec<(Pid, u32)>>,
+    /// Threads parked on ring `id` — producers on full and consumers on
+    /// empty (event engine).
+    ring_waiters: BTreeMap<usize, Vec<(Pid, u32)>>,
 }
 
 impl<O: MemOs> Machine<O> {
@@ -263,6 +269,7 @@ impl<O: MemOs> Machine<O> {
             runq,
             pipe_waiters: BTreeMap::new(),
             conn_waiters: BTreeMap::new(),
+            ring_waiters: BTreeMap::new(),
         }
     }
 
@@ -649,7 +656,12 @@ impl<O: MemOs> Machine<O> {
             }
         }
 
-        // Retry any pending blocking call first.
+        // Retry any pending blocking call first. A retried call can
+        // complete I/O (a woken writer fills a pipe, a woken consumer
+        // frees ring slots), so its wake events must be delivered even
+        // on the early returns — dropping them here is exactly the
+        // lost-wakeup shape the multi-reader EOF bug had.
+        let mut events = Vec::new();
         let thread = self
             .procs
             .get_mut(&pid)
@@ -657,18 +669,20 @@ impl<O: MemOs> Machine<O> {
             .expect("picked thread exists");
         let mut resume_with = thread.resume_with;
         if let Some(call) = thread.pending.take() {
-            match self.service_blocking(pid, tid, call, start, &mut ctx) {
+            match self.service_blocking(pid, tid, call, start, &mut ctx, &mut events) {
                 ServiceOutcome::Done(r) => resume_with = Resume::Ret(r),
                 ServiceOutcome::BlockIndefinite(call) => {
                     self.block_thread(pid, tid, call);
-                    self.finish_step(core_idx, pid, tid, start, ctx);
+                    let end = self.finish_step(core_idx, pid, tid, start, ctx);
+                    self.deliver_events(events, end);
                     return true;
                 }
                 ServiceOutcome::RetryAt(call, t_at) => {
                     let t = self.thread_mut(pid, tid);
                     t.pending = Some(call);
                     t.state = ThreadState::Ready { at: t_at };
-                    self.finish_step(core_idx, pid, tid, start, ctx);
+                    let end = self.finish_step(core_idx, pid, tid, start, ctx);
+                    self.deliver_events(events, end);
                     return true;
                 }
             }
@@ -680,7 +694,6 @@ impl<O: MemOs> Machine<O> {
             .program
             .take()
             .expect("ready thread has a program");
-        let mut events = Vec::new();
         let outcome = {
             let mut env = StepEnv {
                 os: &mut self.os,
@@ -740,7 +753,7 @@ impl<O: MemOs> Machine<O> {
             }
             StepOutcome::Block(call) => {
                 let now = start + ctx.total();
-                match self.service_blocking(pid, tid, call, now, &mut ctx) {
+                match self.service_blocking(pid, tid, call, now, &mut ctx, &mut events) {
                     ServiceOutcome::Done(r) => {
                         let t = self.thread_mut(pid, tid);
                         t.resume_with = Resume::Ret(r);
@@ -807,6 +820,18 @@ impl<O: MemOs> Machine<O> {
                     _ => BlockedOn::Fault,
                 }
             }
+            BlockingCall::Write { fd, .. } => {
+                match self.procs.get(&pid).and_then(|p| p.fds.get(*fd).ok()) {
+                    Some(FdKind::PipeWrite(id)) => BlockedOn::Pipe(*id),
+                    _ => BlockedOn::Fault,
+                }
+            }
+            BlockingCall::RingPush { fd, .. } | BlockingCall::RingPop { fd, .. } => {
+                match self.procs.get(&pid).and_then(|p| p.fds.get(*fd).ok()) {
+                    Some(FdKind::RingProd(id) | FdKind::RingCons(id)) => BlockedOn::Ring(*id),
+                    _ => BlockedOn::Fault,
+                }
+            }
             // Yield/Sleep/SpawnThread/Accept resolve to Done or a timed
             // retry; this arm is unreachable but harmless.
             _ => BlockedOn::Fault,
@@ -815,6 +840,7 @@ impl<O: MemOs> Machine<O> {
             match on {
                 BlockedOn::Pipe(id) => self.pipe_waiters.entry(id).or_default().push((pid, tid)),
                 BlockedOn::Conn(id) => self.conn_waiters.entry(id).or_default().push((pid, tid)),
+                BlockedOn::Ring(id) => self.ring_waiters.entry(id).or_default().push((pid, tid)),
                 _ => {}
             }
         }
@@ -891,7 +917,9 @@ impl<O: MemOs> Machine<O> {
     }
 
     /// Services a blocking call by thread (`pid`, `tid`) at simulated time
-    /// `now`.
+    /// `now`. Side effects that may unblock *other* threads (draining a
+    /// pipe, pushing to a ring) are appended to `events`; the caller
+    /// delivers them after the step completes.
     fn service_blocking(
         &mut self,
         pid: Pid,
@@ -899,6 +927,7 @@ impl<O: MemOs> Machine<O> {
         call: BlockingCall,
         now: f64,
         ctx: &mut Ctx,
+        events: &mut Vec<WakeEvent>,
     ) -> ServiceOutcome {
         match call {
             BlockingCall::Yield => {
@@ -1016,6 +1045,9 @@ impl<O: MemOs> Machine<O> {
                                 if let Err(e) = self.os.store(ctx, pid, &buf, &data) {
                                     return ServiceOutcome::Done(Err(e));
                                 }
+                                // Space drained: writers blocked on the
+                                // full pipe can retry.
+                                events.push(WakeEvent::PipeDrained(id));
                             }
                             ServiceOutcome::Done(Ok(n))
                         }
@@ -1077,6 +1109,132 @@ impl<O: MemOs> Machine<O> {
                     _ => ServiceOutcome::Done(Err(Errno::BadFd)),
                 }
             }
+            BlockingCall::Write { fd, buf, len } => {
+                charge_syscall(&self.os, ctx, len);
+                let kind = match self.procs[&pid].fds.get(fd) {
+                    Ok(k) => k.clone(),
+                    Err(e) => return ServiceOutcome::Done(Err(e)),
+                };
+                // Only pipes can block on write; files/conns use the
+                // non-blocking `sys_write`.
+                let FdKind::PipeWrite(id) = kind else {
+                    return ServiceOutcome::Done(Err(Errno::Inval));
+                };
+                let mut data = vec![0u8; len as usize];
+                if let Err(e) = self.os.load(ctx, pid, &buf, &mut data) {
+                    return ServiceOutcome::Done(Err(e));
+                }
+                match self.vfs.pipe_write(id, &data, now) {
+                    Ok(n) => {
+                        ctx.kernel(
+                            self.os.cost().pipe_per_byte * n as f64
+                                + self.os.copyio_cost_per_byte() * n as f64,
+                        );
+                        events.push(WakeEvent::PipeWritten(id));
+                        ServiceOutcome::Done(Ok(n))
+                    }
+                    // Full: park until a read drains space (PipeDrained).
+                    Err(Errno::Again) => {
+                        ServiceOutcome::BlockIndefinite(BlockingCall::Write { fd, buf, len })
+                    }
+                    Err(e) => ServiceOutcome::Done(Err(e)),
+                }
+            }
+            BlockingCall::RingPush { fd, ring, buf, len } => {
+                charge_syscall(&self.os, ctx, len);
+                let kind = match self.procs[&pid].fds.get(fd) {
+                    Ok(k) => k.clone(),
+                    Err(e) => return ServiceOutcome::Done(Err(e)),
+                };
+                let FdKind::RingProd(id) = kind else {
+                    return ServiceOutcome::Done(Err(Errno::BadFd));
+                };
+                // The sealed endpoint capability *is* the authority: the
+                // kernel unseals it with the machine-held authority and
+                // drives the shared window through the unsealed view.
+                // After fork this is the child's relocated register cap.
+                let Ok(window) = ring.unseal(&ring::seal_authority()) else {
+                    return ServiceOutcome::Done(Err(Errno::Perm));
+                };
+                match self.vfs.ring_meta(id) {
+                    // EPIPE only once a consumer has come *and* gone;
+                    // before the first attach the ring buffers like a FIFO.
+                    Ok(m) if m.cons_ends == 0 && m.ever_cons => {
+                        return ServiceOutcome::Done(Err(Errno::BadFd)); // EPIPE
+                    }
+                    Ok(_) => {}
+                    Err(e) => return ServiceOutcome::Done(Err(e)),
+                }
+                let mut data = vec![0u8; len as usize];
+                if let Err(e) = self.os.load(ctx, pid, &buf, &mut data) {
+                    return ServiceOutcome::Done(Err(e));
+                }
+                match ring::ring_push_raw(&mut self.os, ctx, pid, &window, &data, now) {
+                    Ok(RawPush::Pushed(seq)) => {
+                        let m = self.vfs.ring_meta_mut(id).expect("ring exists");
+                        m.pushed += 1;
+                        RingMeta::mix(&mut m.push_digest, seq, &data);
+                        ctx.counters.ring_msgs += 1;
+                        events.push(WakeEvent::RingPushed(id));
+                        ServiceOutcome::Done(Ok(len))
+                    }
+                    Ok(RawPush::Full) => {
+                        ctx.counters.ring_full_stalls += 1;
+                        ServiceOutcome::BlockIndefinite(BlockingCall::RingPush {
+                            fd,
+                            ring,
+                            buf,
+                            len,
+                        })
+                    }
+                    Ok(RawPush::NotUntil(t)) => {
+                        ServiceOutcome::RetryAt(BlockingCall::RingPush { fd, ring, buf, len }, t)
+                    }
+                    Err(e) => ServiceOutcome::Done(Err(e)),
+                }
+            }
+            BlockingCall::RingPop { fd, ring, buf } => {
+                charge_syscall(&self.os, ctx, 0);
+                let kind = match self.procs[&pid].fds.get(fd) {
+                    Ok(k) => k.clone(),
+                    Err(e) => return ServiceOutcome::Done(Err(e)),
+                };
+                let FdKind::RingCons(id) = kind else {
+                    return ServiceOutcome::Done(Err(Errno::BadFd));
+                };
+                let Ok(window) = ring.unseal(&ring::seal_authority()) else {
+                    return ServiceOutcome::Done(Err(Errno::Perm));
+                };
+                match ring::ring_pop_raw(&mut self.os, ctx, pid, &window, now) {
+                    Ok(RawPop::Popped { seq, data }) => {
+                        if let Err(e) = self.os.store(ctx, pid, &buf, &data) {
+                            return ServiceOutcome::Done(Err(e));
+                        }
+                        let m = self.vfs.ring_meta_mut(id).expect("ring exists");
+                        m.popped += 1;
+                        RingMeta::mix(&mut m.pop_digest, seq, &data);
+                        events.push(WakeEvent::RingPopped(id));
+                        ServiceOutcome::Done(Ok(data.len() as u64))
+                    }
+                    Ok(RawPop::Empty) => {
+                        let eof = self
+                            .vfs
+                            .ring_meta(id)
+                            .is_ok_and(|m| m.prod_ends == 0 && m.ever_prod);
+                        if eof {
+                            // Drained with no producers left: EOF, like a
+                            // pipe read.
+                            ServiceOutcome::Done(Ok(0))
+                        } else {
+                            ServiceOutcome::BlockIndefinite(BlockingCall::RingPop { fd, ring, buf })
+                        }
+                    }
+                    Ok(RawPop::NotUntil(t)) => {
+                        ServiceOutcome::RetryAt(BlockingCall::RingPop { fd, ring, buf }, t)
+                    }
+                    Err(e) => ServiceOutcome::Done(Err(e)),
+                }
+            }
         }
     }
 
@@ -1100,12 +1258,23 @@ impl<O: MemOs> Machine<O> {
         ctx.counters.forks += 1;
         let latency = ctx.kernel_ns - k_before + self.os.syscall_entry_cost();
 
-        // Duplicate the fd table, adding sharers on pipe ends.
+        // Duplicate the fd table, adding sharers on pipe and ring ends.
+        // The child's ring *endpoint capabilities* ride in its registers
+        // and were relocated (seal intact) by the fork walk above; here
+        // the registry only gains the duplicated descriptors.
         let fds = self.procs[&parent].fds.clone();
         for (_, kind) in fds.iter() {
             match kind {
                 FdKind::PipeRead(id) => self.vfs.pipe_add_end(*id, false),
                 FdKind::PipeWrite(id) => self.vfs.pipe_add_end(*id, true),
+                FdKind::RingProd(id) => {
+                    self.vfs.ring_add_end(*id, true);
+                    ctx.counters.ring_caps_relocated += 1;
+                }
+                FdKind::RingCons(id) => {
+                    self.vfs.ring_add_end(*id, false);
+                    ctx.counters.ring_caps_relocated += 1;
+                }
                 _ => {}
             }
         }
@@ -1195,18 +1364,25 @@ impl<O: MemOs> Machine<O> {
                 t.exited = Some((code, at));
             }
         }
-        // Close all fds.
+        // Close all fds, collecting every wake event: the old code
+        // discarded read-end drop events entirely and kept at most one
+        // write-end event, losing wakeups when an exit closed several
+        // ends at once.
         let fds = std::mem::take(&mut self.procs.get_mut(&pid).unwrap().fds);
         let mut events = Vec::new();
         for (_, kind) in fds.iter() {
             match kind {
                 FdKind::PipeRead(id) => {
-                    self.vfs.pipe_drop_end(*id, false);
+                    events.extend(self.vfs.pipe_drop_end(*id, false));
                 }
                 FdKind::PipeWrite(id) => {
-                    if let Some(ev) = self.vfs.pipe_drop_end(*id, true) {
-                        events.push(ev);
-                    }
+                    events.extend(self.vfs.pipe_drop_end(*id, true));
+                }
+                FdKind::RingProd(id) => {
+                    events.extend(self.vfs.ring_drop_end(*id, true));
+                }
+                FdKind::RingCons(id) => {
+                    events.extend(self.vfs.ring_drop_end(*id, false));
                 }
                 _ => {}
             }
@@ -1283,8 +1459,41 @@ impl<O: MemOs> Machine<O> {
         }
     }
 
+    /// Does one event wake a thread parked on `pending`? Shared by the
+    /// lockstep scan and the event-engine index so the two paths cannot
+    /// drift: the fd's *current* kind is re-checked on every event (a
+    /// sibling may have closed and remapped the fd).
+    fn wake_match(ev: &WakeEvent, pending: &BlockingCall, fds: &FdTable) -> bool {
+        match (ev, pending) {
+            // Readers wake on data or hangup of their pipe.
+            (
+                WakeEvent::PipeWritten(id) | WakeEvent::PipeHangup(id),
+                BlockingCall::Read { fd, .. },
+            ) => matches!(fds.get(*fd), Ok(FdKind::PipeRead(p)) if p == id),
+            // Writers wake when space drains — including the last read
+            // end closing, so they can fail with EPIPE.
+            (WakeEvent::PipeDrained(id), BlockingCall::Write { fd, .. }) => {
+                matches!(fds.get(*fd), Ok(FdKind::PipeWrite(p)) if p == id)
+            }
+            // Consumers wake on a push or producer hangup of their ring.
+            (WakeEvent::RingPushed(id), BlockingCall::RingPop { fd, .. }) => {
+                matches!(fds.get(*fd), Ok(FdKind::RingCons(r)) if r == id)
+            }
+            // Producers wake on a freed slot or consumer hangup.
+            (WakeEvent::RingPopped(id), BlockingCall::RingPush { fd, .. }) => {
+                matches!(fds.get(*fd), Ok(FdKind::RingProd(r)) if r == id)
+            }
+            (WakeEvent::ConnAdvanced(id), BlockingCall::Read { fd, .. }) => {
+                matches!(fds.get(*fd), Ok(FdKind::Conn(c)) if c == id)
+            }
+            _ => false,
+        }
+    }
+
     /// Lockstep wake path: rescan every thread against the event batch
-    /// (the original behavior the event engine must reproduce).
+    /// (the original behavior the event engine must reproduce). Wakes
+    /// *every* matching thread — the multi-reader EOF fix: one
+    /// `PipeHangup` must release all readers blocked on the pipe.
     fn deliver_by_scan(&mut self, events: &[WakeEvent], at: f64) {
         for (_, p) in self.procs.iter_mut() {
             if p.life != ProcLife::Alive {
@@ -1294,19 +1503,11 @@ impl<O: MemOs> Machine<O> {
                 if !matches!(t.state, ThreadState::Blocked) {
                     continue;
                 }
-                let Some(BlockingCall::Read { fd, .. }) = &t.pending else {
-                    continue;
-                };
-                let Ok(kind) = p.fds.get(*fd) else { continue };
-                let woken = events.iter().any(|ev| match (ev, kind) {
-                    (
-                        WakeEvent::PipeWritten(id) | WakeEvent::PipeHangup(id),
-                        FdKind::PipeRead(pid2),
-                    ) => id == pid2,
-                    (WakeEvent::ConnAdvanced(id), FdKind::Conn(cid)) => id == cid,
-                    _ => false,
-                });
-                if woken {
+                let Some(pending) = &t.pending else { continue };
+                if events
+                    .iter()
+                    .any(|ev| Self::wake_match(ev, pending, &p.fds))
+                {
                     t.state = ThreadState::Ready { at };
                     t.blocked_on = None;
                 }
@@ -1314,23 +1515,29 @@ impl<O: MemOs> Machine<O> {
         }
     }
 
-    /// Event-engine wake path: consult only the affected pipe/conn's
+    /// Event-engine wake path: consult only the affected pipe/ring/conn's
     /// waiter list. Entries whose thread died or moved on are dropped;
-    /// entries whose thread is still parked on a read of a *different*
-    /// descriptor target stay registered (a sibling may have closed and
-    /// remapped the fd — the lockstep scan re-checks the fd's current
-    /// kind on every event, and so must we).
+    /// entries whose thread is still parked but does not match this event
+    /// stay registered.
     fn deliver_by_index(&mut self, events: &[WakeEvent], at: f64) {
+        enum Chan {
+            Pipe,
+            Conn,
+            Ring,
+        }
         for ev in events {
-            let (id, is_pipe) = match ev {
-                WakeEvent::PipeWritten(id) | WakeEvent::PipeHangup(id) => (*id, true),
-                WakeEvent::ConnAdvanced(id) => (*id, false),
+            let (id, chan) = match ev {
+                WakeEvent::PipeWritten(id)
+                | WakeEvent::PipeHangup(id)
+                | WakeEvent::PipeDrained(id) => (*id, Chan::Pipe),
+                WakeEvent::RingPushed(id) | WakeEvent::RingPopped(id) => (*id, Chan::Ring),
+                WakeEvent::ConnAdvanced(id) => (*id, Chan::Conn),
                 WakeEvent::Kill(_) => continue,
             };
-            let list = if is_pipe {
-                self.pipe_waiters.remove(&id)
-            } else {
-                self.conn_waiters.remove(&id)
+            let list = match chan {
+                Chan::Pipe => self.pipe_waiters.remove(&id),
+                Chan::Conn => self.conn_waiters.remove(&id),
+                Chan::Ring => self.ring_waiters.remove(&id),
             };
             let Some(list) = list else { continue };
             let mut wake = Vec::new();
@@ -1348,15 +1555,8 @@ impl<O: MemOs> Machine<O> {
                 if !matches!(t.state, ThreadState::Blocked) {
                     continue;
                 }
-                let Some(BlockingCall::Read { fd, .. }) = &t.pending else {
-                    continue;
-                };
-                let hits = match (is_pipe, p.fds.get(*fd)) {
-                    (true, Ok(FdKind::PipeRead(pid2))) => *pid2 == id,
-                    (false, Ok(FdKind::Conn(cid))) => *cid == id,
-                    _ => false,
-                };
-                if hits {
+                let Some(pending) = &t.pending else { continue };
+                if Self::wake_match(ev, pending, &p.fds) {
                     wake.push((wpid, wtid));
                 } else {
                     keep.push((wpid, wtid));
@@ -1366,10 +1566,10 @@ impl<O: MemOs> Machine<O> {
                 self.make_ready(wpid, wtid, at);
             }
             if !keep.is_empty() {
-                let map = if is_pipe {
-                    &mut self.pipe_waiters
-                } else {
-                    &mut self.conn_waiters
+                let map = match chan {
+                    Chan::Pipe => &mut self.pipe_waiters,
+                    Chan::Conn => &mut self.conn_waiters,
+                    Chan::Ring => &mut self.ring_waiters,
                 };
                 map.entry(id).or_default().extend(keep);
             }
@@ -1553,14 +1753,16 @@ impl<O: MemOs> Env for StepEnv<'_, O> {
         let kind = self.fds.remove(fd)?;
         match kind {
             FdKind::PipeRead(id) => {
-                if let Some(ev) = self.vfs.pipe_drop_end(id, false) {
-                    self.events.push(ev);
-                }
+                self.events.extend(self.vfs.pipe_drop_end(id, false));
             }
             FdKind::PipeWrite(id) => {
-                if let Some(ev) = self.vfs.pipe_drop_end(id, true) {
-                    self.events.push(ev);
-                }
+                self.events.extend(self.vfs.pipe_drop_end(id, true));
+            }
+            FdKind::RingProd(id) => {
+                self.events.extend(self.vfs.ring_drop_end(id, true));
+            }
+            FdKind::RingCons(id) => {
+                self.events.extend(self.vfs.ring_drop_end(id, false));
             }
             _ => {}
         }
@@ -1599,6 +1801,115 @@ impl<O: MemOs> Env for StepEnv<'_, O> {
         // Delivered by the machine after this step completes.
         self.events.push(WakeEvent::Kill(pid));
         Ok(())
+    }
+
+    fn sys_ring_open(
+        &mut self,
+        name: &str,
+        slots: u64,
+        msg_bytes: u64,
+        producer: bool,
+    ) -> SysResult<(Fd, Capability)> {
+        charge_syscall(self.os, self.ctx, 0);
+        let (id, created) = self.vfs.ring_register(name, slots, msg_bytes)?;
+        // The ring lives in a named shared-memory object: fork's Shm
+        // arms refcount-share these frames instead of copying them.
+        let shm_name = format!("ring:{name}");
+        let window = self.os.shm_open(
+            self.ctx,
+            self.pid,
+            &shm_name,
+            ring::ring_bytes(slots, msg_bytes),
+        )?;
+        if created {
+            ring::ring_init(self.os, self.ctx, self.pid, &window, slots, msg_bytes)?;
+        } else {
+            ring::ring_verify(self.os, self.ctx, self.pid, &window, slots, msg_bytes)?;
+        }
+        self.vfs.ring_add_end(id, producer);
+        let fd = self.fds.insert(if producer {
+            FdKind::RingProd(id)
+        } else {
+            FdKind::RingCons(id)
+        });
+        // Hand the program a *sealed* view: it cannot dereference the
+        // window, only present the capability back to push/pop.
+        let sealed = window
+            .seal(OType::RING_ENDPOINT, &ring::seal_authority())
+            .map_err(|_| Errno::Perm)?;
+        Ok((fd, sealed))
+    }
+
+    fn sys_ring_try_push(
+        &mut self,
+        fd: Fd,
+        ring_cap: &Capability,
+        buf: &Capability,
+        len: u64,
+    ) -> SysResult<u64> {
+        charge_syscall(self.os, self.ctx, len);
+        let FdKind::RingProd(id) = self.fds.get(fd)?.clone() else {
+            return Err(Errno::BadFd);
+        };
+        let window = ring_cap
+            .unseal(&ring::seal_authority())
+            .map_err(|_| Errno::Perm)?;
+        let meta = self.vfs.ring_meta(id)?;
+        if meta.cons_ends == 0 && meta.ever_cons {
+            return Err(Errno::BadFd); // EPIPE
+        }
+        let data = self.read_user(buf, len)?;
+        let now = self.now_inner();
+        match ring::ring_push_raw(self.os, self.ctx, self.pid, &window, &data, now)? {
+            RawPush::Pushed(seq) => {
+                let m = self.vfs.ring_meta_mut(id).expect("ring exists");
+                m.pushed += 1;
+                RingMeta::mix(&mut m.push_digest, seq, &data);
+                self.ctx.counters.ring_msgs += 1;
+                self.events.push(WakeEvent::RingPushed(id));
+                Ok(len)
+            }
+            RawPush::Full | RawPush::NotUntil(_) => {
+                self.ctx.counters.ring_full_stalls += 1;
+                Err(Errno::Again)
+            }
+        }
+    }
+
+    fn sys_ring_try_pop(
+        &mut self,
+        fd: Fd,
+        ring_cap: &Capability,
+        buf: &Capability,
+    ) -> SysResult<u64> {
+        charge_syscall(self.os, self.ctx, 0);
+        let FdKind::RingCons(id) = self.fds.get(fd)?.clone() else {
+            return Err(Errno::BadFd);
+        };
+        let window = ring_cap
+            .unseal(&ring::seal_authority())
+            .map_err(|_| Errno::Perm)?;
+        let now = self.now_inner();
+        match ring::ring_pop_raw(self.os, self.ctx, self.pid, &window, now)? {
+            RawPop::Popped { seq, data } => {
+                self.os.store(self.ctx, self.pid, buf, &data)?;
+                let m = self.vfs.ring_meta_mut(id).expect("ring exists");
+                m.popped += 1;
+                RingMeta::mix(&mut m.pop_digest, seq, &data);
+                self.events.push(WakeEvent::RingPopped(id));
+                Ok(data.len() as u64)
+            }
+            RawPop::Empty => {
+                let meta = self.vfs.ring_meta(id)?;
+                if meta.prod_ends == 0 && meta.ever_prod {
+                    Ok(RING_EOF)
+                } else {
+                    Ok(0)
+                }
+            }
+            // Not yet visible at this simulated instant: look empty.
+            RawPop::NotUntil(_) => Ok(0),
+        }
     }
 
     fn sys_getpid(&mut self) -> Pid {

@@ -93,8 +93,12 @@ impl TimeKey {
 /// by pipe/connection id and wake exactly the affected threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BlockedOn {
-    /// Reading an empty pipe with writers still open.
+    /// Reading an empty pipe with writers still open, or writing a full
+    /// one with readers still open.
     Pipe(usize),
+    /// Pushing onto a full ring, or popping an empty one with producer
+    /// ends still open.
+    Ring(usize),
     /// Reading a synthetic connection (defensive: the traffic model
     /// currently always yields a timed retry instead).
     Conn(usize),

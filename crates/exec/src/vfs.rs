@@ -1,13 +1,22 @@
-//! Ram-disk files, pipes, synthetic network connections, and fd tables.
+//! Ram-disk files, pipes, synthetic network connections, fd tables, and
+//! the named-channel registry of the shared-memory ring fabric.
 
 use std::collections::BTreeMap;
 
 use ufork_abi::{Errno, Fd, SysResult};
 
+use crate::sched::TimeKey;
+
 /// Ram-disk contents as `(path, bytes)` pairs in path order.
 pub type FileSnapshot = Vec<(String, Vec<u8>)>;
 /// Residual unread bytes of every live pipe, as `(pipe id, bytes)`.
 pub type PipeSnapshot = Vec<(usize, Vec<u8>)>;
+/// Per-ring traffic summary, as `(ring id, name, pushed, popped,
+/// push digest, pop digest)` in id order.
+pub type RingSnapshot = Vec<(usize, String, u64, u64, u64, u64)>;
+
+/// Default pipe capacity in bytes (POSIX pipes buffer 64 KiB).
+pub const PIPE_CAPACITY: usize = 64 * 1024;
 
 /// What a file descriptor refers to.
 #[derive(Clone, Debug)]
@@ -27,6 +36,10 @@ pub enum FdKind {
     Listener(usize),
     /// An accepted connection.
     Conn(usize),
+    /// Producer end of a shared-memory descriptor ring.
+    RingProd(usize),
+    /// Consumer end of a shared-memory descriptor ring.
+    RingCons(usize),
 }
 
 /// A per-process file-descriptor table.
@@ -95,6 +108,15 @@ pub enum WakeEvent {
     PipeWritten(usize),
     /// All write ends of pipe `id` closed (readers see EOF).
     PipeHangup(usize),
+    /// Buffer space freed on pipe `id` (a read drained bytes, or the
+    /// last read end closed and blocked writers must fail with EPIPE).
+    PipeDrained(usize),
+    /// A message was pushed onto ring `id`, or its last producer end
+    /// closed (blocked consumers must re-poll: data or EOF).
+    RingPushed(usize),
+    /// A slot was freed on ring `id`, or its last consumer end closed
+    /// (blocked producers must re-poll: space or EPIPE).
+    RingPopped(usize),
     /// A response was written on connection `id` (its next request is now
     /// scheduled).
     ConnAdvanced(usize),
@@ -111,8 +133,67 @@ struct FileNode {
 struct Pipe {
     /// Buffered chunks with the simulated time they became available.
     chunks: std::collections::VecDeque<(Vec<u8>, f64)>,
+    /// Bytes currently buffered across all chunks.
+    buffered: usize,
+    /// Buffer capacity: a write that does not fit whole is refused with
+    /// `EAGAIN` (all-or-nothing; the machine turns that into a blocked
+    /// writer).
+    capacity: usize,
     read_ends: u32,
     write_ends: u32,
+}
+
+/// FNV-1a mix of one u64 into a running digest.
+fn fnv_mix(digest: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *digest ^= u64::from(b);
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Registry entry of one named SPSC descriptor ring. The ring's head,
+/// tail and slots live in `Shm`-backed *simulated* memory (see
+/// [`crate::ring`]); this entry holds the name binding, endpoint
+/// refcounts, and the order-sensitive traffic digests the differential
+/// oracle compares across backends.
+#[derive(Clone, Debug)]
+pub struct RingMeta {
+    /// Registry name.
+    pub name: String,
+    /// Message slots in the ring.
+    pub slots: u64,
+    /// Payload bytes per message.
+    pub msg_bytes: u64,
+    /// Open producer-end descriptors (across all processes).
+    pub prod_ends: u32,
+    /// Open consumer-end descriptors.
+    pub cons_ends: u32,
+    /// A producer end has attached at some point. Until then a drained
+    /// ring is *pending*, not EOF — named rings attach like FIFOs, and
+    /// a consumer may open (and poll) before the first producer exists.
+    pub ever_prod: bool,
+    /// A consumer end has attached at some point; until then a push is
+    /// buffered rather than failed with EPIPE.
+    pub ever_cons: bool,
+    /// Messages pushed over the ring's lifetime.
+    pub pushed: u64,
+    /// Messages popped.
+    pub popped: u64,
+    /// FNV-1a digest over `(seq, payload)` of every push, in order.
+    pub push_digest: u64,
+    /// FNV-1a digest over `(seq, payload)` of every pop, in order.
+    pub pop_digest: u64,
+}
+
+impl RingMeta {
+    /// Folds one message into a traffic digest.
+    pub fn mix(digest: &mut u64, seq: u64, payload: &[u8]) {
+        fnv_mix(digest, seq);
+        fnv_mix(digest, payload.len() as u64);
+        for &b in payload {
+            fnv_mix(digest, u64::from(b));
+        }
+    }
 }
 
 /// Parameters of the synthetic connections a [`Vfs`] listener produces —
@@ -148,6 +229,16 @@ struct Conn {
     pub served: u64,
 }
 
+/// True when simulated time `t` is strictly after `now` under the
+/// scheduler's [`TimeKey`] ordering. The old epsilon comparison
+/// (`t > now + 1e-9`) deferred chunks stamped *exactly* at `now` on some
+/// platforms and admitted sub-epsilon-future ones; the integer key is
+/// exact: a chunk stamped at `now` is readable, one stamped one ulp
+/// later is not.
+fn after(t: f64, now: f64) -> bool {
+    TimeKey::from_ns(t) > TimeKey::from_ns(now)
+}
+
 /// The shared file system / network namespace.
 #[derive(Debug, Default)]
 pub struct Vfs {
@@ -155,6 +246,7 @@ pub struct Vfs {
     pipes: Vec<Option<Pipe>>,
     listeners: Vec<Listener>,
     conns: Vec<Conn>,
+    rings: Vec<RingMeta>,
     /// Total requests served across all connections (throughput metric).
     pub total_served: u64,
 }
@@ -218,11 +310,19 @@ impl Vfs {
 
     // ---- pipes -----------------------------------------------------------
 
-    /// Creates a pipe, returning its id (one read end + one write end
-    /// outstanding).
+    /// Creates a pipe with the default [`PIPE_CAPACITY`], returning its
+    /// id (one read end + one write end outstanding).
     pub fn create_pipe(&mut self) -> usize {
+        self.create_pipe_with_capacity(PIPE_CAPACITY)
+    }
+
+    /// Creates a pipe with an explicit buffer capacity (tests shrink it
+    /// to exercise the writer-blocking path without megabyte writes).
+    pub fn create_pipe_with_capacity(&mut self, capacity: usize) -> usize {
         let pipe = Pipe {
             chunks: std::collections::VecDeque::new(),
+            buffered: 0,
+            capacity,
             read_ends: 1,
             write_ends: 1,
         };
@@ -253,33 +353,50 @@ impl Vfs {
         }
     }
 
-    /// Drops one end; returns a hangup event when the last write end
-    /// closes. The pipe is freed when all ends are gone.
-    pub fn pipe_drop_end(&mut self, id: usize, write_end: bool) -> Option<WakeEvent> {
+    /// Drops one end, returning every wake event the close implies: the
+    /// last write end hangs up *all* blocked readers (EOF), and the last
+    /// read end must wake all blocked writers so they fail with EPIPE.
+    /// The pipe is freed when all ends are gone.
+    pub fn pipe_drop_end(&mut self, id: usize, write_end: bool) -> Vec<WakeEvent> {
         let Ok(p) = self.pipe_mut(id) else {
-            return None;
+            return Vec::new();
         };
-        let mut event = None;
+        let mut events = Vec::new();
         if write_end {
             p.write_ends -= 1;
             if p.write_ends == 0 {
-                event = Some(WakeEvent::PipeHangup(id));
+                events.push(WakeEvent::PipeHangup(id));
             }
         } else {
             p.read_ends -= 1;
+            if p.read_ends == 0 {
+                events.push(WakeEvent::PipeDrained(id));
+            }
         }
         if p.read_ends == 0 && p.write_ends == 0 {
             self.pipes[id] = None;
         }
-        event
+        events
     }
 
     /// Appends to a pipe at simulated time `now`.
+    ///
+    /// Writes are all-or-nothing against the buffer capacity: a write
+    /// that does not fit returns `EAGAIN` (the machine blocks the writer
+    /// until a read drains space), and one larger than the whole buffer
+    /// can never succeed and returns `EINVAL`.
     pub fn pipe_write(&mut self, id: usize, data: &[u8], now: f64) -> SysResult<u64> {
         let p = self.pipe_mut(id)?;
         if p.read_ends == 0 {
             return Err(Errno::BadFd); // EPIPE, near enough
         }
+        if data.len() > p.capacity {
+            return Err(Errno::Inval);
+        }
+        if p.buffered + data.len() > p.capacity {
+            return Err(Errno::Again);
+        }
+        p.buffered += data.len();
         p.chunks.push_back((data.to_vec(), now));
         Ok(data.len() as u64)
     }
@@ -287,7 +404,9 @@ impl Vfs {
     /// Attempts to read at simulated time `now`.
     ///
     /// Data written at a later simulated time (by a step that executed
-    /// earlier in host order) is not yet visible.
+    /// earlier in host order) is not yet visible; the comparison uses the
+    /// scheduler's exact [`TimeKey`] ordering, so a chunk stamped at
+    /// precisely `now` is readable in the same slice.
     pub fn pipe_read(&mut self, id: usize, len: u64, now: f64) -> SysResult<PipeRead> {
         let p = self.pipe_mut(id)?;
         match p.chunks.front() {
@@ -298,14 +417,14 @@ impl Vfs {
                     Ok(PipeRead::Empty)
                 }
             }
-            Some((_, t)) if *t > now + 1e-9 => Ok(PipeRead::NotUntil(*t)),
+            Some((_, t)) if after(*t, now) => Ok(PipeRead::NotUntil(*t)),
             Some(_) => {
                 let mut out = Vec::new();
                 while out.len() < len as usize {
                     let Some((chunk, t)) = p.chunks.front_mut() else {
                         break;
                     };
-                    if *t > now + 1e-9 {
+                    if after(*t, now) {
                         break;
                     }
                     let take = (len as usize - out.len()).min(chunk.len());
@@ -314,9 +433,125 @@ impl Vfs {
                         p.chunks.pop_front();
                     }
                 }
+                p.buffered -= out.len();
                 Ok(PipeRead::Data(out))
             }
         }
+    }
+
+    /// Bytes currently buffered in a pipe.
+    pub fn pipe_buffered(&self, id: usize) -> usize {
+        self.pipes
+            .get(id)
+            .and_then(Option::as_ref)
+            .map_or(0, |p| p.buffered)
+    }
+
+    // ---- rings -----------------------------------------------------------
+
+    /// Registers (or looks up) the named ring, returning `(id, created)`.
+    /// Geometry must match on reopen.
+    pub fn ring_register(
+        &mut self,
+        name: &str,
+        slots: u64,
+        msg_bytes: u64,
+    ) -> SysResult<(usize, bool)> {
+        if let Some(id) = self.rings.iter().position(|r| r.name == name) {
+            let r = &self.rings[id];
+            if r.slots != slots || r.msg_bytes != msg_bytes {
+                return Err(Errno::Inval);
+            }
+            return Ok((id, false));
+        }
+        if slots == 0 || msg_bytes == 0 {
+            return Err(Errno::Inval);
+        }
+        self.rings.push(RingMeta {
+            name: name.to_string(),
+            slots,
+            msg_bytes,
+            prod_ends: 0,
+            cons_ends: 0,
+            ever_prod: false,
+            ever_cons: false,
+            pushed: 0,
+            popped: 0,
+            push_digest: 0xcbf2_9ce4_8422_2325,
+            pop_digest: 0xcbf2_9ce4_8422_2325,
+        });
+        Ok((self.rings.len() - 1, true))
+    }
+
+    /// Looks up a registered ring by name.
+    pub fn ring_lookup(&self, name: &str) -> Option<usize> {
+        self.rings.iter().position(|r| r.name == name)
+    }
+
+    /// Registry entry of ring `id`.
+    pub fn ring_meta(&self, id: usize) -> SysResult<&RingMeta> {
+        self.rings.get(id).ok_or(Errno::BadFd)
+    }
+
+    /// Mutable registry entry of ring `id`.
+    pub fn ring_meta_mut(&mut self, id: usize) -> SysResult<&mut RingMeta> {
+        self.rings.get_mut(id).ok_or(Errno::BadFd)
+    }
+
+    /// Adds a sharer to one ring end (open, or fd duplication on fork).
+    pub fn ring_add_end(&mut self, id: usize, producer: bool) {
+        if let Some(r) = self.rings.get_mut(id) {
+            if producer {
+                r.prod_ends += 1;
+                r.ever_prod = true;
+            } else {
+                r.cons_ends += 1;
+                r.ever_cons = true;
+            }
+        }
+    }
+
+    /// Drops one ring end, returning the wake events the close implies:
+    /// the last producer end wakes all blocked consumers (they re-poll
+    /// and see EOF once drained), the last consumer end wakes all
+    /// blocked producers (they fail with EPIPE). The registry entry
+    /// persists — rings are named and can be reopened.
+    pub fn ring_drop_end(&mut self, id: usize, producer: bool) -> Vec<WakeEvent> {
+        let Some(r) = self.rings.get_mut(id) else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        if producer {
+            r.prod_ends -= 1;
+            if r.prod_ends == 0 {
+                events.push(WakeEvent::RingPushed(id));
+            }
+        } else {
+            r.cons_ends -= 1;
+            if r.cons_ends == 0 {
+                events.push(WakeEvent::RingPopped(id));
+            }
+        }
+        events
+    }
+
+    /// Per-ring traffic summary in id order (the differential oracle
+    /// compares these across backends: same messages, same order).
+    pub fn ring_snapshot(&self) -> RingSnapshot {
+        self.rings
+            .iter()
+            .enumerate()
+            .map(|(id, r)| {
+                (
+                    id,
+                    r.name.clone(),
+                    r.pushed,
+                    r.popped,
+                    r.push_digest,
+                    r.pop_digest,
+                )
+            })
+            .collect()
     }
 
     // ---- listeners & connections -------------------------------------------
@@ -366,7 +601,7 @@ impl Vfs {
             // Protocol misuse: a second read before responding.
             return Err(Errno::Inval);
         }
-        if now + 1e-9 < c.next_req_at {
+        if after(c.next_req_at, now) {
             return Ok(ConnRead::NotUntil(c.next_req_at));
         }
         c.in_flight = true;
@@ -396,7 +631,8 @@ impl Vfs {
     /// as `(path, contents)` in path order, plus the residual (unread)
     /// bytes of every live pipe in id order. The differential scheduler
     /// suite compares this across engines — two schedules are only
-    /// equivalent if they leave the *same* bytes behind.
+    /// equivalent if they leave the *same* bytes behind. Ring traffic has
+    /// its own snapshot ([`Vfs::ring_snapshot`]).
     pub fn state_snapshot(&self) -> (FileSnapshot, PipeSnapshot) {
         let files = self
             .files
@@ -519,12 +755,36 @@ mod tests {
     }
 
     #[test]
+    fn pipe_chunk_stamped_exactly_at_now_is_readable() {
+        // The off-by-one the TimeKey alignment fixes: a chunk stamped at
+        // precisely `now` belongs to this slice, and only a strictly
+        // later stamp — even one ulp later — defers it.
+        let mut v = Vfs::new();
+        let p = v.create_pipe();
+        let now = 123_456.789_f64;
+        v.pipe_write(p, b"at", now).unwrap();
+        assert_eq!(
+            v.pipe_read(p, 10, now).unwrap(),
+            PipeRead::Data(b"at".to_vec())
+        );
+        // One-ulp-later stamp: the adjacent representable instant (the
+        // idiom the scheduler's TimeKey tests use).
+        let next = f64::from_bits(now.to_bits() + 1);
+        v.pipe_write(p, b"later", next).unwrap();
+        assert_eq!(v.pipe_read(p, 10, now).unwrap(), PipeRead::NotUntil(next));
+        assert_eq!(
+            v.pipe_read(p, 10, next).unwrap(),
+            PipeRead::Data(b"later".to_vec())
+        );
+    }
+
+    #[test]
     fn pipe_eof_and_free() {
         let mut v = Vfs::new();
         let p = v.create_pipe();
         v.pipe_write(p, b"z", 1.0).unwrap();
         let ev = v.pipe_drop_end(p, true);
-        assert_eq!(ev, Some(WakeEvent::PipeHangup(p)));
+        assert_eq!(ev, vec![WakeEvent::PipeHangup(p)]);
         // Buffered data still readable, then EOF.
         assert_eq!(
             v.pipe_read(p, 4, 2.0).unwrap(),
@@ -532,7 +792,7 @@ mod tests {
         );
         assert_eq!(v.pipe_read(p, 4, 2.0).unwrap(), PipeRead::Eof);
         // Dropping the read end frees the slot for reuse.
-        assert_eq!(v.pipe_drop_end(p, false), None);
+        assert_eq!(v.pipe_drop_end(p, false), vec![WakeEvent::PipeDrained(p)]);
         let q = v.create_pipe();
         assert_eq!(q, p);
     }
@@ -543,6 +803,74 @@ mod tests {
         let p = v.create_pipe();
         v.pipe_drop_end(p, false);
         assert_eq!(v.pipe_write(p, b"x", 0.0).unwrap_err(), Errno::BadFd);
+    }
+
+    #[test]
+    fn pipe_write_backpressure() {
+        let mut v = Vfs::new();
+        let p = v.create_pipe_with_capacity(8);
+        assert_eq!(v.pipe_write(p, b"abcde", 1.0).unwrap(), 5);
+        assert_eq!(v.pipe_buffered(p), 5);
+        // All-or-nothing: 4 more bytes do not fit in the 3 remaining.
+        assert_eq!(v.pipe_write(p, b"wxyz", 1.0).unwrap_err(), Errno::Again);
+        assert_eq!(v.pipe_write(p, b"fgh", 1.0).unwrap(), 3);
+        assert_eq!(v.pipe_write(p, b"!", 1.0).unwrap_err(), Errno::Again);
+        // A read drains space and the refused write fits on retry.
+        assert_eq!(
+            v.pipe_read(p, 4, 2.0).unwrap(),
+            PipeRead::Data(b"abcd".to_vec())
+        );
+        assert_eq!(v.pipe_buffered(p), 4);
+        assert_eq!(v.pipe_write(p, b"wxyz", 2.0).unwrap(), 4);
+        // A write larger than the whole buffer can never succeed.
+        assert_eq!(
+            v.pipe_write(p, b"123456789", 2.0).unwrap_err(),
+            Errno::Inval
+        );
+    }
+
+    #[test]
+    fn default_capacity_is_posix_sized() {
+        let mut v = Vfs::new();
+        let p = v.create_pipe();
+        let big = vec![7u8; PIPE_CAPACITY];
+        assert_eq!(v.pipe_write(p, &big, 0.0).unwrap(), PIPE_CAPACITY as u64);
+        assert_eq!(v.pipe_write(p, b"x", 0.0).unwrap_err(), Errno::Again);
+    }
+
+    #[test]
+    fn ring_registry_round_trip() {
+        let mut v = Vfs::new();
+        let (id, created) = v.ring_register("req0", 8, 32).unwrap();
+        assert!(created);
+        assert_eq!(v.ring_lookup("req0"), Some(id));
+        let (again, created) = v.ring_register("req0", 8, 32).unwrap();
+        assert_eq!(again, id);
+        assert!(!created);
+        // Geometry mismatch on reopen is refused.
+        assert_eq!(v.ring_register("req0", 16, 32).unwrap_err(), Errno::Inval);
+        assert_eq!(v.ring_register("z", 0, 32).unwrap_err(), Errno::Inval);
+
+        v.ring_add_end(id, true);
+        v.ring_add_end(id, true);
+        v.ring_add_end(id, false);
+        assert_eq!(v.ring_meta(id).unwrap().prod_ends, 2);
+        assert_eq!(v.ring_drop_end(id, true), vec![]);
+        assert_eq!(v.ring_drop_end(id, true), vec![WakeEvent::RingPushed(id)]);
+        assert_eq!(v.ring_drop_end(id, false), vec![WakeEvent::RingPopped(id)]);
+        // The named entry persists for reopening.
+        assert_eq!(v.ring_lookup("req0"), Some(id));
+    }
+
+    #[test]
+    fn ring_digests_are_order_sensitive() {
+        let mut a = 0xcbf2_9ce4_8422_2325u64;
+        let mut b = 0xcbf2_9ce4_8422_2325u64;
+        RingMeta::mix(&mut a, 0, b"one");
+        RingMeta::mix(&mut a, 1, b"two");
+        RingMeta::mix(&mut b, 0, b"two");
+        RingMeta::mix(&mut b, 1, b"one");
+        assert_ne!(a, b);
     }
 
     #[test]

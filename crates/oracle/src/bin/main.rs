@@ -73,9 +73,13 @@ fn main() -> ExitCode {
         let mut report = OracleReport::default();
         run_chaos(&mut report);
         println!(
-            "chaos sweep: {} journal-op aborts ({} in the snapshot train), all rolled back \
-             leak-free; {} mid-storm injection scenarios completed clean",
-            report.chaos_points, report.train_chaos_points, report.storm_chaos_scenarios
+            "chaos sweep: {} journal-op aborts ({} with live ring endpoints, {} in the \
+             snapshot train), all rolled back leak-free; {} mid-storm injection scenarios \
+             completed clean",
+            report.chaos_points,
+            report.ring_chaos_points,
+            report.train_chaos_points,
+            report.storm_chaos_scenarios
         );
         return if report.ok() {
             println!("oracle: PASS");
@@ -101,6 +105,10 @@ fn main() -> ExitCode {
         "machine diff: {} fork trees agreed (pipes, fds, exit codes)",
         report.machine_cases
     );
+    println!(
+        "ring diff: {} multi-tier ring-fabric runs agreed bitwise across all backends",
+        report.ring_cases
+    );
     if args.skip_faults {
         println!("fault injection: skipped (--skip-faults)");
     } else {
@@ -109,9 +117,13 @@ fn main() -> ExitCode {
             report.fault_points
         );
         println!(
-            "chaos sweep: {} journal-op aborts ({} in the snapshot train), all rolled back \
-             leak-free; {} mid-storm injection scenarios completed clean",
-            report.chaos_points, report.train_chaos_points, report.storm_chaos_scenarios
+            "chaos sweep: {} journal-op aborts ({} with live ring endpoints, {} in the \
+             snapshot train), all rolled back leak-free; {} mid-storm injection scenarios \
+             completed clean",
+            report.chaos_points,
+            report.ring_chaos_points,
+            report.train_chaos_points,
+            report.storm_chaos_scenarios
         );
     }
     if report.ok() {

@@ -37,6 +37,8 @@
 
 use ufork::{UforkConfig, UforkOs, WalkMode};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
+use ufork_cheri::{Capability, OType};
+use ufork_exec::ring::{self, RingPop, RingPush};
 use ufork_exec::{Ctx, Machine, MachineConfig, MemOs};
 use ufork_workloads::storm::{StormConfig, StormZygote};
 
@@ -47,6 +49,8 @@ use crate::fault::{check_consistent, child_cap, prelude, teardown_clean};
 pub struct ChaosSummary {
     /// Journal op indices replayed with an injected abort.
     pub points: u64,
+    /// Abort points replayed with live shared-memory ring endpoints.
+    pub ring_points: u64,
     /// Abort points inside the pipelined background-copy window.
     pub pipeline_points: u64,
     /// Abort points inside the 10-deep dirty-scope snapshot train.
@@ -144,6 +148,226 @@ fn sweep_config(
         summary.points += 1;
     }
     summary.configs += 1;
+    Ok(())
+}
+
+// ---- ring-endpoint chaos -----------------------------------------------
+
+/// Geometry of the chaos ring: a few slots, small fixed messages.
+const RING_SLOTS: u64 = 4;
+const RING_MSG_BYTES: u64 = 16;
+/// Messages left in flight across the aborted fork.
+const RING_MSGS: u64 = 3;
+/// Register carrying the sealed endpoint capability (kernel reserves
+/// 0..=2 for the data root / spare / PCC).
+const RING_REG: usize = 5;
+const RING_NAME: &str = "chaos:ring";
+
+/// Deterministic payload of in-flight message `i`.
+fn ring_msg(i: u64) -> [u8; RING_MSG_BYTES as usize] {
+    let mut b = [0u8; RING_MSG_BYTES as usize];
+    b[..8].copy_from_slice(&(0x5249_4e47_0000_0000u64 | i).to_le_bytes());
+    b[8..].copy_from_slice(&i.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes());
+    b
+}
+
+/// Extends the standard prelude with a live ring: a `Shm`-backed window,
+/// an initialized header, [`RING_MSGS`] messages in flight, and the
+/// sealed endpoint capability parked in register [`RING_REG`] where the
+/// fork's register-relocation walk will find it.
+fn ring_prelude(os: &mut UforkOs, ctx: &mut Ctx) -> Result<Vec<Capability>, String> {
+    let caps = prelude(os, ctx)?;
+    let window = os
+        .shm_open(
+            ctx,
+            Pid(1),
+            RING_NAME,
+            ring::ring_bytes(RING_SLOTS, RING_MSG_BYTES),
+        )
+        .map_err(|e| format!("ring shm_open: {e:?}"))?;
+    ring::ring_init(os, ctx, Pid(1), &window, RING_SLOTS, RING_MSG_BYTES)
+        .map_err(|e| format!("ring_init: {e:?}"))?;
+    for i in 0..RING_MSGS {
+        match ring::ring_push_raw(os, ctx, Pid(1), &window, &ring_msg(i), 1.0) {
+            Ok(RingPush::Pushed(_)) => {}
+            other => return Err(format!("ring push #{i}: {other:?}")),
+        }
+    }
+    let sealed = window
+        .seal(OType::RING_ENDPOINT, &ring::seal_authority())
+        .map_err(|e| format!("ring seal: {e:?}"))?;
+    os.set_reg(Pid(1), RING_REG, sealed)
+        .map_err(|e| format!("ring set_reg: {e:?}"))?;
+    Ok(caps)
+}
+
+/// Fetches `pid`'s endpoint register, demands the seal survived, and
+/// unseals it with the machine authority.
+fn ring_window(os: &UforkOs, pid: Pid, label: &str) -> Result<Capability, String> {
+    let sealed = os
+        .reg(pid, RING_REG)
+        .map_err(|e| format!("{label}: pid {} endpoint register: {e:?}", pid.0))?;
+    if !sealed.is_sealed() {
+        return Err(format!(
+            "{label}: pid {} endpoint lost its seal across fork",
+            pid.0
+        ));
+    }
+    sealed
+        .unseal(&ring::seal_authority())
+        .map_err(|e| format!("{label}: pid {} endpoint unseal: {e:?}", pid.0))
+}
+
+fn ring_pop_expect(
+    os: &mut UforkOs,
+    ctx: &mut Ctx,
+    pid: Pid,
+    window: &Capability,
+    now: f64,
+    label: &str,
+) -> Result<u64, String> {
+    match ring::ring_pop_raw(os, ctx, pid, window, now) {
+        Ok(RingPop::Popped { seq, data }) => {
+            // Pushes always cycle payloads 0..RING_MSGS in order.
+            if data != ring_msg(seq % RING_MSGS) {
+                return Err(format!(
+                    "{label}: pid {} popped seq {seq} with torn payload {data:x?}",
+                    pid.0
+                ));
+            }
+            Ok(seq)
+        }
+        other => Err(format!("{label}: pid {} pop: {other:?}", pid.0)),
+    }
+}
+
+/// After an aborted fork the ring must be exactly as it stood: header
+/// verified, all in-flight messages present, every payload bitwise
+/// intact — a message is in or out, never partial. The messages are
+/// popped for inspection and re-pushed to restore the in-flight state.
+fn check_ring_untorn(os: &mut UforkOs, ctx: &mut Ctx, label: &str) -> Result<(), String> {
+    let w = ring_window(os, Pid(1), label)?;
+    ring::ring_verify(os, ctx, Pid(1), &w, RING_SLOTS, RING_MSG_BYTES)
+        .map_err(|e| format!("{label}: ring header torn: {e:?}"))?;
+    let depth =
+        ring::ring_depth(os, ctx, Pid(1), &w).map_err(|e| format!("{label}: ring depth: {e:?}"))?;
+    if depth != RING_MSGS {
+        return Err(format!(
+            "{label}: {depth} messages in flight after abort, want {RING_MSGS}"
+        ));
+    }
+    for _ in 0..RING_MSGS {
+        let seq = ring_pop_expect(os, ctx, Pid(1), &w, 10.0, label)?;
+        match ring::ring_push_raw(os, ctx, Pid(1), &w, &ring_msg(seq % RING_MSGS), 11.0) {
+            Ok(RingPush::Pushed(_)) => {}
+            other => return Err(format!("{label}: restore push: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Journal chaos with live IPC: the fork in flight carries a shared
+/// ring with messages enqueued and a sealed endpoint capability in a
+/// register. Every journal op of the reference fork is aborted once;
+/// each abort must leave no child, no leaked frame (the shm frames'
+/// refcounts roll back with everything else), the parent's sealed
+/// endpoint untouched, and the ring bitwise untorn. The retry must then
+/// relocate the endpoint seal-intact into the child, and parent and
+/// child must drain the same shared ring interleaved — connectivity
+/// survives the failed fork and the successful one alike.
+fn sweep_ring_config(
+    strategy: CopyStrategy,
+    walk: WalkMode,
+    summary: &mut ChaosSummary,
+) -> Result<(), String> {
+    // Reference run: the journal window of a fork with a live ring.
+    let (j0, j1) = {
+        let mut os = build(strategy, walk);
+        let mut ctx = Ctx::new();
+        ring_prelude(&mut os, &mut ctx)?;
+        let j0 = os.journal_ops_recorded();
+        os.fork(&mut ctx, Pid(1), Pid(2))
+            .map_err(|e| format!("ring/{strategy:?}/{walk:?}: reference fork failed: {e:?}"))?;
+        (j0, os.journal_ops_recorded())
+    };
+    if j1 == j0 {
+        return Err(format!(
+            "ring/{strategy:?}/{walk:?}: fork recorded no journal ops"
+        ));
+    }
+    for op in j0..j1 {
+        let label = format!("ring/{strategy:?}/{walk:?} journal op {op}");
+        let mut os = build(strategy, walk);
+        let mut ctx = Ctx::new();
+        let caps = ring_prelude(&mut os, &mut ctx)?;
+        let frames_before = os.allocated_frames();
+        os.inject_journal_failure(op);
+        if os.fork(&mut ctx, Pid(1), Pid(2)).is_ok() {
+            return Err(format!("{label}: injected abort was absorbed"));
+        }
+        if ctx.counters.fork_rollbacks == 0 {
+            return Err(format!("{label}: abort did not run a rollback"));
+        }
+        if os.region_of(Pid(2)).is_ok() {
+            return Err(format!("{label}: aborted fork left a child behind"));
+        }
+        let frames = os.allocated_frames();
+        if frames != frames_before {
+            return Err(format!(
+                "{label}: {} frames leaked ({frames_before} -> {frames})",
+                frames as i64 - frames_before as i64
+            ));
+        }
+        check_consistent(&mut os, &mut ctx, &label)?;
+        check_ring_untorn(&mut os, &mut ctx, &label)?;
+        // Retry: the relocated sealed endpoint must grant the child the
+        // same shared window, drained interleaved with the parent.
+        os.fork(&mut ctx, Pid(1), Pid(2))
+            .map_err(|e| format!("{label}: retry fork failed: {e:?}"))?;
+        let cc = child_cap(&os, &caps[0])?;
+        let mut b = [0u8; 8];
+        os.load(&mut ctx, Pid(2), &cc, &mut b)
+            .map_err(|e| format!("{label}: child heap read after retry: {e:?}"))?;
+        if u64::from_le_bytes(b) != 0xA0 {
+            return Err(format!(
+                "{label}: child sees {:#x}, expected 0xA0",
+                u64::from_le_bytes(b)
+            ));
+        }
+        let pw = ring_window(&os, Pid(1), &label)?;
+        let cw = ring_window(&os, Pid(2), &label)?;
+        ring::ring_verify(&mut os, &mut ctx, Pid(2), &cw, RING_SLOTS, RING_MSG_BYTES)
+            .map_err(|e| format!("{label}: child ring header: {e:?}"))?;
+        // Child, parent, child: each pop must observe the other side's
+        // head advance — one ring, two address views.
+        let s0 = ring_pop_expect(&mut os, &mut ctx, Pid(2), &cw, 20.0, &label)?;
+        let s1 = ring_pop_expect(&mut os, &mut ctx, Pid(1), &pw, 21.0, &label)?;
+        let s2 = ring_pop_expect(&mut os, &mut ctx, Pid(2), &cw, 22.0, &label)?;
+        if s1 != s0 + 1 || s2 != s0 + 2 {
+            return Err(format!(
+                "{label}: interleaved drain saw seqs {s0},{s1},{s2} (not consecutive)"
+            ));
+        }
+        for (pid, w) in [(Pid(1), &pw), (Pid(2), &cw)] {
+            let depth = ring::ring_depth(&mut os, &mut ctx, pid, w)
+                .map_err(|e| format!("{label}: final depth: {e:?}"))?;
+            if depth != 0 {
+                return Err(format!(
+                    "{label}: pid {} still sees {depth} messages after drain",
+                    pid.0
+                ));
+            }
+        }
+        // Unlink the ring object and tear everything down: with the
+        // object's own references dropped and both mappings unmapped,
+        // the allocator must balance to zero — no frame or capability
+        // outlives the fabric.
+        if !os.shm_unlink(RING_NAME) {
+            return Err(format!("{label}: ring shm object vanished"));
+        }
+        teardown_clean(&mut os, &mut ctx, &label)?;
+        summary.ring_points += 1;
+    }
     Ok(())
 }
 
@@ -508,6 +732,12 @@ pub fn chaos_sweep() -> Result<ChaosSummary, String> {
     let mut summary = ChaosSummary::default();
     for (strategy, walk) in CONFIGS {
         sweep_config(strategy, walk, &mut summary)?;
+    }
+    // The same abort sweep with live ring endpoints in flight: every
+    // strategy × walk, since each walk has its own Shm refcount-share
+    // arm and register-relocation schedule to unwind.
+    for (strategy, walk) in CONFIGS {
+        sweep_ring_config(strategy, walk, &mut summary)?;
     }
     sweep_pipeline_window(&mut summary)?;
     // The dirty-scope snapshot train, under the serial and pipelined

@@ -2,7 +2,7 @@
 //!
 //! The oracle answers one question from many angles: *do all three μFork
 //! copy strategies and the multi-address-space reference kernel agree on
-//! the observable semantics of `fork`?* It has three engines:
+//! the observable semantics of `fork`?* It has five engines:
 //!
 //! 1. **Kernel-level differential** ([`diff`], [`driver`], [`gen`]) —
 //!    seeded random programs of mallocs/frees, raw writes, pointer-graph
@@ -25,7 +25,14 @@
 //! 4. **Journal chaos sweep** ([`chaos`]) — every journal op of a
 //!    reference fork is made to abort, one run per op index, and the
 //!    transactional rollback must balance frames, refcounts, PTEs and
-//!    regions back to zero at each point.
+//!    regions back to zero at each point. A second sweep replays every
+//!    abort with live shared-memory ring endpoints and in-flight
+//!    messages: the ring must come through untorn and the retried fork
+//!    must relocate the sealed endpoints correctly.
+//! 5. **Ring-fabric differential** ([`ring`]) — the multi-tier
+//!    frontend/worker/store service run on all four backends, with ring
+//!    push/pop counts, order-sensitive digests, and the store's final
+//!    KV dump compared bitwise.
 //!
 //! Everything is replayable from a single seed:
 //! `cargo run -p ufork-oracle -- --seed N --cases M` (or the
@@ -37,6 +44,7 @@ pub mod driver;
 pub mod fault;
 pub mod gen;
 pub mod machine;
+pub mod ring;
 
 use ufork_testkit::Rng;
 
@@ -58,6 +66,12 @@ pub struct OracleReport {
     pub fault_points: u64,
     /// Journal chaos-sweep abort points exercised (0 when skipped).
     pub chaos_points: u64,
+    /// Chaos abort points replayed with live ring endpoints in flight
+    /// (0 when skipped).
+    pub ring_chaos_points: u64,
+    /// Ring-fabric differential runs that agreed bitwise across all
+    /// four backends (0 when skipped).
+    pub ring_cases: u64,
     /// Abort points inside the pipelined background-copy window (0 when
     /// skipped).
     pub pipeline_chaos_points: u64,
@@ -133,6 +147,7 @@ pub fn run_chaos(report: &mut OracleReport) {
     match chaos::chaos_sweep() {
         Ok(s) => {
             report.chaos_points = s.points;
+            report.ring_chaos_points = s.ring_points;
             report.pipeline_chaos_points = s.pipeline_points;
             report.train_chaos_points = s.train_points;
             report.storm_chaos_scenarios = s.storm_scenarios;
@@ -141,13 +156,27 @@ pub fn run_chaos(report: &mut OracleReport) {
     }
 }
 
-/// The full oracle: kernel diff, machine diff, fault campaign, chaos
-/// sweep.
+/// Runs the ring-fabric differential: the multi-tier service on all
+/// four backends, ring traffic and KV digests compared bitwise.
+pub fn run_ring_diff(report: &mut OracleReport) {
+    let cfg = ufork_workloads::ringsvc::RingSvcConfig {
+        requests: 600,
+        ..Default::default()
+    };
+    match ring::run_ring_case(&cfg) {
+        Ok(_) => report.ring_cases += 1,
+        Err(e) => report.failures.push(format!("ring differential: {e}")),
+    }
+}
+
+/// The full oracle: kernel diff, machine diff, ring diff, fault
+/// campaign, chaos sweep.
 pub fn run_oracle(seed: u64, cases: u64, skip_faults: bool) -> OracleReport {
     let mut report = OracleReport::default();
     run_kernel_diff(seed, cases, &mut report);
     // Machine cases are slower (full executive); run a proportional slice.
     run_machine_diff(seed, cases.div_ceil(5), &mut report);
+    run_ring_diff(&mut report);
     if !skip_faults {
         run_faults(&mut report);
         run_chaos(&mut report);

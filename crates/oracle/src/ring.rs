@@ -1,0 +1,188 @@
+//! Ring-fabric differential: the multi-tier [`RingSvc`] workload run on
+//! all four backends, comparing ring traffic bitwise.
+//!
+//! Timing and scheduling legitimately differ across backends (different
+//! fork cost models), but the ring fabric is constructed so its
+//! *observables* cannot: requests are key-partitioned onto per-worker
+//! rings in a deterministic order, every ring is SPSC (one producer
+//! process, one consumer process), and the store's per-key update order
+//! is fixed by FIFO ring order. So for every ring the push/pop counts
+//! and order-sensitive FNV digests — and the store's final KV digest —
+//! must be identical across Full/CoA/CoPA and the multi-AS reference,
+//! no matter how fork relocated the sealed endpoint capabilities in
+//! between. A divergence means a ring was torn, a message duplicated or
+//! lost, or an endpoint granted the wrong window after relocation.
+
+use ufork::{UforkConfig, UforkOs};
+use ufork_abi::{CopyStrategy, ImageSpec, Pid};
+use ufork_baselines::{mono, BaselineConfig};
+use ufork_exec::{Machine, MachineConfig, MemOs};
+use ufork_workloads::ringsvc::{RingSvc, RingSvcConfig};
+
+use crate::diff::Backend;
+
+/// Everything compared across backends for one ring-service run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingObs {
+    /// Exit code per pid (frontend, store, workers, snapshot child).
+    pub exit_codes: Vec<(u32, Option<i32>)>,
+    /// Per-ring `(name, pushed, popped, push digest, pop digest)`, in
+    /// registry order.
+    pub rings: Vec<(String, u64, u64, u64, u64)>,
+    /// The store's serialized final state.
+    pub dump: Option<Vec<u8>>,
+    /// Requests the frontend sent / responses it got back.
+    pub traffic: (u64, u64),
+}
+
+/// Runs the multi-tier service on one backend.
+pub fn run_ringsvc(backend: Backend, cfg: &RingSvcConfig) -> Result<RingObs, String> {
+    let prog = Box::new(RingSvc::new(cfg.clone()));
+    let image = ImageSpec::hello_world();
+    let mcfg = MachineConfig {
+        cores: 4,
+        ..MachineConfig::default()
+    };
+    match backend {
+        Backend::MultiAs => {
+            let os = mono(BaselineConfig {
+                phys_mib: 256,
+                ..BaselineConfig::default()
+            });
+            let mut m = Machine::new(os, mcfg);
+            m.spawn(&image, prog).map_err(|e| format!("spawn: {e:?}"))?;
+            m.run();
+            observe(&m, backend, cfg)
+        }
+        _ => {
+            let strategy = match backend {
+                Backend::Full => CopyStrategy::Full,
+                Backend::CoA => CopyStrategy::CoA,
+                _ => CopyStrategy::CoPA,
+            };
+            let os = UforkOs::new(UforkConfig {
+                phys_mib: 256,
+                strategy,
+                ..UforkConfig::default()
+            });
+            let mut m = Machine::new(os, mcfg);
+            m.spawn(&image, prog).map_err(|e| format!("spawn: {e:?}"))?;
+            m.run();
+            observe(&m, backend, cfg)
+        }
+    }
+}
+
+fn observe<O: MemOs>(
+    m: &Machine<O>,
+    backend: Backend,
+    cfg: &RingSvcConfig,
+) -> Result<RingObs, String> {
+    if m.counters().isolation_violations != 0 {
+        return Err(format!(
+            "{}: {} isolation violations",
+            backend.name(),
+            m.counters().isolation_violations
+        ));
+    }
+    // frontend + store + workers + snapshot child, in fork order.
+    let nprocs = cfg.workers as u32 + 3;
+    let mut exit_codes = Vec::new();
+    for pid in 1..=nprocs {
+        let code = m.exit_code(Pid(pid));
+        if code != Some(0) {
+            return Err(format!(
+                "{}: pid {pid} exited {code:?}, want Some(0)",
+                backend.name()
+            ));
+        }
+        exit_codes.push((pid, code));
+    }
+    let front = m
+        .program::<RingSvc>(Pid(1))
+        .ok_or_else(|| format!("{}: frontend program lost", backend.name()))?;
+    if front.sent != cfg.requests || front.got != cfg.requests {
+        return Err(format!(
+            "{}: traffic sent {} got {}, want {} each",
+            backend.name(),
+            front.sent,
+            front.got,
+            cfg.requests
+        ));
+    }
+    let rings = m
+        .vfs()
+        .ring_snapshot()
+        .into_iter()
+        .map(|(_, name, pushed, popped, pd, qd)| (name, pushed, popped, pd, qd))
+        .collect();
+    Ok(RingObs {
+        exit_codes,
+        rings,
+        dump: m.vfs().file_contents(&cfg.dump_path).map(<[u8]>::to_vec),
+        traffic: (front.sent, front.got),
+    })
+}
+
+/// Runs one configuration across all four backends and demands bitwise
+/// agreement on ring traffic, KV dump, exit codes, and request counts.
+pub fn run_ring_case(cfg: &RingSvcConfig) -> Result<RingObs, String> {
+    let base = run_ringsvc(Backend::Full, cfg).map_err(|e| format!("ufork-full: {e}"))?;
+    if base.dump.is_none() {
+        return Err("ufork-full: store never wrote its dump".to_string());
+    }
+    for b in [Backend::CoA, Backend::CoPA, Backend::MultiAs] {
+        let o = run_ringsvc(b, cfg)?;
+        if o != base {
+            return Err(describe_diff(b, &base, &o));
+        }
+    }
+    Ok(base)
+}
+
+fn describe_diff(b: Backend, a: &RingObs, o: &RingObs) -> String {
+    for (x, y) in a.rings.iter().zip(&o.rings) {
+        if x != y {
+            return format!("ufork-full vs {}: ring {x:?} != {y:?}", b.name());
+        }
+    }
+    if a.dump != o.dump {
+        return format!(
+            "ufork-full vs {}: store dump {:?} != {:?}",
+            b.name(),
+            a.dump,
+            o.dump
+        );
+    }
+    format!(
+        "ufork-full vs {}: observations differ ({a:?} != {o:?})",
+        b.name()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small end-to-end differential: a few hundred requests through
+    /// the full three-tier fabric on every backend, bitwise-compared.
+    #[test]
+    fn ring_fabric_agrees_across_backends() {
+        let cfg = RingSvcConfig {
+            requests: 300,
+            ..RingSvcConfig::default()
+        };
+        let obs = run_ring_case(&cfg).expect("backends agree");
+        assert_eq!(obs.traffic, (300, 300));
+        // 3W rings, all fully drained: pushed == popped on each.
+        assert_eq!(obs.rings.len(), 3 * cfg.workers as usize);
+        let mut req_msgs = 0;
+        for (name, pushed, popped, _, _) in &obs.rings {
+            assert_eq!(pushed, popped, "ring {name} drained");
+            if name.starts_with("req") {
+                req_msgs += pushed;
+            }
+        }
+        assert_eq!(req_msgs, 300, "every request crossed a req ring");
+    }
+}

@@ -98,6 +98,13 @@ pub struct OpCounters {
     /// Dedup index work: content hashes computed plus memcmp
     /// verifications of probe hits.
     pub dedup_hash_probes: u64,
+    /// Messages pushed through shared-memory descriptor rings.
+    pub ring_msgs: u64,
+    /// Ring endpoint capabilities carried across a fork (sealed caps
+    /// relocated by the register walk, registry ends duplicated).
+    pub ring_caps_relocated: u64,
+    /// Push attempts that found the ring full (producer stalled).
+    pub ring_full_stalls: u64,
 }
 
 impl OpCounters {
@@ -145,6 +152,9 @@ impl OpCounters {
         self.pages_shared_clean += other.pages_shared_clean;
         self.frames_deduped += other.frames_deduped;
         self.dedup_hash_probes += other.dedup_hash_probes;
+        self.ring_msgs += other.ring_msgs;
+        self.ring_caps_relocated += other.ring_caps_relocated;
+        self.ring_full_stalls += other.ring_full_stalls;
     }
 
     /// Difference `self - earlier`, for measuring a window of activity.
@@ -191,6 +201,9 @@ impl OpCounters {
             pages_shared_clean: self.pages_shared_clean - earlier.pages_shared_clean,
             frames_deduped: self.frames_deduped - earlier.frames_deduped,
             dedup_hash_probes: self.dedup_hash_probes - earlier.dedup_hash_probes,
+            ring_msgs: self.ring_msgs - earlier.ring_msgs,
+            ring_caps_relocated: self.ring_caps_relocated - earlier.ring_caps_relocated,
+            ring_full_stalls: self.ring_full_stalls - earlier.ring_full_stalls,
         }
     }
 }
@@ -250,13 +263,18 @@ impl fmt::Display for OpCounters {
             "pipeline: chunks jumped {}, bytes behind {}",
             self.pipeline_chunks_jumped, self.pipeline_bytes_behind
         )?;
-        write!(
+        writeln!(
             f,
             "dirty scope: dirty copied {}, shared clean {}; dedup: frames {}, probes {}",
             self.pages_dirty_copied,
             self.pages_shared_clean,
             self.frames_deduped,
             self.dedup_hash_probes
+        )?;
+        write!(
+            f,
+            "rings: msgs {}, caps relocated {}, full stalls {}",
+            self.ring_msgs, self.ring_caps_relocated, self.ring_full_stalls
         )
     }
 }
@@ -400,6 +418,27 @@ mod tests {
         assert!(s.contains("shared clean 456"));
         assert!(s.contains("dedup: frames 10"));
         assert!(s.contains("probes 34"));
+    }
+
+    #[test]
+    fn ring_family_round_trips() {
+        let a = OpCounters {
+            ring_msgs: 1000,
+            ring_caps_relocated: 12,
+            ring_full_stalls: 3,
+            ..OpCounters::default()
+        };
+        let mut total = OpCounters::default();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.ring_msgs, 2000);
+        assert_eq!(total.ring_caps_relocated, 24);
+        assert_eq!(total.ring_full_stalls, 6);
+        assert_eq!(total.since(&a), a);
+        let s = total.to_string();
+        assert!(s.contains("rings: msgs 2000"));
+        assert!(s.contains("caps relocated 24"));
+        assert!(s.contains("full stalls 6"));
     }
 
     #[test]

@@ -43,6 +43,9 @@ impl PteFlags {
     pub const COA: PteFlags = PteFlags(1 << 5);
     /// Soft-dirty (software): written since the last generation stamp.
     pub const DIRTY: PteFlags = PteFlags(1 << 6);
+    /// Shared-memory mapping (software): fork refcount-shares the frame
+    /// instead of copying or arming CoW/CoA, and writes never dirty-copy.
+    pub const SHARED: PteFlags = PteFlags(1 << 7);
 
     /// No flags.
     pub const fn empty() -> PteFlags {
@@ -90,6 +93,7 @@ impl fmt::Debug for PteFlags {
             (PteFlags::COW, "CoW"),
             (PteFlags::COA, "CoA"),
             (PteFlags::DIRTY, "D"),
+            (PteFlags::SHARED, "Sh"),
         ];
         write!(f, "[")?;
         let mut first = true;

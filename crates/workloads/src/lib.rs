@@ -22,6 +22,9 @@
 //!   crashes (U5);
 //! * [`privsep::Privsep`] — qmail-style privilege separation with breach
 //!   containment (U3);
+//! * [`ringsvc::RingSvc`] — a multi-tier frontend/worker/store service
+//!   wired with shared-memory descriptor rings whose sealed endpoint
+//!   capabilities relocate across fork;
 //! * [`storm::StormZygote`] — the 10k-concurrent-children fork storm
 //!   driving the event-driven scheduler benchmark.
 
@@ -32,6 +35,7 @@ pub mod mtkv;
 pub mod nginx;
 pub mod privsep;
 pub mod redis;
+pub mod ringsvc;
 pub mod shell;
 pub mod storm;
 pub mod ubench;

@@ -1,0 +1,536 @@
+//! Multi-tier ring-fabric service: an nginx-style frontend load-balances
+//! requests over a privsep-forked worker pool, which feeds a KV store
+//! tier — every hop a shared-memory descriptor ring, every endpoint a
+//! sealed capability relocated across fork.
+//!
+//! Topology (`W` workers, `3W` rings):
+//!
+//! ```text
+//! frontend --req_i--> worker_i --st_i--> store
+//!     ^                  |
+//!     +------resp_i------+
+//! ```
+//!
+//! Requests are *key-partitioned*: key `k` always routes to worker
+//! `k % W`, so each ring carries a deterministic message subsequence and
+//! the store's per-key update order is fixed regardless of cross-ring
+//! arrival timing — the final KV digest and every per-ring push/pop
+//! digest are bitwise identical across Full/CoA/CoPA and the multi-AS
+//! baseline, which is exactly what the differential oracle checks.
+//!
+//! Fork appears three ways: the store and each worker are privsep-forked
+//! children inheriting sealed ring endpoints through the register walk;
+//! halfway through the send phase the frontend forks a snapshot child
+//! with every ring live (endpoint relocation under traffic); and EOF
+//! cascades tier to tier purely through producer-end refcounts
+//! (frontend closes `req_*` → workers drain and exit → their `st_*`
+//! ends close → the store finalizes).
+
+use std::any::Any;
+
+use ufork_abi::{
+    BlockingCall, Env, Errno, Fd, ForkResult, Program, Resume, StepOutcome, SysResult, RING_EOF,
+};
+
+/// Message size on every ring.
+pub const MSG_BYTES: u64 = 32;
+/// Slots per ring.
+pub const RING_SLOTS: u64 = 16;
+/// Scratch-buffer register (same convention as the nginx worker).
+const BUF_REG: usize = 7;
+/// Frontend: `req_i` producer endpoints at `8 + i`.
+const REQ_PROD_REG: usize = 8;
+/// Frontend: `resp_i` consumer endpoints at `12 + i`.
+const RESP_CONS_REG: usize = 12;
+/// Handoff to worker `i`: its `req_i` consumer endpoint at `16 + i`.
+/// The store reuses these slots for its `st_i` consumer endpoints.
+const REQ_CONS_REG: usize = 16;
+/// Handoff to worker `i`: its `resp_i` producer endpoint at `20 + i`.
+const RESP_PROD_REG: usize = 20;
+/// Worker: its `st_i` producer endpoint (opened by name post-fork).
+const ST_PROD_REG: usize = 24;
+/// Store: the KV array capability.
+const KV_REG: usize = 10;
+
+/// Configuration for the multi-tier ring service.
+#[derive(Clone, Debug)]
+pub struct RingSvcConfig {
+    /// Worker processes (at most 4 — the register map above is sized
+    /// for it).
+    pub workers: u64,
+    /// Requests the frontend sends in total.
+    pub requests: u64,
+    /// Key space; keys route to worker `key % workers`.
+    pub keys: u64,
+    /// CPU ops a worker spends handling one request.
+    pub parse_ops: u64,
+    /// Path the store serializes its final state to.
+    pub dump_path: String,
+}
+
+impl Default for RingSvcConfig {
+    fn default() -> RingSvcConfig {
+        RingSvcConfig {
+            workers: 4,
+            requests: 2_000,
+            keys: 256,
+            parse_ops: 2_000,
+            dump_path: "ringsvc.out".to_string(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    Frontend,
+    Worker(u64),
+    Store,
+    Snapshot,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Frontend: forking the store + workers (`n` children so far).
+    Forking(u64),
+    /// Frontend: send loop (request push pending).
+    Send,
+    /// Frontend: draining `resp_i` to EOF.
+    Drain(u64),
+    /// Frontend: reaping children.
+    Waiting(u64),
+    /// Worker: request pop pending.
+    WPop,
+    /// Worker: store-op push pending.
+    WPushSt,
+    /// Worker: response push pending.
+    WPushResp,
+    /// Store: polling its `st_*` rings (sleep pending).
+    StorePoll,
+}
+
+/// The multi-tier ring service program. Spawn one; it forks the rest.
+#[derive(Clone, Debug)]
+pub struct RingSvc {
+    /// Configuration.
+    pub cfg: RingSvcConfig,
+    role: Role,
+    phase: Phase,
+    /// Role the next forked child assumes.
+    next_role: Role,
+    // Frontend-opened ring descriptors (cloned into children, which
+    // close what is not theirs — standard privsep fd hygiene).
+    req_prod: Vec<Fd>,
+    req_cons: Vec<Fd>,
+    resp_prod: Vec<Fd>,
+    resp_cons: Vec<Fd>,
+    lcg: u64,
+    /// Requests pushed so far.
+    pub sent: u64,
+    /// Responses received (send-phase polling + drain phase).
+    pub got: u64,
+    snap_forked: bool,
+    // Worker state.
+    wfd_st: Option<Fd>,
+    /// Requests this worker handled.
+    pub handled: u64,
+    // Store state.
+    st_cons: Vec<Option<Fd>>,
+    /// Store ops applied.
+    pub applied: u64,
+    /// Final KV digest (store child, after EOF).
+    pub kv_digest: u64,
+}
+
+impl RingSvc {
+    /// Creates the frontend program.
+    pub fn new(cfg: RingSvcConfig) -> RingSvc {
+        assert!(
+            (1..=4).contains(&cfg.workers),
+            "register map supports 1..=4 workers"
+        );
+        RingSvc {
+            cfg,
+            role: Role::Frontend,
+            phase: Phase::Forking(0),
+            next_role: Role::Store,
+            req_prod: Vec::new(),
+            req_cons: Vec::new(),
+            resp_prod: Vec::new(),
+            resp_cons: Vec::new(),
+            lcg: 0x243f_6a88_85a3_08d3, // pi digits; any fixed seed works
+            sent: 0,
+            got: 0,
+            snap_forked: false,
+            wfd_st: None,
+            handled: 0,
+            st_cons: Vec::new(),
+            applied: 0,
+            kv_digest: 0,
+        }
+    }
+
+    fn rand(&mut self) -> u64 {
+        self.lcg = self
+            .lcg
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.lcg
+    }
+
+    fn open_rings(&mut self, env: &mut dyn Env) -> SysResult<()> {
+        let buf = env.malloc(256)?;
+        env.set_reg(BUF_REG, buf)?;
+        for i in 0..self.cfg.workers {
+            let (pf, pcap) = env.sys_ring_open(&format!("req{i}"), RING_SLOTS, MSG_BYTES, true)?;
+            let (cf, ccap) = env.sys_ring_open(&format!("req{i}"), RING_SLOTS, MSG_BYTES, false)?;
+            env.set_reg(REQ_PROD_REG + i as usize, pcap)?;
+            env.set_reg(REQ_CONS_REG + i as usize, ccap)?;
+            self.req_prod.push(pf);
+            self.req_cons.push(cf);
+            let (pf, pcap) = env.sys_ring_open(&format!("resp{i}"), RING_SLOTS, MSG_BYTES, true)?;
+            let (cf, ccap) =
+                env.sys_ring_open(&format!("resp{i}"), RING_SLOTS, MSG_BYTES, false)?;
+            env.set_reg(RESP_PROD_REG + i as usize, pcap)?;
+            env.set_reg(RESP_CONS_REG + i as usize, ccap)?;
+            self.resp_prod.push(pf);
+            self.resp_cons.push(cf);
+        }
+        Ok(())
+    }
+
+    /// Closes every inherited ring descriptor except those in `keep`.
+    fn fd_hygiene(&self, env: &mut dyn Env, keep: &[Fd]) {
+        for fd in self
+            .req_prod
+            .iter()
+            .chain(&self.req_cons)
+            .chain(&self.resp_prod)
+            .chain(&self.resp_cons)
+        {
+            if !keep.contains(fd) {
+                let _ = env.sys_close(*fd);
+            }
+        }
+    }
+
+    // ---- frontend ----------------------------------------------------
+
+    /// Drains whatever responses are ready, then pushes the next request
+    /// (or advances to the drain phase / the mid-run snapshot fork).
+    fn send_step(&mut self, env: &mut dyn Env) -> StepOutcome {
+        let buf = env.reg(BUF_REG).expect("scratch buffer");
+        for i in 0..self.cfg.workers {
+            loop {
+                let cons = env.reg(RESP_CONS_REG + i as usize).expect("resp endpoint");
+                match env.sys_ring_try_pop(self.resp_cons[i as usize], &cons, &buf) {
+                    Ok(0) => break,
+                    Ok(RING_EOF) => return StepOutcome::Exit(2), // worker died early
+                    Ok(_) => self.got += 1,
+                    Err(_) => return StepOutcome::Exit(2),
+                }
+            }
+        }
+        if self.sent == self.cfg.requests {
+            for i in 0..self.cfg.workers {
+                env.sys_close(self.req_prod[i as usize]).expect("close req");
+            }
+            self.phase = Phase::Drain(0);
+            return self.drain_step(env, 0);
+        }
+        if !self.snap_forked && self.sent >= self.cfg.requests / 2 {
+            // Snapshot fork with every ring endpoint live: the child
+            // inherits (and immediately closes) all of them, exercising
+            // sealed-endpoint relocation under traffic.
+            self.snap_forked = true;
+            self.next_role = Role::Snapshot;
+            return StepOutcome::Fork;
+        }
+        let key = self.rand() % self.cfg.keys;
+        let val = self.rand();
+        let w = (key % self.cfg.workers) as usize;
+        env.store_u64(&buf, self.sent).expect("seq");
+        let at = |b: &ufork_abi::Capability, off: u64| b.with_addr(b.base() + off).unwrap();
+        env.store_u64(&at(&buf, 8), key).expect("key");
+        env.store_u64(&at(&buf, 16), val).expect("val");
+        env.store_u64(&at(&buf, 24), 0x5245_5121).expect("tag"); // "REQ!"
+        StepOutcome::Block(BlockingCall::RingPush {
+            fd: self.req_prod[w],
+            ring: env.reg(REQ_PROD_REG + w).expect("req endpoint"),
+            buf,
+            len: MSG_BYTES,
+        })
+    }
+
+    fn drain_step(&mut self, env: &mut dyn Env, i: u64) -> StepOutcome {
+        if i == self.cfg.workers {
+            self.phase = Phase::Waiting(0);
+            return StepOutcome::Block(BlockingCall::Wait);
+        }
+        self.phase = Phase::Drain(i);
+        StepOutcome::Block(BlockingCall::RingPop {
+            fd: self.resp_cons[i as usize],
+            ring: env.reg(RESP_CONS_REG + i as usize).expect("resp endpoint"),
+            buf: env.reg(BUF_REG).expect("scratch buffer"),
+        })
+    }
+
+    // ---- worker ------------------------------------------------------
+
+    fn worker_pop(&mut self, env: &mut dyn Env, i: u64) -> StepOutcome {
+        self.phase = Phase::WPop;
+        StepOutcome::Block(BlockingCall::RingPop {
+            fd: self.req_cons[i as usize],
+            ring: env.reg(REQ_CONS_REG + i as usize).expect("req endpoint"),
+            buf: env.reg(BUF_REG).expect("scratch buffer"),
+        })
+    }
+
+    // ---- store -------------------------------------------------------
+
+    /// Round-robin try-pops every live `st_*` ring, applying ops; sleeps
+    /// when a full round is dry, finalizes when every ring hits EOF.
+    fn store_poll(&mut self, env: &mut dyn Env) -> StepOutcome {
+        let buf = env.reg(BUF_REG).expect("scratch buffer");
+        let kv = env.reg(KV_REG).expect("kv array");
+        let at = |b: &ufork_abi::Capability, off: u64| b.with_addr(b.base() + off).unwrap();
+        loop {
+            let mut progressed = false;
+            let mut alive = false;
+            for i in 0..self.cfg.workers as usize {
+                let Some(fd) = self.st_cons[i] else { continue };
+                let cons = env.reg(REQ_CONS_REG + i).expect("st endpoint");
+                loop {
+                    match env.sys_ring_try_pop(fd, &cons, &buf) {
+                        Ok(0) => {
+                            alive = true;
+                            break;
+                        }
+                        Ok(RING_EOF) => {
+                            let _ = env.sys_close(fd);
+                            self.st_cons[i] = None;
+                            break;
+                        }
+                        Ok(_) => {
+                            progressed = true;
+                            let key = env.load_u64(&at(&buf, 8)).expect("key");
+                            let val = env.load_u64(&at(&buf, 16)).expect("val");
+                            let cell = at(&kv, key * 8);
+                            let v = env.load_u64(&cell).expect("kv cell");
+                            env.store_u64(&cell, v.wrapping_mul(31).wrapping_add(val))
+                                .expect("kv cell");
+                            self.applied += 1;
+                        }
+                        Err(_) => return StepOutcome::Exit(3),
+                    }
+                }
+            }
+            if !alive && self.st_cons.iter().all(Option::is_none) {
+                return match self.store_finalize(env) {
+                    Ok(()) => StepOutcome::Exit(0),
+                    Err(_) => StepOutcome::Exit(3),
+                };
+            }
+            if !progressed {
+                self.phase = Phase::StorePoll;
+                return StepOutcome::Block(BlockingCall::Sleep { ns: 1e4 });
+            }
+        }
+    }
+
+    /// FNV digest over the whole KV array, serialized to the dump file.
+    fn store_finalize(&mut self, env: &mut dyn Env) -> SysResult<()> {
+        let kv = env.reg(KV_REG)?;
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for k in 0..self.cfg.keys {
+            let cell = kv.with_addr(kv.base() + k * 8).map_err(|_| Errno::Fault)?;
+            let v = env.load_u64(&cell)?;
+            digest = (digest ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.kv_digest = digest;
+        let fd = env.sys_open(&self.cfg.dump_path, true)?;
+        let buf = env.reg(BUF_REG)?;
+        let line = format!("ops={}\ndigest={digest:#018x}\n", self.applied);
+        env.store(&buf, line.as_bytes())?;
+        env.sys_write(fd, &buf, line.len() as u64)?;
+        env.sys_close(fd)
+    }
+}
+
+impl Program for RingSvc {
+    fn resume(&mut self, env: &mut dyn Env, input: Resume) -> StepOutcome {
+        match input {
+            Resume::Start => {
+                if self.open_rings(env).is_err() {
+                    return StepOutcome::Exit(1);
+                }
+                StepOutcome::Fork
+            }
+            Resume::Forked(ForkResult::Parent(_)) => match self.phase {
+                Phase::Forking(n) => {
+                    let n = n + 1;
+                    if n <= self.cfg.workers {
+                        self.next_role = Role::Worker(n - 1);
+                        self.phase = Phase::Forking(n);
+                        StepOutcome::Fork
+                    } else {
+                        // Store + all workers are up: hand-off fds are
+                        // theirs now, so the frontend drops its copies
+                        // (keeping `req_*` producer ends for EOF).
+                        for i in 0..self.cfg.workers as usize {
+                            env.sys_close(self.req_cons[i]).expect("handoff");
+                            env.sys_close(self.resp_prod[i]).expect("handoff");
+                        }
+                        self.phase = Phase::Send;
+                        self.send_step(env)
+                    }
+                }
+                Phase::Send => self.send_step(env),
+                _ => StepOutcome::Exit(1),
+            },
+            Resume::Forked(ForkResult::Child) => match self.next_role {
+                Role::Store => {
+                    self.role = Role::Store;
+                    self.fd_hygiene(env, &[]);
+                    let buf = env.malloc(256).expect("store buffer");
+                    env.set_reg(BUF_REG, buf).expect("register");
+                    let kv = env.malloc(self.cfg.keys * 8).expect("kv array");
+                    for k in 0..self.cfg.keys {
+                        env.store_u64(&kv.with_addr(kv.base() + k * 8).unwrap(), 0)
+                            .expect("kv init");
+                    }
+                    env.set_reg(KV_REG, kv).expect("register");
+                    for i in 0..self.cfg.workers {
+                        let (fd, cap) = env
+                            .sys_ring_open(&format!("st{i}"), RING_SLOTS, MSG_BYTES, false)
+                            .expect("st ring");
+                        env.set_reg(REQ_CONS_REG + i as usize, cap)
+                            .expect("register");
+                        self.st_cons.push(Some(fd));
+                    }
+                    self.store_poll(env)
+                }
+                Role::Worker(i) => {
+                    self.role = Role::Worker(i);
+                    self.fd_hygiene(
+                        env,
+                        &[self.req_cons[i as usize], self.resp_prod[i as usize]],
+                    );
+                    let buf = env.malloc(256).expect("worker buffer");
+                    env.set_reg(BUF_REG, buf).expect("register");
+                    let (fd, cap) = env
+                        .sys_ring_open(&format!("st{i}"), RING_SLOTS, MSG_BYTES, true)
+                        .expect("st ring");
+                    env.set_reg(ST_PROD_REG, cap).expect("register");
+                    self.wfd_st = Some(fd);
+                    self.worker_pop(env, i)
+                }
+                Role::Snapshot => {
+                    self.role = Role::Snapshot;
+                    // A checkpoint child forked mid-traffic: all it must
+                    // prove is that it arrived intact — every sealed
+                    // endpoint relocated — then it releases its ends.
+                    self.fd_hygiene(env, &[]);
+                    StepOutcome::Exit(0)
+                }
+                _ => StepOutcome::Exit(1),
+            },
+            Resume::Ret(r) => match (self.role, self.phase) {
+                (Role::Frontend, Phase::Send) => match r {
+                    Ok(n) if n == MSG_BYTES => {
+                        self.sent += 1;
+                        self.send_step(env)
+                    }
+                    _ => StepOutcome::Exit(2),
+                },
+                (Role::Frontend, Phase::Drain(i)) => match r {
+                    Ok(0) => self.drain_step(env, i + 1),
+                    Ok(n) if n == MSG_BYTES => {
+                        self.got += 1;
+                        self.drain_step(env, i)
+                    }
+                    _ => StepOutcome::Exit(2),
+                },
+                (Role::Frontend, Phase::Waiting(n)) => match r {
+                    Ok(_) => {
+                        // store + workers + snapshot child.
+                        if n + 1 < self.cfg.workers + 2 {
+                            self.phase = Phase::Waiting(n + 1);
+                            StepOutcome::Block(BlockingCall::Wait)
+                        } else if self.got == self.sent {
+                            StepOutcome::Exit(0)
+                        } else {
+                            StepOutcome::Exit(4)
+                        }
+                    }
+                    Err(_) => StepOutcome::Exit(2),
+                },
+                (Role::Worker(i), Phase::WPop) => match r {
+                    Ok(0) => {
+                        // EOF: release producer ends so the next tier
+                        // sees its own EOF, then exit.
+                        env.sys_close(self.wfd_st.unwrap()).expect("close st");
+                        env.sys_close(self.resp_prod[i as usize])
+                            .expect("close resp");
+                        env.sys_close(self.req_cons[i as usize]).expect("close req");
+                        StepOutcome::Exit(0)
+                    }
+                    Ok(n) if n == MSG_BYTES => {
+                        env.cpu_ops(self.cfg.parse_ops);
+                        self.handled += 1;
+                        let buf = env.reg(BUF_REG).expect("scratch buffer");
+                        // Stamp the tag word with the worker id; seq,
+                        // key, val pass through to the store.
+                        env.store_u64(&buf.with_addr(buf.base() + 24).unwrap(), i)
+                            .expect("tag");
+                        self.phase = Phase::WPushSt;
+                        StepOutcome::Block(BlockingCall::RingPush {
+                            fd: self.wfd_st.unwrap(),
+                            ring: env.reg(ST_PROD_REG).expect("st endpoint"),
+                            buf,
+                            len: MSG_BYTES,
+                        })
+                    }
+                    _ => StepOutcome::Exit(2),
+                },
+                (Role::Worker(i), Phase::WPushSt) => match r {
+                    Ok(n) if n == MSG_BYTES => {
+                        let buf = env.reg(BUF_REG).expect("scratch buffer");
+                        let at = |b: &ufork_abi::Capability, off: u64| {
+                            b.with_addr(b.base() + off).unwrap()
+                        };
+                        // Response: echo seq/key, result = val ^ key.
+                        let key = env.load_u64(&at(&buf, 8)).expect("key");
+                        let val = env.load_u64(&at(&buf, 16)).expect("val");
+                        env.store_u64(&at(&buf, 16), val ^ key).expect("result");
+                        env.store_u64(&at(&buf, 24), 0x5245_5350).expect("tag"); // "RESP"
+                        self.phase = Phase::WPushResp;
+                        StepOutcome::Block(BlockingCall::RingPush {
+                            fd: self.resp_prod[i as usize],
+                            ring: env.reg(RESP_PROD_REG + i as usize).expect("resp endpoint"),
+                            buf,
+                            len: MSG_BYTES,
+                        })
+                    }
+                    _ => StepOutcome::Exit(2),
+                },
+                (Role::Worker(i), Phase::WPushResp) => match r {
+                    Ok(n) if n == MSG_BYTES => self.worker_pop(env, i),
+                    _ => StepOutcome::Exit(2),
+                },
+                (Role::Store, Phase::StorePoll) => match r {
+                    Ok(_) => self.store_poll(env),
+                    Err(_) => StepOutcome::Exit(3),
+                },
+                (role, phase) => unreachable!("bad ringsvc transition: {role:?} / {phase:?}"),
+            },
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -39,6 +39,15 @@ Three metric families are compared, with different thresholds:
 * ``fork_zygote[]`` — resident frames of the zygote fleet (schema v7+),
   keyed by ``(variant, metric)`` for ``frames_fleet`` (bigger is worse).
   Deterministic, strict threshold.
+* ``fork_ring[]`` — the ring fork probe (schema v8+), keyed by
+  ``(mode, setup)`` for ``sim_fork_ns``: one fork holding four pipes
+  (``setup=pipes``) or four live sealed ring endpoints
+  (``setup=rings``). Deterministic, strict threshold.
+* ``fork_ring_service[]`` — the multi-tier ring-fabric service (schema
+  v8+), keyed by ``(mode, requests)`` for ``sim_final_ns`` (simulated
+  makespan). ``requests`` is part of the key for the same reason as the
+  storm's ``children``: smoke scales must not gate against the
+  committed full-scale baseline.
 
 On top of the baseline comparison, two *cross-metric* invariants are
 checked inside the fresh file alone (schema v6+):
@@ -53,7 +62,9 @@ checked inside the fresh file alone (schema v6+):
   (``fork_snapshot_train``, schema v7+), and
 * with cross-child dedup or dirty tracking on, the warm zygote fleet's
   resident frames stay within 1.2x a single child's
-  (``fork_zygote``, schema v7+).
+  (``fork_zygote``, schema v7+), and
+* in every mode, a fork carrying live sealed ring endpoints stays
+  within 1.2x the pipe-only fork (``fork_ring``, schema v8+).
 * ``results[]`` — host wall-clock best-of-samples, keyed by ``name``.
   These depend on the machine that produced them; the committed baseline
   and a CI runner are different hardware, and even same-host runs swing
@@ -150,6 +161,22 @@ def zygote_map(doc):
     }
 
 
+def ring_map(doc):
+    # Absent before schema v8.
+    return {
+        (r["mode"], r["setup"]): float(r["sim_fork_ns"])
+        for r in doc.get("fork_ring", [])
+    }
+
+
+def ring_service_map(doc):
+    # Absent before schema v8.
+    return {
+        (r["mode"], str(r["requests"])): float(r["sim_final_ns"])
+        for r in doc.get("fork_ring_service", [])
+    }
+
+
 def cross_checks(doc):
     """Intra-file invariants of the pipelined fork (schema v6+)."""
     failures = []
@@ -236,6 +263,28 @@ def cross_checks(doc):
                 f"cross fork_zygote {variant}: fleet of {r['children']} holds "
                 f"{fleet:.0f} frames, {ratio:.3f}x a single child's {one:.0f}, "
                 f"limit 1.2x"
+            )
+    ring = {
+        (r["mode"], r["setup"]): float(r["sim_fork_ns"])
+        for r in doc.get("fork_ring", [])
+    }
+    for (mode, setup), rings_ns in sorted(ring.items()):
+        if setup != "rings":
+            continue
+        pipes_ns = ring.get((mode, "pipes"))
+        if pipes_ns is None or pipes_ns <= 0:
+            continue
+        ratio = rings_ns / pipes_ns
+        verdict = "ok" if ratio <= 1.2 else "FAIL"
+        print(
+            f"  [{verdict:>4}] cross fork_ring {mode}: ring fork {rings_ns:.0f} ns "
+            f"vs pipe-only {pipes_ns:.0f} ns ({ratio:.3f}x, limit 1.2x)"
+        )
+        if ratio > 1.2:
+            failures.append(
+                f"cross fork_ring {mode}: fork with live ring endpoints "
+                f"{rings_ns:.0f} ns is {ratio:.3f}x the pipe-only fork "
+                f"({pipes_ns:.0f} ns), limit 1.2x"
             )
     return failures
 
@@ -330,6 +379,18 @@ def main():
         "fork_zygote",
         zygote_map(old_doc),
         zygote_map(new_doc),
+        args.max_regress,
+    )
+    failures += compare(
+        "fork_ring",
+        ring_map(old_doc),
+        ring_map(new_doc),
+        args.max_regress,
+    )
+    failures += compare(
+        "fork_ring_service",
+        ring_service_map(old_doc),
+        ring_service_map(new_doc),
         args.max_regress,
     )
     failures += cross_checks(new_doc)
