@@ -18,11 +18,12 @@ use ufork::{FallbackPolicy, UforkConfig, UforkOs};
 use ufork_abi::{CopyStrategy, ImageSpec, Pid};
 use ufork_baselines::{mono, nephele, BaselineConfig};
 use ufork_bench::{
-    fork_frontier_sweep, fork_scaling_sweep, ring_fork_sweep, ring_requests_from_env,
-    ring_service_sweep, snapshot_train_sweep, storm_children_from_env, storm_sweep,
-    trace_fork_runs, zygote_fleet_sweep, FrontierRow, RingForkRow, RingServiceRow, ScalingRow,
-    SnapshotRow, StormMode, StormPipeline, TracedFork, ZygoteFleetRow, RING_FORK_OVERHEAD_LIMIT,
-    STORM_CORES, STORM_SEED,
+    fork_frontier_sweep, fork_scaling_sweep, pressure_children_from_env, pressure_sweep,
+    ring_fork_sweep, ring_requests_from_env, ring_service_sweep, snapshot_train_sweep,
+    storm_children_from_env, storm_sweep, trace_fork_runs, zygote_fleet_sweep, FrontierRow,
+    PressureStormRow, RingForkRow, RingServiceRow, ScalingRow, SnapshotRow, StormMode,
+    StormPipeline, TracedFork, ZygoteFleetRow, PRESSURE_P99_LIMIT, PRESSURE_SEED,
+    RING_FORK_OVERHEAD_LIMIT, STORM_CORES, STORM_SEED,
 };
 use ufork_cheri::{Capability, Perms};
 use ufork_exec::{Ctx, MemOs};
@@ -255,6 +256,8 @@ fn main() {
 
     let storm = run_storm_family();
 
+    let pressure = run_pressure_family();
+
     let (ring_fork, ring_service) = run_ring_family();
     // Per-phase simulated totals from the trace layer: exactly
     // reproducible, so bench_gate.py gates them like fork_scaling rows.
@@ -281,11 +284,44 @@ fn main() {
         &frontier,
         &phases,
         &storm,
+        &pressure,
         &snapshot,
         &zygote,
         &ring_fork,
         &ring_service,
     );
+}
+
+/// Runs the `fork_pressure` family: the churning storm across occupancy
+/// × reclaim daemon. `pressure_sweep` runs every point twice, asserts
+/// bit-identical repeats, daemon invisibility at Normal pressure,
+/// daemon engagement at Elevated, and the PR's survival gate in-process
+/// (fork p99 across the high watermark ≤ 1.25× the low-occupancy p99
+/// with the daemon on); bench_gate.py holds the JSON rows to the same
+/// limit across PRs, with the daemon-off ablation kept alongside.
+fn run_pressure_family() -> Vec<PressureStormRow> {
+    let children = pressure_children_from_env();
+    let rows = pressure_sweep(children, PRESSURE_SEED, STORM_CORES);
+    for r in &rows {
+        println!(
+            "fork_pressure/{}/daemon={}: fork p50 {:.0} ns / p99 {:.0} ns, {} bg passes, {} prezeroed, {} magazine hits, {} inline reclaims, {} oom kills",
+            r.occupancy, r.daemon, r.sim_p50_ns, r.sim_p99_ns,
+            r.reclaim_background, r.frames_prezeroed, r.magazine_hits,
+            r.reclaim_inline, r.oom_kills
+        );
+    }
+    let p99 = |occupancy: &str, daemon: bool| {
+        rows.iter()
+            .find(|r| r.occupancy == occupancy && r.daemon == daemon)
+            .expect("pressure row")
+            .sim_p99_ns
+    };
+    println!(
+        "fork_pressure high-watermark p99 over low (daemon on): {:.3}x (limit {PRESSURE_P99_LIMIT}x); daemon-off ablation: {:.3}x",
+        p99("high", true) / p99("low", true),
+        p99("high", false) / p99("low", false),
+    );
+    rows
 }
 
 /// Runs the `fork_ring` family: the fork probe (pipes vs live ring
@@ -660,6 +696,7 @@ fn write_json(
     frontier: &[FrontierRow],
     phases: &[TracedFork],
     storm: &[(StormMode, StormReport, StormPipeline)],
+    pressure: &[PressureStormRow],
     snapshot: &[SnapshotRow],
     zygote: &[ZygoteFleetRow],
     ring_fork: &[RingForkRow],
@@ -741,6 +778,27 @@ fn write_json(
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let pressure_rows = pressure
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"occupancy\": \"{}\", \"daemon\": {}, \"children\": {}, \"sim_p50_ns\": {:.1}, \"sim_p99_ns\": {:.1}, \"sim_final_ns\": {:.1}, \"reclaim_background\": {}, \"frames_prezeroed\": {}, \"magazine_hits\": {}, \"reclaim_inline\": {}, \"oom_kills\": {}, \"digest\": \"{:016x}\"}}",
+                r.occupancy,
+                r.daemon,
+                r.children,
+                r.sim_p50_ns,
+                r.sim_p99_ns,
+                r.sim_final_ns,
+                r.reclaim_background,
+                r.frames_prezeroed,
+                r.magazine_hits,
+                r.reclaim_inline,
+                r.oom_kills,
+                r.digest
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let snapshot_rows = snapshot
         .iter()
         .map(|r| {
@@ -801,7 +859,7 @@ fn write_json(
         .collect::<Vec<_>>()
         .join(",\n");
     let body = format!(
-        "{{\n  \"schema\": \"ufork-bench-fork/v8\",\n  \"unit\": \"ns/iter (best of samples, setup untimed); sim_* fields are simulated ns\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_pipeline\": [\n{frontier_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"fork_storm\": [\n{storm_rows}\n  ],\n  \"fork_snapshot_train\": [\n{snapshot_rows}\n  ],\n  \"fork_zygote\": [\n{zygote_rows}\n  ],\n  \"fork_ring\": [\n{ring_fork_rows}\n  ],\n  \"fork_ring_service\": [\n{ring_service_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"ufork-bench-fork/v9\",\n  \"unit\": \"ns/iter (best of samples, setup untimed); sim_* fields are simulated ns\",\n  \"results\": [\n{rows}\n  ],\n  \"fork_scaling\": [\n{scaling_rows}\n  ],\n  \"fork_pipeline\": [\n{frontier_rows}\n  ],\n  \"fork_phases\": [\n{phase_rows}\n  ],\n  \"fork_admission\": [\n{admission_rows}\n  ],\n  \"fork_storm\": [\n{storm_rows}\n  ],\n  \"fork_pressure\": [\n{pressure_rows}\n  ],\n  \"fork_snapshot_train\": [\n{snapshot_rows}\n  ],\n  \"fork_zygote\": [\n{zygote_rows}\n  ],\n  \"fork_ring\": [\n{ring_fork_rows}\n  ],\n  \"fork_ring_service\": [\n{ring_service_rows}\n  ],\n  \"speedup\": {{\n    \"page_scan_4caps_naive_over_tagsummary\": {sparse:.2},\n    \"fork_full_lineage_naive_over_tagsummary\": {lineage:.2},\n    \"fork_scaling_dense_serial_over_par8\": {scaling_speedup:.2},\n    \"fork_full_trace_on_over_off\": {trace:.2},\n    \"fork_full_admission_strict_over_disabled\": {admission_overhead:.4}\n  }}\n}}\n",
         sparse = speedups.sparse,
         lineage = speedups.lineage,
         scaling_speedup = speedups.scaling,

@@ -21,9 +21,10 @@ use ufork_bench::report::{num, render_table, size_label};
 use ufork_bench::{
     ablation_aslr, ablation_eager_vs_lazy, ablation_fork_vs_exec, ablation_isolation_sweep,
     ablation_naive_scan, fig6, fig7, fig8, fig9, fork_frontier_sweep, fork_scaling_sweep,
-    pressure_storm, redis_sweep, ring_fork_sweep, ring_service_sweep, snapshot_train_sweep,
-    storm_sweep, table1, trace_chrome_json, trace_fork_runs, trace_summary_text,
-    zygote_fleet_sweep, AblationRow, RedisRow, STORM_CORES, STORM_SEED,
+    pressure_storm, pressure_sweep, redis_sweep, ring_fork_sweep, ring_service_sweep,
+    snapshot_train_sweep, storm_sweep, table1, trace_chrome_json, trace_fork_runs,
+    trace_summary_text, zygote_fleet_sweep, AblationRow, RedisRow, PRESSURE_P99_LIMIT,
+    PRESSURE_SEED, STORM_CORES, STORM_SEED,
 };
 
 fn print_ablation(title: &str, rows: &[AblationRow]) {
@@ -390,7 +391,9 @@ fn main() {
                     r.forks_ok.to_string(),
                     r.forks_degraded.to_string(),
                     r.fork_rollbacks.to_string(),
-                    r.reclaim_passes.to_string(),
+                    format!("{}/{}", r.reclaim_inline, r.reclaim_background),
+                    r.magazine_hits.to_string(),
+                    r.oom_kills.to_string(),
                     r.journal_ops.to_string(),
                     num(r.fork_backoff_ns as f64 / 1e3),
                     r.pressure.clone(),
@@ -405,13 +408,62 @@ fn main() {
                     "Forks",
                     "Degraded",
                     "Rollbacks",
-                    "Reclaims",
+                    "Reclaim in/bg",
+                    "Mag hits",
+                    "OOM",
                     "Journal ops",
                     "Backoff (µs, sim)",
                     "Pressure",
                 ],
                 &body
             )
+        );
+        let children = if quick { 150 } else { 600 };
+        println!(
+            "== Fork p99 across the high watermark: {children} churning children, daemon ablation =="
+        );
+        let rows = pressure_sweep(children, PRESSURE_SEED, STORM_CORES);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.occupancy.to_string(),
+                    if r.daemon { "on" } else { "off" }.to_string(),
+                    num(r.sim_p50_ns / 1e3),
+                    num(r.sim_p99_ns / 1e3),
+                    r.reclaim_background.to_string(),
+                    r.frames_prezeroed.to_string(),
+                    r.magazine_hits.to_string(),
+                    r.oom_kills.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "Occupancy",
+                    "Daemon",
+                    "fork p50 (µs, sim)",
+                    "fork p99 (µs, sim)",
+                    "Bg passes",
+                    "Prezeroed",
+                    "Mag hits",
+                    "OOM",
+                ],
+                &body
+            )
+        );
+        let p99 = |occupancy: &str, daemon: bool| {
+            rows.iter()
+                .find(|r| r.occupancy == occupancy && r.daemon == daemon)
+                .expect("pressure row")
+                .sim_p99_ns
+        };
+        println!(
+            "high-watermark p99 over low: {:.3}x with the daemon (limit {PRESSURE_P99_LIMIT}x), {:.3}x without\n",
+            p99("high", true) / p99("low", true),
+            p99("high", false) / p99("low", false),
         );
     }
     if all || what == "storm" {

@@ -726,8 +726,14 @@ pub struct PressureRow {
     pub forks_degraded: u64,
     /// Journal rollbacks (fork attempts undone mid-walk).
     pub fork_rollbacks: u64,
-    /// Reclaim passes between rollback and retry.
-    pub reclaim_passes: u64,
+    /// Inline reclaim passes between rollback and retry (hot path).
+    pub reclaim_inline: u64,
+    /// Background reclaim batches run by the daemon (off the hot path).
+    pub reclaim_background: u64,
+    /// Zeroed allocations served pre-scrubbed from a clean-frame magazine.
+    pub magazine_hits: u64,
+    /// μprocesses killed by the OOM last resort.
+    pub oom_kills: u64,
     /// Journal ops recorded across the storm (committed + rolled back).
     pub journal_ops: u64,
     /// Simulated ns spent in reclaim backoff.
@@ -776,7 +782,10 @@ pub fn pressure_storm_run(policy: FallbackPolicy) -> PressureRow {
         forks_ok,
         forks_degraded: sctx.counters.forks_degraded,
         fork_rollbacks: sctx.counters.fork_rollbacks,
-        reclaim_passes: sctx.counters.reclaim_passes,
+        reclaim_inline: sctx.counters.reclaim_inline,
+        reclaim_background: sctx.counters.reclaim_background,
+        magazine_hits: sctx.counters.magazine_hits,
+        oom_kills: sctx.counters.oom_kills,
         journal_ops: sctx.counters.journal_ops,
         fork_backoff_ns: sctx.counters.fork_backoff_ns,
         pressure: format!("{:?}", stats.pressure),

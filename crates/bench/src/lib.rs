@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod pressure_exp;
 pub mod report;
 pub mod ring_exp;
 pub mod snapshot;
@@ -15,6 +16,7 @@ pub mod trace_exp;
 
 pub use ablations::*;
 pub use experiments::*;
+pub use pressure_exp::*;
 pub use ring_exp::*;
 pub use snapshot::*;
 pub use storm::*;

@@ -248,17 +248,17 @@ impl UforkOs {
             self.pm.reserve(1).map_err(|_| Errno::NoMem)?;
             self.pm.release(1);
         }
-        if let Ok(pfn) = self.pm.alloc_frame() {
+        if let Ok(pfn) = crate::fork::alloc_zeroed_charged(&mut self.pm, &self.cost, ctx) {
             return Ok(pfn);
         }
         ctx.phase("fault/reclaim");
         let scrubbed = self.pm.reclaim_pass();
         let backoff = self.cost.reclaim_backoff + self.cost.zero_page * scrubbed as f64;
         ctx.kernel(backoff);
-        ctx.counters.reclaim_passes += 1;
+        ctx.counters.reclaim_inline += 1;
         ctx.counters.fork_backoff_ns += backoff as u64;
         ctx.phase("fault/copy");
-        self.pm.alloc_frame().map_err(|_| Errno::NoMem)
+        crate::fork::alloc_zeroed_charged(&mut self.pm, &self.cost, ctx).map_err(|_| Errno::NoMem)
     }
 
     /// User data load (multi-page capable).

@@ -133,7 +133,7 @@ impl UforkOs {
                     let scrubbed = self.pm.reclaim_pass();
                     let backoff = self.cost.reclaim_backoff + self.cost.zero_page * scrubbed as f64;
                     ctx.kernel(backoff);
-                    ctx.counters.reclaim_passes += 1;
+                    ctx.counters.reclaim_inline += 1;
                     ctx.counters.fork_backoff_ns += backoff as u64;
                 }
             }
@@ -435,6 +435,12 @@ impl UforkOs {
                         p.dirty_gen = old_gen;
                         p.dirty_tracked = old_tracked;
                     }
+                }
+                JournalOp::FrameScrub(pfn) => {
+                    // Drop the frame back off the magazine; the zeroed
+                    // content stays (safe either way — an unscrubbed
+                    // flag only means the next grant re-zeroes).
+                    let _ = self.pm.unscrub_frame(pfn);
                 }
             }
         }
@@ -1170,6 +1176,26 @@ pub(crate) struct RelocTarget<'a> {
     pub(crate) mode: ScanMode,
 }
 
+/// Allocates one `ZeroPolicy::Zeroed` frame on the fork/fault hot path,
+/// charging the grant-time scrub of a recycled dirty frame to `ctx` —
+/// unless the background reclaim daemon already pre-zeroed it (a
+/// clean-frame magazine hit: counted, but free). Fresh frames are clean
+/// by construction and charge nothing, preserving the cold-start cost
+/// profile exactly.
+pub(crate) fn alloc_zeroed_charged(
+    pm: &mut PhysMem,
+    cost: &CostModel,
+    ctx: &mut Ctx,
+) -> Result<Pfn, ufork_mem::MemError> {
+    let g = pm.alloc_frame_grant()?;
+    if g.prezeroed {
+        ctx.counters.magazine_hits += 1;
+    } else if g.recycled {
+        ctx.kernel(cost.zero_page);
+    }
+    Ok(g.pfn)
+}
+
 /// Eagerly copies one frame for a child and relocates it. The allocated
 /// frame is journaled before the copy: on a copy failure the frame is
 /// *not* freed here — the caller's rollback owns that reference.
@@ -1182,7 +1208,7 @@ pub(crate) fn copy_page_for_child(
     target: &RelocTarget<'_>,
 ) -> SysResult<Pfn> {
     ctx.phase("fork/walk/copy");
-    let new = pm.alloc_frame().map_err(|_| Errno::NoMem)?;
+    let new = alloc_zeroed_charged(pm, cost, ctx).map_err(|_| Errno::NoMem)?;
     journal
         .record(JournalOp::FrameAlloc(new))
         .map_err(|_| Errno::NoMem)?;

@@ -107,6 +107,12 @@ pub(crate) enum JournalOp {
         old_gen: u32,
         old_tracked: bool,
     },
+    /// The background reclaim daemon scrubbed a pooled frame into the
+    /// clean-frame magazine. Recorded apply-then-record; the inverse
+    /// clears the magazine flag (the zeroed bytes stay — a frame marked
+    /// unscrubbed but already clean is merely re-zeroed at grant, never
+    /// handed out dirty).
+    FrameScrub(Pfn),
 }
 
 /// The journal of the in-flight fork. Exactly one fork is in flight at a

@@ -64,6 +64,15 @@ pub struct UforkConfig {
     /// eager copy, so identical (untagged) frames are shared across
     /// sibling children instead of copied per child. Off by default.
     pub dedup_frames: bool,
+    /// Run the background reclaim daemon: a schedulable kernel μtask
+    /// (driven by the executive, like the pipelined-fork copy engine)
+    /// that scrubs recycled frames into the clean-frame magazines
+    /// whenever allocator pressure reaches `Elevated`, so grant-time
+    /// zeroing of `ZeroPolicy::Zeroed` allocations hits pre-zeroed
+    /// frames off the hot path. Off by default: with the daemon off the
+    /// executive never schedules reclaim μtasks and all zeroing stays
+    /// inline, preserving prior schedules exactly.
+    pub reclaim_daemon: bool,
 }
 
 impl Default for UforkConfig {
@@ -81,6 +90,7 @@ impl Default for UforkConfig {
             fallback: FallbackPolicy::default(),
             track_dirty: false,
             dedup_frames: false,
+            reclaim_daemon: false,
         }
     }
 }
@@ -133,6 +143,7 @@ pub struct UforkOs {
     pub(crate) fallback: FallbackPolicy,
     pub(crate) track_dirty: bool,
     pub(crate) dedup_frames: bool,
+    pub(crate) reclaim_daemon: bool,
     /// Cross-child frame-dedup index (empty unless `dedup_frames`).
     pub(crate) dedup: FrameDedupIndex,
     /// Journal of the in-flight fork's side effects (empty between
@@ -177,6 +188,7 @@ impl UforkOs {
             fallback: cfg.fallback,
             track_dirty: cfg.track_dirty,
             dedup_frames: cfg.dedup_frames,
+            reclaim_daemon: cfg.reclaim_daemon,
             dedup: FrameDedupIndex::new(),
             journal: ForkJournal::default(),
             pm: PhysMem::with_mib(cfg.phys_mib),
@@ -321,6 +333,15 @@ impl UforkOs {
     /// Disarms journal fault injection.
     pub fn clear_journal_failure(&mut self) {
         self.journal.clear_failure();
+    }
+
+    /// Overrides the allocator's pressure watermarks (both counted in
+    /// *available* frames). Tests and the chaos sweep use this to force
+    /// elevated pressure on an otherwise lightly-loaded machine, so the
+    /// background reclaim daemon engages without filling physical
+    /// memory first.
+    pub fn set_pressure_watermarks(&mut self, low: u32, high: u32) {
+        self.pm.set_watermarks(low, high);
     }
 
     /// Cumulative sharded-allocator statistics (also surfaced per-process
@@ -736,6 +757,22 @@ impl MemOs for UforkOs {
 
     fn pipeline_step(&mut self, ctx: &mut Ctx, pid: Pid) -> SysResult<bool> {
         self.pipeline_copy_next(ctx, pid).map(|c| c.is_some())
+    }
+
+    fn reclaim_pending(&self) -> bool {
+        self.reclaim_pending_uproc()
+    }
+
+    fn reclaim_step(&mut self, ctx: &mut Ctx) -> SysResult<u64> {
+        self.reclaim_step_uproc(ctx)
+    }
+
+    fn resident_pages(&self, pid: Pid) -> u64 {
+        self.resident_pages_uproc(pid)
+    }
+
+    fn oom_reap(&mut self, ctx: &mut Ctx, pid: Pid) -> SysResult<()> {
+        self.oom_reap_uproc(ctx, pid)
     }
 
     fn syscall_entry_cost(&self) -> f64 {

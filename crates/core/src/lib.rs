@@ -50,6 +50,7 @@ mod journal;
 mod kernel;
 mod layout;
 mod pipeline;
+mod reclaim;
 pub mod region_index;
 pub mod reloc;
 pub mod talloc;
@@ -60,6 +61,7 @@ pub use gate::SyscallGate;
 pub use journal::FallbackPolicy;
 pub use kernel::{UforkConfig, UforkOs};
 pub use layout::{ProcLayout, Segment};
+pub use reclaim::RECLAIM_BATCH;
 pub use region_index::{FrozenIndex, RegionIndex};
 pub use reloc::ScanMode;
 pub use talloc::{TAlloc, TAllocStats, UserMem};

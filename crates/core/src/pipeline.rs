@@ -227,7 +227,7 @@ impl UforkOs {
                     let scrubbed = self.pm.reclaim_pass();
                     let backoff = self.cost.reclaim_backoff + self.cost.zero_page * scrubbed as f64;
                     ctx.kernel(backoff);
-                    ctx.counters.reclaim_passes += 1;
+                    ctx.counters.reclaim_inline += 1;
                     ctx.counters.fork_backoff_ns += backoff as u64;
                 }
             }
@@ -331,7 +331,7 @@ impl UforkOs {
                 // The frame is still shared (the usual case): allocate
                 // the child's private copy. The allocation consumes the
                 // admission promise held since the commit.
-                let new = match self.pm.alloc_frame() {
+                let new = match crate::fork::alloc_zeroed_charged(&mut self.pm, &self.cost, ctx) {
                     Ok(n) => n,
                     Err(_) => return Err(self.abort_fork(ctx, Errno::NoMem)),
                 };

@@ -666,7 +666,7 @@ fn shard_alloc_failure_mid_walk_leaks_nothing() {
             if ctx.counters.fork_rollbacks < 1 {
                 return Err("absorbed failure did not record a rollback".into());
             }
-            if ctx.counters.reclaim_passes < 1 {
+            if ctx.counters.reclaim_inline < 1 {
                 return Err("absorbed failure did not run a reclaim pass".into());
             }
             if os.audit_kernel() != (0, 0) {

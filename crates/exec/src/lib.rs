@@ -29,7 +29,9 @@ mod sched;
 mod vfs;
 
 pub use ctx::Ctx;
-pub use machine::{ExitEvent, ForkEvent, Machine, MachineConfig, PipelineEvent, MAIN_TID};
+pub use machine::{
+    ExitEvent, ForkEvent, Machine, MachineConfig, OomEvent, PipelineEvent, MAIN_TID,
+};
 pub use memos::MemOs;
 pub use sched::{BlockedOn, SchedEngine, TimeKey, DEFAULT_PRIORITY};
 pub use vfs::{

@@ -48,6 +48,14 @@ pub struct MachineConfig {
     /// slice cannot preempt mid-step). `None` disables slicing, which
     /// keeps the schedule identical to the lockstep engine.
     pub slice_ns: Option<f64>,
+    /// Enable the OOM last resort: when a fork still fails with `NoMem`
+    /// after the backend's own degrade ladder and reclaim retries, the
+    /// machine deterministically kills victim μprocesses (largest
+    /// resident set, then deepest fork ancestry, then youngest pid) and
+    /// retries the fork — a storm degrades to fewer children instead of
+    /// failing forks. Off by default: existing schedules stay
+    /// bit-identical, and workloads that want `ENOMEM` surfaced keep it.
+    pub oom_kill: bool,
 }
 
 impl Default for MachineConfig {
@@ -58,6 +66,7 @@ impl Default for MachineConfig {
             time_limit: None,
             engine: SchedEngine::EventDriven,
             slice_ns: None,
+            oom_kill: false,
         }
     }
 }
@@ -106,6 +115,38 @@ struct CopyEngine {
     /// Consecutive failed firings (memory pressure); the engine retires
     /// after too many, leaving the window to demand faults.
     fails: u32,
+}
+
+/// The background reclaim daemon's scheduling state: a machine-level
+/// kernel μtask, armed whenever the backend reports pending reclaim work
+/// ([`MemOs::reclaim_pending`]) and fired like the copy engines — as an
+/// ordinary ready entity in both scheduling engines, so daemon progress
+/// interleaves deterministically with thread execution. Each firing
+/// scrubs one bounded batch of recycled frames into the clean-frame
+/// magazines on background simulated time, keeping the zeroing cost off
+/// the fork/fault hot path.
+#[derive(Clone, Copy, Debug)]
+struct ReclaimEngine {
+    /// When the next pass may start.
+    next_at: f64,
+    /// Consecutive failed firings (injected aborts); the daemon retires
+    /// after too many and re-arms on the next memory-state change.
+    fails: u32,
+}
+
+/// One OOM kill performed by the fork path's last resort
+/// (`MachineConfig::oom_kill`).
+#[derive(Clone, Copy, Debug)]
+pub struct OomEvent {
+    /// The process killed.
+    pub victim: Pid,
+    /// The process whose failing fork triggered the kill.
+    pub requester: Pid,
+    /// Simulated kill time.
+    pub at: f64,
+    /// Resident pages the victim held when selected (the dominant
+    /// badness input).
+    pub resident_pages: u64,
 }
 
 /// A process exit.
@@ -237,6 +278,10 @@ pub struct Machine<O: MemOs> {
     /// Live background copy engines, one per pipelined-fork child with
     /// an open window.
     copy_engines: BTreeMap<Pid, CopyEngine>,
+    /// The background reclaim daemon, armed while the backend has
+    /// pending reclaim work.
+    reclaim_engine: Option<ReclaimEngine>,
+    oom_log: Vec<OomEvent>,
     runq: RunQueue,
     /// Threads parked on pipe `id` — readers on empty *and* writers on
     /// full (event engine): wakeups touch only the affected pipe's
@@ -266,6 +311,8 @@ impl<O: MemOs> Machine<O> {
             exit_log: Vec::new(),
             pipeline_log: Vec::new(),
             copy_engines: BTreeMap::new(),
+            reclaim_engine: None,
+            oom_log: Vec::new(),
             runq,
             pipe_waiters: BTreeMap::new(),
             conn_waiters: BTreeMap::new(),
@@ -295,6 +342,7 @@ impl<O: MemOs> Machine<O> {
             ),
         );
         self.make_ready(pid, MAIN_TID, 0.0);
+        self.maybe_arm_reclaim(0.0);
         Ok(pid)
     }
 
@@ -364,6 +412,11 @@ impl<O: MemOs> Machine<O> {
     /// order: each records commit time, copy-complete time, and size.
     pub fn pipeline_log(&self) -> &[PipelineEvent] {
         &self.pipeline_log
+    }
+
+    /// OOM kills performed by the fork path's last resort, in kill order.
+    pub fn oom_log(&self) -> &[OomEvent] {
+        &self.oom_log
     }
 
     /// Pages still queued behind committed pipelined forks, machine-wide.
@@ -466,16 +519,32 @@ impl<O: MemOs> Machine<O> {
                 })
             })
             .min_by(|a, b| a.2.total_cmp(&b.2));
+        let reclaim_at = self.reclaim_engine.as_ref().map(|e| e.next_at);
         // A pending copy engine fires like any other ready entity; ties
         // go to the engine in BOTH engines so schedules cannot drift.
         if let Some((cpid, cat)) = self.next_copy_event() {
-            if thread.is_none_or(|(_, _, t_at)| cat <= t_at) {
+            if thread.is_none_or(|(_, _, t_at)| cat <= t_at)
+                && reclaim_at.is_none_or(|rat| cat <= rat)
+            {
                 if let Some(limit) = self.config.time_limit {
                     if cat >= limit {
                         return false;
                     }
                 }
                 return self.pump_copy_engine(cpid, cat);
+            }
+        }
+        // The reclaim daemon yields to copy streams at ties (copied pages
+        // are latency-critical, scrubbing is slack work) but beats
+        // threads, so magazines refill before the next fork allocates.
+        if let Some(rat) = reclaim_at {
+            if thread.is_none_or(|(_, _, t_at)| rat <= t_at) {
+                if let Some(limit) = self.config.time_limit {
+                    if rat >= limit {
+                        return false;
+                    }
+                }
+                return self.pump_reclaim(rat);
             }
         }
         let Some((pid, tid, ready_at)) = thread else {
@@ -494,15 +563,27 @@ impl<O: MemOs> Machine<O> {
     fn step_event(&mut self) -> bool {
         loop {
             let copy = self.next_copy_event();
+            let reclaim_at = self.reclaim_engine.as_ref().map(|e| e.next_at);
             let Some(entry) = self.runq.pop() else {
-                // Nothing queued: background copy alone advances time.
+                // Nothing queued: background engines alone advance time
+                // (copy beats reclaim at ties, as in the lockstep scan).
                 if let Some((cpid, cat)) = copy {
+                    if reclaim_at.is_none_or(|rat| cat <= rat) {
+                        if let Some(limit) = self.config.time_limit {
+                            if cat >= limit {
+                                return false;
+                            }
+                        }
+                        return self.pump_copy_engine(cpid, cat);
+                    }
+                }
+                if let Some(rat) = reclaim_at {
                     if let Some(limit) = self.config.time_limit {
-                        if cat >= limit {
+                        if rat >= limit {
                             return false;
                         }
                     }
-                    return self.pump_copy_engine(cpid, cat);
+                    return self.pump_reclaim(rat);
                 }
                 return false;
             };
@@ -518,10 +599,11 @@ impl<O: MemOs> Machine<O> {
             let Some(ready_at) = current else {
                 continue; // stale: superseded since it was pushed
             };
-            // The popped entry is the earliest live thread, so this is
-            // the same copy-vs-thread comparison the lockstep scan makes.
+            // The popped entry is the earliest live thread, so these are
+            // the same engine-vs-thread comparisons the lockstep scan
+            // makes: copy beats reclaim beats threads at equal times.
             if let Some((cpid, cat)) = copy {
-                if cat <= ready_at {
+                if cat <= ready_at && reclaim_at.is_none_or(|rat| cat <= rat) {
                     self.runq.push(entry);
                     if let Some(limit) = self.config.time_limit {
                         if cat >= limit {
@@ -529,6 +611,17 @@ impl<O: MemOs> Machine<O> {
                         }
                     }
                     return self.pump_copy_engine(cpid, cat);
+                }
+            }
+            if let Some(rat) = reclaim_at {
+                if rat <= ready_at {
+                    self.runq.push(entry);
+                    if let Some(limit) = self.config.time_limit {
+                        if rat >= limit {
+                            return false;
+                        }
+                    }
+                    return self.pump_reclaim(rat);
                 }
             }
             if let Some(limit) = self.config.time_limit {
@@ -622,6 +715,66 @@ impl<O: MemOs> Machine<O> {
                 }
             }
         }
+        // A streamed chunk allocates frames, which can push the
+        // allocator over a pressure watermark: give the daemon a chance
+        // to engage at this deterministic instant.
+        let t = at + ctx.total();
+        self.maybe_arm_reclaim(t);
+        true
+    }
+
+    /// Arms the background reclaim daemon at simulated time `at` if the
+    /// backend reports pending work and the daemon is not already armed.
+    /// Called at every point the memory state can change (end of a
+    /// dispatched step, after a background-copy chunk, after spawn), so
+    /// both scheduling engines arm it at identical instants.
+    fn maybe_arm_reclaim(&mut self, at: f64) {
+        if self.reclaim_engine.is_none() && self.os.reclaim_pending() {
+            self.reclaim_engine = Some(ReclaimEngine {
+                next_at: at,
+                fails: 0,
+            });
+        }
+    }
+
+    /// Fires the background reclaim daemon once at simulated time `at`:
+    /// one bounded batch of frames is scrubbed into the clean-frame
+    /// magazines, and the next pass lands after the batch's cost. Like
+    /// the copy engines the daemon advances its own clock rather than
+    /// occupying a core — it models an asynchronous kernel scrubber
+    /// thread running in scheduler slack.
+    fn pump_reclaim(&mut self, at: f64) -> bool {
+        let mut ctx = Ctx::new();
+        match self.os.reclaim_step(&mut ctx) {
+            Ok(n) => {
+                let dur = ctx.total();
+                self.counters.merge(&ctx.counters);
+                if n == 0 || !self.os.reclaim_pending() {
+                    // Queues drained or pressure back to normal: disarm.
+                    // The next memory-state change re-arms the daemon.
+                    self.reclaim_engine = None;
+                } else if let Some(e) = &mut self.reclaim_engine {
+                    e.next_at = at + dur;
+                    e.fails = 0;
+                }
+            }
+            Err(_) => {
+                // An aborted pass rolled itself back (nothing scrubbed,
+                // nothing leaked): back off and re-fire. After repeated
+                // failures the daemon retires; inline reclaim on the
+                // fork/fault paths still covers correctness.
+                self.counters.merge(&ctx.counters);
+                let mut retire = false;
+                if let Some(e) = &mut self.reclaim_engine {
+                    e.fails += 1;
+                    e.next_at = at + ctx.total() + self.os.cost().reclaim_backoff;
+                    retire = e.fails > 8;
+                }
+                if retire {
+                    self.reclaim_engine = None;
+                }
+            }
+        }
         true
     }
 
@@ -675,6 +828,7 @@ impl<O: MemOs> Machine<O> {
                     self.block_thread(pid, tid, call);
                     let end = self.finish_step(core_idx, pid, tid, start, ctx);
                     self.deliver_events(events, end);
+                    self.maybe_arm_reclaim(end);
                     return true;
                 }
                 ServiceOutcome::RetryAt(call, t_at) => {
@@ -683,6 +837,7 @@ impl<O: MemOs> Machine<O> {
                     t.state = ThreadState::Ready { at: t_at };
                     let end = self.finish_step(core_idx, pid, tid, start, ctx);
                     self.deliver_events(events, end);
+                    self.maybe_arm_reclaim(end);
                     return true;
                 }
             }
@@ -773,6 +928,7 @@ impl<O: MemOs> Machine<O> {
 
         let end = self.finish_step(core_idx, pid, tid, start, ctx);
         self.deliver_events(events, end);
+        self.maybe_arm_reclaim(end);
         true
     }
 
@@ -1243,7 +1399,41 @@ impl<O: MemOs> Machine<O> {
         let k_before = ctx.kernel_ns;
         let child = Pid(self.next_pid);
         self.next_pid += 1;
-        match self.os.fork(ctx, parent, child) {
+        let mut r = self.os.fork(ctx, parent, child);
+        if self.config.oom_kill {
+            // The last resort: admission failed even after the backend's
+            // degrade ladder and inline reclaim retries. Kill victims
+            // (deterministic badness order) and retry until the fork
+            // admits or no victim remains. Each iteration removes one
+            // live process, so the loop is bounded by the process count.
+            while matches!(r, Err(Errno::NoMem)) {
+                let Some((victim, resident)) = self.select_oom_victim(parent) else {
+                    break;
+                };
+                // The journaled memory teardown is charged to the forking
+                // thread — the fork call is what stalls for the kill.
+                if self.os.oom_reap(ctx, victim).is_err() {
+                    break;
+                }
+                ctx.counters.oom_kills += 1;
+                let kill_at = start + ctx.total();
+                self.oom_log.push(OomEvent {
+                    victim,
+                    requester: parent,
+                    at: kill_at,
+                    resident_pages: resident,
+                });
+                // The executive half of the exit (threads, fds, zombie,
+                // parent wakeup) reuses the ordinary exit machinery; its
+                // `destroy` is a no-op since the reap already ran. Like a
+                // delivered kill it runs on its own ctx, counters merged.
+                let mut kill_ctx = Ctx::new();
+                self.handle_exit(victim, 137, kill_at, &mut kill_ctx);
+                self.counters.merge(&kill_ctx.counters);
+                r = self.os.fork(ctx, parent, child);
+            }
+        }
+        match r {
             Ok(()) => {}
             Err(e) => {
                 let t = self.thread_mut(parent, tid);
@@ -1330,6 +1520,39 @@ impl<O: MemOs> Machine<O> {
                 },
             );
         }
+    }
+
+    /// Picks the OOM victim: the live forked process (never a root
+    /// process, never the requester) with the largest resident set,
+    /// breaking ties by deepest fork ancestry, then youngest pid. Every
+    /// input is deterministic — resident pages from the backend's page
+    /// table, ancestry from the process tree, iteration in pid order —
+    /// so a given seed always kills the same victims in the same order.
+    /// Returns the victim and its resident-page count, or `None` when no
+    /// process is eligible (the fork then fails with `NoMem` as before).
+    fn select_oom_victim(&self, requester: Pid) -> Option<(Pid, u64)> {
+        self.procs
+            .iter()
+            .filter(|(pid, p)| {
+                **pid != requester && p.life == ProcLife::Alive && p.parent.is_some()
+            })
+            .map(|(pid, _)| {
+                let resident = self.os.resident_pages(*pid);
+                (resident, self.fork_depth(*pid), pid.0, *pid)
+            })
+            .max_by_key(|&(resident, depth, raw, _)| (resident, depth, raw))
+            .map(|(resident, _, _, pid)| (pid, resident))
+    }
+
+    /// Fork-tree depth of `pid` (root processes are depth 0).
+    fn fork_depth(&self, pid: Pid) -> u32 {
+        let mut depth = 0u32;
+        let mut cur = self.procs.get(&pid).and_then(|p| p.parent);
+        while let Some(p) = cur {
+            depth += 1;
+            cur = self.procs.get(&p).and_then(|q| q.parent);
+        }
+        depth
     }
 
     /// A non-main thread exited: record it and wake joiners.

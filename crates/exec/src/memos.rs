@@ -100,6 +100,43 @@ pub trait MemOs {
         Ok(false)
     }
 
+    // ---- memory-pressure survival tier ----------------------------------
+
+    /// True when the background reclaim daemon has useful work queued
+    /// (allocator pressure engaged and dirty pooled frames awaiting a
+    /// scrub). The executive keeps a reclaim μtask armed while this
+    /// holds. Always false for systems without a daemon (the default).
+    fn reclaim_pending(&self) -> bool {
+        false
+    }
+
+    /// Runs one bounded background-reclaim pass, scrubbing recycled
+    /// frames into the clean-frame magazines and charging the zeroing
+    /// work to `ctx`. Returns how many frames were scrubbed; `Ok(0)`
+    /// means no work remained (the default for systems without a
+    /// daemon) and the executive disarms the μtask.
+    fn reclaim_step(&mut self, _ctx: &mut Ctx) -> SysResult<u64> {
+        Ok(0)
+    }
+
+    /// Frames currently resident for `pid` — the executive's OOM victim
+    /// selection ranks candidates by this (largest first). Systems
+    /// without per-process residency visibility may return 0; selection
+    /// then falls back to its age/depth tie-breakers.
+    fn resident_pages(&self, _pid: Pid) -> u64 {
+        0
+    }
+
+    /// Releases `pid`'s memory as an OOM reap. Kernels with a
+    /// transactional teardown override this with a journaled
+    /// implementation (abortable mid-sweep, leak-free either way); the
+    /// default simply delegates to [`MemOs::destroy`], which must then
+    /// be a no-op when the executive's exit path calls it again.
+    fn oom_reap(&mut self, ctx: &mut Ctx, pid: Pid) -> SysResult<()> {
+        self.destroy(ctx, pid);
+        Ok(())
+    }
+
     // ---- cost / feature profile ----------------------------------------
 
     /// Kernel entry + exit cost for one syscall.

@@ -62,6 +62,14 @@ struct Pooled {
 /// `Normal` admits anything, `Elevated` is the degradation window
 /// (Full→CoA→CoPA under a permissive `FallbackPolicy`), `Critical` means
 /// even lazy strategies may fail and callers should reclaim first.
+///
+/// The level is **hysteretic** state, not an instantaneous function of
+/// availability: entering a worse level happens the moment availability
+/// crosses a watermark, but exiting back to a better one additionally
+/// requires clearing the watermark by a slack band
+/// (`high_watermark / 8`, at least 1 frame). A reservation+release pair
+/// straddling a boundary therefore settles at the worse level instead of
+/// toggling Elevated↔Normal on every call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub enum PressureLevel {
     /// Available frames at or above the high watermark.
@@ -102,6 +110,10 @@ pub struct AllocGrant {
     pub zeroing_skipped: bool,
     /// The frame was stolen from another shard's pool.
     pub stolen: bool,
+    /// A [`ZeroPolicy::Zeroed`] request was served from the clean-frame
+    /// magazine: the frame was recycled but a background reclaim pass had
+    /// already scrubbed it, so no zeroing was charged at grant time.
+    pub prezeroed: bool,
 }
 
 /// Cumulative sharded-allocator statistics, surfaced through `MemStats`.
@@ -115,6 +127,9 @@ pub struct ShardStats {
     pub recycled_hits: u64,
     /// Recycled allocations that skipped the zeroing scrub.
     pub zeroing_skipped: u64,
+    /// [`ZeroPolicy::Zeroed`] allocations served pre-scrubbed from the
+    /// clean-frame magazine.
+    pub magazine_hits: u64,
 }
 
 /// Simulated physical memory: a bounded pool of refcounted, tagged frames.
@@ -154,6 +169,9 @@ pub struct PhysMem {
     /// Pressure watermarks over *available* frames (free minus reserved).
     low_watermark: u32,
     high_watermark: u32,
+    /// Hysteretic pressure state (see [`PressureLevel`]): recomputed on
+    /// every availability change, read by [`PhysMem::pressure`].
+    level: PressureLevel,
     /// Probe start for the single-lane [`PhysMem::alloc_frame`] entry
     /// point: the shard that received the most recent free. Starting
     /// there (and wrapping across all pools) makes legacy callers reuse
@@ -166,7 +184,7 @@ pub struct PhysMem {
 impl PhysMem {
     /// Creates a physical memory of `total_frames` 4 KiB frames.
     pub fn new(total_frames: u32) -> PhysMem {
-        PhysMem {
+        let mut pm = PhysMem {
             slots: Vec::new(),
             shards: (0..NUM_SHARDS).map(|_| Vec::new()).collect(),
             next_fresh: 0,
@@ -184,8 +202,11 @@ impl PhysMem {
             // tiny test machines still have a non-degenerate band).
             low_watermark: (total_frames / 64).max(1),
             high_watermark: (total_frames / 8).max(2),
+            level: PressureLevel::Normal,
             legacy_cursor: 0,
-        }
+        };
+        pm.recompute_pressure();
+        pm
     }
 
     /// Creates a physical memory of `mib` MiB.
@@ -236,6 +257,7 @@ impl PhysMem {
             return Err(MemError::OutOfFrames);
         }
         self.reserved += n;
+        self.recompute_pressure();
         Ok(())
     }
 
@@ -243,6 +265,7 @@ impl PhysMem {
     pub fn release(&mut self, n: u64) {
         debug_assert!(n <= self.reserved, "release of {n} exceeds reservation");
         self.reserved = self.reserved.saturating_sub(n);
+        self.recompute_pressure();
     }
 
     /// Overrides the pressure watermarks (both counted in *available*
@@ -251,19 +274,54 @@ impl PhysMem {
         debug_assert!(low <= high, "low watermark above high");
         self.low_watermark = low;
         self.high_watermark = high;
+        self.recompute_pressure();
     }
 
-    /// Current allocator pressure, from the watermarks over
-    /// [`PhysMem::available_frames`].
+    /// Current allocator pressure: the hysteretic level maintained over
+    /// [`PhysMem::available_frames`] (see [`PressureLevel`]).
     pub fn pressure(&self) -> PressureLevel {
-        let avail = self.available_frames();
-        if avail >= u64::from(self.high_watermark) {
-            PressureLevel::Normal
-        } else if avail >= u64::from(self.low_watermark) {
+        self.level
+    }
+
+    /// The exit-slack band of the hysteresis: a level improves only once
+    /// availability clears its entry watermark by this many frames.
+    /// Clamped so `high_watermark + slack` never exceeds total capacity —
+    /// otherwise a machine whose high watermark sits at (or near) its
+    /// frame count could never exit Elevated at all.
+    fn pressure_slack(&self) -> u64 {
+        u64::from(self.high_watermark / 8).max(1).min(u64::from(
+            self.total_frames.saturating_sub(self.high_watermark),
+        ))
+    }
+
+    /// The level availability maps to when every watermark is shifted up
+    /// by `slack` frames (`slack == 0` gives the instantaneous level).
+    fn level_at(&self, avail: u64, slack: u64) -> PressureLevel {
+        if avail < u64::from(self.low_watermark) + slack {
+            PressureLevel::Critical
+        } else if avail < u64::from(self.high_watermark) + slack {
             PressureLevel::Elevated
         } else {
-            PressureLevel::Critical
+            PressureLevel::Normal
         }
+    }
+
+    /// Re-derives the hysteretic pressure level after an availability or
+    /// watermark change: worsening applies immediately at the raw
+    /// watermarks, improving requires clearing them by the slack band.
+    /// Multi-level jumps in either direction are allowed (a large release
+    /// can take Critical straight to Normal).
+    fn recompute_pressure(&mut self) {
+        let avail = self.available_frames();
+        let raw = self.level_at(avail, 0);
+        self.level = if raw >= self.level {
+            raw
+        } else {
+            // Improving: step down only as far as the slack-shifted
+            // watermarks allow, and never *up* (degenerate watermarks
+            // where `low + slack > high` must not worsen on a release).
+            self.level.min(self.level_at(avail, self.pressure_slack()))
+        };
     }
 
     /// One bounded reclaim pass: scrubs every not-yet-zeroed frame parked
@@ -287,6 +345,59 @@ impl PhysMem {
             }
         }
         scrubbed
+    }
+
+    /// Pooled frames still awaiting a scrub (the deferred-zero queue the
+    /// background reclaim daemon drains).
+    pub fn pending_scrub(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|pool| pool.iter())
+            .filter(|p| !p.zeroed)
+            .count() as u64
+    }
+
+    /// Pre-scrubbed frames parked on the clean-frame magazines, ready to
+    /// serve a [`ZeroPolicy::Zeroed`] allocation without an inline zero.
+    pub fn magazine_depth(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|pool| pool.iter())
+            .filter(|p| p.zeroed)
+            .count() as u64
+    }
+
+    /// Scrubs exactly one unzeroed pooled frame into the clean-frame
+    /// magazine and returns its pfn, or `None` when the deferred-zero
+    /// queue is empty. The background reclaim daemon's unit of work:
+    /// bounded, journalable per frame, deterministic order (shards
+    /// ascending; within a pool the *newest* free first, since that is
+    /// the next frame an allocation will pop).
+    pub fn scrub_one(&mut self) -> Option<Pfn> {
+        for pool in &mut self.shards {
+            if let Some(p) = pool.iter_mut().rev().find(|p| !p.zeroed) {
+                p.frame.zero();
+                p.zeroed = true;
+                return Some(p.pfn);
+            }
+        }
+        None
+    }
+
+    /// Journal inverse of [`PhysMem::scrub_one`]: marks the pooled frame
+    /// as not scrubbed again, so magazine accounting rolls back exactly.
+    /// (The zeroed *contents* stay — a free frame's contents are
+    /// unobservable until reallocation, and a `Zeroed` grant of an
+    /// unmarked frame simply re-scrubs.) Returns `false` if `pfn` is not
+    /// parked on a pool in the scrubbed state.
+    pub fn unscrub_frame(&mut self, pfn: Pfn) -> bool {
+        for pool in &mut self.shards {
+            if let Some(p) = pool.iter_mut().find(|p| p.pfn == pfn && p.zeroed) {
+                p.zeroed = false;
+                return true;
+            }
+        }
+        false
     }
 
     /// Total `alloc_frame` attempts so far (successful or not). A
@@ -340,6 +451,13 @@ impl PhysMem {
     /// pool they landed in. Draining another shard's pool is not a steal
     /// here — there is no other lane to contend with.
     pub fn alloc_frame(&mut self) -> Result<Pfn, MemError> {
+        self.alloc_frame_grant().map(|g| g.pfn)
+    }
+
+    /// [`PhysMem::alloc_frame`] with the full [`AllocGrant`] record, so
+    /// single-lane callers can account magazine hits and inline-zeroing
+    /// cost like the sharded entry point's callers do.
+    pub fn alloc_frame_grant(&mut self) -> Result<AllocGrant, MemError> {
         self.count_attempt()?;
         let home = self.legacy_cursor;
         let popped = (0..NUM_SHARDS)
@@ -354,8 +472,7 @@ impl PhysMem {
             }
             None => return Err(MemError::OutOfFrames),
         };
-        let g = self.grant(pfn, frame, home, false, ZeroPolicy::Zeroed);
-        Ok(g.pfn)
+        Ok(self.grant(pfn, frame, home, false, ZeroPolicy::Zeroed))
     }
 
     /// Allocates a frame with refcount 1 from home shard `shard`
@@ -420,9 +537,10 @@ impl PhysMem {
     ) -> AllocGrant {
         let recycled = frame.is_some();
         let zeroing_skipped = recycled && zero == ZeroPolicy::Uninit;
+        let prezeroed = matches!(frame, Some((_, true))) && zero == ZeroPolicy::Zeroed;
         let frame = match frame {
-            Some((mut f, prezeroed)) => {
-                if zero == ZeroPolicy::Zeroed && !prezeroed {
+            Some((mut f, scrubbed)) => {
+                if zero == ZeroPolicy::Zeroed && !scrubbed {
                     f.zero();
                 }
                 f
@@ -443,14 +561,19 @@ impl PhysMem {
         if zeroing_skipped {
             self.stats.zeroing_skipped += 1;
         }
+        if prezeroed {
+            self.stats.magazine_hits += 1;
+        }
         if stolen {
             self.stats.steals += 1;
         }
+        self.recompute_pressure();
         AllocGrant {
             pfn,
             recycled,
             zeroing_skipped,
             stolen,
+            prezeroed,
         }
     }
 
@@ -489,6 +612,7 @@ impl PhysMem {
             // legacy alloc reuses it first (LIFO, cache-warm).
             self.legacy_cursor = shard;
             self.allocated -= 1;
+            self.recompute_pressure();
         }
         Ok(remaining)
     }
@@ -952,6 +1076,90 @@ mod tests {
         assert_eq!(pm.pressure(), PressureLevel::Critical);
         pm.release(49);
         assert_eq!(pm.pressure(), PressureLevel::Normal);
+    }
+
+    #[test]
+    fn pressure_hysteresis_stops_boundary_flapping() {
+        let mut pm = PhysMem::new(64);
+        pm.set_watermarks(4, 16); // exit slack = 16/8 = 2
+        pm.reserve(49).unwrap(); // available = 15
+        assert_eq!(pm.pressure(), PressureLevel::Elevated);
+        // A release/reserve pair straddling the high watermark used to
+        // toggle Elevated↔Normal on every call; with hysteresis the
+        // level stays put until the slack band is cleared.
+        pm.release(1); // available = 16, exactly at the watermark
+        assert_eq!(pm.pressure(), PressureLevel::Elevated);
+        pm.reserve(1).unwrap(); // available = 15
+        assert_eq!(pm.pressure(), PressureLevel::Elevated);
+        pm.release(3); // available = 18 = high + slack: genuine exit
+        assert_eq!(pm.pressure(), PressureLevel::Normal);
+        // Same stickiness at the low watermark; worsening is immediate.
+        pm.reserve(15).unwrap(); // available = 3
+        assert_eq!(pm.pressure(), PressureLevel::Critical);
+        pm.release(2); // available = 5 < low + slack
+        assert_eq!(pm.pressure(), PressureLevel::Critical);
+        pm.release(1); // available = 6 = low + slack
+        assert_eq!(pm.pressure(), PressureLevel::Elevated);
+        pm.release(58); // everything back: multi-level exit allowed
+        assert_eq!(pm.pressure(), PressureLevel::Normal);
+    }
+
+    #[test]
+    fn scrub_one_fills_magazines_and_grants_report_hits() {
+        let mut pm = PhysMem::new(16);
+        let pfns: Vec<Pfn> = (0..3).map(|_| pm.alloc_frame().unwrap()).collect();
+        for p in &pfns {
+            pm.write(*p, 0, &[0xee; 4]).unwrap();
+            pm.dec_ref(*p).unwrap();
+        }
+        assert_eq!(pm.pending_scrub(), 3);
+        assert_eq!(pm.magazine_depth(), 0);
+        let scrubbed = pm.scrub_one().unwrap();
+        assert_eq!(pm.pending_scrub(), 2);
+        assert_eq!(pm.magazine_depth(), 1);
+        // The journal inverse restores the accounting exactly…
+        assert!(pm.unscrub_frame(scrubbed));
+        assert_eq!(pm.pending_scrub(), 3);
+        assert_eq!(pm.magazine_depth(), 0);
+        // …and rejects frames that aren't parked scrubbed.
+        assert!(!pm.unscrub_frame(scrubbed));
+        assert!(!pm.unscrub_frame(Pfn(77)));
+        // Drain the queue: three scrubs, then empty.
+        assert!(pm.scrub_one().is_some());
+        assert!(pm.scrub_one().is_some());
+        assert!(pm.scrub_one().is_some());
+        assert!(pm.scrub_one().is_none());
+        assert_eq!(pm.magazine_depth(), 3);
+        // A Zeroed grant now hits the magazine (no inline scrub) and
+        // still reads zeros.
+        let g = pm.alloc_frame_grant().unwrap();
+        assert!(g.recycled && g.prezeroed);
+        assert_eq!(pm.shard_stats().magazine_hits, 1);
+        let mut out = [0xffu8; 4];
+        pm.read(g.pfn, 0, &mut out).unwrap();
+        assert_eq!(out, [0u8; 4]);
+        // An unscrubbed recycled frame is zeroed inline, not a hit.
+        pm.dec_ref(g.pfn).unwrap();
+        let g2 = pm.alloc_frame_grant().unwrap();
+        assert!(g2.recycled && !g2.prezeroed);
+        assert_eq!(pm.shard_stats().magazine_hits, 1);
+    }
+
+    #[test]
+    fn scrub_one_targets_the_next_frame_an_alloc_would_pop() {
+        let mut pm = PhysMem::new(16);
+        // Two frames freed onto the same shard pool (pfn 0 and 8).
+        let a = pm.alloc_frame().unwrap();
+        let frames: Vec<Pfn> = (0..8).map(|_| pm.alloc_frame().unwrap()).collect();
+        pm.dec_ref(a).unwrap();
+        // pfn 8 — newest free, top of pool. The daemon scrubs
+        // newest-first, so the frame the next alloc pops is the one
+        // that got cleaned.
+        pm.dec_ref(frames[7]).unwrap();
+        assert_eq!(pm.scrub_one(), Some(Pfn(8)));
+        let g = pm.alloc_frame_grant().unwrap();
+        assert_eq!(g.pfn, Pfn(8));
+        assert!(g.prezeroed);
     }
 
     #[test]

@@ -31,8 +31,15 @@ pub struct MemStats {
     /// Frames promised to in-flight admission-controlled operations
     /// (machine-global, sampled from [`PhysMem::reserved_frames`]).
     pub reserved_frames: u64,
-    /// Allocator pressure level at sampling time (machine-global).
+    /// Allocator pressure level at sampling time (machine-global,
+    /// hysteretic — see [`PressureLevel`]).
     pub pressure: PressureLevel,
+    /// Pooled frames still awaiting a scrub at sampling time
+    /// (machine-global deferred-zero queue depth).
+    pub pending_scrub: u64,
+    /// Pre-scrubbed frames parked on the clean-frame magazines at
+    /// sampling time (machine-global).
+    pub magazine_depth: u64,
     /// Live entries in the cross-child frame-dedup index
     /// (machine-global; 0 when dedup is disabled or unavailable). Filled
     /// in by the kernel after [`MemStats::for_frames`] — the index lives
@@ -50,6 +57,8 @@ impl MemStats {
             alloc: pm.shard_stats(),
             reserved_frames: pm.reserved_frames(),
             pressure: pm.pressure(),
+            pending_scrub: pm.pending_scrub(),
+            magazine_depth: pm.magazine_depth(),
             ..MemStats::default()
         };
         for pfn in frames {
@@ -103,11 +112,13 @@ mod tests {
         pm.dec_ref(a).unwrap();
         let s = MemStats::for_frames(&pm, [a]);
         // No resident memory; only the machine-global allocator stats
-        // remember the one allocation that happened.
+        // remember the one allocation that happened — and the freed
+        // frame sits in its shard pool awaiting a scrub.
         assert_eq!(
             s,
             MemStats {
                 alloc: pm.shard_stats(),
+                pending_scrub: 1,
                 ..MemStats::default()
             }
         );

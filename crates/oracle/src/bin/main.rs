@@ -74,11 +74,13 @@ fn main() -> ExitCode {
         run_chaos(&mut report);
         println!(
             "chaos sweep: {} journal-op aborts ({} with live ring endpoints, {} in the \
-             snapshot train), all rolled back leak-free; {} mid-storm injection scenarios \
-             completed clean",
+             snapshot train, {} in background-reclaim passes, {} in OOM teardowns), all \
+             rolled back leak-free; {} mid-storm injection scenarios completed clean",
             report.chaos_points,
             report.ring_chaos_points,
             report.train_chaos_points,
+            report.reclaim_chaos_points,
+            report.oom_chaos_points,
             report.storm_chaos_scenarios
         );
         return if report.ok() {
@@ -118,11 +120,13 @@ fn main() -> ExitCode {
         );
         println!(
             "chaos sweep: {} journal-op aborts ({} with live ring endpoints, {} in the \
-             snapshot train), all rolled back leak-free; {} mid-storm injection scenarios \
-             completed clean",
+             snapshot train, {} in background-reclaim passes, {} in OOM teardowns), all \
+             rolled back leak-free; {} mid-storm injection scenarios completed clean",
             report.chaos_points,
             report.ring_chaos_points,
             report.train_chaos_points,
+            report.reclaim_chaos_points,
+            report.oom_chaos_points,
             report.storm_chaos_scenarios
         );
     }

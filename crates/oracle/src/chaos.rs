@@ -63,6 +63,10 @@ pub struct ChaosSummary {
     pub storm_retries: u64,
     /// Journal rollbacks recorded across those scenarios.
     pub storm_rollbacks: u64,
+    /// Abort points inside background-reclaim scrub passes.
+    pub reclaim_points: u64,
+    /// Abort points inside OOM victim memory teardowns.
+    pub oom_points: u64,
 }
 
 /// Strategy × walk-mode configurations under sweep. The parallel walk
@@ -623,6 +627,237 @@ fn sweep_snapshot_train(walk: WalkMode, summary: &mut ChaosSummary) -> Result<()
     Ok(())
 }
 
+// ---- background-reclaim and OOM-teardown chaos -------------------------
+
+/// Machine-global allocator snapshot for the reclaim/OOM abort checks.
+fn alloc_snapshot(os: &UforkOs) -> (u64, u64, u64) {
+    let s = os.mem_stats(Pid(1));
+    (
+        u64::from(os.allocated_frames()),
+        s.pending_scrub,
+        s.magazine_depth,
+    )
+}
+
+/// Builds a kernel with the background reclaim daemon enabled, a parent
+/// with the standard oracle heap, a forked-and-destroyed child whose
+/// frames now sit unscrubbed in the shard pools, and the pressure
+/// watermarks forced up so the hysteretic level reads `Elevated` —
+/// exactly the state in which the executive would arm the daemon.
+fn reclaim_prelude(os: &mut UforkOs, ctx: &mut Ctx) -> Result<Vec<Capability>, String> {
+    let caps = prelude(os, ctx)?;
+    os.fork(ctx, Pid(1), Pid(2))
+        .map_err(|e| format!("reclaim prelude fork: {e:?}"))?;
+    os.destroy(ctx, Pid(2));
+    // 256 MiB = 65536 frames; a high watermark at capacity means any
+    // allocation at all leaves availability below it.
+    os.set_pressure_watermarks(32_768, 65_536);
+    Ok(caps)
+}
+
+fn build_reclaim() -> UforkOs {
+    UforkOs::new(UforkConfig {
+        phys_mib: 256,
+        strategy: CopyStrategy::Full,
+        walk: WalkMode::Serial,
+        reclaim_daemon: true,
+        ..UforkConfig::default()
+    })
+}
+
+/// Abort points inside the background reclaim daemon: a reference run
+/// measures the journal window of a full scrub drain (every pooled
+/// frame scrubbed into the clean-frame magazines, batch by batch), then
+/// each `FrameScrub` op index is aborted in its own replay. The dying
+/// pass must roll back whole — allocated frames, the unscrubbed-pool
+/// count and the magazine depth all exactly as before the pass — the
+/// one-shot injection must not survive into the retry, the drain must
+/// then complete, and a subsequent fork must actually *hit* the
+/// magazines its scrubs filled (pre-zeroed frames served on the fork
+/// hot path). Teardown to zero frames at each point is the leak check.
+fn sweep_reclaim_window(summary: &mut ChaosSummary) -> Result<(), String> {
+    // Reference run: the journal window of a full drain.
+    let (j0, j1) = {
+        let mut os = build_reclaim();
+        let mut ctx = Ctx::new();
+        reclaim_prelude(&mut os, &mut ctx)?;
+        let j0 = os.journal_ops_recorded();
+        loop {
+            match os.reclaim_step(&mut ctx) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e) => return Err(format!("reference reclaim drain failed: {e:?}")),
+            }
+        }
+        (j0, os.journal_ops_recorded())
+    };
+    if j1 == j0 {
+        return Err("reclaim drain recorded no journal ops".into());
+    }
+    for op in j0..j1 {
+        let label = format!("reclaim op {op}");
+        let mut os = build_reclaim();
+        let mut ctx = Ctx::new();
+        let caps = reclaim_prelude(&mut os, &mut ctx)?;
+        let (frames0, pending0, depth0) = alloc_snapshot(&os);
+        if pending0 == 0 {
+            return Err(format!("{label}: prelude left nothing to scrub"));
+        }
+        os.inject_journal_failure(op);
+        let rollbacks_before = ctx.counters.fork_rollbacks;
+        let mut aborts = 0u32;
+        loop {
+            let before = alloc_snapshot(&os);
+            match os.reclaim_step(&mut ctx) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => {
+                    aborts += 1;
+                    let after = alloc_snapshot(&os);
+                    if after != before {
+                        return Err(format!(
+                            "{label}: dying pass leaked state ({before:?} -> {after:?})"
+                        ));
+                    }
+                }
+            }
+        }
+        if aborts != 1 {
+            return Err(format!("{label}: expected 1 surfaced abort, saw {aborts}"));
+        }
+        if ctx.counters.fork_rollbacks == rollbacks_before {
+            return Err(format!("{label}: abort did not run a rollback"));
+        }
+        let (frames1, pending1, depth1) = alloc_snapshot(&os);
+        if frames1 != frames0 {
+            return Err(format!(
+                "{label}: drain changed allocated frames ({frames0} -> {frames1})"
+            ));
+        }
+        if pending1 != 0 || depth1 != depth0 + pending0 {
+            return Err(format!(
+                "{label}: drain left {pending1} unscrubbed, magazine {depth0}+{pending0} \
+                 -> {depth1}"
+            ));
+        }
+        if ctx.counters.frames_prezeroed < pending0 {
+            return Err(format!(
+                "{label}: only {} frames counted prezeroed of {pending0}",
+                ctx.counters.frames_prezeroed
+            ));
+        }
+        // The payoff: a fork right after the drain must serve its child
+        // copies from the magazines the daemon filled.
+        let hits_before = ctx.counters.magazine_hits;
+        os.fork(&mut ctx, Pid(1), Pid(2))
+            .map_err(|e| format!("{label}: post-drain fork failed: {e:?}"))?;
+        if ctx.counters.magazine_hits == hits_before {
+            return Err(format!("{label}: post-drain fork hit no magazine frame"));
+        }
+        let cc = child_cap(&os, &caps[0])?;
+        let mut b = [0u8; 8];
+        os.load(&mut ctx, Pid(2), &cc, &mut b)
+            .map_err(|e| format!("{label}: child read: {e:?}"))?;
+        if u64::from_le_bytes(b) != 0xA0 {
+            return Err(format!(
+                "{label}: child sees {:#x}, expected 0xA0",
+                u64::from_le_bytes(b)
+            ));
+        }
+        check_consistent(&mut os, &mut ctx, &label)?;
+        teardown_clean(&mut os, &mut ctx, &label)?;
+        summary.reclaim_points += 1;
+    }
+    Ok(())
+}
+
+/// Abort points inside the OOM victim memory teardown: a reference run
+/// measures the journal window of one `oom_reap` of a forked child
+/// (every mapped PTE detach recorded before the batched unmap), then
+/// each op index is aborted in its own replay. An aborted kill must
+/// leave the victim *completely untouched* — region present, heap
+/// bit-readable, not a frame moved — because a victim that survives the
+/// abort must still be killable by the retry, which must then release
+/// its memory in full. Swept under the eager, CoW-sharing and pipelined
+/// walks, since each leaves different reference-count shapes for the
+/// teardown to unwind.
+fn sweep_oom_teardown(summary: &mut ChaosSummary) -> Result<(), String> {
+    const OOM_CONFIGS: [(CopyStrategy, WalkMode); 3] = [
+        (CopyStrategy::Full, WalkMode::Serial),
+        (CopyStrategy::CoA, WalkMode::Serial),
+        (CopyStrategy::Full, WalkMode::Pipelined),
+    ];
+    for (strategy, walk) in OOM_CONFIGS {
+        // Reference run: the reap's journal window.
+        let (j0, j1) = {
+            let mut os = build(strategy, walk);
+            let mut ctx = Ctx::new();
+            prelude(&mut os, &mut ctx)?;
+            os.fork(&mut ctx, Pid(1), Pid(2))
+                .map_err(|e| format!("oom/{strategy:?}/{walk:?}: reference fork: {e:?}"))?;
+            let j0 = os.journal_ops_recorded();
+            os.oom_reap(&mut ctx, Pid(2))
+                .map_err(|e| format!("oom/{strategy:?}/{walk:?}: reference reap: {e:?}"))?;
+            (j0, os.journal_ops_recorded())
+        };
+        if j1 == j0 {
+            return Err(format!(
+                "oom/{strategy:?}/{walk:?}: reap recorded no journal ops"
+            ));
+        }
+        for op in j0..j1 {
+            let label = format!("oom/{strategy:?}/{walk:?} journal op {op}");
+            let mut os = build(strategy, walk);
+            let mut ctx = Ctx::new();
+            let caps = prelude(&mut os, &mut ctx)?;
+            os.fork(&mut ctx, Pid(1), Pid(2))
+                .map_err(|e| format!("{label}: fork failed: {e:?}"))?;
+            let frames_before = os.allocated_frames();
+            os.inject_journal_failure(op);
+            let rollbacks_before = ctx.counters.fork_rollbacks;
+            if os.oom_reap(&mut ctx, Pid(2)).is_ok() {
+                return Err(format!("{label}: injected reap abort was absorbed"));
+            }
+            if ctx.counters.fork_rollbacks == rollbacks_before {
+                return Err(format!("{label}: reap abort did not run a rollback"));
+            }
+            // The victim survives an aborted kill untouched.
+            if os.region_of(Pid(2)).is_err() {
+                return Err(format!("{label}: aborted reap lost the victim"));
+            }
+            if os.allocated_frames() != frames_before {
+                return Err(format!(
+                    "{label}: aborted reap moved frames ({frames_before} -> {})",
+                    os.allocated_frames()
+                ));
+            }
+            // Heap integrity check after the frame balance: under CoA
+            // this read legitimately materializes a lazily-shared page.
+            let cc = child_cap(&os, &caps[0])?;
+            let mut b = [0u8; 8];
+            os.load(&mut ctx, Pid(2), &cc, &mut b)
+                .map_err(|e| format!("{label}: victim read after abort: {e:?}"))?;
+            if u64::from_le_bytes(b) != 0xA0 {
+                return Err(format!(
+                    "{label}: victim sees {:#x} after abort, expected 0xA0",
+                    u64::from_le_bytes(b)
+                ));
+            }
+            check_consistent(&mut os, &mut ctx, &label)?;
+            // The injection is one-shot: the retried kill must complete
+            // and actually release the victim's memory.
+            os.oom_reap(&mut ctx, Pid(2))
+                .map_err(|e| format!("{label}: retry reap failed: {e:?}"))?;
+            if os.region_of(Pid(2)).is_ok() {
+                return Err(format!("{label}: victim still present after retry reap"));
+            }
+            teardown_clean(&mut os, &mut ctx, &label)?;
+            summary.oom_points += 1;
+        }
+    }
+    Ok(())
+}
+
 /// Which fault a mid-storm scenario arms once the storm is in flight.
 #[derive(Clone, Copy, Debug)]
 enum StormFault {
@@ -740,6 +975,8 @@ pub fn chaos_sweep() -> Result<ChaosSummary, String> {
         sweep_ring_config(strategy, walk, &mut summary)?;
     }
     sweep_pipeline_window(&mut summary)?;
+    sweep_reclaim_window(&mut summary)?;
+    sweep_oom_teardown(&mut summary)?;
     // The dirty-scope snapshot train, under the serial and pipelined
     // walks (the two the 0.25× bench gate holds).
     sweep_snapshot_train(WalkMode::Serial, &mut summary)?;

@@ -167,7 +167,7 @@ fn fork_walk_campaign(summary: &mut FaultSummary) -> Result<(), String> {
             if ctx.counters.fork_rollbacks == 0 {
                 return Err(format!("{label}: no rollback recorded"));
             }
-            if ctx.counters.reclaim_passes == 0 {
+            if ctx.counters.reclaim_inline == 0 {
                 return Err(format!("{label}: no reclaim pass recorded"));
             }
             check_consistent(&mut os, &mut ctx, &label)?;
@@ -227,7 +227,7 @@ fn lazy_copy_campaign(summary: &mut FaultSummary) -> Result<(), String> {
                     "{label}: absorbed access saw {v:#x}, clean run saw {expected:#x}"
                 ));
             }
-            if ctx.counters.reclaim_passes == 0 {
+            if ctx.counters.reclaim_inline == 0 {
                 return Err(format!("{label}: no reclaim pass recorded"));
             }
             let (dangling, unaccounted) = os.audit_kernel();

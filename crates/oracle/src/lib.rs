@@ -81,6 +81,12 @@ pub struct OracleReport {
     /// Mid-storm injection scenarios run to clean completion (0 when
     /// skipped).
     pub storm_chaos_scenarios: u64,
+    /// Abort points inside background-reclaim scrub passes (0 when
+    /// skipped).
+    pub reclaim_chaos_points: u64,
+    /// Abort points inside OOM victim memory teardowns (0 when
+    /// skipped).
+    pub oom_chaos_points: u64,
     /// Human-readable failures (empty = success).
     pub failures: Vec<String>,
 }
@@ -151,6 +157,8 @@ pub fn run_chaos(report: &mut OracleReport) {
             report.pipeline_chaos_points = s.pipeline_points;
             report.train_chaos_points = s.train_points;
             report.storm_chaos_scenarios = s.storm_scenarios;
+            report.reclaim_chaos_points = s.reclaim_points;
+            report.oom_chaos_points = s.oom_points;
         }
         Err(e) => report.failures.push(format!("chaos sweep: {e}")),
     }

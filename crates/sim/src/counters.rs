@@ -74,9 +74,22 @@ pub struct OpCounters {
     pub fork_rollbacks: u64,
     /// Side-effect operations recorded in fork journals.
     pub journal_ops: u64,
-    /// Reclaim passes run by the NoMem retry loop (recycled pools
-    /// scrubbed / deferred-zero queues drained).
-    pub reclaim_passes: u64,
+    /// Reclaim passes run inline on a hot path by the NoMem retry loop
+    /// (recycled pools scrubbed / deferred-zero queues drained while a
+    /// fork or fault waits).
+    pub reclaim_inline: u64,
+    /// Reclaim batches run by the background reclaim daemon (scheduled
+    /// off the hot path, driven by the pressure watermarks).
+    pub reclaim_background: u64,
+    /// Frames the background daemon scrubbed into the clean-frame
+    /// magazines.
+    pub frames_prezeroed: u64,
+    /// `Zeroed`-policy allocations served pre-scrubbed from a clean-frame
+    /// magazine (no inline zeroing charged).
+    pub magazine_hits: u64,
+    /// μprocesses killed by the OOM last resort so a fork under memory
+    /// exhaustion could be admitted.
+    pub oom_kills: u64,
     /// Simulated nanoseconds spent in reclaim backoff between fork
     /// retries (whole ns; the f64 charge is truncated when accumulated).
     pub fork_backoff_ns: u64,
@@ -144,7 +157,11 @@ impl OpCounters {
         self.forks_degraded += other.forks_degraded;
         self.fork_rollbacks += other.fork_rollbacks;
         self.journal_ops += other.journal_ops;
-        self.reclaim_passes += other.reclaim_passes;
+        self.reclaim_inline += other.reclaim_inline;
+        self.reclaim_background += other.reclaim_background;
+        self.frames_prezeroed += other.frames_prezeroed;
+        self.magazine_hits += other.magazine_hits;
+        self.oom_kills += other.oom_kills;
         self.fork_backoff_ns += other.fork_backoff_ns;
         self.pipeline_chunks_jumped += other.pipeline_chunks_jumped;
         self.pipeline_bytes_behind += other.pipeline_bytes_behind;
@@ -193,7 +210,11 @@ impl OpCounters {
             forks_degraded: self.forks_degraded - earlier.forks_degraded,
             fork_rollbacks: self.fork_rollbacks - earlier.fork_rollbacks,
             journal_ops: self.journal_ops - earlier.journal_ops,
-            reclaim_passes: self.reclaim_passes - earlier.reclaim_passes,
+            reclaim_inline: self.reclaim_inline - earlier.reclaim_inline,
+            reclaim_background: self.reclaim_background - earlier.reclaim_background,
+            frames_prezeroed: self.frames_prezeroed - earlier.frames_prezeroed,
+            magazine_hits: self.magazine_hits - earlier.magazine_hits,
+            oom_kills: self.oom_kills - earlier.oom_kills,
             fork_backoff_ns: self.fork_backoff_ns - earlier.fork_backoff_ns,
             pipeline_chunks_jumped: self.pipeline_chunks_jumped - earlier.pipeline_chunks_jumped,
             pipeline_bytes_behind: self.pipeline_bytes_behind - earlier.pipeline_bytes_behind,
@@ -250,13 +271,19 @@ impl fmt::Display for OpCounters {
         )?;
         writeln!(
             f,
-            "journal ops: {}, rollbacks: {}, forks degraded: {}, reclaim passes: {}, \
-             backoff: {} ns",
+            "journal ops: {}, rollbacks: {}, forks degraded: {}, reclaim passes: {} inline / \
+             {} background, backoff: {} ns",
             self.journal_ops,
             self.fork_rollbacks,
             self.forks_degraded,
-            self.reclaim_passes,
+            self.reclaim_inline,
+            self.reclaim_background,
             self.fork_backoff_ns
+        )?;
+        writeln!(
+            f,
+            "survival: frames prezeroed {}, magazine hits {}, oom kills {}",
+            self.frames_prezeroed, self.magazine_hits, self.oom_kills
         )?;
         writeln!(
             f,
@@ -358,7 +385,8 @@ mod tests {
             forks_degraded: 2,
             fork_rollbacks: 3,
             journal_ops: 120,
-            reclaim_passes: 4,
+            reclaim_inline: 4,
+            reclaim_background: 9,
             fork_backoff_ns: 10_000,
             ..OpCounters::default()
         };
@@ -368,14 +396,36 @@ mod tests {
         assert_eq!(total.forks_degraded, 4);
         assert_eq!(total.fork_rollbacks, 6);
         assert_eq!(total.journal_ops, 240);
-        assert_eq!(total.reclaim_passes, 8);
+        assert_eq!(total.reclaim_inline, 8);
+        assert_eq!(total.reclaim_background, 18);
         assert_eq!(total.fork_backoff_ns, 20_000);
         assert_eq!(total.since(&a), a);
         let s = total.to_string();
         assert!(s.contains("journal ops: 240"));
         assert!(s.contains("rollbacks: 6"));
         assert!(s.contains("forks degraded: 4"));
-        assert!(s.contains("reclaim passes: 8"));
+        assert!(s.contains("reclaim passes: 8 inline / 18 background"));
+    }
+
+    #[test]
+    fn survival_family_round_trips() {
+        let a = OpCounters {
+            frames_prezeroed: 40,
+            magazine_hits: 33,
+            oom_kills: 2,
+            ..OpCounters::default()
+        };
+        let mut total = OpCounters::default();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.frames_prezeroed, 80);
+        assert_eq!(total.magazine_hits, 66);
+        assert_eq!(total.oom_kills, 4);
+        assert_eq!(total.since(&a), a);
+        let s = total.to_string();
+        assert!(s.contains("frames prezeroed 80"));
+        assert!(s.contains("magazine hits 66"));
+        assert!(s.contains("oom kills 4"));
     }
 
     #[test]

@@ -28,6 +28,12 @@ Three metric families are compared, with different thresholds:
   threshold. ``children`` is part of the key because both metrics move
   with the storm's scale: a reduced-N smoke run must not be compared
   against the committed full-scale baseline.
+* ``fork_pressure[]`` — the churning storm across allocator occupancy ×
+  reclaim daemon (schema v9+), keyed by
+  ``(occupancy, daemon, children, metric)`` for ``sim_p50_ns`` and
+  ``sim_p99_ns``. Deterministic, strict threshold; ``children`` is part
+  of the key for the same reason as the overlap storm's. The
+  ``daemon=false`` rows are the inline-zeroing ablation baseline.
 * ``fork_pipeline[]`` — the pipelined-fork latency frontier (schema
   v6+), keyed by ``(heap, mode, metric)`` for ``sim_commit_ns`` (latency
   until the child runs) and ``sim_copy_done_ns`` (latency until its span
@@ -64,7 +70,10 @@ checked inside the fresh file alone (schema v6+):
   resident frames stay within 1.2x a single child's
   (``fork_zygote``, schema v7+), and
 * in every mode, a fork carrying live sealed ring endpoints stays
-  within 1.2x the pipe-only fork (``fork_ring``, schema v8+).
+  within 1.2x the pipe-only fork (``fork_ring``, schema v8+), and
+* with the background reclaim daemon on, the churning storm's fork p99
+  across the high pressure watermark stays within 1.25x the
+  low-occupancy p99 at the same scale (``fork_pressure``, schema v9+).
 * ``results[]`` — host wall-clock best-of-samples, keyed by ``name``.
   These depend on the machine that produced them; the committed baseline
   and a CI runner are different hardware, and even same-host runs swing
@@ -129,6 +138,18 @@ def storm_map(doc):
         (r["mode"], str(r["children"]), metric): float(r[metric])
         for r in doc.get("fork_storm", [])
         for metric in ("sim_p99_ns", "sim_ns_per_fork")
+    }
+
+
+def pressure_map(doc):
+    # Absent before schema v9. ``daemon`` is a JSON bool; str() it so the
+    # key renders in compare()'s "/".join.
+    return {
+        (r["occupancy"], str(r["daemon"]).lower(), str(r["children"]), metric): float(
+            r[metric]
+        )
+        for r in doc.get("fork_pressure", [])
+        for metric in ("sim_p50_ns", "sim_p99_ns")
     }
 
 
@@ -264,6 +285,28 @@ def cross_checks(doc):
                 f"{fleet:.0f} frames, {ratio:.3f}x a single child's {one:.0f}, "
                 f"limit 1.2x"
             )
+    pressure = {
+        (r["occupancy"], bool(r["daemon"]), str(r["children"])): float(r["sim_p99_ns"])
+        for r in doc.get("fork_pressure", [])
+    }
+    for (occupancy, daemon, children), hi_p99 in sorted(pressure.items()):
+        if occupancy != "high" or not daemon:
+            continue
+        lo_p99 = pressure.get(("low", True, children))
+        if lo_p99 is None or lo_p99 <= 0:
+            continue
+        ratio = hi_p99 / lo_p99
+        verdict = "ok" if ratio <= 1.25 else "FAIL"
+        print(
+            f"  [{verdict:>4}] cross fork_pressure n={children}: high-watermark "
+            f"p99 {hi_p99:.0f} ns vs low {lo_p99:.0f} ns ({ratio:.3f}x, limit 1.25x)"
+        )
+        if ratio > 1.25:
+            failures.append(
+                f"cross fork_pressure n={children}: fork p99 across the high "
+                f"watermark {hi_p99:.0f} ns is {ratio:.3f}x the low-occupancy "
+                f"p99 ({lo_p99:.0f} ns) with the reclaim daemon on, limit 1.25x"
+            )
     ring = {
         (r["mode"], r["setup"]): float(r["sim_fork_ns"])
         for r in doc.get("fork_ring", [])
@@ -361,6 +404,12 @@ def main():
         "fork_storm",
         storm_map(old_doc),
         storm_map(new_doc),
+        args.max_regress,
+    )
+    failures += compare(
+        "fork_pressure",
+        pressure_map(old_doc),
+        pressure_map(new_doc),
         args.max_regress,
     )
     failures += compare(

@@ -458,7 +458,7 @@ fn rollback_and_reclaim_counters_match_trace_phases() {
     let c = &fctx.counters;
     assert!(c.fork_rollbacks >= 1, "injected failure must roll back");
     assert!(
-        c.reclaim_passes >= 1,
+        c.reclaim_inline >= 1,
         "rollback must be followed by reclaim"
     );
     assert!(c.fork_backoff_ns > 0, "reclaim charges simulated backoff");
@@ -480,7 +480,7 @@ fn rollback_and_reclaim_counters_match_trace_phases() {
         "one trace span per rollback"
     );
     assert_eq!(
-        c.reclaim_passes,
+        c.reclaim_inline,
         span_count("fork/reclaim"),
         "one trace span per reclaim pass"
     );

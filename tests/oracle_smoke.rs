@@ -58,4 +58,12 @@ fn journal_chaos_sweep() {
         report.pipeline_chaos_points > 0,
         "sweep never reached the pipelined background-copy window"
     );
+    assert!(
+        report.reclaim_chaos_points > 0,
+        "sweep never aborted a background-reclaim pass"
+    );
+    assert!(
+        report.oom_chaos_points > 0,
+        "sweep never aborted an OOM victim teardown"
+    );
 }
